@@ -1,0 +1,63 @@
+"""Figure 3: on-line aggregation overhead.
+
+The paper compares the instrumented CleverLeaf's wall-clock runtime under
+tracing and aggregation schemes A/B/C (sampling + event modes) against an
+uninstrumented baseline, 5 runs per configuration.  Here each pytest
+benchmark measures one configuration's full rank run; the printed summary
+reports mean/stdev/overhead versus the baseline exactly like the figure.
+"""
+
+import pytest
+from experiments import (
+    experiment_fig3,
+    overhead_config,
+    overhead_configurations,
+    plan_for,
+    render_fig3,
+)
+
+from repro.apps.cleverleaf import run_rank
+
+_CONFIGS = [("baseline", None, False)] + [
+    (name, cc, True) for name, _mode, cc in overhead_configurations()
+]
+
+
+@pytest.mark.parametrize(
+    "name,channel_config,enabled", _CONFIGS, ids=[c[0] for c in _CONFIGS]
+)
+def test_overhead_configuration(benchmark, name, channel_config, enabled):
+    config = overhead_config()
+    plan = plan_for(config)
+    benchmark.pedantic(
+        lambda: run_rank(config, plan, 0, channel_config, enabled=enabled),
+        rounds=5,  # the paper quantifies run-to-run variation over 5 runs
+        iterations=1,
+    )
+
+
+def test_overhead_summary(benchmark):
+    rows = benchmark.pedantic(lambda: experiment_fig3(repetitions=5), rounds=1, iterations=1)
+    by_name = {r.config: r for r in rows}
+
+    # Tracing per-snapshot work is cheaper than aggregating (paper: "tracing
+    # ... is computationally simpler"), so event-mode trace must not be the
+    # slowest aggregating config.
+    agg_event = [by_name[f"scheme {s} (event)"].mean_seconds for s in "ABC"]
+    assert by_name["trace (event)"].mean_seconds < max(agg_event) * 1.05
+
+    # Scheme C (per-iteration keys, many more table entries) costs at least
+    # as much as scheme B (2-attribute key).
+    assert (
+        by_name["scheme C (event)"].mean_seconds
+        >= 0.95 * by_name["scheme B (event)"].mean_seconds
+    )
+
+    # Sampling mode is much cheaper than event mode (far fewer snapshots).
+    assert (
+        by_name["scheme A (sample)"].mean_seconds
+        < by_name["scheme A (event)"].mean_seconds
+    )
+
+    print()
+    print(render_fig3(rows))

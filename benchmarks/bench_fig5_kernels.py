@@ -1,0 +1,33 @@
+"""Figure 5: computational-kernel profile from 100 Hz sampling.
+
+On-line: ``AGGREGATE count GROUP BY kernel`` per process; off-line:
+``AGGREGATE sum(aggregate.count) GROUP BY kernel`` across processes —
+the exact two-stage workflow of Section VI-B.  Expected shape: most samples
+outside the annotated kernels; calc-dt dominant among them.
+"""
+
+import pytest
+from experiments import case_study_config, experiment_fig5, plan_for, render_fig5
+
+from repro.apps.cleverleaf import channel_config_sampling, run_rank
+
+
+def test_sampling_profile_run(benchmark):
+    config = case_study_config()
+    plan = plan_for(config)
+    benchmark.pedantic(
+        lambda: run_rank(config, plan, 0, channel_config_sampling(period=0.01)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_fig5_shape(benchmark):
+    rows = benchmark.pedantic(experiment_fig5, rounds=1, iterations=1)
+    by_kernel = dict(rows)
+    outside = by_kernel.pop("(no kernel)")
+    top = max(by_kernel, key=by_kernel.get)
+    assert top == "calc-dt"
+    assert outside > sum(by_kernel.values())
+    print()
+    print(render_fig5(rows))

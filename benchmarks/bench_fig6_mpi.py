@@ -1,0 +1,31 @@
+"""Figure 6: MPI function profile.
+
+``AGGREGATE count, time.duration GROUP BY mpi.function`` per process, then
+summed across ranks.  Expected shape: MPI_Barrier dominates, MPI_Allreduce
+second, point-to-point small.
+"""
+
+from experiments import case_study_dataset, experiment_fig6, render_fig6
+
+from repro.query import QueryEngine
+
+
+def test_mpi_profile_query(benchmark):
+    ds = case_study_dataset()
+    engine = QueryEngine(
+        "AGGREGATE sum(sum#time.duration) WHERE mpi.function "
+        "GROUP BY mpi.function ORDER BY sum#sum#time.duration DESC LIMIT 10"
+    )
+    result = benchmark(lambda: engine.run(ds.records))
+    assert len(result) == 10
+
+
+def test_fig6_shape(benchmark):
+    rows = benchmark.pedantic(experiment_fig6, rounds=1, iterations=1)
+    names = [name for name, _ in rows]
+    values = dict(rows)
+    assert names[0] == "MPI_Barrier"
+    assert names[1] == "MPI_Allreduce"
+    assert values["MPI_Barrier"] > 4 * values.get("MPI_Isend", 0.0)
+    print()
+    print(render_fig6(rows))

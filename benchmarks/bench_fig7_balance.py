@@ -1,0 +1,46 @@
+"""Figure 7: load balance across MPI ranks.
+
+``AGGREGATE time.duration GROUP BY kernel, mpi.function, mpi.rank`` —
+per-rank time distributions for total computation, total MPI, and the top
+kernels/MPI functions.  Expected shape: small computational imbalance
+mirrored by MPI (barrier wait); advec-mom almost perfectly balanced;
+the top-2 kernels explain less than half of the total imbalance.
+"""
+
+import numpy as np
+from experiments import case_study_dataset, experiment_fig7, render_fig7
+
+from repro.query import QueryEngine
+
+
+def test_balance_query(benchmark):
+    ds = case_study_dataset()
+    engine = QueryEngine(
+        "AGGREGATE sum(sum#time.duration) GROUP BY kernel, mpi.function, mpi.rank"
+    )
+    result = benchmark(lambda: engine.run(ds.records))
+    assert len(result) > 0
+
+
+def _spread(values):
+    arr = np.asarray(values)
+    return (arr.max() - arr.min()) / arr.mean()
+
+
+def test_fig7_shape(benchmark):
+    rows = dict(benchmark.pedantic(experiment_fig7, rounds=1, iterations=1))
+    assert _spread(rows["advec-mom"]) < 0.01
+    assert 0.005 < _spread(rows["computation (total)"]) < 0.5
+    # MPI imbalance mirrors compute imbalance (barrier waits)
+    assert _spread(rows["MPI (total)"]) > 0.005
+    # top-2 kernels account for less than half of the total imbalance
+    total = np.asarray(rows["computation (total)"])
+    peak_excess = (total.max() - total.mean())
+    top2_excess = sum(
+        np.asarray(rows[k]).max() - np.asarray(rows[k]).mean()
+        for k in ("calc-dt", "advec-cell")
+    )
+    assert top2_excess < 0.5 * peak_excess
+
+    print()
+    print(render_fig7(list(experiment_fig7())))

@@ -1,0 +1,42 @@
+"""Figure 8: runtime per mesh refinement level per timestep.
+
+``AGGREGATE sum(time.duration) WHERE not(mpi.function) GROUP BY amr.level,
+iteration#mainloop`` — the paper's application-specific dimension in
+action.  Expected shape: level 0 constant, level 1 grows slightly,
+level 2 grows significantly over the run.
+"""
+
+from experiments import case_study_dataset, experiment_fig8, render_fig8
+
+from repro.query import QueryEngine
+
+
+def test_amr_time_query(benchmark):
+    ds = case_study_dataset()
+    engine = QueryEngine(
+        "AGGREGATE sum(sum#time.duration) WHERE not(mpi.function) "
+        "GROUP BY amr.level, iteration#mainloop"
+    )
+    result = benchmark(lambda: engine.run(ds.records))
+    assert len(result) > 0
+
+
+def test_fig8_shape(benchmark):
+    xs, names, series = benchmark.pedantic(experiment_fig8, rounds=1, iterations=1)
+    level0, level1, level2 = series["0"], series["1"], series["2"]
+    n = len(xs)
+    head = slice(0, max(1, n // 5))
+    tail = slice(-max(1, n // 5), None)
+
+    def mean(vals):
+        return sum(vals) / len(vals)
+
+    # level 0 constant over the run
+    assert mean(level0[tail]) < 1.25 * mean(level0[head])
+    # level 1 increases slightly
+    assert 1.0 < mean(level1[tail]) / mean(level1[head]) < 2.0
+    # level 2 increases significantly
+    assert mean(level2[tail]) / mean(level2[head]) > 1.8
+
+    print()
+    print(render_fig8((xs, names, series)))

@@ -1,0 +1,37 @@
+"""Figure 9: runtime per mesh refinement level per MPI rank.
+
+``AGGREGATE sum(time.duration) WHERE not(mpi.function) GROUP BY amr.level,
+mpi.rank``.  Expected shape: similar level proportions on most ranks, but
+rank 8 spends more time in level 1 than level 0, and rank 7 spends less
+time in level 0 than most ranks.
+"""
+
+from experiments import case_study_config, case_study_dataset, experiment_fig9, render_fig9
+
+from repro.query import QueryEngine
+
+
+def test_amr_rank_query(benchmark):
+    ds = case_study_dataset()
+    engine = QueryEngine(
+        "AGGREGATE sum(sum#time.duration) WHERE not(mpi.function) "
+        "GROUP BY amr.level, mpi.rank"
+    )
+    result = benchmark(lambda: engine.run(ds.records))
+    assert len(result) > 0
+
+
+def test_fig9_shape(benchmark):
+    config = case_study_config()
+    xs, names, series = benchmark.pedantic(experiment_fig9, rounds=1, iterations=1)
+    level0, level1 = series["0"], series["1"]
+    a1 = config.anomalous_level1_rank
+    a0 = config.anomalous_level0_rank
+
+    assert level1[a1] > level0[a1]  # rank 8: level 1 > level 0
+    others = [r for r in range(config.ranks) if r not in (a0, a1)]
+    mean_l0 = sum(level0[r] for r in others) / len(others)
+    assert level0[a0] < 0.8 * mean_l0  # rank 7: less level-0 time
+
+    print()
+    print(render_fig9((xs, names, series)))

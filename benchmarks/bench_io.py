@@ -1,0 +1,75 @@
+"""I/O-layer benchmarks: serialization throughput and compression.
+
+The paper's storage-vs-computation tradeoff (Section II-D) rests on the
+cost of writing and re-reading record streams.  These benchmarks measure
+write/read throughput of each format and quantify the context-tree
+deduplication that makes the ``.cali``-like format compact for repetitive
+profile data (the reason event-mode traces in Table I are feasible at all).
+"""
+
+import io
+
+import pytest
+
+from repro.common import Record
+from repro.io import read_cali, read_json, write_cali, write_csv, write_json
+
+# A profile-shaped stream: few distinct contexts, many metric values.
+RECORDS = [
+    Record(
+        {
+            "function": f"main/solve/k{i % 6}",
+            "kernel": f"kernel-{i % 6}",
+            "mpi.rank": i % 16,
+            "time.duration": 0.001 * (i % 97),
+        }
+    )
+    for i in range(5000)
+]
+
+
+@pytest.mark.parametrize("fmt", ["cali", "json", "csv"])
+def test_write_throughput(benchmark, fmt):
+    writer = {"cali": write_cali, "json": write_json, "csv": write_csv}[fmt]
+
+    def run():
+        buf = io.StringIO()
+        writer(buf, RECORDS)
+        return buf
+
+    buf = benchmark(run)
+    assert len(buf.getvalue()) > 1000
+
+
+@pytest.mark.parametrize("fmt", ["cali", "json"])
+def test_read_throughput(benchmark, fmt):
+    buf = io.StringIO()
+    if fmt == "cali":
+        write_cali(buf, RECORDS)
+        reader = read_cali
+    else:
+        write_json(buf, RECORDS)
+        reader = read_json
+
+    def run():
+        buf.seek(0)
+        return reader(buf)
+
+    records = benchmark(run)
+    assert len(records) == len(RECORDS)
+
+
+def test_compression_ratio(benchmark):
+    """Print the dedup win of the context-tree format."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sizes = {}
+    for fmt, writer in (("cali", write_cali), ("json", write_json), ("csv", write_csv)):
+        buf = io.StringIO()
+        writer(buf, RECORDS)
+        sizes[fmt] = len(buf.getvalue())
+    print()
+    print("Serialized size for 5000 profile records:")
+    for fmt, size in sorted(sizes.items(), key=lambda kv: kv[1]):
+        print(f"  {fmt:>4}: {size / 1024:8.1f} KiB  ({size / len(RECORDS):.1f} B/record)")
+    # The node-deduplicated format must clearly beat plain JSON lines.
+    assert sizes["cali"] < 0.6 * sizes["json"]

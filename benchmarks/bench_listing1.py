@@ -1,0 +1,16 @@
+"""Section III-B: the Listing 1 running example.
+
+Benchmarks the full annotate-and-aggregate pipeline of the paper's toy
+program and prints the resulting time-series function profile table.
+"""
+
+from experiments import experiment_listing1, render_listing1
+
+from repro.apps.listing1 import run_listing1
+
+
+def test_listing1_profile(benchmark):
+    records = benchmark(lambda: run_listing1(iterations=4)[0])
+    assert len(records) >= 12
+    print()
+    print(render_listing1(experiment_listing1()))

@@ -1,0 +1,52 @@
+"""Table I: snapshots and output-record counts per process.
+
+Runs the instrumented CleverLeaf under tracing and schemes A/B/C in both
+sampling and event modes, printing the Table-I equivalent.  The benchmark
+timer wraps one full scheme-A event-mode rank run (the configuration whose
+cost Table I contextualizes).
+"""
+
+import pytest
+from experiments import (
+    experiment_table1,
+    overhead_config,
+    plan_for,
+    render_table1,
+)
+
+from repro.apps.cleverleaf import SCHEME_A, channel_config_aggregate, run_rank
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return experiment_table1()
+
+
+def test_table1_counts(rows, benchmark):
+    config = overhead_config()
+    plan = plan_for(config)
+    benchmark.pedantic(
+        lambda: run_rank(config, plan, 0, channel_config_aggregate(SCHEME_A, "event")),
+        rounds=3,
+        iterations=1,
+    )
+
+    by_name = {r.config: r for r in rows}
+    # Paper's orderings: event mode produces far more snapshots than
+    # sampling; B <= A << C << trace in output volume; trace output == input.
+    assert by_name["trace (event)"].snapshots > 4 * by_name["trace (sample)"].snapshots
+    for mode in ("sample", "event"):
+        a = by_name[f"scheme A ({mode})"].output_records
+        b = by_name[f"scheme B ({mode})"].output_records
+        c = by_name[f"scheme C ({mode})"].output_records
+        t = by_name[f"trace ({mode})"].output_records
+        assert b <= a < c < t
+        assert by_name[f"trace ({mode})"].snapshots == t
+    # Scheme C event mode: profile still much smaller than the trace
+    # (paper: 32x smaller).
+    assert by_name["trace (event)"].output_records > 3 * by_name[
+        "scheme C (event)"
+    ].output_records
+
+    print()
+    print(render_table1(rows))

@@ -1,0 +1,12 @@
+"""Benchmark-suite configuration.
+
+Benchmarks print their figure/table reproduction to stdout (run with
+``pytest benchmarks/ --benchmark-only -s`` to see them); EXPERIMENTS.md is
+generated from ``python benchmarks/run_report.py``.
+"""
+
+import os
+import sys
+
+# Make the shared experiment drivers importable as `experiments`.
+sys.path.insert(0, os.path.dirname(__file__))

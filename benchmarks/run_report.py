@@ -1,0 +1,65 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Usage::
+
+    python benchmarks/run_report.py            # laptop scale
+    REPRO_BENCH_FULL=1 python benchmarks/run_report.py   # paper scale
+
+The output of this script is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import experiments as E
+
+
+def section(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> int:
+    start = time.perf_counter()
+    print(
+        f"repro evaluation report — scale: {'FULL (paper)' if E.FULL_SCALE else 'quick'}"
+    )
+
+    section("Section III-B example")
+    print(E.render_listing1(E.experiment_listing1()))
+
+    section("Table I")
+    print(E.render_table1(E.experiment_table1()))
+
+    section("Figure 3")
+    print(E.render_fig3(E.experiment_fig3(repetitions=5)))
+
+    section("Figure 4")
+    print(E.render_fig4(E.experiment_fig4()))
+
+    section("Figure 5")
+    print(E.render_fig5(E.experiment_fig5()))
+
+    section("Figure 6")
+    print(E.render_fig6(E.experiment_fig6()))
+
+    section("Figure 7")
+    print(E.render_fig7(E.experiment_fig7()))
+
+    section("Figure 8")
+    print(E.render_fig8(E.experiment_fig8()))
+
+    section("Figure 9")
+    print(E.render_fig9(E.experiment_fig9()))
+
+    print()
+    print(f"total report time: {time.perf_counter() - start:.1f} s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

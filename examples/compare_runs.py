@@ -1,0 +1,83 @@
+"""Comparing profiles (A/B analysis) with a key-join.
+
+Two comparisons over the simulated CleverLeaf workload:
+
+1. **run vs run** — a baseline against a variant whose AMR refinement blows
+   up faster (more level-2 work): the per-*level* comparison pinpoints
+   where the extra time went;
+2. **rank vs rank within one run** — rank 8 (the paper's Fig. 9 anomaly)
+   against rank 0: the per-level join makes the anomaly jump out.
+
+Both are the same primitive: aggregate with a common key, join, diff.
+
+Run: ``python examples/compare_runs.py``
+"""
+
+from dataclasses import replace
+
+from repro.apps.cleverleaf import (
+    CleverLeafConfig,
+    channel_config_aggregate,
+    run_simulation,
+)
+from repro.query import compare_profiles
+
+SCHEME = "AGGREGATE sum(time.duration) GROUP BY kernel, amr.level, mpi.rank"
+
+
+def main() -> None:
+    base_config = CleverLeafConfig(timesteps=20, ranks=10, target_runtime=5.0)
+    # the "regression": level-2 work grows much faster over the run
+    slow_config = replace(base_config, level2_growth=6.0, target_runtime=6.0)
+
+    print("running baseline and regressed configurations ...")
+    base = run_simulation(base_config, channel_config_aggregate(SCHEME, "event"))
+    slow = run_simulation(slow_config, channel_config_aggregate(SCHEME, "event"))
+
+    # --- 1. run vs run, per AMR level -----------------------------------------
+    result = compare_profiles(
+        base.dataset().records,
+        slow.dataset().records,
+        key=["amr.level"],
+        metrics=["time"],
+        query=(
+            "AGGREGATE sum(sum#time.duration) AS time "
+            "WHERE kernel GROUP BY amr.level"
+        ),
+    )
+    print("\nkernel time per AMR level, baseline vs regressed:\n")
+    print(result.to_table(float_precision=4))
+    worst = result[0]
+    print(
+        f"\n-> the regression concentrates on level "
+        f"{worst['amr.level'].to_string()} "
+        f"({worst['time.ratio'].to_double():.2f}x)"
+    )
+
+    # --- 2. rank 8 vs rank 0 within the baseline run -----------------------------
+    records = base.dataset().records
+
+    def rank_profile(rank: int):
+        return [r for r in records if r.get("mpi.rank").value == rank]
+
+    result = compare_profiles(
+        rank_profile(0),
+        rank_profile(8),
+        key=["amr.level"],
+        metrics=["time"],
+        query=(
+            "AGGREGATE sum(sum#time.duration) AS time "
+            "WHERE kernel GROUP BY amr.level"
+        ),
+        suffixes=(".rank0", ".rank8"),
+    )
+    print("\nkernel time per AMR level, rank 0 vs rank 8 (same run):\n")
+    print(result.to_table(float_precision=4))
+    print(
+        "\n-> rank 8 holds far more level-1 work than rank 0 — "
+        "the Fig. 9 anomaly, found by a two-line diff."
+    )
+
+
+if __name__ == "__main__":
+    main()

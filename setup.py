@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml; this file exists so legacy editable
+installs (``pip install -e .`` without the ``wheel`` package available)
+keep working in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

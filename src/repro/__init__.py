@@ -1,0 +1,113 @@
+"""repro — Flexible Data Aggregation for Performance Profiling.
+
+A from-scratch Python reproduction of Böhme, Beckingsale & Schulz,
+"Flexible Data Aggregation for Performance Profiling" (IEEE CLUSTER 2017):
+a Caliper-style performance-introspection runtime with a flexible key:value
+data model, user-definable aggregation schemes written in a small SQL-like
+description language (CalQL), an on-line streaming aggregation service, a
+scalable (simulated-)MPI cross-process query application, and the paper's
+evaluation workloads.
+
+Quick tour::
+
+    import repro
+
+    # --- on-line profiling ------------------------------------------------
+    cali = repro.Caliper()
+    chan = cali.create_channel("profile", {
+        "services": ["event", "timer", "aggregate"],
+        "aggregate.config":
+            "AGGREGATE count, sum(time.duration) GROUP BY function",
+    })
+    with cali.region("function", "solve"):
+        ...                                   # your code
+    records = chan.finish()
+
+    # --- off-line analysis ---------------------------------------------------
+    result = repro.run_query(
+        "AGGREGATE sum(time.duration) GROUP BY function ORDER BY function",
+        records,
+    )
+    print(result.to_table())
+
+See ``examples/`` for complete scenarios and ``DESIGN.md`` for the system
+inventory.
+"""
+
+from .aggregate import (
+    AggregationDB,
+    AggregationScheme,
+    StreamAggregator,
+    aggregate_records,
+    combine_partials,
+    make_op,
+)
+from .calql import parse_query, parse_scheme
+from .common import (
+    AttrProperty,
+    Attribute,
+    AttributeRegistry,
+    Record,
+    ReproError,
+    ValueType,
+    Variant,
+    make_record,
+)
+from .io import Dataset, read_records, write_records
+from .mpi import LatencyBandwidthNetwork, SimWorld
+from .query import MPIQueryRunner, QueryEngine, QueryResult, run_query
+from .runtime import (
+    Caliper,
+    Channel,
+    ConfigSet,
+    VirtualClock,
+    WallClock,
+    default_runtime,
+)
+from .session import ProfilingSession, profiling
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data model
+    "Variant",
+    "ValueType",
+    "Attribute",
+    "AttrProperty",
+    "AttributeRegistry",
+    "Record",
+    "make_record",
+    "ReproError",
+    # aggregation core
+    "AggregationScheme",
+    "AggregationDB",
+    "StreamAggregator",
+    "aggregate_records",
+    "combine_partials",
+    "make_op",
+    # language
+    "parse_query",
+    "parse_scheme",
+    # runtime
+    "Caliper",
+    "Channel",
+    "ConfigSet",
+    "VirtualClock",
+    "WallClock",
+    "default_runtime",
+    "ProfilingSession",
+    "profiling",
+    # query
+    "QueryEngine",
+    "QueryResult",
+    "run_query",
+    "MPIQueryRunner",
+    # io
+    "Dataset",
+    "read_records",
+    "write_records",
+    # mpi
+    "SimWorld",
+    "LatencyBandwidthNetwork",
+]

@@ -1,0 +1,193 @@
+"""The in-memory aggregation database.
+
+This is the heart of the paper's Section IV-B: a hash table mapping each
+unique aggregation key to an *aggregation record* — the intermediate
+reduction state of every operator.  ``process`` is the streaming path (one
+call per snapshot record, never storing the input); ``combine`` merges two
+databases (the cross-process reduction step); ``flush`` reconstructs the key
+attributes and renders operator results, producing one output record per
+unique key.
+
+The implementation is deliberately allocation-light: operator kernels are
+shared across keys, per-key state is a flat list of small lists, and the hot
+loop does one dict lookup plus one ``update`` per operator.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+from ..common.errors import AggregationError
+from ..common.record import Record
+from ..common.variant import Variant
+from .key import TupleKeyExtractor, make_extractor
+from .scheme import AggregationScheme
+
+__all__ = ["AggregationDB"]
+
+
+class AggregationDB:
+    """Streaming aggregation over one :class:`AggregationScheme`.
+
+    >>> scheme = AggregationScheme(ops=["count"], key=["function"])
+    >>> db = AggregationDB(scheme)
+    >>> db.process(Record({"function": "foo"}))
+    >>> db.process(Record({"function": "foo"}))
+    >>> [r.to_plain() for r in db.flush()]
+    [{'function': 'foo', 'count': 2}]
+    """
+
+    def __init__(self, scheme: AggregationScheme) -> None:
+        self.scheme = scheme
+        self._ops = scheme.fresh_kernels()
+        self._extractor = make_extractor(scheme.key, scheme.key_strategy)
+        self._table: dict[Hashable, list[list]] = {}
+        #: records offered to the DB (including ones rejected by the predicate)
+        self.num_offered = 0
+        #: records actually folded into some aggregation entry
+        self.num_processed = 0
+
+    # -- streaming path ------------------------------------------------------
+
+    def process(self, record: Record) -> None:
+        """Fold one input record into the database."""
+        self.num_offered += 1
+        predicate = self.scheme.predicate
+        if predicate is not None and not predicate(record):
+            return
+        self.num_processed += 1
+        key = self._extractor.extract(record)
+        states = self._table.get(key)
+        if states is None:
+            states = [op.init() for op in self._ops]
+            self._table[key] = states
+        get = record.get
+        for op, state in zip(self._ops, states):
+            op.update(state, get)
+
+    def process_all(self, records: Iterable[Record]) -> None:
+        """Fold a whole record stream (convenience for the off-line path)."""
+        for record in records:
+            self.process(record)
+
+    # -- combine path (cross-process reduction) -------------------------------
+
+    def combine(self, other: "AggregationDB") -> None:
+        """Merge ``other``'s partial results into this database.
+
+        Both databases must use the same scheme (same operators and key).
+        ``other`` is left unmodified.
+        """
+        if other.scheme.key != self.scheme.key or other.scheme.ops != self.scheme.ops:
+            raise AggregationError(
+                "cannot combine aggregation databases with different schemes: "
+                f"{self.scheme.describe()!r} vs {other.scheme.describe()!r}"
+            )
+        for key, other_states in other._iter_rekeyed(self._extractor):
+            states = self._table.get(key)
+            if states is None:
+                # Deep-copy the states so later combines into self never
+                # alias other's mutable state lists.
+                self._table[key] = [list(s) for s in other_states]
+            else:
+                for op, state, ostate in zip(self._ops, states, other_states):
+                    op.combine(state, ostate)
+        # Carry the stream counters so a combined DB reports how many input
+        # records it stands for.
+        self.num_offered += other.num_offered
+        self.num_processed += other.num_processed
+
+    def _iter_rekeyed(self, extractor) -> Iterator[tuple[Hashable, list[list]]]:
+        """Yield (key-under-``extractor``, states) for every entry.
+
+        Interned keys are only meaningful relative to their own extractor's
+        tables, so combining re-interns via the entries round-trip.  Tuple
+        keys pass through untouched when both sides use the same strategy.
+        """
+        passthrough = (
+            isinstance(extractor, TupleKeyExtractor)
+            and isinstance(self._extractor, TupleKeyExtractor)
+            and extractor.key_labels == self._extractor.key_labels
+        )
+        for key, states in self._table.items():
+            if passthrough:
+                yield key, states
+            else:
+                entries = self._extractor.entries(key)
+                rec = Record.from_variants(dict(entries))
+                yield extractor.extract(rec), states
+
+    def combine_records(self, records: Iterable[Record]) -> None:
+        """Re-aggregate already-flushed output records into this database.
+
+        This supports the two-stage workflows of Section VI-B, where a second
+        aggregation runs over the *outputs* of a first one (e.g.
+        ``AGGREGATE sum(aggregate.count) GROUP BY kernel`` over per-process
+        profiles).  It is ordinary :meth:`process`-ing — provided here for
+        symmetry and intent.
+        """
+        self.process_all(records)
+
+    # -- flush ----------------------------------------------------------------
+
+    def flush(self) -> list[Record]:
+        """Render one output record per unique aggregation key.
+
+        Key attributes are reconstructed from the lookup key; operator
+        results are appended.  Operators flagged ``needs_global_total``
+        (percent_total) get a second pass with the total across all keys.
+        """
+        totals: dict[int, float] = {}
+        for i, op in enumerate(self._ops):
+            if getattr(op, "needs_global_total", False):
+                totals[i] = sum(states[i][1] for states in self._table.values())
+
+        out: list[Record] = []
+        entries_of = self._extractor.entries
+        for key, states in self._table.items():
+            data: dict[str, Variant] = dict(entries_of(key))
+            for i, (op, state) in enumerate(zip(self._ops, states)):
+                if i in totals:
+                    results = op.results_with_total(state, totals[i])  # type: ignore[attr-defined]
+                else:
+                    results = op.results(state)
+                for label, value in results:
+                    data[label] = value
+            out.append(Record.from_variants(data))
+        return out
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        self._table.clear()
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Number of unique aggregation keys currently held."""
+        return len(self._table)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._table)
+
+    def memory_footprint(self) -> int:
+        """Rough number of state cells held (for the overhead study)."""
+        return sum(sum(len(s) for s in states) for states in self._table.values())
+
+    def wire_size(self) -> int:
+        """Estimated serialized size in bytes (used by the MPI simulator's
+        network model when partial databases travel up the reduction tree).
+
+        Estimate: 8 bytes per key slot and per operator state cell, plus a
+        small fixed header per entry.  Only relative magnitudes matter — the
+        network model multiplies this by a bandwidth term.
+        """
+        key_width = max(1, len(self.scheme.key))
+        cells = sum(len(op.init()) for op in self._ops)
+        return 16 + len(self._table) * (8 * key_width + 8 * cells + 8)
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregationDB({self.scheme.describe()!r}, entries={len(self)}, "
+            f"processed={self.num_processed})"
+        )

@@ -1,0 +1,6 @@
+"""Workload applications: CleverLeaf and ParaDiS simulators, toy examples."""
+
+from . import cleverleaf, paradis
+from .listing1 import DEFAULT_SCHEME, run_listing1
+
+__all__ = ["cleverleaf", "paradis", "run_listing1", "DEFAULT_SCHEME"]

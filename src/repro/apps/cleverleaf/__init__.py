@@ -1,0 +1,32 @@
+"""CleverLeaf workload simulator: the case-study application (Section VI)."""
+
+from .amr import AMRModel
+from .config import KERNELS, MPI_FUNCTIONS, CleverLeafConfig
+from .plan import WorkloadPlan
+from .simulation import RankRun, SimulationOutput, run_rank, run_simulation
+from .schemes import (
+    SCHEME_A,
+    SCHEME_B,
+    SCHEME_C,
+    channel_config_aggregate,
+    channel_config_sampling,
+    channel_config_trace,
+)
+
+__all__ = [
+    "AMRModel",
+    "CleverLeafConfig",
+    "KERNELS",
+    "MPI_FUNCTIONS",
+    "WorkloadPlan",
+    "RankRun",
+    "SimulationOutput",
+    "run_rank",
+    "run_simulation",
+    "SCHEME_A",
+    "SCHEME_B",
+    "SCHEME_C",
+    "channel_config_aggregate",
+    "channel_config_sampling",
+    "channel_config_trace",
+]

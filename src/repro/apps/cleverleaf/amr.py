@@ -1,0 +1,96 @@
+"""AMR behaviour model for the CleverLeaf simulator.
+
+Models two things the case study's figures depend on:
+
+* **level time shares over timesteps** (Fig. 8): in the triple-point
+  problem, the shock generates growing vorticity, so the AMR algorithm
+  covers an expanding region with fine patches — level 0 stays constant,
+  level 1 grows slightly, level 2 grows strongly over the run;
+* **per-rank work distribution** (Figs. 7 & 9): SAMRAI's patch clustering
+  gives each rank a mildly uneven share of every level, with occasional
+  outliers — the paper calls out rank 8 (more level-1 than level-0 time)
+  and rank 7 (less level-0 than most).
+
+Everything is precomputed into numpy arrays; the instrumentation loop just
+reads them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import CleverLeafConfig
+
+__all__ = ["AMRModel"]
+
+
+class AMRModel:
+    """Deterministic AMR work model derived from a config."""
+
+    def __init__(self, config: CleverLeafConfig) -> None:
+        self.config = config
+        self.rng = np.random.default_rng(config.seed)
+        #: (timesteps, levels): *absolute* work weight per level per step.
+        #: Level 0 is constant (it always covers the full coarse grid);
+        #: the fine levels grow as the vortex develops, so the per-step
+        #: total grows over the run — exactly the paper's Fig. 8 shape.
+        self.level_weight = self._build_level_weights()
+        #: (timesteps, levels): per-step share view (each row sums to 1)
+        self.level_share = self.level_weight / self.level_weight.sum(
+            axis=1, keepdims=True
+        )
+        #: (ranks, levels): each rank's share of a level's work; columns sum to 1
+        self.rank_share = self._build_rank_shares()
+
+    # -- level evolution --------------------------------------------------------
+
+    def _build_level_weights(self) -> np.ndarray:
+        cfg = self.config
+        steps = np.arange(cfg.timesteps, dtype=float)
+        progress = steps / max(1, cfg.timesteps - 1) if cfg.timesteps > 1 else steps
+        weights = np.zeros((cfg.timesteps, cfg.levels))
+        # Level 0 covers the full coarse grid: constant work.
+        weights[:, 0] = 1.0
+        if cfg.levels > 1:
+            # Level 1 starts below level 0 and grows mildly.
+            weights[:, 1] = 0.7 * (1.0 + cfg.level1_growth * progress)
+        if cfg.levels > 2:
+            # Level 2 starts small and grows strongly (super-linear: the
+            # vortex area expands as the shock interaction develops).
+            weights[:, 2] = 0.35 * (1.0 + cfg.level2_growth * progress**1.6)
+        for level in range(3, cfg.levels):
+            weights[:, level] = 0.15 * (1.0 + cfg.level2_growth * progress**2.0)
+        return weights
+
+    # -- rank distribution ----------------------------------------------------------
+
+    def _build_rank_shares(self) -> np.ndarray:
+        cfg = self.config
+        noise = self.rng.normal(0.0, cfg.imbalance, size=(cfg.ranks, cfg.levels))
+        shares = np.clip(1.0 + noise, 0.5, 1.5)
+        if cfg.ranks > 1:
+            a1 = cfg.anomalous_level1_rank
+            a0 = cfg.anomalous_level0_rank
+            if 0 <= a1 < cfg.ranks and cfg.levels > 1:
+                # Rank 8 (paper Fig. 9): clearly more level-1 work than level-0.
+                shares[a1, 1] *= 1.8
+                shares[a1, 0] *= 0.8
+            if 0 <= a0 < cfg.ranks and a0 != a1:
+                # Rank 7: noticeably less level-0 work than most ranks.
+                shares[a0, 0] *= 0.6
+        return shares / shares.sum(axis=0, keepdims=True)
+
+    # -- derived views -----------------------------------------------------------
+
+    def level_time_fraction(self, timestep: int, level: int) -> float:
+        """Share of kernel time spent on ``level`` at ``timestep``."""
+        return float(self.level_share[timestep, level])
+
+    def rank_level_work(self) -> np.ndarray:
+        """(ranks, timesteps, levels): per-rank absolute work weights.
+
+        ``rank_share[r, l] * level_weight[t, l]`` — summing over ranks gives
+        the level's absolute weight at each step, so level-0 time stays
+        constant over the run while the fine levels grow.
+        """
+        return self.rank_share[:, None, :] * self.level_weight[None, :, :]

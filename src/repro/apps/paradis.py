@@ -1,0 +1,207 @@
+"""ParaDiS-like dataset generator (the Fig. 4 scalability workload).
+
+The paper's scalability study queries a distributed Caliper dataset from
+ParaDiS, a dislocation-dynamics production code, collected on 4096 MPI
+ranks: one file per rank, each holding a per-process time-series profile —
+2174 snapshot records over computational kernels, MPI functions, MPI rank
+and main-loop iterations, with visit count and aggregate runtime per unique
+region.  The evaluation query computes total CPU time per kernel and MPI
+function across ranks, producing 85 output records.
+
+We cannot obtain the proprietary dataset, so this module generates a
+synthetic equivalent with the same statistical shape: the same per-file
+record count, the same attribute dimensions, region universes sized so the
+paper's query yields the same output-record count (60 kernel regions + 24
+MPI functions + 1 uninstrumented row = 85), and weak-scaling-friendly
+per-rank generation (any rank's file is generated independently and
+deterministically from the seed).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..common.errors import ReproError
+from ..common.record import Record
+from ..common.variant import ValueType, Variant
+from ..io.dataset import write_records
+
+__all__ = [
+    "ParaDiSConfig",
+    "KERNEL_REGIONS",
+    "MPI_FUNCTIONS",
+    "TOTAL_TIME_QUERY",
+    "generate_rank_records",
+    "write_dataset",
+]
+
+#: 60 computational-kernel region names: ParaDiS phase / subphase structure.
+_PHASES = (
+    "force",
+    "collision",
+    "remesh",
+    "integrate",
+    "topology",
+    "migration",
+    "cell-charge",
+    "segforce",
+    "decomp",
+    "output",
+)
+_SUBPHASES = ("setup", "compute", "comm-pack", "comm-unpack", "reduce", "finalize")
+
+KERNEL_REGIONS: tuple[str, ...] = tuple(
+    f"{phase}/{sub}" for phase in _PHASES for sub in _SUBPHASES
+)
+
+#: 24 intercepted MPI functions.
+MPI_FUNCTIONS: tuple[str, ...] = (
+    "MPI_Allreduce",
+    "MPI_Barrier",
+    "MPI_Isend",
+    "MPI_Irecv",
+    "MPI_Wait",
+    "MPI_Waitall",
+    "MPI_Waitany",
+    "MPI_Send",
+    "MPI_Recv",
+    "MPI_Bcast",
+    "MPI_Reduce",
+    "MPI_Gather",
+    "MPI_Gatherv",
+    "MPI_Allgather",
+    "MPI_Allgatherv",
+    "MPI_Alltoall",
+    "MPI_Alltoallv",
+    "MPI_Scatter",
+    "MPI_Scatterv",
+    "MPI_Scan",
+    "MPI_Probe",
+    "MPI_Iprobe",
+    "MPI_Sendrecv",
+    "MPI_Testall",
+)
+
+#: The evaluation query of Section V-C: total CPU time in computational
+#: kernels and MPI functions across all ranks.
+TOTAL_TIME_QUERY: str = (
+    "AGGREGATE sum(sum#time.duration), sum(aggregate.count) "
+    "GROUP BY kernel, mpi.function"
+)
+
+
+@dataclass
+class ParaDiSConfig:
+    """Shape parameters of the synthetic dataset."""
+
+    #: ranks the original dataset was collected on (paper: 4096)
+    ranks: int = 4096
+    #: main-loop iterations in each per-rank time series (paper-compatible)
+    iterations: int = 100
+    #: snapshot records per rank file (paper: 2174)
+    records_per_rank: int = 2174
+    #: regions each rank reports per iteration (derived when None)
+    seed: int = 20170406
+
+    def __post_init__(self) -> None:
+        if self.ranks < 1:
+            raise ReproError(f"ranks must be >= 1, got {self.ranks}")
+        if self.iterations < 1:
+            raise ReproError(f"iterations must be >= 1, got {self.iterations}")
+        if self.records_per_rank < self.iterations:
+            raise ReproError(
+                "records_per_rank must be at least one per iteration "
+                f"(got {self.records_per_rank} for {self.iterations} iterations)"
+            )
+
+    @property
+    def regions_per_iteration(self) -> int:
+        """Regions per rank per iteration, before trimming to the target count."""
+        return -(-self.records_per_rank // self.iterations)  # ceil division
+
+
+_ALL_REGIONS = tuple(
+    [("kernel", name) for name in KERNEL_REGIONS]
+    + [("mpi.function", name) for name in MPI_FUNCTIONS]
+)
+
+
+def generate_rank_records(config: ParaDiSConfig, rank: int) -> list[Record]:
+    """Generate one rank's profile records, deterministically from the seed.
+
+    Every record mimics an on-line aggregation output row: a region
+    attribute (``kernel`` or ``mpi.function``), the producing ``mpi.rank``,
+    the ``iteration``, plus ``aggregate.count`` and ``sum#time.duration``.
+    """
+    rng = np.random.default_rng((config.seed, rank))
+    # One row per iteration is the "uninstrumented" time outside any region
+    # (the 85th group of the paper's query output); the rest are regions.
+    per_iter = config.regions_per_iteration
+    n_regions = max(1, min(per_iter - 1, len(_ALL_REGIONS)))
+
+    # This rank's region subset: stable across iterations (a process touches
+    # the same code regions every timestep).  Rank-dependent choice makes the
+    # union across ranks cover the full region universe.
+    idx = rng.choice(len(_ALL_REGIONS), size=n_regions, replace=False)
+    regions: list[tuple[Optional[str], Optional[str]]] = [
+        _ALL_REGIONS[i] for i in sorted(idx)
+    ]
+    regions.append((None, None))  # the uninstrumented row
+
+    # Region cost profile for this rank (kernel regions heavier than MPI;
+    # the uninstrumented row sits in between).
+    base_cost = np.where(
+        np.array([label == "kernel" for label, _ in regions]),
+        rng.uniform(0.8, 3.0, size=len(regions)),
+        rng.uniform(0.05, 0.8, size=len(regions)),
+    )
+    base_cost[-1] = rng.uniform(0.5, 1.5)  # uninstrumented time
+    counts = rng.integers(1, 40, size=len(regions))
+
+    records: list[Record] = []
+    total_target = config.records_per_rank
+    # Per-iteration jitter, drawn in bulk for speed.
+    jitter = rng.uniform(0.85, 1.15, size=(config.iterations, len(regions)))
+    rank_variant = Variant(ValueType.INT, rank)
+    for it in range(config.iterations):
+        it_variant = Variant(ValueType.INT, it)
+        for j, (label, name) in enumerate(regions):
+            if len(records) >= total_target:
+                break
+            entries = {
+                "mpi.rank": rank_variant,
+                "iteration": it_variant,
+                "aggregate.count": Variant(ValueType.UINT, int(counts[j])),
+                "sum#time.duration": Variant(
+                    ValueType.DOUBLE, float(base_cost[j] * jitter[it, j])
+                ),
+            }
+            if label is not None:
+                entries[label] = Variant.of(name)
+            records.append(Record.from_variants(entries))
+    return records
+
+
+def write_dataset(
+    config: ParaDiSConfig,
+    directory: Union[str, os.PathLike],
+    ranks: Optional[Sequence[int]] = None,
+    fmt: str = "cali",
+) -> list[str]:
+    """Write per-rank files (all ranks, or a subset); returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    which = list(ranks) if ranks is not None else list(range(config.ranks))
+    paths = []
+    for rank in which:
+        path = os.path.join(os.fspath(directory), f"paradis-{rank:05d}.{fmt}")
+        write_records(
+            path,
+            generate_rank_records(config, rank),
+            globals_={"mpi.world.size": config.ranks},
+        )
+        paths.append(path)
+    return paths

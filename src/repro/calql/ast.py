@@ -1,0 +1,207 @@
+"""AST node types for CalQL queries.
+
+The AST is deliberately small and value-like (frozen dataclasses): the
+parser builds it, the semantic pass validates it, and both the query engine
+and the on-line aggregation service consume it.  ``unparse`` on every node
+renders canonical CalQL text; round-tripping through ``unparse`` is
+property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.variant import Variant
+
+__all__ = [
+    "OpCall",
+    "Condition",
+    "Exists",
+    "NotCond",
+    "Compare",
+    "Expr",
+    "Ref",
+    "Num",
+    "BinExpr",
+    "LetBinding",
+    "OrderSpec",
+    "Query",
+]
+
+
+@dataclass(frozen=True)
+class OpCall:
+    """An aggregation operator invocation, e.g. ``sum(time.duration)``.
+
+    ``args`` holds the raw argument spellings (labels or numbers); operator
+    instantiation resolves them.  ``alias`` renames the output column
+    (``sum(time.duration) AS total``).
+    """
+
+    name: str
+    args: tuple[str, ...] = ()
+    alias: Optional[str] = None
+
+    def unparse(self) -> str:
+        text = self.name if not self.args else f"{self.name}({','.join(self.args)})"
+        if self.alias:
+            text += f" AS {self.alias}"
+        return text
+
+
+class Condition:
+    """Base class for WHERE conditions."""
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Exists(Condition):
+    """``label`` — true when the record has a non-empty value for ``label``."""
+
+    label: str
+
+    def unparse(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class NotCond(Condition):
+    """``not(cond)`` — negation, as in the paper's ``WHERE not(mpi.function)``."""
+
+    inner: Condition
+
+    def unparse(self) -> str:
+        return f"not({self.inner.unparse()})"
+
+
+@dataclass(frozen=True)
+class Compare(Condition):
+    """``label <op> value`` with op in ``= != < <= > >=``."""
+
+    label: str
+    op: str
+    value: Variant
+
+    def unparse(self) -> str:
+        if self.value.type.value in ("string", "usr"):
+            v = '"' + self.value.to_string().replace("\\", "\\\\").replace('"', '\\"') + '"'
+        else:
+            v = self.value.to_string()
+        return f"{self.label}{self.op}{v}"
+
+
+class Expr:
+    """Base class for LET arithmetic expressions."""
+
+    def unparse(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """A reference to an attribute label."""
+
+    label: str
+
+    def unparse(self) -> str:
+        return self.label
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    """A numeric literal."""
+
+    value: float
+
+    def unparse(self) -> str:
+        if self.value == int(self.value):
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinExpr(Expr):
+    """A binary arithmetic expression (``+ - * /``)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def unparse(self) -> str:
+        return f"({self.left.unparse()} {self.op} {self.right.unparse()})"
+
+
+@dataclass(frozen=True)
+class LetBinding:
+    """``LET name = expr`` — a derived attribute computed per input record."""
+
+    name: str
+    expr: Expr
+
+    def unparse(self) -> str:
+        return f"{self.name} = {self.expr.unparse()}"
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    """One ``ORDER BY`` item."""
+
+    label: str
+    ascending: bool = True
+
+    def unparse(self) -> str:
+        return self.label if self.ascending else f"{self.label} DESC"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed CalQL query.
+
+    ``select`` lists projection labels (SELECT bare labels); ``ops`` lists
+    aggregation operator calls from both SELECT and AGGREGATE clauses;
+    ``group_by`` is the aggregation key.  A query with no ``ops`` is a pure
+    filter/projection (no aggregation happens).
+    """
+
+    select: tuple[str, ...] = ()
+    ops: tuple[OpCall, ...] = ()
+    group_by: tuple[str, ...] = ()
+    where: tuple[Condition, ...] = ()
+    order_by: tuple[OrderSpec, ...] = ()
+    let: tuple[LetBinding, ...] = ()
+    format: Optional[str] = None
+    limit: Optional[int] = None
+
+    @property
+    def is_aggregation(self) -> bool:
+        return bool(self.ops)
+
+    def effective_key(self) -> tuple[str, ...]:
+        """The aggregation key: GROUP BY if given, else SELECT bare labels."""
+        if self.group_by:
+            return self.group_by
+        return self.select
+
+    def unparse(self) -> str:
+        """Canonical CalQL text for this query."""
+        parts: list[str] = []
+        if self.let:
+            parts.append("LET " + ", ".join(b.unparse() for b in self.let))
+        if self.select:
+            parts.append("SELECT " + ", ".join(self.select))
+        if self.ops:
+            parts.append("AGGREGATE " + ", ".join(op.unparse() for op in self.ops))
+        if self.where:
+            parts.append("WHERE " + ", ".join(c.unparse() for c in self.where))
+        if self.group_by:
+            parts.append("GROUP BY " + ", ".join(self.group_by))
+        if self.order_by:
+            parts.append("ORDER BY " + ", ".join(o.unparse() for o in self.order_by))
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        if self.format:
+            parts.append(f"FORMAT {self.format}")
+        return " ".join(parts)

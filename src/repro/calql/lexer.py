@@ -1,0 +1,227 @@
+"""Lexer for the CalQL-style aggregation description language.
+
+The language of the paper (Section III-B) borrows its syntax from SQL:
+``AGGREGATE count, sum(time.duration) GROUP BY function, loop.iteration
+WHERE not(mpi.function)``.
+
+Attribute labels in performance data are rich strings — they contain dots
+(``time.duration``), hashes (``iteration#mainloop``), colons and hyphens
+(kernel names like ``advec-mom``) — so the lexer treats all of those as
+identifier characters **when not separated by whitespace**.  ``a-b`` is one
+identifier; ``a - b`` is an arithmetic expression.  This is documented
+behaviour, it is what lets the paper's own label spellings lex unchanged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..common.errors import CalQLSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    KEYWORD = "keyword"
+    COMMA = ","
+    LPAREN = "("
+    RPAREN = ")"
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    EOF = "eof"
+
+
+#: Clause and modifier keywords, matched case-insensitively.
+KEYWORDS = frozenset(
+    {
+        "select",
+        "aggregate",
+        "group",
+        "by",
+        "where",
+        "order",
+        "format",
+        "limit",
+        "let",
+        "asc",
+        "desc",
+        "as",
+        "not",
+    }
+)
+
+#: Characters that may appear inside an identifier beyond alphanumerics.
+_IDENT_EXTRA = set("_.#:@-")
+
+_SINGLE = {
+    ",": TokenType.COMMA,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "+": TokenType.PLUS,
+    "*": TokenType.STAR,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    position: int
+
+    @property
+    def lowered(self) -> str:
+        return self.text.lower()
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.text!r}@{self.position})"
+
+
+def _is_ident_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _IDENT_EXTRA
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into a token list ending with an EOF token."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "#" and (i == 0 or text[i - 1].isspace()):
+            # a '#' at the start of a word continues the *previous* ident in
+            # the paper's line-wrapped style ("iteration # mainloop"); we
+            # treat it as an ident char only inside words, so a free-standing
+            # '#' begins a comment to end of line.
+            j = text.find("\n", i)
+            i = n if j < 0 else j + 1
+            continue
+        start = i
+        if ch in _SINGLE:
+            yield Token(_SINGLE[ch], ch, start)
+            i += 1
+            continue
+        if ch == "/":
+            yield Token(TokenType.SLASH, ch, start)
+            i += 1
+            continue
+        if ch == "=":
+            yield Token(TokenType.EQ, ch, start)
+            i += 1
+            continue
+        if ch == "!":
+            if i + 1 < n and text[i + 1] == "=":
+                yield Token(TokenType.NE, "!=", start)
+                i += 2
+                continue
+            raise CalQLSyntaxError("unexpected '!'", start, text)
+        if ch == "<":
+            if i + 1 < n and text[i + 1] == "=":
+                yield Token(TokenType.LE, "<=", start)
+                i += 2
+            else:
+                yield Token(TokenType.LT, "<", start)
+                i += 1
+            continue
+        if ch == ">":
+            if i + 1 < n and text[i + 1] == "=":
+                yield Token(TokenType.GE, ">=", start)
+                i += 2
+            else:
+                yield Token(TokenType.GT, ">", start)
+                i += 1
+            continue
+        if ch in "\"'":
+            quote = ch
+            i += 1
+            buf = []
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    i += 1
+                buf.append(text[i])
+                i += 1
+            if i >= n:
+                raise CalQLSyntaxError("unterminated string literal", start, text)
+            i += 1  # closing quote
+            yield Token(TokenType.STRING, "".join(buf), start)
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            i = _scan_number(text, i)
+            yield Token(TokenType.NUMBER, text[start:i], start)
+            continue
+        if ch == "-":
+            # a '-' is MINUS unless glued between ident chars (hyphenated label)
+            yield Token(TokenType.MINUS, "-", start)
+            i += 1
+            continue
+        if _is_ident_start(ch):
+            i += 1
+            while i < n and _is_ident_char(text[i]):
+                # '-' stays inside the ident only when followed by another
+                # ident char (so "a-b" is one label but "a- b" is not)
+                if text[i] == "-" and not (i + 1 < n and _is_ident_char(text[i + 1])):
+                    break
+                i += 1
+            word = text[start:i]
+            # The paper line-wraps labels as "iteration # mainloop"; glue a
+            # following '# word' back onto the ident.
+            while True:
+                k = i
+                while k < n and text[k] in " \t":
+                    k += 1
+                if k < n and text[k] == "#":
+                    k += 1
+                    while k < n and text[k] in " \t":
+                        k += 1
+                    if k < n and _is_ident_start(text[k]):
+                        m = k + 1
+                        while m < n and _is_ident_char(text[m]):
+                            m += 1
+                        word = word + "#" + text[k:m]
+                        i = m
+                        continue
+                break
+            if word.lower() in KEYWORDS:
+                yield Token(TokenType.KEYWORD, word, start)
+            else:
+                yield Token(TokenType.IDENT, word, start)
+            continue
+        raise CalQLSyntaxError(f"unexpected character {ch!r}", i, text)
+    yield Token(TokenType.EOF, "", n)
+
+
+def _scan_number(text: str, i: int) -> int:
+    n = len(text)
+    while i < n and (text[i].isdigit() or text[i] == "."):
+        i += 1
+    if i < n and text[i] in "eE":
+        j = i + 1
+        if j < n and text[j] in "+-":
+            j += 1
+        if j < n and text[j].isdigit():
+            i = j
+            while i < n and text[i].isdigit():
+                i += 1
+    return i

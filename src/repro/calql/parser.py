@@ -1,0 +1,347 @@
+"""Recursive-descent parser for CalQL.
+
+Grammar (clauses may appear in any order, each at most once)::
+
+    query      :=  clause*
+    clause     :=  'SELECT'    select_item (',' select_item)*
+                |  'AGGREGATE' agg_item (',' agg_item)*
+                |  'GROUP' 'BY' label (',' label)*
+                |  'WHERE'     cond (',' cond)*
+                |  'ORDER' 'BY' label ['ASC'|'DESC'] (',' ...)*
+                |  'LET'       ident '=' expr (',' ...)*
+                |  'FORMAT'    ident
+                |  'LIMIT'     number
+    select_item := label | op_call
+    agg_item    := label_or_op     # bare 'count' means the count operator
+    op_call     := ident '(' arg (',' arg)* ')'
+    cond        := 'not' '(' cond ')' | label [cmp value]
+    cmp         := '=' | '!=' | '<' | '<=' | '>' | '>='
+    value       := number | string | label
+    expr        := term (('+'|'-') term)*
+    term        := factor (('*'|'/') factor)*
+    factor      := number | label | '(' expr ')'
+
+A bare name in AGGREGATE is an operator with no arguments when the name is
+a known zero-arity operator (``count``), matching the paper's
+``AGGREGATE count, sum(time)`` spelling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.errors import CalQLSyntaxError
+from ..common.variant import Variant
+from .ast import (
+    BinExpr,
+    Compare,
+    Condition,
+    Exists,
+    Expr,
+    LetBinding,
+    NotCond,
+    Num,
+    OpCall,
+    OrderSpec,
+    Query,
+    Ref,
+)
+from .lexer import Token, TokenType, tokenize
+
+__all__ = ["parse_query"]
+
+_COMPARE_TOKENS = {
+    TokenType.EQ: "=",
+    TokenType.NE: "!=",
+    TokenType.LT: "<",
+    TokenType.LE: "<=",
+    TokenType.GT: ">",
+    TokenType.GE: ">=",
+}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.type is not TokenType.EOF:
+            self.pos += 1
+        return tok
+
+    def check(self, ttype: TokenType, text: Optional[str] = None) -> bool:
+        tok = self.current
+        if tok.type is not ttype:
+            return False
+        return text is None or tok.lowered == text
+
+    def accept(self, ttype: TokenType, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(ttype, text):
+            return self.advance()
+        return None
+
+    def expect(self, ttype: TokenType, text: Optional[str] = None) -> Token:
+        if not self.check(ttype, text):
+            want = text or ttype.value
+            got = self.current.text or "end of query"
+            raise CalQLSyntaxError(
+                f"expected {want!r}, got {got!r}", self.current.position, self.text
+            )
+        return self.advance()
+
+    def error(self, message: str) -> CalQLSyntaxError:
+        return CalQLSyntaxError(message, self.current.position, self.text)
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> Query:
+        select: list[str] = []
+        ops: list[OpCall] = []
+        group_by: list[str] = []
+        where: list[Condition] = []
+        order_by: list[OrderSpec] = []
+        let: list[LetBinding] = []
+        fmt: Optional[str] = None
+        limit: Optional[int] = None
+        seen: set[str] = set()
+
+        while not self.check(TokenType.EOF):
+            tok = self.current
+            if tok.type is not TokenType.KEYWORD:
+                raise self.error(f"expected a clause keyword, got {tok.text!r}")
+            clause = tok.lowered
+            if clause in seen:
+                raise self.error(f"duplicate {clause.upper()} clause")
+            seen.add(clause)
+            self.advance()
+
+            if clause == "select":
+                sel_labels, sel_ops = self.parse_select_list()
+                select.extend(sel_labels)
+                ops.extend(sel_ops)
+            elif clause == "aggregate":
+                ops.extend(self.parse_aggregate_list())
+            elif clause == "group":
+                self.expect(TokenType.KEYWORD, "by")
+                group_by.extend(self.parse_label_list())
+            elif clause == "where":
+                where.extend(self.parse_cond_list())
+            elif clause == "order":
+                self.expect(TokenType.KEYWORD, "by")
+                order_by.extend(self.parse_order_list())
+            elif clause == "let":
+                let.extend(self.parse_let_list())
+            elif clause == "format":
+                fmt = self.expect(TokenType.IDENT).text
+            elif clause == "limit":
+                num = self.expect(TokenType.NUMBER)
+                limit = int(float(num.text))
+                if limit < 0:
+                    raise self.error("LIMIT must be non-negative")
+            else:
+                raise self.error(f"unexpected keyword {tok.text!r}")
+
+        return Query(
+            select=tuple(select),
+            ops=tuple(ops),
+            group_by=tuple(group_by),
+            where=tuple(where),
+            order_by=tuple(order_by),
+            let=tuple(let),
+            format=fmt,
+            limit=limit,
+        )
+
+    # SELECT ------------------------------------------------------------------
+
+    def parse_select_list(self) -> tuple[list[str], list[OpCall]]:
+        labels: list[str] = []
+        ops: list[OpCall] = []
+        while True:
+            name = self.expect(TokenType.IDENT).text
+            if self.check(TokenType.LPAREN):
+                ops.append(self.parse_alias(self.parse_op_args(name)))
+            elif name == "count":
+                ops.append(self.parse_alias(OpCall("count")))
+            else:
+                labels.append(name)
+            if not self.accept(TokenType.COMMA):
+                break
+        return labels, ops
+
+    def parse_alias(self, op: OpCall) -> OpCall:
+        """Optional ``AS name`` after an operator call."""
+        if self.accept(TokenType.KEYWORD, "as"):
+            alias = self.expect(TokenType.IDENT).text
+            return OpCall(op.name, op.args, alias)
+        return op
+
+    # AGGREGATE -----------------------------------------------------------------
+
+    def parse_aggregate_list(self) -> list[OpCall]:
+        ops: list[OpCall] = []
+        while True:
+            name = self.expect(TokenType.IDENT).text
+            if self.check(TokenType.LPAREN):
+                op = self.parse_op_args(name)
+            else:
+                # bare operator name (the paper writes "AGGREGATE count")
+                op = OpCall(name)
+            ops.append(self.parse_alias(op))
+            if not self.accept(TokenType.COMMA):
+                break
+        return ops
+
+    def parse_op_args(self, name: str) -> OpCall:
+        self.expect(TokenType.LPAREN)
+        args: list[str] = []
+        if not self.check(TokenType.RPAREN):
+            while True:
+                tok = self.current
+                if tok.type in (TokenType.IDENT, TokenType.NUMBER, TokenType.STRING):
+                    args.append(self.advance().text)
+                elif tok.type is TokenType.MINUS:
+                    self.advance()
+                    num = self.expect(TokenType.NUMBER)
+                    args.append("-" + num.text)
+                else:
+                    raise self.error(f"invalid operator argument {tok.text!r}")
+                if not self.accept(TokenType.COMMA):
+                    break
+        self.expect(TokenType.RPAREN)
+        return OpCall(name, tuple(args))
+
+    # GROUP BY / ORDER BY ----------------------------------------------------------
+
+    def parse_label_list(self) -> list[str]:
+        labels = [self.expect(TokenType.IDENT).text]
+        while self.accept(TokenType.COMMA):
+            labels.append(self.expect(TokenType.IDENT).text)
+        return labels
+
+    def parse_order_list(self) -> list[OrderSpec]:
+        specs: list[OrderSpec] = []
+        while True:
+            label = self.expect(TokenType.IDENT).text
+            ascending = True
+            if self.accept(TokenType.KEYWORD, "desc"):
+                ascending = False
+            else:
+                self.accept(TokenType.KEYWORD, "asc")
+            specs.append(OrderSpec(label, ascending))
+            if not self.accept(TokenType.COMMA):
+                break
+        return specs
+
+    # WHERE -------------------------------------------------------------------
+
+    def parse_cond_list(self) -> list[Condition]:
+        conds = [self.parse_cond()]
+        while self.accept(TokenType.COMMA):
+            conds.append(self.parse_cond())
+        return conds
+
+    def parse_cond(self) -> Condition:
+        if self.accept(TokenType.KEYWORD, "not"):
+            self.expect(TokenType.LPAREN)
+            inner = self.parse_cond()
+            self.expect(TokenType.RPAREN)
+            return NotCond(inner)
+        label = self.expect(TokenType.IDENT).text
+        op = _COMPARE_TOKENS.get(self.current.type)
+        if op is None:
+            return Exists(label)
+        self.advance()
+        return Compare(label, op, self.parse_value())
+
+    def parse_value(self) -> Variant:
+        tok = self.current
+        if tok.type is TokenType.NUMBER:
+            self.advance()
+            return _number_variant(tok.text)
+        if tok.type is TokenType.MINUS:
+            self.advance()
+            num = self.expect(TokenType.NUMBER)
+            return _number_variant("-" + num.text)
+        if tok.type is TokenType.STRING:
+            self.advance()
+            return Variant.of(tok.text)
+        if tok.type in (TokenType.IDENT, TokenType.KEYWORD):
+            self.advance()
+            lowered = tok.lowered
+            if lowered == "true":
+                return Variant.of(True)
+            if lowered == "false":
+                return Variant.of(False)
+            return Variant.of(tok.text)
+        raise self.error(f"expected a comparison value, got {tok.text!r}")
+
+    # LET ---------------------------------------------------------------------
+
+    def parse_let_list(self) -> list[LetBinding]:
+        bindings: list[LetBinding] = []
+        while True:
+            name = self.expect(TokenType.IDENT).text
+            self.expect(TokenType.EQ)
+            bindings.append(LetBinding(name, self.parse_expr()))
+            if not self.accept(TokenType.COMMA):
+                break
+        return bindings
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while self.current.type in (TokenType.PLUS, TokenType.MINUS):
+            op = self.advance().text
+            left = BinExpr(op, left, self.parse_term())
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while self.current.type in (TokenType.STAR, TokenType.SLASH):
+            op = self.advance().text
+            left = BinExpr(op, left, self.parse_factor())
+        return left
+
+    def parse_factor(self) -> Expr:
+        tok = self.current
+        if tok.type is TokenType.NUMBER:
+            self.advance()
+            return Num(float(tok.text))
+        if tok.type is TokenType.MINUS:
+            self.advance()
+            inner = self.parse_factor()
+            return BinExpr("-", Num(0.0), inner)
+        if tok.type is TokenType.IDENT:
+            self.advance()
+            return Ref(tok.text)
+        if self.accept(TokenType.LPAREN):
+            expr = self.parse_expr()
+            self.expect(TokenType.RPAREN)
+            return expr
+        raise self.error(f"invalid expression token {tok.text!r}")
+
+
+def _number_variant(text: str) -> Variant:
+    value = float(text)
+    if "." not in text and "e" not in text.lower() and value == int(value):
+        return Variant.of(int(value))
+    return Variant.of(value)
+
+
+def parse_query(text: str) -> Query:
+    """Parse CalQL ``text`` into a :class:`~repro.calql.ast.Query`.
+
+    Raises :class:`~repro.common.errors.CalQLSyntaxError` with a
+    line/column-annotated message on malformed input.
+    """
+    parser = _Parser(text)
+    return parser.parse()

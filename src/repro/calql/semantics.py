@@ -1,0 +1,261 @@
+"""Semantic analysis and compilation of CalQL queries.
+
+This module turns a validated :class:`~repro.calql.ast.Query` into the
+executable pieces the engines consume:
+
+* :func:`build_scheme` — an :class:`~repro.aggregate.scheme.AggregationScheme`
+  (operator kernels + key + predicate) for queries with aggregations,
+* :func:`compile_conditions` — a fast record predicate for WHERE clauses,
+* :func:`compile_let` — a record transformer adding derived attributes,
+* :func:`validate` — whole-query checks with helpful error messages.
+
+Both the on-line aggregation service and the off-line query engine call
+into here, which is what makes the description language "the same" across
+all aggregation applications.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..aggregate.ops import AggregateOp, OperatorRegistry, default_registry
+from ..aggregate.scheme import AggregationScheme
+from ..common.errors import CalQLSemanticError
+from ..common.record import Record
+from ..common.variant import ValueType, Variant
+from .ast import (
+    BinExpr,
+    Compare,
+    Condition,
+    Exists,
+    Expr,
+    LetBinding,
+    NotCond,
+    Num,
+    Query,
+    Ref,
+)
+
+__all__ = [
+    "validate",
+    "instantiate_ops",
+    "compile_conditions",
+    "compile_let",
+    "build_scheme",
+]
+
+_KNOWN_FORMATS = frozenset({"table", "csv", "json", "tree", "records", "expand"})
+
+
+def validate(query: Query, registry: Optional[OperatorRegistry] = None) -> None:
+    """Raise :class:`CalQLSemanticError` for meaningless queries."""
+    registry = registry or default_registry()
+    if not (query.ops or query.select or query.where or query.let or query.group_by):
+        raise CalQLSemanticError("query is empty: nothing to select, aggregate, or filter")
+    if query.group_by and not query.ops:
+        raise CalQLSemanticError(
+            "GROUP BY without any aggregation operator; add an AGGREGATE clause"
+        )
+    for op in query.ops:
+        if op.name not in registry and op.args:
+            raise CalQLSemanticError(
+                f"unknown aggregation operator {op.name!r}; known: "
+                + ", ".join(registry.known())
+            )
+    if query.format is not None and query.format.lower() not in _KNOWN_FORMATS:
+        raise CalQLSemanticError(
+            f"unknown FORMAT {query.format!r}; known: " + ", ".join(sorted(_KNOWN_FORMATS))
+        )
+    let_names = [b.name for b in query.let]
+    if len(set(let_names)) != len(let_names):
+        dupes = sorted({n for n in let_names if let_names.count(n) > 1})
+        raise CalQLSemanticError(f"duplicate LET binding(s): {', '.join(dupes)}")
+    # Instantiating catches arity and parameter errors early.
+    instantiate_ops(query, registry)
+
+
+def instantiate_ops(
+    query: Query, registry: Optional[OperatorRegistry] = None
+) -> list[AggregateOp]:
+    """Create operator kernels for every op call in the query.
+
+    A bare name that is not a registered operator is an *aggregation
+    attribute* reduced with the default operator (``sum``) — the paper's
+    Fig. 6 writes ``AGGREGATE count, time.duration`` in exactly this style.
+    """
+    registry = registry or default_registry()
+    ops: list[AggregateOp] = []
+    try:
+        for op in query.ops:
+            if op.name not in registry and not op.args:
+                kernel = registry.create("sum", [op.name])
+            else:
+                kernel = registry.create(op.name, list(op.args))
+            if op.alias:
+                from ..aggregate.ops import AliasedOp
+
+                kernel = AliasedOp(kernel, op.alias)
+            ops.append(kernel)
+    except Exception as exc:
+        raise CalQLSemanticError(str(exc)) from exc
+    return ops
+
+
+# -- WHERE compilation -----------------------------------------------------------
+
+
+def _compile_one(cond: Condition) -> Callable[[Record], bool]:
+    if isinstance(cond, Exists):
+        label = cond.label
+
+        def exists(record: Record, _label: str = label) -> bool:
+            return not record.get(_label).is_empty
+
+        return exists
+    if isinstance(cond, NotCond):
+        inner = _compile_one(cond.inner)
+
+        def negate(record: Record, _inner=inner) -> bool:
+            return not _inner(record)
+
+        return negate
+    if isinstance(cond, Compare):
+        label, op, target = cond.label, cond.op, cond.value
+
+        def compare(record: Record, _label=label, _op=op, _target=target) -> bool:
+            v = record.get(_label)
+            if v.is_empty:
+                return False
+            # Cross-type compares: numeric target against string value (or
+            # vice versa) compares the string renderings for equality only.
+            if _op == "=":
+                return _loose_eq(v, _target)
+            if _op == "!=":
+                return not _loose_eq(v, _target)
+            try:
+                if _op == "<":
+                    return v < _target
+                if _op == "<=":
+                    return v <= _target
+                if _op == ">":
+                    return v > _target
+                if _op == ">=":
+                    return v >= _target
+            except TypeError:  # pragma: no cover - Variant orders totally
+                return False
+            raise CalQLSemanticError(f"unknown comparison operator {_op!r}")
+
+        return compare
+    raise CalQLSemanticError(f"unknown condition type {type(cond).__name__}")
+
+
+def _loose_eq(v: Variant, target: Variant) -> bool:
+    if v == target:
+        return True
+    # Allow "mpi.rank=3" to match whether the stored value is int or string.
+    if (v.type is ValueType.STRING) != (target.type is ValueType.STRING):
+        return v.to_string() == target.to_string()
+    return False
+
+
+def compile_conditions(conds: Sequence[Condition]) -> Optional[Callable[[Record], bool]]:
+    """Compile a WHERE list into one predicate (comma means AND).
+
+    Returns ``None`` for an empty list so callers can skip the call entirely.
+    """
+    if not conds:
+        return None
+    compiled = [_compile_one(c) for c in conds]
+    if len(compiled) == 1:
+        return compiled[0]
+
+    def conjunction(record: Record, _compiled=tuple(compiled)) -> bool:
+        for check in _compiled:
+            if not check(record):
+                return False
+        return True
+
+    return conjunction
+
+
+# -- LET compilation --------------------------------------------------------------
+
+
+def _eval_expr(expr: Expr, record: Record) -> Optional[float]:
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Ref):
+        v = record.get(expr.label)
+        if v.is_empty or not v.is_numeric:
+            return None
+        return v.to_double()
+    if isinstance(expr, BinExpr):
+        left = _eval_expr(expr.left, record)
+        right = _eval_expr(expr.right, record)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right if right != 0.0 else None
+        raise CalQLSemanticError(f"unknown arithmetic operator {expr.op!r}")
+    raise CalQLSemanticError(f"unknown expression type {type(expr).__name__}")
+
+
+def compile_let(bindings: Sequence[LetBinding]) -> Optional[Callable[[Record], Record]]:
+    """Compile LET bindings into a record transformer.
+
+    A binding whose expression references a missing or non-numeric attribute
+    simply does not produce the derived attribute for that record (the
+    flexible data model tolerates sparse attributes).  Bindings see earlier
+    bindings' results, so ``LET a = x*2, b = a+1`` works.
+    """
+    if not bindings:
+        return None
+    compiled = [(b.name, b.expr) for b in bindings]
+
+    def transform(record: Record, _compiled=tuple(compiled)) -> Record:
+        extra: dict[str, Variant] = {}
+        current = record
+        for name, expr in _compiled:
+            value = _eval_expr(expr, current)
+            if value is not None:
+                extra[name] = Variant.of(value)
+                current = current.with_entries({name: extra[name]})
+        if not extra:
+            return record
+        return current
+
+    return transform
+
+
+# -- scheme construction ------------------------------------------------------------
+
+
+def build_scheme(
+    query: Query,
+    registry: Optional[OperatorRegistry] = None,
+    key_strategy: str = "tuple",
+) -> AggregationScheme:
+    """Build the :class:`AggregationScheme` a query describes.
+
+    Raises :class:`CalQLSemanticError` if the query has no aggregation
+    operators — use the query engine directly for pure filter queries.
+    """
+    validate(query, registry)
+    if not query.ops:
+        raise CalQLSemanticError(
+            "query has no aggregation operators; an aggregation scheme needs AGGREGATE"
+        )
+    ops = instantiate_ops(query, registry)
+    predicate = compile_conditions(query.where)
+    return AggregationScheme(
+        ops=ops,
+        key=query.effective_key(),
+        predicate=predicate,
+        key_strategy=key_strategy,
+    )

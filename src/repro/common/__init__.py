@@ -1,0 +1,59 @@
+"""Common data-model building blocks shared by every subsystem."""
+
+from .attribute import AttrProperty, Attribute, AttributeRegistry
+from .errors import (
+    AggregationError,
+    BlackboardError,
+    CalQLSemanticError,
+    CalQLSyntaxError,
+    ChannelError,
+    CommunicatorError,
+    ConfigError,
+    DatasetError,
+    DeadlockError,
+    DuplicateAttributeError,
+    FormatError,
+    OperatorError,
+    QueryError,
+    ReproError,
+    ServiceError,
+    SimMPIError,
+    TypeMismatchError,
+    UnknownAttributeError,
+)
+from .node import PATH_SEPARATOR, ContextTree, Node
+from .record import Entry, Record, make_record
+from .variant import ValueType, Variant
+
+__all__ = [
+    "AttrProperty",
+    "Attribute",
+    "AttributeRegistry",
+    "ContextTree",
+    "Node",
+    "PATH_SEPARATOR",
+    "Entry",
+    "Record",
+    "make_record",
+    "ValueType",
+    "Variant",
+    # errors
+    "ReproError",
+    "DuplicateAttributeError",
+    "UnknownAttributeError",
+    "TypeMismatchError",
+    "BlackboardError",
+    "ChannelError",
+    "ConfigError",
+    "ServiceError",
+    "QueryError",
+    "CalQLSyntaxError",
+    "CalQLSemanticError",
+    "OperatorError",
+    "AggregationError",
+    "FormatError",
+    "DatasetError",
+    "SimMPIError",
+    "CommunicatorError",
+    "DeadlockError",
+]

@@ -1,0 +1,144 @@
+"""Exception hierarchy for the repro profiling framework.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base type.  Subsystems raise the most specific subclass available;
+error messages always carry enough context (attribute label, query text
+position, file offset, ...) to be actionable without a debugger.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "AttributeError_",
+    "DuplicateAttributeError",
+    "UnknownAttributeError",
+    "TypeMismatchError",
+    "BlackboardError",
+    "ChannelError",
+    "ConfigError",
+    "ServiceError",
+    "QueryError",
+    "CalQLSyntaxError",
+    "CalQLSemanticError",
+    "OperatorError",
+    "AggregationError",
+    "FormatError",
+    "DatasetError",
+    "SimMPIError",
+    "CommunicatorError",
+    "DeadlockError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro framework."""
+
+
+class AttributeError_(ReproError):
+    """Base class for attribute-registry errors.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`AttributeError`.
+    """
+
+
+class DuplicateAttributeError(AttributeError_):
+    """An attribute with the same label but conflicting metadata exists."""
+
+    def __init__(self, label: str, detail: str = "") -> None:
+        msg = f"attribute {label!r} already exists with different metadata"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.label = label
+
+
+class UnknownAttributeError(AttributeError_):
+    """A lookup referenced an attribute label or id that was never created."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"unknown attribute: {key!r}")
+        self.key = key
+
+
+class TypeMismatchError(ReproError):
+    """A value did not match the declared attribute type."""
+
+
+class BlackboardError(ReproError):
+    """Invalid blackboard operation (e.g. unmatched end())."""
+
+
+class ChannelError(ReproError):
+    """Invalid channel lifecycle operation."""
+
+
+class ConfigError(ReproError):
+    """Malformed runtime configuration."""
+
+
+class ServiceError(ReproError):
+    """A service failed to register or process a snapshot."""
+
+
+class QueryError(ReproError):
+    """Base class for query-language and query-engine errors."""
+
+
+class CalQLSyntaxError(QueryError):
+    """The CalQL text failed to lex or parse.
+
+    Carries the character ``position`` within the query string so tools can
+    print a caret diagnostic.
+    """
+
+    def __init__(self, message: str, position: int = -1, text: str = "") -> None:
+        if position >= 0 and text:
+            line = text[:position].count("\n") + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)
+        self.position = position
+
+
+class CalQLSemanticError(QueryError):
+    """The CalQL text parsed but is not a meaningful query."""
+
+
+class OperatorError(ReproError):
+    """Unknown aggregation operator or invalid operator arguments."""
+
+
+class AggregationError(ReproError):
+    """Failure inside the aggregation engine itself."""
+
+
+class FormatError(ReproError):
+    """Failure while reading or writing a serialization format."""
+
+
+class DatasetError(ReproError):
+    """Failure while assembling or querying a multi-file dataset."""
+
+
+class SimMPIError(ReproError):
+    """Base class for errors in the discrete-event MPI simulator."""
+
+
+class CommunicatorError(SimMPIError):
+    """Invalid communicator operation (bad rank, tag, mismatched collective)."""
+
+
+class DeadlockError(SimMPIError):
+    """The simulated program can make no further progress.
+
+    Raised by the scheduler when every live rank is blocked and no message
+    or event can unblock any of them; the message lists the blocked ranks
+    and the operation each is waiting on.
+    """
+
+    def __init__(self, blocked: dict[int, str]) -> None:
+        detail = ", ".join(f"rank {r}: {op}" for r, op in sorted(blocked.items()))
+        super().__init__(f"simulated MPI deadlock; blocked ranks: {detail}")
+        self.blocked = blocked

@@ -1,0 +1,132 @@
+"""Context tree: interning of nested attribute values.
+
+Caliper stores nested begin/end annotation values in a global context tree;
+snapshot records then reference a single tree node instead of repeating the
+whole path of open regions.  We reproduce that structure because it is what
+makes the ``.cali``-like file format compact (node records are written once,
+snapshot lines reference node ids) and it defines the path semantics of
+``NESTED`` attributes (a node's value in a snapshot is the slash-joined path
+of values from the root).
+
+The tree is append-only and interning: asking for the same (parent,
+attribute, value) child twice returns the same node.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional
+
+from .attribute import Attribute
+from .variant import Variant
+
+__all__ = ["Node", "ContextTree", "PATH_SEPARATOR"]
+
+#: Separator used when flattening a nested node path into a string value.
+PATH_SEPARATOR = "/"
+
+
+class Node:
+    """A node in the context tree.
+
+    ``id`` is the node's index in its tree's node table and is what snapshot
+    lines in the file format reference.
+    """
+
+    __slots__ = ("id", "attribute", "value", "parent", "_children")
+
+    def __init__(
+        self,
+        node_id: int,
+        attribute: Optional[Attribute],
+        value: Variant,
+        parent: Optional["Node"],
+    ) -> None:
+        self.id = node_id
+        self.attribute = attribute  # None only for the root sentinel
+        self.value = value
+        self.parent = parent
+        self._children: dict[tuple[int, Variant], "Node"] = {}
+
+    @property
+    def is_root(self) -> bool:
+        return self.attribute is None
+
+    def path_to_root(self) -> Iterator["Node"]:
+        """Yield this node and its ancestors, nearest first, excluding root."""
+        node: Optional[Node] = self
+        while node is not None and not node.is_root:
+            yield node
+            node = node.parent
+
+    def path_values(self, attribute: Attribute) -> list[Variant]:
+        """Values of ``attribute`` along the root-to-here path, root first."""
+        values = [n.value for n in self.path_to_root() if n.attribute == attribute]
+        values.reverse()
+        return values
+
+    def path_string(self, attribute: Attribute) -> str:
+        """Slash-joined path of ``attribute`` values (the NESTED snapshot value)."""
+        return PATH_SEPARATOR.join(v.to_string() for v in self.path_values(attribute))
+
+    def attributes_on_path(self) -> list[Attribute]:
+        """Distinct attributes present on the root-to-here path."""
+        seen: dict[int, Attribute] = {}
+        for n in self.path_to_root():
+            assert n.attribute is not None
+            seen.setdefault(n.attribute.id, n.attribute)
+        return list(seen.values())
+
+    def __repr__(self) -> str:
+        label = self.attribute.label if self.attribute else "<root>"
+        return f"Node(id={self.id}, {label}={self.value.to_string()!r})"
+
+
+class ContextTree:
+    """Append-only interning tree of (attribute, value) nodes.
+
+    Thread-safe.  ``get_child`` is the hot operation; it takes the parent's
+    child table lock-free on the read path and falls back to a tree-wide
+    lock only when inserting.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.root = Node(-1, None, Variant.empty(), None)
+        self._nodes: list[Node] = []
+
+    def get_child(self, parent: Optional[Node], attribute: Attribute, value: Variant) -> Node:
+        """Return (creating if needed) the child of ``parent`` for (attribute, value)."""
+        if parent is None:
+            parent = self.root
+        key = (attribute.id, value)
+        child = parent._children.get(key)
+        if child is not None:
+            return child
+        with self._lock:
+            child = parent._children.get(key)
+            if child is None:
+                child = Node(len(self._nodes), attribute, value, parent)
+                self._nodes.append(child)
+                parent._children[key] = child
+            return child
+
+    def get_path(self, attribute: Attribute, values: list[Variant],
+                 parent: Optional[Node] = None) -> Optional[Node]:
+        """Intern a chain of nodes for ``values`` under ``parent``.
+
+        Returns the deepest node, or ``parent``/None for an empty list.
+        """
+        node = parent
+        for value in values:
+            node = self.get_child(node, attribute, value)
+        return node
+
+    def node(self, node_id: int) -> Node:
+        return self._nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)

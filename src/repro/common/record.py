@@ -1,0 +1,130 @@
+"""Snapshot records: the unit of performance data.
+
+A :class:`Record` is a set of independent key:value attributes, exactly the
+model of Section III-A of the paper: subsequent records in a stream may have
+entirely different attribute sets.  Keys are attribute *labels* (interned
+strings); values are :class:`~repro.common.variant.Variant` instances.
+
+Records are deliberately a thin mapping type: the aggregation engine touches
+millions of them, so every operation here is dict-speed.  Attribute metadata
+(types, properties) lives in the :class:`AttributeRegistry`, not in each
+record.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+from .variant import RawValue, Variant
+
+__all__ = ["Entry", "Record", "make_record"]
+
+#: A single (label, value) pair as stored in a record.
+Entry = Tuple[str, Variant]
+
+
+class Record:
+    """An immutable-ish snapshot record.
+
+    The constructor accepts raw Python values and wraps them in Variants;
+    use :meth:`from_variants` when values are already typed (hot paths).
+
+    >>> r = Record({"function": "foo", "time.duration": 251})
+    >>> r["function"].to_string()
+    'foo'
+    >>> sorted(r.labels())
+    ['function', 'time.duration']
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Optional[Mapping[str, Union[RawValue, Variant]]] = None) -> None:
+        data: dict[str, Variant] = {}
+        if entries:
+            for label, value in entries.items():
+                data[label] = Variant.of(value)
+        self._entries = data
+
+    @classmethod
+    def from_variants(cls, entries: dict[str, Variant]) -> "Record":
+        """Wrap an existing ``{label: Variant}`` dict without copying.
+
+        The caller must not mutate ``entries`` afterwards.
+        """
+        rec = cls.__new__(cls)
+        rec._entries = entries
+        return rec
+
+    # -- mapping interface ---------------------------------------------------
+
+    def __getitem__(self, label: str) -> Variant:
+        return self._entries[label]
+
+    def get(self, label: str, default: Variant = Variant.empty()) -> Variant:
+        return self._entries.get(label, default)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def labels(self) -> Iterable[str]:
+        return self._entries.keys()
+
+    def items(self) -> Iterable[Entry]:
+        return self._entries.items()
+
+    def as_dict(self) -> dict[str, Variant]:
+        """A copy of the underlying entries."""
+        return dict(self._entries)
+
+    def to_plain(self) -> dict[str, RawValue]:
+        """Untyped dict of raw Python values, for display and JSON."""
+        return {label: v.value for label, v in self._entries.items()}  # type: ignore[misc]
+
+    # -- derived records -------------------------------------------------------
+
+    def with_entries(self, extra: Mapping[str, Union[RawValue, Variant]]) -> "Record":
+        """A new record with ``extra`` entries added/overriding."""
+        data = dict(self._entries)
+        for label, value in extra.items():
+            data[label] = Variant.of(value)
+        return Record.from_variants(data)
+
+    def project(self, labels: Iterable[str]) -> "Record":
+        """A new record restricted to ``labels`` (missing ones dropped)."""
+        data = {lbl: self._entries[lbl] for lbl in labels if lbl in self._entries}
+        return Record.from_variants(data)
+
+    def drop(self, labels: Iterable[str]) -> "Record":
+        """A new record without ``labels``."""
+        dropset = set(labels)
+        data = {lbl: v for lbl, v in self._entries.items() if lbl not in dropset}
+        return Record.from_variants(data)
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._entries.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r}: {v.to_string()!r}" for k, v in sorted(self._entries.items()))
+        return "Record({" + inner + "})"
+
+
+def make_record(**kwargs: Union[RawValue, Variant]) -> Record:
+    """Convenience constructor: ``make_record(function="foo", time=251)``.
+
+    Keyword names with ``__`` are translated to ``.`` so dotted labels can be
+    written inline: ``make_record(time__duration=251)``.
+    """
+    return Record({k.replace("__", "."): v for k, v in kwargs.items()})

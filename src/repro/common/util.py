@@ -1,0 +1,90 @@
+"""Small shared helpers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "stable_hash64",
+    "format_count",
+    "format_duration",
+    "chunk_evenly",
+    "is_power_of_two",
+    "parent_of",
+    "children_of",
+]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def stable_hash64(data: bytes) -> int:
+    """64-bit FNV-1a hash.
+
+    Used where we need a hash that is stable across processes and Python
+    runs (Python's builtin ``hash`` for str is salted per process, which
+    would break cross-"process" aggregation-key exchange in the simulator).
+    """
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+def format_count(n: int) -> str:
+    """Thousands-separated count, as the paper prints them (219 382)."""
+    return f"{n:,}".replace(",", " ")
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration with a sensible unit."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.3f} s"
+    return f"{seconds / 60.0:.2f} min"
+
+
+def chunk_evenly(items: Sequence, parts: int) -> list[list]:
+    """Split ``items`` into ``parts`` contiguous chunks of near-equal size.
+
+    The first ``len(items) % parts`` chunks get one extra element; chunks may
+    be empty when there are more parts than items.  This is the file
+    assignment policy of the MPI query application.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    n = len(items)
+    base, extra = divmod(n, parts)
+    chunks: list[list] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+def is_power_of_two(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def parent_of(rank: int, fanout: int = 2) -> int:
+    """Parent of ``rank`` in a k-ary reduction tree rooted at 0."""
+    if rank == 0:
+        raise ValueError("rank 0 is the root and has no parent")
+    return (rank - 1) // fanout
+
+
+def children_of(rank: int, size: int, fanout: int = 2) -> list[int]:
+    """Children of ``rank`` in a k-ary reduction tree over ``size`` ranks."""
+    first = rank * fanout + 1
+    return [c for c in range(first, min(first + fanout, size))]

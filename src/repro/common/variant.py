@@ -1,0 +1,253 @@
+"""Typed values for the key:value performance-data model.
+
+The paper's data model allows string, integer, and floating-point attribute
+values.  :class:`Variant` is the tagged value used throughout the framework:
+it pairs a :class:`ValueType` tag with a plain Python payload, provides a
+total order within a type class (needed for ``min``/``max`` operators and
+``ORDER BY``), and round-trips through the text serialization formats.
+
+We additionally support booleans and unsigned integers because Caliper does
+(``bool``, ``uint``); they cost nothing and make the MPI-rank / iteration
+attributes natural.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Union
+
+from .errors import TypeMismatchError
+
+__all__ = ["ValueType", "Variant", "RawValue"]
+
+RawValue = Union[str, int, float, bool]
+
+
+class ValueType(enum.Enum):
+    """Type tag for attribute values.
+
+    The wire names (``.value``) match Caliper's type names so our ``.cali``
+    -like format stays familiar.
+    """
+
+    INV = "inv"  # invalid / empty
+    INT = "int"
+    UINT = "uint"
+    DOUBLE = "double"
+    STRING = "string"
+    BOOL = "bool"
+    USR = "usr"  # opaque user data (kept as string)
+
+    @classmethod
+    def from_name(cls, name: str) -> "ValueType":
+        for member in cls:
+            if member.value == name:
+                return member
+        raise TypeMismatchError(f"unknown value type name: {name!r}")
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (ValueType.INT, ValueType.UINT, ValueType.DOUBLE)
+
+
+def _infer_type(value: RawValue) -> ValueType:
+    # bool must be tested before int: bool is an int subclass.
+    if isinstance(value, bool):
+        return ValueType.BOOL
+    if isinstance(value, int):
+        return ValueType.INT
+    if isinstance(value, float):
+        return ValueType.DOUBLE
+    if isinstance(value, str):
+        return ValueType.STRING
+    raise TypeMismatchError(
+        f"cannot infer attribute type for {type(value).__name__} value {value!r}"
+    )
+
+
+class Variant:
+    """An immutable tagged value.
+
+    >>> Variant.of(17)
+    Variant(int, 17)
+    >>> Variant.of(2.5).to_double()
+    2.5
+    >>> Variant("uint", 3) < Variant("uint", 9)
+    True
+    """
+
+    __slots__ = ("type", "value")
+
+    #: Singleton-ish empty variant; compares equal to other empties.
+    def __init__(self, vtype: Union[ValueType, str], value: RawValue | None) -> None:
+        if isinstance(vtype, str):
+            vtype = ValueType.from_name(vtype)
+        if vtype is ValueType.INV:
+            value = None
+        else:
+            value = _coerce(vtype, value)
+        object.__setattr__(self, "type", vtype)
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("Variant is immutable")
+
+    def __reduce__(self):
+        # Explicit reduction: the immutability guard breaks pickle's default
+        # slot restoration, and payload-size estimation in the MPI simulator
+        # pickles records.
+        return (Variant, (self.type.value, self.value))
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def of(cls, value: "RawValue | Variant | None") -> "Variant":
+        """Build a variant by inferring the type from a Python value."""
+        if isinstance(value, Variant):
+            return value
+        if value is None:
+            return EMPTY_VARIANT
+        return cls(_infer_type(value), value)
+
+    @classmethod
+    def empty(cls) -> "Variant":
+        return EMPTY_VARIANT
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return self.type is ValueType.INV
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.type.is_numeric
+
+    # -- conversions -------------------------------------------------------
+
+    def to_int(self) -> int:
+        """Return the value as an int; raises for non-numeric variants."""
+        if self.type in (ValueType.INT, ValueType.UINT):
+            return self.value  # type: ignore[return-value]
+        if self.type is ValueType.DOUBLE:
+            return int(self.value)  # type: ignore[arg-type]
+        if self.type is ValueType.BOOL:
+            return int(self.value)  # type: ignore[arg-type]
+        raise TypeMismatchError(f"cannot convert {self!r} to int")
+
+    def to_double(self) -> float:
+        if self.type.is_numeric or self.type is ValueType.BOOL:
+            return float(self.value)  # type: ignore[arg-type]
+        raise TypeMismatchError(f"cannot convert {self!r} to double")
+
+    def to_string(self) -> str:
+        """Text form used by formatters and the .cali writer."""
+        if self.type is ValueType.INV:
+            return ""
+        if self.type is ValueType.BOOL:
+            return "true" if self.value else "false"
+        if self.type is ValueType.DOUBLE:
+            # repr keeps round-trip precision; strip the trailing '.0' noise
+            # for integral doubles to keep tables compact.
+            v = self.value
+            assert isinstance(v, float)
+            if math.isfinite(v) and v == int(v) and abs(v) < 1e15:
+                return str(int(v))
+            return repr(v)
+        return str(self.value)
+
+    @classmethod
+    def parse(cls, vtype: Union[ValueType, str], text: str) -> "Variant":
+        """Inverse of :meth:`to_string` for a known type."""
+        if isinstance(vtype, str):
+            vtype = ValueType.from_name(vtype)
+        if vtype is ValueType.INV:
+            return EMPTY_VARIANT
+        if vtype in (ValueType.INT, ValueType.UINT):
+            return cls(vtype, int(text))
+        if vtype is ValueType.DOUBLE:
+            return cls(vtype, float(text))
+        if vtype is ValueType.BOOL:
+            lowered = text.strip().lower()
+            if lowered in ("true", "1"):
+                return cls(vtype, True)
+            if lowered in ("false", "0"):
+                return cls(vtype, False)
+            raise TypeMismatchError(f"cannot parse bool from {text!r}")
+        return cls(vtype, text)
+
+    # -- comparisons -------------------------------------------------------
+
+    def _order_key(self) -> tuple:
+        # Numeric types compare by value across int/uint/double; everything
+        # else compares within its own type class.  Mixed-class comparisons
+        # order by type name so sorting heterogeneous columns is stable.
+        if self.type.is_numeric or self.type is ValueType.BOOL:
+            return (0, float(self.value))  # type: ignore[arg-type]
+        if self.type is ValueType.INV:
+            return (-1, 0.0)
+        return (1, self.type.value, self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Variant):
+            return NotImplemented
+        if self.type.is_numeric and other.type.is_numeric:
+            return float(self.value) == float(other.value)  # type: ignore[arg-type]
+        return self.type is other.type and self.value == other.value
+
+    def __lt__(self, other: "Variant") -> bool:
+        return self._order_key() < other._order_key()
+
+    def __le__(self, other: "Variant") -> bool:
+        return self._order_key() <= other._order_key()
+
+    def __gt__(self, other: "Variant") -> bool:
+        return self._order_key() > other._order_key()
+
+    def __ge__(self, other: "Variant") -> bool:
+        return self._order_key() >= other._order_key()
+
+    def __hash__(self) -> int:
+        if self.type.is_numeric:
+            return hash(float(self.value))  # type: ignore[arg-type]
+        return hash((self.type, self.value))
+
+    def __repr__(self) -> str:
+        return f"Variant({self.type.value}, {self.value!r})"
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+
+def _coerce(vtype: ValueType, value: RawValue | None) -> RawValue:
+    """Validate/convert a raw Python value for the declared type."""
+    if value is None:
+        raise TypeMismatchError(f"None is not a valid {vtype.value} value")
+    if vtype in (ValueType.INT, ValueType.UINT):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(f"{value!r} is not a valid {vtype.value} value")
+        ivalue = int(value)
+        if ivalue != value:
+            raise TypeMismatchError(f"{value!r} would lose precision as {vtype.value}")
+        if vtype is ValueType.UINT and ivalue < 0:
+            raise TypeMismatchError(f"negative value {value!r} for uint attribute")
+        return ivalue
+    if vtype is ValueType.DOUBLE:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(f"{value!r} is not a valid double value")
+        return float(value)
+    if vtype is ValueType.BOOL:
+        if not isinstance(value, bool):
+            raise TypeMismatchError(f"{value!r} is not a valid bool value")
+        return value
+    if vtype in (ValueType.STRING, ValueType.USR):
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"{value!r} is not a valid string value")
+        return value
+    raise TypeMismatchError(f"unsupported value type {vtype}")  # pragma: no cover
+
+
+EMPTY_VARIANT = Variant.__new__(Variant)
+object.__setattr__(EMPTY_VARIANT, "type", ValueType.INV)
+object.__setattr__(EMPTY_VARIANT, "value", None)

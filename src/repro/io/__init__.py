@@ -1,0 +1,20 @@
+"""Record serialization: compact .cali-like, JSON lines, CSV; datasets."""
+
+from .calformat import CaliReader, CaliWriter, read_cali, write_cali
+from .csvio import read_csv, write_csv
+from .dataset import Dataset, read_records, write_records
+from .jsonio import read_json, write_json
+
+__all__ = [
+    "CaliReader",
+    "CaliWriter",
+    "read_cali",
+    "write_cali",
+    "read_csv",
+    "write_csv",
+    "read_json",
+    "write_json",
+    "Dataset",
+    "read_records",
+    "write_records",
+]

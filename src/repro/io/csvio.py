@@ -1,0 +1,91 @@
+"""CSV serialization of record streams.
+
+CSV flattens the flexible data model onto a fixed column set (the union of
+all labels), so it is lossy about *types* on read-back (values come back via
+inference) — intended for handing results to spreadsheet/pandas workflows,
+not for archival.  Column order: sorted labels, with any labels passed in
+``preferred`` first (the query engine passes the aggregation key so tables
+read naturally).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, Sequence, TextIO, Union
+
+from ..common.record import Record
+from ..common.variant import Variant
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def collect_columns(
+    records: Sequence[Record], preferred: Sequence[str] = ()
+) -> list[str]:
+    """Union of record labels, preferred labels first, rest sorted."""
+    seen: set[str] = set()
+    for record in records:
+        seen.update(record.labels())
+    ordered = [label for label in preferred if label in seen]
+    ordered.extend(sorted(seen - set(ordered)))
+    return ordered
+
+
+def write_csv(
+    path_or_stream: Union[str, os.PathLike, TextIO],
+    records: Iterable[Record],
+    preferred: Sequence[str] = (),
+) -> int:
+    """Write records as CSV; returns the record count."""
+    if isinstance(path_or_stream, (str, os.PathLike)):
+        with open(path_or_stream, "w", encoding="utf-8", newline="") as stream:
+            return write_csv(stream, records, preferred)
+    stream = path_or_stream
+
+    materialized = list(records)
+    columns = collect_columns(materialized, preferred)
+    writer = csv.writer(stream)
+    writer.writerow(columns)
+    for record in materialized:
+        writer.writerow([record.get(col).to_string() for col in columns])
+    return len(materialized)
+
+
+def read_csv(path_or_stream: Union[str, os.PathLike, TextIO]) -> list[Record]:
+    """Read CSV into records; empty cells are dropped, types inferred."""
+    if isinstance(path_or_stream, (str, os.PathLike)):
+        with open(path_or_stream, "r", encoding="utf-8", newline="") as stream:
+            return read_csv(stream)
+    stream = path_or_stream
+
+    reader = csv.reader(stream)
+    try:
+        columns = next(reader)
+    except StopIteration:
+        return []
+    records: list[Record] = []
+    for row in reader:
+        entries: dict[str, Variant] = {}
+        for label, cell in zip(columns, row):
+            if cell == "":
+                continue
+            entries[label] = _infer(cell)
+        records.append(Record.from_variants(entries))
+    return records
+
+
+def _infer(cell: str) -> Variant:
+    try:
+        return Variant.of(int(cell))
+    except ValueError:
+        pass
+    try:
+        return Variant.of(float(cell))
+    except ValueError:
+        pass
+    if cell == "true":
+        return Variant.of(True)
+    if cell == "false":
+        return Variant.of(False)
+    return Variant.of(cell)

@@ -1,0 +1,203 @@
+"""Datasets: in-memory record collections and multi-file loading.
+
+A :class:`Dataset` is what off-line analysis works on: records plus run
+globals, loadable from one or many files (the per-process files a parallel
+run produces).  It offers the pandas-like conveniences the analytical
+workflow wants — ``query`` with CalQL text, column access, iteration — while
+staying a thin list-of-records wrapper underneath.
+"""
+
+from __future__ import annotations
+
+import glob as globmod
+import os
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Union
+
+from ..common.errors import DatasetError
+from ..common.record import Record
+from ..common.variant import Variant
+from .calformat import read_cali, write_cali
+from .csvio import write_csv
+from .jsonio import read_json, write_json
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..query.engine import QueryResult
+
+__all__ = ["Dataset", "write_records", "read_records"]
+
+
+def _format_of(path: Union[str, os.PathLike]) -> str:
+    ext = os.path.splitext(os.fspath(path))[1].lower()
+    if ext == ".cali":
+        return "cali"
+    if ext in (".json", ".jsonl"):
+        return "json"
+    if ext == ".csv":
+        return "csv"
+    raise DatasetError(f"cannot infer record format from extension {ext!r} ({path})")
+
+
+def write_records(
+    path: Union[str, os.PathLike],
+    records: Iterable[Record],
+    globals_: Optional[dict[str, object]] = None,
+) -> int:
+    """Write records to ``path``, format chosen by extension."""
+    fmt = _format_of(path)
+    if fmt == "cali":
+        return write_cali(path, records, globals_=globals_)
+    if fmt == "json":
+        return write_json(path, records, globals_=globals_)
+    return write_csv(path, records)
+
+
+def read_records(path: Union[str, os.PathLike]) -> tuple[list[Record], dict[str, Variant]]:
+    """Read records (and globals, if the format has them) from ``path``."""
+    fmt = _format_of(path)
+    if fmt == "cali":
+        records, globals_ = read_cali(path, with_globals=True)
+        return records, globals_
+    if fmt == "json":
+        records, globals_ = read_json(path, with_globals=True)
+        return records, globals_
+    from .csvio import read_csv
+
+    return read_csv(path), {}
+
+
+class Dataset:
+    """Records + globals, with query and export conveniences."""
+
+    def __init__(
+        self,
+        records: Iterable[Record] = (),
+        globals_: Optional[dict[str, Variant]] = None,
+        sources: Sequence[str] = (),
+    ) -> None:
+        self.records: list[Record] = list(records)
+        self.globals: dict[str, Variant] = dict(globals_ or {})
+        #: file paths this dataset was assembled from (informational)
+        self.sources: list[str] = list(sources)
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_file(cls, path: Union[str, os.PathLike]) -> "Dataset":
+        records, globals_ = read_records(path)
+        return cls(records, globals_, [os.fspath(path)])
+
+    @classmethod
+    def from_files(cls, paths: Iterable[Union[str, os.PathLike]]) -> "Dataset":
+        """Concatenate several files (e.g. one per process).
+
+        Per-file globals are folded into the records of that file so
+        cross-file attributes (like the producing rank) stay distinguishable,
+        then dropped from the dataset-level globals when files disagree.
+        """
+        all_records: list[Record] = []
+        merged_globals: dict[str, Variant] = {}
+        conflicting: set[str] = set()
+        sources: list[str] = []
+        for path in paths:
+            records, globals_ = read_records(path)
+            if globals_:
+                records = [r.with_entries(globals_) for r in records]
+            for key, value in globals_.items():
+                if key in merged_globals and merged_globals[key] != value:
+                    conflicting.add(key)
+                merged_globals.setdefault(key, value)
+            all_records.extend(records)
+            sources.append(os.fspath(path))
+        for key in conflicting:
+            merged_globals.pop(key, None)
+        return cls(all_records, merged_globals, sources)
+
+    @classmethod
+    def from_glob(cls, pattern: str) -> "Dataset":
+        paths = sorted(globmod.glob(pattern))
+        if not paths:
+            raise DatasetError(f"no files match {pattern!r}")
+        return cls.from_files(paths)
+
+    # -- basic container behaviour ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self.records[index]
+
+    def labels(self) -> list[str]:
+        """Union of attribute labels across all records, sorted."""
+        seen: set[str] = set()
+        for record in self.records:
+            seen.update(record.labels())
+        return sorted(seen)
+
+    def column(self, label: str) -> list[Variant]:
+        """All non-empty values of one attribute, in record order."""
+        out = []
+        for record in self.records:
+            v = record.get(label)
+            if not v.is_empty:
+                out.append(v)
+        return out
+
+    def extend(self, records: Iterable[Record]) -> None:
+        self.records.extend(records)
+
+    # -- analysis ---------------------------------------------------------------
+
+    def query(self, text: str) -> "QueryResult":
+        """Run a CalQL query over this dataset (the analytical path)."""
+        from ..query.engine import QueryEngine  # deferred: query sits above io
+
+        return QueryEngine(text).run(self.records)
+
+    def summary(self) -> str:
+        """Per-attribute overview: occurrence count, types, value span.
+
+        The first thing an analyst wants from an unfamiliar dataset: which
+        dimensions exist and what they look like.
+        """
+        stats: dict[str, dict] = {}
+        for record in self.records:
+            for label, value in record.items():
+                s = stats.setdefault(
+                    label, {"count": 0, "types": set(), "min": None, "max": None, "values": set()}
+                )
+                s["count"] += 1
+                s["types"].add(value.type.value)
+                if value.is_numeric:
+                    x = value.to_double()
+                    s["min"] = x if s["min"] is None else min(s["min"], x)
+                    s["max"] = x if s["max"] is None else max(s["max"], x)
+                elif len(s["values"]) <= 8:
+                    s["values"].add(value.to_string())
+
+        lines = [f"{len(self.records)} records, {len(stats)} attributes"]
+        width = max((len(lbl) for lbl in stats), default=0)
+        for label in sorted(stats):
+            s = stats[label]
+            types = ",".join(sorted(s["types"]))
+            if s["min"] is not None:
+                span = f"range [{s['min']:.6g}, {s['max']:.6g}]"
+            else:
+                shown = sorted(s["values"])
+                span = "values {" + ", ".join(shown[:6])
+                span += ", ...}" if len(shown) > 6 else "}"
+            lines.append(f"  {label.ljust(width)}  {s['count']:>8}x  {types:<8}  {span}")
+        return "\n".join(lines)
+
+    # -- export ------------------------------------------------------------------
+
+    def to_file(self, path: Union[str, os.PathLike]) -> int:
+        return write_records(
+            path, self.records, {k: v.value for k, v in self.globals.items()}
+        )
+
+    def __repr__(self) -> str:
+        return f"Dataset({len(self.records)} records from {len(self.sources) or 'memory'} source(s))"

@@ -1,0 +1,103 @@
+"""JSON-lines serialization of record streams.
+
+A human-friendly interchange format: the first line is a metadata object
+(format version, attribute type table, globals); every further line is one
+record as a plain JSON object.  Types round-trip through the metadata table
+rather than per-value tags, keeping record lines clean enough to pipe into
+``jq`` or pandas.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Optional, TextIO, Union
+
+from ..common.errors import FormatError
+from ..common.record import Record
+from ..common.variant import ValueType, Variant
+
+__all__ = ["write_json", "read_json"]
+
+_VERSION = 1
+
+
+def write_json(
+    path_or_stream: Union[str, os.PathLike, TextIO],
+    records: Iterable[Record],
+    globals_: Optional[dict[str, object]] = None,
+) -> int:
+    """Write records as JSON lines; returns the record count."""
+    if isinstance(path_or_stream, (str, os.PathLike)):
+        with open(path_or_stream, "w", encoding="utf-8") as stream:
+            return write_json(stream, records, globals_)
+    stream = path_or_stream
+
+    # Two passes over an in-memory list: the type table must precede the
+    # records, and record streams are cheap relative to profile sizes.
+    materialized = list(records)
+    types: dict[str, str] = {}
+    for record in materialized:
+        for label, value in record.items():
+            seen = types.get(label)
+            if seen is None:
+                types[label] = value.type.value
+            elif seen != value.type.value:
+                # Heterogeneous columns degrade to per-value inference.
+                types[label] = "mixed"
+
+    header = {
+        "format": "repro-json",
+        "version": _VERSION,
+        "attributes": types,
+        "globals": {k: Variant.of(v).value for k, v in (globals_ or {}).items()},
+    }
+    stream.write(json.dumps(header) + "\n")
+    for record in materialized:
+        stream.write(json.dumps(record.to_plain(), sort_keys=True) + "\n")
+    return len(materialized)
+
+
+def read_json(
+    path_or_stream: Union[str, os.PathLike, TextIO],
+    with_globals: bool = False,
+):
+    """Read a JSON-lines record file written by :func:`write_json`."""
+    if isinstance(path_or_stream, (str, os.PathLike)):
+        with open(path_or_stream, "r", encoding="utf-8") as stream:
+            return read_json(stream, with_globals)
+    stream = path_or_stream
+
+    header_line = stream.readline()
+    if not header_line.strip():
+        raise FormatError("empty JSON record file")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"malformed JSON header: {exc}") from exc
+    if header.get("format") != "repro-json":
+        raise FormatError(f"not a repro JSON record file: {header.get('format')!r}")
+    types = {k: v for k, v in header.get("attributes", {}).items()}
+
+    records: list[Record] = []
+    for lineno, line in enumerate(stream, start=2):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"malformed JSON record on line {lineno}: {exc}") from exc
+        entries: dict[str, Variant] = {}
+        for label, raw in obj.items():
+            type_name = types.get(label, "mixed")
+            if type_name == "mixed":
+                entries[label] = Variant.of(raw)
+            else:
+                vtype = ValueType.from_name(type_name)
+                entries[label] = Variant(vtype, raw)
+        records.append(Record.from_variants(entries))
+
+    if with_globals:
+        globals_ = {k: Variant.of(v) for k, v in header.get("globals", {}).items()}
+        return records, globals_
+    return records

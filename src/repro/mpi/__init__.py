@@ -1,0 +1,33 @@
+"""Discrete-event MPI simulator: the cluster substrate for cross-process
+aggregation experiments."""
+
+from .collectives import allreduce, bcast, gather, tree_depth, tree_reduce
+from .instrument import CommClock, InstrumentedComm, RankProfiler
+from .network import (
+    LatencyBandwidthNetwork,
+    NetworkModel,
+    ZeroCostNetwork,
+    default_payload_size,
+)
+from .simulator import ANY_SOURCE, Comm, RankProgram, SimResult, SimStats, SimWorld
+
+__all__ = [
+    "ANY_SOURCE",
+    "Comm",
+    "RankProgram",
+    "SimResult",
+    "SimStats",
+    "SimWorld",
+    "NetworkModel",
+    "LatencyBandwidthNetwork",
+    "ZeroCostNetwork",
+    "default_payload_size",
+    "bcast",
+    "tree_reduce",
+    "allreduce",
+    "gather",
+    "tree_depth",
+    "CommClock",
+    "InstrumentedComm",
+    "RankProfiler",
+]

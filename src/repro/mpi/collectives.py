@@ -1,0 +1,147 @@
+"""Collective operations built on the simulator's point-to-point layer.
+
+All collectives are generator helpers used with ``yield from`` inside rank
+programs.  The reduction is the k-ary tree of the paper's Section IV-C:
+"leaf" processes send their local results to their parent, where partial
+results are aggregated again, level by level, up to the root — giving the
+logarithmic scaling Figure 4 demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional, Union
+
+from ..common.util import children_of, parent_of
+from .network import default_payload_size
+from .simulator import Comm
+
+__all__ = ["bcast", "tree_reduce", "allreduce", "gather", "tree_depth"]
+
+_TAG_BCAST = 101
+_TAG_REDUCE = 102
+_TAG_GATHER = 103
+
+Sizer = Optional[Union[int, Callable[[Any], int]]]
+
+
+def _size_of(value: Any, nbytes: Sizer) -> Optional[int]:
+    if nbytes is None:
+        return None
+    if callable(nbytes):
+        return int(nbytes(value))
+    return int(nbytes)
+
+
+def tree_depth(size: int, fanout: int = 2) -> int:
+    """Depth of the k-ary reduction tree over ``size`` ranks.
+
+    The deepest node is the last rank; we walk its parent chain to 0.
+    """
+    if size <= 1:
+        return 0
+    depth = 0
+    node = size - 1
+    while node > 0:
+        node = (node - 1) // fanout
+        depth += 1
+    return depth
+
+
+def bcast(comm: Comm, value: Any = None, root: int = 0, nbytes: Optional[int] = None) -> Generator:
+    """Binomial-tree broadcast; returns the broadcast value on every rank."""
+    if comm.size == 1:
+        return value
+    # Translate ranks so the root is virtual rank 0 (MPICH-style binomial).
+    vrank = (comm.rank - root) % comm.size
+    mask = 1
+    while mask < comm.size:
+        if vrank & mask:
+            src = (comm.rank - mask + comm.size) % comm.size
+            value = yield from comm.recv(src=src, tag=_TAG_BCAST)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < comm.size:
+            dst = (comm.rank + mask) % comm.size
+            yield from comm.send(dst, value, tag=_TAG_BCAST, nbytes=_size_of(value, nbytes))
+        mask >>= 1
+    return value
+
+
+def tree_reduce(
+    comm: Comm,
+    value: Any,
+    combine: Callable[[Any, Any], Any],
+    root: int = 0,
+    fanout: int = 2,
+    nbytes: Sizer = None,
+    combine_cost: Union[float, Callable[[Any, Any], float]] = 0.0,
+) -> Generator:
+    """K-ary-tree reduction; the root returns the combined value, others None.
+
+    ``combine(acc, incoming) -> acc`` merges a child's partial result;
+    ``combine_cost`` charges virtual compute time per merge (a constant or a
+    function of the two operands).  Children are merged in increasing rank
+    order, so results are deterministic for non-commutative combines.
+    """
+    if root != 0:
+        raise NotImplementedError("tree_reduce currently requires root=0")
+    acc = value
+    for child in children_of(comm.rank, comm.size, fanout):
+        incoming = yield from comm.recv(src=child, tag=_TAG_REDUCE)
+        cost = combine_cost(acc, incoming) if callable(combine_cost) else combine_cost
+        if cost:
+            yield from comm.compute(cost)
+        acc = combine(acc, incoming)
+    if comm.rank != 0:
+        parent = parent_of(comm.rank, fanout)
+        yield from comm.send(parent, acc, tag=_TAG_REDUCE, nbytes=_size_of(acc, nbytes))
+        return None
+    return acc
+
+
+def allreduce(
+    comm: Comm,
+    value: Any,
+    combine: Callable[[Any, Any], Any],
+    fanout: int = 2,
+    nbytes: Sizer = None,
+    combine_cost: Union[float, Callable[[Any, Any], float]] = 0.0,
+) -> Generator:
+    """Reduce-then-broadcast allreduce; every rank returns the combined value."""
+    reduced = yield from tree_reduce(
+        comm, value, combine, 0, fanout, nbytes, combine_cost
+    )
+    size = _size_of(reduced, nbytes) if comm.rank == 0 else None
+    result = yield from bcast(comm, reduced, 0, size)
+    return result
+
+
+def gather(comm: Comm, value: Any, root: int = 0, nbytes: Optional[int] = None) -> Generator:
+    """Gather values to ``root``; returns the rank-ordered list there, None elsewhere.
+
+    Implemented as a tree gather (lists concatenated up the tree) so it
+    stays logarithmic in depth like the reduction.
+    """
+    if root != 0:
+        raise NotImplementedError("gather currently requires root=0")
+
+    def merge(acc: list, incoming: list) -> list:
+        acc.extend(incoming)
+        return acc
+
+    gathered = yield from tree_reduce(
+        comm,
+        [(comm.rank, value)],
+        merge,
+        root=0,
+        nbytes=(lambda pairs: sum(default_payload_size(v) for _, v in pairs))
+        if nbytes is None
+        else (lambda pairs: nbytes * len(pairs)),
+    )
+    if comm.rank != 0:
+        return None
+    assert gathered is not None
+    gathered.sort(key=lambda pair: pair[0])
+    return [v for _, v in gathered]

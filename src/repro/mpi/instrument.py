@@ -1,0 +1,156 @@
+"""MPI interception for simulated rank programs.
+
+The paper obtains ``mpi.function`` and ``mpi.rank`` annotations from
+Caliper's MPI wrapper (the PMPI profiling interface).  The equivalent here
+wraps a simulator :class:`~repro.mpi.simulator.Comm`: every communication
+operation is bracketed with ``mpi.function`` begin/end annotations on a
+per-rank runtime instance, and the rank's runtime clock *is* the
+simulator's virtual clock — so ``time.duration`` in snapshots measures
+simulated communication/computation time, including time spent blocked in
+a receive or barrier.
+
+Typical use inside a rank program::
+
+    def program(comm):
+        prof = RankProfiler(comm, aggregate_config=
+            "AGGREGATE count, sum(time.duration) GROUP BY mpi.function, function")
+        icomm = prof.comm                      # instrumented communicator
+        with prof.cali.region("function", "exchange"):
+            yield from icomm.send(1, data)
+            payload = yield from icomm.recv(src=1)
+        records = prof.finish()
+        return records
+
+Per-rank record lists can then be merged/queried off-line, or combined with
+:func:`repro.aggregate.combine_partials` — the cross-process workflow of the
+paper on top of the simulated cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Mapping, Optional
+
+from ..runtime.clock import Clock
+from ..runtime.instrumentation import Caliper
+from .simulator import ANY_SOURCE, Comm
+
+__all__ = ["CommClock", "InstrumentedComm", "RankProfiler"]
+
+
+class CommClock(Clock):
+    """A runtime clock that reads the simulator's per-rank virtual time."""
+
+    __slots__ = ("_comm",)
+
+    def __init__(self, comm: Comm) -> None:
+        self._comm = comm
+
+    def now(self) -> float:
+        return self._comm.now()
+
+
+class InstrumentedComm:
+    """Wraps a :class:`Comm`, annotating every operation as ``mpi.function``.
+
+    All methods mirror the communicator's generator API; use ``yield from``
+    exactly as with the raw object.  Operation names follow the MPI spelling
+    the paper's figures use (``MPI_Send``, ``MPI_Barrier``, ...).
+    """
+
+    __slots__ = ("_comm", "_cali")
+
+    def __init__(self, comm: Comm, caliper: Caliper) -> None:
+        self._comm = comm
+        self._cali = caliper
+
+    # -- plain accessors -----------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self._comm.rank
+
+    @property
+    def size(self) -> int:
+        return self._comm.size
+
+    def now(self) -> float:
+        return self._comm.now()
+
+    @property
+    def raw(self) -> Comm:
+        """The unwrapped communicator."""
+        return self._comm
+
+    # -- instrumented operations -------------------------------------------------
+
+    def _wrap(self, name: str, gen: Generator) -> Generator:
+        self._cali.begin("mpi.function", name)
+        try:
+            result = yield from gen
+        finally:
+            self._cali.end("mpi.function")
+        return result
+
+    def compute(self, seconds: float) -> Generator:
+        # compute is application work, not MPI: no annotation.
+        return self._comm.compute(seconds)
+
+    def send(self, dst: int, payload: Any = None, tag: int = 0,
+             nbytes: Optional[int] = None) -> Generator:
+        return self._wrap("MPI_Send", self._comm.send(dst, payload, tag, nbytes))
+
+    def recv(self, src: int = ANY_SOURCE, tag: int = 0) -> Generator:
+        return self._wrap("MPI_Recv", self._comm.recv(src, tag))
+
+    def barrier(self) -> Generator:
+        return self._wrap("MPI_Barrier", self._comm.barrier())
+
+    def bcast(self, value: Any = None, root: int = 0,
+              nbytes: Optional[int] = None) -> Generator:
+        return self._wrap("MPI_Bcast", self._comm.bcast(value, root, nbytes))
+
+    def reduce(self, value: Any, combine: Callable[[Any, Any], Any], **kwargs) -> Generator:
+        return self._wrap("MPI_Reduce", self._comm.reduce(value, combine, **kwargs))
+
+    def allreduce(self, value: Any, combine: Callable[[Any, Any], Any], **kwargs) -> Generator:
+        return self._wrap("MPI_Allreduce", self._comm.allreduce(value, combine, **kwargs))
+
+    def gather(self, value: Any, root: int = 0, nbytes: Optional[int] = None) -> Generator:
+        return self._wrap("MPI_Gather", self._comm.gather(value, root, nbytes))
+
+
+class RankProfiler:
+    """Per-rank profiling bundle: runtime + channel + instrumented comm.
+
+    Creates a :class:`Caliper` on the rank's virtual clock, one channel with
+    the given configuration (default: event-mode aggregation over
+    ``mpi.function`` and ``function``), sets ``mpi.rank``, and exposes the
+    instrumented communicator.
+    """
+
+    def __init__(
+        self,
+        comm: Comm,
+        aggregate_config: Optional[str] = None,
+        channel_config: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.cali = Caliper(clock=CommClock(comm))
+        if channel_config is None:
+            channel_config = {
+                "services": ["event", "timer", "aggregate"],
+                "aggregate.config": aggregate_config
+                or (
+                    "AGGREGATE count, sum(time.duration) "
+                    "GROUP BY mpi.function, function, mpi.rank"
+                ),
+            }
+        elif aggregate_config is not None:
+            raise ValueError("pass either aggregate_config or channel_config, not both")
+        self.channel = self.cali.create_channel("rank-profile", channel_config)
+        self.channel.set_global("mpi.world.size", comm.size)
+        self.cali.set("mpi.rank", comm.rank)
+        self.comm = InstrumentedComm(comm, self.cali)
+
+    def finish(self):
+        """Flush the channel; returns this rank's output records."""
+        return self.channel.finish()

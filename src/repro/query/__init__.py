@@ -1,0 +1,21 @@
+"""Off-line querying: the serial engine, the CLI, and the MPI-parallel app."""
+
+from .columnar import columnar_aggregate, supports_scheme
+from .compare import compare_profiles
+from .engine import QueryEngine, QueryResult, run_query, sort_records
+from .mpi_query import MPIQueryOutcome, MPIQueryRunner, PhaseTimes
+from .rollup import rollup_inclusive
+
+__all__ = [
+    "QueryEngine",
+    "QueryResult",
+    "run_query",
+    "sort_records",
+    "MPIQueryRunner",
+    "MPIQueryOutcome",
+    "PhaseTimes",
+    "rollup_inclusive",
+    "compare_profiles",
+    "columnar_aggregate",
+    "supports_scheme",
+]

@@ -1,0 +1,131 @@
+"""``repro-query``: the command-line query application.
+
+The off-line counterpart of Caliper's ``cali-query``: applies a CalQL
+expression to one or more recorded datasets and prints or writes the
+result.  ``--parallel N`` runs the query through the simulated-MPI parallel
+query application (Section IV-C) instead of serially, and reports the phase
+timings the paper's Figure 4 plots.
+
+Examples::
+
+    repro-query -q "AGGREGATE sum(time.duration) GROUP BY kernel" run*.cali
+    repro-query -q "AGGREGATE count GROUP BY mpi.function FORMAT csv" \
+        --output mpi.csv data/*.cali
+    repro-query -q "AGGREGATE sum(aggregate.count) GROUP BY kernel" \
+        --parallel 64 data/*.cali
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..common.errors import ReproError
+from ..io.dataset import Dataset
+from .engine import QueryEngine
+from .mpi_query import MPIQueryRunner
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-query",
+        description="Query and aggregate recorded performance data with CalQL.",
+    )
+    parser.add_argument("files", nargs="+", help="input record files (.cali/.json/.csv)")
+    parser.add_argument(
+        "-q", "--query", help="CalQL query expression"
+    )
+    parser.add_argument(
+        "--list-attributes",
+        action="store_true",
+        help="print the attribute labels present in the dataset and exit",
+    )
+    parser.add_argument(
+        "--globals",
+        action="store_true",
+        dest="show_globals",
+        help="print per-run global metadata and exit",
+    )
+    parser.add_argument(
+        "-o", "--output", help="write the result to this file instead of stdout"
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        metavar="N",
+        help="run through the simulated-MPI parallel query app with N processes",
+    )
+    parser.add_argument(
+        "--fanout",
+        type=int,
+        default=2,
+        help="reduction-tree fanout for --parallel (default 2)",
+    )
+    parser.add_argument(
+        "--timing",
+        action="store_true",
+        help="print phase timings (--parallel) to stderr",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not (args.query or args.list_attributes or args.show_globals):
+        parser.error("one of --query, --list-attributes or --globals is required")
+    try:
+        if args.list_attributes or args.show_globals:
+            from ..io.dataset import read_records
+
+            if args.list_attributes:
+                labels: set[str] = set()
+                for path in args.files:
+                    for record in read_records(path)[0]:
+                        labels.update(record.labels())
+                print("\n".join(sorted(labels)))
+            if args.show_globals:
+                for path in args.files:
+                    _, globals_ = read_records(path)
+                    pairs = ", ".join(
+                        f"{k}={v.to_string()}" for k, v in sorted(globals_.items())
+                    )
+                    print(f"{path}: {pairs or '(none)'}")
+            return 0
+        if args.parallel:
+            runner = MPIQueryRunner(args.query, size=args.parallel, fanout=args.fanout)
+            outcome = runner.run_files(args.files)
+            result = outcome.result
+            if args.timing:
+                t = outcome.times
+                print(
+                    f"total {t.total:.6f}s  local {t.local:.6f}s  "
+                    f"reduce {t.reduce:.6f}s  messages {outcome.messages}",
+                    file=sys.stderr,
+                )
+        else:
+            dataset = Dataset.from_files(args.files)
+            result = QueryEngine(args.query).run(dataset.records)
+    except ReproError as exc:
+        print(f"repro-query: error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"repro-query: error: {exc}", file=sys.stderr)
+        return 1
+
+    text = str(result)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(text)
+            if not text.endswith("\n"):
+                stream.write("\n")
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,258 @@
+"""The off-line query engine (analytical aggregation).
+
+Executes CalQL queries over record streams: LET preprocessing, WHERE
+filtering, aggregation (when the query has operators), ORDER BY, LIMIT, and
+FORMAT rendering.  The aggregation stage reuses the exact
+:class:`AggregationDB` the on-line service uses — the engine also exposes
+the partial-aggregation steps (:meth:`QueryEngine.make_db`,
+:meth:`QueryEngine.feed`, :meth:`QueryEngine.finalize`) that the MPI-
+parallel query application composes with a reduction tree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+from ..aggregate.db import AggregationDB
+from ..aggregate.ops import OperatorRegistry
+from ..aggregate.scheme import AggregationScheme
+from ..calql.ast import OrderSpec, Query
+from ..calql.parser import parse_query
+from ..calql.semantics import build_scheme, compile_conditions, compile_let, validate
+from ..common.record import Record
+from ..common.variant import Variant
+
+__all__ = ["QueryEngine", "QueryResult", "run_query"]
+
+
+class QueryResult:
+    """Materialized query output.
+
+    Iterable list of records plus rendering helpers; ``str()`` honours the
+    query's FORMAT clause (default: aligned table).
+    """
+
+    def __init__(
+        self,
+        records: list[Record],
+        preferred_columns: Sequence[str] = (),
+        fmt: Optional[str] = None,
+    ) -> None:
+        self.records = records
+        self.preferred_columns = list(preferred_columns)
+        self.format = (fmt or "table").lower()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> Record:
+        return self.records[index]
+
+    def column(self, label: str) -> list[Variant]:
+        """Non-empty values of one output column, in result order."""
+        out = []
+        for record in self.records:
+            v = record.get(label)
+            if not v.is_empty:
+                out.append(v)
+        return out
+
+    def rows(self, labels: Sequence[str]) -> list[tuple]:
+        """Raw-value tuples for the given columns (None where missing)."""
+        out = []
+        for record in self.records:
+            out.append(
+                tuple(
+                    (record.get(lbl).value if not record.get(lbl).is_empty else None)
+                    for lbl in labels
+                )
+            )
+        return out
+
+    def to_table(self, **kwargs) -> str:
+        from ..report.table import TableOptions, format_table
+
+        return format_table(self.records, self.preferred_columns, TableOptions(**kwargs))
+
+    def to_csv(self) -> str:
+        import io as _io
+
+        from ..io.csvio import write_csv
+
+        buf = _io.StringIO()
+        write_csv(buf, self.records, self.preferred_columns)
+        return buf.getvalue()
+
+    def to_json(self) -> str:
+        import io as _io
+
+        from ..io.jsonio import write_json
+
+        buf = _io.StringIO()
+        write_json(buf, self.records)
+        return buf.getvalue()
+
+    def to_records(self) -> list[Record]:
+        return list(self.records)
+
+    def to_tree(
+        self,
+        path_attribute: Optional[str] = None,
+        metrics: Optional[Sequence[str]] = None,
+    ) -> str:
+        """Hierarchical rendering along a slash-path attribute.
+
+        Defaults: the path attribute is the first preferred (key) column
+        whose values contain path separators — or simply the first key
+        column — and the metrics are every other column that is numeric.
+        """
+        from ..report.tree import format_tree
+
+        columns = self.preferred_columns or sorted(
+            {lbl for r in self.records for lbl in r.labels()}
+        )
+        if path_attribute is None:
+            path_attribute = next(
+                (
+                    c
+                    for c in columns
+                    if any("/" in r.get(c).to_string() for r in self.records)
+                ),
+                columns[0] if columns else "",
+            )
+        if metrics is None:
+            metrics = [
+                c
+                for c in columns
+                if c != path_attribute
+                and any(r.get(c).is_numeric for r in self.records)
+            ]
+        return format_tree(self.records, path_attribute, list(metrics))
+
+    def __str__(self) -> str:
+        if self.format == "csv":
+            return self.to_csv()
+        if self.format == "json":
+            return self.to_json()
+        if self.format == "tree":
+            return self.to_tree()
+        if self.format in ("records", "expand"):
+            return "\n".join(repr(r) for r in self.records)
+        return self.to_table()
+
+    def __repr__(self) -> str:
+        return f"QueryResult({len(self.records)} records, format={self.format!r})"
+
+
+class QueryEngine:
+    """A compiled CalQL query, executable over any record stream."""
+
+    def __init__(
+        self,
+        query: Union[str, Query],
+        registry: Optional[OperatorRegistry] = None,
+        key_strategy: str = "tuple",
+    ) -> None:
+        self.query = parse_query(query) if isinstance(query, str) else query
+        validate(self.query, registry)
+        self._let = compile_let(self.query.let)
+        self.scheme: Optional[AggregationScheme] = None
+        self._where: Optional[Callable[[Record], bool]]
+        if self.query.is_aggregation:
+            # WHERE lives inside the scheme's predicate on the aggregation path.
+            self.scheme = build_scheme(self.query, registry, key_strategy)
+            self._where = None
+        else:
+            self._where = compile_conditions(self.query.where)
+
+    # -- one-shot execution ------------------------------------------------------
+
+    def run(self, records: Iterable[Record]) -> QueryResult:
+        """Execute the full pipeline over ``records``."""
+        if self.scheme is not None:
+            db = self.make_db()
+            self.feed(db, records)
+            return self.finalize(db)
+        out = []
+        for record in self._preprocess(records):
+            if self._where is not None and not self._where(record):
+                continue
+            if self.query.select:
+                record = record.project(self.query.select)
+            out.append(record)
+        out = self._order_and_limit(out)
+        preferred = list(self.query.select)
+        return QueryResult(out, preferred, self.query.format)
+
+    # -- partial aggregation (used by the MPI query application) --------------------
+
+    def make_db(self) -> AggregationDB:
+        """A fresh aggregation database for this query's scheme."""
+        if self.scheme is None:
+            raise ValueError("query has no aggregation; make_db() needs AGGREGATE")
+        return AggregationDB(self.scheme)
+
+    def feed(self, db: AggregationDB, records: Iterable[Record]) -> None:
+        """Stream records (after LET preprocessing) into a partial DB."""
+        db.process_all(self._preprocess(records))
+
+    def finalize(self, db: AggregationDB) -> QueryResult:
+        """Flush a (possibly combined) DB and apply ORDER BY / LIMIT / FORMAT."""
+        out = self._order_and_limit(db.flush())
+        preferred = self._preferred_columns()
+        return QueryResult(out, preferred, self.query.format)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _preprocess(self, records: Iterable[Record]) -> Iterable[Record]:
+        if self._let is None:
+            return records
+        let = self._let
+        return (let(r) for r in records)
+
+    def _preferred_columns(self) -> list[str]:
+        assert self.scheme is not None
+        preferred = list(self.scheme.key)
+        for op in self.scheme.ops:
+            preferred.extend(op.output_labels())
+        if self.query.select:
+            # An explicit SELECT fixes the leading column order.
+            chosen = [c for c in self.query.select if c in preferred]
+            preferred = chosen + [c for c in preferred if c not in chosen]
+        return preferred
+
+    def _order_and_limit(self, records: list[Record]) -> list[Record]:
+        order = self.query.order_by
+        if order:
+            records = sort_records(records, order)
+        if self.query.limit is not None:
+            records = records[: self.query.limit]
+        return records
+
+    def __repr__(self) -> str:
+        return f"QueryEngine({self.query.unparse()!r})"
+
+
+def sort_records(records: list[Record], order: Sequence[OrderSpec]) -> list[Record]:
+    """Stable multi-key sort by Variant order; missing values sort first."""
+    out = list(records)
+    # Apply keys in reverse for a stable compound sort.
+    for spec in reversed(order):
+        label = spec.label
+
+        def sort_key(record: Record, _label: str = label):
+            v = record.get(_label)
+            if v.is_empty:
+                return (0, ())
+            return (1, v._order_key())
+
+        out.sort(key=sort_key, reverse=not spec.ascending)
+    return out
+
+
+def run_query(text: str, records: Iterable[Record]) -> QueryResult:
+    """Convenience one-liner: parse, validate, execute."""
+    return QueryEngine(text).run(records)

@@ -1,0 +1,106 @@
+"""Call-tree rollups: inclusive metrics from exclusive profiles.
+
+Profiles produced by exclusive-time attribution (each record holds the time
+spent *directly* in a region path such as ``main/solve/mg``) often need the
+complementary inclusive view: a region's metric summed over its whole
+subtree.  :func:`rollup_inclusive` computes it as a post-processing pass
+over any record set keyed by a slash-path attribute — no re-measurement and
+no extra on-line state, which is exactly the kind of derived analysis the
+paper's off-line aggregation stage is for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..common.node import PATH_SEPARATOR
+from ..common.record import Record
+from ..common.variant import ValueType, Variant
+
+__all__ = ["rollup_inclusive"]
+
+
+def rollup_inclusive(
+    records: Iterable[Record],
+    path_attribute: str,
+    metrics: Sequence[str],
+    suffix: str = ".inclusive",
+    include_missing_parents: bool = True,
+) -> list[Record]:
+    """Add subtree-summed metrics to path-keyed records.
+
+    For every record with a ``path_attribute`` value, each ``metric`` is
+    summed over the record and all records whose path is a descendant, and
+    stored as ``<metric><suffix>``.  Intermediate paths that never occur as
+    records themselves (e.g. ``main`` when only ``main/a`` and ``main/b``
+    exist) are synthesized with zero exclusive metrics when
+    ``include_missing_parents`` — so the returned forest is always closed
+    under parents and the tree renders completely.
+
+    Records without the path attribute pass through unchanged.  Records are
+    returned in depth-first path order (parents before children).
+    """
+    plain: list[Record] = []
+    by_path: dict[tuple[str, ...], Record] = {}
+    for record in records:
+        path_value = record.get(path_attribute)
+        if path_value.is_empty:
+            plain.append(record)
+            continue
+        path = tuple(path_value.to_string().split(PATH_SEPARATOR))
+        if path in by_path:
+            # merge duplicate path rows (e.g. multiple ranks): sum metrics
+            merged = dict(by_path[path].as_dict())
+            for metric in metrics:
+                a = by_path[path].get(metric)
+                b = record.get(metric)
+                total = (a.to_double() if a.is_numeric else 0.0) + (
+                    b.to_double() if b.is_numeric else 0.0
+                )
+                merged[metric] = Variant(ValueType.DOUBLE, total)
+            by_path[path] = Record.from_variants(merged)
+        else:
+            by_path[path] = record
+
+    if include_missing_parents:
+        for path in list(by_path):
+            for depth in range(1, len(path)):
+                parent = path[:depth]
+                if parent not in by_path:
+                    by_path[parent] = Record(
+                        {path_attribute: PATH_SEPARATOR.join(parent)}
+                    )
+
+    # Subtree sums, computed leaf-up (longer paths first).
+    inclusive: dict[tuple[str, ...], dict[str, float]] = {
+        path: {} for path in by_path
+    }
+    for path in sorted(by_path, key=len, reverse=True):
+        record = by_path[path]
+        totals = inclusive[path]
+        for metric in metrics:
+            v = record.get(metric)
+            totals[metric] = totals.get(metric, 0.0) + (
+                v.to_double() if v.is_numeric else 0.0
+            )
+        # Propagate to the nearest existing ancestor (when parents are not
+        # synthesized, the tree may have gaps).
+        for depth in range(len(path) - 1, 0, -1):
+            ancestor = path[:depth]
+            if ancestor in inclusive:
+                parent_totals = inclusive[ancestor]
+                for metric in metrics:
+                    parent_totals[metric] = (
+                        parent_totals.get(metric, 0.0) + totals[metric]
+                    )
+                break
+
+    out = list(plain)
+    for path in sorted(by_path):
+        record = by_path[path]
+        extra = {
+            f"{metric}{suffix}": Variant(ValueType.DOUBLE, inclusive[path][metric])
+            for metric in metrics
+        }
+        out.append(record.with_entries(extra))
+    return out

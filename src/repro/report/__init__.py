@@ -1,0 +1,17 @@
+"""Text rendering of profiles: tables, trees, bar charts, series."""
+
+from .barchart import format_barchart, format_distribution, format_grouped_bars
+from .series import format_series, pivot_series
+from .table import TableOptions, format_table
+from .tree import format_tree
+
+__all__ = [
+    "format_table",
+    "TableOptions",
+    "format_tree",
+    "format_barchart",
+    "format_grouped_bars",
+    "format_distribution",
+    "format_series",
+    "pivot_series",
+]

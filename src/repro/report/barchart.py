@@ -1,0 +1,102 @@
+"""ASCII bar charts and box summaries for figure reproduction.
+
+The paper's case-study figures are bar charts (time per kernel, per MPI
+function, per AMR level) and per-rank distributions.  These helpers render
+the same shapes in plain text so the benchmark harnesses can print
+figure-equivalent output into logs and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["format_barchart", "format_grouped_bars", "format_distribution"]
+
+_BAR = "#"
+
+
+def format_barchart(
+    items: Sequence[tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """One horizontal bar per (label, value), scaled to the maximum."""
+    if not items:
+        return "(no data)"
+    label_width = max(len(label) for label, _ in items)
+    peak = max(value for _, value in items)
+    scale = width / peak if peak > 0 else 0.0
+    lines = [title] if title else []
+    for label, value in items:
+        bar = _BAR * max(1 if value > 0 else 0, int(round(value * scale)))
+        suffix = f" {value:.4g}{unit}"
+        lines.append(f"{label.ljust(label_width)} |{bar}{suffix}")
+    return "\n".join(lines)
+
+
+def format_grouped_bars(
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Grouped bars: for each group label, one bar per series.
+
+    Renders the shape of the paper's Figures 8/9 (time per AMR level across
+    timesteps / ranks) in text form.
+    """
+    if not groups or not series:
+        return "(no data)"
+    peak = max((max(values) if len(values) else 0.0) for values in series.values())
+    scale = width / peak if peak > 0 else 0.0
+    series_width = max(len(name) for name in series)
+    group_width = max(len(g) for g in groups)
+    lines = [title] if title else []
+    for gi, group in enumerate(groups):
+        for si, (name, values) in enumerate(series.items()):
+            value = values[gi] if gi < len(values) else 0.0
+            bar = _BAR * int(round(value * scale))
+            head = group.ljust(group_width) if si == 0 else " " * group_width
+            lines.append(f"{head} {name.ljust(series_width)} |{bar} {value:.4g}")
+    return "\n".join(lines)
+
+
+def format_distribution(
+    items: Sequence[tuple[str, Sequence[float]]],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Min/median/max summaries, one line per labelled value collection.
+
+    Text rendering of the paper's Figure 7 box plot: per category, the
+    spread of a value across MPI ranks.
+    """
+    if not items:
+        return "(no data)"
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    peak = max((max(vals) if len(vals) else 0.0) for _, vals in items)
+    scale = width / peak if peak > 0 else 0.0
+    for label, vals in items:
+        if not len(vals):
+            lines.append(f"{label.ljust(label_width)} (no values)")
+            continue
+        arr = np.asarray(vals, dtype=float)
+        lo, med, hi = float(arr.min()), float(np.median(arr)), float(arr.max())
+        lo_col = int(round(lo * scale))
+        med_col = int(round(med * scale))
+        hi_col = int(round(hi * scale))
+        row = [" "] * (width + 1)
+        for col in range(lo_col, hi_col + 1):
+            row[col] = "-"
+        row[lo_col] = "|"
+        row[hi_col] = "|"
+        row[med_col] = "o"
+        lines.append(
+            f"{label.ljust(label_width)} {''.join(row)} "
+            f"min={lo:.4g} med={med:.4g} max={hi:.4g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Time-series extraction and text rendering.
+
+Helpers to pivot query results into ``x -> {series: value}`` form (e.g.
+timestep -> time per AMR level, the shape of the paper's Figure 8) and to
+print them as aligned columns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..common.record import Record
+
+__all__ = ["pivot_series", "format_series"]
+
+
+def pivot_series(
+    records: Sequence[Record],
+    x_label: str,
+    series_label: str,
+    value_label: str,
+    fill: float = 0.0,
+) -> tuple[list, list[str], dict[str, list[float]]]:
+    """Pivot records into aligned series.
+
+    Returns ``(xs, series_names, {series: [value per x]})`` with xs sorted by
+    their natural (Variant) order and missing cells filled with ``fill``.
+    """
+    xs_set = set()
+    names_set = set()
+    cells: dict[tuple, float] = {}
+    for record in records:
+        x = record.get(x_label)
+        s = record.get(series_label)
+        v = record.get(value_label)
+        if x.is_empty or s.is_empty or v.is_empty or not v.is_numeric:
+            continue
+        xs_set.add(x)
+        name = s.to_string()
+        names_set.add(name)
+        cells[(x, name)] = cells.get((x, name), 0.0) + v.to_double()
+
+    xs = sorted(xs_set)
+    names = sorted(names_set)
+    series = {
+        name: [cells.get((x, name), fill) for x in xs] for name in names
+    }
+    return [x.value for x in xs], names, series
+
+
+def format_series(
+    xs: Sequence,
+    series: dict[str, Sequence[float]],
+    x_label: str = "x",
+    precision: int = 4,
+) -> str:
+    """Aligned text columns: one row per x, one column per series."""
+    names = list(series)
+    header = [x_label] + names
+    rows = []
+    for i, x in enumerate(xs):
+        row = [str(x)]
+        for name in names:
+            vals = series[name]
+            row.append(f"{vals[i]:.{precision}g}" if i < len(vals) else "")
+        rows.append(row)
+    widths = [len(h) for h in header]
+    for row in rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    lines = ["  ".join(h.rjust(widths[j]) for j, h in enumerate(header))]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Hierarchical (tree) rendering of profile records.
+
+Groups records by the path structure of a NESTED-style attribute (slash
+separated values such as ``main/solve/mg``) and prints an indented tree
+with metric columns — the classic call-tree profile view.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..common.node import PATH_SEPARATOR
+from ..common.record import Record
+from .table import TableOptions
+
+__all__ = ["format_tree"]
+
+
+class _TreeNode:
+    __slots__ = ("name", "children", "metrics")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.children: dict[str, _TreeNode] = {}
+        self.metrics: Optional[Record] = None
+
+
+def format_tree(
+    records: Sequence[Record],
+    path_attribute: str,
+    metrics: Sequence[str],
+    options: Optional[TableOptions] = None,
+) -> str:
+    """Render records as an indented tree along ``path_attribute``.
+
+    Records without the path attribute are grouped under ``(none)``.
+    """
+    options = options or TableOptions()
+    root = _TreeNode("")
+    for record in records:
+        path_value = record.get(path_attribute)
+        parts = (
+            path_value.to_string().split(PATH_SEPARATOR)
+            if not path_value.is_empty
+            else ["(none)"]
+        )
+        node = root
+        for part in parts:
+            child = node.children.get(part)
+            if child is None:
+                child = _TreeNode(part)
+                node.children[part] = child
+            node = child
+        node.metrics = record
+
+    rows: list[tuple[str, Optional[Record]]] = []
+
+    def walk(node: _TreeNode, depth: int) -> None:
+        for name in sorted(node.children):
+            child = node.children[name]
+            rows.append(("  " * depth + name, child.metrics))
+            walk(child, depth + 1)
+
+    walk(root, 0)
+
+    name_width = max([len(path_attribute)] + [len(name) for name, _ in rows])
+    metric_cells = [
+        [options.render_cell(rec.get(m)) if rec is not None else "" for m in metrics]
+        for _, rec in rows
+    ]
+    widths = [
+        max([len(m)] + [cells[i] and len(cells[i]) or 0 for cells in metric_cells])
+        for i, m in enumerate(metrics)
+    ]
+
+    lines = [
+        path_attribute.ljust(name_width)
+        + "  "
+        + "  ".join(m.rjust(widths[i]) for i, m in enumerate(metrics))
+    ]
+    for (name, _), cells in zip(rows, metric_cells):
+        lines.append(
+            name.ljust(name_width)
+            + "  "
+            + "  ".join(cells[i].rjust(widths[i]) for i in range(len(metrics)))
+        )
+    return "\n".join(line.rstrip() for line in lines)

@@ -1,0 +1,41 @@
+"""The runtime instrumentation layer (the Caliper-equivalent substrate)."""
+
+from .blackboard import Blackboard
+from .channel import Channel
+from .clock import Clock, VirtualClock, WallClock
+from .config import ConfigSet, config_from_env, config_from_file
+from .instrumentation import Caliper, default_runtime, set_default_runtime
+from .services import (
+    AggregateService,
+    EventService,
+    RecorderService,
+    SamplerService,
+    Service,
+    ServiceRegistry,
+    TimerService,
+    TraceService,
+    default_service_registry,
+)
+
+__all__ = [
+    "Blackboard",
+    "Channel",
+    "Clock",
+    "VirtualClock",
+    "WallClock",
+    "ConfigSet",
+    "config_from_env",
+    "config_from_file",
+    "Caliper",
+    "default_runtime",
+    "set_default_runtime",
+    "Service",
+    "ServiceRegistry",
+    "default_service_registry",
+    "AggregateService",
+    "EventService",
+    "RecorderService",
+    "SamplerService",
+    "TimerService",
+    "TraceService",
+]

@@ -1,0 +1,141 @@
+"""The blackboard: the runtime's globally visible attribute state.
+
+Caliper keeps the "current" value of every annotation attribute on a
+blackboard buffer; snapshots are compressed copies of its contents
+(Section IV-A).  Our blackboard stores, per attribute, a begin/end *stack*
+of values:
+
+* non-nested attributes snapshot their top-of-stack value;
+* ``NESTED`` attributes snapshot the whole stack joined into a path
+  (``main/foo``), giving callpath-like semantics.
+
+One blackboard exists per monitored thread (the runtime arranges that), so
+no locking happens here — mirroring the paper's lock-free per-thread design.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..common.attribute import Attribute
+from ..common.errors import BlackboardError
+from ..common.node import PATH_SEPARATOR
+from ..common.variant import RawValue, Variant
+
+__all__ = ["Blackboard"]
+
+
+class Blackboard:
+    """Per-thread stack-of-values store keyed by attribute."""
+
+    __slots__ = ("_stacks", "_snapshot_cache", "_dirty")
+
+    def __init__(self) -> None:
+        # attribute -> list of Variants (begin/end stack)
+        self._stacks: dict[Attribute, list[Variant]] = {}
+        self._snapshot_cache: Optional[dict[str, Variant]] = None
+        self._dirty = True
+
+    # -- updates ------------------------------------------------------------
+
+    def begin(self, attribute: Attribute, value: RawValue | Variant) -> None:
+        """Push a value onto the attribute's stack."""
+        v = attribute.check(value)
+        stack = self._stacks.get(attribute)
+        if stack is None:
+            self._stacks[attribute] = [v]
+        else:
+            stack.append(v)
+        self._dirty = True
+
+    def end(self, attribute: Attribute, value: RawValue | Variant | None = None) -> Variant:
+        """Pop the attribute's stack; returns the popped value.
+
+        If ``value`` is given, it must match the top of the stack — this
+        catches mismatched begin/end annotation nesting early, the classic
+        instrumentation bug.
+        """
+        stack = self._stacks.get(attribute)
+        if not stack:
+            raise BlackboardError(f"end({attribute.label!r}) without matching begin")
+        top = stack[-1]
+        if value is not None:
+            expected = attribute.check(value)
+            if expected != top:
+                raise BlackboardError(
+                    f"mismatched end for {attribute.label!r}: expected "
+                    f"{top.to_string()!r}, got {expected.to_string()!r}"
+                )
+        stack.pop()
+        if not stack:
+            del self._stacks[attribute]
+        self._dirty = True
+        return top
+
+    def set(self, attribute: Attribute, value: RawValue | Variant) -> None:
+        """Replace the attribute's top value (or start its stack)."""
+        v = attribute.check(value)
+        stack = self._stacks.get(attribute)
+        if stack:
+            stack[-1] = v
+        else:
+            self._stacks[attribute] = [v]
+        self._dirty = True
+
+    def unset(self, attribute: Attribute) -> None:
+        """Remove the attribute entirely (all stacked values)."""
+        self._stacks.pop(attribute, None)
+        self._dirty = True
+
+    # -- reads ---------------------------------------------------------------
+
+    def get(self, attribute: Attribute) -> Variant:
+        """Current (top) value, or the empty variant."""
+        stack = self._stacks.get(attribute)
+        return stack[-1] if stack else Variant.empty()
+
+    def depth(self, attribute: Attribute) -> int:
+        stack = self._stacks.get(attribute)
+        return len(stack) if stack else 0
+
+    def attributes(self) -> Iterator[Attribute]:
+        return iter(self._stacks)
+
+    def __len__(self) -> int:
+        return len(self._stacks)
+
+    def __contains__(self, attribute: Attribute) -> bool:
+        return attribute in self._stacks
+
+    # -- snapshots --------------------------------------------------------------
+
+    def snapshot_entries(self) -> dict[str, Variant]:
+        """The blackboard's contents as snapshot record entries.
+
+        Nested attributes flatten their stack into a slash-joined path value.
+        The result dict is cached until the next update — bursts of snapshots
+        between updates (sampling catch-up) reuse it, and callers must treat
+        it as read-only.
+        """
+        if not self._dirty and self._snapshot_cache is not None:
+            return self._snapshot_cache
+        entries: dict[str, Variant] = {}
+        for attribute, stack in self._stacks.items():
+            if attribute.is_nested and len(stack) > 1:
+                path = PATH_SEPARATOR.join(v.to_string() for v in stack)
+                entries[attribute.label] = Variant.of(path)
+            else:
+                entries[attribute.label] = stack[-1]
+        self._snapshot_cache = entries
+        self._dirty = False
+        return entries
+
+    def clear(self) -> None:
+        self._stacks.clear()
+        self._dirty = True
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{a.label}={'/'.join(v.to_string() for v in s)}" for a, s in self._stacks.items()
+        )
+        return f"Blackboard({inner})"

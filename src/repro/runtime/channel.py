@@ -1,0 +1,149 @@
+"""Channels: one configured data-collection pipeline.
+
+A channel bundles a runtime configuration profile with the service instances
+it names.  Several channels can be active at once on the same runtime (e.g.
+a sampling profile channel next to an event trace channel); each sees every
+instrumentation event and processes its own snapshots, exactly the
+building-block composition Section IV-A describes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Mapping, Optional, Union
+
+from ..common.attribute import Attribute
+from ..common.errors import ChannelError
+from ..common.record import Record
+from ..common.variant import Variant
+from .config import ConfigSet
+from .services.base import Service, ServiceRegistry, default_service_registry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .instrumentation import Caliper
+
+__all__ = ["Channel"]
+
+
+class Channel:
+    """A named, configured collection pipeline over a runtime instance."""
+
+    def __init__(
+        self,
+        name: str,
+        caliper: "Caliper",
+        config: Union[ConfigSet, Mapping[str, Any], None] = None,
+        registry: Optional[ServiceRegistry] = None,
+    ) -> None:
+        self.name = name
+        self.caliper = caliper
+        self.config = config if isinstance(config, ConfigSet) else ConfigSet(config)
+        self.active = True
+        #: snapshot records pushed through this channel (Table I's "Snapshots")
+        self.num_snapshots = 0
+        #: global (per-run) metadata records attached at flush
+        self.globals: dict[str, Variant] = {}
+
+        registry = registry or default_service_registry()
+        self.services: list[Service] = [
+            registry.create(service_name, self)
+            for service_name in self.config.get_list("services", [])
+        ]
+        # Dispatch lists, precomputed from which hooks each class overrides.
+        # Event hooks run in priority order (stable within equal priority),
+        # so measurement providers observe an event before snapshot triggers.
+        by_priority = sorted(self.services, key=lambda s: s.priority)
+        self._begin_services = [s for s in by_priority if type(s).overrides("on_begin")]
+        self._end_services = [s for s in by_priority if type(s).overrides("on_end")]
+        self._set_services = [s for s in by_priority if type(s).overrides("on_set")]
+        self._contributors = [s for s in self.services if type(s).overrides("contribute")]
+        self._processors = [s for s in self.services if type(s).overrides("process")]
+        self._pollers = [s for s in self.services if type(s).overrides("poll")]
+        self._finished = False
+
+    # -- event dispatch (called by the Caliper runtime) ---------------------------
+
+    def handle_begin(self, attribute: Attribute, value: Variant) -> None:
+        for service in self._begin_services:
+            service.on_begin(attribute, value)
+
+    def handle_end(self, attribute: Attribute, value: Variant) -> None:
+        for service in self._end_services:
+            service.on_end(attribute, value)
+
+    def handle_set(self, attribute: Attribute, value: Variant) -> None:
+        for service in self._set_services:
+            service.on_set(attribute, value)
+
+    def handle_poll(self, now: float) -> None:
+        for service in self._pollers:
+            service.poll(now)
+
+    @property
+    def has_pollers(self) -> bool:
+        return bool(self._pollers)
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def push_snapshot(
+        self,
+        extra: Optional[dict[str, Variant]] = None,
+        at: Optional[float] = None,
+    ) -> None:
+        """Take a snapshot: blackboard contents + service measurements.
+
+        ``at`` overrides the snapshot's timestamp (used by the sampler when
+        it replays missed sampling deadlines after a large virtual-time
+        advance); ``extra`` carries trigger information.
+        """
+        if not self.active:
+            return
+        entries = dict(self.caliper.blackboard().snapshot_entries())
+        for service in self._contributors:
+            service.contribute(entries, at)
+        if extra:
+            entries.update(extra)
+        record = Record.from_variants(entries)
+        self.num_snapshots += 1
+        for service in self._processors:
+            service.process(record)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def set_global(self, label: str, value: object) -> None:
+        """Attach run-wide metadata (emitted with flushed output)."""
+        self.globals[label] = Variant.of(value)  # type: ignore[arg-type]
+
+    def flush(self) -> list[Record]:
+        """Collect output records from every service.
+
+        Global metadata entries are added to each output record, which is how
+        per-process identity (e.g. rank) survives into multi-file datasets.
+        """
+        records: list[Record] = []
+        for service in self.services:
+            records.extend(service.flush())
+        if self.globals:
+            records = [r.with_entries(self.globals) for r in records]
+        return records
+
+    def finish(self) -> list[Record]:
+        """Flush, tear services down, and deactivate the channel."""
+        if self._finished:
+            raise ChannelError(f"channel {self.name!r} already finished")
+        records = self.flush()
+        for service in self.services:
+            service.finish()
+        self.active = False
+        self._finished = True
+        return records
+
+    def service(self, name: str) -> Service:
+        """Look up a service instance by name (for tests/introspection)."""
+        for s in self.services:
+            if s.name == name:
+                return s
+        raise ChannelError(f"channel {self.name!r} has no service {name!r}")
+
+    def __repr__(self) -> str:
+        names = ",".join(s.name for s in self.services)
+        return f"Channel({self.name!r}, services=[{names}], snapshots={self.num_snapshots})"

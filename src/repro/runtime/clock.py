@@ -1,0 +1,70 @@
+"""Clock abstractions for the runtime.
+
+Two implementations of a single ``now()`` interface:
+
+:class:`WallClock`
+    Real time (``perf_counter``); used by the overhead benchmarks, where we
+    measure what the aggregation machinery actually costs.
+
+:class:`VirtualClock`
+    Simulated time advanced explicitly by workload models
+    (``clock.advance(cost)``).  The CleverLeaf and ParaDiS workload
+    simulators run on virtual time so every figure of the case study is
+    deterministic and reproducible — this substitutes for the paper's real
+    cluster runs while exercising the identical aggregation code path.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "WallClock", "VirtualClock"]
+
+
+class Clock:
+    """Interface: monotonically non-decreasing time in seconds."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real monotonic time, zeroed at construction."""
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def now(self) -> float:
+        return time.perf_counter() - self._start
+
+
+class VirtualClock(Clock):
+    """Explicitly advanced simulated time.
+
+    >>> clk = VirtualClock()
+    >>> clk.advance(0.25)
+    >>> clk.now()
+    0.25
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        """Move time forward by ``dt`` seconds (must be non-negative)."""
+        if dt < 0:
+            raise ValueError(f"cannot advance a clock backwards (dt={dt})")
+        self._now += dt
+
+    def set(self, t: float) -> None:
+        """Jump to absolute time ``t`` (must not go backwards)."""
+        if t < self._now:
+            raise ValueError(f"cannot move clock backwards: {t} < {self._now}")
+        self._now = t

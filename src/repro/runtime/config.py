@@ -1,0 +1,158 @@
+"""Runtime configuration profiles.
+
+Caliper configures its runtime through profiles of key=value settings
+(environment variables or config files).  :class:`ConfigSet` is that idea as
+a small typed-access wrapper over a dict; channels hand each service a view
+of it.  Keys are dotted, service-prefixed strings, e.g.::
+
+    {
+        "services":         ["event", "timer", "aggregate"],
+        "aggregate.config": "AGGREGATE count, sum(time.duration) GROUP BY function",
+        "sampler.period":   0.01,
+    }
+
+:func:`config_from_env` reads the same keys from environment variables
+(``REPRO_SERVICES``, ``REPRO_AGGREGATE_CONFIG``, ...) so scripted runs can
+switch profiles without code changes, as the paper describes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Mapping, Optional
+
+from ..common.errors import ConfigError
+
+__all__ = ["ConfigSet", "config_from_env", "config_from_file", "ENV_PREFIX"]
+
+ENV_PREFIX = "REPRO_"
+
+
+class ConfigSet:
+    """Typed access to a flat dict of runtime settings."""
+
+    def __init__(self, settings: Optional[Mapping[str, Any]] = None) -> None:
+        self._settings: dict[str, Any] = dict(settings or {})
+
+    # -- raw access -----------------------------------------------------------
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._settings.get(key, default)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._settings
+
+    def keys(self) -> Iterable[str]:
+        return self._settings.keys()
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self._settings)
+
+    # -- typed access ------------------------------------------------------------
+
+    def get_string(self, key: str, default: str = "") -> str:
+        value = self._settings.get(key, default)
+        if not isinstance(value, str):
+            raise ConfigError(f"config key {key!r} must be a string, got {value!r}")
+        return value
+
+    def get_bool(self, key: str, default: bool = False) -> bool:
+        value = self._settings.get(key, default)
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("true", "1", "yes", "on"):
+                return True
+            if lowered in ("false", "0", "no", "off"):
+                return False
+        raise ConfigError(f"config key {key!r} must be a boolean, got {value!r}")
+
+    def get_int(self, key: str, default: int = 0) -> int:
+        value = self._settings.get(key, default)
+        try:
+            if isinstance(value, bool):
+                raise TypeError
+            return int(value)
+        except (TypeError, ValueError):
+            raise ConfigError(f"config key {key!r} must be an integer, got {value!r}") from None
+
+    def get_float(self, key: str, default: float = 0.0) -> float:
+        value = self._settings.get(key, default)
+        try:
+            if isinstance(value, bool):
+                raise TypeError
+            return float(value)
+        except (TypeError, ValueError):
+            raise ConfigError(f"config key {key!r} must be a number, got {value!r}") from None
+
+    def get_list(self, key: str, default: Optional[list[str]] = None) -> list[str]:
+        """A list value; strings are split on commas."""
+        value = self._settings.get(key)
+        if value is None:
+            return list(default or [])
+        if isinstance(value, str):
+            return [item.strip() for item in value.split(",") if item.strip()]
+        if isinstance(value, (list, tuple)):
+            return [str(item) for item in value]
+        raise ConfigError(f"config key {key!r} must be a list, got {value!r}")
+
+    def scoped(self, prefix: str) -> "ConfigSet":
+        """A view of all ``prefix.``-keys with the prefix stripped."""
+        dot = prefix if prefix.endswith(".") else prefix + "."
+        return ConfigSet(
+            {k[len(dot):]: v for k, v in self._settings.items() if k.startswith(dot)}
+        )
+
+    def __repr__(self) -> str:
+        return f"ConfigSet({self._settings!r})"
+
+
+def config_from_file(path: "str | os.PathLike") -> ConfigSet:
+    """Read a runtime configuration profile from a text file.
+
+    Caliper-style ``key = value`` lines; ``#`` starts a comment; blank lines
+    ignored.  Values stay strings (the typed getters convert on access)::
+
+        # profile: event-mode aggregation
+        services         = event, timer, aggregate
+        aggregate.config = AGGREGATE count, sum(time.duration) GROUP BY function
+    """
+    settings: dict[str, Any] = {}
+    with open(path, "r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            if "=" not in stripped:
+                raise ConfigError(
+                    f"{path}:{lineno}: expected 'key = value', got {stripped!r}"
+                )
+            key, _, value = stripped.partition("=")
+            settings[key.strip()] = value.strip()
+    return ConfigSet(settings)
+
+
+def config_from_env(
+    environ: Optional[Mapping[str, str]] = None, prefix: str = ENV_PREFIX
+) -> ConfigSet:
+    """Build a ConfigSet from environment variables.
+
+    ``REPRO_AGGREGATE_CONFIG`` becomes ``aggregate.config``; the first
+    underscore after the prefix separates the service name from the setting
+    (further underscores are preserved): ``REPRO_SAMPLER_PERIOD`` ->
+    ``sampler.period``, ``REPRO_SERVICES`` -> ``services``.
+    """
+    environ = environ if environ is not None else os.environ
+    settings: dict[str, Any] = {}
+    for name, value in environ.items():
+        if not name.startswith(prefix):
+            continue
+        rest = name[len(prefix):].lower()
+        if "_" in rest:
+            head, tail = rest.split("_", 1)
+            key = f"{head}.{tail}"
+        else:
+            key = rest
+        settings[key] = value
+    return ConfigSet(settings)

@@ -1,0 +1,277 @@
+"""The runtime instrumentation API (the Caliper-equivalent front end).
+
+:class:`Caliper` owns the attribute registry, one blackboard per monitored
+thread, and the set of active channels.  Applications annotate themselves
+through ``begin``/``end``/``set`` (or the :meth:`region` context manager and
+:meth:`profile` decorator); every annotation event is dispatched to each
+active channel, whose services may take snapshots, attach measurements, and
+aggregate or trace them.
+
+Threading model (paper Section IV-B): each thread has its own blackboard and
+snapshots are processed on the thread that triggered them; the aggregation
+service keeps one database per thread, so the hot path takes no locks.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from functools import wraps
+from typing import Any, Callable, Iterator, Mapping, Optional, Union
+
+from ..common.attribute import AttrProperty, Attribute, AttributeRegistry
+from ..common.errors import ChannelError
+from ..common.variant import RawValue, ValueType, Variant
+from .blackboard import Blackboard
+from .channel import Channel
+from .clock import Clock, WallClock
+from .config import ConfigSet
+from .services.base import ServiceRegistry
+
+__all__ = ["Caliper", "default_runtime", "set_default_runtime"]
+
+
+def _infer_value_type(value: RawValue) -> ValueType:
+    if isinstance(value, bool):
+        return ValueType.BOOL
+    if isinstance(value, int):
+        return ValueType.INT
+    if isinstance(value, float):
+        return ValueType.DOUBLE
+    return ValueType.STRING
+
+
+class Caliper:
+    """A performance-introspection runtime instance.
+
+    Library users normally create one instance per experiment (or use the
+    process-wide :func:`default_runtime`), add channels with configuration
+    profiles, annotate, and collect flushed records::
+
+        cali = Caliper()
+        chan = cali.create_channel("profile", {
+            "services": ["event", "timer", "aggregate"],
+            "aggregate.config": "AGGREGATE count, sum(time.duration) GROUP BY function",
+        })
+        with cali.region("function", "main"):
+            ...
+        records = chan.finish()
+    """
+
+    def __init__(self, clock: Optional[Clock] = None, enabled: bool = True) -> None:
+        self.registry = AttributeRegistry()
+        self.clock = clock if clock is not None else WallClock()
+        self.enabled = enabled
+        self.channels: dict[str, Channel] = {}
+        self._tls = threading.local()
+        self._active: tuple[Channel, ...] = ()
+        self._any_pollers = False
+
+    # -- channels ------------------------------------------------------------
+
+    def create_channel(
+        self,
+        name: str,
+        config: Union[ConfigSet, Mapping[str, Any], None] = None,
+        registry: Optional[ServiceRegistry] = None,
+    ) -> Channel:
+        if name in self.channels:
+            raise ChannelError(f"channel {name!r} already exists")
+        channel = Channel(name, self, config, registry)
+        self.channels[name] = channel
+        self._rebuild_active()
+        return channel
+
+    def remove_channel(self, name: str) -> None:
+        self.channels.pop(name, None)
+        self._rebuild_active()
+
+    def _rebuild_active(self) -> None:
+        self._active = tuple(c for c in self.channels.values() if c.active)
+        self._any_pollers = any(c.has_pollers for c in self._active)
+
+    def finish_channel(self, name: str) -> list:
+        """Finish one channel and return its output records."""
+        channel = self.channels[name]
+        records = channel.finish()
+        self._rebuild_active()
+        return records
+
+    def flush_all(self) -> dict[str, list]:
+        """Flush every active channel (without finishing them)."""
+        return {name: ch.flush() for name, ch in self.channels.items() if ch.active}
+
+    # -- blackboard ------------------------------------------------------------
+
+    def blackboard(self) -> Blackboard:
+        """The calling thread's blackboard."""
+        bb = getattr(self._tls, "blackboard", None)
+        if bb is None:
+            bb = Blackboard()
+            self._tls.blackboard = bb
+        return bb
+
+    # -- attribute management -----------------------------------------------------
+
+    def create_attribute(
+        self,
+        label: str,
+        vtype: Union[ValueType, str] = ValueType.STRING,
+        properties: AttrProperty = AttrProperty.NONE,
+    ) -> Attribute:
+        return self.registry.create(label, vtype, properties)
+
+    def _resolve(
+        self, key: Union[str, Attribute], value: RawValue | Variant, nested_default: bool
+    ) -> Attribute:
+        if isinstance(key, Attribute):
+            return key
+        attr = self.registry.find(key)
+        if attr is not None:
+            return attr
+        if isinstance(value, Variant):
+            vtype = value.type
+        else:
+            vtype = _infer_value_type(value)
+        props = AttrProperty.NESTED if nested_default else AttrProperty.NONE
+        return self.registry.create(key, vtype, props)
+
+    # -- instrumentation API ---------------------------------------------------------
+
+    def begin(self, key: Union[str, Attribute], value: RawValue | Variant) -> None:
+        """Open a region: push ``value`` on the attribute's stack.
+
+        This is the ``mark_begin`` of the paper's Listing 1.  Attributes
+        created implicitly by ``begin`` default to NESTED (path semantics).
+        """
+        if not self.enabled:
+            return
+        # Sampling deadlines that passed since the last call belong to the
+        # *current* blackboard state — poll before any update or event.
+        if self._any_pollers:
+            self._poll()
+        attribute = self._resolve(key, value, nested_default=True)
+        v = attribute.check(value)
+        if not attribute.skip_events:
+            for channel in self._active:
+                channel.handle_begin(attribute, v)
+        self.blackboard().begin(attribute, v)
+
+    def end(self, key: Union[str, Attribute], value: RawValue | Variant | None = None) -> None:
+        """Close a region: pop the attribute's stack (checking ``value`` if given)."""
+        if not self.enabled:
+            return
+        if self._any_pollers:
+            self._poll()
+        attribute = self.registry.get(key.label if isinstance(key, Attribute) else key)
+        bb = self.blackboard()
+        top = bb.get(attribute)
+        if not attribute.skip_events:
+            for channel in self._active:
+                channel.handle_end(attribute, top)
+        bb.end(attribute, value)
+
+    def set(self, key: Union[str, Attribute], value: RawValue | Variant) -> None:
+        """Set the attribute's current value (no event snapshot by default)."""
+        if not self.enabled:
+            return
+        if self._any_pollers:
+            self._poll()
+        attribute = self._resolve(key, value, nested_default=False)
+        v = attribute.check(value)
+        if not attribute.skip_events:
+            for channel in self._active:
+                channel.handle_set(attribute, v)
+        self.blackboard().set(attribute, v)
+
+    def unset(self, key: Union[str, Attribute]) -> None:
+        if not self.enabled:
+            return
+        attribute = self.registry.get(key.label if isinstance(key, Attribute) else key)
+        self.blackboard().unset(attribute)
+
+    def _poll(self) -> None:
+        now = self.clock.now()
+        for channel in self._active:
+            channel.handle_poll(now)
+
+    def sample_point(self) -> None:
+        """Give sampling services an explicit opportunity to take snapshots.
+
+        The paper's implementation samples from timer interrupts; a Python
+        library cannot interrupt user code asynchronously and async-signal-
+        safely, so sampling happens at instrumentation calls and at explicit
+        ``sample_point()`` calls in long computational phases.  Workload
+        simulators call this after every virtual-time advance, which makes
+        the sample stream equivalent to the paper's periodic interrupts.
+        """
+        if self.enabled and self._any_pollers:
+            self._poll()
+
+    def push_snapshot(self, extra: Optional[Mapping[str, RawValue | Variant]] = None) -> None:
+        """Trigger an explicit snapshot on every active channel."""
+        if not self.enabled:
+            return
+        entries = (
+            {k: Variant.of(v) for k, v in extra.items()} if extra else None
+        )
+        for channel in self._active:
+            channel.push_snapshot(entries)
+
+    # -- convenience helpers ------------------------------------------------------------
+
+    @contextmanager
+    def region(self, key: Union[str, Attribute], value: RawValue | Variant) -> Iterator[None]:
+        """Context manager for a begin/end pair."""
+        self.begin(key, value)
+        try:
+            yield
+        finally:
+            self.end(key)
+
+    def profile(
+        self, label: Union[str, Callable, None] = None, attribute: str = "function"
+    ) -> Callable:
+        """Decorator marking a function as a region.
+
+        Usable bare (``@cali.profile``) or with a custom label/attribute
+        (``@cali.profile("solve", attribute="kernel")``).
+        """
+
+        def decorate(func: Callable, name: Optional[str] = None) -> Callable:
+            region_name = name if name is not None else func.__qualname__
+
+            @wraps(func)
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
+                self.begin(attribute, region_name)
+                try:
+                    return func(*args, **kwargs)
+                finally:
+                    self.end(attribute)
+
+            return wrapper
+
+        if callable(label):
+            return decorate(label)
+        return lambda func: decorate(func, label)
+
+
+_default: Optional[Caliper] = None
+_default_lock = threading.Lock()
+
+
+def default_runtime() -> Caliper:
+    """The process-wide runtime instance (created on first use)."""
+    global _default
+    if _default is None:
+        with _default_lock:
+            if _default is None:
+                _default = Caliper()
+    return _default
+
+
+def set_default_runtime(runtime: Optional[Caliper]) -> None:
+    """Replace the process-wide runtime (tests use this to isolate state)."""
+    global _default
+    with _default_lock:
+        _default = runtime

@@ -1,0 +1,21 @@
+"""Built-in runtime services (independent building blocks, Section IV-A)."""
+
+from .aggregate import AggregateService
+from .base import Service, ServiceRegistry, default_service_registry
+from .event import EventService
+from .recorder import RecorderService
+from .sampler import SamplerService
+from .timer import TimerService
+from .trace import TraceService
+
+__all__ = [
+    "Service",
+    "ServiceRegistry",
+    "default_service_registry",
+    "AggregateService",
+    "EventService",
+    "RecorderService",
+    "SamplerService",
+    "TimerService",
+    "TraceService",
+]

@@ -1,0 +1,144 @@
+"""Service base class and registry.
+
+Caliper's runtime is a set of independent building blocks ("services")
+combined at runtime through a callback API (Section IV-A).  A
+:class:`Service` subclass opts into the hooks it needs by overriding them;
+the :class:`Channel` inspects which hooks are overridden and only dispatches
+to services that actually implement each one, keeping the per-event hot path
+short.
+
+Hook call order within one snapshot:
+
+1. ``contribute(entries, at)`` — measurement providers (timer) add entries;
+2. ``process(record)`` — consumers (aggregate, trace) receive the finished
+   snapshot record.
+
+Lifecycle hooks: ``on_begin``/``on_end``/``on_set`` fire *before* the
+blackboard update (so snapshot triggers attribute elapsed time to the state
+that was current during the elapsed interval); ``poll`` fires after every
+instrumentation call for sampling-style services; ``flush`` returns output
+records; ``finish`` releases resources at channel teardown.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ...common.attribute import Attribute
+from ...common.errors import ServiceError
+from ...common.record import Record
+from ...common.variant import Variant
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..channel import Channel
+
+__all__ = ["Service", "ServiceRegistry", "default_service_registry"]
+
+
+class Service:
+    """Base class; subclasses override the hooks they need."""
+
+    #: service name used in the ``services`` config list
+    name: str = ""
+    #: dispatch order for the begin/end/set hooks — lower runs earlier.
+    #: Measurement providers (timer) use a low priority so their hooks run
+    #: before snapshot-triggering services (event) observe the event.
+    priority: int = 100
+
+    def __init__(self, channel: "Channel") -> None:
+        self.channel = channel
+        #: scoped config view, e.g. the aggregate service sees "config" for
+        #: the "aggregate.config" key
+        self.config = channel.config.scoped(self.name) if self.name else channel.config
+
+    # -- lifecycle hooks (override as needed) -----------------------------------
+
+    def on_begin(self, attribute: Attribute, value: Variant) -> None:
+        """Called before a blackboard ``begin`` update."""
+
+    def on_end(self, attribute: Attribute, value: Variant) -> None:
+        """Called before a blackboard ``end`` update (value = popped value)."""
+
+    def on_set(self, attribute: Attribute, value: Variant) -> None:
+        """Called before a blackboard ``set`` update."""
+
+    def contribute(self, entries: dict[str, Variant], at: Optional[float]) -> None:
+        """Add measurement entries to a snapshot being built."""
+
+    def process(self, record: Record) -> None:
+        """Consume a finished snapshot record."""
+
+    def poll(self, now: float) -> None:
+        """Sampling opportunity; called after every instrumentation call."""
+
+    def flush(self) -> list[Record]:
+        """Return this service's output records (may be called repeatedly)."""
+        return []
+
+    def finish(self) -> None:
+        """Teardown at channel close."""
+
+    # -- introspection ------------------------------------------------------------
+
+    @classmethod
+    def overrides(cls, hook: str) -> bool:
+        """True if this class implements ``hook`` itself (not the base no-op)."""
+        return getattr(cls, hook) is not getattr(Service, hook)
+
+
+class ServiceRegistry:
+    """Maps service names to classes; channels instantiate from here."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, type[Service]] = {}
+
+    def register(self, cls: type[Service]) -> type[Service]:
+        """Register a service class (usable as a decorator)."""
+        if not cls.name:
+            raise ServiceError(f"service class {cls.__name__} has no name")
+        if cls.name in self._classes:
+            raise ServiceError(f"service {cls.name!r} is already registered")
+        self._classes[cls.name] = cls
+        return cls
+
+    def known(self) -> list[str]:
+        return sorted(self._classes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._classes
+
+    def create(self, name: str, channel: "Channel") -> Service:
+        cls = self._classes.get(name)
+        if cls is None:
+            raise ServiceError(
+                f"unknown service {name!r}; known services: {', '.join(self.known())}"
+            )
+        return cls(channel)
+
+
+_default_registry: Optional[ServiceRegistry] = None
+
+
+def default_service_registry() -> ServiceRegistry:
+    """The registry with all built-in services (lazily populated)."""
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = ServiceRegistry()
+        # Import here to avoid a cycle: service modules import Service from us.
+        from .aggregate import AggregateService
+        from .event import EventService
+        from .recorder import RecorderService
+        from .sampler import SamplerService
+        from .timer import TimerService
+        from .trace import TraceService
+
+        for cls in (
+            AggregateService,
+            EventService,
+            RecorderService,
+            SamplerService,
+            TimerService,
+            TraceService,
+        ):
+            _default_registry.register(cls)
+    return _default_registry

@@ -1,0 +1,67 @@
+"""Event service: triggers a snapshot at every annotation event.
+
+This is the synchronous ("event mode") snapshot source of the paper's
+evaluation: one snapshot per region begin and one per region end.  Snapshots
+fire *before* the blackboard update so the elapsed interval is attributed to
+the state that produced it (see :mod:`.timer`).
+
+Config keys (prefix ``event.``):
+
+``trigger``
+    Comma-separated attribute labels; when set, only events on these
+    attributes trigger snapshots (others still update the blackboard).
+``mark``
+    When true, add ``event.begin#<label>`` / ``event.end#<label>`` trigger
+    entries to each snapshot (off by default: trigger marks multiply the
+    number of distinct records an aggregation must hold).
+``trigger_set``
+    When true, ``set`` updates also trigger snapshots (off by default).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...common.attribute import Attribute
+from ...common.variant import Variant
+from .base import Service
+
+__all__ = ["EventService"]
+
+
+class EventService(Service):
+    name = "event"
+
+    def __init__(self, channel) -> None:
+        super().__init__(channel)
+        trigger = self.config.get_list("trigger", [])
+        self._trigger: Optional[frozenset[str]] = frozenset(trigger) if trigger else None
+        self._mark = self.config.get_bool("mark", False)
+        self._trigger_set = self.config.get_bool("trigger_set", False)
+
+    def _should_trigger(self, attribute: Attribute) -> bool:
+        return self._trigger is None or attribute.label in self._trigger
+
+    def on_begin(self, attribute: Attribute, value: Variant) -> None:
+        if not self._should_trigger(attribute):
+            return
+        extra = None
+        if self._mark:
+            extra = {f"event.begin#{attribute.label}": value}
+        self.channel.push_snapshot(extra)
+
+    def on_end(self, attribute: Attribute, value: Variant) -> None:
+        if not self._should_trigger(attribute):
+            return
+        extra = None
+        if self._mark:
+            extra = {f"event.end#{attribute.label}": value}
+        self.channel.push_snapshot(extra)
+
+    def on_set(self, attribute: Attribute, value: Variant) -> None:
+        if not self._trigger_set or not self._should_trigger(attribute):
+            return
+        extra = None
+        if self._mark:
+            extra = {f"event.set#{attribute.label}": value}
+        self.channel.push_snapshot(extra)

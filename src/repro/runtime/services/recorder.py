@@ -1,0 +1,60 @@
+"""Recorder service: writes channel output to a file at finish.
+
+The output-stage counterpart of Caliper's ``recorder`` service: when the
+channel finishes, the records flushed by the other services (aggregation
+results or trace buffers) are serialized to the configured file.
+
+Config keys (prefix ``recorder.``):
+
+``filename``
+    Output path.  The extension picks the format: ``.cali`` (compact
+    node-deduplicated text), ``.json`` (JSON lines), ``.csv``.
+``directory``
+    Optional directory prepended to ``filename`` (created if missing).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from ...common.errors import ConfigError
+from ...common.record import Record
+from .base import Service
+
+__all__ = ["RecorderService"]
+
+
+class RecorderService(Service):
+    name = "recorder"
+
+    def __init__(self, channel) -> None:
+        super().__init__(channel)
+        self.filename = self.config.get_string("filename", "")
+        if not self.filename:
+            raise ConfigError("recorder service needs 'recorder.filename'")
+        directory = self.config.get_string("directory", "")
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+            self.filename = os.path.join(directory, self.filename)
+        self._written: Optional[int] = None
+
+    def finish(self) -> None:
+        # Gather output from sibling services; the channel's finish() calls
+        # flush() before finish(), but the recorder re-flushes here so it
+        # also works when only finish() semantics are desired.
+        records: list[Record] = []
+        for service in self.channel.services:
+            if service is not self:
+                records.extend(service.flush())
+        if self.channel.globals:
+            records = [r.with_entries(self.channel.globals) for r in records]
+        from ...io import write_records  # deferred: io sits above runtime
+
+        write_records(self.filename, records)
+        self._written = len(records)
+
+    @property
+    def num_written(self) -> Optional[int]:
+        """Records written at finish, or None if finish hasn't run."""
+        return self._written

@@ -1,0 +1,47 @@
+"""Trace service: stores every snapshot record verbatim.
+
+The paper's tracing baseline — "we simply store every snapshot record".
+Computationally cheaper per snapshot than aggregation (one list append) but
+with output volume linear in the number of snapshots; Table I and Figure 3
+quantify exactly this tradeoff.
+
+Config keys (prefix ``trace.``):
+
+``buffer_limit``
+    Optional cap on buffered records (0 = unlimited, the default).  When the
+    cap is reached, further snapshots are dropped and counted in
+    ``num_dropped`` — real tools flush to disk here; for our overhead
+    studies the cap keeps pathological configurations bounded.
+"""
+
+from __future__ import annotations
+
+from ...common.record import Record
+from .base import Service
+
+__all__ = ["TraceService"]
+
+
+class TraceService(Service):
+    name = "trace"
+
+    def __init__(self, channel) -> None:
+        super().__init__(channel)
+        self.buffer_limit = self.config.get_int("buffer_limit", 0)
+        self.num_dropped = 0
+        self._buffer: list[Record] = []
+
+    def process(self, record: Record) -> None:
+        if self.buffer_limit and len(self._buffer) >= self.buffer_limit:
+            self.num_dropped += 1
+            return
+        self._buffer.append(record)
+
+    def flush(self) -> list[Record]:
+        return list(self._buffer)
+
+    def finish(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)

@@ -1,0 +1,124 @@
+"""High-level convenience entry points.
+
+The full runtime (``Caliper`` + channels + services) is flexible but takes
+a few lines to set up; :func:`profiling` wraps the common case — profile a
+block of code with one aggregation scheme and query the result — into a
+context manager::
+
+    import repro
+
+    with repro.profiling("AGGREGATE count, sum(time.duration) GROUP BY function") as prof:
+        with prof.region("function", "solve"):
+            ...
+
+    print(prof.result.to_table())
+    prof.query("AGGREGATE sum(sum#time.duration)")   # further analysis
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from .common.errors import ReproError
+from .common.record import Record
+from .query.engine import QueryEngine, QueryResult
+from .runtime.clock import Clock
+from .runtime.instrumentation import Caliper
+
+__all__ = ["ProfilingSession", "profiling"]
+
+
+class ProfilingSession:
+    """One-shot profiling of a code block (see :func:`profiling`)."""
+
+    def __init__(
+        self,
+        scheme: str = "AGGREGATE count, sum(time.duration) GROUP BY function",
+        mode: str = "event",
+        sampling_period: float = 0.01,
+        clock: Optional[Clock] = None,
+        channel_config: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self.caliper = Caliper(clock=clock)
+        if channel_config is None:
+            if mode == "event":
+                services = ["event", "timer", "aggregate"]
+                channel_config = {}
+            elif mode == "sample":
+                services = ["sampler", "timer", "aggregate"]
+                channel_config = {"sampler.period": sampling_period}
+            else:
+                raise ReproError(f"unknown profiling mode {mode!r} ('event' or 'sample')")
+            channel_config = dict(channel_config)
+            channel_config.update(
+                {
+                    "services": services,
+                    "aggregate.config": scheme,
+                    "aggregate.rename_count": False,
+                }
+            )
+        self.channel = self.caliper.create_channel("profiling-session", channel_config)
+        self._records: Optional[list[Record]] = None
+
+    # -- annotation passthroughs ----------------------------------------------
+
+    def region(self, key: str, value):
+        """``with prof.region("function", "solve"): ...``"""
+        return self.caliper.region(key, value)
+
+    def begin(self, key: str, value) -> None:
+        self.caliper.begin(key, value)
+
+    def end(self, key: str) -> None:
+        self.caliper.end(key)
+
+    def set(self, key: str, value) -> None:
+        self.caliper.set(key, value)
+
+    def profile(self, *args, **kwargs):
+        """Decorator passthrough (``@prof.profile``)."""
+        return self.caliper.profile(*args, **kwargs)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def __enter__(self) -> "ProfilingSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._records is None:
+            self._records = self.channel.finish()
+
+    # -- results ----------------------------------------------------------------------
+
+    @property
+    def records(self) -> list[Record]:
+        """The flushed profile records (closing the session if needed)."""
+        self.close()
+        assert self._records is not None
+        return self._records
+
+    @property
+    def result(self) -> QueryResult:
+        """The profile as a query result (table-printable)."""
+        records = self.records
+        preferred = sorted({lbl for r in records for lbl in r.labels()})
+        return QueryResult(list(records), preferred)
+
+    def query(self, text: str) -> QueryResult:
+        """Run a CalQL query over the collected profile."""
+        return QueryEngine(text).run(self.records)
+
+
+def profiling(
+    scheme: str = "AGGREGATE count, sum(time.duration) GROUP BY function",
+    **kwargs,
+) -> ProfilingSession:
+    """Profile a code block with one aggregation scheme.
+
+    Keyword arguments are forwarded to :class:`ProfilingSession`
+    (``mode="sample"``, ``sampling_period``, ``clock``, ``channel_config``).
+    """
+    return ProfilingSession(scheme, **kwargs)

@@ -1,0 +1,165 @@
+"""Tests for the streaming aggregation database."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate import AggregationDB, AggregationScheme, make_op
+from repro.common import AggregationError, Record
+
+from ..conftest import record_lists
+
+
+def scheme_count_sum(key=("function",), key_strategy="tuple", predicate=None):
+    return AggregationScheme(
+        ops=[make_op("count"), make_op("sum", ["time.duration"])],
+        key=list(key),
+        predicate=predicate,
+        key_strategy=key_strategy,
+    )
+
+
+def plain(records):
+    return sorted(
+        (tuple(sorted(r.to_plain().items())) for r in records),
+        key=repr,
+    )
+
+
+class TestProcessFlush:
+    def test_grouping(self):
+        db = AggregationDB(scheme_count_sum())
+        for name, t in [("foo", 1), ("foo", 2), ("bar", 4)]:
+            db.process(Record({"function": name, "time.duration": t}))
+        out = {r["function"].value: r for r in db.flush()}
+        assert out["foo"]["count"].value == 2
+        assert out["foo"]["sum#time.duration"].value == 3
+        assert out["bar"]["count"].value == 1
+
+    def test_records_missing_key_get_own_entry(self):
+        db = AggregationDB(scheme_count_sum())
+        db.process(Record({"time.duration": 5}))
+        (rec,) = db.flush()
+        assert "function" not in rec
+        assert rec["count"].value == 1
+
+    def test_predicate_filters(self):
+        scheme = scheme_count_sum(
+            predicate=lambda r: r.get("function").to_string() != "skip"
+        )
+        db = AggregationDB(scheme)
+        db.process(Record({"function": "keep", "time.duration": 1}))
+        db.process(Record({"function": "skip", "time.duration": 1}))
+        out = db.flush()
+        assert len(out) == 1
+        assert db.num_offered == 2 and db.num_processed == 1
+
+    def test_flush_is_repeatable(self):
+        db = AggregationDB(scheme_count_sum())
+        db.process(Record({"function": "f", "time.duration": 1}))
+        assert plain(db.flush()) == plain(db.flush())
+
+    def test_clear(self):
+        db = AggregationDB(scheme_count_sum())
+        db.process(Record({"function": "f", "time.duration": 1}))
+        db.clear()
+        assert len(db) == 0 and db.flush() == []
+
+    def test_percent_total_global_pass(self):
+        scheme = AggregationScheme(
+            ops=[make_op("percent_total", ["t"])], key=["k"]
+        )
+        db = AggregationDB(scheme)
+        db.process(Record({"k": "a", "t": 30.0}))
+        db.process(Record({"k": "b", "t": 70.0}))
+        out = {r["k"].value: r["percent_total#t"].value for r in db.flush()}
+        assert out["a"] == pytest.approx(30.0)
+        assert out["b"] == pytest.approx(70.0)
+
+    def test_wire_size_grows_with_entries(self):
+        db = AggregationDB(scheme_count_sum())
+        s0 = db.wire_size()
+        for i in range(10):
+            db.process(Record({"function": f"f{i}", "time.duration": 1}))
+        assert db.wire_size() > s0
+
+
+class TestCombine:
+    def test_combine_disjoint_keys(self):
+        a = AggregationDB(scheme_count_sum())
+        b = AggregationDB(scheme_count_sum())
+        a.process(Record({"function": "x", "time.duration": 1}))
+        b.process(Record({"function": "y", "time.duration": 2}))
+        a.combine(b)
+        assert len(a) == 2
+
+    def test_combine_overlapping_keys_adds(self):
+        a = AggregationDB(scheme_count_sum())
+        b = AggregationDB(scheme_count_sum())
+        a.process(Record({"function": "x", "time.duration": 1}))
+        b.process(Record({"function": "x", "time.duration": 2}))
+        a.combine(b)
+        (rec,) = a.flush()
+        assert rec["count"].value == 2 and rec["sum#time.duration"].value == 3
+
+    def test_combine_does_not_alias_states(self):
+        a = AggregationDB(scheme_count_sum())
+        b = AggregationDB(scheme_count_sum())
+        b.process(Record({"function": "x", "time.duration": 2}))
+        a.combine(b)
+        a.process(Record({"function": "x", "time.duration": 5}))
+        (rec_b,) = b.flush()
+        assert rec_b["sum#time.duration"].value == 2  # b unchanged
+
+    def test_combine_scheme_mismatch(self):
+        a = AggregationDB(scheme_count_sum(key=("function",)))
+        b = AggregationDB(scheme_count_sum(key=("kernel",)))
+        with pytest.raises(AggregationError):
+            a.combine(b)
+
+    def test_combine_across_key_strategies(self):
+        a = AggregationDB(scheme_count_sum(key_strategy="tuple"))
+        b = AggregationDB(scheme_count_sum(key_strategy="interned"))
+        a.process(Record({"function": "x", "time.duration": 1}))
+        b.process(Record({"function": "x", "time.duration": 2}))
+        b.process(Record({"function": "z", "time.duration": 9}))
+        a.combine(b)
+        out = {r["function"].value: r["sum#time.duration"].value for r in a.flush()}
+        assert out == {"x": 3, "z": 9}
+
+
+@given(record_lists, st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_partitioned_combine_equals_single_pass(recs, parts):
+    """Splitting a stream across partial DBs then combining == one DB."""
+    def fresh():
+        return AggregationDB(
+            AggregationScheme(
+                ops=[make_op("count"), make_op("sum", ["time.duration"]),
+                     make_op("min", ["mpi.rank"]), make_op("max", ["mpi.rank"])],
+                key=["function", "kernel"],
+            )
+        )
+
+    single = fresh()
+    single.process_all(recs)
+
+    partials = [fresh() for _ in range(parts)]
+    for i, rec in enumerate(recs):
+        partials[i % parts].process(rec)
+    merged = fresh()
+    for p in partials:
+        merged.combine(p)
+
+    assert plain(merged.flush()) == plain(single.flush())
+
+
+@given(record_lists)
+@settings(max_examples=40, deadline=None)
+def test_key_strategies_equal_results(recs):
+    out = {}
+    for strategy in ("tuple", "interned"):
+        db = AggregationDB(scheme_count_sum(key=("function", "mpi.rank"), key_strategy=strategy))
+        db.process_all(recs)
+        out[strategy] = plain(db.flush())
+    assert out["tuple"] == out["interned"]

@@ -1,0 +1,105 @@
+"""Tests for aggregation-key extraction strategies."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.aggregate.key import (
+    InternedKeyExtractor,
+    TupleKeyExtractor,
+    make_extractor,
+)
+from repro.common import Record, Variant
+
+from ..conftest import record_lists
+
+
+class TestTupleExtractor:
+    def test_extract_full_key(self):
+        ex = TupleKeyExtractor(["a", "b"])
+        key = ex.extract(Record({"a": 1, "b": "x"}))
+        assert key == (Variant.of(1), Variant.of("x"))
+
+    def test_missing_attribute_is_none(self):
+        ex = TupleKeyExtractor(["a", "b"])
+        assert ex.extract(Record({"b": "x"})) == (None, Variant.of("x"))
+
+    def test_entries_roundtrip(self):
+        ex = TupleKeyExtractor(["a", "b"])
+        rec = Record({"a": 1})
+        key = ex.extract(rec)
+        assert dict(ex.entries(key)) == {"a": Variant.of(1)}
+
+    def test_extra_record_attributes_ignored(self):
+        ex = TupleKeyExtractor(["a"])
+        assert ex.extract(Record({"a": 1, "z": 9})) == ex.extract(Record({"a": 1}))
+
+    def test_empty_key(self):
+        ex = TupleKeyExtractor([])
+        assert ex.extract(Record({"a": 1})) == ()
+        assert ex.entries(()) == []
+
+
+class TestInternedExtractor:
+    def test_same_record_same_id(self):
+        ex = InternedKeyExtractor(["a", "b"])
+        k1 = ex.extract(Record({"a": 1, "b": "x"}))
+        k2 = ex.extract(Record({"a": 1, "b": "x"}))
+        assert k1 == k2
+        assert isinstance(k1, int)
+
+    def test_distinct_records_distinct_ids(self):
+        ex = InternedKeyExtractor(["a"])
+        assert ex.extract(Record({"a": 1})) != ex.extract(Record({"a": 2}))
+
+    def test_missing_vs_present_distinct(self):
+        ex = InternedKeyExtractor(["a"])
+        assert ex.extract(Record({})) != ex.extract(Record({"a": 1}))
+
+    def test_entries_reconstruction(self):
+        ex = InternedKeyExtractor(["a", "b", "c"])
+        rec = Record({"a": 5, "c": "z"})
+        key = ex.extract(rec)
+        assert dict(ex.entries(key)) == {"a": Variant.of(5), "c": Variant.of("z")}
+
+    def test_num_composites_counts_unique(self):
+        ex = InternedKeyExtractor(["a"])
+        for v in [1, 2, 1, 3, 2]:
+            ex.extract(Record({"a": v}))
+        assert ex.num_composites == 3
+
+
+class TestFactory:
+    def test_strategies(self):
+        assert isinstance(make_extractor(["a"], "tuple"), TupleKeyExtractor)
+        assert isinstance(make_extractor(["a"], "interned"), InternedKeyExtractor)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            make_extractor(["a"], "quantum")
+
+
+@given(record_lists)
+@settings(max_examples=50, deadline=None)
+def test_strategies_induce_identical_grouping(recs):
+    """Both strategies must partition any record stream identically."""
+    key_labels = ["function", "kernel", "mpi.rank"]
+    tup = TupleKeyExtractor(key_labels)
+    intern = InternedKeyExtractor(key_labels)
+    tup_groups: dict = {}
+    int_groups: dict = {}
+    for i, rec in enumerate(recs):
+        tup_groups.setdefault(tup.extract(rec), []).append(i)
+        int_groups.setdefault(intern.extract(rec), []).append(i)
+    assert sorted(map(tuple, tup_groups.values())) == sorted(map(tuple, int_groups.values()))
+
+
+@given(record_lists)
+@settings(max_examples=50, deadline=None)
+def test_interned_entries_match_tuple_entries(recs):
+    key_labels = ["function", "mpi.rank"]
+    tup = TupleKeyExtractor(key_labels)
+    intern = InternedKeyExtractor(key_labels)
+    for rec in recs:
+        t_entries = dict(tup.entries(tup.extract(rec)))
+        i_entries = dict(intern.entries(intern.extract(rec)))
+        assert t_entries == i_entries

@@ -1,0 +1,285 @@
+"""Unit tests for every aggregation operator kernel."""
+
+import math
+
+import pytest
+
+from repro.aggregate.ops import (
+    AvgOp,
+    CountOp,
+    FirstOp,
+    HistogramOp,
+    MaxOp,
+    MinOp,
+    PercentTotalOp,
+    RatioOp,
+    ScaleOp,
+    StddevOp,
+    SumOp,
+    VarianceOp,
+    default_registry,
+    make_op,
+)
+from repro.common import OperatorError, Record, Variant
+
+
+def feed(op, values, label="x"):
+    state = op.init()
+    for v in values:
+        record = Record({label: v} if v is not None else {})
+        op.update(state, record.get)
+    return state
+
+
+def result_value(op, state):
+    results = op.results(state)
+    assert len(results) <= 1
+    return results[0][1].value if results else None
+
+
+class TestCount:
+    def test_counts_all_records(self):
+        op = CountOp()
+        state = feed(op, [1, "a", None, 2.5])
+        assert result_value(op, state) == 4
+
+    def test_output_label(self):
+        assert CountOp().output_labels() == ["count"]
+
+    def test_rejects_arguments(self):
+        with pytest.raises(OperatorError):
+            CountOp(["x"])
+
+
+class TestSum:
+    def test_sums_numeric(self):
+        op = SumOp(["x"])
+        assert result_value(op, feed(op, [1, 2, 3.5])) == 6.5
+
+    def test_integral_sum_is_int(self):
+        op = SumOp(["x"])
+        v = result_value(op, feed(op, [1, 2]))
+        assert v == 3 and isinstance(v, int)
+
+    def test_skips_missing_and_strings(self):
+        op = SumOp(["x"])
+        assert result_value(op, feed(op, [1, None, "nope", 2])) == 3
+
+    def test_empty_state_no_output(self):
+        op = SumOp(["x"])
+        assert op.results(op.init()) == []
+
+    def test_output_label(self):
+        assert SumOp(["time.duration"]).output_labels() == ["sum#time.duration"]
+
+
+class TestMinMax:
+    def test_min(self):
+        op = MinOp(["x"])
+        assert result_value(op, feed(op, [5, -2, 7])) == -2
+
+    def test_max(self):
+        op = MaxOp(["x"])
+        assert result_value(op, feed(op, [5, -2, 7])) == 7
+
+    def test_single_value(self):
+        op = MinOp(["x"])
+        assert result_value(op, feed(op, [3])) == 3
+
+    def test_empty(self):
+        assert MaxOp(["x"]).results(MaxOp(["x"]).init()) == []
+
+
+class TestAvg:
+    def test_mean(self):
+        op = AvgOp(["x"])
+        assert result_value(op, feed(op, [1, 2, 3, 4])) == 2.5
+
+    def test_alias_mean(self):
+        assert isinstance(make_op("mean", ["x"]), AvgOp)
+
+
+class TestVarianceStddev:
+    def test_variance(self):
+        op = VarianceOp(["x"])
+        assert result_value(op, feed(op, [2, 4, 4, 4, 5, 5, 7, 9])) == pytest.approx(4.0)
+
+    def test_stddev(self):
+        op = StddevOp(["x"])
+        assert result_value(op, feed(op, [2, 4, 4, 4, 5, 5, 7, 9])) == pytest.approx(2.0)
+
+    def test_constant_input_zero_variance(self):
+        op = VarianceOp(["x"])
+        assert result_value(op, feed(op, [3.3] * 10)) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestHistogram:
+    def test_binning(self):
+        op = HistogramOp(["x"], bins=4, lo=0.0, hi=4.0)
+        state = feed(op, [-1, 0, 0.5, 1.5, 3.9, 4.0, 100])
+        text = result_value(op, state)
+        lo, hi, under, bins, over = HistogramOp.decode(text)
+        assert (lo, hi) == (0.0, 4.0)
+        assert under == 1 and over == 2
+        assert bins == [2, 1, 0, 1]
+
+    def test_decode_malformed(self):
+        with pytest.raises(OperatorError):
+            HistogramOp.decode("garbage")
+
+    def test_invalid_params(self):
+        with pytest.raises(OperatorError):
+            HistogramOp(["x"], bins=0)
+        with pytest.raises(OperatorError):
+            HistogramOp(["x"], lo=1.0, hi=1.0)
+
+    def test_registry_construction(self):
+        op = make_op("histogram", ["x", "8", "0", "16"])
+        assert op.bins == 8 and op.lo == 0.0 and op.hi == 16.0
+
+    def test_registry_bad_arity(self):
+        with pytest.raises(OperatorError):
+            make_op("histogram", ["x", "8", "0"])  # bins+lo without hi
+
+    def test_spec_string_roundtrip(self):
+        op = make_op("histogram", ["x", "8", "0", "16"])
+        from repro.calql import parse_query
+        from repro.calql.semantics import instantiate_ops
+
+        q = parse_query("AGGREGATE " + op.spec_string())
+        (op2,) = instantiate_ops(q)
+        assert op2 == op
+
+
+class TestFirst:
+    def test_first_non_empty(self):
+        op = FirstOp(["x"])
+        state = feed(op, [None, "a", "b"])
+        assert result_value(op, state) == "a"
+
+    def test_any_alias(self):
+        assert isinstance(make_op("any", ["x"]), FirstOp)
+
+
+class TestRatio:
+    def test_ratio_of_sums(self):
+        op = RatioOp(["x", "y"])
+        state = op.init()
+        for x, y in [(1, 2), (3, 2)]:
+            op.update(state, Record({"x": x, "y": y}).get)
+        assert result_value(op, state) == pytest.approx(1.0)
+
+    def test_zero_denominator_no_output(self):
+        op = RatioOp(["x", "y"])
+        state = feed(op, [1, 2])  # only x present
+        assert op.results(state) == []
+
+    def test_output_label(self):
+        assert RatioOp(["a", "b"]).output_labels() == ["ratio#a/b"]
+
+    def test_arity_enforced(self):
+        with pytest.raises(OperatorError):
+            RatioOp(["a"])
+
+
+class TestScale:
+    def test_scales_sum(self):
+        op = make_op("scale", ["x", "0.01"])
+        assert result_value(op, feed(op, [100, 200])) == pytest.approx(3.0)
+
+    def test_bad_arity(self):
+        with pytest.raises(OperatorError):
+            make_op("scale", ["x"])
+
+
+class TestPercentTotal:
+    def test_results_with_total(self):
+        op = PercentTotalOp(["x"])
+        state = feed(op, [25.0])
+        (label, value), = op.results_with_total(state, 100.0)
+        assert value.value == pytest.approx(25.0)
+
+    def test_zero_total(self):
+        op = PercentTotalOp(["x"])
+        state = feed(op, [0.0])
+        (_, value), = op.results_with_total(state, 0.0)
+        assert value.value == 0.0
+
+
+class TestRegistry:
+    def test_known_lists_builtins(self):
+        known = default_registry().known()
+        for name in ("count", "sum", "min", "max", "avg", "histogram"):
+            assert name in known
+
+    def test_unknown_operator(self):
+        with pytest.raises(OperatorError):
+            make_op("frobnicate", ["x"])
+
+    def test_duplicate_registration(self):
+        reg = default_registry()
+        with pytest.raises(OperatorError):
+            reg.register("sum", lambda args: SumOp(args))
+
+    def test_custom_operator_registration(self):
+        reg = default_registry()
+
+        class GeomMeanish(SumOp):
+            name = "logsum"
+
+            def update(self, state, get):
+                v = get(self.args[0])
+                if not v.is_empty and v.is_numeric and v.to_double() > 0:
+                    state[0] += 1
+                    state[1] += math.log(v.to_double())
+
+        reg.register("logsum", lambda args: GeomMeanish(args))
+        op = reg.create("logsum", ["x"])
+        state = feed(op, [math.e, math.e])
+        assert result_value(op, state) == pytest.approx(2.0)
+
+
+class TestAliasedOp:
+    def test_renames_output(self):
+        from repro.aggregate.ops import AliasedOp
+
+        op = AliasedOp(SumOp(["x"]), "total")
+        state = feed(op, [1, 2, 3])
+        assert op.results(state) == [("total", Variant.of(6))]
+        assert op.output_labels() == ["total"]
+
+    def test_delegates_combine(self):
+        from repro.aggregate.ops import AliasedOp
+
+        op = AliasedOp(SumOp(["x"]), "total")
+        a = feed(op, [1, 2])
+        b = feed(op, [3])
+        op.combine(a, b)
+        assert result_value(op, a) == 6
+
+    def test_spec_string(self):
+        from repro.aggregate.ops import AliasedOp
+
+        op = AliasedOp(SumOp(["x"]), "total")
+        assert op.spec_string() == "sum(x) AS total"
+
+    def test_equality(self):
+        from repro.aggregate.ops import AliasedOp
+
+        assert AliasedOp(SumOp(["x"]), "a") == AliasedOp(SumOp(["x"]), "a")
+        assert AliasedOp(SumOp(["x"]), "a") != AliasedOp(SumOp(["x"]), "b")
+        assert AliasedOp(SumOp(["x"]), "a") != SumOp(["x"])
+
+    def test_percent_total_aliasing(self):
+        from repro.aggregate import AggregationDB, AggregationScheme
+        from repro.aggregate.ops import AliasedOp
+
+        scheme = AggregationScheme(
+            ops=[AliasedOp(PercentTotalOp(["t"]), "share")], key=["k"]
+        )
+        db = AggregationDB(scheme)
+        db.process(Record({"k": "a", "t": 25.0}))
+        db.process(Record({"k": "b", "t": 75.0}))
+        out = {r["k"].value: r["share"].value for r in db.flush()}
+        assert out["a"] == pytest.approx(25.0)
+        assert out["b"] == pytest.approx(75.0)

@@ -1,0 +1,158 @@
+"""Property tests for the operator algebra.
+
+The paper's central flexibility claim — the same scheme may run on-line,
+off-line, or split across stages (Section VI-F) — holds only if every
+operator's ``combine`` is associative and commutative and agrees with
+streaming ``update``.  These tests enforce those laws over random inputs
+for every built-in operator.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate.ops import (
+    AvgOp,
+    CountOp,
+    FirstOp,
+    HistogramOp,
+    MaxOp,
+    MinOp,
+    PercentTotalOp,
+    RatioOp,
+    ScaleOp,
+    StddevOp,
+    SumOp,
+    VarianceOp,
+)
+from repro.common import Record
+
+OPS = [
+    CountOp(),
+    SumOp(["x"]),
+    MinOp(["x"]),
+    MaxOp(["x"]),
+    AvgOp(["x"]),
+    VarianceOp(["x"]),
+    StddevOp(["x"]),
+    HistogramOp(["x"], bins=6, lo=-100.0, hi=100.0),
+    RatioOp(["x", "y"]),
+    ScaleOp(["x"], factor=2.5),
+    PercentTotalOp(["x"]),
+]
+
+values = st.lists(
+    st.one_of(
+        st.integers(-1000, 1000),
+        st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+        st.none(),
+        st.just("text"),
+    ),
+    max_size=30,
+)
+
+
+def fold(op, vals):
+    state = op.init()
+    for v in vals:
+        entries = {}
+        if v is not None:
+            entries["x"] = v
+            if isinstance(v, (int, float)):
+                entries["y"] = abs(v) + 1.0
+        op.update(state, Record(entries).get)
+    return state
+
+
+def approx_state(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        if isinstance(x, float) or isinstance(y, float):
+            assert x == pytest.approx(y, rel=1e-9, abs=1e-9)
+        else:
+            assert x == y
+
+
+@pytest.mark.parametrize("op", OPS, ids=lambda op: op.name)
+@given(chunks=st.lists(values, min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_combine_equals_streaming(op, chunks):
+    """combine over per-chunk partials == streaming over the concatenation."""
+    streamed = fold(op, [v for chunk in chunks for v in chunk])
+    combined = op.init()
+    for chunk in chunks:
+        op.combine(combined, fold(op, chunk))
+    approx_state(combined, streamed)
+
+
+@pytest.mark.parametrize("op", OPS, ids=lambda op: op.name)
+@given(a=values, b=values)
+@settings(max_examples=40, deadline=None)
+def test_combine_commutative_up_to_results(op, a, b):
+    """a+b and b+a give the same *rendered result* (first() may pick either
+    operand's value only when one side is empty — with both non-empty the
+    receiving side wins, so we skip first() when both sides have values)."""
+    sa, sb = fold(op, a), fold(op, b)
+    left = op.init()
+    op.combine(left, sa)
+    op.combine(left, sb)
+    right = op.init()
+    op.combine(right, sb)
+    op.combine(right, sa)
+    if isinstance(op, FirstOp):
+        return  # first() is order-dependent by design
+    approx_state(left, right)
+
+
+@pytest.mark.parametrize("op", OPS, ids=lambda op: op.name)
+@given(data=values)
+@settings(max_examples=30, deadline=None)
+def test_combine_with_empty_is_identity(op, data):
+    state = fold(op, data)
+    merged = op.init()
+    op.combine(merged, state)
+    op.combine(merged, op.init())
+    approx_state(merged, state)
+
+
+@pytest.mark.parametrize("op", OPS, ids=lambda op: op.name)
+@given(data=values)
+@settings(max_examples=30, deadline=None)
+def test_combine_does_not_mutate_source(op, data):
+    source = fold(op, data)
+    snapshot = [list(s) if isinstance(s, list) else s for s in source]
+    target = op.init()
+    op.combine(target, source)
+    # mutate target further and re-check source
+    op.combine(target, fold(op, [1, 2, 3]))
+    assert source == snapshot
+
+
+@given(values)
+@settings(max_examples=50, deadline=None)
+def test_variance_matches_reference(data):
+    nums = [float(v) for v in data if isinstance(v, (int, float))]
+    op = VarianceOp(["x"])
+    state = fold(op, data)
+    out = op.results(state)
+    if not nums:
+        assert out == []
+        return
+    mean = sum(nums) / len(nums)
+    ref = sum((x - mean) ** 2 for x in nums) / len(nums)
+    assert out[0][1].value == pytest.approx(ref, rel=1e-6, abs=1e-6)
+
+
+@given(values)
+@settings(max_examples=50, deadline=None)
+def test_histogram_conserves_count(data):
+    nums = [v for v in data if isinstance(v, (int, float))]
+    op = HistogramOp(["x"], bins=5, lo=-10, hi=10)
+    out = op.results(fold(op, data))
+    if not nums:
+        assert out == []
+        return
+    lo, hi, under, bins, over = HistogramOp.decode(out[0][1].value)
+    assert under + sum(bins) + over == len(nums)

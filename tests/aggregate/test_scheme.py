@@ -1,0 +1,81 @@
+"""Tests for AggregationScheme construction and views."""
+
+import pytest
+
+from repro.aggregate import AggregationScheme, make_op
+from repro.common import AggregationError, Record
+
+
+class TestConstruction:
+    def test_string_ops_resolved(self):
+        scheme = AggregationScheme(ops=["count"], key=["k"])
+        assert scheme.ops[0].name == "count"
+
+    def test_needs_at_least_one_op(self):
+        with pytest.raises(AggregationError):
+            AggregationScheme(ops=[], key=["k"])
+
+    def test_duplicate_outputs_rejected(self):
+        with pytest.raises(AggregationError):
+            AggregationScheme(
+                ops=[make_op("sum", ["x"]), make_op("sum", ["x"])], key=[]
+            )
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(AggregationError):
+            AggregationScheme(ops=["count"], key=["k", "k"])
+
+    def test_immutable(self):
+        scheme = AggregationScheme(ops=["count"])
+        with pytest.raises(AttributeError):
+            scheme.key = ("x",)
+
+
+class TestViews:
+    def test_aggregation_attributes_deduplicated(self):
+        scheme = AggregationScheme(
+            ops=[make_op("sum", ["t"]), make_op("min", ["t"]), make_op("max", ["u"])],
+            key=["k"],
+        )
+        assert scheme.aggregation_attributes == ["t", "u"]
+
+    def test_output_labels_order(self):
+        scheme = AggregationScheme(
+            ops=[make_op("count"), make_op("sum", ["t"])], key=["a", "b"]
+        )
+        assert scheme.output_labels == ["a", "b", "count", "sum#t"]
+
+    def test_describe(self):
+        scheme = AggregationScheme(
+            ops=[make_op("count"), make_op("sum", ["time.duration"])],
+            key=["function"],
+        )
+        assert scheme.describe() == (
+            "AGGREGATE count, sum(time.duration) GROUP BY function"
+        )
+
+    def test_with_key(self):
+        scheme = AggregationScheme(ops=["count"], key=["a"])
+        replaced = scheme.with_key(["b", "c"])
+        assert replaced.key == ("b", "c")
+        assert scheme.key == ("a",)
+        assert replaced.ops == scheme.ops
+
+    def test_with_predicate(self):
+        pred = lambda r: True  # noqa: E731
+        scheme = AggregationScheme(ops=["count"]).with_predicate(pred)
+        assert scheme.predicate is pred
+
+    def test_equality(self):
+        a = AggregationScheme(ops=[make_op("count")], key=["k"])
+        b = AggregationScheme(ops=[make_op("count")], key=["k"])
+        assert a == b
+        assert a != a.with_key(["z"])
+
+    def test_output_colliding_with_key_rejected(self):
+        from repro.aggregate.ops import AliasedOp
+
+        with pytest.raises(AggregationError, match="collides"):
+            AggregationScheme(
+                ops=[AliasedOp(make_op("sum", ["x"]), "kernel")], key=["kernel"]
+            )

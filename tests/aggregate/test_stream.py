@@ -1,0 +1,72 @@
+"""Tests for the streaming aggregator facade."""
+
+import pytest
+
+from repro.aggregate import (
+    AggregationDB,
+    AggregationScheme,
+    StreamAggregator,
+    aggregate_records,
+    combine_partials,
+    make_op,
+)
+from repro.common import Record
+
+
+def scheme():
+    return AggregationScheme(
+        ops=[make_op("count"), make_op("sum", ["t"])], key=["k"]
+    )
+
+
+class TestStreamAggregator:
+    def test_push_flush(self):
+        agg = StreamAggregator(scheme())
+        agg.push(Record({"k": "a", "t": 1}))
+        agg.push_all([Record({"k": "a", "t": 2}), Record({"k": "b", "t": 3})])
+        out = {r["k"].value: r["sum#t"].value for r in agg.flush()}
+        assert out == {"a": 3, "b": 3}
+        assert agg.num_entries == 2
+        assert agg.num_processed == 3
+
+    def test_flush_clear(self):
+        agg = StreamAggregator(scheme())
+        agg.push(Record({"k": "a", "t": 1}))
+        agg.flush(clear=True)
+        assert agg.flush() == []
+
+    def test_combine(self):
+        a = StreamAggregator(scheme())
+        b = StreamAggregator(scheme())
+        a.push(Record({"k": "x", "t": 1}))
+        b.push(Record({"k": "x", "t": 2}))
+        a.combine(b)
+        (rec,) = a.flush()
+        assert rec["sum#t"].value == 3
+
+
+class TestHelpers:
+    def test_aggregate_records(self):
+        out = aggregate_records(
+            [Record({"k": "a", "t": 1}), Record({"k": "a", "t": 1})], scheme()
+        )
+        assert out[0]["count"].value == 2
+
+    def test_combine_partials_equals_sequential(self):
+        recs = [Record({"k": f"g{i % 3}", "t": i}) for i in range(12)]
+        partials = []
+        for part in range(3):
+            db = AggregationDB(scheme())
+            db.process_all(recs[part::3])
+            partials.append(db)
+        merged = combine_partials(partials)
+        reference = aggregate_records(recs, scheme())
+        merged_out = {r["k"].value: r["sum#t"].value for r in merged.flush()}
+        ref_out = {r["k"].value: r["sum#t"].value for r in reference}
+        assert merged_out == ref_out
+
+    def test_combine_partials_empty_needs_scheme(self):
+        with pytest.raises(ValueError):
+            combine_partials([])
+        db = combine_partials([], scheme=scheme())
+        assert len(db) == 0

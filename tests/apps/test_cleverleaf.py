@@ -1,0 +1,214 @@
+"""Tests for the CleverLeaf workload simulator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cleverleaf import (
+    KERNELS,
+    SCHEME_A,
+    SCHEME_B,
+    SCHEME_C,
+    AMRModel,
+    CleverLeafConfig,
+    WorkloadPlan,
+    channel_config_aggregate,
+    channel_config_trace,
+    run_simulation,
+)
+from repro.common import ReproError
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return CleverLeafConfig(timesteps=12, ranks=6, target_runtime=3.0)
+
+
+@pytest.fixture(scope="module")
+def plan(small_config):
+    return WorkloadPlan(small_config)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CleverLeafConfig(timesteps=0)
+        with pytest.raises(ReproError):
+            CleverLeafConfig(ranks=0)
+        with pytest.raises(ReproError):
+            CleverLeafConfig(unannotated_fraction=0.9, mpi_fraction=0.2)
+        with pytest.raises(ReproError):
+            CleverLeafConfig(events_scale=0)
+
+    def test_kernel_fraction_complement(self):
+        cfg = CleverLeafConfig()
+        total = (
+            cfg.kernel_fraction
+            + cfg.unannotated_fraction
+            + cfg.mpi_fraction
+            + cfg.phases_fraction
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_scaled_down(self):
+        cfg = CleverLeafConfig().scaled_down(timesteps=5, ranks=2)
+        assert cfg.timesteps == 5 and cfg.ranks == 2
+        assert cfg.anomalous_level1_rank < 2
+
+
+class TestAMRModel:
+    def test_level_shares_normalized(self, small_config):
+        amr = AMRModel(small_config)
+        sums = amr.level_share.sum(axis=1)
+        assert np.allclose(sums, 1.0)
+
+    def test_level2_grows_level0_shrinks_in_share(self, small_config):
+        amr = AMRModel(small_config)
+        assert amr.level_share[-1, 2] > amr.level_share[0, 2]
+        # level 0 absolute work is constant; its share declines as 2 grows
+        assert amr.level_share[-1, 0] < amr.level_share[0, 0]
+
+    def test_rank_shares_normalized(self, small_config):
+        amr = AMRModel(small_config)
+        assert np.allclose(amr.rank_share.sum(axis=0), 1.0)
+
+    def test_deterministic_for_seed(self, small_config):
+        a = AMRModel(small_config)
+        b = AMRModel(small_config)
+        assert np.array_equal(a.rank_share, b.rank_share)
+
+
+class TestWorkloadPlan:
+    def test_budget_split(self, small_config, plan):
+        totals = plan.totals()
+        grand = sum(totals.values())
+        expected = small_config.target_runtime * small_config.ranks
+        assert grand == pytest.approx(expected, rel=0.02)
+        assert totals["unannotated"] > totals["kernel"]  # paper Fig. 5
+
+    def test_rank_runtimes_near_target(self, small_config, plan):
+        for rank in range(small_config.ranks):
+            assert plan.rank_total(rank) == pytest.approx(
+                small_config.target_runtime, rel=0.15
+            )
+
+    def test_calc_dt_dominates_kernels(self, plan):
+        per_kernel = plan.kernel_time.sum(axis=(0, 1, 2))
+        names = plan.kernel_names
+        assert names[int(np.argmax(per_kernel))] == "calc-dt"
+
+    def test_barrier_dominates_mpi(self, plan):
+        per_fn = plan.mpi_time.sum(axis=(0, 1))
+        order = [plan.mpi_names[i] for i in np.argsort(per_fn)[::-1]]
+        assert order[0] == "MPI_Barrier"
+        assert order[1] == "MPI_Allreduce"
+
+    def test_advec_mom_balanced(self, plan):
+        """advec-mom must show almost no cross-rank imbalance (Fig. 7)."""
+        k = plan.kernel_names.index("advec-mom")
+        per_rank = plan.kernel_time[:, :, :, k].sum(axis=(1, 2))
+        spread = (per_rank.max() - per_rank.min()) / per_rank.mean()
+        assert spread < 0.01
+
+    def test_other_kernels_carry_imbalance(self, plan):
+        k = plan.kernel_names.index("pdv")
+        per_rank = plan.kernel_time[:, :, :, k].sum(axis=(1, 2))
+        spread = (per_rank.max() - per_rank.min()) / per_rank.mean()
+        assert spread > 0.01
+
+    def test_level2_time_grows_over_run(self, plan):
+        level2 = plan.kernel_time[:, :, 2, :].sum(axis=(0, 2))
+        first_quarter = level2[: len(level2) // 4].mean()
+        last_quarter = level2[-len(level2) // 4 :].mean()
+        assert last_quarter > first_quarter * 1.5
+
+    def test_level0_time_stable(self, plan):
+        level0 = plan.kernel_time[:, :, 0, :].sum(axis=(0, 2))
+        assert level0[-1] == pytest.approx(level0[0], rel=0.25)
+
+
+class TestSimulation:
+    def test_trace_snapshot_count_structure(self, small_config, plan):
+        out = run_simulation(
+            small_config, channel_config_trace("event"), ranks=[0], plan=plan
+        )
+        run = out.runs[0]
+        # 2 snapshots per begin/end pair; count events analytically:
+        cfg = small_config
+        events_per_step = (
+            2  # iteration
+            + 2  # hydro_step function
+            + cfg.levels * 2  # amr.level
+            + cfg.levels * len(KERNELS) * 2 * cfg.events_scale
+            + 2 * len([m for m in plan.mpi_names])  # mpi functions
+        )
+        expected = cfg.timesteps * events_per_step + 2 * 4  # main + 3 phases
+        assert run.num_snapshots == expected
+        assert run.num_output_records == run.num_snapshots
+
+    def test_scheme_record_count_ordering(self, small_config, plan):
+        counts = {}
+        for name, scheme in [("A", SCHEME_A), ("B", SCHEME_B), ("C", SCHEME_C)]:
+            out = run_simulation(
+                small_config,
+                channel_config_aggregate(scheme, "event"),
+                ranks=[0],
+                plan=plan,
+            )
+            counts[name] = out.records_per_rank
+        trace = run_simulation(
+            small_config, channel_config_trace("event"), ranks=[0], plan=plan
+        ).records_per_rank
+        # Table I ordering: B <= A << C << trace
+        assert counts["B"] <= counts["A"] < counts["C"] < trace
+
+    def test_scheme_c_scales_with_timesteps(self, small_config, plan):
+        out = run_simulation(
+            small_config, channel_config_aggregate(SCHEME_C, "event"), ranks=[0], plan=plan
+        )
+        # roughly records-per-iteration * timesteps
+        assert out.records_per_rank > small_config.timesteps
+
+    def test_sampling_snapshot_count(self, small_config, plan):
+        out = run_simulation(
+            small_config,
+            channel_config_aggregate(SCHEME_A, "sample", sampling_period=0.01),
+            ranks=[0],
+            plan=plan,
+        )
+        run = out.runs[0]
+        expected = run.virtual_runtime / 0.01
+        assert run.num_snapshots == pytest.approx(expected, rel=0.05)
+
+    def test_virtual_runtime_matches_plan(self, small_config, plan):
+        out = run_simulation(small_config, None, ranks=[2], plan=plan)
+        assert out.runs[0].virtual_runtime == pytest.approx(plan.rank_total(2))
+
+    def test_disabled_baseline_produces_nothing(self, small_config, plan):
+        out = run_simulation(small_config, None, ranks=[0], enabled=False, plan=plan)
+        assert out.runs[0].num_snapshots == 0
+        assert out.runs[0].records == []
+
+    def test_determinism(self, small_config, plan):
+        a = run_simulation(
+            small_config, channel_config_aggregate(SCHEME_B, "event"), ranks=[0], plan=plan
+        )
+        b = run_simulation(
+            small_config, channel_config_aggregate(SCHEME_B, "event"), ranks=[0], plan=plan
+        )
+        assert [r.to_plain() for r in a.runs[0].records] == [
+            r.to_plain() for r in b.runs[0].records
+        ]
+
+    def test_write_per_rank_files(self, small_config, plan, tmp_path):
+        out = run_simulation(
+            small_config,
+            channel_config_aggregate(SCHEME_B, "event"),
+            ranks=[0, 1],
+            plan=plan,
+        )
+        paths = out.write(tmp_path)
+        assert len(paths) == 2
+        from repro.io import Dataset
+
+        ds = Dataset.from_files(paths)
+        assert len(ds) == sum(len(r.records) for r in out.runs)

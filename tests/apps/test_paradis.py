@@ -1,0 +1,113 @@
+"""Tests for the ParaDiS dataset generator."""
+
+import pytest
+
+from repro.apps.paradis import (
+    KERNEL_REGIONS,
+    MPI_FUNCTIONS,
+    TOTAL_TIME_QUERY,
+    ParaDiSConfig,
+    generate_rank_records,
+    write_dataset,
+)
+from repro.common import ReproError
+from repro.query import QueryEngine
+
+
+class TestConfig:
+    def test_region_universe_sizes(self):
+        # 60 kernels + 24 MPI functions + 1 uninstrumented = the paper's 85
+        assert len(KERNEL_REGIONS) == 60
+        assert len(MPI_FUNCTIONS) == 24
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ParaDiSConfig(ranks=0)
+        with pytest.raises(ReproError):
+            ParaDiSConfig(iterations=0)
+        with pytest.raises(ReproError):
+            ParaDiSConfig(iterations=100, records_per_rank=50)
+
+
+class TestGeneration:
+    def test_exact_record_count(self):
+        cfg = ParaDiSConfig(ranks=8)
+        assert len(generate_rank_records(cfg, 0)) == 2174
+
+    def test_custom_record_count(self):
+        cfg = ParaDiSConfig(ranks=8, records_per_rank=500, iterations=50)
+        assert len(generate_rank_records(cfg, 3)) == 500
+
+    def test_record_shape(self):
+        cfg = ParaDiSConfig(ranks=8)
+        rec = generate_rank_records(cfg, 5)[0]
+        assert rec["mpi.rank"].value == 5
+        assert "aggregate.count" in rec
+        assert "sum#time.duration" in rec
+        assert "iteration" in rec
+
+    def test_deterministic(self):
+        cfg = ParaDiSConfig(ranks=8)
+        a = generate_rank_records(cfg, 2)
+        b = generate_rank_records(cfg, 2)
+        assert [r.to_plain() for r in a] == [r.to_plain() for r in b]
+
+    def test_ranks_differ(self):
+        cfg = ParaDiSConfig(ranks=8)
+        a = generate_rank_records(cfg, 0)
+        b = generate_rank_records(cfg, 1)
+        assert [r.to_plain() for r in a] != [r.to_plain() for r in b]
+
+    def test_each_iteration_has_uninstrumented_row(self):
+        cfg = ParaDiSConfig(ranks=4, iterations=10, records_per_rank=220)
+        recs = generate_rank_records(cfg, 0)
+        bare = [
+            r
+            for r in recs
+            if r.get("kernel").is_empty and r.get("mpi.function").is_empty
+        ]
+        assert len(bare) == 10
+
+
+class TestQueryShape:
+    def test_full_coverage_yields_85_output_records(self):
+        cfg = ParaDiSConfig(ranks=256)
+        engine = QueryEngine(TOTAL_TIME_QUERY)
+        db = engine.make_db()
+        for rank in range(64):  # 64 ranks give full coverage of 84 regions
+            engine.feed(db, generate_rank_records(cfg, rank))
+        result = engine.finalize(db)
+        assert len(result) == 85
+
+    def test_kernel_time_dominates(self):
+        cfg = ParaDiSConfig(ranks=16)
+        engine = QueryEngine(
+            "AGGREGATE sum(sum#time.duration) GROUP BY kernel"
+        )
+        db = engine.make_db()
+        for rank in range(8):
+            engine.feed(db, generate_rank_records(cfg, rank))
+        result = engine.finalize(db)
+        with_kernel = sum(
+            r["sum#sum#time.duration"].to_double()
+            for r in result
+            if not r.get("kernel").is_empty
+        )
+        without = sum(
+            r["sum#sum#time.duration"].to_double()
+            for r in result
+            if r.get("kernel").is_empty
+        )
+        assert with_kernel > without
+
+
+class TestWriteDataset:
+    def test_write_subset(self, tmp_path):
+        cfg = ParaDiSConfig(ranks=64, records_per_rank=110, iterations=10)
+        paths = write_dataset(cfg, tmp_path, ranks=[0, 5, 9])
+        assert len(paths) == 3
+        from repro.io import Dataset
+
+        ds = Dataset.from_file(paths[1])
+        assert len(ds) == 110
+        assert ds.globals["mpi.world.size"].value == 64

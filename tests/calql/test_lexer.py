@@ -1,0 +1,110 @@
+"""Tests for the CalQL lexer."""
+
+import pytest
+
+from repro.calql import Token, TokenType, tokenize
+from repro.common import CalQLSyntaxError
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("AGGREGATE aggregate AgGrEgAtE")
+        assert all(t.type is TokenType.KEYWORD for t in toks[:-1])
+
+    def test_identifier_with_dots_and_hash(self):
+        assert texts("time.duration iteration#mainloop") == [
+            "time.duration",
+            "iteration#mainloop",
+        ]
+
+    def test_hyphenated_label_is_one_ident(self):
+        assert texts("advec-mom calc-dt") == ["advec-mom", "calc-dt"]
+
+    def test_spaced_minus_is_operator(self):
+        toks = tokenize("a - b")
+        assert [t.type for t in toks[:-1]] == [
+            TokenType.IDENT,
+            TokenType.MINUS,
+            TokenType.IDENT,
+        ]
+
+    def test_numbers(self):
+        assert texts("42 2.5 1e-3 0.5e2") == ["42", "2.5", "1e-3", "0.5e2"]
+
+    def test_string_literals(self):
+        toks = tokenize('"hello world" \'single\'')
+        assert toks[0].type is TokenType.STRING and toks[0].text == "hello world"
+        assert toks[1].text == "single"
+
+    def test_string_escapes(self):
+        (tok, _) = tokenize(r'"a\"b"')
+        assert tok.text == 'a"b'
+
+    def test_unterminated_string(self):
+        with pytest.raises(CalQLSyntaxError):
+            tokenize('"oops')
+
+    def test_comparison_operators(self):
+        assert kinds("= != < <= > >=")[:-1] == [
+            TokenType.EQ,
+            TokenType.NE,
+            TokenType.LT,
+            TokenType.LE,
+            TokenType.GT,
+            TokenType.GE,
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( ) , + * /")[:-1] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.COMMA,
+            TokenType.PLUS,
+            TokenType.STAR,
+            TokenType.SLASH,
+        ]
+
+    def test_bare_bang_rejected(self):
+        with pytest.raises(CalQLSyntaxError):
+            tokenize("a ! b")
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+
+class TestPaperSpellings:
+    def test_linewrapped_hash_label_glues(self):
+        """The paper writes 'iteration # mainloop' across a line break."""
+        assert texts("iteration # mainloop") == ["iteration#mainloop"]
+
+    def test_glued_label_in_group_by(self):
+        toks = texts("GROUP BY amr.level, iteration # mainloop, mpi.rank")
+        assert "iteration#mainloop" in toks
+
+    def test_comment_line_skipped(self):
+        toks = texts("AGGREGATE count\n# a comment line\nGROUP BY k")
+        assert "a" not in toks and "comment" not in toks
+        assert toks == ["AGGREGATE", "count", "GROUP", "BY", "k"]
+
+    def test_scheme_c_full_text(self):
+        text = (
+            "AGGREGATE count, sum(time.duration) "
+            "GROUP BY function, annotation, amr.level, "
+            "kernel, iteration # mainloop, "
+            "mpi.rank, mpi.function"
+        )
+        labels = [t for t in texts(text)]
+        assert "iteration#mainloop" in labels
+
+    def test_position_tracking(self):
+        toks = tokenize("AGGREGATE count")
+        assert toks[0].position == 0
+        assert toks[1].position == 10

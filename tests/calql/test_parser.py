@@ -1,0 +1,186 @@
+"""Tests for the CalQL parser."""
+
+import pytest
+
+from repro.calql import (
+    BinExpr,
+    Compare,
+    Exists,
+    NotCond,
+    Num,
+    OpCall,
+    Ref,
+    parse_query,
+)
+from repro.common import CalQLSyntaxError, Variant
+
+
+class TestAggregateClause:
+    def test_paper_example(self):
+        q = parse_query("AGGREGATE count, sum(time) GROUP BY function, loop.iteration")
+        assert q.ops == (OpCall("count"), OpCall("sum", ("time",)))
+        assert q.group_by == ("function", "loop.iteration")
+
+    def test_bare_operator_names(self):
+        q = parse_query("AGGREGATE count")
+        assert q.ops == (OpCall("count"),)
+
+    def test_multi_argument_ops(self):
+        q = parse_query("AGGREGATE histogram(x,10,0,100), ratio(a,b)")
+        assert q.ops[0] == OpCall("histogram", ("x", "10", "0", "100"))
+        assert q.ops[1] == OpCall("ratio", ("a", "b"))
+
+    def test_negative_numeric_argument(self):
+        q = parse_query("AGGREGATE histogram(x,4,-10,10)")
+        assert q.ops[0].args == ("x", "4", "-10", "10")
+
+    def test_empty_parens(self):
+        q = parse_query("AGGREGATE count()")
+        assert q.ops == (OpCall("count"),)
+
+
+class TestSelectClause:
+    def test_bare_labels_become_select(self):
+        q = parse_query("SELECT kernel, mpi.rank")
+        assert q.select == ("kernel", "mpi.rank")
+        assert not q.is_aggregation
+
+    def test_mixed_select(self):
+        q = parse_query("SELECT kernel, sum(time.duration), count")
+        assert q.select == ("kernel",)
+        assert q.ops == (OpCall("sum", ("time.duration",)), OpCall("count"))
+
+    def test_select_labels_as_implicit_key(self):
+        q = parse_query("SELECT kernel, sum(t)")
+        assert q.effective_key() == ("kernel",)
+
+    def test_explicit_group_by_overrides(self):
+        q = parse_query("SELECT kernel, sum(t) GROUP BY kernel, mpi.rank")
+        assert q.effective_key() == ("kernel", "mpi.rank")
+
+
+class TestWhereClause:
+    def test_exists(self):
+        q = parse_query("AGGREGATE count WHERE kernel")
+        assert q.where == (Exists("kernel"),)
+
+    def test_not_paper_spelling(self):
+        q = parse_query(
+            "AGGREGATE sum(time.duration) WHERE not(mpi.function) "
+            "GROUP BY amr.level, iteration#mainloop"
+        )
+        assert q.where == (NotCond(Exists("mpi.function")),)
+
+    def test_nested_not(self):
+        q = parse_query("AGGREGATE count WHERE not(not(kernel))")
+        assert q.where == (NotCond(NotCond(Exists("kernel"))),)
+
+    def test_comparisons(self):
+        q = parse_query("AGGREGATE count WHERE mpi.rank=3, t>1.5, name!=foo")
+        assert q.where[0] == Compare("mpi.rank", "=", Variant.of(3))
+        assert q.where[1] == Compare("t", ">", Variant.of(1.5))
+        assert q.where[2] == Compare("name", "!=", Variant.of("foo"))
+
+    def test_quoted_string_value(self):
+        q = parse_query('AGGREGATE count WHERE kernel="advec mom"')
+        assert q.where[0].value.value == "advec mom"
+
+    def test_negative_value(self):
+        q = parse_query("AGGREGATE count WHERE x>-2")
+        assert q.where[0].value.value == -2
+
+    def test_bool_values(self):
+        q = parse_query("AGGREGATE count WHERE flag=true, other=false")
+        assert q.where[0].value.value is True
+        assert q.where[1].value.value is False
+
+
+class TestOtherClauses:
+    def test_order_by_asc_desc(self):
+        q = parse_query("AGGREGATE count GROUP BY k ORDER BY count DESC, k ASC, z")
+        assert [(o.label, o.ascending) for o in q.order_by] == [
+            ("count", False),
+            ("k", True),
+            ("z", True),
+        ]
+
+    def test_format(self):
+        assert parse_query("AGGREGATE count FORMAT csv").format == "csv"
+
+    def test_limit(self):
+        assert parse_query("AGGREGATE count LIMIT 10").limit == 10
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(CalQLSyntaxError):
+            parse_query("AGGREGATE count LIMIT -1")
+
+    def test_let_simple(self):
+        q = parse_query("LET rate = bytes / time AGGREGATE sum(rate)")
+        (binding,) = q.let
+        assert binding.name == "rate"
+        assert binding.expr == BinExpr("/", Ref("bytes"), Ref("time"))
+
+    def test_let_precedence(self):
+        q = parse_query("LET y = a + b * 2 AGGREGATE sum(y)")
+        expr = q.let[0].expr
+        assert expr == BinExpr("+", Ref("a"), BinExpr("*", Ref("b"), Num(2.0)))
+
+    def test_let_parens(self):
+        q = parse_query("LET y = (a + b) * 2 AGGREGATE sum(y)")
+        expr = q.let[0].expr
+        assert expr == BinExpr("*", BinExpr("+", Ref("a"), Ref("b")), Num(2.0))
+
+    def test_let_unary_minus(self):
+        q = parse_query("LET y = -a AGGREGATE sum(y)")
+        assert q.let[0].expr == BinExpr("-", Num(0.0), Ref("a"))
+
+    def test_clauses_any_order(self):
+        q = parse_query("GROUP BY k WHERE x AGGREGATE count")
+        assert q.group_by == ("k",) and q.ops and q.where
+
+
+class TestErrors:
+    def test_duplicate_clause(self):
+        with pytest.raises(CalQLSyntaxError):
+            parse_query("AGGREGATE count AGGREGATE sum(x)")
+
+    def test_garbage_start(self):
+        with pytest.raises(CalQLSyntaxError):
+            parse_query("kernel, count")
+
+    def test_missing_by(self):
+        with pytest.raises(CalQLSyntaxError):
+            parse_query("AGGREGATE count GROUP kernel")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(CalQLSyntaxError):
+            parse_query("AGGREGATE sum(x")
+
+    def test_error_carries_position_info(self):
+        with pytest.raises(CalQLSyntaxError) as err:
+            parse_query("AGGREGATE count GROUP kernel")
+        assert "line 1" in str(err.value)
+
+    def test_trailing_junk(self):
+        with pytest.raises(CalQLSyntaxError):
+            parse_query("AGGREGATE count (")
+
+
+class TestAliasing:
+    def test_as_alias_parsed(self):
+        q = parse_query("AGGREGATE sum(time.duration) AS total, count AS n GROUP BY k")
+        assert q.ops[0].alias == "total"
+        assert q.ops[1].alias == "n"
+
+    def test_alias_in_select(self):
+        q = parse_query("SELECT kernel, sum(t) AS total")
+        assert q.ops[0].alias == "total"
+        assert q.select == ("kernel",)
+
+    def test_alias_unparse_roundtrip(self):
+        q = parse_query("AGGREGATE avg(x) AS mean_x GROUP BY k ORDER BY mean_x DESC")
+        assert parse_query(q.unparse()) == q
+
+    def test_alias_requires_name(self):
+        with pytest.raises(CalQLSyntaxError):
+            parse_query("AGGREGATE sum(x) AS")

@@ -1,0 +1,102 @@
+"""Property tests: unparse/parse round-trips of CalQL queries."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.calql import parse_query
+from repro.calql.ast import (
+    Compare,
+    Exists,
+    LetBinding,
+    NotCond,
+    OpCall,
+    OrderSpec,
+    Query,
+    Ref,
+)
+from repro.common import Variant
+
+label = st.sampled_from(
+    [
+        "function",
+        "kernel",
+        "time.duration",
+        "iteration#mainloop",
+        "mpi.rank",
+        "advec-mom",
+        "amr.level",
+    ]
+)
+
+op_call = st.one_of(
+    st.just(OpCall("count")),
+    st.builds(lambda lbl: OpCall("sum", (lbl,)), label),
+    st.builds(lambda lbl: OpCall("min", (lbl,)), label),
+    st.builds(lambda lbl: OpCall("avg", (lbl,)), label),
+)
+
+condition = st.one_of(
+    st.builds(Exists, label),
+    st.builds(lambda lbl: NotCond(Exists(lbl)), label),
+    st.builds(
+        lambda lbl, op, v: Compare(lbl, op, Variant.of(v)),
+        label,
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.one_of(st.integers(-100, 100), st.sampled_from(["foo", "bar baz"])),
+    ),
+)
+
+order_spec = st.builds(OrderSpec, label, st.booleans())
+
+
+@st.composite
+def queries(draw):
+    ops = tuple(draw(st.lists(op_call, min_size=1, max_size=3, unique=True)))
+    # Avoid duplicate output labels (scheme-level constraint isn't checked
+    # at parse level, but keep queries clean anyway).
+    group_by = tuple(draw(st.lists(label, max_size=3, unique=True)))
+    where = tuple(draw(st.lists(condition, max_size=2)))
+    order_by = tuple(draw(st.lists(order_spec, max_size=2)))
+    fmt = draw(st.sampled_from([None, "csv", "json", "table"]))
+    limit = draw(st.one_of(st.none(), st.integers(0, 100)))
+    return Query(
+        ops=ops,
+        group_by=group_by,
+        where=where,
+        order_by=order_by,
+        format=fmt,
+        limit=limit,
+    )
+
+
+@given(queries())
+@settings(max_examples=150, deadline=None)
+def test_unparse_parse_roundtrip(query):
+    text = query.unparse()
+    reparsed = parse_query(text)
+    assert reparsed == query, f"round-trip failed for: {text}"
+
+
+@given(queries())
+@settings(max_examples=60, deadline=None)
+def test_unparse_is_idempotent(query):
+    once = query.unparse()
+    twice = parse_query(once).unparse()
+    assert once == twice
+
+
+def test_paper_queries_roundtrip():
+    for text in [
+        "AGGREGATE count, sum(time) GROUP BY function, loop.iteration",
+        "AGGREGATE count, sum(time) GROUP BY function",
+        "AGGREGATE count GROUP BY kernel",
+        "AGGREGATE sum(aggregate.count) GROUP BY kernel",
+        "AGGREGATE count, time.duration GROUP BY mpi.function",
+        "AGGREGATE sum(time.duration) WHERE not(mpi.function) "
+        "GROUP BY amr.level, iteration#mainloop",
+        "AGGREGATE sum(time.duration) WHERE not(mpi.function) "
+        "GROUP BY amr.level, mpi.rank",
+    ]:
+        q1 = parse_query(text)
+        q2 = parse_query(q1.unparse())
+        assert q1 == q2

@@ -1,0 +1,148 @@
+"""Tests for Attribute metadata and the AttributeRegistry."""
+
+import threading
+
+import pytest
+
+from repro.common import (
+    AttrProperty,
+    Attribute,
+    AttributeRegistry,
+    DuplicateAttributeError,
+    TypeMismatchError,
+    UnknownAttributeError,
+    ValueType,
+)
+
+
+class TestAttrProperty:
+    def test_from_names(self):
+        p = AttrProperty.from_names(["nested", "ASVALUE"])
+        assert p & AttrProperty.NESTED
+        assert p & AttrProperty.ASVALUE
+        assert not p & AttrProperty.GLOBAL
+
+    def test_from_names_unknown(self):
+        with pytest.raises(UnknownAttributeError):
+            AttrProperty.from_names(["bogus"])
+
+    def test_names_roundtrip(self):
+        p = AttrProperty.NESTED | AttrProperty.SKIP_EVENTS
+        assert AttrProperty.from_names(p.names()) == p
+
+    def test_none_has_no_names(self):
+        assert AttrProperty.NONE.names() == []
+
+
+class TestAttribute:
+    def test_properties_flags(self):
+        a = Attribute(0, "x", "string", AttrProperty.NESTED | AttrProperty.AGGREGATABLE)
+        assert a.is_nested and a.is_aggregatable
+        assert not a.is_value and not a.is_global and not a.skip_events
+
+    def test_check_coerces(self):
+        a = Attribute(0, "t", "double")
+        v = a.check(3)
+        assert v.type is ValueType.DOUBLE and v.value == 3.0
+
+    def test_check_rejects_wrong_type(self):
+        a = Attribute(0, "name", "string")
+        with pytest.raises(TypeMismatchError):
+            a.check(5)
+
+    def test_check_accepts_numeric_variant_cross_type(self):
+        from repro.common import Variant
+
+        a = Attribute(0, "n", "double")
+        assert a.check(Variant.of(2)).value == 2
+
+    def test_immutability(self):
+        a = Attribute(0, "x", "int")
+        with pytest.raises(AttributeError):
+            a.label = "y"
+
+    def test_equality_by_id_and_label(self):
+        assert Attribute(1, "x", "int") == Attribute(1, "x", "string")
+        assert Attribute(1, "x", "int") != Attribute(2, "x", "int")
+
+
+class TestRegistry:
+    def test_create_and_get(self):
+        reg = AttributeRegistry()
+        a = reg.create("kernel", "string", AttrProperty.NESTED)
+        assert reg.get("kernel") is a
+        assert reg.get(a.id) is a
+        assert "kernel" in reg
+        assert len(reg) == 1
+
+    def test_create_idempotent(self):
+        reg = AttributeRegistry()
+        a1 = reg.create("x", "int")
+        a2 = reg.create("x", "int")
+        assert a1 is a2
+
+    def test_create_conflicting_type_raises(self):
+        reg = AttributeRegistry()
+        reg.create("x", "int")
+        with pytest.raises(DuplicateAttributeError):
+            reg.create("x", "string")
+
+    def test_create_conflicting_props_raises(self):
+        reg = AttributeRegistry()
+        reg.create("x", "int")
+        with pytest.raises(DuplicateAttributeError):
+            reg.create("x", "int", AttrProperty.NESTED)
+
+    def test_get_unknown_raises(self):
+        reg = AttributeRegistry()
+        with pytest.raises(UnknownAttributeError):
+            reg.get("missing")
+        with pytest.raises(UnknownAttributeError):
+            reg.get(99)
+
+    def test_find_returns_none(self):
+        assert AttributeRegistry().find("missing") is None
+
+    def test_get_or_create_keeps_existing_definition(self):
+        reg = AttributeRegistry()
+        a = reg.create("x", "int")
+        same = reg.get_or_create("x", "string", AttrProperty.NESTED)
+        assert same is a
+        assert same.type is ValueType.INT
+
+    def test_ids_are_sequential(self):
+        reg = AttributeRegistry()
+        attrs = [reg.create(f"a{i}") for i in range(5)]
+        assert [a.id for a in attrs] == list(range(5))
+        assert reg.labels() == [f"a{i}" for i in range(5)]
+
+    def test_iter(self):
+        reg = AttributeRegistry()
+        reg.create("a")
+        reg.create("b")
+        assert [a.label for a in reg] == ["a", "b"]
+
+    def test_concurrent_create_single_instance(self):
+        reg = AttributeRegistry()
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            results.append(reg.create("shared", "int"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(a) for a in results}) == 1
+        assert len(reg) == 1
+
+
+def test_attribute_pickle_roundtrip():
+    import pickle
+
+    a = Attribute(5, "function", "string", AttrProperty.NESTED | AttrProperty.GLOBAL)
+    back = pickle.loads(pickle.dumps(a))
+    assert back == a and back.properties == a.properties

@@ -1,0 +1,96 @@
+"""Tests for the context tree."""
+
+import threading
+
+from repro.common import AttributeRegistry, ContextTree, Variant
+
+
+def make_tree():
+    reg = AttributeRegistry()
+    func = reg.create("function", "string")
+    level = reg.create("amr.level", "int")
+    return ContextTree(), func, level
+
+
+class TestInterning:
+    def test_get_child_interns(self):
+        tree, func, _ = make_tree()
+        a = tree.get_child(None, func, Variant.of("main"))
+        b = tree.get_child(None, func, Variant.of("main"))
+        assert a is b
+        assert len(tree) == 1
+
+    def test_distinct_values_distinct_nodes(self):
+        tree, func, _ = make_tree()
+        a = tree.get_child(None, func, Variant.of("main"))
+        b = tree.get_child(None, func, Variant.of("foo"))
+        assert a is not b and a.id != b.id
+
+    def test_same_value_different_parent(self):
+        tree, func, _ = make_tree()
+        main = tree.get_child(None, func, Variant.of("main"))
+        foo_top = tree.get_child(None, func, Variant.of("foo"))
+        foo_nested = tree.get_child(main, func, Variant.of("foo"))
+        assert foo_top is not foo_nested
+
+    def test_node_ids_sequential(self):
+        tree, func, _ = make_tree()
+        nodes = [tree.get_child(None, func, Variant.of(f"f{i}")) for i in range(4)]
+        assert [n.id for n in nodes] == [0, 1, 2, 3]
+        assert tree.node(2) is nodes[2]
+
+
+class TestPaths:
+    def test_path_string(self):
+        tree, func, _ = make_tree()
+        main = tree.get_child(None, func, Variant.of("main"))
+        foo = tree.get_child(main, func, Variant.of("foo"))
+        assert foo.path_string(func) == "main/foo"
+
+    def test_path_values_only_matching_attribute(self):
+        tree, func, level = make_tree()
+        main = tree.get_child(None, func, Variant.of("main"))
+        l0 = tree.get_child(main, level, Variant.of(0))
+        foo = tree.get_child(l0, func, Variant.of("foo"))
+        assert [v.to_string() for v in foo.path_values(func)] == ["main", "foo"]
+        assert [v.value for v in foo.path_values(level)] == [0]
+
+    def test_get_path(self):
+        tree, func, _ = make_tree()
+        deep = tree.get_path(func, [Variant.of("a"), Variant.of("b"), Variant.of("c")])
+        assert deep.path_string(func) == "a/b/c"
+        assert tree.get_path(func, []) is None
+
+    def test_attributes_on_path(self):
+        tree, func, level = make_tree()
+        n = tree.get_child(
+            tree.get_child(None, func, Variant.of("main")), level, Variant.of(1)
+        )
+        labels = {a.label for a in n.attributes_on_path()}
+        assert labels == {"function", "amr.level"}
+
+    def test_root_is_root(self):
+        tree, _, _ = make_tree()
+        assert tree.root.is_root
+        assert list(tree.root.path_to_root()) == []
+
+
+def test_concurrent_interning_is_consistent():
+    tree, func, _ = make_tree()
+    out = []
+    barrier = threading.Barrier(8)
+
+    def worker():
+        barrier.wait()
+        node = None
+        for name in ("a", "b", "c"):
+            node = tree.get_child(node, func, Variant.of(name))
+        out.append(node)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len({id(n) for n in out}) == 1
+    assert len(tree) == 3

@@ -1,0 +1,88 @@
+"""Tests for the Record snapshot type."""
+
+import pytest
+from hypothesis import given
+
+from repro.common import Record, Variant, make_record
+
+from ..conftest import records
+
+
+class TestBasics:
+    def test_construction_wraps_values(self):
+        r = Record({"function": "foo", "time.duration": 251})
+        assert r["function"] == Variant.of("foo")
+        assert r["time.duration"].to_int() == 251
+
+    def test_get_missing_is_empty(self):
+        r = Record({})
+        assert r.get("nope").is_empty
+
+    def test_len_contains_iter(self):
+        r = Record({"a": 1, "b": 2})
+        assert len(r) == 2
+        assert "a" in r and "c" not in r
+        assert sorted(r) == ["a", "b"]
+
+    def test_to_plain(self):
+        r = Record({"a": 1, "b": "x"})
+        assert r.to_plain() == {"a": 1, "b": "x"}
+
+    def test_from_variants_no_copy(self):
+        entries = {"a": Variant.of(1)}
+        r = Record.from_variants(entries)
+        assert r["a"].value == 1
+
+    def test_make_record_dunder_translation(self):
+        r = make_record(time__duration=5, function="f")
+        assert "time.duration" in r
+
+    def test_equality_and_hash(self):
+        r1 = Record({"a": 1, "b": "x"})
+        r2 = Record({"b": "x", "a": 1})
+        assert r1 == r2
+        assert hash(r1) == hash(r2)
+        assert r1 != Record({"a": 1})
+
+
+class TestDerivedRecords:
+    def test_with_entries_overrides(self):
+        r = Record({"a": 1}).with_entries({"a": 2, "b": 3})
+        assert r["a"].value == 2 and r["b"].value == 3
+
+    def test_with_entries_leaves_original(self):
+        base = Record({"a": 1})
+        base.with_entries({"a": 2})
+        assert base["a"].value == 1
+
+    def test_project(self):
+        r = Record({"a": 1, "b": 2, "c": 3}).project(["a", "c", "missing"])
+        assert sorted(r.labels()) == ["a", "c"]
+
+    def test_drop(self):
+        r = Record({"a": 1, "b": 2}).drop(["b", "zz"])
+        assert list(r.labels()) == ["a"]
+
+
+@given(records())
+def test_project_then_drop_disjoint(r):
+    labels = list(r.labels())
+    half = labels[: len(labels) // 2]
+    projected = r.project(half)
+    dropped = r.drop(half)
+    assert set(projected.labels()) | set(dropped.labels()) == set(labels)
+    assert set(projected.labels()) & set(dropped.labels()) == set()
+
+
+@given(records())
+def test_as_dict_is_copy(r):
+    d = r.as_dict()
+    d["__new__"] = Variant.of(1)
+    assert "__new__" not in r
+
+
+def test_record_pickle_roundtrip():
+    import pickle
+
+    r = Record({"kernel": "k", "time.duration": 1.5, "rank": 3})
+    assert pickle.loads(pickle.dumps(r)) == r

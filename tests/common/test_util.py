@@ -1,0 +1,104 @@
+"""Tests for shared helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.util import (
+    children_of,
+    chunk_evenly,
+    format_count,
+    format_duration,
+    is_power_of_two,
+    parent_of,
+    stable_hash64,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash64(b"hello") == stable_hash64(b"hello")
+
+    def test_known_fnv_vector(self):
+        # FNV-1a 64-bit of empty input is the offset basis.
+        assert stable_hash64(b"") == 0xCBF29CE484222325
+
+    def test_different_inputs_differ(self):
+        assert stable_hash64(b"a") != stable_hash64(b"b")
+
+    @given(st.binary(max_size=64))
+    def test_fits_64_bits(self, data):
+        assert 0 <= stable_hash64(data) < 2**64
+
+
+class TestFormatting:
+    def test_format_count_paper_style(self):
+        assert format_count(219382) == "219 382"
+        assert format_count(26) == "26"
+
+    def test_format_duration_units(self):
+        assert format_duration(5e-10).endswith("ns")
+        assert format_duration(5e-6).endswith("us")
+        assert format_duration(5e-3).endswith("ms")
+        assert format_duration(5.0).endswith("s")
+        assert format_duration(300.0).endswith("min")
+
+    def test_format_duration_negative(self):
+        assert format_duration(-0.5).startswith("-")
+
+
+class TestChunking:
+    def test_even_split(self):
+        assert chunk_evenly([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_split_front_loaded(self):
+        assert chunk_evenly([1, 2, 3, 4, 5], 3) == [[1, 2], [3, 4], [5]]
+
+    def test_more_parts_than_items(self):
+        chunks = chunk_evenly([1], 3)
+        assert chunks == [[1], [], []]
+
+    def test_zero_parts_raises(self):
+        with pytest.raises(ValueError):
+            chunk_evenly([1], 0)
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 10))
+    def test_partition_properties(self, items, parts):
+        chunks = chunk_evenly(items, parts)
+        assert len(chunks) == parts
+        flattened = [x for chunk in chunks for x in chunk]
+        assert flattened == items
+        sizes = [len(c) for c in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestTreeTopology:
+    def test_parent_child_consistency(self):
+        size = 13
+        for fanout in (2, 3, 4):
+            for rank in range(1, size):
+                assert rank in children_of(parent_of(rank, fanout), size, fanout)
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            parent_of(0)
+
+    def test_children_bounded_by_size(self):
+        assert children_of(2, 5, 2) == []
+        assert children_of(0, 5, 2) == [1, 2]
+
+    @given(st.integers(2, 200), st.integers(2, 5))
+    def test_every_nonroot_has_exactly_one_parent(self, size, fanout):
+        seen = []
+        for rank in range(size):
+            seen.extend(children_of(rank, size, fanout))
+        assert sorted(seen) == list(range(1, size))
+
+
+class TestPowerOfTwo:
+    def test_values(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-2)

@@ -1,0 +1,180 @@
+"""Unit and property tests for the Variant typed value."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import TypeMismatchError, ValueType, Variant
+
+
+class TestConstruction:
+    def test_of_infers_int(self):
+        v = Variant.of(17)
+        assert v.type is ValueType.INT
+        assert v.value == 17
+
+    def test_of_infers_double(self):
+        v = Variant.of(2.5)
+        assert v.type is ValueType.DOUBLE
+        assert v.value == 2.5
+
+    def test_of_infers_string(self):
+        v = Variant.of("main/foo")
+        assert v.type is ValueType.STRING
+
+    def test_of_infers_bool_not_int(self):
+        assert Variant.of(True).type is ValueType.BOOL
+        assert Variant.of(False).type is ValueType.BOOL
+
+    def test_of_none_is_empty(self):
+        assert Variant.of(None).is_empty
+
+    def test_of_variant_passthrough(self):
+        v = Variant.of(3)
+        assert Variant.of(v) is v
+
+    def test_explicit_uint(self):
+        v = Variant("uint", 5)
+        assert v.type is ValueType.UINT
+
+    def test_uint_rejects_negative(self):
+        with pytest.raises(TypeMismatchError):
+            Variant("uint", -1)
+
+    def test_int_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            Variant("int", "nope")
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            Variant("int", 2.5)
+
+    def test_int_accepts_integral_float(self):
+        assert Variant("int", 2.0).value == 2
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            Variant("bool", 1)
+
+    def test_string_rejects_number(self):
+        with pytest.raises(TypeMismatchError):
+            Variant("string", 5)
+
+    def test_unknown_type_name(self):
+        with pytest.raises(TypeMismatchError):
+            Variant("quux", 5)
+
+    def test_immutable(self):
+        v = Variant.of(1)
+        with pytest.raises(AttributeError):
+            v.value = 2
+
+
+class TestConversions:
+    def test_to_int_from_double(self):
+        assert Variant.of(2.9).to_int() == 2
+
+    def test_to_double_from_int(self):
+        assert Variant.of(7).to_double() == 7.0
+
+    def test_to_int_from_string_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Variant.of("x").to_int()
+
+    def test_to_double_from_bool(self):
+        assert Variant.of(True).to_double() == 1.0
+
+    def test_to_string_bool(self):
+        assert Variant.of(True).to_string() == "true"
+        assert Variant.of(False).to_string() == "false"
+
+    def test_to_string_integral_double(self):
+        assert Variant.of(10.0).to_string() == "10"
+
+    def test_to_string_empty(self):
+        assert Variant.empty().to_string() == ""
+
+    def test_parse_bool_variants(self):
+        assert Variant.parse("bool", "true").value is True
+        assert Variant.parse("bool", "0").value is False
+        with pytest.raises(TypeMismatchError):
+            Variant.parse("bool", "maybe")
+
+    def test_parse_inv(self):
+        assert Variant.parse("inv", "anything").is_empty
+
+
+class TestComparison:
+    def test_numeric_cross_type_equality(self):
+        assert Variant.of(2) == Variant.of(2.0)
+        assert Variant("uint", 3) == Variant.of(3)
+
+    def test_string_int_not_equal(self):
+        assert Variant.of("2") != Variant.of(2)
+
+    def test_ordering_numeric(self):
+        assert Variant.of(1) < Variant.of(2.5) < Variant("uint", 3)
+
+    def test_ordering_strings(self):
+        assert Variant.of("a") < Variant.of("b")
+
+    def test_empty_sorts_first(self):
+        assert Variant.empty() < Variant.of(-1e300)
+        assert Variant.empty() < Variant.of("")
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(Variant.of(2)) == hash(Variant.of(2.0))
+
+    def test_bool_truthiness(self):
+        assert Variant.of(0)
+        assert not Variant.empty()
+
+
+@given(st.integers(min_value=-(2**53), max_value=2**53))
+def test_int_string_roundtrip(x):
+    v = Variant.of(x)
+    assert Variant.parse(v.type, v.to_string()) == v
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=64))
+def test_double_string_roundtrip(x):
+    v = Variant.of(x)
+    back = Variant.parse(v.type, v.to_string())
+    assert back.to_double() == pytest.approx(v.to_double(), rel=0, abs=0) or math.isclose(
+        back.to_double(), v.to_double()
+    )
+
+
+@given(st.text(max_size=50))
+def test_string_roundtrip(s):
+    v = Variant.of(s)
+    assert Variant.parse("string", v.to_string()).value == s
+
+
+@given(st.lists(st.one_of(st.integers(-1000, 1000), st.floats(-1e6, 1e6, allow_nan=False)), min_size=2, max_size=10))
+def test_order_is_total_on_numerics(xs):
+    vs = sorted(Variant.of(x) for x in xs)
+    doubles = [v.to_double() for v in vs]
+    assert doubles == sorted(doubles)
+
+
+class TestPickling:
+    def test_variant_roundtrip(self):
+        import pickle
+
+        for raw in (3, 2.5, "text", True, None):
+            v = Variant.of(raw)
+            assert pickle.loads(pickle.dumps(v)) == v
+
+    def test_uint_type_preserved(self):
+        import pickle
+
+        v = Variant("uint", 7)
+        assert pickle.loads(pickle.dumps(v)).type is ValueType.UINT
+
+    def test_usr_type(self):
+        v = Variant("usr", "opaque-data")
+        assert v.to_string() == "opaque-data"
+        assert Variant.parse("usr", v.to_string()) == v

@@ -1,0 +1,202 @@
+"""Integration tests: the CleverLeaf case study (paper Section VI).
+
+Runs the simulated CleverLeaf with the paper's aggregation schemes and
+checks every figure's qualitative shape through the same two-stage
+(on-line + off-line) aggregation workflow the paper uses.
+"""
+
+import pytest
+
+from repro.apps.cleverleaf import (
+    SCHEME_C,
+    CleverLeafConfig,
+    WorkloadPlan,
+    channel_config_aggregate,
+    channel_config_sampling,
+    run_simulation,
+)
+from repro.io import Dataset
+from repro.query import run_query
+from repro.report import pivot_series
+
+
+@pytest.fixture(scope="module")
+def config():
+    return CleverLeafConfig(timesteps=20, ranks=10, target_runtime=6.0)
+
+
+@pytest.fixture(scope="module")
+def full_profile(config):
+    """Scheme C (all attributes) event-mode profiles for every rank."""
+    out = run_simulation(config, channel_config_aggregate(SCHEME_C, "event"))
+    return out.dataset()
+
+
+class TestFig5KernelProfile:
+    def test_sampling_count_profile(self, config):
+        """On-line: AGGREGATE count GROUP BY kernel at 100 Hz; off-line:
+        sum of counts across processes.  calc-dt must dominate the
+        annotated kernels, and most samples must fall outside them."""
+        out = run_simulation(config, channel_config_sampling(period=0.01))
+        merged = out.dataset()
+        result = merged.query(
+            "AGGREGATE sum(aggregate.count) GROUP BY kernel "
+            "ORDER BY sum#aggregate.count DESC"
+        )
+        counts = {
+            (r.get("kernel").value): r["sum#aggregate.count"].value for r in result
+        }
+        outside = counts.pop(None)
+        top_kernel = max(counts, key=counts.get)
+        assert top_kernel == "calc-dt"
+        assert outside > sum(counts.values())  # most samples outside kernels
+
+    def test_sample_counts_estimate_cpu_time(self, config):
+        """count * period approximates the kernel's exclusive time."""
+        plan = WorkloadPlan(config)
+        out = run_simulation(
+            config, channel_config_sampling(period=0.01), ranks=[0], plan=plan
+        )
+        result = Dataset(out.runs[0].records).query(
+            "AGGREGATE sum(aggregate.count) GROUP BY kernel"
+        )
+        k = plan.kernel_names.index("calc-dt")
+        true_time = plan.kernel_time[0, :, :, k].sum()
+        sampled = next(
+            r["sum#aggregate.count"].value * 0.01
+            for r in result
+            if r.get("kernel").value == "calc-dt"
+        )
+        assert sampled == pytest.approx(true_time, rel=0.15)
+
+
+class TestFig6MpiProfile:
+    def test_barrier_then_allreduce(self, full_profile):
+        result = full_profile.query(
+            "AGGREGATE sum(sum#time.duration) WHERE mpi.function "
+            "GROUP BY mpi.function ORDER BY sum#sum#time.duration DESC LIMIT 10"
+        )
+        names = [r["mpi.function"].value for r in result]
+        assert names[0] == "MPI_Barrier"
+        assert names[1] == "MPI_Allreduce"
+        values = [r["sum#sum#time.duration"].to_double() for r in result]
+        # Barrier >> point-to-point (paper: p2p comparatively small)
+        isend = values[names.index("MPI_Isend")]
+        assert values[0] > 5 * isend
+
+
+class TestFig7LoadBalance:
+    def test_computation_mildly_imbalanced(self, full_profile):
+        result = full_profile.query(
+            "AGGREGATE sum(sum#time.duration) WHERE not(mpi.function), kernel "
+            "GROUP BY mpi.rank"
+        )
+        times = [r["sum#sum#time.duration"].to_double() for r in result]
+        spread = (max(times) - min(times)) / (sum(times) / len(times))
+        assert 0.005 < spread < 0.5  # present but small
+
+    def test_advec_mom_nearly_balanced(self, full_profile):
+        result = full_profile.query(
+            'AGGREGATE sum(sum#time.duration) WHERE kernel="advec-mom" '
+            "GROUP BY mpi.rank"
+        )
+        times = [r["sum#sum#time.duration"].to_double() for r in result]
+        spread = (max(times) - min(times)) / (sum(times) / len(times))
+        assert spread < 0.01
+
+    def test_top2_kernels_less_than_half_of_imbalance(self, full_profile):
+        def imbalance(where):
+            result = full_profile.query(
+                f"AGGREGATE sum(sum#time.duration) {where} GROUP BY mpi.rank"
+            )
+            times = [r["sum#sum#time.duration"].to_double() for r in result]
+            mean = sum(times) / len(times)
+            return max(t - mean for t in times)
+
+        total = imbalance("WHERE not(mpi.function), kernel")
+        top1 = imbalance('WHERE kernel="calc-dt"')
+        top2 = imbalance('WHERE kernel="advec-cell"')
+        assert top1 + top2 < 0.5 * total
+
+
+class TestFig8AmrOverTime:
+    def test_level_trends(self, full_profile):
+        result = full_profile.query(
+            "AGGREGATE sum(sum#time.duration) WHERE not(mpi.function) "
+            "GROUP BY amr.level, iteration#mainloop"
+        )
+        xs, names, series = pivot_series(
+            list(result), "iteration#mainloop", "amr.level", "sum#sum#time.duration"
+        )
+        level0, level2 = series["0"], series["2"]
+        # level 0 roughly constant
+        assert max(level0) < 1.4 * min(v for v in level0 if v > 0)
+        # level 2 grows significantly
+        assert level2[-1] > 2 * level2[0]
+
+    def test_mpi_excluded(self, full_profile):
+        with_mpi = full_profile.query(
+            "AGGREGATE sum(sum#time.duration) GROUP BY amr.level"
+        )
+        without = full_profile.query(
+            "AGGREGATE sum(sum#time.duration) WHERE not(mpi.function) GROUP BY amr.level"
+        )
+        # MPI time carries no amr.level rows in our model, but the bare group
+        # (no level) shrinks when MPI is excluded.
+        bare_with = next(
+            r["sum#sum#time.duration"].to_double()
+            for r in with_mpi
+            if r.get("amr.level").is_empty
+        )
+        bare_without = next(
+            r["sum#sum#time.duration"].to_double()
+            for r in without
+            if r.get("amr.level").is_empty
+        )
+        assert bare_without < bare_with
+
+
+class TestFig9AmrPerRank:
+    def test_rank_anomalies(self, full_profile, config):
+        result = full_profile.query(
+            "AGGREGATE sum(sum#time.duration) WHERE not(mpi.function) "
+            "GROUP BY amr.level, mpi.rank"
+        )
+        xs, names, series = pivot_series(
+            list(result), "mpi.rank", "amr.level", "sum#sum#time.duration"
+        )
+        level0, level1 = series["0"], series["1"]
+        a1 = config.anomalous_level1_rank
+        a0 = config.anomalous_level0_rank
+        # paper: rank 8 spends more time in level 1 than level 0
+        assert level1[a1] > level0[a1]
+        # most other ranks do not
+        others = [r for r in range(config.ranks) if r not in (a0, a1)]
+        assert sum(1 for r in others if level1[r] <= level0[r]) > len(others) / 2
+        # paper: rank 7 spends less time in level 0 than most ranks
+        assert level0[a0] < 0.8 * (sum(level0[r] for r in others) / len(others))
+
+
+class TestTwoStageEquivalence:
+    """Paper VI-F: 'multiple ways to obtain the same end result'."""
+
+    def test_online_key_reduction_equals_offline(self, config, full_profile):
+        # Direct on-line aggregation to kernel-level profile ...
+        out = run_simulation(
+            config,
+            channel_config_aggregate(
+                "AGGREGATE sum(time.duration) GROUP BY kernel", "event"
+            ),
+        )
+        direct = out.dataset().query(
+            "AGGREGATE sum(sum#time.duration) GROUP BY kernel ORDER BY kernel"
+        )
+        # ... equals re-aggregating the fine-grained scheme-C profile.
+        shifted = full_profile.query(
+            "AGGREGATE sum(sum#time.duration) GROUP BY kernel ORDER BY kernel"
+        )
+        a = {r.get("kernel").value: r["sum#sum#time.duration"].to_double() for r in direct}
+        b = {r.get("kernel").value: r["sum#sum#time.duration"].to_double() for r in shifted}
+        assert set(a) == set(b)
+        for key in a:
+            assert a[key] == pytest.approx(b[key], rel=1e-6)

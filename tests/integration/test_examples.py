@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are part of the public deliverable; these tests execute each one
+in-process (patched to smaller scales where needed via module constants)
+and sanity-check their printed output.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    sys.argv = [name]
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "foo" in out and "bar" in out
+    assert "coarser view" in out
+
+
+@pytest.mark.slow
+def test_cleverleaf_case_study(capsys, monkeypatch):
+    out = run_example("cleverleaf_case_study.py", capsys)
+    assert "calc-dt" in out
+    assert "MPI_Barrier" in out
+    assert "level 2" in out
+
+
+def test_cross_process_query(capsys):
+    out = run_example("cross_process_query.py", capsys)
+    assert "parallel query application" in out
+    assert "weak-scaling" in out
+
+
+def test_custom_aggregation(capsys):
+    out = run_example("custom_aggregation.py", capsys)
+    assert "geomean#solver.residual" in out
+    assert "throughput" in out
+
+
+def test_instrumented_mpi_app(capsys):
+    out = run_example("instrumented_mpi_app.py", capsys)
+    assert "stencil-update" in out
+    assert "slowest compute rank: 5" in out
+
+
+def test_compare_runs(capsys):
+    out = run_example("compare_runs.py", capsys)
+    assert "level 2" in out
+    assert "rank 8" in out

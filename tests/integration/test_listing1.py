@@ -1,0 +1,77 @@
+"""Integration test: the paper's Section III-B running example.
+
+Listing 1 calls foo twice and bar once per loop iteration; the paper's
+first aggregation scheme produces a time-series function profile whose rows
+we check exactly (foo: count 2 / time 20, bar: count 1 / time 10 per
+iteration), and removing the iteration from the key collapses the table as
+shown in the paper's second example.
+"""
+
+import pytest
+
+from repro.apps.listing1 import run_listing1
+from repro.query import run_query
+
+
+@pytest.fixture(scope="module")
+def profile_records():
+    records, _ = run_listing1(iterations=4)
+    return records
+
+
+class TestPaperTable:
+    def test_per_iteration_rows(self, profile_records):
+        rows = {}
+        for r in profile_records:
+            key = (r.get("function").value, r.get("loop.iteration").value)
+            rows[key] = (r["count"].value, r["sum#time.duration"].value)
+        for i in range(4):
+            assert rows[("foo", i)] == (2, 20)
+            assert rows[("bar", i)] == (1, 10)
+
+    def test_rows_without_key_attributes_present(self, profile_records):
+        """The paper: 'the result includes separate entries for events where
+        only one or none of the key attributes were set'."""
+        partial = [
+            r
+            for r in profile_records
+            if r.get("function").is_empty and not r.get("loop.iteration").is_empty
+        ]
+        assert len(partial) == 4  # one per iteration
+
+    def test_total_time_conserved(self, profile_records):
+        total = sum(r["sum#time.duration"].to_double() for r in profile_records)
+        # 4 iterations x (3 calls x 10 time units) + begin/end slack (0)
+        assert total == pytest.approx(120.0)
+
+    def test_compact_scheme_drops_iteration_dimension(self, profile_records):
+        """The paper's second scheme: GROUP BY function only."""
+        result = run_query(
+            "AGGREGATE sum(count), sum(sum#time.duration) GROUP BY function "
+            "ORDER BY function",
+            profile_records,
+        )
+        rows = {
+            r.get("function").value: (
+                r["sum#count"].value,
+                r["sum#sum#time.duration"].value,
+            )
+            for r in result
+        }
+        assert rows["foo"] == (8, 80)
+        assert rows["bar"] == (4, 40)
+
+    def test_direct_compact_scheme_equals_reaggregation(self):
+        records, _ = run_listing1(
+            iterations=4,
+            channel_config={
+                "services": ["event", "timer", "aggregate"],
+                "aggregate.config": "AGGREGATE count, sum(time.duration) GROUP BY function",
+                "aggregate.rename_count": False,
+            },
+        )
+        rows = {
+            r.get("function").value: r["sum#time.duration"].value for r in records
+        }
+        assert rows["foo"] == 80
+        assert rows["bar"] == 40

@@ -1,0 +1,104 @@
+"""Property test: on-line aggregation == off-line aggregation of the trace.
+
+The paper's core architectural claim is that one aggregation scheme can run
+at any stage of the workflow.  The strongest internal-consistency check:
+for *arbitrary* annotation programs, aggregating snapshots on-line (the
+aggregate service) must produce exactly the same records as tracing every
+snapshot and aggregating the trace off-line (the query engine) under the
+same scheme.  Hypothesis generates random well-nested annotation programs;
+both channels observe identical snapshot streams.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.aggregate import aggregate_records
+from repro.calql import parse_scheme
+from repro.runtime import Caliper, VirtualClock
+
+ATTRIBUTES = ["function", "kernel", "phase"]
+VALUES = ["a", "b", "c"]
+
+# program step: (kind, attr-index, value-index, dt)
+steps = st.lists(
+    st.tuples(
+        st.sampled_from(["begin", "end", "set", "advance"]),
+        st.integers(0, len(ATTRIBUTES) - 1),
+        st.integers(0, len(VALUES) - 1),
+        st.floats(min_value=0.0, max_value=2.0),
+    ),
+    max_size=60,
+)
+
+SCHEMES = [
+    "AGGREGATE count, sum(time.duration) GROUP BY function",
+    "AGGREGATE count, min(time.duration), max(time.duration) GROUP BY function, kernel",
+    "AGGREGATE avg(time.duration) WHERE kernel GROUP BY kernel",
+    "AGGREGATE count WHERE not(phase) GROUP BY function, phase, kernel",
+]
+
+
+def run_program(program, scheme_text):
+    """Run the random program with trace + aggregate channels in parallel."""
+    clock = VirtualClock()
+    cali = Caliper(clock=clock)
+    trace_chan = cali.create_channel(
+        "trace", {"services": ["event", "timer", "trace"]}
+    )
+    agg_chan = cali.create_channel(
+        "agg",
+        {
+            "services": ["event", "timer", "aggregate"],
+            "aggregate.config": scheme_text,
+            "aggregate.rename_count": False,
+        },
+    )
+    depths = {attr: 0 for attr in ATTRIBUTES}
+    for kind, ai, vi, dt in program:
+        attr = ATTRIBUTES[ai]
+        value = VALUES[vi]
+        if kind == "begin":
+            cali.begin(attr, value)
+            depths[attr] += 1
+        elif kind == "end":
+            if depths[attr] > 0:
+                cali.end(attr)
+                depths[attr] -= 1
+        elif kind == "set":
+            cali.set(attr + ".info", value)
+        else:
+            clock.advance(dt)
+    # close any regions left open (well-nested per attribute by construction)
+    for attr, depth in depths.items():
+        for _ in range(depth):
+            cali.end(attr)
+
+    trace = trace_chan.finish()
+    online = agg_chan.finish()
+    return trace, online
+
+
+def canonical(records):
+    return sorted(
+        (tuple(sorted((k, v.to_string()) for k, v in r.items())) for r in records),
+        key=repr,
+    )
+
+
+@given(program=steps, scheme_index=st.integers(0, len(SCHEMES) - 1))
+@settings(max_examples=60, deadline=None)
+def test_online_equals_offline(program, scheme_index):
+    scheme_text = SCHEMES[scheme_index]
+    trace, online = run_program(program, scheme_text)
+    offline = aggregate_records(trace, parse_scheme(scheme_text))
+    assert canonical(online) == canonical(offline)
+
+
+@given(program=steps)
+@settings(max_examples=30, deadline=None)
+def test_trace_and_aggregate_observe_same_snapshot_count(program):
+    trace, online = run_program(program, SCHEMES[0])
+    total = sum(
+        r["count"].to_int() for r in online if "count" in r
+    )
+    assert total == len(trace)

@@ -1,0 +1,142 @@
+"""Tests for the compact .cali-like format."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro.common import AttrProperty, AttributeRegistry, FormatError, Record
+from repro.io import read_cali, write_cali
+
+from ..conftest import record_lists, records
+
+
+def roundtrip(recs, registry=None, globals_=None):
+    buf = io.StringIO()
+    write_cali(buf, recs, registry=registry, globals_=globals_)
+    buf.seek(0)
+    return read_cali(buf, with_globals=True)
+
+
+class TestRoundTrip:
+    def test_simple_records(self):
+        recs = [
+            Record({"function": "main/foo", "time.duration": 1.5}),
+            Record({"function": "main", "count": 3}),
+            Record({}),
+        ]
+        back, _ = roundtrip(recs)
+        assert back == recs
+
+    def test_globals(self):
+        _, globals_ = roundtrip([], globals_={"rank": 3, "host": "quartz", "f": 1.5})
+        assert globals_["rank"].value == 3
+        assert globals_["host"].value == "quartz"
+        assert globals_["f"].value == 1.5
+
+    def test_special_characters_escaped(self):
+        recs = [
+            Record({"name": "a,b=c\\d", "other": "line\nbreak"}),
+            Record({"weird,label=x": "v"}),
+        ]
+        back, _ = roundtrip(recs)
+        assert back == recs
+
+    def test_nested_attribute_path_splitting(self):
+        registry = AttributeRegistry()
+        registry.create("function", "string", AttrProperty.NESTED)
+        recs = [
+            Record({"function": "main"}),
+            Record({"function": "main/solve"}),
+            Record({"function": "main/solve/mg"}),
+        ]
+        back, _ = roundtrip(recs, registry=registry)
+        assert back == recs
+
+    def test_all_value_types(self):
+        from repro.common import ValueType, Variant
+
+        recs = [
+            Record.from_variants(
+                {
+                    "i": Variant(ValueType.INT, -5),
+                    "u": Variant(ValueType.UINT, 5),
+                    "d": Variant(ValueType.DOUBLE, 2.5),
+                    "s": Variant(ValueType.STRING, "x"),
+                    "b": Variant(ValueType.BOOL, True),
+                }
+            )
+        ]
+        back, _ = roundtrip(recs)
+        assert back == recs
+
+    def test_empty_stream(self):
+        back, globals_ = roundtrip([])
+        assert back == [] and globals_ == {}
+
+
+class TestCompression:
+    def test_node_dedup_shrinks_repetitive_streams(self):
+        base = Record({"kernel": "hot-loop", "mpi.rank": 3, "function": "main/solve"})
+        recs = [base.with_entries({"time.duration": float(i)}) for i in range(500)]
+
+        buf = io.StringIO()
+        write_cali(buf, recs)
+        compact_size = len(buf.getvalue())
+
+        import json
+
+        plain_size = sum(len(json.dumps(r.to_plain())) + 1 for r in recs)
+        # Context dedup should beat naive JSON by a wide margin.
+        assert compact_size < plain_size * 0.8
+
+    def test_node_written_once(self):
+        recs = [Record({"kernel": "k"}) for _ in range(100)]
+        buf = io.StringIO()
+        write_cali(buf, recs)
+        lines = buf.getvalue().splitlines()
+        node_lines = [ln for ln in lines if ln.startswith("node,")]
+        assert len(node_lines) == 1
+
+
+class TestErrors:
+    def test_bad_header(self):
+        with pytest.raises(FormatError, match="not a cali file"):
+            read_cali(io.StringIO("nope\n"))
+
+    def test_malformed_line(self):
+        text = "__caliper__,1\nsnap,notanumber\n"
+        with pytest.raises(FormatError, match="malformed cali line 2"):
+            read_cali(io.StringIO(text))
+
+    def test_unknown_record_kind(self):
+        text = "__caliper__,1\nwat,1,2\n"
+        with pytest.raises(FormatError):
+            read_cali(io.StringIO(text))
+
+    def test_node_with_unknown_attribute(self):
+        text = "__caliper__,1\nnode,0,-1,99,string,x\nsnap,0\n"
+        with pytest.raises(FormatError, match="unknown attribute"):
+            read_cali(io.StringIO(text))
+
+
+class TestFiles:
+    def test_path_based_io(self, tmp_path):
+        recs = [Record({"a": 1})]
+        path = tmp_path / "data.cali"
+        write_cali(path, recs, globals_={"g": "v"})
+        back, globals_ = read_cali(path, with_globals=True)
+        assert back == recs and globals_["g"].value == "v"
+
+    def test_read_without_globals_returns_list(self, tmp_path):
+        path = tmp_path / "data.cali"
+        write_cali(path, [Record({"a": 1})])
+        result = read_cali(path)
+        assert isinstance(result, list)
+
+
+@given(record_lists)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(recs):
+    back, _ = roundtrip(recs)
+    assert back == recs

@@ -1,0 +1,83 @@
+"""Tests for the Dataset container and multi-file loading."""
+
+import pytest
+
+from repro.common import DatasetError, Record
+from repro.io import Dataset, read_records, write_records
+
+
+@pytest.fixture
+def rank_files(tmp_path):
+    paths = []
+    for rank in range(3):
+        recs = [
+            Record({"kernel": "k", "time.duration": float(rank + 1)}),
+            Record({"kernel": "other", "time.duration": 0.5}),
+        ]
+        path = tmp_path / f"rank-{rank}.cali"
+        write_records(path, recs, globals_={"mpi.rank": rank})
+        paths.append(path)
+    return paths
+
+
+class TestWriteReadRecords:
+    def test_extension_dispatch(self, tmp_path):
+        recs = [Record({"a": 1})]
+        for ext in ("cali", "json", "csv"):
+            path = tmp_path / f"f.{ext}"
+            write_records(path, recs)
+            back, _ = read_records(path)
+            assert back[0]["a"].value == 1
+
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_records(tmp_path / "f.xyz", [])
+
+
+class TestDataset:
+    def test_from_file(self, rank_files):
+        ds = Dataset.from_file(rank_files[0])
+        assert len(ds) == 2
+        assert ds.globals["mpi.rank"].value == 0
+
+    def test_from_files_folds_globals_into_records(self, rank_files):
+        ds = Dataset.from_files(rank_files)
+        assert len(ds) == 6
+        ranks = {r["mpi.rank"].value for r in ds}
+        assert ranks == {0, 1, 2}
+        # conflicting globals are dropped at dataset level
+        assert "mpi.rank" not in ds.globals
+
+    def test_from_glob(self, rank_files, tmp_path):
+        ds = Dataset.from_glob(str(tmp_path / "rank-*.cali"))
+        assert len(ds) == 6
+        assert len(ds.sources) == 3
+
+    def test_from_glob_no_match(self, tmp_path):
+        with pytest.raises(DatasetError):
+            Dataset.from_glob(str(tmp_path / "nope-*.cali"))
+
+    def test_labels_and_column(self, rank_files):
+        ds = Dataset.from_files(rank_files)
+        assert "kernel" in ds.labels()
+        values = ds.column("time.duration")
+        assert len(values) == 6
+
+    def test_query(self, rank_files):
+        ds = Dataset.from_files(rank_files)
+        res = ds.query("AGGREGATE sum(time.duration) GROUP BY kernel ORDER BY kernel")
+        rows = res.rows(["kernel", "sum#time.duration"])
+        assert rows == [("k", 6.0), ("other", 1.5)]
+
+    def test_container_protocol(self, rank_files):
+        ds = Dataset.from_file(rank_files[0])
+        assert ds[0] == list(iter(ds))[0]
+        ds.extend([Record({"extra": 1})])
+        assert len(ds) == 3
+
+    def test_to_file_roundtrip(self, rank_files, tmp_path):
+        ds = Dataset.from_files(rank_files)
+        out = tmp_path / "merged.cali"
+        ds.to_file(out)
+        back = Dataset.from_file(out)
+        assert len(back) == len(ds)

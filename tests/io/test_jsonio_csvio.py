@@ -1,0 +1,109 @@
+"""Tests for JSON-lines and CSV serialization."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro.common import FormatError, Record
+from repro.io import read_csv, read_json, write_csv, write_json
+
+from ..conftest import record_lists
+
+
+class TestJson:
+    def test_roundtrip(self):
+        recs = [
+            Record({"kernel": "k", "time.duration": 1.5, "mpi.rank": 3}),
+            Record({"kernel": "other"}),
+            Record({}),
+        ]
+        buf = io.StringIO()
+        write_json(buf, recs, globals_={"run": "x"})
+        buf.seek(0)
+        back, globals_ = read_json(buf, with_globals=True)
+        assert back == recs
+        assert globals_["run"].value == "x"
+
+    def test_mixed_type_column_degrades_gracefully(self):
+        recs = [Record({"v": 1}), Record({"v": "text"})]
+        buf = io.StringIO()
+        write_json(buf, recs)
+        buf.seek(0)
+        back = read_json(buf)
+        assert back[0]["v"].value == 1
+        assert back[1]["v"].value == "text"
+
+    def test_empty_file_raises(self):
+        with pytest.raises(FormatError):
+            read_json(io.StringIO(""))
+
+    def test_wrong_format_marker(self):
+        with pytest.raises(FormatError, match="not a repro JSON"):
+            read_json(io.StringIO('{"format": "something-else"}\n'))
+
+    def test_malformed_record_line(self):
+        text = '{"format": "repro-json", "version": 1, "attributes": {}}\n{oops\n'
+        with pytest.raises(FormatError, match="line 2"):
+            read_json(io.StringIO(text))
+
+    def test_record_lines_are_plain_json(self):
+        buf = io.StringIO()
+        write_json(buf, [Record({"a": 1})])
+        lines = buf.getvalue().splitlines()
+        import json
+
+        assert json.loads(lines[1]) == {"a": 1}
+
+    @given(record_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, recs):
+        buf = io.StringIO()
+        write_json(buf, recs)
+        buf.seek(0)
+        back = read_json(buf)
+        assert len(back) == len(recs)
+        for a, b in zip(back, recs):
+            assert set(a.labels()) == set(b.labels())
+            for lbl in a.labels():
+                va, vb = a[lbl], b[lbl]
+                if vb.is_numeric:
+                    assert va.to_double() == pytest.approx(vb.to_double(), rel=0, abs=0)
+                else:
+                    assert va.value == vb.value
+
+
+class TestCsv:
+    def test_roundtrip_with_inference(self):
+        recs = [
+            Record({"kernel": "k", "time": 1.5, "rank": 3, "flag": True}),
+            Record({"kernel": "other", "rank": 0}),
+        ]
+        buf = io.StringIO()
+        write_csv(buf, recs, preferred=["kernel"])
+        buf.seek(0)
+        back = read_csv(buf)
+        assert back[0]["time"].value == 1.5
+        assert back[0]["rank"].value == 3
+        assert back[0]["flag"].value is True
+        assert "time" not in back[1]  # empty cell dropped
+
+    def test_preferred_column_order(self):
+        recs = [Record({"z": 1, "a": 2, "key": 3})]
+        buf = io.StringIO()
+        write_csv(buf, recs, preferred=["key"])
+        header = buf.getvalue().splitlines()[0]
+        assert header == "key,a,z"
+
+    def test_empty_input(self):
+        buf = io.StringIO()
+        assert write_csv(buf, []) == 0
+        buf.seek(0)
+        assert read_csv(buf) == []
+
+    def test_strings_with_commas_quoted(self):
+        recs = [Record({"name": "a,b"})]
+        buf = io.StringIO()
+        write_csv(buf, recs)
+        buf.seek(0)
+        assert read_csv(buf)[0]["name"].value == "a,b"

@@ -1,0 +1,155 @@
+"""Tests for collectives built on the simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import SimWorld, ZeroCostNetwork, tree_depth
+from repro.mpi.network import LatencyBandwidthNetwork
+
+
+def run(size, program, network=None):
+    return SimWorld(size, network=network or ZeroCostNetwork()).run(program)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size", [1, 2, 3, 5, 8, 17])
+    def test_all_ranks_receive(self, size):
+        def program(comm):
+            value = "payload" if comm.rank == 0 else None
+            got = yield from comm.bcast(value, root=0)
+            return got
+
+        assert run(size, program).returns == ["payload"] * size
+
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_nonzero_root(self, root):
+        def program(comm):
+            value = comm.rank if comm.rank == root else None
+            got = yield from comm.bcast(value, root=root)
+            return got
+
+        assert run(5, program).returns == [root] * 5
+
+    def test_logarithmic_depth_timing(self):
+        """Bcast time should grow ~log2(P), not linearly."""
+        net = LatencyBandwidthNetwork(latency=1.0, bandwidth=1e12, overhead=0.0)
+
+        def program(comm):
+            yield from comm.bcast("x", root=0)
+            return comm.now()
+
+        t8 = max(run(8, program, net).returns)
+        t64 = max(run(64, program, net).returns)
+        assert t64 < t8 * 3  # log growth: 6/3 = 2x, not 8x
+
+
+class TestTreeReduce:
+    @pytest.mark.parametrize("size", [1, 2, 3, 7, 16, 33])
+    @pytest.mark.parametrize("fanout", [2, 4])
+    def test_sum_reduction(self, size, fanout):
+        def program(comm):
+            total = yield from comm.reduce(comm.rank + 1, lambda a, b: a + b, fanout=fanout)
+            return total
+
+        result = run(size, program)
+        assert result.returns[0] == size * (size + 1) // 2
+        assert all(r is None for r in result.returns[1:])
+
+    def test_combine_cost_charged(self):
+        def program(comm):
+            yield from comm.reduce(1, lambda a, b: a + b, combine_cost=2.0)
+            return comm.now()
+
+        result = run(4, program)
+        # root (rank 0) combines two children in the binary tree over 4 ranks
+        assert result.returns[0] >= 4.0
+
+    def test_callable_combine_cost(self):
+        costs = []
+
+        def cost_fn(a, b):
+            costs.append((a, b))
+            return 0.5
+
+        def program(comm):
+            yield from comm.reduce(1, lambda a, b: a + b, combine_cost=cost_fn)
+            return None
+
+        run(3, program)
+        assert len(costs) == 2  # two merges for 3 ranks
+
+    def test_deterministic_merge_order(self):
+        def program(comm):
+            order = yield from comm.reduce(
+                [comm.rank], lambda a, b: a + b
+            )
+            return order
+
+        result = run(7, program)
+        # Fixed tree: children merged in increasing rank order, depth-first.
+        assert result.returns[0] is not None
+        assert sorted(result.returns[0]) == list(range(7))
+        # Re-running yields the identical order.
+        assert run(7, program).returns[0] == result.returns[0]
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("size", [1, 2, 6, 16])
+    def test_all_ranks_get_total(self, size):
+        def program(comm):
+            total = yield from comm.allreduce(comm.rank, lambda a, b: a + b)
+            return total
+
+        expected = size * (size - 1) // 2
+        assert run(size, program).returns == [expected] * size
+
+
+class TestGather:
+    @pytest.mark.parametrize("size", [1, 2, 5, 12])
+    def test_rank_order_preserved(self, size):
+        def program(comm):
+            values = yield from comm.gather(comm.rank * 2)
+            return values
+
+        result = run(size, program)
+        assert result.returns[0] == [r * 2 for r in range(size)]
+        assert all(v is None for v in result.returns[1:])
+
+
+class TestTreeDepth:
+    def test_known_depths(self):
+        assert tree_depth(1) == 0
+        assert tree_depth(2) == 1
+        assert tree_depth(4) == 2
+        assert tree_depth(8) == 3
+        assert tree_depth(4096) == 12
+
+    def test_larger_fanout_shallower(self):
+        assert tree_depth(64, fanout=4) < tree_depth(64, fanout=2)
+
+    @given(st.integers(1, 5000), st.integers(2, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_depth_bounds(self, size, fanout):
+        import math
+
+        depth = tree_depth(size, fanout)
+        if size > 1:
+            assert depth >= math.floor(math.log(size, fanout + 1))
+            assert depth <= math.ceil(math.log2(size)) * 2 + 1
+
+
+@given(
+    st.integers(1, 40),
+    st.lists(st.integers(-100, 100), min_size=40, max_size=40),
+)
+@settings(max_examples=30, deadline=None)
+def test_reduce_matches_sequential_sum(size, values):
+    """DES tree reduction == plain Python sum, any world size."""
+
+    def program(comm):
+        total = yield from comm.reduce(values[comm.rank], lambda a, b: a + b)
+        return total
+
+    result = run(size, program)
+    assert result.returns[0] == sum(values[:size])

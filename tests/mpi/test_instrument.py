@@ -1,0 +1,146 @@
+"""Tests for MPI interception (instrumented simulated rank programs)."""
+
+import pytest
+
+from repro.aggregate import combine_partials
+from repro.mpi import SimWorld
+from repro.mpi.instrument import CommClock, InstrumentedComm, RankProfiler
+from repro.mpi.network import LatencyBandwidthNetwork, ZeroCostNetwork
+from repro.query import run_query
+from repro.runtime import Caliper
+
+
+class TestCommClock:
+    def test_tracks_rank_time(self):
+        seen = []
+
+        def program(comm):
+            clock = CommClock(comm)
+            assert clock.now() == 0.0
+            yield from comm.compute(1.5)
+            seen.append(clock.now())
+            return None
+
+        SimWorld(1, network=ZeroCostNetwork()).run(program)
+        assert seen == [1.5]
+
+
+class TestInstrumentedComm:
+    def test_annotations_and_durations(self):
+        net = LatencyBandwidthNetwork(latency=0.5, bandwidth=1e12, overhead=0.0)
+        collected = {}
+
+        def program(comm):
+            prof = RankProfiler(comm)
+            icomm = prof.comm
+            if comm.rank == 0:
+                yield from icomm.compute(1.0)
+                yield from icomm.send(1, "x")
+            else:
+                payload = yield from icomm.recv(src=0)
+                assert payload == "x"
+            yield from icomm.barrier()
+            collected[comm.rank] = prof.finish()
+            return None
+
+        SimWorld(2, network=net).run(program)
+
+        # rank 1 blocked in MPI_Recv for ~1.5 virtual seconds
+        rows = {
+            r.get("mpi.function").value: r
+            for r in collected[1]
+            if not r.get("mpi.function").is_empty
+        }
+        assert rows["MPI_Recv"]["sum#time.duration"].to_double() == pytest.approx(
+            1.5, abs=0.1
+        )
+        assert "MPI_Barrier" in rows
+        # every record carries the rank
+        assert all(r["mpi.rank"].value == 1 for r in collected[1])
+        assert all(r["mpi.world.size"].value == 2 for r in collected[1])
+
+    def test_rank_accessors(self):
+        def program(comm):
+            icomm = InstrumentedComm(comm, Caliper(clock=CommClock(comm)))
+            assert icomm.rank == comm.rank
+            assert icomm.size == comm.size
+            assert icomm.raw is comm
+            return None
+            yield  # pragma: no cover
+
+        SimWorld(3, network=ZeroCostNetwork()).run(program)
+
+    def test_collectives_annotated(self):
+        collected = {}
+
+        def program(comm):
+            prof = RankProfiler(
+                comm, aggregate_config="AGGREGATE count GROUP BY mpi.function"
+            )
+            icomm = prof.comm
+            total = yield from icomm.allreduce(comm.rank, lambda a, b: a + b)
+            assert total == 3
+            values = yield from icomm.gather(comm.rank)
+            if comm.rank == 0:
+                assert values == [0, 1, 2]
+            yield from icomm.bcast("done", root=0)
+            collected[comm.rank] = prof.finish()
+            return None
+
+        SimWorld(3, network=ZeroCostNetwork()).run(program)
+        names = {
+            r.get("mpi.function").value
+            for r in collected[0]
+            if not r.get("mpi.function").is_empty
+        }
+        assert {"MPI_Allreduce", "MPI_Gather", "MPI_Bcast"} <= names
+
+    def test_profiler_config_exclusive(self):
+        def program(comm):
+            with pytest.raises(ValueError):
+                RankProfiler(
+                    comm,
+                    aggregate_config="AGGREGATE count",
+                    channel_config={"services": ["trace"]},
+                )
+            return None
+            yield  # pragma: no cover
+
+        SimWorld(1).run(program)
+
+
+class TestCrossProcessWorkflow:
+    def test_per_rank_profiles_combine(self):
+        """Full paper workflow on the simulator: per-rank on-line profiles,
+        off-line cross-rank aggregation."""
+        collected = {}
+
+        def program(comm):
+            prof = RankProfiler(comm)
+            icomm = prof.comm
+            with prof.cali.region("function", "work"):
+                yield from icomm.compute(0.5 * (comm.rank + 1))
+            yield from icomm.barrier()
+            collected[comm.rank] = prof.finish()
+            return None
+
+        SimWorld(4, network=ZeroCostNetwork()).run(program)
+        all_records = [r for records in collected.values() for r in records]
+
+        result = run_query(
+            'AGGREGATE sum(sum#time.duration) WHERE function="work" '
+            "GROUP BY mpi.rank ORDER BY mpi.rank",
+            all_records,
+        )
+        times = [r["sum#sum#time.duration"].to_double() for r in result]
+        assert times == pytest.approx([0.5, 1.0, 1.5, 2.0])
+
+        # barrier wait absorbs the imbalance: rank 0 waits longest
+        barrier = run_query(
+            'AGGREGATE sum(sum#time.duration) WHERE mpi.function="MPI_Barrier" '
+            "GROUP BY mpi.rank ORDER BY mpi.rank",
+            all_records,
+        )
+        waits = [r["sum#sum#time.duration"].to_double() for r in barrier]
+        assert waits[0] == pytest.approx(1.5, abs=0.01)
+        assert waits[3] == pytest.approx(0.0, abs=0.01)

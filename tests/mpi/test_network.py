@@ -1,0 +1,57 @@
+"""Tests for network models and payload sizing."""
+
+import pytest
+
+from repro.mpi import LatencyBandwidthNetwork, ZeroCostNetwork, default_payload_size
+
+
+class TestLatencyBandwidth:
+    def test_transit_time_formula(self):
+        net = LatencyBandwidthNetwork(latency=2.0, bandwidth=100.0, overhead=0.1)
+        assert net.transit_time(0, 1, 500) == pytest.approx(2.0 + 5.0)
+
+    def test_local_transit_free(self):
+        net = LatencyBandwidthNetwork()
+        assert net.transit_time(3, 3, 10**9) == 0.0
+
+    def test_overheads(self):
+        net = LatencyBandwidthNetwork(overhead=0.25)
+        assert net.send_overhead(100) == 0.25
+        assert net.recv_overhead(100) == 0.25
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LatencyBandwidthNetwork(latency=-1)
+        with pytest.raises(ValueError):
+            LatencyBandwidthNetwork(bandwidth=0)
+        with pytest.raises(ValueError):
+            LatencyBandwidthNetwork(overhead=-0.1)
+
+
+class TestZeroCost:
+    def test_everything_free(self):
+        net = ZeroCostNetwork()
+        assert net.send_overhead(10**9) == 0.0
+        assert net.recv_overhead(10**9) == 0.0
+        assert net.transit_time(0, 1, 10**9) == 0.0
+
+
+class TestPayloadSize:
+    def test_wire_size_hook_preferred(self):
+        class Sized:
+            def wire_size(self):
+                return 12345
+
+        assert default_payload_size(Sized()) == 12345
+
+    def test_pickle_fallback(self):
+        size = default_payload_size({"key": "value" * 100})
+        assert size > 500
+
+    def test_unpicklable_gets_constant(self):
+        assert default_payload_size(lambda: None) == 64
+
+    def test_bigger_payload_bigger_size(self):
+        small = default_payload_size(list(range(10)))
+        large = default_payload_size(list(range(10000)))
+        assert large > small

@@ -1,0 +1,242 @@
+"""Tests for the discrete-event MPI simulator."""
+
+import pytest
+
+from repro.common import CommunicatorError, DeadlockError, SimMPIError
+from repro.mpi import (
+    ANY_SOURCE,
+    LatencyBandwidthNetwork,
+    SimWorld,
+    ZeroCostNetwork,
+)
+
+
+def run(size, program, network=None, **kwargs):
+    world = SimWorld(size, network=network or ZeroCostNetwork(), **kwargs)
+    return world.run(program)
+
+
+class TestBasics:
+    def test_single_rank_return_value(self):
+        def program(comm):
+            yield from comm.compute(1.0)
+            return comm.rank * 10
+
+        result = run(1, program)
+        assert result.returns == [0]
+        assert result.elapsed == pytest.approx(1.0)
+
+    def test_compute_advances_clock(self):
+        def program(comm):
+            yield from comm.compute(0.5)
+            yield from comm.compute(0.25)
+            return comm.now()
+
+        result = run(3, program)
+        assert result.returns == [pytest.approx(0.75)] * 3
+
+    def test_send_recv_payload(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, {"data": 42})
+                return None
+            payload = yield from comm.recv(src=0)
+            return payload["data"]
+
+        assert run(2, program).returns[1] == 42
+
+    def test_any_source_matches_earliest_arrival(self):
+        def program(comm):
+            if comm.rank == 0:
+                first = yield from comm.recv(src=ANY_SOURCE)
+                second = yield from comm.recv(src=ANY_SOURCE)
+                return (first, second)
+            yield from comm.compute(0.1 * comm.rank)  # rank 1 sends earlier
+            yield from comm.send(0, comm.rank)
+            return None
+
+        result = run(3, program)
+        assert result.returns[0] == (1, 2)
+
+    def test_message_ordering_fifo_per_channel(self):
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    yield from comm.send(1, i)
+                return None
+            got = []
+            for _ in range(5):
+                got.append((yield from comm.recv(src=0)))
+            return got
+
+        assert run(2, program).returns[1] == [0, 1, 2, 3, 4]
+
+    def test_tags_keep_streams_separate(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, "a", tag=1)
+                yield from comm.send(1, "b", tag=2)
+                return None
+            second = yield from comm.recv(src=0, tag=2)
+            first = yield from comm.recv(src=0, tag=1)
+            return (first, second)
+
+        assert run(2, program).returns[1] == ("a", "b")
+
+    def test_barrier_synchronizes_clocks(self):
+        def program(comm):
+            yield from comm.compute(float(comm.rank))
+            yield from comm.barrier()
+            return comm.now()
+
+        result = run(4, program)
+        times = result.returns
+        assert all(t == pytest.approx(times[0]) for t in times)
+        assert times[0] >= 3.0
+
+    def test_return_values_per_rank(self):
+        def program(comm):
+            return comm.rank
+            yield  # pragma: no cover
+
+        assert run(5, program).returns == [0, 1, 2, 3, 4]
+
+
+class TestTimingModel:
+    def test_network_costs_applied(self):
+        net = LatencyBandwidthNetwork(latency=1.0, bandwidth=10.0, overhead=0.5)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, None, nbytes=20)
+                return comm.now()
+            yield from comm.recv(src=0)
+            return comm.now()
+
+        result = run(2, program, network=net)
+        # sender: send overhead 0.5
+        assert result.returns[0] == pytest.approx(0.5)
+        # receiver: overhead(0.5) + latency(1) + 20/10 (2) + recv overhead 0.5
+        assert result.returns[1] == pytest.approx(0.5 + 1.0 + 2.0 + 0.5)
+
+    def test_recv_blocks_until_arrival(self):
+        net = LatencyBandwidthNetwork(latency=5.0, bandwidth=1e9, overhead=0.0)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.compute(2.0)
+                yield from comm.send(1, "x")
+                return None
+            got = yield from comm.recv(src=0)
+            return comm.now()
+
+        result = run(2, program, network=net)
+        assert result.returns[1] == pytest.approx(7.0)
+
+    def test_early_send_buffered(self):
+        net = LatencyBandwidthNetwork(latency=1.0, bandwidth=1e9, overhead=0.0)
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, "x")  # sent at t=0
+                return None
+            yield from comm.compute(10.0)  # receiver busy past arrival
+            yield from comm.recv(src=0)
+            return comm.now()
+
+        result = run(2, program, network=net)
+        assert result.returns[1] == pytest.approx(10.0)
+
+    def test_stats_collected(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, None, nbytes=100)
+            else:
+                yield from comm.recv(src=0)
+            yield from comm.barrier()
+            return None
+
+        world = SimWorld(2, network=ZeroCostNetwork())
+        result = world.run(program)
+        assert result.stats.messages == 1
+        assert result.stats.bytes == 100
+        assert result.stats.barriers == 1
+
+
+class TestErrors:
+    def test_deadlock_detection(self):
+        def program(comm):
+            yield from comm.recv(src=(comm.rank + 1) % comm.size)
+
+        with pytest.raises(DeadlockError) as err:
+            run(3, program)
+        assert set(err.value.blocked) == {0, 1, 2}
+
+    def test_partial_barrier_deadlock(self):
+        def program(comm):
+            if comm.rank == 0:
+                return None
+                yield  # pragma: no cover
+            yield from comm.barrier()
+
+        with pytest.raises(DeadlockError):
+            run(2, program)
+
+    def test_unreceived_message_flagged(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, "lost")
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(SimMPIError, match="never received"):
+            run(2, program)
+
+    def test_invalid_ranks(self):
+        def send_oob(comm):
+            yield from comm.send(99, "x")
+
+        def self_send(comm):
+            yield from comm.send(comm.rank, "x")
+
+        with pytest.raises(CommunicatorError):
+            run(2, send_oob)
+        with pytest.raises(CommunicatorError):
+            run(2, self_send)
+
+    def test_negative_compute(self):
+        def program(comm):
+            yield from comm.compute(-1.0)
+
+        with pytest.raises(CommunicatorError):
+            run(1, program)
+
+    def test_non_generator_program_rejected(self):
+        with pytest.raises(SimMPIError, match="generator"):
+            SimWorld(1).run(lambda comm: 42)
+
+    def test_world_size_validation(self):
+        with pytest.raises(SimMPIError):
+            SimWorld(0)
+
+
+class TestStatsDetail:
+    def test_mailbox_depth_tracked(self):
+        def program(comm):
+            if comm.rank == 0:
+                for i in range(5):
+                    yield from comm.send(1, i)
+                return None
+            yield from comm.compute(1.0)  # let messages pile up
+            for _ in range(5):
+                yield from comm.recv(src=0)
+            return None
+
+        world = SimWorld(2, network=ZeroCostNetwork())
+        world.run(program)
+        assert world.stats.max_mailbox_depth == 5
+
+    def test_empty_result_elapsed(self):
+        from repro.mpi import SimResult
+
+        assert SimResult(returns=[], times=[]).elapsed == 0.0

@@ -1,0 +1,83 @@
+"""Tests for the repro-query command-line interface."""
+
+import pytest
+
+from repro.common import Record
+from repro.io import write_records
+from repro.query.cli import main
+
+
+@pytest.fixture
+def data_file(tmp_path):
+    records = [
+        Record({"kernel": "hot", "time.duration": 3.0}),
+        Record({"kernel": "cold", "time.duration": 1.0}),
+        Record({"kernel": "hot", "time.duration": 2.0}),
+    ]
+    path = tmp_path / "data.cali"
+    write_records(path, records)
+    return str(path)
+
+
+class TestCli:
+    def test_basic_query_to_stdout(self, data_file, capsys):
+        code = main(["-q", "AGGREGATE sum(time.duration) GROUP BY kernel ORDER BY kernel", data_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hot" in out and "5" in out
+
+    def test_csv_format(self, data_file, capsys):
+        code = main(["-q", "AGGREGATE count GROUP BY kernel FORMAT csv", data_file])
+        assert code == 0
+        assert capsys.readouterr().out.startswith("kernel,")
+
+    def test_output_file(self, data_file, tmp_path, capsys):
+        out_path = tmp_path / "result.txt"
+        code = main(["-q", "AGGREGATE count GROUP BY kernel", "-o", str(out_path), data_file])
+        assert code == 0
+        assert "kernel" in out_path.read_text()
+        assert capsys.readouterr().out == ""
+
+    def test_parallel_mode(self, data_file, capsys):
+        code = main(
+            ["-q", "AGGREGATE sum(time.duration) GROUP BY kernel", "--parallel", "2",
+             "--timing", data_file]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "hot" in captured.out
+        assert "total" in captured.err
+
+    def test_query_error_reported(self, data_file, capsys):
+        code = main(["-q", "AGGREGATE nonsense(x)", data_file])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_reported(self, capsys):
+        code = main(["-q", "AGGREGATE count", "/nonexistent/file.cali"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestInspectionFlags:
+    def test_list_attributes(self, data_file, capsys):
+        code = main(["--list-attributes", data_file])
+        assert code == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "kernel" in out and "time.duration" in out
+
+    def test_globals(self, tmp_path, capsys):
+        from repro.common import Record
+        from repro.io import write_records
+
+        path = tmp_path / "g.cali"
+        write_records(path, [Record({"a": 1})], globals_={"mpi.rank": 7})
+        code = main(["--globals", str(path)])
+        assert code == 0
+        assert "mpi.rank=7" in capsys.readouterr().out
+
+    def test_query_required_without_flags(self, data_file, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main([data_file])

@@ -1,0 +1,118 @@
+"""Tests for call-tree inclusive rollups."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import Record
+from repro.query.rollup import rollup_inclusive
+
+
+def by_path(records, path_attr="function"):
+    return {
+        r.get(path_attr).to_string(): r
+        for r in records
+        if not r.get(path_attr).is_empty
+    }
+
+
+class TestRollup:
+    def test_basic_subtree_sum(self):
+        records = [
+            Record({"function": "main", "t": 1.0}),
+            Record({"function": "main/a", "t": 2.0}),
+            Record({"function": "main/a/x", "t": 3.0}),
+            Record({"function": "main/b", "t": 4.0}),
+        ]
+        out = by_path(rollup_inclusive(records, "function", ["t"]))
+        assert out["main"]["t.inclusive"].value == pytest.approx(10.0)
+        assert out["main/a"]["t.inclusive"].value == pytest.approx(5.0)
+        assert out["main/a/x"]["t.inclusive"].value == pytest.approx(3.0)
+        assert out["main/b"]["t.inclusive"].value == pytest.approx(4.0)
+
+    def test_missing_parents_synthesized(self):
+        records = [
+            Record({"function": "main/a", "t": 1.0}),
+            Record({"function": "main/b", "t": 2.0}),
+        ]
+        out = by_path(rollup_inclusive(records, "function", ["t"]))
+        assert "main" in out
+        assert out["main"].get("t").is_empty  # no exclusive time
+        assert out["main"]["t.inclusive"].value == pytest.approx(3.0)
+
+    def test_missing_parents_optional(self):
+        records = [Record({"function": "main/a", "t": 1.0})]
+        out = by_path(
+            rollup_inclusive(records, "function", ["t"], include_missing_parents=False)
+        )
+        assert "main" not in out
+
+    def test_duplicate_paths_merged(self):
+        records = [
+            Record({"function": "main", "t": 1.0}),
+            Record({"function": "main", "t": 2.0}),
+        ]
+        out = by_path(rollup_inclusive(records, "function", ["t"]))
+        assert out["main"]["t.inclusive"].value == pytest.approx(3.0)
+
+    def test_pathless_records_pass_through(self):
+        records = [Record({"mpi.function": "MPI_Send", "t": 9.0})]
+        out = rollup_inclusive(records, "function", ["t"])
+        assert out[0].get("mpi.function").value == "MPI_Send"
+        assert "t.inclusive" not in out[0]
+
+    def test_multiple_metrics_and_suffix(self):
+        records = [
+            Record({"function": "a", "t": 1.0, "n": 2}),
+            Record({"function": "a/b", "t": 3.0, "n": 4}),
+        ]
+        out = by_path(rollup_inclusive(records, "function", ["t", "n"], suffix=".incl"))
+        assert out["a"]["t.incl"].value == pytest.approx(4.0)
+        assert out["a"]["n.incl"].value == pytest.approx(6.0)
+
+    def test_parents_before_children_in_output(self):
+        records = [
+            Record({"function": "a/b/c", "t": 1.0}),
+            Record({"function": "a", "t": 1.0}),
+        ]
+        out = rollup_inclusive(records, "function", ["t"])
+        paths = [r["function"].to_string() for r in out]
+        assert paths == ["a", "a/b", "a/b/c"]
+
+
+@st.composite
+def forests(draw):
+    names = ["a", "b", "c"]
+    n = draw(st.integers(1, 12))
+    records = []
+    for _ in range(n):
+        depth = draw(st.integers(1, 4))
+        path = "/".join(draw(st.sampled_from(names)) for _ in range(depth))
+        records.append(Record({"function": path, "t": draw(st.floats(0, 10))}))
+    return records
+
+
+@given(forests())
+@settings(max_examples=60, deadline=None)
+def test_root_inclusive_equals_total(records):
+    """Sum of root-level inclusive metrics == total exclusive metric."""
+    out = rollup_inclusive(records, "function", ["t"])
+    total_exclusive = sum(
+        r.get("t").to_double() for r in records if not r.get("t").is_empty
+    )
+    roots = [
+        r
+        for r in out
+        if not r.get("function").is_empty and "/" not in r["function"].to_string()
+    ]
+    total_inclusive = sum(r["t.inclusive"].to_double() for r in roots)
+    assert total_inclusive == pytest.approx(total_exclusive)
+
+
+@given(forests())
+@settings(max_examples=60, deadline=None)
+def test_inclusive_at_least_exclusive(records):
+    out = rollup_inclusive(records, "function", ["t"])
+    for r in out:
+        if "t.inclusive" in r and not r.get("t").is_empty:
+            assert r["t.inclusive"].to_double() >= r["t"].to_double() - 1e-9

@@ -1,0 +1,65 @@
+"""Tests for FORMAT tree and QueryResult.to_tree."""
+
+from repro.common import Record
+from repro.query import run_query
+
+
+def records():
+    return [
+        Record({"function": "main", "time.duration": 1.0}),
+        Record({"function": "main/solve", "time.duration": 4.0}),
+        Record({"function": "main/solve/mg", "time.duration": 2.0}),
+        Record({"function": "main/io", "time.duration": 0.5}),
+    ]
+
+
+class TestTreeFormat:
+    def test_format_tree_in_query(self):
+        result = run_query(
+            "AGGREGATE sum(time.duration) GROUP BY function FORMAT tree",
+            records(),
+        )
+        text = str(result)
+        lines = text.splitlines()
+        assert lines[0].startswith("function")
+        assert any(line.startswith("main") for line in lines)
+        assert any(line.startswith("  solve") for line in lines)
+        assert any(line.startswith("    mg") for line in lines)
+
+    def test_to_tree_explicit_args(self):
+        result = run_query("AGGREGATE count GROUP BY function", records())
+        text = result.to_tree(path_attribute="function", metrics=["count"])
+        assert "count" in text.splitlines()[0]
+
+    def test_to_tree_autodetects_path_column(self):
+        result = run_query(
+            "AGGREGATE sum(time.duration) GROUP BY mpi.rank, function",
+            records(),
+        )
+        # 'function' has slashes, 'mpi.rank' does not -> auto-pick function
+        text = result.to_tree()
+        assert "solve" in text
+
+    def test_quantile_helper(self):
+        from repro.aggregate.ops import HistogramOp
+
+        # 100 values uniform in [0, 10): median ~5
+        op = HistogramOp(["x"], bins=10, lo=0, hi=10)
+        state = op.init()
+        for i in range(100):
+            op.update(state, Record({"x": i * 0.1}).get)
+        encoded = op.results(state)[0][1].to_string()
+        assert abs(HistogramOp.quantile(encoded, 0.5) - 5.0) < 1.0
+        assert HistogramOp.quantile(encoded, 0.0) == 0.0
+        assert HistogramOp.quantile(encoded, 1.0) == 10.0
+
+    def test_quantile_errors(self):
+        import pytest
+
+        from repro.aggregate.ops import HistogramOp
+        from repro.common import OperatorError
+
+        with pytest.raises(OperatorError):
+            HistogramOp.quantile("0:1:0|0,0|0", 0.5)  # empty
+        with pytest.raises(OperatorError):
+            HistogramOp.quantile("0:1:0|1|0", 1.5)  # bad q

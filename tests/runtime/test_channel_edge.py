@@ -1,0 +1,97 @@
+"""Edge-case tests for channels and the service registry."""
+
+import pytest
+
+from repro.common import ChannelError, Record, ServiceError
+from repro.runtime import Caliper, Service, ServiceRegistry, VirtualClock
+from repro.runtime.services.base import default_service_registry
+
+
+class TestServiceRegistry:
+    def test_nameless_service_rejected(self):
+        class Nameless(Service):
+            pass
+
+        with pytest.raises(ServiceError, match="no name"):
+            ServiceRegistry().register(Nameless)
+
+    def test_duplicate_service_rejected(self):
+        class Svc(Service):
+            name = "dup"
+
+        reg = ServiceRegistry()
+        reg.register(Svc)
+        with pytest.raises(ServiceError, match="already registered"):
+            reg.register(Svc)
+
+    def test_known_and_contains(self):
+        reg = default_service_registry()
+        assert "aggregate" in reg
+        assert "event" in reg.known()
+
+    def test_custom_service_in_channel(self):
+        class CountingService(Service):
+            name = "counting"
+
+            def __init__(self, channel):
+                super().__init__(channel)
+                self.seen = 0
+
+            def process(self, record: Record) -> None:
+                self.seen += 1
+
+        reg = ServiceRegistry()
+        reg.register(CountingService)
+        for cls_name in ("event", "trace"):
+            reg.register(type(default_service_registry().create(cls_name, _dummy_channel())))
+
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel(
+            "custom", {"services": ["event", "counting"]}, registry=reg
+        )
+        with cali.region("function", "f"):
+            pass
+        assert chan.service("counting").seen == 2
+
+    def test_overrides_detection(self):
+        class OnlyProcess(Service):
+            name = "p"
+
+            def process(self, record):
+                pass
+
+        assert OnlyProcess.overrides("process")
+        assert not OnlyProcess.overrides("on_begin")
+        assert not OnlyProcess.overrides("poll")
+
+
+def _dummy_channel():
+    cali = Caliper(clock=VirtualClock())
+    return cali.create_channel("dummy", {"services": []})
+
+
+class TestChannelEdge:
+    def test_service_lookup_unknown(self):
+        cali = Caliper()
+        chan = cali.create_channel("c", {"services": ["trace"]})
+        with pytest.raises(ChannelError, match="no service"):
+            chan.service("aggregate")
+
+    def test_inactive_channel_drops_snapshots(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel("c", {"services": ["trace"]})
+        chan.active = False
+        chan.push_snapshot()
+        assert chan.num_snapshots == 0
+
+    def test_remove_channel(self):
+        cali = Caliper()
+        cali.create_channel("c", {"services": ["trace"]})
+        cali.remove_channel("c")
+        assert "c" not in cali.channels
+        cali.remove_channel("c")  # idempotent
+
+    def test_repr_smoke(self):
+        cali = Caliper()
+        chan = cali.create_channel("c", {"services": ["trace"]})
+        assert "trace" in repr(chan)

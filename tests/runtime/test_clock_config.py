@@ -1,0 +1,144 @@
+"""Tests for clocks and runtime configuration."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.runtime import ConfigSet, VirtualClock, WallClock, config_from_env
+
+
+class TestClocks:
+    def test_wall_clock_monotone(self):
+        clk = WallClock()
+        a = clk.now()
+        b = clk.now()
+        assert b >= a >= 0.0
+
+    def test_virtual_clock_advance(self):
+        clk = VirtualClock()
+        assert clk.now() == 0.0
+        clk.advance(1.5)
+        clk.advance(0.5)
+        assert clk.now() == 2.0
+
+    def test_virtual_clock_set(self):
+        clk = VirtualClock(start=1.0)
+        clk.set(5.0)
+        assert clk.now() == 5.0
+
+    def test_virtual_clock_rejects_backwards(self):
+        clk = VirtualClock(start=2.0)
+        with pytest.raises(ValueError):
+            clk.advance(-0.1)
+        with pytest.raises(ValueError):
+            clk.set(1.0)
+
+
+class TestConfigSet:
+    def test_typed_getters(self):
+        cfg = ConfigSet(
+            {"a": "text", "b": True, "c": 5, "d": 2.5, "e": "x, y , z"}
+        )
+        assert cfg.get_string("a") == "text"
+        assert cfg.get_bool("b") is True
+        assert cfg.get_int("c") == 5
+        assert cfg.get_float("d") == 2.5
+        assert cfg.get_list("e") == ["x", "y", "z"]
+
+    def test_defaults(self):
+        cfg = ConfigSet()
+        assert cfg.get_string("x", "dflt") == "dflt"
+        assert cfg.get_bool("x", True) is True
+        assert cfg.get_int("x", 7) == 7
+        assert cfg.get_list("x", ["a"]) == ["a"]
+
+    def test_bool_from_strings(self):
+        cfg = ConfigSet({"t": "Yes", "f": "off"})
+        assert cfg.get_bool("t") is True
+        assert cfg.get_bool("f") is False
+
+    def test_bool_garbage_raises(self):
+        with pytest.raises(ConfigError):
+            ConfigSet({"x": "maybe"}).get_bool("x")
+
+    def test_int_from_string(self):
+        assert ConfigSet({"x": "42"}).get_int("x") == 42
+
+    def test_int_garbage_raises(self):
+        with pytest.raises(ConfigError):
+            ConfigSet({"x": "4.5.6"}).get_int("x")
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(ConfigError):
+            ConfigSet({"x": True}).get_int("x")
+
+    def test_list_from_sequence(self):
+        assert ConfigSet({"x": ["a", "b"]}).get_list("x") == ["a", "b"]
+
+    def test_scoped_view(self):
+        cfg = ConfigSet({"aggregate.config": "Q", "aggregate.rename": True, "other": 1})
+        scoped = cfg.scoped("aggregate")
+        assert scoped.get_string("config") == "Q"
+        assert scoped.get_bool("rename") is True
+        assert "other" not in scoped
+
+    def test_contains_and_keys(self):
+        cfg = ConfigSet({"a": 1})
+        assert "a" in cfg and "b" not in cfg
+        assert list(cfg.keys()) == ["a"]
+
+
+class TestEnvConfig:
+    def test_prefix_translation(self):
+        env = {
+            "REPRO_SERVICES": "event,timer",
+            "REPRO_AGGREGATE_CONFIG": "AGGREGATE count",
+            "REPRO_SAMPLER_PERIOD": "0.01",
+            "UNRELATED": "x",
+        }
+        cfg = config_from_env(env)
+        assert cfg.get_list("services") == ["event", "timer"]
+        assert cfg.get_string("aggregate.config") == "AGGREGATE count"
+        assert cfg.get_float("sampler.period") == 0.01
+        assert "unrelated" not in cfg
+
+
+class TestFileConfig:
+    def test_parse_profile_file(self, tmp_path):
+        from repro.runtime import config_from_file
+
+        path = tmp_path / "profile.conf"
+        path.write_text(
+            "# event-mode profile\n"
+            "\n"
+            "services         = event, timer, aggregate\n"
+            "aggregate.config = AGGREGATE count GROUP BY function\n"
+            "sampler.period   = 0.01\n"
+        )
+        cfg = config_from_file(path)
+        assert cfg.get_list("services") == ["event", "timer", "aggregate"]
+        assert cfg.get_string("aggregate.config").startswith("AGGREGATE")
+        assert cfg.get_float("sampler.period") == 0.01
+
+    def test_malformed_line(self, tmp_path):
+        from repro.runtime import config_from_file
+
+        path = tmp_path / "bad.conf"
+        path.write_text("services event timer\n")
+        with pytest.raises(ConfigError, match="bad.conf:1"):
+            config_from_file(path)
+
+    def test_config_file_drives_channel(self, tmp_path):
+        from repro.runtime import Caliper, VirtualClock, config_from_file
+
+        path = tmp_path / "profile.conf"
+        path.write_text(
+            "services = event, timer, aggregate\n"
+            "aggregate.config = AGGREGATE count GROUP BY function\n"
+            "aggregate.rename_count = false\n"
+        )
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel("from-file", config_from_file(path))
+        with cali.region("function", "f"):
+            pass
+        recs = chan.finish()
+        assert any(r.get("function").value == "f" for r in recs)

@@ -1,0 +1,94 @@
+"""Tests for inclusive-time measurement (timer.inclusive)."""
+
+import pytest
+
+from repro.query import run_query
+from repro.runtime import Caliper, VirtualClock
+
+
+def make(cali_services=("event", "timer", "trace")):
+    clk = VirtualClock()
+    cali = Caliper(clock=clk)
+    chan = cali.create_channel(
+        "t", {"services": list(cali_services), "timer.inclusive": True}
+    )
+    return clk, cali, chan
+
+
+class TestInclusiveDurations:
+    def test_flat_region(self):
+        clk, cali, chan = make()
+        cali.begin("function", "f")
+        clk.advance(2.0)
+        cali.end("function")
+        recs = chan.finish()
+        end_snapshot = recs[-1]
+        assert end_snapshot["time.inclusive.duration"].value == pytest.approx(2.0)
+
+    def test_nested_regions(self):
+        clk, cali, chan = make()
+        cali.begin("function", "outer")
+        clk.advance(1.0)
+        cali.begin("function", "inner")
+        clk.advance(2.0)
+        cali.end("function")  # inner: inclusive 2
+        clk.advance(1.0)
+        cali.end("function")  # outer: inclusive 4
+        recs = chan.finish()
+        inclusive = [
+            (r.get("function").value, r["time.inclusive.duration"].value)
+            for r in recs
+            if "time.inclusive.duration" in r
+        ]
+        assert inclusive == [("outer/inner", pytest.approx(2.0)), ("outer", pytest.approx(4.0))]
+
+    def test_begin_snapshots_have_no_inclusive(self):
+        clk, cali, chan = make()
+        cali.begin("function", "f")
+        clk.advance(1.0)
+        cali.begin("function", "g")
+        cali.end("function")
+        cali.end("function")
+        recs = chan.finish()
+        # records 0 and 1 are begin snapshots
+        assert "time.inclusive.duration" not in recs[0]
+        assert "time.inclusive.duration" not in recs[1]
+
+    def test_inclusive_aggregation(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "t",
+            {
+                "services": ["event", "timer", "aggregate"],
+                "timer.inclusive": True,
+                "aggregate.config": (
+                    "AGGREGATE sum(time.duration), sum(time.inclusive.duration) "
+                    "GROUP BY function"
+                ),
+            },
+        )
+        for _ in range(3):
+            cali.begin("function", "outer")
+            clk.advance(1.0)
+            cali.begin("function", "inner")
+            clk.advance(2.0)
+            cali.end("function")
+            clk.advance(0.5)
+            cali.end("function")
+        recs = {r.get("function").value: r for r in chan.finish()}
+        # exclusive: outer 1.5/visit, inner 2/visit
+        assert recs["outer"]["sum#time.duration"].to_double() == pytest.approx(4.5)
+        assert recs["outer/inner"]["sum#time.duration"].to_double() == pytest.approx(6.0)
+        # inclusive: outer 3.5/visit, inner 2/visit
+        assert recs["outer"]["sum#time.inclusive.duration"].to_double() == pytest.approx(10.5)
+        assert recs["outer/inner"]["sum#time.inclusive.duration"].to_double() == pytest.approx(6.0)
+
+    def test_disabled_by_default(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel("t", {"services": ["event", "timer", "trace"]})
+        with cali.region("function", "f"):
+            clk.advance(1.0)
+        recs = chan.finish()
+        assert all("time.inclusive.duration" not in r for r in recs)

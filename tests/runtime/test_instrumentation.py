@@ -1,0 +1,236 @@
+"""Tests for the Caliper runtime front end."""
+
+import threading
+
+import pytest
+
+from repro.common import AttrProperty, BlackboardError, ChannelError
+from repro.runtime import Caliper, VirtualClock
+
+
+def event_agg_channel(cali, scheme="AGGREGATE count, sum(time.duration) GROUP BY function"):
+    return cali.create_channel(
+        "test",
+        {
+            "services": ["event", "timer", "aggregate"],
+            "aggregate.config": scheme,
+            "aggregate.rename_count": False,
+        },
+    )
+
+
+class TestAnnotationAPI:
+    def test_begin_end_flow(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = event_agg_channel(cali)
+        cali.begin("function", "main")
+        clk.advance(1.0)
+        cali.end("function")
+        recs = chan.finish()
+        by_func = {r.get("function").value: r for r in recs}
+        assert by_func["main"]["sum#time.duration"].value == pytest.approx(1.0)
+
+    def test_begin_creates_nested_attribute(self):
+        cali = Caliper()
+        cali.begin("function", "main")
+        attr = cali.registry.get("function")
+        assert attr.is_nested
+
+    def test_set_creates_plain_attribute(self):
+        cali = Caliper()
+        cali.set("mpi.rank", 3)
+        attr = cali.registry.get("mpi.rank")
+        assert not attr.is_nested
+        assert cali.blackboard().get(attr).value == 3
+
+    def test_type_inferred_from_first_value(self):
+        from repro.common import ValueType
+
+        cali = Caliper()
+        cali.begin("iteration", 0)
+        assert cali.registry.get("iteration").type is ValueType.INT
+
+    def test_end_unknown_attribute_raises(self):
+        from repro.common import UnknownAttributeError
+
+        cali = Caliper()
+        with pytest.raises(UnknownAttributeError):
+            cali.end("never-begun")
+
+    def test_unmatched_end_raises(self):
+        cali = Caliper()
+        cali.begin("function", "f")
+        cali.end("function")
+        with pytest.raises(BlackboardError):
+            cali.end("function")
+
+    def test_unset(self):
+        cali = Caliper()
+        cali.set("x", 1)
+        cali.unset("x")
+        assert cali.blackboard().get(cali.registry.get("x")).is_empty
+
+    def test_region_context_manager(self):
+        cali = Caliper()
+        with cali.region("function", "scope"):
+            attr = cali.registry.get("function")
+            assert cali.blackboard().get(attr).value == "scope"
+        assert cali.blackboard().get(attr).is_empty
+
+    def test_region_unwinds_on_exception(self):
+        cali = Caliper()
+        with pytest.raises(RuntimeError):
+            with cali.region("function", "scope"):
+                raise RuntimeError("boom")
+        assert cali.blackboard().get(cali.registry.get("function")).is_empty
+
+    def test_profile_decorator_bare(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = event_agg_channel(cali)
+
+        @cali.profile
+        def work():
+            return 42
+
+        assert work() == 42
+        recs = chan.finish()
+        names = {r.get("function").value for r in recs}
+        assert any(name and "work" in name for name in names)
+
+    def test_profile_decorator_custom_label(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = event_agg_channel(cali, "AGGREGATE count GROUP BY kernel")
+
+        @cali.profile("solve", attribute="kernel")
+        def work():
+            pass
+
+        work()
+        recs = chan.finish()
+        assert {r.get("kernel").value for r in recs} == {"solve", None}
+
+    def test_disabled_runtime_is_inert(self):
+        cali = Caliper(enabled=False)
+        cali.begin("function", "x")  # no-ops, no errors
+        cali.end("function")
+        cali.set("y", 1)
+        assert len(cali.registry) == 0
+
+
+class TestChannels:
+    def test_duplicate_channel_name(self):
+        cali = Caliper()
+        event_agg_channel(cali)
+        with pytest.raises(ChannelError):
+            event_agg_channel(cali)
+
+    def test_two_channels_both_process(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        agg = event_agg_channel(cali)
+        trace = cali.create_channel("trace", {"services": ["event", "trace"]})
+        with cali.region("function", "f"):
+            clk.advance(1.0)
+        assert agg.num_snapshots == 2
+        assert trace.num_snapshots == 2
+        assert len(trace.finish()) == 2
+
+    def test_finish_channel_removes_from_active(self):
+        cali = Caliper()
+        chan = event_agg_channel(cali)
+        cali.finish_channel("test")
+        assert not chan.active
+        cali.begin("function", "f")  # no crash after finish
+        assert chan.num_snapshots == 0
+
+    def test_finish_twice_raises(self):
+        cali = Caliper()
+        chan = event_agg_channel(cali)
+        chan.finish()
+        with pytest.raises(ChannelError):
+            chan.finish()
+
+    def test_flush_all(self):
+        cali = Caliper(clock=VirtualClock())
+        event_agg_channel(cali)
+        with cali.region("function", "f"):
+            pass
+        flushed = cali.flush_all()
+        assert "test" in flushed and len(flushed["test"]) >= 1
+
+    def test_channel_globals_attached(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = event_agg_channel(cali)
+        chan.set_global("mpi.world.size", 8)
+        with cali.region("function", "f"):
+            pass
+        recs = chan.finish()
+        assert all(r["mpi.world.size"].value == 8 for r in recs)
+
+    def test_unknown_service_raises(self):
+        from repro.common import ServiceError
+
+        cali = Caliper()
+        with pytest.raises(ServiceError, match="unknown service"):
+            cali.create_channel("bad", {"services": ["nonexistent"]})
+
+    def test_explicit_push_snapshot(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel("t", {"services": ["trace"]})
+        cali.push_snapshot({"custom": 1})
+        recs = chan.finish()
+        assert recs[0]["custom"].value == 1
+
+
+class TestThreading:
+    def test_per_thread_blackboards(self):
+        cali = Caliper()
+        seen = {}
+
+        def worker(name):
+            cali.begin("function", name)
+            attr = cali.registry.get("function")
+            seen[name] = cali.blackboard().get(attr).value
+            cali.end("function")
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == {f"t{i}": f"t{i}" for i in range(4)}
+
+    def test_aggregation_keeps_threads_separate(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = event_agg_channel(cali, "AGGREGATE count GROUP BY function")
+
+        def worker():
+            for _ in range(5):
+                cali.begin("function", "w")
+                cali.end("function")
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        recs = chan.finish()
+        # per-thread DBs: each thread contributes its own rows with thread.id
+        w_rows = [r for r in recs if r.get("function").value == "w"]
+        assert len(w_rows) == 3
+        assert all("thread.id" in r for r in w_rows)
+        assert sum(r["count"].value for r in w_rows) == 15
+
+
+class TestDefaultRuntime:
+    def test_singleton(self):
+        from repro.runtime import default_runtime, set_default_runtime
+
+        set_default_runtime(None)
+        a = default_runtime()
+        assert default_runtime() is a
+        set_default_runtime(None)
+        assert default_runtime() is not a
+        set_default_runtime(None)

@@ -1,0 +1,270 @@
+"""Tests for the individual runtime services."""
+
+import pytest
+
+from repro.common import ConfigError, Record
+from repro.runtime import Caliper, VirtualClock
+
+
+class TestTimerService:
+    def test_duration_between_snapshots(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel("t", {"services": ["timer", "trace"]})
+        cali.push_snapshot()
+        clk.advance(2.0)
+        cali.push_snapshot()
+        recs = chan.finish()
+        assert recs[0]["time.duration"].value == pytest.approx(0.0)
+        assert recs[1]["time.duration"].value == pytest.approx(2.0)
+
+    def test_offset_optional(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "t", {"services": ["timer", "trace"], "timer.offset": True}
+        )
+        clk.advance(1.5)
+        cali.push_snapshot()
+        (rec,) = chan.finish()
+        assert rec["time.offset"].value == pytest.approx(1.5)
+
+    def test_durations_sum_to_elapsed(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel("t", {"services": ["event", "timer", "trace"]})
+        for name, dt in [("a", 1.0), ("b", 0.5), ("c", 2.0)]:
+            cali.begin("function", name)
+            clk.advance(dt)
+            cali.end("function")
+        recs = chan.finish()
+        total = sum(r["time.duration"].value for r in recs)
+        assert total == pytest.approx(3.5)
+
+
+class TestEventService:
+    def test_snapshot_per_begin_and_end(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel("t", {"services": ["event", "trace"]})
+        with cali.region("function", "f"):
+            pass
+        assert chan.num_snapshots == 2
+
+    def test_trigger_restriction(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel(
+            "t", {"services": ["event", "trace"], "event.trigger": "kernel"}
+        )
+        with cali.region("function", "f"):
+            with cali.region("kernel", "k"):
+                pass
+        assert chan.num_snapshots == 2  # only the kernel events
+
+    def test_trigger_marks(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel(
+            "t", {"services": ["event", "trace"], "event.mark": True}
+        )
+        with cali.region("function", "f"):
+            pass
+        recs = chan.finish()
+        assert recs[0]["event.begin#function"].value == "f"
+        assert recs[1]["event.end#function"].value == "f"
+
+    def test_set_does_not_trigger_by_default(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel("t", {"services": ["event", "trace"]})
+        cali.set("iteration", 1)
+        assert chan.num_snapshots == 0
+
+    def test_set_triggers_when_enabled(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel(
+            "t", {"services": ["event", "trace"], "event.trigger_set": True}
+        )
+        cali.set("iteration", 1)
+        assert chan.num_snapshots == 1
+
+    def test_pre_update_attribution(self):
+        """The end snapshot must still see the ending region (exclusive-time
+        semantics), and the begin snapshot must see the enclosing state."""
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel("t", {"services": ["event", "trace"]})
+        cali.begin("function", "outer")
+        cali.begin("function", "inner")
+        cali.end("function")
+        cali.end("function")
+        recs = chan.finish()
+        values = [r.get("function").value for r in recs]
+        assert values == [None, "outer", "outer/inner", "outer"]
+
+
+class TestSamplerService:
+    def test_periodic_samples_on_virtual_clock(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "t", {"services": ["sampler", "trace"], "sampler.period": 0.01}
+        )
+        cali.begin("function", "f")
+        clk.advance(0.095)
+        cali.sample_point()
+        cali.end("function")
+        assert chan.num_snapshots == 9  # deadlines at 10..90 ms
+
+    def test_samples_attributed_to_active_state(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "t", {"services": ["sampler", "trace"], "sampler.period": 0.01}
+        )
+        cali.begin("kernel", "hot")
+        clk.advance(0.05)
+        cali.end("kernel")  # poll happens before the blackboard pop
+        recs = chan.finish()
+        assert len(recs) == 5
+        assert all(r["kernel"].value == "hot" for r in recs)
+
+    def test_sample_timestamps_are_deadlines(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "t",
+            {"services": ["sampler", "timer", "trace"], "sampler.period": 0.01},
+        )
+        clk.advance(0.03)
+        cali.sample_point()
+        recs = chan.finish()
+        durations = [r["time.duration"].value for r in recs]
+        assert durations == pytest.approx([0.01, 0.01, 0.01])
+
+    def test_invalid_period(self):
+        cali = Caliper()
+        with pytest.raises(ConfigError):
+            cali.create_channel(
+                "t", {"services": ["sampler", "trace"], "sampler.period": 0}
+            )
+
+    def test_catchup_bound(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "t",
+            {
+                "services": ["sampler", "trace"],
+                "sampler.period": 0.001,
+                "sampler.max_catchup": 10,
+            },
+        )
+        clk.advance(100.0)  # 100k deadlines
+        cali.sample_point()
+        assert chan.num_snapshots == 10
+
+
+class TestTraceService:
+    def test_buffer_limit_drops(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel(
+            "t", {"services": ["trace"], "trace.buffer_limit": 3}
+        )
+        for _ in range(5):
+            cali.push_snapshot()
+        trace = chan.service("trace")
+        assert len(trace) == 3
+        assert trace.num_dropped == 2
+
+    def test_flush_returns_copies(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel("t", {"services": ["trace"]})
+        cali.push_snapshot()
+        first = chan.flush()
+        second = chan.flush()
+        assert first == second
+        assert first is not second
+
+
+class TestAggregateServiceConfig:
+    def test_missing_config_raises(self):
+        cali = Caliper()
+        with pytest.raises(ConfigError):
+            cali.create_channel("t", {"services": ["aggregate"]})
+
+    def test_scheme_object_accepted(self):
+        from repro.aggregate import AggregationScheme
+
+        cali = Caliper(clock=VirtualClock())
+        scheme = AggregationScheme(ops=["count"], key=["function"])
+        chan = cali.create_channel(
+            "t",
+            {"services": ["event", "aggregate"], "aggregate.scheme": scheme},
+        )
+        with cali.region("function", "f"):
+            pass
+        recs = chan.finish()
+        assert any(r.get("function").value == "f" for r in recs)
+
+    def test_bad_scheme_object(self):
+        cali = Caliper()
+        with pytest.raises(ConfigError):
+            cali.create_channel(
+                "t",
+                {"services": ["aggregate"], "aggregate.scheme": "not-a-scheme-object"},
+            )
+
+    def test_rename_count_default(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel(
+            "t",
+            {
+                "services": ["event", "aggregate"],
+                "aggregate.config": "AGGREGATE count GROUP BY function",
+            },
+        )
+        with cali.region("function", "f"):
+            pass
+        recs = chan.finish()
+        assert all("count" not in r for r in recs)
+        assert any("aggregate.count" in r for r in recs)
+
+    def test_where_clause_respected_online(self):
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "t",
+            {
+                "services": ["event", "aggregate"],
+                "aggregate.config": "AGGREGATE count WHERE not(mpi.function) GROUP BY function",
+                "aggregate.rename_count": False,
+            },
+        )
+        with cali.region("function", "f"):
+            with cali.region("mpi.function", "MPI_Send"):
+                pass
+        recs = chan.finish()
+        assert all(r.get("mpi.function").is_empty for r in recs)
+
+
+class TestRecorderService:
+    def test_writes_output_file(self, tmp_path):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel(
+            "t",
+            {
+                "services": ["event", "timer", "aggregate", "recorder"],
+                "aggregate.config": "AGGREGATE count GROUP BY function",
+                "recorder.filename": "out.cali",
+                "recorder.directory": str(tmp_path),
+            },
+        )
+        with cali.region("function", "f"):
+            pass
+        chan.finish()
+        from repro.io import read_cali
+
+        records = read_cali(tmp_path / "out.cali")
+        assert any(r.get("function").value == "f" for r in records)
+
+    def test_requires_filename(self):
+        cali = Caliper()
+        with pytest.raises(ConfigError):
+            cali.create_channel("t", {"services": ["recorder"]})

@@ -1,0 +1,102 @@
+"""Tests for the high-level profiling session API."""
+
+import pytest
+
+import repro
+from repro.common import ReproError
+from repro.runtime import VirtualClock
+
+
+class TestProfilingSession:
+    def test_context_manager_flow(self):
+        clock = VirtualClock()
+        with repro.profiling(clock=clock) as prof:
+            with prof.region("function", "solve"):
+                clock.advance(2.0)
+            with prof.region("function", "io"):
+                clock.advance(0.5)
+        rows = {
+            r.get("function").value: r.get("sum#time.duration").value
+            for r in prof.records
+            if not r.get("function").is_empty
+        }
+        assert rows["solve"] == pytest.approx(2.0)
+        assert rows["io"] == pytest.approx(0.5)
+
+    def test_result_is_query_result(self):
+        with repro.profiling() as prof:
+            with prof.region("function", "f"):
+                pass
+        text = prof.result.to_table()
+        assert "function" in text
+
+    def test_followup_query(self):
+        clock = VirtualClock()
+        with repro.profiling(clock=clock) as prof:
+            for name in ("a", "b"):
+                with prof.region("function", name):
+                    clock.advance(1.0)
+        total = prof.query("AGGREGATE sum(sum#time.duration)")
+        assert total[0]["sum#sum#time.duration"].to_double() == pytest.approx(2.0)
+
+    def test_records_close_idempotent(self):
+        prof = repro.profiling()
+        with prof:
+            prof.begin("function", "f")
+            prof.end("function")
+        first = prof.records
+        assert prof.records is first  # no double flush
+
+    def test_sampling_mode(self):
+        clock = VirtualClock()
+        with repro.profiling(
+            "AGGREGATE count GROUP BY function",
+            mode="sample",
+            sampling_period=0.01,
+            clock=clock,
+        ) as prof:
+            prof.begin("function", "hot")
+            clock.advance(0.1)
+            prof.caliper.sample_point()
+            prof.end("function")
+        rows = {r.get("function").value: r["count"].value for r in prof.records}
+        assert rows.get("hot") == 10
+
+    def test_decorator_passthrough(self):
+        with repro.profiling() as prof:
+
+            @prof.profile
+            def work():
+                return 1
+
+            assert work() == 1
+        assert any("work" in (r.get("function").value or "") for r in prof.records)
+
+    def test_set_passthrough(self):
+        with repro.profiling("AGGREGATE count GROUP BY phase") as prof:
+            prof.set("phase", "init")
+            prof.begin("function", "f")
+            prof.end("function")
+        assert any(r.get("phase").value == "init" for r in prof.records)
+
+    def test_bad_mode(self):
+        with pytest.raises(ReproError):
+            repro.profiling(mode="quantum")
+
+
+class TestDatasetSummary:
+    def test_summary_contents(self):
+        from repro.common import Record
+        from repro.io import Dataset
+
+        ds = Dataset(
+            [
+                Record({"kernel": "a", "time.duration": 1.5}),
+                Record({"kernel": "b", "time.duration": 2.5, "mpi.rank": 3}),
+            ]
+        )
+        text = ds.summary()
+        assert "2 records, 3 attributes" in text
+        assert "kernel" in text and "values {a, b}" in text
+        assert "range [1.5, 2.5]" in text
+        assert "mpi.rank" in text
