@@ -31,11 +31,52 @@ SCHEME = parse_scheme(
 )
 
 
+FULL_OP_SCHEME = parse_scheme(
+    "AGGREGATE count, sum(time.duration), avg(time.duration), "
+    "variance(time.duration), percent_total(time.duration), "
+    "histogram(time.duration,8,0,4), ratio(time.duration,iteration) "
+    "GROUP BY kernel, mpi.rank"
+)
+
+
 @pytest.mark.parametrize("backend", ["row-streaming", "columnar"])
 def test_offline_backend(benchmark, backend):
     fn = aggregate_records if backend == "row-streaming" else columnar_aggregate
     out = benchmark(lambda: fn(RECORDS, SCHEME))
     assert len(out) == 13 * 64
+
+
+@pytest.mark.parametrize("backend", ["row-streaming", "columnar"])
+def test_full_operator_set(benchmark, backend):
+    """The complete vectorized kernel set vs streaming on the same scheme."""
+    fn = aggregate_records if backend == "row-streaming" else columnar_aggregate
+    out = benchmark(lambda: fn(RECORDS, FULL_OP_SCHEME))
+    assert len(out) == 13 * 64
+
+
+@pytest.mark.parametrize("path", ["planner-cold", "planner-cached", "rows"])
+def test_planned_query_over_dataset(benchmark, path):
+    """Dataset.query through the planner: the cached ColumnStore pays off
+    once the same dataset is queried repeatedly."""
+    from repro.io import Dataset
+
+    ds = Dataset(RECORDS)
+    text = (
+        "AGGREGATE count, sum(time.duration), variance(time.duration) "
+        'WHERE kernel!="k0" GROUP BY kernel, mpi.rank'
+    )
+    if path == "rows":
+        run = lambda: ds.query(text, backend="rows")
+    elif path == "planner-cached":
+        ds.query(text)  # warm the interned columns
+        run = lambda: ds.query(text)
+    else:
+        def run():
+            ds._store = None  # drop the cache: measure intern + aggregate
+            return ds.query(text)
+
+    out = benchmark(run)
+    assert len(out) == 12 * 64
 
 
 def test_backends_agree(benchmark):

@@ -1,0 +1,182 @@
+"""Measure backend throughput and write ``BENCH_columnar.json``.
+
+Times the same aggregation query three ways over one synthetic
+profile-shaped dataset — streaming rows, columnar with a cold
+:class:`ColumnStore`, and columnar with the store cached — plus
+multi-file ingestion serial vs. process-parallel.  Results land in a
+small JSON file the CI smoke step and EXPERIMENTS notes can archive.
+
+Usage::
+
+    python benchmarks/run_bench_json.py               # 1M records, 6 files
+    python benchmarks/run_bench_json.py --smoke       # CI-sized quick pass
+    python benchmarks/run_bench_json.py --records 200000 --files 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.common import Record  # noqa: E402
+from repro.io import Dataset, write_records  # noqa: E402
+from repro.query import QueryEngine, parallel_query_files  # noqa: E402
+
+QUERY = (
+    "AGGREGATE count, sum(time.duration), avg(time.duration), "
+    "variance(time.duration), percent_total(time.duration) "
+    "GROUP BY kernel, mpi.rank"
+)
+
+
+def synth_records(n: int) -> list[Record]:
+    return [
+        Record(
+            {
+                "kernel": f"k{i % 13}",
+                "mpi.rank": i % 64,
+                "iteration": (i // 64) % 50,
+                "time.duration": 0.25 + (i % 7) * 0.5,
+            }
+        )
+        for i in range(n)
+    ]
+
+
+def best_of(repetitions: int, fn) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_backends(records: list[Record], repetitions: int) -> dict:
+    ds = Dataset(records)
+    engine = QueryEngine(QUERY)
+    n_groups = len(ds.query(QUERY, backend="rows"))
+
+    t_rows = best_of(repetitions, lambda: engine.run(records, backend="rows"))
+
+    def cold():
+        ds._store = None  # rebuild interned columns every repetition
+        ds.query(QUERY, backend="columnar")
+
+    t_cold = best_of(repetitions, cold)
+    ds.query(QUERY)  # warm the store
+    t_cached = best_of(
+        repetitions, lambda: ds.query(QUERY, backend="columnar")
+    )
+
+    n = len(records)
+    return {
+        "query": QUERY,
+        "groups": n_groups,
+        "rows_seconds": t_rows,
+        "columnar_cold_seconds": t_cold,
+        "columnar_cached_seconds": t_cached,
+        "rows_records_per_second": n / t_rows,
+        "columnar_cold_records_per_second": n / t_cold,
+        "columnar_cached_records_per_second": n / t_cached,
+        "speedup_cold_vs_rows": t_rows / t_cold,
+        "speedup_cached_vs_rows": t_rows / t_cached,
+    }
+
+
+def bench_parallel(records: list[Record], n_files: int, repetitions: int) -> dict:
+    # Force a real pool even on 1-core boxes so the multi-process path is
+    # what gets measured; cpu_count in the payload tells readers whether a
+    # speedup was physically possible.
+    workers = min(n_files, max(2, os.cpu_count() or 1))
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        chunk = len(records) // n_files
+        for i in range(n_files):
+            part = records[i * chunk : (i + 1) * chunk]
+            path = os.path.join(tmp, f"part-{i}.cali")
+            write_records(path, part)
+            paths.append(path)
+
+        t_ingest_serial = best_of(repetitions, lambda: Dataset.from_files(paths))
+        t_ingest_parallel = best_of(
+            repetitions, lambda: Dataset.from_files(paths, parallel=workers)
+        )
+        t_query_serial = best_of(
+            repetitions, lambda: parallel_query_files(QUERY, paths, workers=1)
+        )
+        t_query_parallel = best_of(
+            repetitions, lambda: parallel_query_files(QUERY, paths, workers=workers)
+        )
+
+    return {
+        "files": n_files,
+        "workers": workers,
+        "ingest_serial_seconds": t_ingest_serial,
+        "ingest_parallel_seconds": t_ingest_parallel,
+        "ingest_speedup": t_ingest_serial / t_ingest_parallel,
+        "query_serial_seconds": t_query_serial,
+        "query_parallel_seconds": t_query_parallel,
+        "query_speedup": t_query_serial / t_query_parallel,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=1_000_000)
+    parser.add_argument("--files", type=int, default=6)
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument(
+        "--smoke", action="store_true", help="quick CI pass (50k records, 1 rep)"
+    )
+    parser.add_argument(
+        "--output",
+        default=os.path.join(os.path.dirname(__file__), "..", "BENCH_columnar.json"),
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.records = min(args.records, 50_000)
+        args.repetitions = 1
+
+    print(f"generating {args.records:,} records ...", flush=True)
+    records = synth_records(args.records)
+
+    print("timing rows vs columnar backends ...", flush=True)
+    backends = bench_backends(records, args.repetitions)
+
+    # Keep the parallel stage's file I/O bounded: its point is the
+    # ingest/partial-aggregation overlap, not raw record volume.
+    par_records = records[: min(len(records), 240_000)]
+    print(
+        f"timing serial vs parallel ingestion over {args.files} files ...", flush=True
+    )
+    parallel = bench_parallel(par_records, args.files, args.repetitions)
+
+    payload = {
+        "benchmark": "columnar-query-planner",
+        "records": args.records,
+        "parallel_stage_records": len(par_records),
+        "repetitions": args.repetitions,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "backends": backends,
+        "parallel": parallel,
+    }
+    out = os.path.abspath(args.output)
+    with open(out, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,9 @@ class AggregationDB:
         self._ops = scheme.fresh_kernels()
         self._extractor = make_extractor(scheme.key, scheme.key_strategy)
         self._table: dict[Hashable, list[list]] = {}
+        # Cached once: the MPI network model calls wire_size() per message,
+        # and re-running every kernel's init() there is measurable overhead.
+        self._state_cells = sum(op.state_width() for op in self._ops)
         #: records offered to the DB (including ones rejected by the predicate)
         self.num_offered = 0
         #: records actually folded into some aggregation entry
@@ -117,6 +120,48 @@ class AggregationDB:
                 rec = Record.from_variants(dict(entries))
                 yield extractor.extract(rec), states
 
+    # -- partial-state transfer (columnar backend, process pools) ----------------
+
+    def export_states(self) -> list[tuple[dict[str, Variant], list[list]]]:
+        """Portable ``(key entries, operator states)`` pairs for every entry.
+
+        Keys are rendered back to their attribute entries so the
+        representation is meaningful across processes and key strategies
+        (interned ids are only valid relative to their own extractor).  The
+        states are the live lists — callers transferring between processes
+        get fresh copies from pickling anyway; same-process callers must
+        treat them as read-only.
+        """
+        entries_of = self._extractor.entries
+        return [
+            (dict(entries_of(key)), states) for key, states in self._table.items()
+        ]
+
+    def load_states(
+        self,
+        groups: Iterable[tuple[dict[str, Variant], list[list]]],
+        offered: int = 0,
+        processed: int = 0,
+    ) -> None:
+        """Merge externally computed per-key partial states into this DB.
+
+        The inverse of :meth:`export_states` with :meth:`combine` semantics:
+        states for keys already present are merged through each operator's
+        ``combine``; new keys get deep-copied state lists.  ``offered`` /
+        ``processed`` carry the producing side's stream counters.
+        """
+        extract = self._extractor.extract
+        for entries, in_states in groups:
+            key = extract(Record.from_variants(dict(entries)))
+            states = self._table.get(key)
+            if states is None:
+                self._table[key] = [list(s) for s in in_states]
+            else:
+                for op, state, other in zip(self._ops, states, in_states):
+                    op.combine(state, other)
+        self.num_offered += offered
+        self.num_processed += processed
+
     def combine_records(self, records: Iterable[Record]) -> None:
         """Re-aggregate already-flushed output records into this database.
 
@@ -183,8 +228,7 @@ class AggregationDB:
         network model multiplies this by a bandwidth term.
         """
         key_width = max(1, len(self.scheme.key))
-        cells = sum(len(op.init()) for op in self._ops)
-        return 16 + len(self._table) * (8 * key_width + 8 * cells + 8)
+        return 16 + len(self._table) * (8 * key_width + 8 * self._state_cells + 8)
 
     def __repr__(self) -> str:
         return (

@@ -30,6 +30,7 @@ from ..common.variant import ValueType, Variant
 __all__ = [
     "AggregateOp",
     "OpSpec",
+    "numeric_or_none",
     "CountOp",
     "SumOp",
     "MinOp",
@@ -102,6 +103,10 @@ class AggregateOp:
         """
         raise NotImplementedError
 
+    def state_width(self) -> int:
+        """Number of cells in a fresh state (used for wire-size estimates)."""
+        return len(self.init())
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}({', '.join(self.args)})"
 
@@ -125,6 +130,21 @@ class AggregateOp:
 
 #: (op-name, argument-labels) pair used before kernel instantiation.
 OpSpec = tuple
+
+
+def numeric_or_none(value: Variant, include_bool: bool = True) -> Optional[float]:
+    """The numeric reading the standard kernels fold, or ``None``.
+
+    This is the single definition of "what counts as a numeric input" shared
+    by the streaming kernels and the vectorized columnar backend, so both
+    engines skip exactly the same records.  ``ratio`` historically excludes
+    booleans; everything else folds them as 0/1.
+    """
+    if value.is_empty:
+        return None
+    if value.is_numeric or (include_bool and value.type is ValueType.BOOL):
+        return value.to_double()
+    return None
 
 
 class CountOp(AggregateOp):
@@ -158,10 +178,7 @@ class _NumericOp(AggregateOp):
     """
 
     def _get_number(self, record_get: Callable[[str], Variant]) -> Optional[float]:
-        v = record_get(self.args[0])
-        if v.is_empty or not (v.is_numeric or v.type is ValueType.BOOL):
-            return None
-        return v.to_double()
+        return numeric_or_none(record_get(self.args[0]))
 
 
 class SumOp(_NumericOp):
@@ -454,12 +471,12 @@ class RatioOp(AggregateOp):
         return [0.0, 0.0]
 
     def update(self, state: list, record_get: Callable[[str], Variant]) -> None:
-        x = record_get(self.args[0])
-        y = record_get(self.args[1])
-        if not x.is_empty and x.is_numeric:
-            state[0] += x.to_double()
-        if not y.is_empty and y.is_numeric:
-            state[1] += y.to_double()
+        x = numeric_or_none(record_get(self.args[0]), include_bool=False)
+        y = numeric_or_none(record_get(self.args[1]), include_bool=False)
+        if x is not None:
+            state[0] += x
+        if y is not None:
+            state[1] += y
 
     def combine(self, state: list, other: list) -> None:
         state[0] += other[0]

@@ -39,6 +39,7 @@ from .ast import (
 __all__ = [
     "validate",
     "instantiate_ops",
+    "compare_variants",
     "compile_conditions",
     "compile_let",
     "build_scheme",
@@ -126,27 +127,36 @@ def _compile_one(cond: Condition) -> Callable[[Record], bool]:
             v = record.get(_label)
             if v.is_empty:
                 return False
-            # Cross-type compares: numeric target against string value (or
-            # vice versa) compares the string renderings for equality only.
-            if _op == "=":
-                return _loose_eq(v, _target)
-            if _op == "!=":
-                return not _loose_eq(v, _target)
-            try:
-                if _op == "<":
-                    return v < _target
-                if _op == "<=":
-                    return v <= _target
-                if _op == ">":
-                    return v > _target
-                if _op == ">=":
-                    return v >= _target
-            except TypeError:  # pragma: no cover - Variant orders totally
-                return False
-            raise CalQLSemanticError(f"unknown comparison operator {_op!r}")
+            return compare_variants(v, _op, _target)
 
         return compare
     raise CalQLSemanticError(f"unknown condition type {type(cond).__name__}")
+
+
+def compare_variants(value: Variant, op: str, target: Variant) -> bool:
+    """CalQL comparison semantics for one non-empty value against a literal.
+
+    Shared by the compiled row predicate and the columnar backend's
+    vectorized WHERE (which evaluates it once per *distinct* value).
+    Cross-type compares: a numeric target against a string value (or vice
+    versa) compares the string renderings, for equality only.
+    """
+    if op == "=":
+        return _loose_eq(value, target)
+    if op == "!=":
+        return not _loose_eq(value, target)
+    try:
+        if op == "<":
+            return value < target
+        if op == "<=":
+            return value <= target
+        if op == ">":
+            return value > target
+        if op == ">=":
+            return value >= target
+    except TypeError:  # pragma: no cover - Variant orders totally
+        return False
+    raise CalQLSemanticError(f"unknown comparison operator {op!r}")
 
 
 def _loose_eq(v: Variant, target: Variant) -> bool:

@@ -1,10 +1,20 @@
-"""Datasets: in-memory record collections and multi-file loading.
+"""Datasets: in-memory record collections, columnar caching, multi-file loading.
 
 A :class:`Dataset` is what off-line analysis works on: records plus run
 globals, loadable from one or many files (the per-process files a parallel
 run produces).  It offers the pandas-like conveniences the analytical
 workflow wants — ``query`` with CalQL text, column access, iteration — while
 staying a thin list-of-records wrapper underneath.
+
+Two performance layers live here as well:
+
+* :class:`ColumnStore` — dictionary-encoded (interned) columns over the
+  record list, built lazily per attribute and cached across queries.  The
+  row→column convert step is the dominant cost of vectorized aggregation;
+  caching it is what makes repeated interactive queries on one dataset fast.
+* process-parallel loading — ``from_files(paths, parallel=N)`` parses input
+  files in a :class:`~concurrent.futures.ProcessPoolExecutor`, the paper's
+  reduction-tree idea applied to real cores for the ingest phase.
 """
 
 from __future__ import annotations
@@ -13,9 +23,11 @@ import glob as globmod
 import os
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Union
 
+import numpy as np
+
 from ..common.errors import DatasetError
 from ..common.record import Record
-from ..common.variant import Variant
+from ..common.variant import ValueType, Variant
 from .calformat import read_cali, write_cali
 from .csvio import write_csv
 from .jsonio import read_json, write_json
@@ -23,7 +35,7 @@ from .jsonio import read_json, write_json
 if TYPE_CHECKING:  # pragma: no cover
     from ..query.engine import QueryResult
 
-__all__ = ["Dataset", "write_records", "read_records"]
+__all__ = ["ColumnStore", "Dataset", "write_records", "read_records"]
 
 
 def _format_of(path: Union[str, os.PathLike]) -> str:
@@ -65,6 +77,117 @@ def read_records(path: Union[str, os.PathLike]) -> tuple[list[Record], dict[str,
     return read_csv(path), {}
 
 
+class ColumnStore:
+    """Dictionary-encoded columns over a fixed record list.
+
+    Each attribute is interned once into an ``int64`` code array (-1 =
+    missing) plus a small table of distinct :class:`Variant` values; numeric
+    readings are then derived per *distinct* value and broadcast through the
+    codes, so the per-record Python work happens exactly once per attribute
+    regardless of how many queries run.  Instances are immutable snapshots:
+    :class:`Dataset` drops its cached store when the record list changes.
+    """
+
+    def __init__(self, records: Sequence[Record]) -> None:
+        self._records: list[Record] = (
+            records if isinstance(records, list) else list(records)
+        )
+        self._n = len(self._records)
+        self._interned: dict[str, tuple[np.ndarray, list[Variant]]] = {}
+        self._numeric: dict[tuple[str, bool], tuple[np.ndarray, np.ndarray]] = {}
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def records(self) -> list[Record]:
+        return self._records
+
+    def interned(self, label: str) -> tuple[np.ndarray, list[Variant]]:
+        """``(codes, values)`` for one attribute: codes index into ``values``
+        (first-seen order); -1 marks records without the attribute."""
+        cached = self._interned.get(label)
+        if cached is not None:
+            return cached
+        codes = np.empty(self._n, dtype=np.int64)
+        # Keyed by plain Python values rather than Variants: hashing a float
+        # or a small tuple is several times cheaper than Variant.__hash__,
+        # and this loop runs once per record.  The key mirrors Variant
+        # equality exactly — numeric variants compare as floats across
+        # int/uint/double, everything else within its own type.
+        table: dict[object, int] = {}
+        values: list[Variant] = []
+        numeric = (ValueType.INT, ValueType.UINT, ValueType.DOUBLE)
+        missing = (ValueType.INV, None)
+        table_get = table.get
+        for i, record in enumerate(self._records):
+            v = record._entries.get(label)
+            t = None if v is None else v.type
+            if t in missing:
+                codes[i] = -1
+                continue
+            key = float(v.value) if t in numeric else (t, v.value)
+            idx = table_get(key)
+            if idx is None:
+                idx = len(values)
+                table[key] = idx
+                values.append(v)
+            codes[i] = idx
+        cached = (codes, values)
+        self._interned[label] = cached
+        return cached
+
+    def numeric(
+        self, label: str, include_bool: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(values, mask)`` float64/bool arrays for one attribute.
+
+        ``mask`` is True exactly where the streaming kernels would fold the
+        value (see :func:`repro.aggregate.ops.numeric_or_none`); ``values``
+        is 0.0 elsewhere.  Derived from the interned column via a
+        per-distinct-value lookup table.
+        """
+        key = (label, include_bool)
+        cached = self._numeric.get(key)
+        if cached is not None:
+            return cached
+        from ..aggregate.ops import numeric_or_none
+
+        codes, values = self.interned(label)
+        # Slot 0 stands for "missing" (code -1); distinct value i maps to i+1.
+        table = np.zeros(len(values) + 1, dtype=np.float64)
+        ok = np.zeros(len(values) + 1, dtype=bool)
+        for i, v in enumerate(values):
+            x = numeric_or_none(v, include_bool)
+            if x is not None:
+                table[i + 1] = x
+                ok[i + 1] = True
+        shifted = codes + 1
+        cached = (table[shifted], ok[shifted])
+        self._numeric[key] = cached
+        return cached
+
+
+def _load_source(path: Union[str, os.PathLike]) -> tuple[list[Record], dict[str, Variant]]:
+    """Read one file with its globals folded into the records.
+
+    Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` workers
+    can pickle a reference to it.
+    """
+    records, globals_ = read_records(path)
+    if globals_:
+        records = [r.with_entries(globals_) for r in records]
+    return records, globals_
+
+
+def _resolve_workers(parallel: Union[bool, int, None], n_items: int) -> int:
+    """Turn a ``parallel=`` argument into a worker count (1 = serial)."""
+    if not parallel or n_items <= 1:
+        return 1
+    workers = (os.cpu_count() or 1) if parallel is True else int(parallel)
+    return max(1, min(workers, n_items))
+
+
 class Dataset:
     """Records + globals, with query and export conveniences."""
 
@@ -78,6 +201,7 @@ class Dataset:
         self.globals: dict[str, Variant] = dict(globals_ or {})
         #: file paths this dataset was assembled from (informational)
         self.sources: list[str] = list(sources)
+        self._store: Optional[ColumnStore] = None
 
     # -- construction ----------------------------------------------------------
 
@@ -87,37 +211,52 @@ class Dataset:
         return cls(records, globals_, [os.fspath(path)])
 
     @classmethod
-    def from_files(cls, paths: Iterable[Union[str, os.PathLike]]) -> "Dataset":
+    def from_files(
+        cls,
+        paths: Iterable[Union[str, os.PathLike]],
+        parallel: Union[bool, int, None] = None,
+    ) -> "Dataset":
         """Concatenate several files (e.g. one per process).
 
         Per-file globals are folded into the records of that file so
         cross-file attributes (like the producing rank) stay distinguishable,
         then dropped from the dataset-level globals when files disagree.
+
+        ``parallel`` parses files in a process pool: ``True`` uses one worker
+        per CPU, an integer caps the worker count.  The result is identical
+        to the serial path (files are merged in argument order).  For
+        aggregation queries over many files, prefer
+        :func:`repro.query.parallel_query_files`, which also *aggregates* in
+        the workers and only ships small partial states back.
         """
+        path_list = [os.fspath(p) for p in paths]
+        workers = _resolve_workers(parallel, len(path_list))
+        if workers > 1:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                loaded = list(pool.map(_load_source, path_list))
+        else:
+            loaded = [_load_source(p) for p in path_list]
         all_records: list[Record] = []
         merged_globals: dict[str, Variant] = {}
         conflicting: set[str] = set()
-        sources: list[str] = []
-        for path in paths:
-            records, globals_ = read_records(path)
-            if globals_:
-                records = [r.with_entries(globals_) for r in records]
+        for records, globals_ in loaded:
             for key, value in globals_.items():
                 if key in merged_globals and merged_globals[key] != value:
                     conflicting.add(key)
                 merged_globals.setdefault(key, value)
             all_records.extend(records)
-            sources.append(os.fspath(path))
         for key in conflicting:
             merged_globals.pop(key, None)
-        return cls(all_records, merged_globals, sources)
+        return cls(all_records, merged_globals, path_list)
 
     @classmethod
-    def from_glob(cls, pattern: str) -> "Dataset":
+    def from_glob(cls, pattern: str, parallel: Union[bool, int, None] = None) -> "Dataset":
         paths = sorted(globmod.glob(pattern))
         if not paths:
             raise DatasetError(f"no files match {pattern!r}")
-        return cls.from_files(paths)
+        return cls.from_files(paths, parallel=parallel)
 
     # -- basic container behaviour ------------------------------------------------
 
@@ -148,14 +287,45 @@ class Dataset:
 
     def extend(self, records: Iterable[Record]) -> None:
         self.records.extend(records)
+        self._store = None  # interned columns no longer cover every record
 
     # -- analysis ---------------------------------------------------------------
 
-    def query(self, text: str) -> "QueryResult":
-        """Run a CalQL query over this dataset (the analytical path)."""
+    def column_store(self) -> ColumnStore:
+        """The cached interned-column view of this dataset.
+
+        Built lazily (per attribute, on first use by a columnar query) and
+        reused across queries; rebuilt when the record list has changed.
+        """
+        store = self._store
+        if (
+            store is None
+            or store.records is not self.records
+            or len(store) != len(self.records)
+        ):
+            store = ColumnStore(self.records)
+            self._store = store
+        return store
+
+    def query(self, text: str, backend: str = "auto") -> "QueryResult":
+        """Run a CalQL query over this dataset (the analytical path).
+
+        ``backend`` selects the execution engine: ``"auto"`` (default) lets
+        the planner pick the vectorized columnar backend whenever the query
+        qualifies, ``"rows"`` forces the streaming row engine, ``"columnar"``
+        requires vectorized execution (raising if unsupported).  The columnar
+        path runs over the cached :meth:`column_store`, so repeated queries
+        skip the row→column conversion.
+        """
         from ..query.engine import QueryEngine  # deferred: query sits above io
 
-        return QueryEngine(text).run(self.records)
+        engine = QueryEngine(text)
+        store = (
+            self.column_store()
+            if (backend != "rows" and engine.scheme is not None)
+            else None
+        )
+        return engine.run(self.records, backend=backend, store=store)
 
     def summary(self) -> str:
         """Per-attribute overview: occurrence count, types, value span.

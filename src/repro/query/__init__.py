@@ -1,9 +1,10 @@
-"""Off-line querying: the serial engine, the CLI, and the MPI-parallel app."""
+"""Off-line querying: the planner-backed engine, the CLI, and the parallel apps."""
 
-from .columnar import columnar_aggregate, supports_scheme
+from .columnar import columnar_aggregate, columnar_db, columnar_feed, supports_scheme
 from .compare import compare_profiles
 from .engine import QueryEngine, QueryResult, run_query, sort_records
 from .mpi_query import MPIQueryOutcome, MPIQueryRunner, PhaseTimes
+from .parallel import parallel_query_files
 from .rollup import rollup_inclusive
 
 __all__ = [
@@ -14,8 +15,11 @@ __all__ = [
     "MPIQueryRunner",
     "MPIQueryOutcome",
     "PhaseTimes",
+    "parallel_query_files",
     "rollup_inclusive",
     "compare_profiles",
     "columnar_aggregate",
+    "columnar_db",
+    "columnar_feed",
     "supports_scheme",
 ]

@@ -53,6 +53,20 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", help="write the result to this file instead of stdout"
     )
     parser.add_argument(
+        "--backend",
+        choices=("auto", "rows", "columnar"),
+        default="auto",
+        help="aggregation engine: auto (planner picks, default), rows "
+        "(streaming), or columnar (vectorized; errors if unsupported)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="read + partially aggregate input files in N worker processes "
+        "(real cores; aggregation queries only)",
+    )
+    parser.add_argument(
         "--parallel",
         type=int,
         metavar="N",
@@ -106,9 +120,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"reduce {t.reduce:.6f}s  messages {outcome.messages}",
                     file=sys.stderr,
                 )
+        elif args.jobs and args.jobs > 1 and len(args.files) > 1:
+            from .parallel import parallel_query_files
+
+            engine = QueryEngine(args.query)
+            if engine.scheme is not None:
+                result = parallel_query_files(
+                    args.query, args.files, workers=args.jobs, backend=args.backend
+                )
+            else:
+                # pure filter/projection: parallelize the reads only
+                dataset = Dataset.from_files(args.files, parallel=args.jobs)
+                result = dataset.query(args.query, backend=args.backend)
         else:
             dataset = Dataset.from_files(args.files)
-            result = QueryEngine(args.query).run(dataset.records)
+            result = dataset.query(args.query, backend=args.backend)
     except ReproError as exc:
         print(f"repro-query: error: {exc}", file=sys.stderr)
         return 1

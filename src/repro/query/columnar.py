@@ -6,34 +6,92 @@ Off-line, the whole dataset is in hand — so the classic scientific-Python
 optimization applies: convert to columns once, then aggregate with numpy
 group-by primitives instead of a Python-level loop.
 
-:func:`columnar_aggregate` implements this for the common operator subset
-(``count``, ``sum``, ``min``, ``max``, ``avg`` — plus their aliased forms)
-and produces *bit-identical grouping* to the streaming engine (property-
-tested); callers fall back to the row engine for anything else.
-``bench_columnar.py`` quantifies the speedup.
+This backend covers **every built-in operator** (``count``, ``sum``,
+``min``, ``max``, ``avg``, ``variance``, ``stddev``, ``histogram``,
+``first``/``any``, ``ratio``, ``scale``, ``percent_total`` — plus their
+aliased forms) and evaluates WHERE clauses vectorized, by pushing each
+condition down onto the interned code columns: the predicate runs once per
+*distinct* value, then broadcasts through the codes.
+
+Equivalence with the streaming engine is by construction, not by parallel
+reimplementation: the vectorized pass produces the *same per-key operator
+states* the streaming kernels would hold (``np.bincount`` accumulates
+weights in input order, so float sums are bit-identical), and the final
+values are rendered by each operator's own ``results()`` — the exact code
+path :meth:`AggregationDB.flush` uses.  ``QueryEngine`` auto-dispatches
+here via :func:`supports_scheme`; ``bench_columnar.py`` and
+``benchmarks/run_bench_json.py`` quantify the speedup.
 
 Pipeline:
 
-1. intern each key attribute's values into integer codes (-1 = missing);
-2. collapse the code matrix into one composite group id per record
+1. intern each attribute once (:class:`~repro.io.dataset.ColumnStore`,
+   cached per :class:`~repro.io.dataset.Dataset`);
+2. evaluate WHERE vectorized over the code columns;
+3. collapse the key-code matrix into one composite group id per record
    (mixed-radix packing — collision-free by construction);
-3. one ``np.bincount`` / sorted-``reduceat`` pass per operator.
+4. one ``np.bincount`` / sorted-``reduceat`` pass per operator moment;
+5. render per-group states through the operators' own ``results()``.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-from ..aggregate.ops import AggregateOp, AliasedOp, AvgOp, CountOp, MaxOp, MinOp, SumOp
+from ..aggregate.db import AggregationDB
+from ..aggregate.ops import (
+    AggregateOp,
+    AliasedOp,
+    AvgOp,
+    CountOp,
+    FirstOp,
+    HistogramOp,
+    MaxOp,
+    MinOp,
+    PercentTotalOp,
+    RatioOp,
+    ScaleOp,
+    StddevOp,
+    SumOp,
+    VarianceOp,
+)
 from ..aggregate.scheme import AggregationScheme
+from ..calql.ast import Compare, Condition, Exists, NotCond
+from ..calql.semantics import compare_variants
+from ..common.errors import QueryError
 from ..common.record import Record
-from ..common.variant import ValueType, Variant
+from ..common.variant import Variant
+from ..io.dataset import ColumnStore
 
-__all__ = ["columnar_aggregate", "supports_scheme"]
+__all__ = [
+    "columnar_aggregate",
+    "columnar_db",
+    "columnar_feed",
+    "supports_scheme",
+]
 
-_SUPPORTED = (CountOp, SumOp, MinOp, MaxOp, AvgOp)
+#: Exact kernel types with a vectorized implementation.  Exact types, not
+#: isinstance: a user subclass may override ``update`` semantics the vector
+#: kernels know nothing about, so it must fall back to the row engine.
+_SUPPORTED = frozenset(
+    {
+        CountOp,
+        SumOp,
+        MinOp,
+        MaxOp,
+        AvgOp,
+        VarianceOp,
+        StddevOp,
+        HistogramOp,
+        FirstOp,
+        RatioOp,
+        ScaleOp,
+        PercentTotalOp,
+    }
+)
+
+Source = Union[ColumnStore, Iterable[Record]]
 
 
 def _unwrap(op: AggregateOp) -> AggregateOp:
@@ -43,154 +101,297 @@ def _unwrap(op: AggregateOp) -> AggregateOp:
 def supports_scheme(scheme: AggregationScheme) -> bool:
     """True when every operator has a vectorized implementation.
 
-    Predicates (WHERE) are fine — they are applied row-wise up front.
+    Predicates (WHERE) never disqualify a scheme — AST conditions are
+    evaluated vectorized, and opaque compiled predicates are applied
+    row-wise up front.
     """
-    return all(isinstance(_unwrap(op), _SUPPORTED) for op in scheme.ops)
+    return all(type(_unwrap(op)) in _SUPPORTED for op in scheme.ops)
 
 
-def columnar_aggregate(
-    records: Iterable[Record], scheme: AggregationScheme
-) -> list[Record]:
-    """Aggregate ``records`` under ``scheme`` with numpy group-by.
+def _as_store(source: Source) -> ColumnStore:
+    if isinstance(source, ColumnStore):
+        return source
+    return ColumnStore(source if isinstance(source, list) else list(source))
 
-    Raises :class:`NotImplementedError` for schemes
-    :func:`supports_scheme` rejects; results match
-    :func:`repro.aggregate.aggregate_records` exactly (up to record order,
-    and with float sums subject to the usual summation-order rounding).
+
+# -- vectorized WHERE -------------------------------------------------------------
+
+
+def _condition_mask(cond: Condition, store: ColumnStore) -> np.ndarray:
+    """Boolean row mask for one WHERE condition (predicate pushdown).
+
+    Compare/Exists evaluate per distinct interned value, then broadcast
+    through the code column; a missing attribute (code -1) is always False
+    for them, and ``not(...)`` is plain mask negation — exactly the row
+    semantics of :func:`repro.calql.semantics.compile_conditions`.
+    """
+    if isinstance(cond, Exists):
+        codes, _values = store.interned(cond.label)
+        return codes >= 0
+    if isinstance(cond, NotCond):
+        return ~_condition_mask(cond.inner, store)
+    if isinstance(cond, Compare):
+        codes, values = store.interned(cond.label)
+        truth = np.zeros(len(values) + 1, dtype=bool)  # slot 0 = missing
+        for i, v in enumerate(values):
+            truth[i + 1] = compare_variants(v, cond.op, cond.value)
+        return truth[codes + 1]
+    raise QueryError(f"unknown condition type {type(cond).__name__}")
+
+
+def _select_rows(
+    store: ColumnStore,
+    scheme: AggregationScheme,
+    where: Optional[Sequence[Condition]],
+) -> np.ndarray:
+    """Indices of the rows the aggregation folds (WHERE applied)."""
+    n = len(store)
+    if where is not None:
+        mask: Optional[np.ndarray] = None
+        for cond in where:
+            m = _condition_mask(cond, store)
+            mask = m if mask is None else mask & m
+        if mask is None:
+            return np.arange(n, dtype=np.int64)
+        return np.flatnonzero(mask)
+    if scheme.predicate is not None:
+        predicate = scheme.predicate
+        records = store.records
+        return np.fromiter(
+            (i for i in range(n) if predicate(records[i])), dtype=np.int64
+        )
+    return np.arange(n, dtype=np.int64)
+
+
+# -- grouping ---------------------------------------------------------------------
+
+
+class _Groups:
+    """Selected rows collapsed to dense group ids, with reduceat views."""
+
+    __slots__ = ("sel", "inverse", "count", "order", "starts", "key_entries")
+
+    def __init__(self, store: ColumnStore, scheme: AggregationScheme, sel: np.ndarray):
+        self.sel = sel
+        n = len(sel)
+        group = np.zeros(n, dtype=np.int64)
+        key_codes: list[tuple[str, np.ndarray, list[Variant]]] = []
+        for label in scheme.key:
+            codes, values = store.interned(label)
+            codes = codes[sel]
+            key_codes.append((label, codes, values))
+            radix = len(values) + 1  # +1 for the missing slot
+            # Re-encode after every column so composite ids stay < n and the
+            # packing can never overflow, regardless of key width/cardinality.
+            group = np.unique(group * radix + (codes + 1), return_inverse=True)[1]
+        unique_ids, inverse = np.unique(group, return_inverse=True)
+        count = len(unique_ids)
+        self.inverse = inverse
+        self.count = count
+        # pre-sorted view for reduceat-style per-group reductions
+        self.order = np.argsort(inverse, kind="stable")
+        sorted_inverse = inverse[self.order]
+        boundaries = np.flatnonzero(np.diff(sorted_inverse)) + 1
+        self.starts = np.concatenate(([0], boundaries))
+        # one representative (first) row per group, to reconstruct key entries
+        representatives = np.full(count, -1, dtype=np.int64)
+        representatives[inverse[::-1]] = np.arange(n - 1, -1, -1)
+        self.key_entries: list[dict[str, Variant]] = []
+        for g in range(count):
+            rep = representatives[g]
+            entries: dict[str, Variant] = {}
+            for label, codes, values in key_codes:
+                code = codes[rep]
+                if code >= 0:
+                    entries[label] = values[code]
+            self.key_entries.append(entries)
+
+
+# -- vectorized operator kernels --------------------------------------------------
+
+
+def _metric(store: ColumnStore, sel: np.ndarray, label: str, include_bool: bool = True):
+    values, mask = store.numeric(label, include_bool)
+    return values[sel], mask[sel]
+
+
+def _op_states(
+    kernel: AggregateOp, store: ColumnStore, groups: _Groups
+) -> list[list]:
+    """Per-group streaming-kernel states, computed vectorized.
+
+    Each returned state matches what the row engine's ``update`` loop would
+    have produced for that group, bit for bit where the arithmetic allows
+    (bincount adds weights in input order, mirroring streaming addition).
+    """
+    sel, inverse, n_groups = groups.sel, groups.inverse, groups.count
+    t = type(kernel)
+    if t is CountOp:
+        counts = np.bincount(inverse, minlength=n_groups)
+        return [[int(c)] for c in counts]
+    if t in (SumOp, AvgOp, ScaleOp, PercentTotalOp):
+        values, mask = _metric(store, sel, kernel.args[0])
+        inv_m, val_m = inverse[mask], values[mask]
+        counts = np.bincount(inv_m, minlength=n_groups)
+        sums = np.bincount(inv_m, weights=val_m, minlength=n_groups)
+        return [[int(counts[g]), float(sums[g])] for g in range(n_groups)]
+    if t in (VarianceOp, StddevOp):
+        values, mask = _metric(store, sel, kernel.args[0])
+        inv_m, val_m = inverse[mask], values[mask]
+        counts = np.bincount(inv_m, minlength=n_groups)
+        sums = np.bincount(inv_m, weights=val_m, minlength=n_groups)
+        with np.errstate(over="ignore"):  # like Python floats: overflow -> inf
+            sumsqs = np.bincount(inv_m, weights=val_m * val_m, minlength=n_groups)
+        return [
+            [int(counts[g]), float(sums[g]), float(sumsqs[g])]
+            for g in range(n_groups)
+        ]
+    if t in (MinOp, MaxOp):
+        values, mask = _metric(store, sel, kernel.args[0])
+        fill = np.inf if t is MinOp else -np.inf
+        sorted_vals = np.where(mask, values, fill)[groups.order]
+        reducer = np.minimum if t is MinOp else np.maximum
+        extrema = reducer.reduceat(sorted_vals, groups.starts)
+        counts = np.bincount(inverse[mask], minlength=n_groups)
+        return [
+            [float(extrema[g])] if counts[g] else [None] for g in range(n_groups)
+        ]
+    if t is RatioOp:
+        xs, xmask = _metric(store, sel, kernel.args[0], include_bool=False)
+        ys, ymask = _metric(store, sel, kernel.args[1], include_bool=False)
+        sum_x = np.bincount(inverse[xmask], weights=xs[xmask], minlength=n_groups)
+        sum_y = np.bincount(inverse[ymask], weights=ys[ymask], minlength=n_groups)
+        return [[float(sum_x[g]), float(sum_y[g])] for g in range(n_groups)]
+    if t is FirstOp:
+        codes, values = store.interned(kernel.args[0])
+        codes = codes[sel]
+        n = len(sel)
+        # position of the first non-empty value per group, in input order
+        position = np.where(codes >= 0, np.arange(n), n)
+        firsts = np.minimum.reduceat(position[groups.order], groups.starts)
+        return [
+            [values[codes[f]]] if f < n else [None] for f in firsts
+        ]
+    if t is HistogramOp:
+        values, mask = _metric(store, sel, kernel.args[0])
+        inv_m, val_m = inverse[mask], values[mask]
+        bins = kernel.bins
+        # Same slot arithmetic as the streaming update (including the edge
+        # where float rounding pushes an in-range value into the overflow
+        # slot): 0 = underflow, 1..bins = bins, bins+1 = overflow.
+        in_range = (val_m >= kernel.lo) & (val_m < kernel.hi)
+        mid = np.zeros(len(val_m), dtype=np.int64)
+        mid[in_range] = (
+            (val_m[in_range] - kernel.lo) * kernel._scale
+        ).astype(np.int64) + 1
+        slots = np.where(val_m < kernel.lo, 0, np.where(val_m >= kernel.hi, bins + 1, mid))
+        width = bins + 2
+        flat = np.bincount(inv_m * width + slots, minlength=n_groups * width)
+        per_group = flat.reshape(n_groups, width)
+        return [[int(c) for c in per_group[g]] for g in range(n_groups)]
+    raise NotImplementedError(
+        f"columnar backend does not support: {kernel.spec_string()}"
+    )  # pragma: no cover - guarded by supports_scheme
+
+
+# -- entry points -----------------------------------------------------------------
+
+
+def _compute(
+    source: Source,
+    scheme: AggregationScheme,
+    where: Optional[Sequence[Condition]],
+) -> tuple[list[dict[str, Variant]], list[list[list]], int, int]:
+    """Core pass: ``(key entries, per-group op states, offered, processed)``.
+
+    ``where`` is the query's AST condition list for vectorized evaluation;
+    ``None`` falls back to the scheme's compiled predicate, row-wise.  When
+    both exist they are the same filter (the scheme's predicate is compiled
+    from the WHERE clause), so only one is applied.
     """
     if not supports_scheme(scheme):
         unsupported = [
-            op.spec_string() for op in scheme.ops if not isinstance(_unwrap(op), _SUPPORTED)
+            op.spec_string()
+            for op in scheme.ops
+            if type(_unwrap(op)) not in _SUPPORTED
         ]
         raise NotImplementedError(
             "columnar backend does not support: " + ", ".join(unsupported)
         )
+    store = _as_store(source)
+    offered = len(store)
+    sel = _select_rows(store, scheme, where)
+    processed = len(sel)
+    if processed == 0:
+        return [], [], offered, processed
+    groups = _Groups(store, scheme, sel)
+    columns = [_op_states(_unwrap(op), store, groups) for op in scheme.ops]
+    states = [
+        [column[g] for column in columns] for g in range(groups.count)
+    ]
+    return groups.key_entries, states, offered, processed
 
-    rows = list(records)
-    if scheme.predicate is not None:
-        predicate = scheme.predicate
-        rows = [r for r in rows if predicate(r)]
-    n = len(rows)
-    if n == 0:
-        return []
 
-    # -- 1. intern key columns ------------------------------------------------
-    key_labels = scheme.key
-    code_columns: list[np.ndarray] = []
-    value_tables: list[list[Variant]] = []
-    for label in key_labels:
-        table: dict[Variant, int] = {}
-        values: list[Variant] = []
-        codes = np.empty(n, dtype=np.int64)
-        for i, record in enumerate(rows):
-            v = record.get(label)
-            if v.is_empty:
-                codes[i] = -1
-                continue
-            idx = table.get(v)
-            if idx is None:
-                idx = len(values)
-                table[v] = idx
-                values.append(v)
-            codes[i] = idx
-        code_columns.append(codes)
-        value_tables.append(values)
+def columnar_aggregate(
+    source: Source,
+    scheme: AggregationScheme,
+    where: Optional[Sequence[Condition]] = None,
+) -> list[Record]:
+    """Aggregate ``source`` under ``scheme`` with numpy group-by.
 
-    # -- 2. composite group ids (mixed radix over shifted codes) -----------------
-    group = np.zeros(n, dtype=np.int64)
-    for codes, values in zip(code_columns, value_tables):
-        radix = len(values) + 1  # +1 for the missing slot
-        # Re-encode after every column so composite ids stay < n and the
-        # packing can never overflow, regardless of key width/cardinality.
-        group = np.unique(group * radix + (codes + 1), return_inverse=True)[1]
-    unique_ids, inverse = np.unique(group, return_inverse=True)
-    n_groups = len(unique_ids)
-    # one representative row index per group, to reconstruct key entries
-    representatives = np.full(n_groups, -1, dtype=np.int64)
-    representatives[inverse[::-1]] = np.arange(n - 1, -1, -1)
-
-    # -- metric columns, extracted once per distinct input label -----------------
-    metric_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
-
-    def metric_column(label: str) -> tuple[np.ndarray, np.ndarray]:
-        cached = metric_cache.get(label)
-        if cached is not None:
-            return cached
-        values = np.zeros(n, dtype=np.float64)
-        mask = np.zeros(n, dtype=bool)
-        for i, record in enumerate(rows):
-            v = record.get(label)
-            if not v.is_empty and (v.is_numeric or v.type is ValueType.BOOL):
-                values[i] = v.to_double()
-                mask[i] = True
-        metric_cache[label] = (values, mask)
-        return values, mask
-
-    # pre-sorted view for min/max reduceat
-    order = np.argsort(inverse, kind="stable")
-    sorted_inverse = inverse[order]
-    boundaries = np.flatnonzero(np.diff(sorted_inverse)) + 1
-    starts = np.concatenate(([0], boundaries))
-
-    # -- 3. one vectorized pass per operator ----------------------------------------
-    outputs: list[tuple[str, list[Optional[Variant]]]] = []
-    for op in scheme.ops:
-        label_out = op.output_labels()[0]
-        kernel = _unwrap(op)
-        column: list[Optional[Variant]]
-        if isinstance(kernel, CountOp):
-            counts = np.bincount(inverse, minlength=n_groups)
-            column = [Variant(ValueType.UINT, int(c)) for c in counts]
-        else:
-            values, mask = metric_column(kernel.args[0])
-            counts = np.bincount(inverse, weights=mask.astype(np.float64), minlength=n_groups)
-            if isinstance(kernel, (SumOp, AvgOp)):
-                sums = np.bincount(
-                    inverse, weights=np.where(mask, values, 0.0), minlength=n_groups
-                )
-                if isinstance(kernel, SumOp):
-                    column = [
-                        _sum_variant(sums[g]) if counts[g] > 0 else None
-                        for g in range(n_groups)
-                    ]
-                else:
-                    column = [
-                        Variant(ValueType.DOUBLE, float(sums[g] / counts[g]))
-                        if counts[g] > 0
-                        else None
-                        for g in range(n_groups)
-                    ]
-            else:  # Min / Max over sorted segments
-                fill = np.inf if isinstance(kernel, MinOp) else -np.inf
-                sorted_vals = np.where(mask, values, fill)[order]
-                reducer = np.minimum if isinstance(kernel, MinOp) else np.maximum
-                extrema = reducer.reduceat(sorted_vals, starts)
-                column = [
-                    _sum_variant(extrema[g]) if counts[g] > 0 else None
-                    for g in range(n_groups)
-                ]
-        outputs.append((label_out, column))
-
-    # -- assemble output records -----------------------------------------------------
+    ``source`` is a record iterable or a prebuilt (cached)
+    :class:`~repro.io.dataset.ColumnStore`.  Raises
+    :class:`NotImplementedError` for schemes :func:`supports_scheme`
+    rejects; results match :func:`repro.aggregate.aggregate_records` exactly
+    (up to record order, with float reductions subject only to the global
+    ``percent_total`` denominator's summation order).
+    """
+    key_entries, states, _offered, _processed = _compute(source, scheme, where)
+    # Global totals for percent_total — mirrors AggregationDB.flush.
+    totals: dict[int, float] = {}
+    for i, op in enumerate(scheme.ops):
+        if getattr(op, "needs_global_total", False):
+            totals[i] = sum(group_states[i][1] for group_states in states)
     out: list[Record] = []
-    for g in range(n_groups):
-        rep = rows[representatives[g]]
-        entries: dict[str, Variant] = {}
-        for label, codes in zip(key_labels, code_columns):
-            v = rep.get(label)
-            if not v.is_empty:
-                entries[label] = v
-        for label_out, column in outputs:
-            value = column[g]
-            if value is not None:
-                entries[label_out] = value
-        out.append(Record.from_variants(entries))
+    for entries, group_states in zip(key_entries, states):
+        data = dict(entries)
+        for i, (op, state) in enumerate(zip(scheme.ops, group_states)):
+            if i in totals:
+                results = op.results_with_total(state, totals[i])  # type: ignore[attr-defined]
+            else:
+                results = op.results(state)
+            for label, value in results:
+                data[label] = value
+        out.append(Record.from_variants(data))
     return out
 
 
-def _sum_variant(x: float) -> Variant:
-    # Mirrors the row engine's rendering (SumOp/_as_variant) exactly so the
-    # two backends stay bit-identical.
-    if np.isfinite(x) and x == int(x):
-        return Variant(ValueType.INT, int(x))
-    return Variant(ValueType.DOUBLE, float(x))
+def columnar_feed(
+    db: AggregationDB,
+    source: Source,
+    where: Optional[Sequence[Condition]] = None,
+) -> None:
+    """Vectorized equivalent of ``db.process_all(records)``.
+
+    Computes partial states columnar and merges them into ``db`` with
+    combine semantics — the fast path :meth:`QueryEngine.feed` dispatches to,
+    so even the partial-aggregation steps the MPI query application composes
+    benefit from vectorization.
+    """
+    key_entries, states, offered, processed = _compute(source, db.scheme, where)
+    db.load_states(zip(key_entries, states), offered=offered, processed=processed)
+
+
+def columnar_db(
+    source: Source,
+    scheme: AggregationScheme,
+    where: Optional[Sequence[Condition]] = None,
+) -> AggregationDB:
+    """A fresh :class:`AggregationDB` holding the vectorized partial result.
+
+    Interchangeable with a DB the streaming path filled: it can be
+    ``combine``-d, flushed, or fed further records.
+    """
+    db = AggregationDB(scheme)
+    columnar_feed(db, source, where)
+    return db

@@ -7,6 +7,13 @@ FORMAT rendering.  The aggregation stage reuses the exact
 the partial-aggregation steps (:meth:`QueryEngine.make_db`,
 :meth:`QueryEngine.feed`, :meth:`QueryEngine.finalize`) that the MPI-
 parallel query application composes with a reduction tree.
+
+Execution backends: aggregation queries run either through the streaming
+row engine or the vectorized columnar backend
+(:mod:`repro.query.columnar`).  The planner in :meth:`QueryEngine.run` and
+:meth:`QueryEngine.feed` consults :func:`supports_scheme` and picks the
+columnar path automatically whenever every operator has a vector kernel;
+``backend="rows"``/``"columnar"`` overrides it explicitly.
 """
 
 from __future__ import annotations
@@ -19,10 +26,15 @@ from ..aggregate.scheme import AggregationScheme
 from ..calql.ast import OrderSpec, Query
 from ..calql.parser import parse_query
 from ..calql.semantics import build_scheme, compile_conditions, compile_let, validate
+from ..common.errors import QueryError
 from ..common.record import Record
 from ..common.variant import Variant
+from ..io.dataset import ColumnStore
+from .columnar import columnar_aggregate, columnar_feed, supports_scheme
 
 __all__ = ["QueryEngine", "QueryResult", "run_query"]
+
+_BACKENDS = ("auto", "rows", "columnar")
 
 
 class QueryResult:
@@ -64,12 +76,12 @@ class QueryResult:
         """Raw-value tuples for the given columns (None where missing)."""
         out = []
         for record in self.records:
-            out.append(
-                tuple(
-                    (record.get(lbl).value if not record.get(lbl).is_empty else None)
-                    for lbl in labels
-                )
-            )
+            get = record.get
+            row = []
+            for lbl in labels:
+                v = get(lbl)
+                row.append(None if v.is_empty else v.value)
+            out.append(tuple(row))
         return out
 
     def to_table(self, **kwargs) -> str:
@@ -167,14 +179,77 @@ class QueryEngine:
             self._where = None
         else:
             self._where = compile_conditions(self.query.where)
+        #: backend the planner chose on the most recent run/feed
+        self.last_backend: Optional[str] = None
+
+    # -- planner -------------------------------------------------------------------
+
+    def _pick_backend(self, backend: str) -> str:
+        """Resolve a ``backend=`` argument against this query's scheme."""
+        if backend not in _BACKENDS:
+            raise QueryError(
+                f"unknown backend {backend!r}; expected one of {', '.join(_BACKENDS)}"
+            )
+        if self.scheme is None:
+            if backend == "columnar":
+                raise QueryError(
+                    "the columnar backend requires an aggregation query "
+                    "(pure filter/projection queries always stream)"
+                )
+            return "rows"
+        if backend == "auto":
+            return "columnar" if supports_scheme(self.scheme) else "rows"
+        if backend == "columnar" and not supports_scheme(self.scheme):
+            unsupported = ", ".join(op.spec_string() for op in self.scheme.ops)
+            raise QueryError(
+                f"columnar backend does not support every operator in: {unsupported}"
+            )
+        return backend
+
+    def _columnar_source(
+        self, records: Iterable[Record], store: Optional[ColumnStore]
+    ) -> Union[ColumnStore, list[Record]]:
+        """What the columnar backend should read.
+
+        A cached store is only valid for the raw records it interned — LET
+        queries derive per-record attributes, so they materialize the
+        transformed rows and intern those transiently instead.
+        """
+        if self._let is not None:
+            let = self._let
+            return [let(r) for r in records]
+        if store is not None:
+            return store
+        return records if isinstance(records, list) else list(records)
 
     # -- one-shot execution ------------------------------------------------------
 
-    def run(self, records: Iterable[Record]) -> QueryResult:
-        """Execute the full pipeline over ``records``."""
+    def run(
+        self,
+        records: Iterable[Record],
+        backend: str = "auto",
+        store: Optional[ColumnStore] = None,
+    ) -> QueryResult:
+        """Execute the full pipeline over ``records``.
+
+        ``backend`` selects the aggregation engine (``auto``/``rows``/
+        ``columnar``); ``store`` optionally supplies a cached
+        :class:`~repro.io.dataset.ColumnStore` over the same records so the
+        columnar path skips the row→column conversion.
+        """
+        chosen = self._pick_backend(backend)
+        self.last_backend = chosen
         if self.scheme is not None:
+            if chosen == "columnar":
+                out = columnar_aggregate(
+                    self._columnar_source(records, store),
+                    self.scheme,
+                    where=self.query.where,
+                )
+                out = self._order_and_limit(out)
+                return QueryResult(out, self._preferred_columns(), self.query.format)
             db = self.make_db()
-            self.feed(db, records)
+            db.process_all(self._preprocess(records))
             return self.finalize(db)
         out = []
         for record in self._preprocess(records):
@@ -195,9 +270,28 @@ class QueryEngine:
             raise ValueError("query has no aggregation; make_db() needs AGGREGATE")
         return AggregationDB(self.scheme)
 
-    def feed(self, db: AggregationDB, records: Iterable[Record]) -> None:
-        """Stream records (after LET preprocessing) into a partial DB."""
-        db.process_all(self._preprocess(records))
+    def feed(
+        self,
+        db: AggregationDB,
+        records: Iterable[Record],
+        backend: str = "auto",
+        store: Optional[ColumnStore] = None,
+    ) -> None:
+        """Fold records (after LET preprocessing) into a partial DB.
+
+        The planner applies here too: supported schemes aggregate the batch
+        vectorized and merge the partial states into ``db`` (combine
+        semantics), so the MPI query application's local phase gets the same
+        speedup as one-shot runs.  ``backend="rows"`` forces streaming.
+        """
+        chosen = self._pick_backend(backend)
+        self.last_backend = chosen
+        if chosen == "columnar":
+            columnar_feed(
+                db, self._columnar_source(records, store), where=self.query.where
+            )
+        else:
+            db.process_all(self._preprocess(records))
 
     def finalize(self, db: AggregationDB) -> QueryResult:
         """Flush a (possibly combined) DB and apply ORDER BY / LIMIT / FORMAT."""

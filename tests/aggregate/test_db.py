@@ -163,3 +163,61 @@ def test_key_strategies_equal_results(recs):
         db.process_all(recs)
         out[strategy] = plain(db.flush())
     assert out["tuple"] == out["interned"]
+
+
+class TestStateTransfer:
+    """export_states / load_states: the portable partial-result wire format."""
+
+    def seed(self, strategy="tuple"):
+        db = AggregationDB(scheme_count_sum(key_strategy=strategy))
+        for name, t in [("foo", 1.0), ("foo", 2.0), ("bar", 4.0), (None, 8.0)]:
+            entries = {"time.duration": t}
+            if name is not None:
+                entries["function"] = name
+            db.process(Record(entries))
+        return db
+
+    def test_roundtrip_into_empty_db(self):
+        src = self.seed()
+        dst = AggregationDB(scheme_count_sum())
+        dst.load_states(
+            src.export_states(), offered=src.num_offered, processed=src.num_processed
+        )
+        assert plain(dst.flush()) == plain(src.flush())
+        assert dst.num_offered == src.num_offered
+        assert dst.num_processed == src.num_processed
+
+    def test_load_merges_with_combine_semantics(self):
+        src = self.seed()
+        dst = self.seed()
+        dst.load_states(src.export_states())
+        doubled = {r.get("function").to_string(): r for r in dst.flush()}
+        assert doubled["foo"]["count"].value == 4
+        assert doubled["foo"]["sum#time.duration"].value == 6.0
+
+    def test_roundtrip_across_key_strategies(self):
+        # keys are rendered to attribute entries, so the receiving DB may
+        # use a different key extractor than the sender
+        src = self.seed(strategy="tuple")
+        dst = AggregationDB(scheme_count_sum(key_strategy="interned"))
+        dst.load_states(src.export_states())
+        assert plain(dst.flush()) == plain(src.flush())
+
+    def test_exported_states_are_copied_on_load(self):
+        src = self.seed()
+        dst = AggregationDB(scheme_count_sum())
+        dst.load_states(src.export_states())
+        dst.process(Record({"function": "foo", "time.duration": 100.0}))
+        foo = {r.get("function").to_string(): r for r in src.flush()}["foo"]
+        assert foo["sum#time.duration"].value == 3.0  # source unaffected
+
+
+def test_wire_size_uses_cached_cell_count():
+    # 8 bytes per key slot + per state cell + per-entry header
+    db = AggregationDB(scheme_count_sum())
+    cells = sum(op.state_width() for op in db.scheme.ops)
+    key_width = len(db.scheme.key)
+    empty = db.wire_size()
+    db.process(Record({"function": "f", "time.duration": 1}))
+    db.process(Record({"function": "g", "time.duration": 1}))
+    assert db.wire_size() == empty + 2 * (8 * key_width + 8 * cells + 8)

@@ -1,0 +1,95 @@
+"""Tests for real process-parallel ingestion and partial aggregation."""
+
+import pytest
+
+from repro.common import QueryError, Record
+from repro.io import Dataset, write_records
+from repro.query import QueryEngine, parallel_query_files
+from repro.query.parallel import _partial_worker
+
+QUERY = (
+    "AGGREGATE count, sum(time.duration), variance(time.duration) "
+    "GROUP BY kernel ORDER BY kernel"
+)
+
+
+@pytest.fixture
+def many_files(tmp_path):
+    paths = []
+    for i in range(5):
+        recs = [
+            Record({"kernel": f"k{j % 3}", "time.duration": 0.5 * (i + j)})
+            for j in range(20)
+        ]
+        path = tmp_path / f"part-{i}.cali"
+        write_records(path, recs, globals_={"part": i})
+        paths.append(path)
+    return paths
+
+
+def serial_result(paths, query=QUERY):
+    return Dataset.from_files(paths).query(query)
+
+
+class TestParallelQueryFiles:
+    def test_matches_serial(self, many_files):
+        got = parallel_query_files(QUERY, many_files, workers=2)
+        want = serial_result(many_files)
+        labels = ["kernel", "count", "sum#time.duration", "variance#time.duration"]
+        assert got.rows(labels) == pytest.approx(want.rows(labels))
+
+    def test_single_worker_falls_back_to_serial(self, many_files):
+        got = parallel_query_files(QUERY, many_files, workers=1)
+        want = serial_result(many_files)
+        assert got.rows(["kernel", "count"]) == want.rows(["kernel", "count"])
+
+    def test_counts_are_preserved(self, many_files):
+        got = parallel_query_files(QUERY, many_files, workers=2)
+        assert sum(row[0] for row in got.rows(["count"])) == 100
+
+    def test_globals_folded_into_records(self, many_files):
+        # per-file globals must reach the worker-side records
+        res = parallel_query_files(
+            "AGGREGATE count GROUP BY part ORDER BY part", many_files, workers=2
+        )
+        assert res.rows(["part", "count"]) == [(i, 20) for i in range(5)]
+
+    def test_rejects_pure_filter_query(self, many_files):
+        with pytest.raises(QueryError):
+            parallel_query_files("SELECT kernel", many_files, workers=2)
+
+    def test_backend_rows_override(self, many_files):
+        got = parallel_query_files(QUERY, many_files, workers=2, backend="rows")
+        want = serial_result(many_files)
+        labels = ["kernel", "sum#time.duration"]
+        assert got.rows(labels) == pytest.approx(want.rows(labels))
+
+
+class TestWorker:
+    def test_partial_worker_states_merge(self, many_files):
+        """Two half-chunks merged at the parent equal the one-shot run."""
+        paths = [str(p) for p in many_files]
+        engine = QueryEngine(QUERY)
+        db = engine.make_db()
+        for chunk in (paths[:2], paths[2:]):
+            states, offered, processed = _partial_worker(QUERY, chunk, "auto")
+            db.load_states(states, offered=offered, processed=processed)
+        assert db.num_processed == 100
+        got = engine.finalize(db)
+        want = serial_result(many_files)
+        labels = ["kernel", "count", "sum#time.duration"]
+        assert got.rows(labels) == pytest.approx(want.rows(labels))
+
+
+class TestParallelDatasetLoading:
+    def test_from_files_parallel_matches_serial(self, many_files):
+        serial = Dataset.from_files(many_files)
+        parallel = Dataset.from_files(many_files, parallel=2)
+        assert len(parallel) == len(serial)
+        assert [r.to_plain() for r in parallel] == [r.to_plain() for r in serial]
+        assert parallel.sources == serial.sources
+
+    def test_from_glob_parallel(self, many_files, tmp_path):
+        ds = Dataset.from_glob(str(tmp_path / "part-*.cali"), parallel=2)
+        assert len(ds) == 100
+        assert len(ds.sources) == 5

@@ -1,0 +1,145 @@
+"""Tests for backend planning: auto dispatch, overrides, and the cached store."""
+
+import pytest
+
+from repro.aggregate import SumOp, default_registry
+from repro.common import QueryError, Record
+from repro.io import Dataset
+from repro.query import QueryEngine
+
+RECORDS = [
+    Record({"kernel": f"k{i % 4}", "time.duration": float(i), "mpi.rank": i % 8})
+    for i in range(200)
+]
+
+
+class _CustomSum(SumOp):
+    name = "customsum"
+
+
+def custom_registry():
+    reg = default_registry()
+    reg.register("customsum", lambda args: _CustomSum(args))
+    return reg
+
+
+class TestBackendSelection:
+    def test_auto_picks_columnar_for_supported_scheme(self):
+        engine = QueryEngine("AGGREGATE count, sum(time.duration) GROUP BY kernel")
+        engine.run(RECORDS)
+        assert engine.last_backend == "columnar"
+
+    def test_auto_falls_back_to_rows_for_user_defined_op(self):
+        engine = QueryEngine(
+            "AGGREGATE customsum(time.duration) GROUP BY kernel",
+            registry=custom_registry(),
+        )
+        engine.run(RECORDS)
+        assert engine.last_backend == "rows"
+
+    def test_explicit_rows_override(self):
+        engine = QueryEngine("AGGREGATE count GROUP BY kernel")
+        engine.run(RECORDS, backend="rows")
+        assert engine.last_backend == "rows"
+
+    def test_pure_filter_always_streams(self):
+        engine = QueryEngine("SELECT kernel WHERE mpi.rank=0")
+        engine.run(RECORDS)
+        assert engine.last_backend == "rows"
+
+    def test_columnar_on_pure_filter_is_an_error(self):
+        engine = QueryEngine("SELECT kernel")
+        with pytest.raises(QueryError, match="aggregation"):
+            engine.run(RECORDS, backend="columnar")
+
+    def test_columnar_on_unsupported_op_is_an_error(self):
+        engine = QueryEngine(
+            "AGGREGATE customsum(time.duration) GROUP BY kernel",
+            registry=custom_registry(),
+        )
+        with pytest.raises(QueryError, match="customsum"):
+            engine.run(RECORDS, backend="columnar")
+
+    def test_unknown_backend_rejected(self):
+        engine = QueryEngine("AGGREGATE count GROUP BY kernel")
+        with pytest.raises(QueryError, match="unknown backend"):
+            engine.run(RECORDS, backend="gpu")
+
+    def test_feed_applies_planner(self):
+        engine = QueryEngine("AGGREGATE count GROUP BY kernel")
+        db = engine.make_db()
+        engine.feed(db, RECORDS)
+        assert engine.last_backend == "columnar"
+        assert db.num_processed == len(RECORDS)
+
+
+class TestPipelineClauses:
+    """ORDER BY / LIMIT / FORMAT / SELECT must behave identically downstream."""
+
+    QUERY = (
+        "SELECT kernel, sum#time.duration "
+        "AGGREGATE count, sum(time.duration) GROUP BY kernel "
+        "ORDER BY sum#time.duration DESC LIMIT 3 FORMAT csv"
+    )
+
+    def test_order_limit_format_identical(self):
+        engine = QueryEngine(self.QUERY)
+        col = engine.run(RECORDS, backend="columnar")
+        row = engine.run(RECORDS, backend="rows")
+        assert len(col) == 3
+        assert str(col) == str(row)
+        assert col.preferred_columns == row.preferred_columns
+
+    def test_let_queries_run_columnar(self):
+        engine = QueryEngine(
+            "LET ms = time.duration * 1000 "
+            "AGGREGATE sum(ms) GROUP BY kernel ORDER BY kernel"
+        )
+        col = engine.run(RECORDS, backend="columnar")
+        row = engine.run(RECORDS, backend="rows")
+        assert col.rows(["kernel", "sum#ms"]) == pytest.approx(
+            row.rows(["kernel", "sum#ms"])
+        )
+
+
+class TestDatasetIntegration:
+    def make_dataset(self):
+        return Dataset(list(RECORDS))
+
+    def test_query_backend_threading(self):
+        ds = self.make_dataset()
+        a = ds.query("AGGREGATE count GROUP BY kernel ORDER BY kernel")
+        b = ds.query("AGGREGATE count GROUP BY kernel ORDER BY kernel", backend="rows")
+        assert a.rows(["kernel", "count"]) == b.rows(["kernel", "count"])
+
+    def test_column_store_cached_across_queries(self):
+        ds = self.make_dataset()
+        ds.query("AGGREGATE count GROUP BY kernel")
+        store = ds.column_store()
+        ds.query("AGGREGATE sum(time.duration) GROUP BY kernel")
+        assert ds.column_store() is store
+
+    def test_column_store_invalidated_on_extend(self):
+        ds = self.make_dataset()
+        before = ds.column_store()
+        codes, values = before.interned("kernel")
+        assert len(codes) == len(RECORDS)
+        ds.extend([Record({"kernel": "fresh", "time.duration": 1.0})])
+        after = ds.column_store()
+        assert after is not before
+        res = ds.query("AGGREGATE count GROUP BY kernel")
+        assert sum(r["count"].value for r in res) == len(RECORDS) + 1
+
+    def test_store_interning_roundtrip(self):
+        ds = self.make_dataset()
+        codes, values = ds.column_store().interned("kernel")
+        rebuilt = [None if c < 0 else values[c].to_string() for c in codes]
+        assert rebuilt == [r.get("kernel").to_string() for r in RECORDS]
+
+    def test_store_numeric_lookup_handles_missing(self):
+        ds = Dataset(
+            [Record({"t": 1.5}), Record({"t": "oops"}), Record({}), Record({"t": 2})]
+        )
+        vals, ok = ds.column_store().numeric("t")
+        assert list(ok) == [True, False, False, True]
+        assert vals[0] == 1.5 and vals[3] == 2.0
