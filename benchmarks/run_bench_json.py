@@ -24,8 +24,10 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro import observe  # noqa: E402
 from repro.common import Record  # noqa: E402
 from repro.io import Dataset, write_records  # noqa: E402
+from repro.observe import to_dict  # noqa: E402
 from repro.query import QueryEngine, parallel_query_files  # noqa: E402
 
 QUERY = (
@@ -127,6 +129,43 @@ def bench_parallel(records: list[Record], n_files: int, repetitions: int) -> dic
     }
 
 
+def bench_observability(records: list[Record], repetitions: int) -> dict:
+    """Overhead of the self-profiling layer on the cached-columnar query.
+
+    Runs the same query with metric collection disabled (the default) and
+    enabled (``observe.collecting()``), reports the ratio, and archives one
+    enabled run's telemetry payload — the acceptance bar is <3% overhead
+    with collection disabled.
+    """
+    ds = Dataset(records)
+    ds.query(QUERY)  # warm the interned column store
+
+    assert not observe.enabled()
+    t_disabled = best_of(repetitions, lambda: ds.query(QUERY, backend="columnar"))
+
+    def observed():
+        with observe.collecting():
+            ds.query(QUERY, backend="columnar")
+
+    t_enabled = best_of(repetitions, observed)
+
+    with observe.collecting() as reg:
+        ds.query(QUERY, backend="columnar")
+    telemetry = to_dict(reg)
+
+    n = len(records)
+    return {
+        "query": QUERY,
+        "disabled_seconds": t_disabled,
+        "enabled_seconds": t_enabled,
+        "overhead_ratio": t_enabled / t_disabled,
+        "disabled_records_per_second": n / t_disabled,
+        "enabled_records_per_second": n / t_enabled,
+        "timer_paths": sorted(telemetry["timers"]),
+        "telemetry": telemetry,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--records", type=int, default=1_000_000)
@@ -138,6 +177,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--output",
         default=os.path.join(os.path.dirname(__file__), "..", "BENCH_columnar.json"),
+    )
+    parser.add_argument(
+        "--observability-output",
+        default=os.path.join(
+            os.path.dirname(__file__), "..", "BENCH_observability.json"
+        ),
+        help="where the observability-overhead payload is written",
     )
     args = parser.parse_args(argv)
     if args.smoke:
@@ -158,6 +204,9 @@ def main(argv=None) -> int:
     )
     parallel = bench_parallel(par_records, args.files, args.repetitions)
 
+    print("timing observability overhead (disabled vs enabled) ...", flush=True)
+    observability = bench_observability(records, args.repetitions)
+
     payload = {
         "benchmark": "columnar-query-planner",
         "records": args.records,
@@ -173,8 +222,22 @@ def main(argv=None) -> int:
         json.dump(payload, stream, indent=2)
         stream.write("\n")
 
+    obs_payload = {
+        "benchmark": "observability-overhead",
+        "records": args.records,
+        "repetitions": args.repetitions,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "observability": observability,
+    }
+    obs_out = os.path.abspath(args.observability_output)
+    with open(obs_out, "w", encoding="utf-8") as stream:
+        json.dump(obs_payload, stream, indent=2)
+        stream.write("\n")
+
     print(json.dumps(payload, indent=2))
     print(f"\nwrote {out}")
+    print(f"wrote {obs_out}")
     return 0
 
 

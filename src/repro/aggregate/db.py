@@ -215,6 +215,20 @@ class AggregationDB:
     def num_entries(self) -> int:
         return len(self._table)
 
+    @property
+    def num_partial_keys(self) -> int:
+        """Entries whose records lacked one or more GROUP BY attributes.
+
+        Computed lazily by scanning the table (key-extraction misses must
+        not cost anything on the per-record hot path); the observability
+        layer surfaces this as ``db.key_misses`` in channel stats records.
+        """
+        n_labels = len(self._extractor.key_labels)
+        if n_labels == 0:
+            return 0
+        entries_of = self._extractor.entries
+        return sum(1 for key in self._table if len(entries_of(key)) < n_labels)
+
     def memory_footprint(self) -> int:
         """Rough number of state cells held (for the overhead study)."""
         return sum(sum(len(s) for s in states) for states in self._table.values())

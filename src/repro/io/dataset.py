@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import glob as globmod
 import os
+import time
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import observe
 from ..common.errors import DatasetError
 from ..common.record import Record
 from ..common.variant import ValueType, Variant
@@ -108,7 +110,9 @@ class ColumnStore:
         (first-seen order); -1 marks records without the attribute."""
         cached = self._interned.get(label)
         if cached is not None:
+            observe.count("columnstore.intern", result="hit", label=label)
             return cached
+        observe.count("columnstore.intern", result="miss", label=label)
         codes = np.empty(self._n, dtype=np.int64)
         # Keyed by plain Python values rather than Variants: hashing a float
         # or a small tuple is several times cheaper than Variant.__hash__,
@@ -168,15 +172,27 @@ class ColumnStore:
         return cached
 
 
-def _load_source(path: Union[str, os.PathLike]) -> tuple[list[Record], dict[str, Variant]]:
-    """Read one file with its globals folded into the records.
+def _load_source_timed(
+    path: Union[str, os.PathLike],
+) -> tuple[list[Record], dict[str, Variant], float]:
+    """Read one file (globals folded in) and measure the parse wall time.
 
     Module-level so :class:`~concurrent.futures.ProcessPoolExecutor` workers
-    can pickle a reference to it.
+    can pickle a reference to it.  The duration is *measured* here —
+    including inside worker processes, where the parent's metrics registry
+    is unreachable — and *recorded* by the caller, which is how per-file
+    parse time stays attributable across process boundaries.
     """
+    start = time.perf_counter()
     records, globals_ = read_records(path)
     if globals_:
         records = [r.with_entries(globals_) for r in records]
+    return records, globals_, time.perf_counter() - start
+
+
+def _load_source(path: Union[str, os.PathLike]) -> tuple[list[Record], dict[str, Variant]]:
+    """Read one file with its globals folded into the records."""
+    records, globals_, _elapsed = _load_source_timed(path)
     return records, globals_
 
 
@@ -231,25 +247,32 @@ class Dataset:
         """
         path_list = [os.fspath(p) for p in paths]
         workers = _resolve_workers(parallel, len(path_list))
-        if workers > 1:
-            from concurrent.futures import ProcessPoolExecutor
+        with observe.span("ingest.from_files", files=len(path_list), workers=workers):
+            if workers > 1:
+                from concurrent.futures import ProcessPoolExecutor
 
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                loaded = list(pool.map(_load_source, path_list))
-        else:
-            loaded = [_load_source(p) for p in path_list]
-        all_records: list[Record] = []
-        merged_globals: dict[str, Variant] = {}
-        conflicting: set[str] = set()
-        for records, globals_ in loaded:
-            for key, value in globals_.items():
-                if key in merged_globals and merged_globals[key] != value:
-                    conflicting.add(key)
-                merged_globals.setdefault(key, value)
-            all_records.extend(records)
-        for key in conflicting:
-            merged_globals.pop(key, None)
-        return cls(all_records, merged_globals, path_list)
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    loaded = list(pool.map(_load_source_timed, path_list))
+            else:
+                loaded = [_load_source_timed(p) for p in path_list]
+            all_records: list[Record] = []
+            merged_globals: dict[str, Variant] = {}
+            conflicting: set[str] = set()
+            for path, (records, globals_, parse_seconds) in zip(path_list, loaded):
+                # Worker-measured parse time, attributed per file (the span
+                # above holds the end-to-end ingest wall time).
+                observe.timing(
+                    "ingest.file.parse", parse_seconds, file=os.path.basename(path)
+                )
+                observe.count("ingest.records", len(records))
+                for key, value in globals_.items():
+                    if key in merged_globals and merged_globals[key] != value:
+                        conflicting.add(key)
+                    merged_globals.setdefault(key, value)
+                all_records.extend(records)
+            for key in conflicting:
+                merged_globals.pop(key, None)
+            return cls(all_records, merged_globals, path_list)
 
     @classmethod
     def from_glob(cls, pattern: str, parallel: Union[bool, int, None] = None) -> "Dataset":

@@ -1,0 +1,60 @@
+"""repro.observe — the self-profiling telemetry layer.
+
+The profiler profiles itself: runtime, query-engine, ingestion, and MPI
+reduction-tree internals record their cost into a thread-safe metrics
+registry (:mod:`.registry`), and exporters (:mod:`.export`) render the
+result as a ``--stats`` table, a JSON payload, or — dogfooding the paper's
+own data model — ordinary snapshot records that CalQL queries aggregate
+like any other performance data.
+
+Collection is **off by default** and costs one flag check per instrumented
+site when off; enable it per scope::
+
+    from repro import observe
+
+    with observe.collecting() as reg:
+        dataset.query("AGGREGATE count GROUP BY kernel")
+        print(observe.stats_table(reg))
+        telemetry = observe.to_records(reg)   # CalQL-queryable records
+
+See ``docs/observability.md`` for the metric catalog.
+"""
+
+from .export import flush_to_channel, stats_table, to_dict, to_records
+from .registry import (
+    NULL_SPAN,
+    MetricsRegistry,
+    Span,
+    collecting,
+    count,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    registry,
+    reset,
+    span,
+    timing,
+)
+
+__all__ = [
+    # registry
+    "MetricsRegistry",
+    "Span",
+    "NULL_SPAN",
+    "enabled",
+    "enable",
+    "disable",
+    "registry",
+    "reset",
+    "collecting",
+    "count",
+    "gauge",
+    "timing",
+    "span",
+    # exporters
+    "stats_table",
+    "to_dict",
+    "to_records",
+    "flush_to_channel",
+]

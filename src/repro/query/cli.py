@@ -81,7 +81,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--timing",
         action="store_true",
-        help="print phase timings (--parallel) to stderr",
+        help="print phase timings and per-level reduction-tree telemetry "
+        "(--parallel) to stderr",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="collect internal telemetry (repro.observe) during the query "
+        "and print the metrics table to stderr",
+    )
+    parser.add_argument(
+        "--json-stats",
+        metavar="PATH",
+        help="collect internal telemetry and write it as JSON to PATH "
+        "('-' = stdout)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress auxiliary stderr output (timing summary, stats table)",
     )
     return parser
 
@@ -91,6 +109,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if not (args.query or args.list_attributes or args.show_globals):
         parser.error("one of --query, --list-attributes or --globals is required")
+    if args.stats or args.json_stats:
+        # Collect into a fresh registry for exactly this invocation, then
+        # restore whatever collection state an embedding process had.
+        from .. import observe
+
+        with observe.collecting() as reg:
+            code = _run(args)
+            if code == 0:
+                _emit_stats(args, reg)
+        return code
+    return _run(args)
+
+
+def _emit_stats(args, reg) -> None:
+    """Print/write the collected telemetry per the --stats/--json-stats flags."""
+    from ..observe import stats_table, to_dict
+
+    if args.stats and not args.quiet:
+        print(stats_table(reg), file=sys.stderr)
+    if args.json_stats:
+        import json
+
+        text = json.dumps(to_dict(reg), indent=2)
+        if args.json_stats == "-":
+            print(text)
+        else:
+            with open(args.json_stats, "w", encoding="utf-8") as stream:
+                stream.write(text + "\n")
+
+
+def _run(args) -> int:
     try:
         if args.list_attributes or args.show_globals:
             from ..io.dataset import read_records
@@ -113,13 +162,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             runner = MPIQueryRunner(args.query, size=args.parallel, fanout=args.fanout)
             outcome = runner.run_files(args.files)
             result = outcome.result
-            if args.timing:
-                t = outcome.times
-                print(
-                    f"total {t.total:.6f}s  local {t.local:.6f}s  "
-                    f"reduce {t.reduce:.6f}s  messages {outcome.messages}",
-                    file=sys.stderr,
-                )
+            if args.timing and not args.quiet:
+                print(outcome.timing_summary(), file=sys.stderr)
         elif args.jobs and args.jobs > 1 and len(args.files) > 1:
             from .parallel import parallel_query_files
 

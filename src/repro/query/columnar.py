@@ -39,6 +39,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import observe
 from ..aggregate.db import AggregationDB
 from ..aggregate.ops import (
     AggregateOp,
@@ -69,6 +70,7 @@ __all__ = [
     "columnar_db",
     "columnar_feed",
     "supports_scheme",
+    "unsupported_ops",
 ]
 
 #: Exact kernel types with a vectorized implementation.  Exact types, not
@@ -106,6 +108,15 @@ def supports_scheme(scheme: AggregationScheme) -> bool:
     row-wise up front.
     """
     return all(type(_unwrap(op)) in _SUPPORTED for op in scheme.ops)
+
+
+def unsupported_ops(scheme: AggregationScheme) -> list[str]:
+    """Spec strings of the operators that force the row engine (may be [])."""
+    return [
+        op.spec_string()
+        for op in scheme.ops
+        if type(_unwrap(op)) not in _SUPPORTED
+    ]
 
 
 def _as_store(source: Source) -> ColumnStore:
@@ -318,17 +329,21 @@ def _compute(
         raise NotImplementedError(
             "columnar backend does not support: " + ", ".join(unsupported)
         )
-    store = _as_store(source)
+    with observe.span("columnar.convert", cached=isinstance(source, ColumnStore)):
+        store = _as_store(source)
     offered = len(store)
-    sel = _select_rows(store, scheme, where)
+    with observe.span("columnar.where"):
+        sel = _select_rows(store, scheme, where)
     processed = len(sel)
     if processed == 0:
         return [], [], offered, processed
-    groups = _Groups(store, scheme, sel)
-    columns = [_op_states(_unwrap(op), store, groups) for op in scheme.ops]
-    states = [
-        [column[g] for column in columns] for g in range(groups.count)
-    ]
+    with observe.span("columnar.group"):
+        groups = _Groups(store, scheme, sel)
+    with observe.span("columnar.ops"):
+        columns = [_op_states(_unwrap(op), store, groups) for op in scheme.ops]
+        states = [
+            [column[g] for column in columns] for g in range(groups.count)
+        ]
     return groups.key_entries, states, offered, processed
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Sequence, Union
 
+from .. import observe
 from ..aggregate.db import AggregationDB
 from ..aggregate.ops import OperatorRegistry
 from ..aggregate.scheme import AggregationScheme
@@ -30,7 +31,12 @@ from ..common.errors import QueryError
 from ..common.record import Record
 from ..common.variant import Variant
 from ..io.dataset import ColumnStore
-from .columnar import columnar_aggregate, columnar_feed, supports_scheme
+from .columnar import (
+    columnar_aggregate,
+    columnar_feed,
+    supports_scheme,
+    unsupported_ops,
+)
 
 __all__ = ["QueryEngine", "QueryResult", "run_query"]
 
@@ -168,24 +174,32 @@ class QueryEngine:
         registry: Optional[OperatorRegistry] = None,
         key_strategy: str = "tuple",
     ) -> None:
-        self.query = parse_query(query) if isinstance(query, str) else query
-        validate(self.query, registry)
-        self._let = compile_let(self.query.let)
-        self.scheme: Optional[AggregationScheme] = None
-        self._where: Optional[Callable[[Record], bool]]
-        if self.query.is_aggregation:
-            # WHERE lives inside the scheme's predicate on the aggregation path.
-            self.scheme = build_scheme(self.query, registry, key_strategy)
-            self._where = None
-        else:
-            self._where = compile_conditions(self.query.where)
+        with observe.span("query.parse"):
+            self.query = parse_query(query) if isinstance(query, str) else query
+            validate(self.query, registry)
+            self._let = compile_let(self.query.let)
+            self.scheme: Optional[AggregationScheme] = None
+            self._where: Optional[Callable[[Record], bool]]
+            if self.query.is_aggregation:
+                # WHERE lives inside the scheme's predicate on the aggregation path.
+                self.scheme = build_scheme(self.query, registry, key_strategy)
+                self._where = None
+            else:
+                self._where = compile_conditions(self.query.where)
         #: backend the planner chose on the most recent run/feed
         self.last_backend: Optional[str] = None
+        #: one-line justification for the most recent backend decision
+        self.last_backend_reason: Optional[str] = None
 
     # -- planner -------------------------------------------------------------------
 
-    def _pick_backend(self, backend: str) -> str:
-        """Resolve a ``backend=`` argument against this query's scheme."""
+    def _pick_backend(self, backend: str) -> tuple[str, str]:
+        """Resolve a ``backend=`` argument against this query's scheme.
+
+        Returns ``(chosen, reason)`` — the reason string is recorded in
+        :attr:`last_backend_reason` and in the ``query.backend.decision``
+        telemetry counter, so planner behaviour is observable after the fact.
+        """
         if backend not in _BACKENDS:
             raise QueryError(
                 f"unknown backend {backend!r}; expected one of {', '.join(_BACKENDS)}"
@@ -196,15 +210,27 @@ class QueryEngine:
                     "the columnar backend requires an aggregation query "
                     "(pure filter/projection queries always stream)"
                 )
-            return "rows"
+            return "rows", "no aggregation: filter/projection queries stream"
         if backend == "auto":
-            return "columnar" if supports_scheme(self.scheme) else "rows"
+            if supports_scheme(self.scheme):
+                return "columnar", "planner: every operator has a vector kernel"
+            unsupported = ", ".join(unsupported_ops(self.scheme))
+            return "rows", f"planner: no vector kernel for {unsupported}"
         if backend == "columnar" and not supports_scheme(self.scheme):
             unsupported = ", ".join(op.spec_string() for op in self.scheme.ops)
             raise QueryError(
                 f"columnar backend does not support every operator in: {unsupported}"
             )
-        return backend
+        return backend, f"explicit backend={backend}"
+
+    def _plan(self, backend: str) -> str:
+        """Run the planner under its tracing span and record the decision."""
+        with observe.span("query.plan"):
+            chosen, reason = self._pick_backend(backend)
+        self.last_backend = chosen
+        self.last_backend_reason = reason
+        observe.count("query.backend.decision", backend=chosen, reason=reason)
+        return chosen
 
     def _columnar_source(
         self, records: Iterable[Record], store: Optional[ColumnStore]
@@ -237,30 +263,37 @@ class QueryEngine:
         :class:`~repro.io.dataset.ColumnStore` over the same records so the
         columnar path skips the row→column conversion.
         """
-        chosen = self._pick_backend(backend)
-        self.last_backend = chosen
-        if self.scheme is not None:
-            if chosen == "columnar":
-                out = columnar_aggregate(
-                    self._columnar_source(records, store),
-                    self.scheme,
-                    where=self.query.where,
-                )
+        with observe.span("query.run", backend=backend):
+            chosen = self._plan(backend)
+            if self.scheme is not None:
+                if chosen == "columnar":
+                    with observe.span("query.scan", backend="columnar"):
+                        out = columnar_aggregate(
+                            self._columnar_source(records, store),
+                            self.scheme,
+                            where=self.query.where,
+                        )
+                    with observe.span("query.render"):
+                        out = self._order_and_limit(out)
+                        return QueryResult(
+                            out, self._preferred_columns(), self.query.format
+                        )
+                db = self.make_db()
+                with observe.span("query.scan", backend="rows"):
+                    db.process_all(self._preprocess(records))
+                return self.finalize(db)
+            with observe.span("query.scan", backend="rows"):
+                out = []
+                for record in self._preprocess(records):
+                    if self._where is not None and not self._where(record):
+                        continue
+                    if self.query.select:
+                        record = record.project(self.query.select)
+                    out.append(record)
+            with observe.span("query.render"):
                 out = self._order_and_limit(out)
-                return QueryResult(out, self._preferred_columns(), self.query.format)
-            db = self.make_db()
-            db.process_all(self._preprocess(records))
-            return self.finalize(db)
-        out = []
-        for record in self._preprocess(records):
-            if self._where is not None and not self._where(record):
-                continue
-            if self.query.select:
-                record = record.project(self.query.select)
-            out.append(record)
-        out = self._order_and_limit(out)
-        preferred = list(self.query.select)
-        return QueryResult(out, preferred, self.query.format)
+                preferred = list(self.query.select)
+                return QueryResult(out, preferred, self.query.format)
 
     # -- partial aggregation (used by the MPI query application) --------------------
 
@@ -284,20 +317,22 @@ class QueryEngine:
         semantics), so the MPI query application's local phase gets the same
         speedup as one-shot runs.  ``backend="rows"`` forces streaming.
         """
-        chosen = self._pick_backend(backend)
-        self.last_backend = chosen
-        if chosen == "columnar":
-            columnar_feed(
-                db, self._columnar_source(records, store), where=self.query.where
-            )
-        else:
-            db.process_all(self._preprocess(records))
+        with observe.span("query.feed", backend=backend):
+            chosen = self._plan(backend)
+            with observe.span("query.scan", backend=chosen):
+                if chosen == "columnar":
+                    columnar_feed(
+                        db, self._columnar_source(records, store), where=self.query.where
+                    )
+                else:
+                    db.process_all(self._preprocess(records))
 
     def finalize(self, db: AggregationDB) -> QueryResult:
         """Flush a (possibly combined) DB and apply ORDER BY / LIMIT / FORMAT."""
-        out = self._order_and_limit(db.flush())
-        preferred = self._preferred_columns()
-        return QueryResult(out, preferred, self.query.format)
+        with observe.span("query.render"):
+            out = self._order_and_limit(db.flush())
+            preferred = self._preferred_columns()
+            return QueryResult(out, preferred, self.query.format)
 
     # -- helpers -------------------------------------------------------------------
 

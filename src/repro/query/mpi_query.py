@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union
 
+from .. import observe
 from ..common.errors import QueryError
 from ..common.record import Record
 from ..common.util import children_of, chunk_evenly, parent_of
@@ -38,6 +39,15 @@ from .engine import QueryEngine, QueryResult
 __all__ = ["MPIQueryRunner", "MPIQueryOutcome", "PhaseTimes"]
 
 _TAG_PARTIAL = 201
+
+
+def _tree_level(rank: int, fanout: int) -> int:
+    """Depth of ``rank`` in the k-ary reduction tree (root = level 0)."""
+    level = 0
+    while rank:
+        rank = parent_of(rank, fanout)
+        level += 1
+    return level
 
 
 class _Lazy:
@@ -78,10 +88,35 @@ class MPIQueryOutcome:
     bytes: int = 0
     #: number of output records (paper reports 85 for the ParaDiS query)
     num_output_records: int = 0
+    #: reduction-tree telemetry, keyed by the sending rank's tree level
+    #: (Fig. 8-style: wire volume and combine time per level)
+    sends_by_level: dict[int, int] = field(default_factory=dict)
+    wire_bytes_by_level: dict[int, int] = field(default_factory=dict)
+    combine_seconds_by_level: dict[int, float] = field(default_factory=dict)
 
     @property
     def elapsed(self) -> float:
         return self.times.total
+
+    def timing_summary(self) -> str:
+        """Multi-line phase + per-level report (the CLI's ``--timing`` text).
+
+        The same numbers also land in the metrics registry when collection
+        is enabled, so this summary and ``--stats`` never disagree.
+        """
+        t = self.times
+        lines = [
+            f"total {t.total:.6f}s  local {t.local:.6f}s  "
+            f"reduce {t.reduce:.6f}s  messages {self.messages}  "
+            f"bytes {self.bytes}"
+        ]
+        for level in sorted(self.wire_bytes_by_level):
+            lines.append(
+                f"level {level}: sends {self.sends_by_level.get(level, 0)}  "
+                f"wire {self.wire_bytes_by_level[level]} bytes  "
+                f"combine {self.combine_seconds_by_level.get(level, 0.0):.6f}s"
+            )
+        return "\n".join(lines)
 
 
 class MPIQueryRunner:
@@ -157,6 +192,13 @@ class MPIQueryRunner:
         world = SimWorld(self.size, network=self.network)
         per_rank: list[PhaseTimes] = [PhaseTimes() for _ in range(self.size)]
         final_holder: dict[str, QueryResult] = {}
+        # Reduction-tree telemetry, keyed by the *sending* rank's tree level
+        # (the level of the edge the partial DB travels over).  The
+        # simulator interleaves rank programs on one thread, so plain dicts
+        # are safe here.
+        sends_by_level: dict[int, int] = {}
+        wire_by_level: dict[int, int] = {}
+        combine_by_level: dict[int, float] = {}
         # One compiled engine shared by all ranks: the scheme is immutable
         # and every rank gets its own database from make_db().
         engine = QueryEngine(self.query_text)
@@ -211,16 +253,25 @@ class MPIQueryRunner:
                 incoming_entries = incoming.num_entries
                 wall1 = time.perf_counter()
                 db.combine(incoming)
+                combine_seconds = time.perf_counter() - wall1
+                child_level = _tree_level(child, self.fanout)
+                combine_by_level[child_level] = (
+                    combine_by_level.get(child_level, 0.0) + combine_seconds
+                )
                 if self.combine_rate is not None:
                     yield from comm.compute(
                         max(1, incoming_entries) / self.combine_rate
                     )
                 else:
-                    yield from comm.compute(time.perf_counter() - wall1)
+                    yield from comm.compute(combine_seconds)
             if comm.rank != 0:
                 parent = parent_of(comm.rank, self.fanout)
+                nbytes = db.wire_size()
+                level = _tree_level(comm.rank, self.fanout)
+                sends_by_level[level] = sends_by_level.get(level, 0) + 1
+                wire_by_level[level] = wire_by_level.get(level, 0) + nbytes
                 yield from comm.send(
-                    parent, db, tag=_TAG_PARTIAL, nbytes=db.wire_size()
+                    parent, db, tag=_TAG_PARTIAL, nbytes=nbytes
                 )
                 phase.reduce = comm.now() - reduce_start
             else:
@@ -240,11 +291,35 @@ class MPIQueryRunner:
         times = per_rank[0]
         times.total = max(times.total, sim.elapsed)
         result = final_holder["result"]
-        return MPIQueryOutcome(
+        outcome = MPIQueryOutcome(
             result=result,
             times=times,
             per_rank=per_rank,
             messages=sim.stats.messages,
             bytes=sim.stats.bytes,
             num_output_records=len(result),
+            sends_by_level=sends_by_level,
+            wire_bytes_by_level=wire_by_level,
+            combine_seconds_by_level=combine_by_level,
         )
+        self._publish_telemetry(outcome)
+        return outcome
+
+    def _publish_telemetry(self, outcome: MPIQueryOutcome) -> None:
+        """Mirror the run's telemetry into the metrics registry (if enabled)."""
+        if not observe.enabled():
+            return
+        observe.gauge("mpi.ranks", self.size)
+        observe.gauge("mpi.fanout", self.fanout)
+        observe.count("mpi.messages", outcome.messages)
+        observe.count("mpi.bytes", outcome.bytes)
+        for phase in outcome.per_rank:
+            observe.timing("mpi.phase.local", phase.local)
+            observe.timing("mpi.phase.reduce", phase.reduce)
+        for level, nbytes in outcome.wire_bytes_by_level.items():
+            observe.count("mpi.wire.bytes", nbytes, level=level)
+            observe.count(
+                "mpi.sends", outcome.sends_by_level.get(level, 0), level=level
+            )
+        for level, seconds in outcome.combine_seconds_by_level.items():
+            observe.timing("mpi.combine", seconds, level=level)

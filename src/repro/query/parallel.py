@@ -20,33 +20,51 @@ number of input records.
 from __future__ import annotations
 
 import os
+import time
 from typing import Optional, Sequence, Union
 
+from .. import observe
 from ..common.errors import QueryError
 from ..common.util import chunk_evenly
 from ..common.variant import Variant
-from ..io.dataset import _load_source, _resolve_workers
+from ..io.dataset import _load_source_timed, _resolve_workers
 from .engine import QueryEngine, QueryResult
 
 __all__ = ["parallel_query_files"]
 
+#: per-file worker telemetry: (basename, parse seconds, feed seconds)
+_FileTiming = tuple[str, float, float]
+
 
 def _partial_worker(
     query_text: str, paths: list[str], backend: str
-) -> tuple[list[tuple[dict[str, Variant], list[list]]], int, int]:
+) -> tuple[list[tuple[dict[str, Variant], list[list]]], int, int, list[_FileTiming]]:
     """Read + partially aggregate one chunk of files (runs in a worker).
 
     The query is compiled from text in the worker because compiled
     predicates (closures) do not pickle; schemes built from the same text
-    are equal, so the exported states merge cleanly at the parent.
+    are equal, so the exported states merge cleanly at the parent.  Per-file
+    parse and feed durations are measured here and shipped back with the
+    states, so the parent's metrics registry can attribute worker time.
     """
     engine = QueryEngine(query_text)
     db = engine.make_db()
+    timings: list[_FileTiming] = []
     for path in paths:
-        records, _globals = _load_source(path)
+        records, _globals, parse_seconds = _load_source_timed(path)
+        feed_start = time.perf_counter()
         engine.feed(db, records, backend=backend)
+        timings.append(
+            (os.path.basename(path), parse_seconds, time.perf_counter() - feed_start)
+        )
         del records  # keep peak memory at one file per worker
-    return db.export_states(), db.num_offered, db.num_processed
+    return db.export_states(), db.num_offered, db.num_processed, timings
+
+
+def _record_worker_timings(timings: Sequence[_FileTiming]) -> None:
+    for basename, parse_seconds, feed_seconds in timings:
+        observe.timing("parallel.file.parse", parse_seconds, file=basename)
+        observe.timing("parallel.file.feed", feed_seconds, file=basename)
 
 
 def parallel_query_files(
@@ -72,21 +90,29 @@ def parallel_query_files(
         )
     n_workers = _resolve_workers(workers, len(path_list))
     db = engine.make_db()
-    if n_workers <= 1:
-        for path in path_list:
-            records, _globals = _load_source(path)
-            engine.feed(db, records, backend=backend)
-    else:
-        from concurrent.futures import ProcessPoolExecutor
+    with observe.span(
+        "parallel.query_files", files=len(path_list), workers=n_workers
+    ):
+        if n_workers <= 1:
+            _states, _offered, _processed, timings = _partial_worker(
+                query, path_list, backend
+            )
+            db.load_states(_states, offered=_offered, processed=_processed)
+            _record_worker_timings(timings)
+        else:
+            from concurrent.futures import ProcessPoolExecutor
 
-        chunks = [c for c in chunk_evenly(path_list, n_workers) if c]
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            futures = [
-                pool.submit(_partial_worker, query, chunk, backend)
-                for chunk in chunks
-            ]
-            # Merge in submission order for a deterministic result.
-            for future in futures:
-                states, offered, processed = future.result()
-                db.load_states(states, offered=offered, processed=processed)
-    return engine.finalize(db)
+            chunks = [c for c in chunk_evenly(path_list, n_workers) if c]
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                futures = [
+                    pool.submit(_partial_worker, query, chunk, backend)
+                    for chunk in chunks
+                ]
+                # Merge in submission order for a deterministic result.
+                for future in futures:
+                    states, offered, processed, timings = future.result()
+                    with observe.span("parallel.merge"):
+                        db.load_states(states, offered=offered, processed=processed)
+                    _record_worker_timings(timings)
+                    observe.count("parallel.states.shipped", len(states))
+        return engine.finalize(db)

@@ -9,8 +9,10 @@ building-block composition Section IV-A describes.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any, Mapping, Optional, Union
 
+from .. import observe
 from ..common.attribute import Attribute
 from ..common.errors import ChannelError
 from ..common.record import Record
@@ -38,8 +40,14 @@ class Channel:
         self.caliper = caliper
         self.config = config if isinstance(config, ConfigSet) else ConfigSet(config)
         self.active = True
-        #: snapshot records pushed through this channel (Table I's "Snapshots")
+        #: snapshot records pushed through this channel (Table I's "Snapshots");
+        #: counts only snapshots actually processed — attempts while the
+        #: channel is inactive land in :attr:`num_suppressed` instead.
         self.num_snapshots = 0
+        #: snapshot attempts suppressed because the channel was inactive
+        self.num_suppressed = 0
+        #: cumulative wall time spent in :meth:`flush` (Table I's flush cost)
+        self.flush_seconds = 0.0
         #: global (per-run) metadata records attached at flush
         self.globals: dict[str, Variant] = {}
 
@@ -96,6 +104,7 @@ class Channel:
         advance); ``extra`` carries trigger information.
         """
         if not self.active:
+            self.num_suppressed += 1
             return
         entries = dict(self.caliper.blackboard().snapshot_entries())
         for service in self._contributors:
@@ -119,11 +128,15 @@ class Channel:
         Global metadata entries are added to each output record, which is how
         per-process identity (e.g. rank) survives into multi-file datasets.
         """
+        start = time.perf_counter()
         records: list[Record] = []
         for service in self.services:
             records.extend(service.flush())
         if self.globals:
             records = [r.with_entries(self.globals) for r in records]
+        elapsed = time.perf_counter() - start
+        self.flush_seconds += elapsed
+        observe.timing("channel.flush", elapsed, channel=self.name)
         return records
 
     def finish(self) -> list[Record]:
@@ -136,6 +149,31 @@ class Channel:
         self.active = False
         self._finished = True
         return records
+
+    # -- self-profiling ---------------------------------------------------------
+
+    def stats_record(self) -> Record:
+        """This channel's runtime statistics as one snapshot record.
+
+        The Table I quantities — snapshots processed, aggregation entries,
+        memory footprint, flush time — in the system's own data model, so
+        overhead studies run as CalQL queries over channel stats records.
+        Services contribute their own numbers through
+        :meth:`~repro.runtime.services.base.Service.stats`, prefixed with
+        the service name (``observe.aggregate.db.entries``).
+        """
+        entries: dict[str, Variant] = {
+            "observe.kind": Variant.of("channel"),
+            "observe.channel": Variant.of(self.name),
+            "observe.active": Variant.of(self.active),
+            "observe.snapshots": Variant.of(self.num_snapshots),
+            "observe.snapshots.suppressed": Variant.of(self.num_suppressed),
+            "observe.flush.time": Variant.of(self.flush_seconds),
+        }
+        for service in self.services:
+            for key, value in service.stats().items():
+                entries[f"observe.{service.name}.{key}"] = Variant.of(value)
+        return Record.from_variants(entries)
 
     def service(self, name: str) -> Service:
         """Look up a service instance by name (for tests/introspection)."""

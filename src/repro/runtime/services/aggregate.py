@@ -116,3 +116,23 @@ class AggregateService(Service):
     def num_processed(self) -> int:
         with self._dbs_lock:
             return sum(db.num_processed for db in self._all_dbs.values())
+
+    def stats(self) -> dict[str, object]:
+        """Per-channel aggregation cost figures (the paper's Table I row).
+
+        Summed across the per-thread databases: unique entries, stream
+        counters, state-cell memory footprint, estimated wire size, and the
+        number of entries whose key was only partially extractable
+        (records missing one or more GROUP BY attributes).
+        """
+        with self._dbs_lock:
+            dbs = list(self._all_dbs.values())
+        return {
+            "db.threads": len(dbs),
+            "db.entries": sum(db.num_entries for db in dbs),
+            "db.offered": sum(db.num_offered for db in dbs),
+            "db.processed": sum(db.num_processed for db in dbs),
+            "db.memory_footprint": sum(db.memory_footprint() for db in dbs),
+            "db.wire_size": sum(db.wire_size() for db in dbs),
+            "db.key_misses": sum(db.num_partial_keys for db in dbs),
+        }

@@ -78,6 +78,14 @@ class Service:
     def finish(self) -> None:
         """Teardown at channel close."""
 
+    def stats(self) -> dict[str, object]:
+        """Self-profiling numbers for the channel's stats record.
+
+        Keys are dotted metric names scoped by the channel under
+        ``observe.<service>.<key>``; values must be plain scalars.
+        """
+        return {}
+
     # -- introspection ------------------------------------------------------------
 
     @classmethod

@@ -221,3 +221,65 @@ def test_wire_size_uses_cached_cell_count():
     db.process(Record({"function": "f", "time.duration": 1}))
     db.process(Record({"function": "g", "time.duration": 1}))
     assert db.wire_size() == empty + 2 * (8 * key_width + 8 * cells + 8)
+
+
+class TestIntrospectionInvariants:
+    """memory_footprint / wire_size / num_entries stay mutually consistent.
+
+    These are the numbers the observability layer exports (Table I's
+    ``# DB entries`` and memory columns), so their invariants get pinned
+    down explicitly here.
+    """
+
+    def test_footprint_grows_on_new_group_only(self):
+        db = AggregationDB(scheme_count_sum())
+        assert db.memory_footprint() == 0
+        db.process(Record({"function": "a", "time.duration": 1}))
+        one_group = db.memory_footprint()
+        assert one_group > 0
+        # updating an existing group must not allocate new state cells
+        db.process(Record({"function": "a", "time.duration": 2}))
+        assert db.memory_footprint() == one_group
+        # a new group adds exactly one group's worth of cells
+        db.process(Record({"function": "b", "time.duration": 1}))
+        assert db.memory_footprint() == 2 * one_group
+
+    def test_wire_size_matches_export_payload(self):
+        db = AggregationDB(scheme_count_sum())
+        for name in ("a", "b", "c", "a"):
+            db.process(Record({"function": name, "time.duration": 1}))
+        key_width = max(1, len(db.scheme.key))
+        expected = 16 + sum(
+            8 * key_width + 8 * sum(len(s) for s in states) + 8
+            for _key, states in db.export_states()
+        )
+        assert db.wire_size() == expected
+
+    def test_num_entries_tracks_export_states(self):
+        db = AggregationDB(scheme_count_sum())
+        assert db.num_entries == len(db.export_states()) == 0
+        for name in ("a", "b", "b", "c"):
+            db.process(Record({"function": name, "time.duration": 1}))
+            assert db.num_entries == len(db.export_states()) == len(db)
+
+    def test_invariants_survive_state_transfer(self):
+        src = AggregationDB(scheme_count_sum())
+        for name in ("a", "b"):
+            src.process(Record({"function": name, "time.duration": 1}))
+        dst = AggregationDB(scheme_count_sum())
+        dst.process(Record({"function": "b", "time.duration": 1}))
+        dst.load_states(src.export_states())
+        # 'b' merged, 'a' added: entries and footprint reflect the union
+        assert dst.num_entries == 2
+        assert dst.memory_footprint() == src.memory_footprint()
+        assert dst.wire_size() == src.wire_size()
+
+    def test_partial_keys_counted_lazily(self):
+        db = AggregationDB(scheme_count_sum(key=("function", "rank")))
+        assert db.num_partial_keys == 0
+        db.process(Record({"function": "f", "rank": 0, "time.duration": 1}))
+        assert db.num_partial_keys == 0
+        db.process(Record({"function": "g", "time.duration": 1}))  # no rank
+        db.process(Record({"time.duration": 1}))  # no key at all
+        assert db.num_partial_keys == 2
+        assert db.num_entries == 3

@@ -1,0 +1,122 @@
+"""Tests for the metric exporters (table, JSON payload, snapshot records)."""
+
+import json
+
+from repro.io import Dataset
+from repro.observe import (
+    MetricsRegistry,
+    flush_to_channel,
+    stats_table,
+    to_dict,
+    to_records,
+)
+
+
+def sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    with reg.span("query.run"):
+        with reg.span("query.scan", backend="columnar"):
+            pass
+        with reg.span("query.render"):
+            pass
+    reg.count("query.backend.decision", backend="columnar")
+    reg.count("columnstore.intern", 7, result="hit")
+    reg.gauge("mpi.ranks", 16)
+    return reg
+
+
+class TestToDict:
+    def test_shape_and_keys(self):
+        d = to_dict(sample_registry())
+        assert set(d) == {"counters", "gauges", "timers"}
+        assert d["gauges"] == {"mpi.ranks": 16}
+        assert d["counters"]["columnstore.intern{result=hit}"] == 7
+        assert "query.backend.decision{backend=columnar}" in d["counters"]
+
+    def test_timer_stats_fields(self):
+        d = to_dict(sample_registry())
+        run = d["timers"]["query.run"]
+        assert set(run) == {"count", "total", "mean", "min", "max"}
+        assert run["count"] == 1
+        assert run["mean"] == run["total"]
+        # nested span paths carry their tags in the flat key
+        assert "query.run/query.scan{backend=columnar}" in d["timers"]
+
+    def test_round_trips_through_json(self):
+        d = to_dict(sample_registry())
+        assert json.loads(json.dumps(d)) == d
+
+
+class TestToRecords:
+    def test_timer_record_labels(self):
+        records = to_records(sample_registry())
+        by_path = {
+            r.get("observe.path").value: r
+            for r in records
+            if r.get("observe.kind").value == "timer"
+        }
+        scan = by_path["query.run/query.scan"]
+        assert scan.get("observe.phase").value == "query.scan"
+        assert scan.get("observe.count").value == 1
+        assert scan.get("observe.time").value >= 0.0
+        assert scan.get("observe.backend").value == "columnar"
+
+    def test_counter_and_gauge_records(self):
+        records = to_records(sample_registry())
+        counters = [r for r in records if r.get("observe.kind").value == "counter"]
+        gauges = [r for r in records if r.get("observe.kind").value == "gauge"]
+        intern = next(
+            r for r in counters if r.get("observe.metric").value == "columnstore.intern"
+        )
+        assert intern.get("observe.value").value == 7
+        assert intern.get("observe.result").value == "hit"
+        assert gauges[0].get("observe.metric").value == "mpi.ranks"
+        assert gauges[0].get("observe.value").value == 16
+
+    def test_records_are_calql_queryable(self):
+        """The dogfooding loop: telemetry records answer a CalQL aggregation."""
+        reg = sample_registry()
+        ds = Dataset(to_records(reg))
+        res = ds.query(
+            "AGGREGATE sum(observe.time) GROUP BY observe.phase "
+            "ORDER BY observe.phase"
+        )
+        rows = dict(res.rows(["observe.phase", "sum#observe.time"]))
+        assert rows["query.run"] == reg.timer_total("query.run")
+        assert rows["query.scan"] == reg.timer_total(
+            "query.run/query.scan", backend="columnar"
+        )
+
+
+class TestStatsTable:
+    def test_header_and_rows(self):
+        text = stats_table(sample_registry())
+        first = text.splitlines()[0]
+        assert first == "observe: 3 timers, 2 counters, 1 gauges"
+        assert "timer (path)" in text
+        assert "query.run/query.render" in text
+        assert "mpi.ranks" in text
+
+    def test_empty_registry(self):
+        text = stats_table(MetricsRegistry())
+        assert text == "observe: 0 timers, 0 counters, 0 gauges"
+
+
+class TestFlushToChannel:
+    def test_telemetry_travels_the_snapshot_pipeline(self):
+        reg = sample_registry()
+        flushed = flush_to_channel(reg=reg)
+        assert len(flushed) == len(to_records(reg))
+        kinds = {r.get("observe.kind").value for r in flushed}
+        assert kinds == {"timer", "counter", "gauge"}
+
+    def test_channel_name_is_freed(self):
+        reg = sample_registry()
+        from repro.runtime.instrumentation import Caliper
+
+        cali = Caliper()
+        flush_to_channel(caliper=cali, reg=reg)
+        assert "observe.telemetry" not in cali.channels
+        # reusing the same runtime works (no stale name collision)
+        flushed = flush_to_channel(caliper=cali, reg=reg)
+        assert flushed

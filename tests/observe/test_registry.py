@@ -1,0 +1,173 @@
+"""Tests for the self-profiling metrics registry."""
+
+import threading
+
+from repro import observe
+from repro.observe import NULL_SPAN, MetricsRegistry
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        reg = MetricsRegistry()
+        reg.count("x")
+        reg.count("x", 4)
+        assert reg.counter_value("x") == 5
+
+    def test_tags_separate_series(self):
+        reg = MetricsRegistry()
+        reg.count("backend", backend="rows")
+        reg.count("backend", 2, backend="columnar")
+        assert reg.counter_value("backend", backend="rows") == 1
+        assert reg.counter_value("backend", backend="columnar") == 2
+        # no tags = sum across tag sets
+        assert reg.counter_value("backend") == 3
+
+    def test_missing_counter_is_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0
+
+
+class TestGauges:
+    def test_gauge_overwrites(self):
+        reg = MetricsRegistry()
+        reg.gauge("ranks", 8)
+        reg.gauge("ranks", 64)
+        assert reg.gauge_value("ranks") == 64
+
+    def test_missing_gauge_is_none(self):
+        assert MetricsRegistry().gauge_value("nope") is None
+
+
+class TestTimers:
+    def test_timing_stats(self):
+        reg = MetricsRegistry()
+        for s in (0.2, 0.1, 0.4):
+            reg.timing("t", s)
+        count, total, mn, mx = reg.timer_stats("t")
+        assert count == 3
+        assert total == 0.2 + 0.1 + 0.4
+        assert mn == 0.1 and mx == 0.4
+
+    def test_timer_total_sums_across_tags(self):
+        reg = MetricsRegistry()
+        reg.timing("load", 1.0, file="a")
+        reg.timing("load", 2.0, file="b")
+        assert reg.timer_total("load") == 3.0
+        assert reg.timer_total("load", file="a") == 1.0
+        assert reg.timer_total("absent") == 0.0
+
+
+class TestSpans:
+    def test_span_records_elapsed(self):
+        reg = MetricsRegistry()
+        with reg.span("work") as sp:
+            pass
+        assert sp.elapsed >= 0.0
+        assert reg.timer_stats("work")[0] == 1
+
+    def test_nested_spans_build_paths(self):
+        reg = MetricsRegistry()
+        with reg.span("outer"):
+            with reg.span("inner"):
+                with reg.span("leaf"):
+                    pass
+        assert reg.timer_paths() == ["outer", "outer/inner", "outer/inner/leaf"]
+
+    def test_sibling_spans_share_parent_path(self):
+        reg = MetricsRegistry()
+        with reg.span("run"):
+            with reg.span("a"):
+                pass
+            with reg.span("b"):
+                pass
+        assert "run/a" in reg.timer_paths() and "run/b" in reg.timer_paths()
+
+    def test_span_pops_on_exception(self):
+        reg = MetricsRegistry()
+        try:
+            with reg.span("outer"):
+                with reg.span("fails"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        # the stack unwound: a fresh span is top-level again
+        with reg.span("after"):
+            pass
+        assert "after" in reg.timer_paths()
+        assert "outer/fails" in reg.timer_paths()
+
+    def test_nesting_is_per_thread(self):
+        reg = MetricsRegistry()
+        seen = []
+
+        def worker(name):
+            with reg.span(name) as sp:
+                seen.append(sp.path)
+
+        with reg.span("main-side"):
+            t = threading.Thread(target=worker, args=("thread-side",))
+            t.start()
+            t.join()
+        # the other thread's span must NOT nest under this thread's span
+        assert seen == ["thread-side"]
+
+
+class TestModuleState:
+    def test_disabled_by_default_returns_null_span(self):
+        assert not observe.enabled()
+        assert observe.span("anything") is NULL_SPAN
+
+    def test_disabled_helpers_record_nothing(self):
+        before = observe.registry().snapshot()
+        observe.count("x")
+        observe.timing("y", 1.0)
+        observe.gauge("z", 3)
+        assert observe.registry().snapshot() == before
+
+    def test_collecting_swaps_in_fresh_registry_and_restores(self):
+        outer = observe.registry()
+        with observe.collecting() as reg:
+            assert observe.enabled()
+            assert observe.registry() is reg and reg is not outer
+            observe.count("inside")
+            assert reg.counter_value("inside") == 1
+        assert not observe.enabled()
+        assert observe.registry() is outer
+        assert outer.counter_value("inside") == 0
+
+    def test_nested_collecting_restores_inner_state(self):
+        with observe.collecting() as outer_reg:
+            with observe.collecting() as inner_reg:
+                observe.count("deep")
+            assert observe.registry() is outer_reg
+            observe.count("shallow")
+            assert inner_reg.counter_value("deep") == 1
+            assert outer_reg.counter_value("shallow") == 1
+            assert outer_reg.counter_value("deep") == 0
+
+    def test_enable_disable_roundtrip(self):
+        try:
+            reg = observe.enable()
+            assert observe.enabled() and reg is observe.registry()
+        finally:
+            observe.disable()
+            observe.reset()
+        assert not observe.enabled()
+
+
+class TestThreadSafety:
+    def test_concurrent_counts_are_exact(self):
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 500
+
+        def hammer():
+            for _ in range(per_thread):
+                reg.count("hits")
+                reg.timing("lap", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter_value("hits") == n_threads * per_thread
+        assert reg.timer_stats("lap")[0] == n_threads * per_thread

@@ -59,6 +59,70 @@ class TestCli:
         assert "error" in capsys.readouterr().err
 
 
+class TestStatsFlags:
+    QUERY = "AGGREGATE sum(time.duration) GROUP BY kernel"
+
+    def test_stats_prints_table_to_stderr(self, data_file, capsys):
+        code = main(["-q", self.QUERY, "--stats", data_file])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "hot" in captured.out  # query result untouched
+        assert captured.err.startswith("observe:")
+        assert "query.run" in captured.err
+
+    def test_json_stats_file(self, data_file, tmp_path, capsys):
+        import json
+
+        stats_path = tmp_path / "stats.json"
+        code = main(["-q", self.QUERY, "--json-stats", str(stats_path), data_file])
+        assert code == 0
+        payload = json.loads(stats_path.read_text())
+        assert set(payload) == {"counters", "gauges", "timers"}
+        assert any(key.startswith("query.run") for key in payload["timers"])
+        assert any(
+            key.startswith("query.backend.decision") for key in payload["counters"]
+        )
+        # no table unless --stats was also given
+        assert "observe:" not in capsys.readouterr().err
+
+    def test_json_stats_to_stdout(self, data_file, capsys):
+        import json
+
+        code = main(["-q", self.QUERY, "--json-stats", "-", "--output",
+                     "/dev/null", data_file])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "timers" in payload
+
+    def test_quiet_suppresses_table_but_not_json(self, data_file, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        code = main(["-q", self.QUERY, "--stats", "--quiet",
+                     "--json-stats", str(stats_path), data_file])
+        assert code == 0
+        assert capsys.readouterr().err == ""
+        assert stats_path.exists()
+
+    def test_quiet_suppresses_timing_summary(self, data_file, capsys):
+        code = main(["-q", self.QUERY, "--parallel", "2", "--timing",
+                     "--quiet", data_file])
+        assert code == 0
+        assert capsys.readouterr().err == ""
+
+    def test_collection_state_restored_after_run(self, data_file, capsys):
+        from repro import observe
+
+        main(["-q", self.QUERY, "--stats", data_file])
+        capsys.readouterr()
+        assert not observe.enabled()
+
+    def test_no_stats_emitted_on_error(self, data_file, tmp_path, capsys):
+        stats_path = tmp_path / "stats.json"
+        code = main(["-q", "AGGREGATE nonsense(x)",
+                     "--json-stats", str(stats_path), data_file])
+        assert code == 1
+        assert not stats_path.exists()
+
+
 class TestInspectionFlags:
     def test_list_attributes(self, data_file, capsys):
         code = main(["--list-attributes", data_file])

@@ -214,7 +214,19 @@ def test_columnar_db_interchangeable_with_streaming_db(recs):
     double = AggregationDB(scheme)
     double.process_all(recs)
     double.process_all(recs)
-    assert canonical(half.flush()) == canonical(double.flush())
+    # variance combine is mathematically but not bitwise associative, so
+    # compare float cells with a relative tolerance instead of as strings
+    by_group = lambda d: str(d.get("function"))  # noqa: E731 — groups are unique by key
+    got = sorted((r.to_plain() for r in half.flush()), key=by_group)
+    want = sorted((r.to_plain() for r in double.flush()), key=by_group)
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        assert set(a) == set(b)
+        for key in a:
+            if isinstance(a[key], float) or isinstance(b[key], float):
+                assert a[key] == pytest.approx(b[key], rel=1e-9, abs=1e-12)
+            else:
+                assert a[key] == b[key]
 
 
 @given(record_lists)

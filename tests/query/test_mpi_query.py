@@ -153,3 +153,70 @@ class TestGeneratedMode:
         # feeding 10 records takes micro-seconds; the 50 ms generation
         # sleep must not be charged to the measured local phase
         assert outcome.times.local < 0.02
+
+
+class TestReductionTelemetry:
+    """Per-level reduction-tree telemetry (Fig. 8-style wire/combine data)."""
+
+    def run(self, size=7, fanout=2):
+        records = make_records()
+        return MPIQueryRunner(QUERY, size=size, fanout=fanout).run_records(
+            split(records, size)
+        )
+
+    def test_levels_cover_the_tree(self):
+        outcome = self.run(size=7, fanout=2)  # complete binary tree: depth 2
+        assert sorted(outcome.wire_bytes_by_level) == [1, 2]
+        assert sorted(outcome.sends_by_level) == [1, 2]
+        # every non-root rank sends exactly once
+        assert sum(outcome.sends_by_level.values()) == 6
+        assert outcome.sends_by_level[1] == 2  # ranks 1, 2
+        assert outcome.sends_by_level[2] == 4  # ranks 3..6
+
+    def test_wire_bytes_sum_to_total_traffic(self):
+        outcome = self.run(size=9, fanout=3)
+        assert sum(outcome.wire_bytes_by_level.values()) == outcome.bytes
+        assert sum(outcome.sends_by_level.values()) == outcome.messages
+
+    def test_combine_time_recorded_per_level(self):
+        outcome = self.run(size=7)
+        # combine is keyed by the *child's* level; with 7 ranks both
+        # child levels appear and all combine times are real measurements
+        assert sorted(outcome.combine_seconds_by_level) == [1, 2]
+        assert all(t > 0.0 for t in outcome.combine_seconds_by_level.values())
+
+    def test_timing_summary_reports_levels(self):
+        outcome = self.run(size=7)
+        text = outcome.timing_summary()
+        lines = text.splitlines()
+        assert lines[0].startswith("total ")
+        assert "messages 6" in lines[0]
+        assert any(line.startswith("level 1: sends 2") for line in lines)
+        assert any(line.startswith("level 2: sends 4") for line in lines)
+
+    def test_telemetry_published_to_registry(self):
+        from repro import observe
+
+        records = make_records()
+        with observe.collecting() as reg:
+            outcome = MPIQueryRunner(QUERY, size=7, fanout=2).run_records(
+                split(records, 7)
+            )
+        assert reg.gauge_value("mpi.ranks") == 7
+        assert reg.gauge_value("mpi.fanout") == 2
+        assert reg.counter_value("mpi.messages") == outcome.messages
+        assert reg.counter_value("mpi.bytes") == outcome.bytes
+        for level, nbytes in outcome.wire_bytes_by_level.items():
+            assert reg.counter_value("mpi.wire.bytes", level=level) == nbytes
+        for level, seconds in outcome.combine_seconds_by_level.items():
+            assert reg.timer_total("mpi.combine", level=level) == seconds
+        # one local + one reduce sample per rank
+        assert reg.timer_stats("mpi.phase.local")[0] == 7
+
+    def test_no_registry_calls_when_disabled(self):
+        from repro import observe
+
+        assert not observe.enabled()
+        before = observe.registry().snapshot()
+        self.run(size=3)
+        assert observe.registry().snapshot() == before

@@ -72,7 +72,7 @@ class TestWorker:
         engine = QueryEngine(QUERY)
         db = engine.make_db()
         for chunk in (paths[:2], paths[2:]):
-            states, offered, processed = _partial_worker(QUERY, chunk, "auto")
+            states, offered, processed, _timings = _partial_worker(QUERY, chunk, "auto")
             db.load_states(states, offered=offered, processed=processed)
         assert db.num_processed == 100
         got = engine.finalize(db)
@@ -93,3 +93,48 @@ class TestParallelDatasetLoading:
         ds = Dataset.from_glob(str(tmp_path / "part-*.cali"), parallel=2)
         assert len(ds) == 100
         assert len(ds.sources) == 5
+
+
+class TestIngestionTelemetry:
+    """Per-file parse/feed time attribution across worker processes."""
+
+    def test_from_files_records_per_file_parse_time(self, many_files):
+        from repro import observe
+
+        with observe.collecting() as reg:
+            Dataset.from_files(many_files)
+        assert reg.timer_stats("ingest.from_files", files=5, workers=1)[0] == 1
+        # one parse sample per input file, tagged with its basename
+        parse = reg.timer_stats("ingest.file.parse", file="part-0.cali")
+        assert parse is not None and parse[0] == 1
+        assert reg.counter_value("ingest.records") == 100
+
+    def test_parallel_loading_ships_timings_back(self, many_files):
+        from repro import observe
+
+        with observe.collecting() as reg:
+            Dataset.from_files(many_files, parallel=2)
+        # durations measured in the workers land in the parent's registry
+        assert reg.timer_total("ingest.file.parse") > 0.0
+        assert reg.timer_stats("ingest.file.parse", file="part-3.cali")[0] == 1
+        assert reg.counter_value("ingest.records") == 100
+
+    def test_parallel_query_files_telemetry(self, many_files):
+        from repro import observe
+
+        with observe.collecting() as reg:
+            parallel_query_files(QUERY, many_files, workers=2)
+        assert reg.timer_stats("parallel.query_files", files=5, workers=2)[0] == 1
+        assert reg.timer_total("parallel.query_files/parallel.merge") > 0.0
+        # 3 kernels per file chunk, merged from 2 workers
+        assert reg.counter_value("parallel.states.shipped") > 0
+        for i in range(5):
+            feed = reg.timer_stats("parallel.file.feed", file=f"part-{i}.cali")
+            assert feed is not None and feed[0] == 1
+
+    def test_serial_fallback_still_attributes_files(self, many_files):
+        from repro import observe
+
+        with observe.collecting() as reg:
+            parallel_query_files(QUERY, many_files, workers=1)
+        assert reg.timer_stats("parallel.file.parse", file="part-0.cali")[0] == 1

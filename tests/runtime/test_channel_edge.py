@@ -95,3 +95,78 @@ class TestChannelEdge:
         cali = Caliper()
         chan = cali.create_channel("c", {"services": ["trace"]})
         assert "trace" in repr(chan)
+
+
+class TestChannelSelfProfiling:
+    def test_suppressed_snapshots_counted(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel("c", {"services": ["trace"]})
+        chan.push_snapshot()
+        chan.active = False
+        chan.push_snapshot()
+        chan.push_snapshot()
+        assert chan.num_snapshots == 1
+        assert chan.num_suppressed == 2
+
+    def test_flush_seconds_accumulate(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel("c", {"services": ["trace"]})
+        assert chan.flush_seconds == 0.0
+        chan.flush()
+        once = chan.flush_seconds
+        assert once > 0.0
+        chan.flush()
+        assert chan.flush_seconds > once
+
+    def test_stats_record_core_fields(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel("c", {"services": ["trace"]})
+        chan.push_snapshot()
+        chan.active = False
+        chan.push_snapshot()
+        chan.flush()
+        rec = chan.stats_record()
+        assert rec.get("observe.kind").value == "channel"
+        assert rec.get("observe.channel").value == "c"
+        assert rec.get("observe.active").value is False
+        assert rec.get("observe.snapshots").value == 1
+        assert rec.get("observe.snapshots.suppressed").value == 1
+        assert rec.get("observe.flush.time").value > 0.0
+
+    def test_stats_record_includes_aggregate_service_stats(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel(
+            "agg",
+            {
+                "services": ["event", "timer", "aggregate"],
+                "aggregate.config": "AGGREGATE count, sum(time.duration) "
+                "GROUP BY function",
+            },
+        )
+        with cali.region("function", "f"):
+            pass
+        with cali.region("function", "g"):
+            pass
+        rec = chan.stats_record()
+        assert rec.get("observe.aggregate.db.threads").value == 1
+        # groups "f", "g", plus the unkeyed group from end-of-region
+        # snapshots (taken after the blackboard popped the function entry)
+        assert rec.get("observe.aggregate.db.entries").value == 3
+        assert rec.get("observe.aggregate.db.key_misses").value == 1
+        assert rec.get("observe.aggregate.db.processed").value == 4
+        assert rec.get("observe.aggregate.db.memory_footprint").value > 0
+        assert rec.get("observe.aggregate.db.wire_size").value > 0
+
+    def test_stats_record_is_calql_queryable(self):
+        from repro.io import Dataset
+
+        cali = Caliper(clock=VirtualClock())
+        names = ("one", "two")
+        for name in names:
+            chan = cali.create_channel(name, {"services": ["trace"]})
+            chan.push_snapshot()
+        records = [cali.channels[name].stats_record() for name in names]
+        res = Dataset(records).query(
+            "AGGREGATE sum(observe.snapshots) GROUP BY observe.kind"
+        )
+        assert res.rows(["sum#observe.snapshots"]) == [(2,)]
