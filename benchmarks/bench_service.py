@@ -1,0 +1,121 @@
+"""Measure aggregation-service throughput and write ``BENCH_service.json``.
+
+Streams one synthetic profile-shaped record set into a local
+:class:`~repro.net.AggregationServer` over real TCP (loopback) at several
+shard counts, and reports ingest throughput, a mid-stream live-query
+latency, and the server-side merge time.  Results land in a small JSON
+file the CI smoke step and EXPERIMENTS notes can archive.
+
+Usage::
+
+    python benchmarks/bench_service.py                 # 200k records
+    python benchmarks/bench_service.py --smoke         # CI-sized quick pass
+    python benchmarks/bench_service.py --records 50000 --shards 1 2 4 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.common import Record  # noqa: E402
+from repro.net import AggregationServer, FlushClient  # noqa: E402
+
+SCHEME = (
+    "AGGREGATE count, sum(time.duration), min(time.duration), "
+    "max(time.duration) GROUP BY kernel, mpi.rank"
+)
+
+
+def synth_records(n: int) -> list[Record]:
+    return [
+        Record(
+            {
+                "kernel": f"k{i % 13}",
+                "mpi.rank": i % 64,
+                "time.duration": 0.25 + (i % 7) * 0.5,
+            }
+        )
+        for i in range(n)
+    ]
+
+
+def bench_shard_count(records: list[Record], shards: int, batch_size: int) -> dict:
+    with AggregationServer(SCHEME, shards=shards, queue_depth=256) as server:
+        client = FlushClient(*server.address, scheme=SCHEME, batch_size=batch_size)
+        t0 = time.perf_counter()
+        client.push_all(records)
+        client.flush()
+        ingest_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        result = server.run_query("AGGREGATE sum(count) GROUP BY kernel")
+        live_query_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        merged = server.merged_db()
+        merge_seconds = time.perf_counter() - t0
+
+        counters = dict(client.counters)
+        client.close()
+        assert merged.num_processed == len(records), "lost records"
+        return {
+            "shards": shards,
+            "ingest_seconds": ingest_seconds,
+            "records_per_second": len(records) / ingest_seconds,
+            "live_query_seconds": live_query_seconds,
+            "live_query_groups": len(result.records),
+            "merge_seconds": merge_seconds,
+            "entries": merged.num_entries,
+            "batches": counters["batches"],
+        }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=200_000)
+    parser.add_argument("--batch-size", type=int, default=2000)
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4, 8])
+    parser.add_argument(
+        "--smoke", action="store_true", help="CI-sized quick pass"
+    )
+    parser.add_argument(
+        "--output", default="BENCH_service.json", help="result file path"
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        args.records = min(args.records, 20_000)
+        args.shards = [1, 4]
+
+    records = synth_records(args.records)
+    runs = []
+    for shards in args.shards:
+        run = bench_shard_count(records, shards, args.batch_size)
+        runs.append(run)
+        print(
+            f"shards={shards}: {run['records_per_second']:,.0f} records/s "
+            f"ingest, live query {run['live_query_seconds'] * 1e3:.1f} ms, "
+            f"merge {run['merge_seconds'] * 1e3:.1f} ms"
+        )
+
+    payload = {
+        "benchmark": "aggregation-service",
+        "scheme": SCHEME,
+        "records": args.records,
+        "batch_size": args.batch_size,
+        "runs": runs,
+    }
+    with open(args.output, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Live aggregation service: stream profiles over TCP, query them mid-run.
+
+The paper's on-line aggregation service (Section IV-B) as a networked
+deployment:
+
+1. start an :class:`~repro.net.AggregationServer` — a sharded TCP daemon
+   holding one AggregationDB per shard;
+2. run two instrumented "application processes", each streaming its
+   snapshot records to the server through the ``netflush`` runtime
+   service while the workload executes;
+3. in the middle of the run, execute a live CalQL query against a
+   consistent merged snapshot of the in-flight shards — ingestion never
+   pauses;
+4. drain the final merged profile and show the server's own
+   ``observe.*`` telemetry, itself CalQL-queryable.
+
+The same topology works across machines: ``repro-query serve`` runs the
+daemon, ``repro-query live "<CalQL>"`` queries it from anywhere.
+
+Run: ``python examples/live_aggregation_service.py``
+"""
+
+from repro import Caliper, VirtualClock, run_query
+from repro.net import AggregationServer, live_query
+from repro.report import format_table
+
+SCHEME = "AGGREGATE count, sum(time.duration) GROUP BY function, process"
+KERNELS = [("solve", 3.0), ("exchange", 1.0), ("io", 0.5)]
+
+
+def run_process(name: str, port: int, iterations: int) -> None:
+    """One simulated application process streaming to the server."""
+    clock = VirtualClock()
+    cali = Caliper(clock=clock)
+    channel = cali.create_channel(
+        f"stream-{name}",
+        {
+            "services": ["event", "timer", "netflush"],
+            "netflush.port": port,
+            "netflush.stream": True,
+            "netflush.batch_size": 8,
+        },
+    )
+    channel.set_global("process", name)
+    cali.set("process", name)  # part of every snapshot -> usable as a key
+    for _ in range(iterations):
+        for kernel, cost in KERNELS:
+            with cali.region("function", kernel):
+                clock.advance(cost)
+    channel.finish()
+
+
+def main() -> None:
+    with AggregationServer(SCHEME, shards=4) as server:
+        host, port = server.address
+        print(f"server listening on {host}:{port} ({server.epoch=})\n")
+
+        # -- first producer runs to completion, second follows ---------------
+        run_process("rank-0", port, iterations=3)
+
+        # -- live query: consistent snapshot while state is in flight ---------
+        mid = live_query(
+            host,
+            port,
+            "AGGREGATE sum(count) WHERE function "
+            "GROUP BY function ORDER BY function",
+        )
+        print("live view after the first process:")
+        print(mid)
+        print()
+
+        run_process("rank-1", port, iterations=5)
+
+        # -- final merged profile ---------------------------------------------
+        final = server.run_query(
+            "AGGREGATE sum(count), sum(sum#time.duration) "
+            "WHERE function GROUP BY function ORDER BY function"
+        )
+        print("final merged profile (both processes):")
+        print(final)
+        print()
+
+        # -- the server profiles itself ----------------------------------------
+        stats = server.run_query(
+            "SELECT observe.metric, observe.value "
+            "WHERE observe.kind=counter ORDER BY observe.metric",
+            target="telemetry",
+        )
+        print("server telemetry (CalQL over observe.* records):")
+        print(stats)
+
+
+if __name__ == "__main__":
+    main()

@@ -55,6 +55,7 @@ from .common import (
 )
 from .io import Dataset, read_records, write_records
 from .mpi import LatencyBandwidthNetwork, SimWorld
+from .net import AggregationServer, FlushClient, live_query
 from .query import MPIQueryRunner, QueryEngine, QueryResult, run_query
 from .runtime import (
     Caliper,
@@ -110,4 +111,8 @@ __all__ = [
     # mpi
     "SimWorld",
     "LatencyBandwidthNetwork",
+    # net
+    "AggregationServer",
+    "FlushClient",
+    "live_query",
 ]

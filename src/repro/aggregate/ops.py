@@ -202,10 +202,7 @@ class SumOp(_NumericOp):
     def results(self, state: list) -> list[tuple[str, Variant]]:
         if state[0] == 0:
             return []
-        total = state[1]
-        if total == int(total):
-            return [(self.output_labels()[0], Variant(ValueType.INT, int(total)))]
-        return [(self.output_labels()[0], Variant(ValueType.DOUBLE, total))]
+        return [(self.output_labels()[0], _as_variant(state[1]))]
 
 
 class MinOp(_NumericOp):
@@ -627,13 +624,14 @@ class AliasedOp(AggregateOp):
 
 
 def _as_variant(x: float) -> Variant:
-    if x == int(x):
+    # Non-finite sums (overflow to inf, nan inputs) have no int form.
+    if math.isfinite(x) and x == int(x):
         return Variant(ValueType.INT, int(x))
     return Variant(ValueType.DOUBLE, x)
 
 
 def _num_str(x: float) -> str:
-    return str(int(x)) if x == int(x) else repr(x)
+    return str(int(x)) if math.isfinite(x) and x == int(x) else repr(x)
 
 
 class OperatorRegistry:

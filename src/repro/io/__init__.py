@@ -1,6 +1,6 @@
 """Record serialization: compact .cali-like, JSON lines, CSV; datasets."""
 
-from .calformat import CaliReader, CaliWriter, read_cali, write_cali
+from .calformat import CaliReader, CaliWriter, iter_records, read_cali, write_cali
 from .csvio import read_csv, write_csv
 from .dataset import Dataset, read_records, write_records
 from .jsonio import read_json, write_json
@@ -10,6 +10,7 @@ __all__ = [
     "CaliWriter",
     "read_cali",
     "write_cali",
+    "iter_records",
     "read_csv",
     "write_csv",
     "read_json",

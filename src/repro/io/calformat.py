@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import io
 import os
-from typing import Iterable, Optional, TextIO, Union
+from typing import Iterable, Iterator, Optional, TextIO, Union
 
 from ..common.attribute import AttrProperty, Attribute, AttributeRegistry
 from ..common.errors import FormatError
@@ -32,7 +32,7 @@ from ..common.node import PATH_SEPARATOR, ContextTree, Node
 from ..common.record import Record
 from ..common.variant import ValueType, Variant
 
-__all__ = ["CaliWriter", "CaliReader", "write_cali", "read_cali"]
+__all__ = ["CaliWriter", "CaliReader", "write_cali", "read_cali", "iter_records"]
 
 _HEADER = "__caliper__,1"
 _ESCAPES = {",": "\\,", "=": "\\=", "\\": "\\\\", "\n": "\\n", "\r": "\\r"}
@@ -197,23 +197,34 @@ class CaliReader:
         self._node_entry_cache: dict[int, dict[str, Variant]] = {}
 
     def read(self) -> list[Record]:
+        return list(self.iter())
+
+    def iter(self) -> Iterator[Record]:
+        """Yield records one at a time as their ``snap`` lines are parsed.
+
+        The incremental counterpart of :meth:`read`: only the context-tree
+        and attribute tables are held in memory (they are shared state the
+        snapshots reference), so arbitrarily long record streams — large
+        trace files, or a server replaying a spooled batch — are consumed
+        in constant memory.  Metadata lines (``attr``/``glob``/``node``)
+        update the reader's tables as they stream past; :attr:`globals` is
+        complete only once iteration finishes.
+        """
         header = self.stream.readline().rstrip("\n")
         if header != _HEADER:
             raise FormatError(f"not a cali file (header {header!r})")
-        records: list[Record] = []
         for lineno, line in enumerate(self.stream, start=2):
             line = line.rstrip("\n")
             if not line:
                 continue
             try:
-                records_from_line = self._parse_line(line)
+                record = self._parse_line(line)
             except FormatError:
                 raise
             except Exception as exc:
                 raise FormatError(f"malformed cali line {lineno}: {line!r} ({exc})") from exc
-            if records_from_line is not None:
-                records.append(records_from_line)
-        return records
+            if record is not None:
+                yield record
 
     def _parse_line(self, line: str) -> Optional[Record]:
         fields = _split_raw(line, ",")
@@ -284,6 +295,29 @@ def write_cali(
     for label, value in (globals_ or {}).items():
         writer.write_global(label, value)
     return writer.write_all(records)
+
+
+def iter_records(
+    path_or_stream: Union[str, os.PathLike, TextIO],
+) -> Iterator[Record]:
+    """Stream records from a ``.cali`` file in constant memory.
+
+    A generator over the file's snapshot records: nothing beyond the
+    shared context-tree/attribute tables and the record being yielded is
+    ever resident, which is what lets the network client replay multi-
+    megabyte spool files — and large-file ingest pipelines run — without
+    materializing the record list.  Per-run globals are *not* folded into
+    the records (they are only fully known at end of file); use
+    :func:`read_cali` when globals matter.
+
+    >>> for record in iter_records("trace.cali"):     # doctest: +SKIP
+    ...     db.process(record)
+    """
+    if isinstance(path_or_stream, (str, os.PathLike)):
+        with open(path_or_stream, "r", encoding="utf-8") as stream:
+            yield from CaliReader(stream).iter()
+        return
+    yield from CaliReader(path_or_stream).iter()
 
 
 def read_cali(

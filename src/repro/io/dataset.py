@@ -246,6 +246,8 @@ class Dataset:
         the workers and only ships small partial states back.
         """
         path_list = [os.fspath(p) for p in paths]
+        if not path_list:
+            return cls()
         workers = _resolve_workers(parallel, len(path_list))
         with observe.span("ingest.from_files", files=len(path_list), workers=workers):
             if workers > 1:

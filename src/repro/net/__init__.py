@@ -1,0 +1,50 @@
+"""repro.net — the networked on-line aggregation service.
+
+The paper's on-line aggregation service (Section IV-B) reduces snapshot
+streams in-process; this package exposes the same engine over TCP so many
+producer processes on many hosts can stream into one long-running,
+queryable aggregation daemon:
+
+* :mod:`.protocol` — a length-prefixed, versioned binary framing protocol
+  carrying snapshot-record batches and exported partial-DB states;
+* :mod:`.server` — :class:`AggregationServer`, a threaded daemon that
+  hash-routes incoming keys to N shard workers (one
+  :class:`~repro.aggregate.db.AggregationDB` per shard, lock-free within a
+  shard) and merges shards on demand for live CalQL queries;
+* :mod:`.client` — :class:`FlushClient`, a batching transport with
+  retry/backoff, timeouts, and disk spool (``.cali`` via
+  :mod:`repro.io.calformat`) replayed on reconnect;
+* :mod:`.service` — :class:`NetworkFlushService`, a runtime service so any
+  :class:`~repro.runtime.channel.Channel` flushes to a server instead of a
+  file.
+
+The mergeable transport unit is exactly what
+:meth:`AggregationDB.export_states`/:meth:`load_states` already provide —
+clients may pre-aggregate locally and ship per-key partial states whose
+size is proportional to the number of *groups*, not input records.
+"""
+
+from .client import FlushClient, live_query
+from .protocol import (
+    PROTOCOL_VERSION,
+    FrameTooLarge,
+    MessageType,
+    ProtocolError,
+    VersionMismatch,
+    read_frame,
+    write_frame,
+)
+from .server import AggregationServer
+
+__all__ = [
+    "AggregationServer",
+    "FlushClient",
+    "live_query",
+    "MessageType",
+    "ProtocolError",
+    "FrameTooLarge",
+    "VersionMismatch",
+    "PROTOCOL_VERSION",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,155 @@
+"""``repro-query serve`` / ``repro-query live``: the service commands.
+
+The on-line counterparts of the file-based query CLI.  ``serve`` runs an
+:class:`~repro.net.server.AggregationServer` in the foreground until
+interrupted; ``live`` connects to a running server and executes one CalQL
+query against a consistent snapshot of its in-flight state — ingestion is
+never paused.
+
+Examples::
+
+    repro-query serve --scheme "AGGREGATE count, sum(time.duration) \
+        GROUP BY function" --port 7744 --shards 8
+
+    repro-query live "AGGREGATE sum(time.duration) GROUP BY function \
+        ORDER BY function" --port 7744
+
+    repro-query live --target telemetry \
+        "SELECT observe.metric, observe.count WHERE observe.kind=counter" \
+        --port 7744 --interval 2 --count 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from ..common.errors import ReproError
+from .client import live_query
+from .server import AggregationServer
+
+__all__ = ["main", "build_serve_parser", "build_live_parser"]
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-query serve",
+        description="Run an on-line aggregation server for streaming clients.",
+    )
+    parser.add_argument(
+        "--scheme",
+        required=True,
+        help='aggregation scheme, e.g. "AGGREGATE count GROUP BY function"',
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="listen port (0 = pick a free port)"
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, help="number of aggregation shards"
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=128,
+        help="per-shard queue depth before backpressure stalls producers",
+    )
+    return parser
+
+
+def build_live_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-query live",
+        description="Run a CalQL query against a live aggregation server.",
+    )
+    parser.add_argument("query", help="CalQL query expression")
+    parser.add_argument("--host", default="127.0.0.1", help="server address")
+    parser.add_argument("--port", type=int, required=True, help="server port")
+    parser.add_argument(
+        "--target",
+        choices=("aggregate", "telemetry"),
+        default="aggregate",
+        help="query the aggregated data (default) or the server's own metrics",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=10.0, help="connection timeout in seconds"
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        metavar="SEC",
+        help="repeat the query every SEC seconds (watch mode)",
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        metavar="N",
+        help="with --interval, stop after N iterations",
+    )
+    return parser
+
+
+def serve_main(argv: Sequence[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+    try:
+        server = AggregationServer(
+            args.scheme,
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            queue_depth=args.queue_depth,
+        )
+        server.start()
+    except (ReproError, OSError) as exc:
+        print(f"repro-query serve: error: {exc}", file=sys.stderr)
+        return 1
+    host, port = server.address
+    print(
+        f"serving {args.scheme!r} on {host}:{port} "
+        f"({args.shards} shards, epoch {server.epoch})",
+        file=sys.stderr,
+    )
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("draining...", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0
+
+
+def live_main(argv: Sequence[str]) -> int:
+    args = build_live_parser().parse_args(argv)
+    iteration = 0
+    while True:
+        iteration += 1
+        try:
+            result = live_query(
+                args.host, args.port, args.query, target=args.target, timeout=args.timeout
+            )
+        except (ReproError, OSError) as exc:
+            print(f"repro-query live: error: {exc}", file=sys.stderr)
+            return 1
+        print(str(result))
+        if not args.interval or (args.count and iteration >= args.count):
+            return 0
+        sys.stdout.flush()
+        time.sleep(args.interval)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] not in ("serve", "live"):
+        print("usage: repro-query {serve,live} ...", file=sys.stderr)
+        return 2
+    command, rest = argv[0], argv[1:]
+    if command == "serve":
+        return serve_main(rest)
+    return live_main(rest)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

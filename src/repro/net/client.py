@@ -1,0 +1,488 @@
+"""The streaming flush client.
+
+:class:`FlushClient` is the producer-side transport: it batches snapshot
+records, ships them to an :class:`~repro.net.server.AggregationServer`
+over the framing protocol, and — crucially — keeps working when the
+server does not:
+
+* **Write-ahead spool** — every batch is written to a ``.cali`` spool
+  file (:mod:`repro.io.calformat`) *before* the first send attempt, so a
+  batch in flight when the connection dies is never lost.
+* **Retry with exponential backoff** — each delivery makes up to
+  ``retries + 1`` attempts with exponentially growing, capped sleeps;
+  when they are exhausted the batch simply stays spooled and the client
+  returns to the caller (profiling must never block the application).
+* **Replay on reconnect** — pending spool files are replayed in sequence
+  order (streamed through :func:`repro.io.calformat.iter_records`, so
+  replay is constant-memory) before new data is sent.
+* **Exactly-once** — batches carry monotonically increasing sequence
+  numbers.  Within one server epoch the server skips sequences it has
+  already folded, so a replay after a lost ACK cannot double-count.  When
+  a reconnect reveals a *new* epoch (the server was restarted and its
+  state died), every previously acknowledged batch is put back on the
+  pending list and replayed from the spool — no update is lost to a
+  crash, and none is duplicated.
+
+The spool therefore acts as a write-ahead log for the whole session; it
+is deleted at :meth:`close` (``delete_spool=False`` keeps it for
+inspection).  The memory cost is bounded (one batch), the disk cost is
+proportional to the records streamed since the client was opened — the
+price of exactly-once delivery against a crash-restartable server; see
+``docs/service.md`` for the trade-off discussion.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import tempfile
+import time
+import uuid
+from typing import TYPE_CHECKING, Iterable, Optional, Union
+
+from ..aggregate.db import AggregationDB
+from ..aggregate.scheme import AggregationScheme
+from ..common.errors import ReproError
+from ..common.record import Record
+from ..io.calformat import iter_records, write_cali
+from .protocol import (
+    MAX_PAYLOAD,
+    MessageType,
+    ProtocolError,
+    Truncated,
+    read_message,
+    records_to_wire,
+    states_to_wire,
+    write_message,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..query.engine import QueryResult
+
+__all__ = ["FlushClient", "live_query"]
+
+
+class _Fatal(ReproError):
+    """A server refusal that retrying cannot fix (e.g. scheme mismatch)."""
+
+
+class FlushClient:
+    """Batching, spooling, replaying transport to an aggregation server.
+
+    >>> client = FlushClient("127.0.0.1", 9100, batch_size=500)  # doctest: +SKIP
+    >>> for record in snapshots:                                  # doctest: +SKIP
+    ...     client.push(record)
+    >>> client.flush(); client.close()                            # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        scheme: Union[AggregationScheme, str, None] = None,
+        client_id: Optional[str] = None,
+        batch_size: int = 256,
+        timeout: float = 5.0,
+        retries: int = 3,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        spool_dir: Optional[str] = None,
+        max_payload: int = MAX_PAYLOAD,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.host = host
+        self.port = port
+        self.scheme_text = (
+            scheme.describe() if isinstance(scheme, AggregationScheme) else scheme
+        )
+        self.client_id = client_id or uuid.uuid4().hex
+        self.batch_size = batch_size
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self.max_payload = max_payload
+        self._own_spool = spool_dir is None
+        self.spool_dir = spool_dir or tempfile.mkdtemp(prefix="repro-spool-")
+        os.makedirs(self.spool_dir, exist_ok=True)
+
+        self._buffer: list[Record] = []
+        self._next_seq = 0
+        #: seq -> (kind, spool path); not yet acknowledged in the current epoch
+        self._pending: dict[int, tuple[str, str]] = {}
+        #: seq -> (kind, spool path); acknowledged by the current epoch
+        self._acked: dict[int, tuple[str, str]] = {}
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._wfile = None
+        self._epoch: Optional[str] = None
+        self._closed = False
+
+        #: delivery counters (batches spooled / acked / replayed, reconnects…)
+        self.counters = {
+            "records": 0,
+            "batches": 0,
+            "acked": 0,
+            "spilled": 0,
+            "replayed": 0,
+            "reconnects": 0,
+            "epoch_changes": 0,
+        }
+
+    # -- streaming interface ------------------------------------------------------
+
+    def push(self, record: Record) -> None:
+        """Buffer one record; ships automatically at ``batch_size``."""
+        self._check_open()
+        self._buffer.append(record)
+        if len(self._buffer) >= self.batch_size:
+            self._ship_buffer()
+
+    def push_all(self, records: Iterable[Record]) -> None:
+        for record in records:
+            self.push(record)
+
+    def send_records(self, records: Iterable[Record]) -> bool:
+        """Buffer and ship ``records``; True if nothing is left spooled."""
+        self.push_all(records)
+        return self.flush()
+
+    def flush(self) -> bool:
+        """Ship the partial buffer and retry everything spooled.
+
+        Returns True when every batch so far has been acknowledged by the
+        current server epoch — False means data is safely spooled but the
+        server is (still) unreachable.
+        """
+        self._check_open()
+        if self._buffer:
+            self._ship_buffer()
+        else:
+            self._deliver_pending()
+        if not self._pending:
+            self._probe_epoch()
+        return not self._pending
+
+    def _probe_epoch(self) -> None:
+        """Verify acknowledged batches still live in the current server epoch.
+
+        With nothing pending, delivery alone never touches the network — a
+        server that crashed *after* acknowledging everything would go
+        unnoticed and its state silently lost.  So when there are acked
+        batches, make one cheap round-trip; a dead socket (or a fresh
+        handshake finding a new epoch) re-pends the acked batches, which are
+        then redelivered from the write-ahead spool.
+        """
+        if not self._acked:
+            return
+        try:
+            if self._sock is not None:
+                write_message(self._wfile, MessageType.STATS, {})
+                reply, _body = read_message(self._rfile, self.max_payload)
+                if reply is MessageType.RESULT:
+                    return
+                raise ProtocolError(f"expected RESULT, got {reply.name}")
+            self._ensure_connected()  # handshake performs the epoch check
+        except (OSError, EOFError, ProtocolError, ReproError):
+            self._disconnect()
+            try:
+                self._ensure_connected()
+            except (OSError, EOFError, ProtocolError, ReproError):
+                return  # still unreachable; the spool keeps everything
+        if self._pending:
+            self._deliver_pending()
+
+    def send_states(self, db: AggregationDB) -> bool:
+        """Ship a pre-aggregated partial database (groups, not records).
+
+        The wire unit of PF-OLA-style distributed aggregation: payload size
+        is proportional to the number of *keys* in ``db``, not the records
+        folded into it.  The database is exported as-is; the caller decides
+        when to :meth:`AggregationDB.clear` it.
+        """
+        self._check_open()
+        seq = self._next_seq
+        self._next_seq += 1
+        path = os.path.join(self.spool_dir, f"batch-{seq:08d}.states.json")
+        wire = {
+            "scheme": db.scheme.describe(),
+            "groups": states_to_wire(db.export_states()),
+            "offered": db.num_offered,
+            "processed": db.num_processed,
+        }
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(wire, stream, separators=(",", ":"))
+        self._pending[seq] = ("states", path)
+        self.counters["batches"] += 1
+        self._deliver_pending()
+        return not self._pending
+
+    @property
+    def num_spooled(self) -> int:
+        """Batches currently awaiting (re)delivery."""
+        return len(self._pending)
+
+    # -- batch lifecycle ---------------------------------------------------------
+
+    def _ship_buffer(self) -> None:
+        records, self._buffer = self._buffer, []
+        seq = self._next_seq
+        self._next_seq += 1
+        path = os.path.join(self.spool_dir, f"batch-{seq:08d}.cali")
+        # Write-ahead: the batch is on disk before the first send attempt.
+        write_cali(path, records)
+        self._pending[seq] = ("records", path)
+        self.counters["records"] += len(records)
+        self.counters["batches"] += 1
+        self._deliver_pending()
+
+    def _deliver_pending(self) -> bool:
+        """Try to deliver every pending batch, oldest first."""
+        if not self._pending:
+            return True
+        attempt = 0
+        while True:
+            try:
+                self._ensure_connected()
+                for seq in sorted(self._pending):
+                    kind, path = self._pending[seq]
+                    self._send_one(seq, kind, path)
+                    self._acked[seq] = self._pending.pop(seq)
+                    self.counters["acked"] += 1
+                return True
+            except _Fatal:
+                raise
+            except (OSError, EOFError, Truncated):
+                # Connection refused / reset / closed mid-frame: back off,
+                # retry, and finally leave the batches spooled.
+                self._disconnect()
+                attempt += 1
+                if attempt > self.retries:
+                    self.counters["spilled"] += len(self._pending)
+                    return False
+                time.sleep(min(self.backoff * (2 ** (attempt - 1)), self.backoff_max))
+            except (ProtocolError, ReproError):
+                # The server answered but refused — don't hammer it.
+                self._disconnect()
+                raise
+
+    def _send_one(self, seq: int, kind: str, path: str) -> None:
+        if kind == "records":
+            # Stream the spool file; memory stays bounded by one batch.
+            body = {
+                "seq": seq,
+                "records": records_to_wire(iter_records(path)),
+            }
+            mtype = MessageType.RECORDS
+        else:
+            with open(path, "r", encoding="utf-8") as stream:
+                body = json.load(stream)
+            body["seq"] = seq
+            mtype = MessageType.STATES
+        write_message(self._wfile, mtype, body)
+        reply, ack = read_message(self._rfile, self.max_payload)
+        if reply is MessageType.ERROR:
+            raise _Fatal(f"server refused batch {seq}: {ack.get('reason')}")
+        if reply is not MessageType.ACK or ack.get("seq") != seq:
+            raise ProtocolError(f"expected ACK for seq {seq}, got {reply.name} {ack}")
+        if ack.get("duplicate"):
+            self.counters["replayed"] += 1
+
+    # -- connection management ----------------------------------------------------
+
+    def _ensure_connected(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.settimeout(self.timeout)
+        rfile = sock.makefile("rb")
+        wfile = sock.makefile("wb")
+        try:
+            hello = {"client": self.client_id}
+            if self.scheme_text is not None:
+                hello["scheme"] = self.scheme_text
+            write_message(wfile, MessageType.HELLO, hello)
+            mtype, body = read_message(rfile, self.max_payload)
+        except Exception:
+            _close_all(sock, rfile, wfile)
+            raise
+        if mtype is MessageType.ERROR:
+            _close_all(sock, rfile, wfile)
+            raise _Fatal(f"server rejected handshake: {body.get('reason')}")
+        if mtype is not MessageType.HELLO_ACK:
+            _close_all(sock, rfile, wfile)
+            raise ProtocolError(f"expected HELLO_ACK, got {mtype.name}")
+        epoch = str(body.get("epoch", ""))
+        if self._epoch is not None and epoch != self._epoch:
+            # Server restarted: everything it acknowledged died with it.
+            # Move acked batches back to pending; the spool still has them.
+            self._pending.update(self._acked)
+            self._acked.clear()
+            self.counters["epoch_changes"] += 1
+        self._epoch = epoch
+        self._sock, self._rfile, self._wfile = sock, rfile, wfile
+        self.counters["reconnects"] += 1
+
+    def _disconnect(self) -> None:
+        sock, self._sock = self._sock, None
+        rfile, self._rfile = self._rfile, None
+        wfile, self._wfile = self._wfile, None
+        if sock is not None:
+            _close_all(sock, rfile, wfile)
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    # -- request/response --------------------------------------------------------
+
+    def _request(self, mtype: MessageType, body: dict) -> dict:
+        """One request expecting a RESULT, with the delivery retry loop."""
+        attempt = 0
+        while True:
+            try:
+                self._ensure_connected()
+                if not self._deliver_pending():
+                    raise OSError("spooled batches not yet delivered")
+                write_message(self._wfile, mtype, body)
+                reply, payload = read_message(self._rfile, self.max_payload)
+                if reply is MessageType.ERROR:
+                    raise _Fatal(f"server error: {payload.get('reason')}")
+                if reply is not MessageType.RESULT:
+                    raise ProtocolError(f"expected RESULT, got {reply.name}")
+                return payload
+            except _Fatal:
+                raise
+            except (OSError, EOFError, Truncated):
+                self._disconnect()
+                attempt += 1
+                if attempt > self.retries:
+                    raise ReproError(
+                        f"aggregation server at {self.host}:{self.port} unreachable"
+                    ) from None
+                time.sleep(min(self.backoff * (2 ** (attempt - 1)), self.backoff_max))
+
+    def drain(self) -> list[Record]:
+        """Flush everything, then fetch the merged aggregation results."""
+        self._check_open()
+        if self._buffer:
+            self._ship_buffer()
+        payload = self._request(MessageType.DRAIN, {})
+        return _result_records(payload)
+
+    def query(self, text: str, target: str = "aggregate") -> "QueryResult":
+        """Run a live CalQL query against the server's in-flight state."""
+        self._check_open()
+        payload = self._request(MessageType.QUERY, {"q": text, "target": target})
+        return _result_to_query_result(payload)
+
+    def stats_records(self) -> list[Record]:
+        """The server's telemetry as CalQL-queryable records."""
+        self._check_open()
+        return _result_records(self._request(MessageType.STATS, {}))
+
+    # -- teardown ------------------------------------------------------------------
+
+    def close(self, delete_spool: bool = True) -> None:
+        """Flush best-effort, say goodbye, and (by default) drop the spool."""
+        if self._closed:
+            return
+        try:
+            if self._buffer:
+                self._ship_buffer()
+            else:
+                self._deliver_pending()
+        except ReproError:
+            pass
+        if self._wfile is not None:
+            try:
+                write_message(self._wfile, MessageType.BYE, {})
+            except (OSError, ValueError):
+                pass
+        self._disconnect()
+        self._closed = True
+        if delete_spool:
+            for _, path in list(self._pending.values()) + list(self._acked.values()):
+                _unlink_quietly(path)
+            if self._own_spool:
+                try:
+                    os.rmdir(self.spool_dir)
+                except OSError:
+                    pass
+
+    def __enter__(self) -> "FlushClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError("flush client is closed")
+
+    def __repr__(self) -> str:
+        return (
+            f"FlushClient({self.host}:{self.port}, batches={self.counters['batches']}, "
+            f"pending={len(self._pending)})"
+        )
+
+
+# -- one-shot helpers ------------------------------------------------------------
+
+
+def _result_records(payload: dict) -> list[Record]:
+    from .protocol import records_from_wire
+
+    return records_from_wire(payload.get("records", []))
+
+
+def _result_to_query_result(payload: dict) -> "QueryResult":
+    from ..query.engine import QueryResult  # deferred: query sits above net
+
+    return QueryResult(
+        _result_records(payload),
+        payload.get("columns") or (),
+        payload.get("format"),
+    )
+
+
+def live_query(
+    host: str,
+    port: int,
+    text: str,
+    target: str = "aggregate",
+    timeout: float = 10.0,
+) -> "QueryResult":
+    """One-shot live query: connect, ask, disconnect.
+
+    Runs ``text`` against a consistent merged snapshot of the server's
+    in-flight shards without interrupting ingestion (the ``repro-query
+    live`` command is a thin wrapper over this).
+    """
+    client = FlushClient(host, port, timeout=timeout, retries=0)
+    try:
+        return client.query(text, target=target)
+    finally:
+        client.close()
+
+
+def _close_all(sock, rfile, wfile) -> None:
+    for closable in (rfile, wfile):
+        if closable is not None:
+            try:
+                closable.close()
+            except (OSError, ValueError):
+                pass
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def _unlink_quietly(path: str) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

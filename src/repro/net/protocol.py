@@ -1,0 +1,322 @@
+"""The wire protocol: length-prefixed, versioned binary frames.
+
+Every message travelling between :class:`~repro.net.client.FlushClient`
+and :class:`~repro.net.server.AggregationServer` is one *frame*::
+
+    offset  size  field
+    0       4     magic  b"RAGG"
+    4       1     protocol version (currently 1)
+    5       1     message type (MessageType)
+    6       2     flags (reserved, 0)
+    8       4     payload length N (big-endian unsigned)
+    12      N     payload (UTF-8 JSON)
+
+The framing layer is deliberately binary and fixed — a reader can always
+resynchronize trust boundaries from the magic and knows the exact byte
+count to expect — while payloads are JSON so they stay debuggable and
+need no third-party serializer.  Pickle is never used on the wire: the
+server must survive arbitrary hostile bytes, and unpickling is code
+execution.
+
+Typed payload helpers round-trip the framework's data through plain JSON:
+
+* records — ``{label: [type_name, raw_value]}`` per record, preserving
+  :class:`~repro.common.variant.Variant` types exactly;
+* exported partial-DB states — ``[key entries, state cells]`` pairs where
+  cells are numbers, ``null``, nested lists, or tagged variants
+  (``{"__v": [type, value]}`` — :class:`FirstOp` keeps a Variant cell).
+
+Failure behaviour is part of the contract: a frame with a bad magic, an
+unknown version, or an oversized declared length raises a specific
+:class:`ProtocolError` subclass *before* any payload is read, so a server
+can reject garbage cheaply and keep the listening socket healthy.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from typing import BinaryIO, Iterable, Optional, Sequence
+
+from ..common.errors import ReproError
+from ..common.record import Record
+from ..common.variant import ValueType, Variant
+
+__all__ = [
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "MAX_PAYLOAD",
+    "HEADER",
+    "MessageType",
+    "ProtocolError",
+    "Truncated",
+    "FrameTooLarge",
+    "VersionMismatch",
+    "write_frame",
+    "read_frame",
+    "write_message",
+    "read_message",
+    "parse_body",
+    "records_to_wire",
+    "records_from_wire",
+    "states_to_wire",
+    "states_from_wire",
+]
+
+MAGIC = b"RAGG"
+PROTOCOL_VERSION = 1
+
+#: default upper bound on a frame payload (refuse anything larger)
+MAX_PAYLOAD = 16 * 1024 * 1024
+
+HEADER = struct.Struct(">4sBBHI")
+
+
+class ProtocolError(ReproError):
+    """Malformed or unacceptable wire data."""
+
+
+class Truncated(ProtocolError):
+    """The peer closed the connection mid-frame."""
+
+
+class FrameTooLarge(ProtocolError):
+    """Declared payload length exceeds the receiver's limit."""
+
+
+class VersionMismatch(ProtocolError):
+    """Frame carries an unsupported protocol version."""
+
+    def __init__(self, got: int) -> None:
+        super().__init__(
+            f"unsupported protocol version {got} (speaking {PROTOCOL_VERSION})"
+        )
+        self.got = got
+
+
+class MessageType(enum.IntEnum):
+    """Frame type tags (one byte on the wire)."""
+
+    HELLO = 1  # client handshake: version, client id, scheme text
+    HELLO_ACK = 2  # server accepts: epoch id, shard count
+    RECORDS = 3  # batch of snapshot records (seq-numbered)
+    STATES = 4  # exported partial-DB states (seq-numbered)
+    ACK = 5  # server confirms a seq-numbered batch
+    QUERY = 6  # CalQL text to run against the merged live state
+    RESULT = 7  # record set reply (query / drain / stats)
+    STATS = 8  # request server telemetry records
+    ERROR = 9  # refusal; payload carries a reason
+    DRAIN = 10  # flush request: merged results of everything ingested
+    BYE = 11  # orderly goodbye
+
+
+# -- frame I/O ----------------------------------------------------------------
+
+
+def write_frame(
+    stream: BinaryIO,
+    msg_type: int,
+    payload: bytes,
+    version: int = PROTOCOL_VERSION,
+) -> int:
+    """Write one frame; returns the number of bytes written."""
+    data = HEADER.pack(MAGIC, version, int(msg_type), 0, len(payload)) + payload
+    stream.write(data)
+    stream.flush()
+    return len(data)
+
+
+def _read_exact(stream: BinaryIO, n: int, context: str) -> bytes:
+    buf = b""
+    while len(buf) < n:
+        chunk = stream.read(n - len(buf))
+        if not chunk:
+            raise Truncated(
+                f"connection closed mid-{context} ({len(buf)}/{n} bytes read)"
+            )
+        buf += chunk
+    return buf
+
+
+def read_frame(
+    stream: BinaryIO, max_payload: int = MAX_PAYLOAD
+) -> tuple[MessageType, bytes]:
+    """Read one frame; returns ``(message type, payload bytes)``.
+
+    Raises :class:`Truncated` on a short read, :class:`ProtocolError` on a
+    bad magic or unknown message type, :class:`VersionMismatch` /
+    :class:`FrameTooLarge` for their namesakes — all *before* reading a
+    potentially attacker-sized payload.
+    """
+    header = _read_exact(stream, HEADER.size, "header")
+    magic, version, msg_type, _flags, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise VersionMismatch(version)
+    if length > max_payload:
+        raise FrameTooLarge(
+            f"declared payload of {length} bytes exceeds limit {max_payload}"
+        )
+    try:
+        mtype = MessageType(msg_type)
+    except ValueError:
+        raise ProtocolError(f"unknown message type {msg_type}") from None
+    payload = _read_exact(stream, length, "payload") if length else b""
+    return mtype, payload
+
+
+# -- message (frame + JSON body) I/O ------------------------------------------
+
+
+def write_message(
+    stream: BinaryIO, msg_type: int, body: dict, version: int = PROTOCOL_VERSION
+) -> int:
+    """Serialize ``body`` as JSON and send it as one frame."""
+    payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    return write_frame(stream, msg_type, payload, version)
+
+
+def parse_body(mtype: MessageType, payload: bytes) -> dict:
+    """Decode a frame payload as a JSON object (empty payload = ``{}``)."""
+    if not payload:
+        return {}
+    try:
+        body = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed {mtype.name} payload: {exc}") from exc
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            f"{mtype.name} payload must be a JSON object, got {type(body).__name__}"
+        )
+    return body
+
+
+def read_message(
+    stream: BinaryIO, max_payload: int = MAX_PAYLOAD
+) -> tuple[MessageType, dict]:
+    """Read one frame and decode its JSON body (must be an object)."""
+    mtype, payload = read_frame(stream, max_payload)
+    return mtype, parse_body(mtype, payload)
+
+
+# -- typed payload encoding ----------------------------------------------------
+
+
+def _variant_to_wire(v: Variant) -> list:
+    return [v.type.value, v.value]
+
+
+def _variant_from_wire(pair: object) -> Variant:
+    if (
+        not isinstance(pair, (list, tuple))
+        or len(pair) != 2
+        or not isinstance(pair[0], str)
+    ):
+        raise ProtocolError(f"malformed wire variant {pair!r}")
+    type_name, raw = pair
+    try:
+        return Variant(ValueType.from_name(type_name), raw)
+    except ReproError as exc:
+        raise ProtocolError(f"malformed wire variant {pair!r}: {exc}") from exc
+
+
+def records_to_wire(records: Iterable[Record]) -> list:
+    """Encode records as JSON-able, type-preserving objects."""
+    return [
+        {label: _variant_to_wire(value) for label, value in record.items()}
+        for record in records
+    ]
+
+
+def records_from_wire(obj: object) -> list[Record]:
+    """Decode :func:`records_to_wire` output back into records."""
+    if not isinstance(obj, list):
+        raise ProtocolError(f"record batch must be a list, got {type(obj).__name__}")
+    out: list[Record] = []
+    for item in obj:
+        if not isinstance(item, dict):
+            raise ProtocolError(f"wire record must be an object, got {item!r}")
+        out.append(
+            Record.from_variants(
+                {str(label): _variant_from_wire(pair) for label, pair in item.items()}
+            )
+        )
+    return out
+
+
+def _cell_to_wire(cell: object) -> object:
+    if isinstance(cell, Variant):
+        return {"__v": _variant_to_wire(cell)}
+    if isinstance(cell, list):
+        return [_cell_to_wire(c) for c in cell]
+    return cell  # number / bool / str / None — JSON-native
+
+
+def _cell_from_wire(cell: object) -> object:
+    if isinstance(cell, dict):
+        if set(cell) != {"__v"}:
+            raise ProtocolError(f"malformed state cell {cell!r}")
+        return _variant_from_wire(cell["__v"])
+    if isinstance(cell, list):
+        return [_cell_from_wire(c) for c in cell]
+    return cell
+
+
+def states_to_wire(
+    states: Sequence[tuple[dict[str, Variant], list[list]]],
+) -> list:
+    """Encode :meth:`AggregationDB.export_states` output for the wire."""
+    return [
+        [
+            {label: _variant_to_wire(v) for label, v in entries.items()},
+            [[_cell_to_wire(c) for c in cells] for cells in op_states],
+        ]
+        for entries, op_states in states
+    ]
+
+
+def states_from_wire(obj: object) -> list[tuple[dict[str, Variant], list[list]]]:
+    """Decode :func:`states_to_wire` output for :meth:`AggregationDB.load_states`."""
+    if not isinstance(obj, list):
+        raise ProtocolError(f"state batch must be a list, got {type(obj).__name__}")
+    out = []
+    for item in obj:
+        if not isinstance(item, (list, tuple)) or len(item) != 2:
+            raise ProtocolError(f"wire state group must be a pair, got {item!r}")
+        entries_obj, op_states = item
+        if not isinstance(entries_obj, dict) or not isinstance(op_states, list):
+            raise ProtocolError(f"malformed wire state group {item!r}")
+        entries = {
+            str(label): _variant_from_wire(pair) for label, pair in entries_obj.items()
+        }
+        cells = []
+        for op_state in op_states:
+            if not isinstance(op_state, list):
+                raise ProtocolError(f"malformed operator state {op_state!r}")
+            cells.append([_cell_from_wire(c) for c in op_state])
+        out.append((entries, cells))
+    return out
+
+
+def error_body(reason: str, code: str = "protocol") -> dict:
+    """Standard ERROR frame body."""
+    return {"code": code, "reason": reason}
+
+
+def require(body: dict, key: str, types: tuple = (object,)) -> object:
+    """Fetch a required message field, raising :class:`ProtocolError` if absent."""
+    if key not in body:
+        raise ProtocolError(f"message is missing required field {key!r}")
+    value = body[key]
+    if types != (object,) and not isinstance(value, types):
+        raise ProtocolError(
+            f"message field {key!r} has type {type(value).__name__}, "
+            f"expected {'/'.join(t.__name__ for t in types)}"
+        )
+    return value
+
+
+def optional(body: dict, key: str, default: Optional[object] = None) -> object:
+    return body.get(key, default)

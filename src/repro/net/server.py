@@ -1,0 +1,638 @@
+"""The sharded on-line aggregation server.
+
+:class:`AggregationServer` is the paper's on-line aggregation service
+(Section IV-B) turned into a long-running TCP daemon: producer processes
+stream snapshot-record batches (or pre-aggregated partial states) over the
+:mod:`~repro.net.protocol` framing, and the server folds them into N
+*shards* — one :class:`~repro.aggregate.db.AggregationDB` plus one worker
+thread each, so the per-record hot path takes no locks (the same design
+that gives the runtime its per-thread databases, applied across the
+network).
+
+Data flow::
+
+    client conn ──decode──► hash-route by key ──► shard queue ──► shard DB
+                                                 (bounded: backpressure)
+
+* **Routing** — each record's GROUP BY values are hashed with the
+  process-stable FNV hash; identical keys always land in the same shard,
+  so shard databases partition the key space and merge without overlap.
+* **Backpressure** — shard queues are bounded; a connection handler that
+  cannot enqueue blocks before acknowledging, which TCP propagates to the
+  client as a stalled send.  A fast client cannot outrun aggregation by
+  more than ``shards × queue_depth`` batches.
+* **Live queries** — a consistent merged snapshot is taken *without
+  stopping ingestion*: an export barrier is enqueued on every shard, each
+  worker exports its per-key states when it reaches the barrier (i.e.
+  after everything acknowledged before the query), and the small state
+  sets merge through :meth:`AggregationDB.load_states` into a throwaway
+  DB whose flushed output the CalQL engine queries.
+* **Exactly-once** — batches carry client-assigned sequence numbers; the
+  server remembers the highest sequence folded per client *within this
+  epoch* and acknowledges-but-skips duplicates, so a client replaying
+  after a lost ACK cannot double-count.  Each server start draws a fresh
+  random epoch id; a reconnecting client that sees a new epoch knows all
+  previously acknowledged state is gone and replays its spool.
+
+Telemetry: the server keeps its own always-on
+:class:`~repro.observe.MetricsRegistry` (connections, batches, bytes,
+shard depths, merge times) and renders it as CalQL-queryable ``observe.*``
+records — the same dogfooding contract as the runtime's ``--stats``.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+import time
+from typing import Optional, Union
+
+from ..aggregate.db import AggregationDB
+from ..aggregate.scheme import AggregationScheme
+from ..common.errors import ReproError
+from ..common.record import Record
+from ..common.util import stable_hash64
+from ..common.variant import Variant
+from ..observe import MetricsRegistry, to_records as _metrics_to_records
+from .protocol import (
+    HEADER,
+    MAX_PAYLOAD,
+    MessageType,
+    ProtocolError,
+    Truncated,
+    error_body,
+    parse_body,
+    read_frame,
+    records_from_wire,
+    records_to_wire,
+    require,
+    states_from_wire,
+    write_message,
+)
+
+__all__ = ["AggregationServer"]
+
+_KEY_SEP = "\x1f"
+
+
+class _Shard:
+    """One aggregation shard: a bounded queue feeding a worker thread.
+
+    Only the worker thread ever touches ``db`` while the server runs, so
+    aggregation itself is lock-free; cross-shard reads happen exclusively
+    through export barriers processed in queue order.
+    """
+
+    def __init__(
+        self, index: int, scheme: AggregationScheme, depth: int, metrics: MetricsRegistry
+    ) -> None:
+        self.index = index
+        self.db = AggregationDB(scheme)
+        self.queue: queue.Queue = queue.Queue(maxsize=depth)
+        self.thread: Optional[threading.Thread] = None
+        self.metrics = metrics
+        self.num_batches = 0
+
+    def run(self) -> None:
+        while True:
+            item = self.queue.get()
+            kind = item[0]
+            try:
+                if kind == "records":
+                    for record in item[1]:
+                        self.db.process(record)
+                    self.num_batches += 1
+                elif kind == "states":
+                    _, groups, offered, processed = item
+                    self.db.load_states(groups, offered=offered, processed=processed)
+                    self.num_batches += 1
+                elif kind == "export":
+                    _, event, slot = item
+                    slot["states"] = self.db.export_states()
+                    slot["offered"] = self.db.num_offered
+                    slot["processed"] = self.db.num_processed
+                    event.set()
+                elif kind == "stop":
+                    item[1].set()
+                    return
+            except Exception:
+                # A poisoned batch must never take the shard worker down:
+                # the handler-side decoders validate shapes, but defence in
+                # depth keeps one bad item from stalling every connection.
+                self.metrics.count("net.errors", stage="shard")
+                if kind == "export":
+                    item[1].set()
+
+
+class AggregationServer:
+    """A threaded TCP daemon aggregating streamed snapshot records.
+
+    >>> server = AggregationServer("AGGREGATE count GROUP BY kernel")
+    >>> server.start()                                    # doctest: +SKIP
+    >>> server.address                                    # doctest: +SKIP
+    ('127.0.0.1', 49231)
+    """
+
+    def __init__(
+        self,
+        scheme: Union[AggregationScheme, str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int = 4,
+        queue_depth: int = 128,
+        max_payload: int = MAX_PAYLOAD,
+    ) -> None:
+        if isinstance(scheme, str):
+            from ..calql import parse_scheme  # deferred: calql builds on aggregate
+
+            scheme = parse_scheme(scheme)
+        if shards < 1:
+            raise ValueError(f"need at least one shard, got {shards}")
+        self.scheme = scheme
+        self.host = host
+        self.port = port
+        self.max_payload = max_payload
+        #: fresh random identity per start(); clients use it to detect restarts
+        self.epoch = os.urandom(8).hex()
+        self.metrics = MetricsRegistry()
+        self._shards = [
+            _Shard(i, scheme, queue_depth, self.metrics) for i in range(shards)
+        ]
+        self._key_labels = scheme.key
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_lock = threading.Lock()
+        self._conns: set[socket.socket] = set()
+        self._handlers: list[threading.Thread] = []
+        self._seq_lock = threading.Lock()
+        self._max_seq: dict[str, int] = {}
+        self._stopping = threading.Event()
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "AggregationServer":
+        """Bind, listen, and spawn the shard and accept threads."""
+        if self._started:
+            raise ReproError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(64)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        for shard in self._shards:
+            shard.thread = threading.Thread(
+                target=shard.run, name=f"repro-net-shard-{shard.index}", daemon=True
+            )
+            shard.thread.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-net-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._started = True
+        self.metrics.gauge("net.shards", len(self._shards))
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` — the port is concrete once started (0 = ephemeral)."""
+        return (self.host, self.port)
+
+    def __enter__(self) -> "AggregationServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful drain: stop accepting, finish queued work, join workers.
+
+        Open connections are closed (clients see an orderly EOF and spool
+        anything unacknowledged); every batch already enqueued is folded
+        before the shard threads exit, so a subsequent
+        :meth:`drain_results` observes all acknowledged data.
+        """
+        self._stopping.set()
+        self._close_listener()
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            _close_quietly(conn)
+        for thread in list(self._handlers):
+            thread.join(timeout=timeout)
+        done = []
+        for shard in self._shards:
+            event = threading.Event()
+            shard.queue.put(("stop", event))
+            done.append(event)
+        for event in done:
+            event.wait(timeout=timeout)
+
+    def kill(self) -> None:
+        """Abrupt shutdown for fault-injection tests: drop every socket now.
+
+        No drain, no goodbye frames — clients observe a reset mid-stream,
+        exactly like a crashed server process.  Shard state is abandoned.
+        """
+        self._stopping.set()
+        self._close_listener()
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            _close_quietly(conn)
+        for shard in self._shards:
+            try:
+                shard.queue.put_nowait(("stop", threading.Event()))
+            except queue.Full:
+                pass  # daemon thread; abandoned with the rest of the state
+
+    def _close_listener(self) -> None:
+        listener, self._listener = self._listener, None
+        if listener is not None:
+            _close_quietly(listener)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+
+    # -- routing ----------------------------------------------------------------
+
+    def _shard_of_key(self, key_text: str) -> int:
+        return stable_hash64(key_text.encode("utf-8")) % len(self._shards)
+
+    def _record_key(self, record: Record) -> str:
+        get = record.get
+        return _KEY_SEP.join(get(label).to_string() for label in self._key_labels)
+
+    def _route_records(self, records: list[Record]) -> None:
+        n = len(self._shards)
+        if n == 1:
+            self._enqueue(self._shards[0], ("records", records))
+            return
+        buckets: list[list[Record]] = [[] for _ in range(n)]
+        for record in records:
+            buckets[self._shard_of_key(self._record_key(record))].append(record)
+        for shard, bucket in zip(self._shards, buckets):
+            if bucket:
+                self._enqueue(shard, ("records", bucket))
+
+    def _route_states(
+        self, groups: list[tuple[dict[str, Variant], list[list]]], offered: int, processed: int
+    ) -> None:
+        n = len(self._shards)
+        if n == 1:
+            self._enqueue(self._shards[0], ("states", groups, offered, processed))
+            return
+        buckets: list[list] = [[] for _ in range(n)]
+        for entries, cells in groups:
+            key_text = _KEY_SEP.join(
+                entries.get(label, Variant.empty()).to_string()
+                for label in self._key_labels
+            )
+            buckets[self._shard_of_key(key_text)].append((entries, cells))
+        # Stream counters are global, not per-key; attribute them to the
+        # first non-empty bucket so totals stay exact after merging.
+        counted = False
+        for shard, bucket in zip(self._shards, buckets):
+            if bucket:
+                self._enqueue(
+                    shard,
+                    ("states", bucket, 0 if counted else offered, 0 if counted else processed),
+                )
+                counted = True
+        if not counted and (offered or processed):
+            self._enqueue(self._shards[0], ("states", [], offered, processed))
+
+    def _enqueue(self, shard: _Shard, item: tuple) -> None:
+        # Bounded put = backpressure.  Wake up periodically so a connection
+        # blocked on a full queue still notices server shutdown.
+        while True:
+            try:
+                shard.queue.put(item, timeout=0.2)
+                return
+            except queue.Full:
+                if self._stopping.is_set():
+                    raise ReproError("server is shutting down") from None
+
+    # -- merged views ------------------------------------------------------------
+
+    def _snapshot_states(self, timeout: float = 30.0) -> list[dict]:
+        """Export barrier on every shard: a consistent cross-shard snapshot."""
+        pending: list[tuple[Optional[threading.Event], dict]] = []
+        for shard in self._shards:
+            if shard.thread is None or not shard.thread.is_alive():
+                # Quiescent shard (drained by stop()): its worker is gone and
+                # nothing mutates the DB anymore, so read it directly.
+                pending.append(
+                    (
+                        None,
+                        {
+                            "states": shard.db.export_states(),
+                            "offered": shard.db.num_offered,
+                            "processed": shard.db.num_processed,
+                        },
+                    )
+                )
+                continue
+            event = threading.Event()
+            slot: dict = {}
+            self._enqueue(shard, ("export", event, slot))
+            pending.append((event, slot))
+        slots = []
+        for shard, (event, slot) in zip(self._shards, pending):
+            if event is not None:
+                deadline = time.monotonic() + timeout
+                while not event.wait(timeout=0.2):
+                    if shard.thread is None or not shard.thread.is_alive():
+                        # Worker exited between enqueue and barrier (server
+                        # stopping): the DB is quiescent, read it directly.
+                        slot = {
+                            "states": shard.db.export_states(),
+                            "offered": shard.db.num_offered,
+                            "processed": shard.db.num_processed,
+                        }
+                        break
+                    if time.monotonic() > deadline:
+                        raise ReproError("timed out waiting for a shard snapshot")
+            slots.append(slot)
+        return slots
+
+    def merged_db(self) -> AggregationDB:
+        """A consistent merge of all shards (ingestion keeps running)."""
+        start = time.perf_counter()
+        db = AggregationDB(self.scheme)
+        for slot in self._snapshot_states():
+            db.load_states(
+                slot["states"], offered=slot["offered"], processed=slot["processed"]
+            )
+        self.metrics.timing("net.merge", time.perf_counter() - start)
+        return db
+
+    def drain_results(self) -> list[Record]:
+        """Flushed output records over everything ingested so far."""
+        return self.merged_db().flush()
+
+    def run_query(self, text: str, target: str = "aggregate"):
+        """Run CalQL against the live merged state (or the telemetry).
+
+        ``target="aggregate"`` queries the flushed output of a consistent
+        merged snapshot — the two-stage workflow of Section VI-B with the
+        first stage still running.  ``target="telemetry"`` queries the
+        server's own ``observe.*`` metric records instead.
+        """
+        from ..query.engine import QueryEngine  # deferred: query sits above net
+
+        start = time.perf_counter()
+        if target == "telemetry":
+            records = self.stats_records()
+        elif target == "aggregate":
+            records = self.drain_results()
+        else:
+            raise ProtocolError(f"unknown query target {target!r}")
+        result = QueryEngine(text).run(records)
+        self.metrics.timing("net.query", time.perf_counter() - start, target=target)
+        self.metrics.count("net.queries", target=target)
+        return result
+
+    # -- telemetry ---------------------------------------------------------------
+
+    def stats_records(self) -> list[Record]:
+        """Server telemetry as CalQL-queryable ``observe.*`` records."""
+        for shard in self._shards:
+            self.metrics.gauge(
+                "net.shard.depth", shard.queue.qsize(), shard=shard.index
+            )
+            self.metrics.gauge(
+                "net.shard.entries", shard.db.num_entries, shard=shard.index
+            )
+        records = _metrics_to_records(self.metrics)
+        summary = {
+            "observe.kind": Variant.of("server"),
+            "observe.epoch": Variant.of(self.epoch),
+            "observe.shards": Variant.of(len(self._shards)),
+            "observe.scheme": Variant.of(self.scheme.describe()),
+            "observe.entries": Variant.of(
+                sum(shard.db.num_entries for shard in self._shards)
+            ),
+            "observe.batches": Variant.of(
+                sum(shard.num_batches for shard in self._shards)
+            ),
+        }
+        records.append(Record.from_variants(summary))
+        return records
+
+    # -- connection handling -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._stopping.is_set():
+            try:
+                conn, addr = listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._conn_lock:
+                if self._stopping.is_set():
+                    _close_quietly(conn)
+                    return
+                self._conns.add(conn)
+            self.metrics.count("net.connections")
+            self._handlers = [t for t in self._handlers if t.is_alive()]
+            thread = threading.Thread(
+                target=self._handle_connection,
+                args=(conn,),
+                name=f"repro-net-conn-{addr[1]}",
+                daemon=True,
+            )
+            self._handlers.append(thread)
+            thread.start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        rfile = conn.makefile("rb")
+        wfile = conn.makefile("wb")
+        try:
+            self._serve_connection(rfile, wfile)
+        except (Truncated, OSError, ValueError):
+            # Peer vanished (or our own shutdown closed the socket):
+            # nothing to report to — drop the connection.
+            self.metrics.count("net.disconnects", reason="io")
+        except ProtocolError as exc:
+            self.metrics.count("net.errors", stage="protocol")
+            try:
+                self._write(wfile, MessageType.ERROR, error_body(str(exc)))
+            except (OSError, ValueError):
+                pass
+        except ReproError as exc:
+            self.metrics.count("net.errors", stage="request")
+            try:
+                self._write(
+                    wfile, MessageType.ERROR, error_body(str(exc), code="request")
+                )
+            except (OSError, ValueError):
+                pass
+        finally:
+            _close_quietly(conn)
+            with self._conn_lock:
+                self._conns.discard(conn)
+
+    def _read(self, rfile) -> tuple[MessageType, dict]:
+        mtype, payload = read_frame(rfile, self.max_payload)
+        self.metrics.count("net.bytes.rx", HEADER.size + len(payload))
+        return mtype, parse_body(mtype, payload)
+
+    def _write(self, wfile, mtype: MessageType, body: dict) -> None:
+        self.metrics.count("net.bytes.tx", write_message(wfile, mtype, body))
+
+    def _serve_connection(self, rfile, wfile) -> None:
+        mtype, body = self._read(rfile)
+        if mtype is not MessageType.HELLO:
+            raise ProtocolError(f"expected HELLO, got {mtype.name}")
+        client_id = str(require(body, "client", (str,)))
+        client_scheme = body.get("scheme")
+        if client_scheme is not None:
+            self._check_scheme(str(client_scheme))
+        self._write(
+            wfile,
+            MessageType.HELLO_ACK,
+            {
+                "epoch": self.epoch,
+                "shards": len(self._shards),
+                "scheme": self.scheme.describe(),
+            },
+        )
+        while True:
+            mtype, body = self._read(rfile)
+            if mtype is MessageType.BYE:
+                self.metrics.count("net.disconnects", reason="bye")
+                return
+            if mtype is MessageType.RECORDS:
+                self._on_records(wfile, client_id, body)
+            elif mtype is MessageType.STATES:
+                self._on_states(wfile, client_id, body)
+            elif mtype is MessageType.QUERY:
+                self._on_query(wfile, body)
+            elif mtype is MessageType.STATS:
+                self._send_result(wfile, self.stats_records(), [], None)
+            elif mtype is MessageType.DRAIN:
+                records = self.drain_results()
+                self._send_result(
+                    wfile, records, list(self.scheme.output_labels), None
+                )
+            else:
+                raise ProtocolError(f"unexpected {mtype.name} frame")
+
+    def _check_scheme(self, text: str) -> None:
+        from ..calql import parse_scheme
+
+        try:
+            theirs = parse_scheme(text)
+        except ReproError as exc:
+            raise ProtocolError(f"unparseable client scheme {text!r}: {exc}") from exc
+        if theirs.describe() != self.scheme.describe():
+            raise ProtocolError(
+                f"scheme mismatch: server aggregates {self.scheme.describe()!r}, "
+                f"client sent {theirs.describe()!r}"
+            )
+
+    def _dedup(self, client_id: str, seq: int) -> bool:
+        """True if this batch was already folded (ACK but skip)."""
+        with self._seq_lock:
+            last = self._max_seq.get(client_id, -1)
+            if seq <= last:
+                return True
+            self._max_seq[client_id] = seq
+            return False
+
+    def _on_records(self, wfile, client_id: str, body: dict) -> None:
+        seq = int(require(body, "seq", (int,)))
+        records = records_from_wire(require(body, "records", (list,)))
+        duplicate = self._dedup(client_id, seq)
+        if not duplicate:
+            self._route_records(records)
+            self.metrics.count("net.batches", kind="records")
+            self.metrics.count("net.records", len(records))
+        else:
+            self.metrics.count("net.duplicates")
+        self._write(
+            wfile,
+            MessageType.ACK,
+            {"seq": seq, "count": len(records), "duplicate": duplicate},
+        )
+
+    def _validate_states(self, groups) -> None:
+        """Shape-check incoming states against the scheme's operators.
+
+        Exported states are positional; a malformed batch must be refused
+        here, at the connection boundary, rather than crash a shard worker.
+        """
+        widths = [op.state_width() for op in self.scheme.ops]
+        for entries, cells in groups:
+            if len(cells) != len(widths):
+                raise ProtocolError(
+                    f"state group has {len(cells)} operator states, "
+                    f"scheme has {len(widths)} operators"
+                )
+            for op_state, width in zip(cells, widths):
+                if len(op_state) != width:
+                    raise ProtocolError(
+                        f"operator state has {len(op_state)} cells, expected {width}"
+                    )
+
+    def _on_states(self, wfile, client_id: str, body: dict) -> None:
+        seq = int(require(body, "seq", (int,)))
+        groups = states_from_wire(require(body, "groups", (list,)))
+        scheme_text = require(body, "scheme", (str,))
+        self._check_scheme(str(scheme_text))
+        self._validate_states(groups)
+        offered = int(body.get("offered", 0))
+        processed = int(body.get("processed", 0))
+        duplicate = self._dedup(client_id, seq)
+        if not duplicate:
+            self._route_states(groups, offered, processed)
+            self.metrics.count("net.batches", kind="states")
+            self.metrics.count("net.groups", len(groups))
+        else:
+            self.metrics.count("net.duplicates")
+        self._write(
+            wfile,
+            MessageType.ACK,
+            {"seq": seq, "count": len(groups), "duplicate": duplicate},
+        )
+
+    def _on_query(self, wfile, body: dict) -> None:
+        text = str(require(body, "q", (str,)))
+        target = str(body.get("target", "aggregate"))
+        result = self.run_query(text, target)
+        self._send_result(
+            wfile, result.records, result.preferred_columns, result.format
+        )
+
+    def _send_result(self, wfile, records, columns, fmt) -> None:
+        sent = write_message(
+            wfile,
+            MessageType.RESULT,
+            {
+                "records": records_to_wire(records),
+                "columns": list(columns),
+                "format": fmt,
+            },
+        )
+        self.metrics.count("net.bytes.tx", sent)
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregationServer({self.scheme.describe()!r}, "
+            f"addr={self.address}, shards={len(self._shards)})"
+        )
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

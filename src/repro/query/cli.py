@@ -105,6 +105,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in ("serve", "live"):
+        # On-line service commands live in repro.net; everything else is the
+        # classic file-based query application.
+        from ..net.cli import main as net_main
+
+        return net_main(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
     if not (args.query or args.list_attributes or args.show_globals):

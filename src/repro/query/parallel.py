@@ -88,8 +88,11 @@ def parallel_query_files(
             "parallel_query_files requires an aggregation query "
             "(partial results must be combinable)"
         )
-    n_workers = _resolve_workers(workers, len(path_list))
     db = engine.make_db()
+    if not path_list:
+        # No inputs: an empty result of the right shape, no pool spin-up.
+        return engine.finalize(db)
+    n_workers = _resolve_workers(workers, len(path_list))
     with observe.span(
         "parallel.query_files", files=len(path_list), workers=n_workers
     ):

@@ -104,6 +104,11 @@ class AggregateService(Service):
                 out.append(record)
         return out
 
+    def databases(self) -> list[AggregationDB]:
+        """The per-thread partial databases (mergeable via ``load_states``)."""
+        with self._dbs_lock:
+            return [db for _, db in sorted(self._all_dbs.items())]
+
     # -- introspection -------------------------------------------------------------
 
     @property

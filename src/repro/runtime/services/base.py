@@ -133,6 +133,7 @@ def default_service_registry() -> ServiceRegistry:
     if _default_registry is None:
         _default_registry = ServiceRegistry()
         # Import here to avoid a cycle: service modules import Service from us.
+        from ...net.service import NetworkFlushService
         from .aggregate import AggregateService
         from .event import EventService
         from .recorder import RecorderService
@@ -143,6 +144,7 @@ def default_service_registry() -> ServiceRegistry:
         for cls in (
             AggregateService,
             EventService,
+            NetworkFlushService,
             RecorderService,
             SamplerService,
             TimerService,

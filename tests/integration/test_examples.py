@@ -56,3 +56,11 @@ def test_compare_runs(capsys):
     out = run_example("compare_runs.py", capsys)
     assert "level 2" in out
     assert "rank 8" in out
+
+
+def test_live_aggregation_service(capsys):
+    out = run_example("live_aggregation_service.py", capsys)
+    assert "live view after the first process" in out
+    assert "final merged profile" in out
+    assert "solve" in out and "exchange" in out
+    assert "net.records" in out  # server telemetry is CalQL-queryable

@@ -140,3 +140,82 @@ class TestFiles:
 def test_roundtrip_property(recs):
     back, _ = roundtrip(recs)
     assert back == recs
+
+
+class TestIterRecords:
+    """The streaming incremental reader."""
+
+    def test_matches_read_cali(self, tmp_path):
+        from repro.io import iter_records
+
+        recs = [
+            Record({"kernel": f"k{i % 3}", "time.duration": 0.5 * i})
+            for i in range(50)
+        ]
+        path = tmp_path / "data.cali"
+        write_cali(path, recs)
+        assert list(iter_records(path)) == read_cali(path)
+
+    def test_is_lazy(self, tmp_path):
+        from repro.io import iter_records
+
+        path = tmp_path / "data.cali"
+        write_cali(path, [Record({"a": i}) for i in range(10)])
+        it = iter_records(path)
+        assert next(it) == Record({"a": 0})
+        assert next(it) == Record({"a": 1})
+        it.close()  # partial consumption must not leak the file handle
+
+    def test_stream_input(self):
+        from repro.io import iter_records
+
+        buf = io.StringIO()
+        recs = [Record({"x": 1}), Record({"y": "two"})]
+        write_cali(buf, recs)
+        buf.seek(0)
+        assert list(iter_records(buf)) == recs
+
+    def test_bad_header_raises_on_first_next(self):
+        from repro.io import iter_records
+
+        it = iter_records(io.StringIO("not a header\n"))
+        with pytest.raises(FormatError, match="not a cali file"):
+            next(it)
+
+    def test_malformed_line_raises_mid_stream(self):
+        from repro.io import iter_records
+
+        buf = io.StringIO()
+        write_cali(buf, [Record({"a": 1})])
+        buf.write("snap,notanumber\n")
+        buf.seek(0)
+        it = iter_records(buf)
+        assert next(it) == Record({"a": 1})
+        with pytest.raises(FormatError, match="malformed cali line"):
+            next(it)
+
+    @given(record_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_batch_reader(self, recs):
+        from repro.io import iter_records
+
+        buf = io.StringIO()
+        write_cali(buf, recs)
+        text = buf.getvalue()
+        assert list(iter_records(io.StringIO(text))) == read_cali(
+            io.StringIO(text)
+        )
+
+    def test_reader_iter_interleaves_metadata(self):
+        # attr/node lines appearing between snaps must update tables live.
+        from repro.io import iter_records
+
+        buf = io.StringIO()
+        recs = [
+            Record({"function": "main"}),
+            Record({"kernel": "k1", "time.duration": 2.0}),
+            Record({"function": "main/sub"}),
+        ]
+        write_cali(buf, recs)
+        buf.seek(0)
+        assert list(iter_records(buf)) == recs

@@ -1,0 +1,188 @@
+"""Fault injection: mid-stream server kill, spill, replay, exactly-once.
+
+The acceptance scenario: a client is streaming batches when the server
+process dies abruptly.  The client must survive (spooling what the dead
+server never acknowledged), reconnect when a fresh server appears on the
+same port, detect the epoch change, and replay its write-ahead spool —
+ending with aggregates that contain every record exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+
+import pytest
+
+from repro.aggregate import StreamAggregator
+from repro.calql import parse_scheme
+from repro.common import Record
+from repro.net import AggregationServer, FlushClient
+
+SCHEME = "AGGREGATE count, sum(x), min(x), max(x) GROUP BY k"
+
+
+def synth(seed: int, n: int) -> list[Record]:
+    rng = random.Random(seed)
+    return [
+        Record({"k": rng.choice("abcdef"), "x": round(rng.random() * 5, 6)})
+        for _ in range(n)
+    ]
+
+
+def result_key(record):
+    return tuple(sorted((k, v.value) for k, v in record.items()))
+
+
+def assert_equivalent(got, want):
+    assert len(got) == len(want)
+    for ge, we in zip(got, want):
+        for (gk, gv), (wk, wv) in zip(ge, we):
+            assert gk == wk
+            if isinstance(gv, float) or isinstance(wv, float):
+                assert gv == pytest.approx(wv, rel=1e-9)
+            else:
+                assert gv == wv
+
+
+def wait_for_port_free(port: int, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        sock = socket.socket()
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind(("127.0.0.1", port))
+            sock.close()
+            return
+        except OSError:
+            sock.close()
+            time.sleep(0.05)
+
+
+def test_client_survives_mid_stream_server_kill(tmp_path):
+    records = synth(42, 600)
+    batches_before_kill = 5
+    batch_size = 40
+
+    first = AggregationServer(SCHEME, shards=3)
+    first.start()
+    port = first.port
+
+    client = FlushClient(
+        "127.0.0.1",
+        port,
+        scheme=SCHEME,
+        batch_size=batch_size,
+        retries=2,
+        backoff=0.01,
+        timeout=1.0,
+        spool_dir=str(tmp_path / "spool"),
+    )
+
+    sent = 0
+    for record in records:
+        client.push(record)
+        sent += 1
+        if client.counters["acked"] >= batches_before_kill and sent < len(records):
+            break
+    # Kill the server abruptly: no drain, sockets dropped mid-stream.
+    first.kill()
+    wait_for_port_free(port)
+
+    # Client keeps accepting pushes while the server is down; everything
+    # unacknowledged spools to disk instead of raising.
+    for record in records[sent:]:
+        client.push(record)
+    assert client.flush() is False
+    assert client.num_spooled > 0
+
+    # A fresh server appears on the same port (new epoch, empty state).
+    with AggregationServer(SCHEME, shards=2, port=port) as second:
+        assert second.epoch != first.epoch
+        assert client.flush() is True
+        assert client.counters["epoch_changes"] == 1
+        assert client.num_spooled == 0
+        got = sorted(map(result_key, second.drain_results()))
+    client.close()
+
+    agg = StreamAggregator(parse_scheme(SCHEME))
+    agg.push_all(records)
+    want = sorted(map(result_key, agg.flush()))
+    # Every record exactly once: nothing lost, nothing double-counted.
+    assert_equivalent(got, want)
+
+
+def test_restart_replays_acked_batches_too(tmp_path):
+    """Batches the dead epoch acknowledged are replayed — its state is gone."""
+    records = synth(7, 100)
+    first = AggregationServer(SCHEME, shards=2)
+    first.start()
+    port = first.port
+    client = FlushClient(
+        "127.0.0.1",
+        port,
+        scheme=SCHEME,
+        batch_size=25,
+        retries=2,
+        backoff=0.01,
+        timeout=1.0,
+        spool_dir=str(tmp_path / "spool"),
+    )
+    client.push_all(records)
+    assert client.flush() is True
+    acked = client.counters["acked"]
+    assert acked == 4
+
+    first.kill()
+    wait_for_port_free(port)
+    with AggregationServer(SCHEME, shards=2, port=port) as second:
+        assert client.flush() is True
+        assert client.counters["epoch_changes"] == 1
+        # All four acknowledged batches were re-delivered to the new epoch.
+        assert client.counters["acked"] == 2 * acked
+        assert second.merged_db().num_processed == len(records)
+    client.close()
+
+
+def test_duplicate_replay_within_epoch_not_double_counted(tmp_path):
+    """Lost-ACK replay to the *same* epoch is deduplicated by seq."""
+    with AggregationServer(SCHEME, shards=2) as server:
+        client = FlushClient(
+            *server.address,
+            scheme=SCHEME,
+            batch_size=10,
+            spool_dir=str(tmp_path / "spool"),
+        )
+        client.push_all(synth(3, 30))
+        client.flush()
+        # Pretend every ACK was lost in flight.
+        client._pending.update(client._acked)
+        client._acked.clear()
+        client.flush()
+        assert client.counters["replayed"] == 3
+        assert server.merged_db().num_processed == 30
+        client.close()
+
+
+def test_kill_then_client_error_paths_do_not_lose_buffered_records(tmp_path):
+    """Records buffered below batch_size survive a dead server via flush."""
+    server = AggregationServer(SCHEME, shards=2)
+    server.start()
+    client = FlushClient(
+        *server.address,
+        batch_size=1000,  # nothing auto-ships
+        retries=1,
+        backoff=0.01,
+        timeout=0.5,
+        spool_dir=str(tmp_path / "spool"),
+    )
+    client.push_all(synth(9, 50))
+    server.kill()
+    wait_for_port_free(server.port)
+    assert client.flush() is False  # spooled
+    assert client.counters["records"] == 50
+    with AggregationServer(SCHEME, shards=1, port=server.port) as second:
+        assert client.flush() is True
+        assert second.merged_db().num_processed == 50
+    client.close()

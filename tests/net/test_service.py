@@ -1,0 +1,186 @@
+"""NetworkFlushService: channels flushing over TCP instead of to a file."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import ConfigError
+from repro.net import AggregationServer
+from repro.runtime import Caliper, VirtualClock
+from repro.runtime.services.base import default_service_registry
+
+SCHEME = "AGGREGATE count, sum(time.duration) GROUP BY function"
+
+
+def test_registered_in_default_registry():
+    assert "netflush" in default_service_registry()
+
+
+def test_missing_port_is_a_config_error():
+    cali = Caliper(clock=VirtualClock())
+    with pytest.raises(ConfigError, match="netflush.port"):
+        cali.create_channel("t", {"services": ["netflush"]})
+
+
+def run_workload(cali: Caliper, clk: VirtualClock) -> None:
+    for name, dt in [("solve", 2.0), ("io", 0.5), ("solve", 1.0)]:
+        cali.begin("function", name)
+        clk.advance(dt)
+        cali.end("function")
+
+
+def test_states_payload_ships_exact_partial_db():
+    """payload=states: the aggregate service's DB merges exactly on the server."""
+    with AggregationServer(SCHEME, shards=2) as server:
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "net-profile",
+            {
+                "services": ["event", "timer", "aggregate", "netflush"],
+                "aggregate.config": SCHEME,
+                "netflush.port": server.port,
+                "netflush.payload": "states",
+                "netflush.scheme": SCHEME,
+            },
+        )
+        run_workload(cali, clk)
+        chan.finish()
+        results = {
+            r.get("function").value: (
+                r.get("count").value,
+                r.get("sum#time.duration").value,
+            )
+            for r in server.drain_results()
+            if r.get("function") is not None
+        }
+    assert results["solve"] == (2, pytest.approx(3.0))
+    assert results["io"] == (1, pytest.approx(0.5))
+
+
+def test_records_payload_feeds_second_stage_scheme():
+    """Default payload: flushed profile records feed the server's own scheme.
+
+    The channel produces first-stage profiles (count renamed to
+    aggregate.count); the server runs the paper's second-stage
+    ``sum(aggregate.count)`` over them.
+    """
+    second_stage = "AGGREGATE sum(aggregate.count) GROUP BY function"
+    with AggregationServer(second_stage, shards=2) as server:
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "net-2stage",
+            {
+                "services": ["event", "timer", "aggregate", "netflush"],
+                "aggregate.config": SCHEME,
+                "netflush.port": server.port,
+            },
+        )
+        run_workload(cali, clk)
+        chan.finish()
+        counts = {
+            r.get("function").value: r.get("sum#aggregate.count").value
+            for r in server.drain_results()
+            if r.get("function") is not None
+        }
+    # The None group collects snapshots taken outside any function region
+    # (the channel's first-stage profile has such a row too).
+    assert counts == {"solve": 2, "io": 1, None: 3}
+
+
+def test_states_payload_without_aggregate_service_is_an_error():
+    with AggregationServer(SCHEME, shards=1) as server:
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel(
+            "net-bad",
+            {
+                "services": ["event", "timer", "netflush"],
+                "netflush.port": server.port,
+                "netflush.payload": "states",
+            },
+        )
+        with pytest.raises(ConfigError, match="aggregate"):
+            chan.finish()
+
+
+def test_stream_mode_feeds_server_while_running():
+    with AggregationServer(SCHEME, shards=2) as server:
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "net-stream",
+            {
+                "services": ["event", "timer", "netflush"],
+                "netflush.port": server.port,
+                "netflush.stream": True,
+                "netflush.batch_size": 2,
+            },
+        )
+        cali.begin("function", "solve")
+        clk.advance(1.0)
+        cali.end("function")
+        cali.begin("function", "io")
+        clk.advance(0.25)
+        cali.end("function")
+        # Four snapshots (two begins, two ends) at batch_size=2: at least one
+        # batch reached the server before finish.
+        assert server.merged_db().num_processed >= 2
+        chan.finish()
+        by_fn = {
+            r.get("function").value: r.get("sum#time.duration").value
+            for r in server.drain_results()
+            if r.get("function") is not None
+        }
+    assert by_fn["solve"] == pytest.approx(1.0)
+    assert by_fn["io"] == pytest.approx(0.25)
+
+
+def test_service_stats_expose_delivery_counters():
+    with AggregationServer(SCHEME, shards=1) as server:
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "net-stats",
+            {
+                "services": ["event", "timer", "aggregate", "netflush"],
+                "aggregate.config": SCHEME,
+                "netflush.port": server.port,
+            },
+        )
+        run_workload(cali, clk)
+        service = next(s for s in chan.services if s.name == "netflush")
+        chan.finish()
+        stats = service.stats()
+    assert stats["batches"] >= 1
+    assert stats["acked"] == stats["batches"]
+    assert stats["pending"] == 0
+    assert stats["sent_at_finish"] >= 2
+
+
+def test_globals_travel_with_the_flush():
+    """Globals attach to shipped records; a server keying on them keeps them."""
+    server_scheme = (
+        "AGGREGATE sum(aggregate.count) GROUP BY function, experiment"
+    )
+    with AggregationServer(server_scheme, shards=1) as server:
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "net-globals",
+            {
+                "services": ["event", "timer", "aggregate", "netflush"],
+                "aggregate.config": SCHEME,
+                "netflush.port": server.port,
+            },
+        )
+        chan.set_global("experiment", "run-17")
+        run_workload(cali, clk)
+        chan.finish()
+        tagged = [
+            r
+            for r in server.drain_results()
+            if r.get("experiment") is not None
+            and r.get("experiment").value == "run-17"
+        ]
+    assert tagged, "channel globals must be attached to shipped records"

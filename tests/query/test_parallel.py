@@ -138,3 +138,39 @@ class TestIngestionTelemetry:
         with observe.collecting() as reg:
             parallel_query_files(QUERY, many_files, workers=1)
         assert reg.timer_stats("parallel.file.parse", file="part-0.cali")[0] == 1
+
+
+class TestEdgeCases:
+    def test_empty_file_list(self):
+        result = parallel_query_files(QUERY, [])
+        assert result.records == []
+
+    def test_empty_file_list_with_explicit_workers(self):
+        result = parallel_query_files(QUERY, [], workers=8)
+        assert result.records == []
+
+    def test_more_workers_than_files(self, many_files):
+        result = parallel_query_files(QUERY, many_files, workers=64)
+        assert str(result) == str(serial_result(many_files))
+
+    def test_zero_and_negative_workers_degrade_to_serial(self, many_files):
+        for workers in (0, -3):
+            result = parallel_query_files(QUERY, many_files, workers=workers)
+            assert str(result) == str(serial_result(many_files))
+
+    def test_single_file_with_many_workers(self, many_files):
+        result = parallel_query_files(QUERY, many_files[:1], workers=8)
+        assert str(result) == str(serial_result(many_files[:1]))
+
+    def test_dataset_from_files_empty_list(self):
+        ds = Dataset.from_files([])
+        assert ds.records == [] and ds.globals == {} and ds.sources == []
+
+    def test_dataset_from_files_empty_list_parallel(self):
+        ds = Dataset.from_files([], parallel=4)
+        assert ds.records == []
+
+    def test_dataset_more_workers_than_files(self, many_files):
+        serial = Dataset.from_files(many_files)
+        wide = Dataset.from_files(many_files, parallel=64)
+        assert wide.records == serial.records
