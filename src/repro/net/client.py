@@ -23,12 +23,23 @@ server does not:
   pending list and replayed from the spool — no update is lost to a
   crash, and none is duplicated.
 
-The spool therefore acts as a write-ahead log for the whole session; it
-is deleted at :meth:`close` (``delete_spool=False`` keeps it for
-inspection).  The memory cost is bounded (one batch), the disk cost is
-proportional to the records streamed since the client was opened — the
-price of exactly-once delivery against a crash-restartable server; see
-``docs/service.md`` for the trade-off discussion.
+The spool therefore acts as a write-ahead log for the whole session.
+:meth:`close` deletes the spool files of *acknowledged* batches
+(``delete_spool=False`` keeps even those for inspection); batches the
+server never acknowledged always stay on disk, so data that could not be
+delivered survives application exit.  The memory cost is bounded (one
+batch), the disk cost is proportional to the records streamed since the
+client was opened — the price of exactly-once delivery against a
+crash-restartable server; see ``docs/service.md`` for the trade-off
+discussion.
+
+Clients sharing one configured ``spool_dir`` (several channels, several
+processes) each spool into a per-``client_id`` subdirectory, so their
+write-ahead batches never collide.
+
+All public methods are thread-safe: in stream mode the runtime calls
+:meth:`push` from every instrumented application thread, and a single
+internal lock serialises buffering, delivery, and the socket protocol.
 """
 
 from __future__ import annotations
@@ -37,6 +48,7 @@ import json
 import os
 import socket
 import tempfile
+import threading
 import time
 import uuid
 from typing import TYPE_CHECKING, Iterable, Optional, Union
@@ -104,10 +116,18 @@ class FlushClient:
         self.backoff = backoff
         self.backoff_max = backoff_max
         self.max_payload = max_payload
-        self._own_spool = spool_dir is None
-        self.spool_dir = spool_dir or tempfile.mkdtemp(prefix="repro-spool-")
+        if spool_dir is None:
+            self.spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
+        else:
+            # Shared spool dirs are namespaced per client: batch files are
+            # keyed only by this client's sequence counter and would
+            # otherwise overwrite another client's write-ahead batches.
+            self.spool_dir = os.path.join(spool_dir, self.client_id)
         os.makedirs(self.spool_dir, exist_ok=True)
 
+        #: serialises buffering, delivery, and the socket protocol — stream
+        #: mode pushes from every instrumented application thread.
+        self._lock = threading.RLock()
         self._buffer: list[Record] = []
         self._next_seq = 0
         #: seq -> (kind, spool path); not yet acknowledged in the current epoch
@@ -135,10 +155,11 @@ class FlushClient:
 
     def push(self, record: Record) -> None:
         """Buffer one record; ships automatically at ``batch_size``."""
-        self._check_open()
-        self._buffer.append(record)
-        if len(self._buffer) >= self.batch_size:
-            self._ship_buffer()
+        with self._lock:
+            self._check_open()
+            self._buffer.append(record)
+            if len(self._buffer) >= self.batch_size:
+                self._ship_buffer()
 
     def push_all(self, records: Iterable[Record]) -> None:
         for record in records:
@@ -156,14 +177,15 @@ class FlushClient:
         current server epoch — False means data is safely spooled but the
         server is (still) unreachable.
         """
-        self._check_open()
-        if self._buffer:
-            self._ship_buffer()
-        else:
-            self._deliver_pending()
-        if not self._pending:
-            self._probe_epoch()
-        return not self._pending
+        with self._lock:
+            self._check_open()
+            if self._buffer:
+                self._ship_buffer()
+            else:
+                self._deliver_pending()
+            if not self._pending:
+                self._probe_epoch()
+            return not self._pending
 
     def _probe_epoch(self) -> None:
         """Verify acknowledged batches still live in the current server epoch.
@@ -202,22 +224,23 @@ class FlushClient:
         folded into it.  The database is exported as-is; the caller decides
         when to :meth:`AggregationDB.clear` it.
         """
-        self._check_open()
-        seq = self._next_seq
-        self._next_seq += 1
-        path = os.path.join(self.spool_dir, f"batch-{seq:08d}.states.json")
-        wire = {
-            "scheme": db.scheme.describe(),
-            "groups": states_to_wire(db.export_states()),
-            "offered": db.num_offered,
-            "processed": db.num_processed,
-        }
-        with open(path, "w", encoding="utf-8") as stream:
-            json.dump(wire, stream, separators=(",", ":"))
-        self._pending[seq] = ("states", path)
-        self.counters["batches"] += 1
-        self._deliver_pending()
-        return not self._pending
+        with self._lock:
+            self._check_open()
+            seq = self._next_seq
+            self._next_seq += 1
+            path = os.path.join(self.spool_dir, f"batch-{seq:08d}.states.json")
+            wire = {
+                "scheme": db.scheme.describe(),
+                "groups": states_to_wire(db.export_states()),
+                "offered": db.num_offered,
+                "processed": db.num_processed,
+            }
+            with open(path, "w", encoding="utf-8") as stream:
+                json.dump(wire, stream, separators=(",", ":"))
+            self._pending[seq] = ("states", path)
+            self.counters["batches"] += 1
+            self._deliver_pending()
+            return not self._pending
 
     @property
     def num_spooled(self) -> int:
@@ -366,49 +389,59 @@ class FlushClient:
 
     def drain(self) -> list[Record]:
         """Flush everything, then fetch the merged aggregation results."""
-        self._check_open()
-        if self._buffer:
-            self._ship_buffer()
-        payload = self._request(MessageType.DRAIN, {})
-        return _result_records(payload)
+        with self._lock:
+            self._check_open()
+            if self._buffer:
+                self._ship_buffer()
+            payload = self._request(MessageType.DRAIN, {})
+            return _result_records(payload)
 
     def query(self, text: str, target: str = "aggregate") -> "QueryResult":
         """Run a live CalQL query against the server's in-flight state."""
-        self._check_open()
-        payload = self._request(MessageType.QUERY, {"q": text, "target": target})
-        return _result_to_query_result(payload)
+        with self._lock:
+            self._check_open()
+            payload = self._request(MessageType.QUERY, {"q": text, "target": target})
+            return _result_to_query_result(payload)
 
     def stats_records(self) -> list[Record]:
         """The server's telemetry as CalQL-queryable records."""
-        self._check_open()
-        return _result_records(self._request(MessageType.STATS, {}))
+        with self._lock:
+            self._check_open()
+            return _result_records(self._request(MessageType.STATS, {}))
 
     # -- teardown ------------------------------------------------------------------
 
     def close(self, delete_spool: bool = True) -> None:
-        """Flush best-effort, say goodbye, and (by default) drop the spool."""
-        if self._closed:
-            return
-        try:
-            if self._buffer:
-                self._ship_buffer()
-            else:
-                self._deliver_pending()
-        except ReproError:
-            pass
-        if self._wfile is not None:
+        """Flush best-effort, say goodbye, and drop *acknowledged* spool files.
+
+        Batches the current server epoch has acknowledged are safe on the
+        server, so their write-ahead copies are deleted (``delete_spool=False``
+        keeps them for inspection).  Batches still pending — the server was
+        unreachable — are **never** deleted: the spool is the only copy of
+        that data, and it stays on disk for out-of-band recovery.
+        """
+        with self._lock:
+            if self._closed:
+                return
             try:
-                write_message(self._wfile, MessageType.BYE, {})
-            except (OSError, ValueError):
+                if self._buffer:
+                    self._ship_buffer()
+                else:
+                    self._deliver_pending()
+            except ReproError:
                 pass
-        self._disconnect()
-        self._closed = True
-        if delete_spool:
-            for _, path in list(self._pending.values()) + list(self._acked.values()):
-                _unlink_quietly(path)
-            if self._own_spool:
+            if self._wfile is not None:
                 try:
-                    os.rmdir(self.spool_dir)
+                    write_message(self._wfile, MessageType.BYE, {})
+                except (OSError, ValueError):
+                    pass
+            self._disconnect()
+            self._closed = True
+            if delete_spool:
+                for _, path in self._acked.values():
+                    _unlink_quietly(path)
+                try:
+                    os.rmdir(self.spool_dir)  # succeeds only when empty
                 except OSError:
                     pass
 

@@ -110,7 +110,14 @@ class _Shard:
                     self.num_batches += 1
                 elif kind == "export":
                     _, event, slot = item
-                    slot["states"] = self.db.export_states()
+                    # export_states returns the live state lists; this
+                    # worker resumes folding the moment the event is set,
+                    # so hand the barrier deep copies or query-side reads
+                    # tear against concurrent updates.
+                    slot["states"] = [
+                        (entries, [list(s) for s in states])
+                        for entries, states in self.db.export_states()
+                    ]
                     slot["offered"] = self.db.num_offered
                     slot["processed"] = self.db.num_processed
                     event.set()
@@ -504,6 +511,11 @@ class AggregationServer:
         while True:
             mtype, body = self._read(rfile)
             if mtype is MessageType.BYE:
+                # The client session is over and its replay window with it:
+                # drop its dedup entry so unbounded client churn (one-shot
+                # producers, live_query probes) cannot grow the map forever.
+                with self._seq_lock:
+                    self._max_seq.pop(client_id, None)
                 self.metrics.count("net.disconnects", reason="bye")
                 return
             if mtype is MessageType.RECORDS:

@@ -36,7 +36,12 @@ Config keys (prefix ``netflush.``):
     Finish-mode wire shape: ``records`` (default) or ``states``
     (requires the ``aggregate`` service on the same channel).
 ``batch_size``, ``timeout``, ``retries``, ``spool_dir``
-    Passed through to :class:`FlushClient`.
+    Passed through to :class:`FlushClient`.  A shared ``spool_dir`` is
+    safe: each client spools into its own subdirectory.
+``delete_spool``
+    Delete acknowledged write-ahead spool files at finish (default true).
+    Batches the server never acknowledged are always kept on disk,
+    whatever this is set to.
 ``scheme``
     Optional CalQL scheme text announced in the handshake so the server
     can refuse mismatched producers early.
@@ -70,6 +75,7 @@ class NetworkFlushService(Service):
             )
         spool_dir = self.config.get_string("spool_dir", "")
         scheme = self.config.get_string("scheme", "")
+        self.delete_spool = self.config.get_bool("delete_spool", True)
         self.client = FlushClient(
             host=self.config.get_string("host", "127.0.0.1"),
             port=port,
@@ -90,13 +96,13 @@ class NetworkFlushService(Service):
     def finish(self) -> None:
         if self.stream:
             self.client.flush()
-            self.client.close()
+            self.client.close(delete_spool=self.delete_spool)
             return
         if self.payload == "states":
             self._finish_states()
         else:
             self._finish_records()
-        self.client.close()
+        self.client.close(delete_spool=self.delete_spool)
 
     def _finish_states(self) -> None:
         aggregate = next(

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import os
 import socket
+import threading
 
 import pytest
 
@@ -152,6 +153,53 @@ def test_counters_track_reconnects(tmp_path, server):
     c.flush()
     assert c.counters["reconnects"] == 1
     c.close()
+
+
+def test_close_keeps_unacknowledged_spool_files(tmp_path):
+    """An unreachable server at exit must not destroy the only data copy."""
+    c = unreachable_client(tmp_path, batch_size=5)
+    c.push_all(make_records(5))
+    assert c.flush() is False
+    spooled = sorted(os.listdir(c.spool_dir))
+    assert spooled
+    c.close()  # delete_spool=True by default — pending batches survive it
+    assert sorted(os.listdir(c.spool_dir)) == spooled
+
+
+def test_shared_spool_dir_namespaced_per_client(tmp_path, server):
+    """Two clients on one spool_dir must not overwrite each other's batches."""
+    shared = str(tmp_path / "spool")
+    a = FlushClient(*server.address, batch_size=2, spool_dir=shared)
+    b = FlushClient(*server.address, batch_size=2, spool_dir=shared)
+    assert a.spool_dir != b.spool_dir
+    a.push_all(make_records(2, "a"))
+    b.push_all(make_records(2, "b"))
+    # Both clients hold a batch seq 0 — in distinct subdirectories.
+    assert len(os.listdir(a.spool_dir)) == 1
+    assert len(os.listdir(b.spool_dir)) == 1
+    a.close()
+    b.close()
+    assert server.merged_db().num_processed == 4
+
+
+def test_concurrent_pushes_from_many_threads(server):
+    """Stream mode pushes from every application thread; nothing may race."""
+    per_thread = 150
+    keys = "abcd"
+    with FlushClient(*server.address, batch_size=16) as c:
+        threads = [
+            threading.Thread(target=c.push_all, args=(make_records(per_thread, k),))
+            for k in keys
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        c.flush()
+    db = server.merged_db()
+    assert db.num_processed == per_thread * len(keys)
+    counts = {r.get("k").value: r.get("count").value for r in db.flush()}
+    assert counts == {k: per_thread for k in keys}
 
 
 def test_own_spool_dir_cleaned_on_close(server):

@@ -10,6 +10,7 @@ from __future__ import annotations
 import random
 import socket
 import threading
+import time
 
 import pytest
 
@@ -307,6 +308,43 @@ def test_fuzz_random_frames_server_survives(server):
             pass
         sock.close()
     assert server_still_works(server)
+
+
+def test_export_barrier_returns_copies_not_live_state():
+    """Snapshot states must not change when the shard keeps folding."""
+    with AggregationServer(SCHEME, shards=1) as srv:
+        with FlushClient(*srv.address, batch_size=10) as c:
+            c.push_all(synth_records(21, 10))
+            c.flush()
+            snapshot = srv._snapshot_states()
+            frozen = [
+                (dict(entries), [list(s) for s in states])
+                for entries, states in snapshot[0]["states"]
+            ]
+            c.push_all(synth_records(21, 10))
+            c.flush()
+            # The second barrier proves the new batch was folded...
+            assert srv.merged_db().num_processed == 20
+        # ...while the first snapshot's states stayed untouched.
+        assert [
+            (entries, states) for entries, states in snapshot[0]["states"]
+        ] == frozen
+
+
+def test_dedup_entry_pruned_after_bye(server):
+    with FlushClient(*server.address, batch_size=4, client_id="short-lived") as c:
+        c.push_all(synth_records(17, 4))
+        c.flush()
+        with server._seq_lock:
+            assert "short-lived" in server._max_seq
+    # close() sends BYE; the handler thread prunes the entry shortly after.
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        with server._seq_lock:
+            if "short-lived" not in server._max_seq:
+                return
+        time.sleep(0.02)
+    pytest.fail("dedup entry for a closed client was never pruned")
 
 
 # -- lifecycle -----------------------------------------------------------------
