@@ -1,0 +1,166 @@
+"""Per-event runtime overhead benchmark — writes ``BENCH_hotpath.json``.
+
+Measures the cost of one instrumentation event (a ``begin`` or ``end`` with
+an event-triggered snapshot folded into an on-line aggregation) across the
+hot-path configuration matrix:
+
+``disabled``
+    The runtime with ``enabled=False`` — the annotation no-op floor.
+``legacy``
+    Emulation of the pre-fast-path runtime: snapshot dicts rebuilt from the
+    blackboard stacks (``snapshot_fastpath=false``), the generic per-operator
+    fold loop (``aggregate.fold_plan=generic``), no context-key caching
+    (``aggregate.key_cache=false``), and no-op timer hooks dispatched per
+    event (``timer.trim_hooks=false``).
+``generic_plan`` / ``no_key_cache`` / ``interned_keys``
+    The fast defaults with exactly one knob changed, isolating each
+    optimization's contribution.
+``fast``
+    The defaults: compiled fold plan, key cache, zero-copy snapshots.
+
+Methodology: every configuration runs in the same process and the
+repetitions are *interleaved* (config A, B, C, A, B, C, ...), taking the
+best rep per config — shared-machine noise then hits all configs roughly
+equally instead of biasing whichever ran during a quiet stretch.
+
+Usage::
+
+    python benchmarks/bench_hotpath.py            # full run
+    python benchmarks/bench_hotpath.py --smoke    # CI-sized quick pass
+    python benchmarks/bench_hotpath.py --check    # assert compiled >= generic
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runtime import Caliper  # noqa: E402
+
+SCHEME = (
+    "AGGREGATE count, sum(time.duration), min(time.duration), "
+    "max(time.duration) GROUP BY function"
+)
+
+BASE = {"services": "event,timer,aggregate", "aggregate.config": SCHEME}
+
+#: configuration matrix: name -> (channel config overrides, runtime enabled)
+CONFIGS: dict[str, tuple[dict, bool]] = {
+    "disabled": ({}, False),
+    "legacy": (
+        {
+            "snapshot_fastpath": "false",
+            "aggregate.fold_plan": "generic",
+            "aggregate.key_cache": "false",
+            "timer.trim_hooks": "false",
+        },
+        True,
+    ),
+    "generic_plan": ({"aggregate.fold_plan": "generic"}, True),
+    "no_key_cache": ({"aggregate.key_cache": "false"}, True),
+    "interned_keys": ({"aggregate.key_strategy": "interned"}, True),
+    "fast": ({}, True),
+}
+
+#: events per timing rep: 2 begins + 2 ends per loop iteration
+EVENTS_PER_ITER = 4
+
+
+def make_runtime(overrides: dict, enabled: bool) -> Caliper:
+    cal = Caliper(enabled=enabled)
+    cal.create_channel("bench", {**BASE, **overrides})
+    return cal
+
+
+def drive(cal: Caliper, iters: int) -> float:
+    """Run the nested-region workload; ns per event."""
+    begin, end = cal.begin, cal.end
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        begin("function", "a")
+        begin("function", "b")
+        end("function")
+        end("function")
+    return (time.perf_counter() - t0) / (iters * EVENTS_PER_ITER) * 1e9
+
+
+def run(iters: int, repetitions: int, warmup: int) -> dict[str, float]:
+    runtimes = {name: make_runtime(cfg, en) for name, (cfg, en) in CONFIGS.items()}
+    for cal in runtimes.values():
+        drive(cal, warmup)
+    best = {name: float("inf") for name in runtimes}
+    for _ in range(repetitions):
+        for name, cal in runtimes.items():
+            best[name] = min(best[name], drive(cal, iters))
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iters", type=int, default=10_000,
+                        help="workload loop iterations per rep (4 events each)")
+    parser.add_argument("--repetitions", type=int, default=7)
+    parser.add_argument("--warmup", type=int, default=200)
+    parser.add_argument("--output", default="BENCH_hotpath.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless the compiled plan keeps up "
+                             "with the generic plan")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.iters, args.repetitions, args.warmup = 2_000, 3, 100
+
+    print(f"timing {len(CONFIGS)} configurations, interleaved, "
+          f"best of {args.repetitions} x {args.iters} iters ...", flush=True)
+    best = run(args.iters, args.repetitions, args.warmup)
+
+    fast = best["fast"]
+    payload = {
+        "benchmark": "hotpath-per-event-overhead",
+        "scheme": SCHEME,
+        "iters": args.iters,
+        "repetitions": args.repetitions,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+        "ns_per_event": {name: round(v, 1) for name, v in best.items()},
+        "events_per_second": {
+            name: round(1e9 / v) for name, v in best.items() if v > 0
+        },
+        "speedup_vs_legacy": round(best["legacy"] / fast, 2),
+        "speedup_compiled_vs_generic": round(best["generic_plan"] / fast, 2),
+        "speedup_key_cache": round(best["no_key_cache"] / fast, 2),
+        "interned_vs_tuple_keys": round(best["interned_keys"] / fast, 2),
+    }
+
+    out = os.path.abspath(args.output)
+    with open(out, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+
+    for name, v in best.items():
+        print(f"  {name:14s} {v:10.0f} ns/event")
+    print(f"  legacy/fast speedup: {payload['speedup_vs_legacy']:.2f}x")
+    print(f"wrote {out}")
+
+    if args.check:
+        # The compiled plan must keep up with the generic one; 10% tolerance
+        # absorbs shared-machine noise in CI.
+        if fast > best["generic_plan"] * 1.10:
+            print(
+                f"CHECK FAILED: compiled plan ({fast:.0f} ns/event) slower "
+                f"than generic ({best['generic_plan']:.0f} ns/event)",
+                file=sys.stderr,
+            )
+            return 1
+        print("check passed: compiled plan >= generic plan throughput")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,12 +26,24 @@ from .ops import (
     default_registry,
     make_op,
 )
+from .plan import (
+    FOLD_PLANS,
+    CompiledFoldPlan,
+    FoldPlan,
+    GenericFoldPlan,
+    make_plan,
+)
 from .scheme import AggregationScheme
 from .stream import StreamAggregator, aggregate_records, combine_partials
 
 __all__ = [
     "AggregationDB",
     "AggregationScheme",
+    "FOLD_PLANS",
+    "FoldPlan",
+    "CompiledFoldPlan",
+    "GenericFoldPlan",
+    "make_plan",
     "StreamAggregator",
     "aggregate_records",
     "combine_partials",

@@ -10,13 +10,17 @@ unique key.
 
 The implementation is deliberately allocation-light: operator kernels are
 shared across keys, per-key state is a flat list of small lists, and the hot
-loop does one dict lookup plus one ``update`` per operator.
+loop does one dict lookup plus one fused fold (see
+:mod:`repro.aggregate.plan`).  The ``fold_plan`` knob selects between the
+compiled fast path (default) and the reference ``generic`` per-operator
+dispatch loop used for equivalence testing.
 """
 
 from __future__ import annotations
 
 from typing import Hashable, Iterable, Iterator
 
+from .. import observe
 from ..common.errors import AggregationError
 from ..common.record import Record
 from ..common.variant import Variant
@@ -37,7 +41,7 @@ class AggregationDB:
     [{'function': 'foo', 'count': 2}]
     """
 
-    def __init__(self, scheme: AggregationScheme) -> None:
+    def __init__(self, scheme: AggregationScheme, fold_plan: str = "compiled") -> None:
         self.scheme = scheme
         self._ops = scheme.fresh_kernels()
         self._extractor = make_extractor(scheme.key, scheme.key_strategy)
@@ -49,29 +53,130 @@ class AggregationDB:
         self.num_offered = 0
         #: records actually folded into some aggregation entry
         self.num_processed = 0
+        #: bumped whenever :meth:`clear` drops the table, so external caches
+        #: holding state-list references (the aggregate service's key cache)
+        #: know their entries went stale
+        self.table_epoch = 0
+        # Per-stream invariants, bound once — never re-resolved per record.
+        self._predicate = scheme.predicate
+        self._extract = self._extractor.extract
+        self._plan = scheme.compile(fold_plan)
+        #: resolved fold strategy, ``compiled`` or ``generic``
+        self.fold_plan = self._plan.kind
+        if self._plan.kind == "compiled":
+            # Shadow the generic method with the fused closure: zero dispatch
+            # overhead on the per-record path.
+            self.process = self._make_compiled_process()
+        observe.count(
+            "aggregate.plan", plan=self.fold_plan, fast_ops=self._plan.num_fast_ops
+        )
 
     # -- streaming path ------------------------------------------------------
 
     def process(self, record: Record) -> None:
-        """Fold one input record into the database."""
+        """Fold one input record into the database (generic fold plan)."""
         self.num_offered += 1
-        predicate = self.scheme.predicate
+        predicate = self._predicate
         if predicate is not None and not predicate(record):
             return
         self.num_processed += 1
-        key = self._extractor.extract(record)
-        states = self._table.get(key)
+        key = self._extract(record)
+        table = self._table
+        states = table.get(key)
         if states is None:
             states = [op.init() for op in self._ops]
-            self._table[key] = states
+            table[key] = states
         get = record.get
         for op, state in zip(self._ops, states):
             op.update(state, get)
 
+    def _make_compiled_process(self):
+        """The fused per-record fold closure (the paper's sub-µs hot path)."""
+        table = self._table
+        extract = self._extract
+        predicate = self._predicate
+        update = self._plan.update
+        init_states = self._plan.init_states
+        if predicate is None:
+
+            def process(record: Record, _db=self) -> None:
+                _db.num_offered += 1
+                _db.num_processed += 1
+                key = extract(record)
+                states = table.get(key)
+                if states is None:
+                    states = init_states()
+                    table[key] = states
+                update(states, record)
+
+        else:
+
+            def process(record: Record, _db=self) -> None:
+                _db.num_offered += 1
+                if not predicate(record):
+                    return
+                _db.num_processed += 1
+                key = extract(record)
+                states = table.get(key)
+                if states is None:
+                    states = init_states()
+                    table[key] = states
+                update(states, record)
+
+        return process
+
     def process_all(self, records: Iterable[Record]) -> None:
-        """Fold a whole record stream (convenience for the off-line path)."""
+        """Fold a whole record stream (convenience for the off-line path).
+
+        Loop invariants (table, extractor, plan, counters) are hoisted out of
+        the per-record iteration for both fold plans.
+        """
+        table = self._table
+        extract = self._extract
+        predicate = self._predicate
+        update = self._plan.update
+        init_states = self._plan.init_states
+        offered = 0
+        processed = 0
         for record in records:
-            self.process(record)
+            offered += 1
+            if predicate is not None and not predicate(record):
+                continue
+            processed += 1
+            key = extract(record)
+            states = table.get(key)
+            if states is None:
+                states = init_states()
+                table[key] = states
+            update(states, record)
+        self.num_offered += offered
+        self.num_processed += processed
+
+    # -- externally cached folding (the aggregate service's key cache) ---------
+
+    def lookup_states(self, record: Record) -> list[list]:
+        """The (created-if-missing) state lists for ``record``'s key.
+
+        Splitting lookup from :meth:`update_states` lets the on-line
+        aggregation service cache the returned list against its blackboard
+        context and skip key extraction entirely on cache hits.  Stream
+        counters are *not* touched here — cache-owning callers maintain them.
+        """
+        key = self._extract(record)
+        states = self._table.get(key)
+        if states is None:
+            states = self._plan.init_states()
+            self._table[key] = states
+        return states
+
+    def update_states(self, states: list[list], record: Record) -> None:
+        """Fold ``record`` into already-looked-up ``states`` via the plan."""
+        self._plan.update(states, record)
+
+    @property
+    def plan(self):
+        """The active fold plan (see :mod:`repro.aggregate.plan`)."""
+        return self._plan
 
     # -- combine path (cross-process reduction) -------------------------------
 
@@ -204,6 +309,9 @@ class AggregationDB:
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
         self._table.clear()
+        # Cached state-list references (key caches) are now dangling; the
+        # epoch bump tells their owners to drop them.
+        self.table_epoch += 1
 
     # -- introspection ---------------------------------------------------------
 

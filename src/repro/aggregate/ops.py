@@ -367,7 +367,9 @@ class HistogramOp(_NumericOp):
 
     def update(self, state: list, record_get: Callable[[str], Variant]) -> None:
         x = self._get_number(record_get)
-        if x is None:
+        if x is None or x != x:
+            # NaN fits no bin (both range comparisons are false); drop it
+            # like a non-numeric value instead of crashing in int().
             return
         if x < self.lo:
             state[0] += 1

@@ -102,6 +102,19 @@ class AggregationScheme:
         """The operator kernels (stateless; shared per DB)."""
         return self.ops
 
+    def compile(self, fold_plan: str = "compiled"):
+        """Compile the operator tuple into a per-record fold plan.
+
+        ``fold_plan`` selects the strategy: ``"compiled"`` fuses all operator
+        updates into one closure with monomorphic raw-value kernels for the
+        standard numeric reductions; ``"generic"`` is the reference per-op
+        dispatch loop.  Both are fold-equivalent — see
+        :mod:`repro.aggregate.plan`.
+        """
+        from .plan import make_plan  # local import: plan builds on ops
+
+        return make_plan(self.ops, fold_plan)
+
     def describe(self) -> str:
         """CalQL-ish text rendering of the scheme."""
         text = "AGGREGATE " + ", ".join(op.spec_string() for op in self.ops)

@@ -69,7 +69,25 @@ class Attribute:
     is only useful in tests.
     """
 
-    __slots__ = ("id", "label", "type", "properties")
+    __slots__ = (
+        "id",
+        "label",
+        "type",
+        "properties",
+        # property flags, precomputed once — enum-flag arithmetic is too
+        # slow for the per-event hot path that tests is_nested/skip_events
+        "is_nested",
+        "is_value",
+        "is_aggregatable",
+        "is_global",
+        "skip_events",
+        "_value_cache",
+        "_hash",
+    )
+
+    #: cap on interned checked values per attribute (region-name vocabularies
+    #: are small; unbounded label sets just stop caching new entries)
+    _VALUE_CACHE_LIMIT = 1024
 
     def __init__(
         self,
@@ -84,6 +102,19 @@ class Attribute:
         object.__setattr__(self, "label", label)
         object.__setattr__(self, "type", vtype)
         object.__setattr__(self, "properties", properties)
+        object.__setattr__(self, "is_nested", bool(properties & AttrProperty.NESTED))
+        object.__setattr__(self, "is_value", bool(properties & AttrProperty.ASVALUE))
+        object.__setattr__(
+            self, "is_aggregatable", bool(properties & AttrProperty.AGGREGATABLE)
+        )
+        object.__setattr__(self, "is_global", bool(properties & AttrProperty.GLOBAL))
+        object.__setattr__(
+            self, "skip_events", bool(properties & AttrProperty.SKIP_EVENTS)
+        )
+        object.__setattr__(self, "_value_cache", {})
+        # Attributes key the blackboard's per-event dict lookups; hashing
+        # the (id, label) tuple every time is measurable, so do it once.
+        object.__setattr__(self, "_hash", hash((attr_id, label)))
 
     def __setattr__(self, name: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("Attribute is immutable")
@@ -91,28 +122,24 @@ class Attribute:
     def __reduce__(self):
         return (Attribute, (self.id, self.label, self.type.value, self.properties))
 
-    @property
-    def is_nested(self) -> bool:
-        return bool(self.properties & AttrProperty.NESTED)
-
-    @property
-    def is_value(self) -> bool:
-        return bool(self.properties & AttrProperty.ASVALUE)
-
-    @property
-    def is_aggregatable(self) -> bool:
-        return bool(self.properties & AttrProperty.AGGREGATABLE)
-
-    @property
-    def is_global(self) -> bool:
-        return bool(self.properties & AttrProperty.GLOBAL)
-
-    @property
-    def skip_events(self) -> bool:
-        return bool(self.properties & AttrProperty.SKIP_EVENTS)
-
     def check(self, value: object) -> Variant:
-        """Coerce ``value`` into a Variant of this attribute's type."""
+        """Coerce ``value`` into a Variant of this attribute's type.
+
+        Checked **string** values are interned per attribute: repeated
+        ``begin("function", "solve")`` calls return the *identical* Variant
+        object.  Besides skipping validation and allocation, this identity
+        stability is what lets the aggregation service's context-key cache
+        recognise re-entered regions (it memos keys by value identity).
+        Benign data race by design: the cache is per-attribute and guarded
+        only by the GIL; a lost update merely re-creates an equal Variant.
+        """
+        if isinstance(value, str):
+            cached = self._value_cache.get(value)
+            if cached is None:
+                cached = Variant(self.type, value)
+                if len(self._value_cache) < self._VALUE_CACHE_LIMIT:
+                    self._value_cache[value] = cached
+            return cached
         if isinstance(value, Variant):
             if value.type is not self.type and not (
                 value.type.is_numeric and self.type.is_numeric
@@ -132,7 +159,7 @@ class Attribute:
         return self.id == other.id and self.label == other.label
 
     def __hash__(self) -> int:
-        return hash((self.id, self.label))
+        return self._hash
 
     def __repr__(self) -> str:
         props = ",".join(self.properties.names()) or "none"

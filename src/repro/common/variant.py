@@ -41,14 +41,19 @@ class ValueType(enum.Enum):
 
     @classmethod
     def from_name(cls, name: str) -> "ValueType":
-        for member in cls:
-            if member.value == name:
-                return member
-        raise TypeMismatchError(f"unknown value type name: {name!r}")
+        # Dict lookup, not a member scan: the .cali reader resolves a type
+        # name per immediate field, which makes this a parse hot path.
+        member = _TYPES_BY_NAME.get(name)
+        if member is None:
+            raise TypeMismatchError(f"unknown value type name: {name!r}")
+        return member
 
     @property
     def is_numeric(self) -> bool:
         return self in (ValueType.INT, ValueType.UINT, ValueType.DOUBLE)
+
+
+_TYPES_BY_NAME = {member.value: member for member in ValueType}
 
 
 def _infer_type(value: RawValue) -> ValueType:
@@ -113,6 +118,20 @@ class Variant:
     @classmethod
     def empty(cls) -> "Variant":
         return EMPTY_VARIANT
+
+    @classmethod
+    def double(cls, value: float) -> "Variant":
+        """Fast DOUBLE constructor for a value known to be a ``float``.
+
+        Skips the ``__init__`` type dispatch and :func:`_coerce` validation;
+        the timer service builds one of these per snapshot, which makes the
+        full constructor measurable on the per-event hot path.  Callers must
+        pass an actual float.
+        """
+        v = cls.__new__(cls)
+        object.__setattr__(v, "type", ValueType.DOUBLE)
+        object.__setattr__(v, "value", value)
+        return v
 
     # -- predicates --------------------------------------------------------
 

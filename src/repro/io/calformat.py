@@ -227,7 +227,25 @@ class CaliReader:
                 yield record
 
     def _parse_line(self, line: str) -> Optional[Record]:
-        fields = _split_raw(line, ",")
+        # Fast path for the dominant case: a snapshot line with no escape
+        # sequences splits on plain commas and skips _unescape entirely.
+        # The writer escapes "," "=" "\\" and newlines, so a backslash-free
+        # line cannot contain a separator inside any value.
+        if "\\" not in line:
+            if line.startswith("snap,"):
+                fields = line.split(",")
+                entries: dict[str, Variant] = {}
+                node_id = int(fields[1])
+                if node_id >= 0:
+                    entries.update(self._node_entries(node_id))
+                for field in fields[2:]:
+                    label, typed = field.split("=", 1)
+                    type_name, _, text = typed.partition(":")
+                    entries[label] = Variant.parse(type_name, text)
+                return Record.from_variants(entries)
+            fields = line.split(",")
+        else:
+            fields = _split_raw(line, ",")
         kind = fields[0]
         if kind == "attr":
             attr_id = int(fields[1])

@@ -196,12 +196,58 @@ def _load_source(path: Union[str, os.PathLike]) -> tuple[list[Record], dict[str,
     return records, globals_
 
 
-def _resolve_workers(parallel: Union[bool, int, None], n_items: int) -> int:
-    """Turn a ``parallel=`` argument into a worker count (1 = serial)."""
+#: Auto-parallel heuristics (``parallel=True``): a process pool only pays off
+#: when each worker amortizes its fork/pickle cost over a meaningful share of
+#: the input.  Record counts are estimated from file sizes before parsing;
+#: module-level so tests and unusual deployments can tune them.
+MIN_PARALLEL_RECORDS_PER_WORKER = 10_000
+APPROX_BYTES_PER_RECORD = 48
+
+
+def _estimate_records(paths: Optional[Sequence[str]]) -> Optional[int]:
+    """Rough record count from file sizes; None when it cannot be estimated."""
+    if not paths:
+        return None
+    total = 0
+    for path in paths:
+        try:
+            total += os.path.getsize(path)
+        except OSError:
+            # Missing/unreadable file: let the reader raise its usual error.
+            return None
+    return total // APPROX_BYTES_PER_RECORD
+
+
+def _resolve_workers(
+    parallel: Union[bool, int, None],
+    n_items: int,
+    paths: Optional[Sequence[str]] = None,
+) -> int:
+    """Turn a ``parallel=`` argument into a worker count (1 = serial).
+
+    An explicit integer is a user override, clamped only to the item count.
+    ``parallel=True`` (auto) additionally applies fallback heuristics — a
+    pool on a single-core machine, or one whose per-worker share falls below
+    ``MIN_PARALLEL_RECORDS_PER_WORKER``, is pure overhead (the 0.58x ingest
+    "speedup" in early benchmark runs).  Each fallback decision is recorded
+    as a ``parallel.fallback`` count with its reason.
+    """
     if not parallel or n_items <= 1:
         return 1
-    workers = (os.cpu_count() or 1) if parallel is True else int(parallel)
-    return max(1, min(workers, n_items))
+    if parallel is not True:
+        return max(1, min(int(parallel), n_items))
+    cpus = os.cpu_count() or 1
+    if cpus <= 1:
+        observe.count("parallel.fallback", reason="single-core")
+        return 1
+    workers = min(cpus, n_items)
+    est_records = _estimate_records(paths)
+    if est_records is not None:
+        cap = max(1, int(est_records // MIN_PARALLEL_RECORDS_PER_WORKER))
+        if cap < workers:
+            observe.count("parallel.fallback", reason="small-input", workers=cap)
+            workers = cap
+    return workers
 
 
 class Dataset:
@@ -238,9 +284,12 @@ class Dataset:
         cross-file attributes (like the producing rank) stay distinguishable,
         then dropped from the dataset-level globals when files disagree.
 
-        ``parallel`` parses files in a process pool: ``True`` uses one worker
-        per CPU, an integer caps the worker count.  The result is identical
-        to the serial path (files are merged in argument order).  For
+        ``parallel`` parses files in a process pool: ``True`` picks the pool
+        size automatically (one worker per CPU, falling back to serial on
+        single-core machines or when the per-worker share of the input is
+        too small to amortize the pool); an integer is an explicit worker
+        count.  The result is identical to the serial path (files are merged
+        in argument order).  For
         aggregation queries over many files, prefer
         :func:`repro.query.parallel_query_files`, which also *aggregates* in
         the workers and only ships small partial states back.
@@ -248,7 +297,7 @@ class Dataset:
         path_list = [os.fspath(p) for p in paths]
         if not path_list:
             return cls()
-        workers = _resolve_workers(parallel, len(path_list))
+        workers = _resolve_workers(parallel, len(path_list), path_list)
         with observe.span("ingest.from_files", files=len(path_list), workers=workers):
             if workers > 1:
                 from concurrent.futures import ProcessPoolExecutor

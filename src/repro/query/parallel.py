@@ -78,8 +78,10 @@ def parallel_query_files(
     Equivalent to ``QueryEngine(query).run(Dataset.from_files(paths).records)``
     for aggregation queries, but each worker process reads and aggregates its
     file chunk locally and only partial aggregation states are merged in the
-    parent.  ``workers=True`` uses one worker per CPU; an integer caps the
-    pool; 1 (or a single file) degrades to the serial path.
+    parent.  ``workers=True`` picks the pool size automatically — one worker
+    per CPU, degrading to serial on single-core machines or undersized
+    inputs (recorded as ``parallel.fallback``); an explicit integer sets the
+    pool size; 1 (or a single file) degrades to the serial path.
     """
     path_list = [os.fspath(p) for p in paths]
     engine = QueryEngine(query)
@@ -92,7 +94,7 @@ def parallel_query_files(
     if not path_list:
         # No inputs: an empty result of the right shape, no pool spin-up.
         return engine.finalize(db)
-    n_workers = _resolve_workers(workers, len(path_list))
+    n_workers = _resolve_workers(workers, len(path_list), path_list)
     with observe.span(
         "parallel.query_files", files=len(path_list), workers=n_workers
     ):

@@ -9,6 +9,7 @@ building-block composition Section IV-A describes.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import TYPE_CHECKING, Any, Mapping, Optional, Union
 
@@ -56,17 +57,36 @@ class Channel:
             registry.create(service_name, self)
             for service_name in self.config.get_list("services", [])
         ]
-        # Dispatch lists, precomputed from which hooks each class overrides.
-        # Event hooks run in priority order (stable within equal priority),
-        # so measurement providers observe an event before snapshot triggers.
+        # Dispatch lists, precomputed from which hooks each instance wants
+        # (class override + per-instance config, see Service.wants).  Event
+        # hooks run in priority order (stable within equal priority), so
+        # measurement providers observe an event before snapshot triggers.
         by_priority = sorted(self.services, key=lambda s: s.priority)
-        self._begin_services = [s for s in by_priority if type(s).overrides("on_begin")]
-        self._end_services = [s for s in by_priority if type(s).overrides("on_end")]
-        self._set_services = [s for s in by_priority if type(s).overrides("on_set")]
-        self._contributors = [s for s in self.services if type(s).overrides("contribute")]
-        self._processors = [s for s in self.services if type(s).overrides("process")]
-        self._pollers = [s for s in self.services if type(s).overrides("poll")]
+        self._begin_services = [s for s in by_priority if s.wants("on_begin")]
+        self._end_services = [s for s in by_priority if s.wants("on_end")]
+        self._set_services = [s for s in by_priority if s.wants("on_set")]
+        self._contributors = [s for s in self.services if s.wants("contribute")]
+        self._processors = [s for s in self.services if s.wants("process")]
+        self._pollers = [s for s in self.services if s.wants("poll")]
+        # Zero-copy snapshot fast path: legal when nothing contributes extra
+        # entries and every processor folds the record immediately without
+        # retaining it.  ``snapshot_fastpath=false`` restores the pre-fast-
+        # path snapshot build (a fresh dict rebuilt from the blackboard
+        # stacks) so benchmarks can measure the legacy cost.
+        self._fold_only = all(s.folds_immediately for s in self._processors)
+        self._fastpath_enabled = self.config.get_bool("snapshot_fastpath", True)
+        #: snapshots served through the zero-copy fold-only path
+        self.num_fast_snapshots = 0
+        # Per-thread scratch record for fold-only snapshots that need
+        # contributor entries: reused across snapshots, so the assembly
+        # allocates nothing.
+        self._scratch_tls = threading.local()
         self._finished = False
+        if self._fastpath_enabled and self._fold_only:
+            # Shadow the method with a closure specialized for this channel's
+            # service mix: dispatch lists, blackboard accessor, and scratch
+            # storage are bound once instead of re-read per snapshot.
+            self.push_snapshot = self._make_fast_push()
 
     # -- event dispatch (called by the Caliper runtime) ---------------------------
 
@@ -106,7 +126,13 @@ class Channel:
         if not self.active:
             self.num_suppressed += 1
             return
-        entries = dict(self.caliper.blackboard().snapshot_entries())
+        blackboard = self.caliper.blackboard()
+        if self._fastpath_enabled:
+            entries = dict(blackboard.snapshot_entries())
+        else:
+            # Legacy cost emulation for benchmarking: rebuild the snapshot
+            # from the value stacks like the pre-fast-path runtime did.
+            entries = blackboard.rebuild_entries()
         for service in self._contributors:
             service.contribute(entries, at)
         if extra:
@@ -115,6 +141,59 @@ class Channel:
         self.num_snapshots += 1
         for service in self._processors:
             service.process(record)
+
+    def _make_fast_push(self):
+        """Specialized ``push_snapshot`` for fold-only channels.
+
+        Every processor folds the record immediately without retaining it, so
+        the snapshot needs no fresh dict and no fresh :class:`Record`:
+
+        * no contributors, no ``extra`` — the blackboard's live record is
+          handed to the processors as-is (zero copies, zero allocation);
+        * otherwise — entries are assembled into a per-thread scratch record
+          reused across snapshots.  Contributors (timer) must not write into
+          the shared blackboard dict, because other channels on the same
+          thread snapshot it too.
+        """
+        blackboard_of = self.caliper.blackboard
+        contributors = tuple(self._contributors)
+        processors = tuple(self._processors)
+        scratch_tls = self._scratch_tls
+
+        def push_snapshot(extra=None, at=None, _ch=self):
+            if not _ch.active:
+                _ch.num_suppressed += 1
+                return
+            # One TLS probe fetches everything thread-bound: the scratch
+            # record, its entry dict, and the blackboard's live views (the
+            # blackboard and its dicts are stable per thread).
+            st = getattr(scratch_tls, "st", None)
+            if st is None:
+                blackboard = blackboard_of()
+                scratch_record = Record.from_variants({})
+                st = (
+                    scratch_record,
+                    scratch_record._entries,
+                    blackboard._entries,
+                    blackboard._record,
+                )
+                scratch_tls.st = st
+            if contributors or extra:
+                record, scratch, live_entries, _ = st
+                scratch.clear()
+                scratch.update(live_entries)
+                for service in contributors:
+                    service.contribute(scratch, at)
+                if extra:
+                    scratch.update(extra)
+            else:
+                record = st[3]
+            _ch.num_snapshots += 1
+            _ch.num_fast_snapshots += 1
+            for service in processors:
+                service.process(record)
+
+        return push_snapshot
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -167,6 +246,7 @@ class Channel:
             "observe.channel": Variant.of(self.name),
             "observe.active": Variant.of(self.active),
             "observe.snapshots": Variant.of(self.num_snapshots),
+            "observe.snapshots.fastpath": Variant.of(self.num_fast_snapshots),
             "observe.snapshots.suppressed": Variant.of(self.num_suppressed),
             "observe.flush.time": Variant.of(self.flush_seconds),
         }

@@ -66,6 +66,13 @@ class Caliper:
         self._tls = threading.local()
         self._active: tuple[Channel, ...] = ()
         self._any_pollers = False
+        # Flattened per-event dispatch: the hooks of every active channel's
+        # services in one tuple, so begin/end/set skip the channel hop.
+        # Inactive channels still suppress in push_snapshot, exactly like
+        # the per-channel dispatch did.
+        self._begin_handlers: tuple = ()
+        self._end_handlers: tuple = ()
+        self._set_handlers: tuple = ()
 
     # -- channels ------------------------------------------------------------
 
@@ -89,6 +96,15 @@ class Caliper:
     def _rebuild_active(self) -> None:
         self._active = tuple(c for c in self.channels.values() if c.active)
         self._any_pollers = any(c.has_pollers for c in self._active)
+        self._begin_handlers = tuple(
+            s.on_begin for c in self._active for s in c._begin_services
+        )
+        self._end_handlers = tuple(
+            s.on_end for c in self._active for s in c._end_services
+        )
+        self._set_handlers = tuple(
+            s.on_set for c in self._active for s in c._set_services
+        )
 
     def finish_channel(self, name: str) -> list:
         """Finish one channel and return its output records."""
@@ -150,12 +166,19 @@ class Caliper:
         # *current* blackboard state — poll before any update or event.
         if self._any_pollers:
             self._poll()
-        attribute = self._resolve(key, value, nested_default=True)
+        # Fast path for the common case — a string label naming an existing
+        # attribute; _resolve handles handles and first-use creation.
+        attribute = self.registry._by_label.get(key) if key.__class__ is str else None
+        if attribute is None:
+            attribute = self._resolve(key, value, nested_default=True)
         v = attribute.check(value)
         if not attribute.skip_events:
-            for channel in self._active:
-                channel.handle_begin(attribute, v)
-        self.blackboard().begin(attribute, v)
+            for handler in self._begin_handlers:
+                handler(attribute, v)
+        bb = getattr(self._tls, "blackboard", None)
+        if bb is None:
+            bb = self.blackboard()
+        bb.begin(attribute, v)
 
     def end(self, key: Union[str, Attribute], value: RawValue | Variant | None = None) -> None:
         """Close a region: pop the attribute's stack (checking ``value`` if given)."""
@@ -163,12 +186,16 @@ class Caliper:
             return
         if self._any_pollers:
             self._poll()
-        attribute = self.registry.get(key.label if isinstance(key, Attribute) else key)
-        bb = self.blackboard()
+        attribute = self.registry._by_label.get(key) if key.__class__ is str else None
+        if attribute is None:
+            attribute = self.registry.get(key.label if isinstance(key, Attribute) else key)
+        bb = getattr(self._tls, "blackboard", None)
+        if bb is None:
+            bb = self.blackboard()
         top = bb.get(attribute)
         if not attribute.skip_events:
-            for channel in self._active:
-                channel.handle_end(attribute, top)
+            for handler in self._end_handlers:
+                handler(attribute, top)
         bb.end(attribute, value)
 
     def set(self, key: Union[str, Attribute], value: RawValue | Variant) -> None:
@@ -180,8 +207,8 @@ class Caliper:
         attribute = self._resolve(key, value, nested_default=False)
         v = attribute.check(value)
         if not attribute.skip_events:
-            for channel in self._active:
-                channel.handle_set(attribute, v)
+            for handler in self._set_handlers:
+                handler(attribute, v)
         self.blackboard().set(attribute, v)
 
     def unset(self, key: Union[str, Attribute]) -> None:

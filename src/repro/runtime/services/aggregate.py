@@ -8,6 +8,19 @@ are *not* aggregated across threads at runtime: flushed records carry a
 ``thread.id`` entry when more than one thread contributed, and a
 post-processing query merges them.
 
+**Context-key caching.**  The blackboard's contribution to the aggregation
+key only changes at ``begin``/``end``/``set``, and the blackboard interns
+nested path values, so re-entering a region puts the *identical* ``Variant``
+objects back into the snapshot.  The service exploits this: per thread it
+memoizes ``id`` tuples of the GROUP BY entry values -> the entry's state
+lists, so steady-state snapshots skip key extraction (tuple building,
+``Variant`` hashing, table lookup) entirely — mirroring Caliper's
+incremental key-node update.  The memo holds strong references to the keyed
+variants, which makes the ``id`` comparison sound: a live object's address
+cannot be reused.  Invalidation: :attr:`AggregationDB.table_epoch` (bumped
+by ``clear()``) drops the memo, and a size cap bounds it under churning
+non-interned key values.
+
 Config keys (prefix ``aggregate.``):
 
 ``config``
@@ -17,6 +30,13 @@ Config keys (prefix ``aggregate.``):
     ``scheme`` key.
 ``key_strategy``
     ``tuple`` (default) or ``interned`` — see :mod:`repro.aggregate.key`.
+``fold_plan``
+    ``compiled`` (default) or ``generic`` — the per-record fold strategy,
+    see :mod:`repro.aggregate.plan`.
+``key_cache``
+    Boolean (default true): the per-thread context-key cache described
+    above.  Disable to measure or to fall back to plain per-record key
+    extraction.
 ``rename_count``
     When true (default), the flushed ``count`` column is renamed to
     ``aggregate.count``.  This matches Caliper, whose two-stage workflows
@@ -29,7 +49,9 @@ from __future__ import annotations
 
 import threading
 
+from ... import observe
 from ...aggregate.db import AggregationDB
+from ...aggregate.plan import FOLD_PLANS
 from ...aggregate.scheme import AggregationScheme
 from ...common.errors import ConfigError
 from ...common.record import Record
@@ -38,9 +60,35 @@ from .base import Service
 
 __all__ = ["AggregateService"]
 
+#: memo size cap per thread — bounds growth when key values churn (e.g.
+#: iteration counters as GROUP BY attributes defeat interning)
+_KEY_CACHE_LIMIT = 4096
+
+
+class _ThreadState:
+    """Per-thread aggregation state: the DB plus the context-key memo."""
+
+    __slots__ = ("db", "memo", "epoch", "hits", "misses", "update", "lookup")
+
+    def __init__(self, db: AggregationDB) -> None:
+        self.db = db
+        # id-tuple of GROUP BY entry variants -> (variants, state lists).
+        # The variants are stored to keep them alive — that is what makes
+        # keying on object identity sound.
+        self.memo: dict = {}
+        self.epoch = db.table_epoch
+        self.hits = 0
+        self.misses = 0
+        # Bound once: per-record fold entry points.
+        self.update = db.plan.update
+        self.lookup = db.lookup_states
+
 
 class AggregateService(Service):
     name = "aggregate"
+    #: snapshot records are folded synchronously and never retained, so the
+    #: channel may hand this service the blackboard's live record
+    folds_immediately = True
 
     def __init__(self, channel) -> None:
         super().__init__(channel)
@@ -59,36 +107,121 @@ class AggregateService(Service):
             raise ConfigError(f"'aggregate.scheme' must be an AggregationScheme, got {scheme!r}")
         self.scheme: AggregationScheme = scheme
         self._rename_count = self.config.get_bool("rename_count", True)
+        self._fold_plan = self.config.get_string("fold_plan", "compiled")
+        if self._fold_plan not in FOLD_PLANS:
+            raise ConfigError(
+                f"'aggregate.fold_plan' must be one of {', '.join(FOLD_PLANS)}; "
+                f"got {self._fold_plan!r}"
+            )
+        self._key_cache_enabled = self.config.get_bool("key_cache", True)
+        self._key_labels = tuple(scheme.key)
+        self._predicate = scheme.predicate
         self._tls = threading.local()
+        # Shadow the method with a closure specialized for this service's
+        # configuration (key-cache on/off, single vs multi-label key,
+        # predicate presence) — the per-snapshot path re-reads none of it.
+        self.process = self._make_process()
         # Keyed by a unique per-thread sequence number, NOT the OS thread
         # ident: idents are reused after a thread exits, and keying by them
         # would silently drop a finished thread's aggregation results.
         self._all_dbs: dict[int, AggregationDB] = {}
+        self._all_states: dict[int, _ThreadState] = {}
         self._next_thread_seq = 0
         self._dbs_lock = threading.Lock()
 
     # -- hot path ------------------------------------------------------------
 
-    def _db(self) -> AggregationDB:
-        db = getattr(self._tls, "db", None)
-        if db is None:
-            db = AggregationDB(self.scheme)
-            self._tls.db = db
+    def _state(self) -> _ThreadState:
+        state = getattr(self._tls, "state", None)
+        if state is None:
+            state = _ThreadState(AggregationDB(self.scheme, fold_plan=self._fold_plan))
+            self._tls.state = state
             # Registration takes the lock once per thread lifetime, not per
             # snapshot — the paper's "per-thread DB avoids thread locks".
             with self._dbs_lock:
-                self._all_dbs[self._next_thread_seq] = db
+                self._all_dbs[self._next_thread_seq] = state.db
+                self._all_states[self._next_thread_seq] = state
                 self._next_thread_seq += 1
-        return db
+        return state
+
+    def _db(self) -> AggregationDB:
+        return self._state().db
 
     def process(self, record: Record) -> None:
-        self._db().process(record)
+        # Class-level fallback; __init__ shadows this with the closure from
+        # _make_process, so normal dispatch never lands here.
+        self._make_process()(record)
+
+    def _make_process(self):
+        """Build the per-record fold entry point for this configuration."""
+        tls = self._tls
+        make_state = self._state
+
+        if not self._key_cache_enabled:
+
+            def process(record: Record) -> None:
+                state = getattr(tls, "state", None)
+                if state is None:
+                    state = make_state()
+                state.db.process(record)
+
+            return process
+
+        predicate = self._predicate
+        labels = self._key_labels
+        single = labels[0] if len(labels) == 1 else None
+        limit = _KEY_CACHE_LIMIT
+
+        def process(record: Record) -> None:
+            state = getattr(tls, "state", None)
+            if state is None:
+                state = make_state()
+            db = state.db
+            db.num_offered += 1
+            if predicate is not None and not predicate(record):
+                return
+            if state.epoch != db.table_epoch:
+                state.memo.clear()
+                state.epoch = db.table_epoch
+            entries = record._entries
+            if single is not None:
+                variants = entries.get(single)
+                ids = id(variants)
+            else:
+                variants = tuple(entries.get(lbl) for lbl in labels)
+                ids = tuple(map(id, variants))
+            memo = state.memo
+            hit = memo.get(ids)
+            if hit is None:
+                states = state.lookup(record)
+                if len(memo) >= limit:
+                    memo.clear()
+                memo[ids] = (variants, states)
+                state.misses += 1
+            else:
+                states = hit[1]
+                state.hits += 1
+            db.num_processed += 1
+            state.update(states, record)
+
+        return process
 
     # -- flush ----------------------------------------------------------------
 
     def flush(self) -> list[Record]:
         with self._dbs_lock:
             dbs = dict(self._all_dbs)
+            states = list(self._all_states.values())
+        observe.gauge(
+            "aggregate.keycache.hits",
+            sum(s.hits for s in states),
+            channel=self.channel.name,
+        )
+        observe.gauge(
+            "aggregate.keycache.misses",
+            sum(s.misses for s in states),
+            channel=self.channel.name,
+        )
         multi = len(dbs) > 1
         out: list[Record] = []
         for tid, db in sorted(dbs.items()):
@@ -126,12 +259,14 @@ class AggregateService(Service):
         """Per-channel aggregation cost figures (the paper's Table I row).
 
         Summed across the per-thread databases: unique entries, stream
-        counters, state-cell memory footprint, estimated wire size, and the
+        counters, state-cell memory footprint, estimated wire size, the
         number of entries whose key was only partially extractable
-        (records missing one or more GROUP BY attributes).
+        (records missing one or more GROUP BY attributes), plus the hot-path
+        knobs in effect and the context-key cache hit/miss counters.
         """
         with self._dbs_lock:
             dbs = list(self._all_dbs.values())
+            states = list(self._all_states.values())
         return {
             "db.threads": len(dbs),
             "db.entries": sum(db.num_entries for db in dbs),
@@ -140,4 +275,8 @@ class AggregateService(Service):
             "db.memory_footprint": sum(db.memory_footprint() for db in dbs),
             "db.wire_size": sum(db.wire_size() for db in dbs),
             "db.key_misses": sum(db.num_partial_keys for db in dbs),
+            "fold_plan": self._fold_plan,
+            "keycache.enabled": self._key_cache_enabled,
+            "keycache.hits": sum(s.hits for s in states),
+            "keycache.misses": sum(s.misses for s in states),
         }

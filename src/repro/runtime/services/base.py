@@ -44,6 +44,12 @@ class Service:
     #: Measurement providers (timer) use a low priority so their hooks run
     #: before snapshot-triggering services (event) observe the event.
     priority: int = 100
+    #: True for processors that fold each snapshot record immediately and
+    #: never retain a reference to it (the aggregate service).  When *every*
+    #: processor on a channel declares this, ``push_snapshot`` may hand out
+    #: the blackboard's live record without copying — services that store
+    #: records (trace, recorder, netflush) must leave this False.
+    folds_immediately: bool = False
 
     def __init__(self, channel: "Channel") -> None:
         self.channel = channel
@@ -92,6 +98,16 @@ class Service:
     def overrides(cls, hook: str) -> bool:
         """True if this class implements ``hook`` itself (not the base no-op)."""
         return getattr(cls, hook) is not getattr(Service, hook)
+
+    def wants(self, hook: str) -> bool:
+        """True if this *instance* needs ``hook`` dispatched to it.
+
+        Defaults to :meth:`overrides`; services whose hook need depends on
+        configuration (e.g. the timer's begin/end tracking, only used for
+        inclusive time) override this so the channel's per-event dispatch
+        lists stay minimal.
+        """
+        return type(self).overrides(hook)
 
 
 class ServiceRegistry:

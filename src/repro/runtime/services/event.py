@@ -38,6 +38,17 @@ class EventService(Service):
         self._trigger: Optional[frozenset[str]] = frozenset(trigger) if trigger else None
         self._mark = self.config.get_bool("mark", False)
         self._trigger_set = self.config.get_bool("trigger_set", False)
+        if self._trigger is None and not self._mark:
+            # Common case — every event triggers a bare snapshot; shadow the
+            # hook methods with one closure that skips the trigger/mark
+            # bookkeeping.  push_snapshot is re-read per call on purpose: the
+            # channel installs its own specialized closure after services are
+            # constructed.
+            def on_event(attribute: Attribute, value: Variant, _ch=channel) -> None:
+                _ch.push_snapshot(None)
+
+            self.on_begin = on_event  # type: ignore[method-assign]
+            self.on_end = on_event  # type: ignore[method-assign]
 
     def _should_trigger(self, attribute: Attribute) -> bool:
         return self._trigger is None or attribute.label in self._trigger

@@ -28,7 +28,7 @@ import threading
 from typing import Optional
 
 from ...common.attribute import Attribute
-from ...common.variant import ValueType, Variant
+from ...common.variant import Variant
 from .base import Service
 
 __all__ = ["TimerService"]
@@ -42,8 +42,27 @@ class TimerService(Service):
         super().__init__(channel)
         self._with_offset = self.config.get_bool("offset", False)
         self._with_inclusive = self.config.get_bool("inclusive", False)
-        self._epoch = channel.caliper.clock.now()
+        # ``timer.trim_hooks = false`` restores the legacy dispatch: begin/end
+        # hooks stay registered even without inclusive timing, as per-event
+        # no-op calls.  Only the hot-path benchmark's baseline uses this.
+        self._trim_hooks = self.config.get_bool("trim_hooks", True)
+        # Bound once: three attribute hops per snapshot otherwise.  The clock
+        # instance is fixed for the runtime's lifetime.
+        self._now = channel.caliper.clock.now
+        self._epoch = self._now()
         self._tls = threading.local()
+
+    def wants(self, hook: str) -> bool:
+        # The begin/end hooks only feed inclusive-time tracking; without
+        # ``timer.inclusive`` they would be per-event no-op calls, so keep
+        # them out of the channel's dispatch lists entirely.
+        if (
+            hook in ("on_begin", "on_end")
+            and not self._with_inclusive
+            and self._trim_hooks
+        ):
+            return False
+        return super().wants(hook)
 
     # -- inclusive-time tracking (only active with timer.inclusive) -------------
 
@@ -54,9 +73,7 @@ class TimerService(Service):
         if stacks is None:
             stacks = {}
             self._tls.begin_stacks = stacks
-        stacks.setdefault(attribute.id, []).append(
-            self.channel.caliper.clock.now()
-        )
+        stacks.setdefault(attribute.id, []).append(self._now())
 
     def on_end(self, attribute: Attribute, value: Variant) -> None:
         if not self._with_inclusive:
@@ -66,14 +83,13 @@ class TimerService(Service):
         if stack:
             begin_time = stack.pop()
             # Stashed for the snapshot this end event is about to trigger.
-            self._tls.pending_inclusive = (
-                self.channel.caliper.clock.now() - begin_time
-            )
+            self._tls.pending_inclusive = self._now() - begin_time
 
     # -- snapshot contribution -----------------------------------------------------
 
-    def contribute(self, entries: dict[str, Variant], at: Optional[float]) -> None:
-        now = at if at is not None else self.channel.caliper.clock.now()
+    def contribute(self, entries: dict[str, Variant], at: Optional[float],
+                   _double=Variant.double) -> None:
+        now = at if at is not None else self._now()
         last = getattr(self._tls, "last", None)
         if last is None:
             last = self._epoch
@@ -83,12 +99,12 @@ class TimerService(Service):
             # snapshot can observe at < last; clamp rather than emit negative
             # durations.
             duration = 0.0
-        self._tls.last = max(now, last)
-        entries["time.duration"] = Variant(ValueType.DOUBLE, duration)
+        self._tls.last = now if now >= last else last
+        entries["time.duration"] = _double(duration)
         if self._with_inclusive:
             pending = getattr(self._tls, "pending_inclusive", None)
             if pending is not None:
-                entries["time.inclusive.duration"] = Variant(ValueType.DOUBLE, pending)
+                entries["time.inclusive.duration"] = Variant.double(pending)
                 self._tls.pending_inclusive = None
         if self._with_offset:
-            entries["time.offset"] = Variant(ValueType.DOUBLE, now - self._epoch)
+            entries["time.offset"] = Variant.double(now - self._epoch)

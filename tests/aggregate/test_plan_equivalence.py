@@ -1,0 +1,302 @@
+"""Equivalence properties for the compiled fold fast path.
+
+The hot-path optimization stack — compiled fold plans, context-key caching,
+and the channel's zero-copy snapshot path — is only admissible if it is
+*observationally identical* to the generic reference path.  These tests
+enforce that over randomized record streams:
+
+* ``fold_plan="compiled"`` flushes the same records as ``"generic"``, for
+  both key strategies, off-line, on-line, and split across combine stages;
+* grouped kernels (several fast ops sharing one argument label) and
+  fallback kernels (ops without a monomorphic fast kernel) fold identically;
+* the runtime-level knobs (``aggregate.key_cache``, ``snapshot_fastpath``)
+  do not change flushed results, and the key cache survives epoch bumps.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate import AggregationDB, AggregationScheme, StreamAggregator
+from repro.aggregate.ops import (
+    AliasedOp,
+    AvgOp,
+    CountOp,
+    FirstOp,
+    HistogramOp,
+    MaxOp,
+    MinOp,
+    RatioOp,
+    ScaleOp,
+    StddevOp,
+    SumOp,
+    VarianceOp,
+)
+from repro.aggregate.plan import CompiledFoldPlan, make_plan
+from repro.common import AggregationError, Record
+
+# -- random record streams ----------------------------------------------------
+
+#: values that hit every kernel branch: ints/floats (fast numeric), bools
+#: (count as 0/1), strings (skipped by numeric ops), None (missing entry),
+#: plus the IEEE edge cases inf and nan.
+_finite_values = st.one_of(
+    st.integers(-(2**40), 2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.booleans(),
+    st.sampled_from(["s1", "s2"]),
+    st.none(),
+)
+
+_values = st.one_of(
+    _finite_values,
+    st.just(float("inf")),
+    st.just(float("-inf")),
+    st.just(float("nan")),
+)
+
+
+@st.composite
+def streams(draw, max_size=30, finite=False):
+    """Records over a small label set so groups and misses both occur."""
+    values = _finite_values if finite else _values
+    n = draw(st.integers(min_value=0, max_value=max_size))
+    out = []
+    for _ in range(n):
+        entries = {}
+        for label in ("x", "y", "k", "k2"):
+            v = draw(values)
+            if v is not None:
+                entries[label] = v
+        out.append(Record(entries))
+    return out
+
+
+FAST_OPS = lambda: [  # noqa: E731 - fresh op instances per scheme
+    CountOp(),
+    SumOp(["x"]),
+    MinOp(["x"]),
+    MaxOp(["x"]),
+    AvgOp(["x"]),
+    VarianceOp(["x"]),
+    StddevOp(["x"]),
+    ScaleOp(["y"], factor=1.5),
+]
+
+MIXED_OPS = lambda: FAST_OPS() + [  # noqa: E731
+    HistogramOp(["x"], bins=4, lo=-10.0, hi=10.0),
+    RatioOp(["x", "y"]),
+    FirstOp(["y"]),
+    AliasedOp(SumOp(["y"]), "ysum"),
+]
+
+
+def canon(records):
+    """Flushed records as a sorted list of plain dicts for comparison."""
+    rows = [r.to_plain() for r in records]
+    return sorted(rows, key=lambda d: sorted((k, repr(v)) for k, v in d.items()))
+
+
+def assert_same_output(got, want):
+    got, want = canon(got), canon(want)
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.keys() == w.keys()
+        for label in w:
+            gv, wv = g[label], w[label]
+            if isinstance(wv, float) and math.isnan(wv):
+                assert isinstance(gv, float) and math.isnan(gv)
+            elif isinstance(wv, float) or isinstance(gv, float):
+                assert gv == pytest.approx(wv, rel=1e-9, abs=1e-12, nan_ok=True)
+            else:
+                assert gv == wv
+
+
+def run_db(ops, recs, key=("k",), fold_plan="compiled", key_strategy="tuple"):
+    scheme = AggregationScheme(ops, key=key, key_strategy=key_strategy)
+    db = AggregationDB(scheme, fold_plan=fold_plan)
+    db.process_all(recs)
+    return db
+
+
+# -- compiled vs generic ------------------------------------------------------
+
+
+class TestCompiledMatchesGeneric:
+    @pytest.mark.parametrize("key_strategy", ["tuple", "interned"])
+    @pytest.mark.parametrize("key", [(), ("k",), ("k", "k2")], ids=["nokey", "k1", "k2"])
+    @given(recs=streams())
+    @settings(max_examples=8, deadline=None)
+    def test_offline_flush(self, key_strategy, key, recs):
+        got = run_db(FAST_OPS(), recs, key, "compiled", key_strategy).flush()
+        want = run_db(FAST_OPS(), recs, key, "generic", key_strategy).flush()
+        assert_same_output(got, want)
+
+    @given(recs=streams())
+    @settings(max_examples=15, deadline=None)
+    def test_fallback_ops_fold_identically(self, recs):
+        got = run_db(MIXED_OPS(), recs, ("k",), "compiled").flush()
+        want = run_db(MIXED_OPS(), recs, ("k",), "generic").flush()
+        assert_same_output(got, want)
+
+    @given(recs=streams())
+    @settings(max_examples=15, deadline=None)
+    def test_online_equals_offline(self, recs):
+        scheme = AggregationScheme(FAST_OPS(), key=("k",))
+        stream = StreamAggregator(scheme, fold_plan="compiled")
+        for r in recs:
+            stream.push(r)
+        want = run_db(FAST_OPS(), recs, ("k",), "generic").flush()
+        assert_same_output(stream.flush(), want)
+
+    @given(recs=streams(finite=True), split=st.integers(min_value=0, max_value=30))
+    @settings(max_examples=15, deadline=None)
+    def test_combine_equals_single_pass(self, recs, split):
+        # Finite values only: combine reassociates the folds, and IEEE
+        # inf/nan arithmetic is not associative (sum([inf, -inf]) vs
+        # inf + (-inf) across partials legitimately differ) — that is a
+        # property of floats, not of the plans.
+        split = min(split, len(recs))
+        left = run_db(FAST_OPS(), recs[:split], ("k",), "compiled")
+        right = run_db(FAST_OPS(), recs[split:], ("k",), "compiled")
+        left.combine(right)
+        want = run_db(FAST_OPS(), recs, ("k",), "generic").flush()
+        assert_same_output(left.flush(), want)
+
+
+class TestGroupedKernels:
+    """Several fast ops sharing one argument label fuse into one kernel."""
+
+    def make_ops(self):
+        return [
+            CountOp(),
+            SumOp(["x"]),
+            MinOp(["x"]),
+            MaxOp(["x"]),
+            VarianceOp(["x"]),
+        ]
+
+    def test_plan_groups_shared_label(self):
+        plan = make_plan(tuple(self.make_ops()), "compiled")
+        assert isinstance(plan, CompiledFoldPlan)
+        # all five ops have fast kernels, grouped or not
+        assert plan.num_fast_ops == 5
+
+    @given(recs=streams())
+    @settings(max_examples=15, deadline=None)
+    def test_grouped_fold_matches_generic(self, recs):
+        got = run_db(self.make_ops(), recs, ("k",), "compiled").flush()
+        want = run_db(self.make_ops(), recs, ("k",), "generic").flush()
+        assert_same_output(got, want)
+
+    def test_count_fires_on_records_missing_the_grouped_label(self):
+        # count has no argument: it must tick even when the grouped entry
+        # lookup for "x" misses.
+        recs = [Record({"k": "a"}), Record({"k": "a", "x": 2.0})]
+        (row,) = run_db(self.make_ops(), recs, ("k",), "compiled").flush()
+        plain = row.to_plain()
+        assert plain["count"] == 2
+        assert plain["sum#x"] == pytest.approx(2.0)
+
+
+class TestRuntimeKnobEquivalence:
+    """The hot-path knobs change cost, never flushed results."""
+
+    SCHEME = (
+        "AGGREGATE count, sum(time.duration), min(time.duration), "
+        "max(time.duration) GROUP BY function"
+    )
+
+    def run_channel(self, **overrides):
+        from repro.runtime import Caliper, VirtualClock
+
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        config = {
+            "services": ["event", "timer", "aggregate"],
+            "aggregate.config": self.SCHEME,
+        }
+        config.update(overrides)
+        chan = cali.create_channel("t", config)
+        for i in range(30):
+            cali.begin("function", f"f{i % 3}")
+            clk.advance(0.5)
+            with cali.region("function", "inner"):
+                clk.advance(0.25)
+            cali.end("function")
+        return chan.finish()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"aggregate.fold_plan": "generic"},
+            {"aggregate.key_cache": False},
+            {"snapshot_fastpath": False},
+            {"timer.trim_hooks": False},
+            {
+                "aggregate.fold_plan": "generic",
+                "aggregate.key_cache": False,
+                "snapshot_fastpath": False,
+                "timer.trim_hooks": False,
+            },
+        ],
+        ids=["generic-plan", "no-keycache", "no-fastpath", "no-trim", "all-legacy"],
+    )
+    def test_legacy_knobs_match_default(self, overrides):
+        want = self.run_channel()
+        got = self.run_channel(**overrides)
+        assert_same_output(got, want)
+
+    def test_key_cache_invalidated_by_table_clear(self):
+        from repro.runtime import Caliper, VirtualClock
+
+        clk = VirtualClock()
+        cali = Caliper(clock=clk)
+        chan = cali.create_channel(
+            "t",
+            {"services": ["event", "timer", "aggregate"],
+             "aggregate.config": self.SCHEME},
+        )
+        for _ in range(10):
+            with cali.region("function", "warm"):
+                clk.advance(0.5)
+        svc = chan.service("aggregate")
+        db = svc._tls.state.db
+        db.clear()  # bumps table_epoch: cached state lists are now dangling
+        for _ in range(4):
+            with cali.region("function", "after"):
+                clk.advance(0.5)
+        rows = {
+            r.to_plain().get("function"): r.to_plain()["aggregate.count"]
+            for r in chan.finish()
+        }
+        # Pre-clear groups are gone; post-clear events fold into fresh states
+        # (a stale key-cache hit would either crash or resurrect "warm").
+        assert "warm" not in rows
+        assert rows["after"] == 4
+
+    def test_invalid_fold_plan_rejected(self):
+        from repro.common import ConfigError
+        from repro.runtime import Caliper
+
+        with pytest.raises(ConfigError, match="fold_plan"):
+            Caliper().create_channel(
+                "t",
+                {"services": ["aggregate"],
+                 "aggregate.config": self.SCHEME,
+                 "aggregate.fold_plan": "turbo"},
+            )
+
+
+class TestPlanSelection:
+    def test_unknown_fold_plan_rejected(self):
+        with pytest.raises(AggregationError, match="fold plan"):
+            make_plan((CountOp(),), "vectorized")
+
+    def test_mixed_plan_counts_fast_ops(self):
+        plan = make_plan(tuple(MIXED_OPS()), "compiled")
+        assert isinstance(plan, CompiledFoldPlan)
+        # histogram / ratio / first use the fallback kernel
+        assert 0 < plan.num_fast_ops < len(MIXED_OPS())

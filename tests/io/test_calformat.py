@@ -99,6 +99,50 @@ class TestCompression:
         assert len(node_lines) == 1
 
 
+class TestFastParsePath:
+    """The escape-free reader fast path (plain ``str.split``, no unescape)."""
+
+    def test_mixed_stream_roundtrips(self):
+        # Escape-free records take the fast branch; records with separator
+        # characters in values force the escaped slow branch.  Both kinds in
+        # one stream must round-trip, sharing context-node state.
+        recs = [
+            Record({"kernel": "hot-loop", "mpi.rank": 3, "time.duration": 0.5}),
+            Record({"name": "a,b=c\\d", "time.duration": 1.0}),
+            Record({"kernel": "hot-loop", "mpi.rank": 3, "time.duration": 1.5}),
+            Record({"note": "line\nbreak"}),
+        ]
+        back, _ = roundtrip(recs)
+        assert back == recs
+
+    def test_fastpath_covers_immediate_and_node_fields(self):
+        # Node references (compressed context) plus immediate typed fields on
+        # the same escape-free snap line — the fast branch handles both.
+        base = Record({"function": "main/solve", "mpi.rank": 7})
+        recs = [base.with_entries({"time.duration": float(i) / 4}) for i in range(50)]
+        back, _ = roundtrip(recs)
+        assert back == recs
+
+    def test_perf_sanity(self):
+        # Loose throughput floor for the common escape-free stream: generous
+        # enough not to flake on slow shared machines, tight enough to catch
+        # the fast path regressing to per-character scanning.
+        import time
+
+        base = Record({"kernel": "k", "mpi.rank": 1, "function": "main/solve"})
+        recs = [base.with_entries({"time.duration": float(i)}) for i in range(5000)]
+        buf = io.StringIO()
+        write_cali(buf, recs)
+        text = buf.getvalue()
+        assert "\\" not in text  # the whole stream qualifies for the fast path
+
+        start = time.perf_counter()
+        back = read_cali(io.StringIO(text))
+        elapsed = time.perf_counter() - start
+        assert back == recs
+        assert elapsed < 2.0  # ~2500 rec/s floor; the fast path does far more
+
+
 class TestErrors:
     def test_bad_header(self):
         with pytest.raises(FormatError, match="not a cali file"):

@@ -140,6 +140,79 @@ class TestIngestionTelemetry:
         assert reg.timer_stats("parallel.file.parse", file="part-0.cali")[0] == 1
 
 
+class TestAutoParallelHeuristics:
+    """``parallel=True`` clamps to serial when a pool cannot pay off."""
+
+    def test_single_core_falls_back_to_serial(self, many_files, monkeypatch):
+        import os
+
+        from repro import observe
+        from repro.io import dataset as dataset_mod
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        with observe.collecting() as reg:
+            ds = Dataset.from_files(many_files, parallel=True)
+        assert len(ds) == 100
+        assert reg.timer_stats("ingest.from_files", files=5, workers=1)[0] == 1
+        assert reg.counter_value("parallel.fallback", reason="single-core") == 1
+        assert dataset_mod._resolve_workers(True, 5) == 1
+
+    def test_small_input_clamps_pool(self, many_files, monkeypatch):
+        import os
+
+        from repro import observe
+
+        # Plenty of cores, but the 5 tiny files are far below the per-worker
+        # record threshold — auto mode must shrink the pool to one worker.
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        with observe.collecting() as reg:
+            ds = Dataset.from_files(many_files, parallel=True)
+        assert len(ds) == 100
+        assert reg.timer_stats("ingest.from_files", files=5, workers=1)[0] == 1
+        assert (
+            reg.counter_value("parallel.fallback", reason="small-input", workers=1)
+            == 1
+        )
+
+    def test_large_input_keeps_pool(self, many_files, monkeypatch):
+        import os
+
+        from repro.io import dataset as dataset_mod
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        # Lower the threshold instead of writing huge files.
+        monkeypatch.setattr(dataset_mod, "MIN_PARALLEL_RECORDS_PER_WORKER", 1)
+        paths = [str(p) for p in many_files]
+        assert dataset_mod._resolve_workers(True, len(paths), paths) == 5
+
+    def test_explicit_workers_bypass_heuristics(self, many_files, monkeypatch):
+        import os
+
+        from repro import observe
+
+        # An explicit integer is a user override: a real pool runs even on a
+        # "single-core" box, and no fallback is recorded.
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        with observe.collecting() as reg:
+            got = parallel_query_files(QUERY, many_files, workers=2)
+        assert reg.timer_stats("parallel.query_files", files=5, workers=2)[0] == 1
+        assert reg.counter_value("parallel.states.shipped") > 0
+        assert reg.counter_value("parallel.fallback", reason="single-core") == 0
+        assert str(got) == str(serial_result(many_files))
+
+    def test_auto_query_files_falls_back_serially(self, many_files, monkeypatch):
+        import os
+
+        from repro import observe
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        with observe.collecting() as reg:
+            got = parallel_query_files(QUERY, many_files, workers=True)
+        # Tiny input: the auto heuristics pick the serial path, results match.
+        assert reg.timer_stats("parallel.query_files", files=5, workers=1)[0] == 1
+        assert str(got) == str(serial_result(many_files))
+
+
 class TestEdgeCases:
     def test_empty_file_list(self):
         result = parallel_query_files(QUERY, [])
