@@ -1,0 +1,184 @@
+"""Measure reduction-tree vs flat-star aggregation and write ``BENCH_tree.json``.
+
+Streams the same synthetic record set into (a) one flat star server and
+(b) 2- and 3-level reduction trees of relay servers, at several leaf
+counts, and reports what the tree buys: the wire bytes crossing the link
+into the *root* and the root's combine cost.  Relays pre-combine their
+subtree's records into per-key partial states, so the root's inbound
+traffic is O(keys x fan-in) per forward cycle instead of O(records) —
+the paper's cross-process payload-reduction effect, here over TCP.
+
+Usage::
+
+    python benchmarks/bench_tree.py                # full pass, N=4..16
+    python benchmarks/bench_tree.py --smoke        # CI-sized quick pass
+    python benchmarks/bench_tree.py --smoke --check  # + assert tree < star
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.common import Record  # noqa: E402
+from repro.net import LocalTree  # noqa: E402
+
+SCHEME = (
+    "AGGREGATE count, sum(time.duration), min(time.duration), "
+    "max(time.duration) GROUP BY kernel"
+)
+
+
+def synth_records(leaf: int, n: int) -> list[Record]:
+    return [
+        Record(
+            {
+                "kernel": f"k{(leaf * 7 + i) % 20}",
+                "time.duration": 0.25 + (i % 7) * 0.5,
+            }
+        )
+        for i in range(n)
+    ]
+
+
+def level_sizes_for(levels: int, leaves: int) -> list[int]:
+    """Topology under test: star, one relay level, or two relay levels."""
+    if levels == 1:
+        return [1]
+    if levels == 2:
+        return [1, max(2, leaves // 4)]
+    if levels == 3:
+        return [1, 2, max(4, leaves // 2)]
+    raise ValueError(f"levels must be 1, 2, or 3, got {levels}")
+
+
+def bench_topology(levels: int, leaves: int, per_leaf: int, batch_size: int) -> dict:
+    sizes = level_sizes_for(levels, leaves)
+    with LocalTree(SCHEME, n_leaves=leaves, level_sizes=sizes) as tree:
+        total = 0
+        t0 = time.perf_counter()
+        clients = [tree.leaf_client(i, batch_size=batch_size) for i in range(leaves)]
+        for i, client in enumerate(clients):
+            records = synth_records(i, per_leaf)
+            total += len(records)
+            if not client.send_records(records):
+                raise RuntimeError("leaf delivery failed")
+        if not tree.sync():
+            raise RuntimeError("tree sync failed")
+        ingest_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        result = tree.root.run_query("AGGREGATE sum(count) GROUP BY kernel")
+        root_query_seconds = time.perf_counter() - t0
+
+        # Per-level combine time and forwarded bytes, from the telemetry the
+        # relays piggyback on their forwards (queryable via CalQL too).
+        combine_by_level: dict[str, float] = {}
+        forwarded_by_level: dict[str, int] = {}
+        for record in tree.root.stats_records():
+            if record.get("observe.kind") is None:
+                continue
+            if record.get("observe.kind").to_string() != "tree":
+                continue
+            level = str(record.get("observe.level").value)
+            combine_by_level[level] = combine_by_level.get(level, 0.0) + float(
+                record.get("observe.combine.seconds").value
+            )
+            forwarded_by_level[level] = forwarded_by_level.get(level, 0) + int(
+                record.get("observe.forward.bytes").value
+            )
+
+        root_rx_bytes = int(tree.root.metrics.counter_value("net.bytes.rx"))
+        merged = tree.root.merged_db()
+        groups = len(result.records)
+        for client in clients:
+            client.close()
+        if merged.num_processed != total:
+            raise RuntimeError(
+                f"lost records: root processed {merged.num_processed}/{total}"
+            )
+    return {
+        "levels": levels,
+        "level_sizes": sizes,
+        "leaves": leaves,
+        "records": total,
+        "ingest_seconds": ingest_seconds,
+        "records_per_second": total / ingest_seconds,
+        "root_rx_bytes": root_rx_bytes,
+        "root_query_seconds": root_query_seconds,
+        "root_groups": groups,
+        "combine_seconds_by_level": combine_by_level,
+        "forwarded_bytes_by_level": forwarded_by_level,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--per-leaf", type=int, default=5000,
+                        help="records streamed per leaf")
+    parser.add_argument("--batch-size", type=int, default=200)
+    parser.add_argument("--leaves", type=int, nargs="+", default=[4, 8, 16])
+    parser.add_argument("--levels", type=int, nargs="+", default=[1, 2, 3])
+    parser.add_argument("--smoke", action="store_true", help="CI-sized quick pass")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert the tree root receives fewer wire bytes than the flat "
+        "star at every leaf count >= 8",
+    )
+    parser.add_argument("--output", default="BENCH_tree.json")
+    args = parser.parse_args()
+    if args.smoke:
+        args.per_leaf = min(args.per_leaf, 800)
+        args.leaves = [n for n in args.leaves if n <= 8] or [4, 8]
+
+    runs = []
+    for leaves in args.leaves:
+        for levels in args.levels:
+            run = bench_topology(levels, leaves, args.per_leaf, args.batch_size)
+            runs.append(run)
+            print(
+                f"leaves={leaves} levels={levels} "
+                f"(shape {'/'.join(map(str, run['level_sizes']))}): "
+                f"root rx {run['root_rx_bytes']:,} B, "
+                f"ingest {run['ingest_seconds'] * 1e3:.0f} ms, "
+                f"root query {run['root_query_seconds'] * 1e3:.1f} ms"
+            )
+
+    payload = {
+        "benchmark": "reduction-tree",
+        "scheme": SCHEME,
+        "per_leaf": args.per_leaf,
+        "batch_size": args.batch_size,
+        "runs": runs,
+    }
+    with open(args.output, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        star = {r["leaves"]: r["root_rx_bytes"] for r in runs if r["levels"] == 1}
+        failures = []
+        for run in runs:
+            if run["levels"] == 1 or run["leaves"] < 8:
+                continue
+            if run["root_rx_bytes"] >= star[run["leaves"]]:
+                failures.append(
+                    f"leaves={run['leaves']} levels={run['levels']}: tree root rx "
+                    f"{run['root_rx_bytes']} >= star {star[run['leaves']]}"
+                )
+        if failures:
+            print("CHECK FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+            return 1
+        print("check passed: tree root rx bytes < flat star at every N >= 8")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,7 +29,7 @@ from repro.common import Record  # noqa: E402
 from repro.io import Dataset, write_records  # noqa: E402
 from repro.io.dataset import _resolve_workers  # noqa: E402
 from repro.observe import to_dict  # noqa: E402
-from repro.query import QueryEngine, parallel_query_files  # noqa: E402
+from repro.query import QueryEngine, QueryOptions, parallel_query_files  # noqa: E402
 
 QUERY = (
     "AGGREGATE count, sum(time.duration), avg(time.duration), "
@@ -114,10 +114,10 @@ def bench_parallel(records: list[Record], n_files: int, repetitions: int) -> dic
             repetitions, lambda: Dataset.from_files(paths, parallel=True)
         )
         t_query_serial = best_of(
-            repetitions, lambda: parallel_query_files(QUERY, paths, workers=1)
+            repetitions, lambda: parallel_query_files(QUERY, paths, QueryOptions(jobs=1))
         )
         t_query_parallel = best_of(
-            repetitions, lambda: parallel_query_files(QUERY, paths, workers=True)
+            repetitions, lambda: parallel_query_files(QUERY, paths, QueryOptions(jobs=True))
         )
 
     return {

@@ -23,10 +23,10 @@ Quick tour::
         ...                                   # your code
     records = chan.finish()
 
-    # --- off-line analysis ---------------------------------------------------
-    result = repro.run_query(
+    # --- analysis: one entry point for any source ------------------------
+    result = repro.api.query(
         "AGGREGATE sum(time.duration) GROUP BY function ORDER BY function",
-        records,
+        records,          # or a path, a glob, a Dataset, or "host:port"
     )
     print(result.to_table())
 
@@ -53,10 +53,11 @@ from .common import (
     Variant,
     make_record,
 )
+from . import api
 from .io import Dataset, read_records, write_records
 from .mpi import LatencyBandwidthNetwork, SimWorld
-from .net import AggregationServer, FlushClient, live_query
-from .query import MPIQueryRunner, QueryEngine, QueryResult, run_query
+from .net import AggregationServer, FlushClient, LocalTree, live_query, plan_tree
+from .query import MPIQueryRunner, QueryEngine, QueryOptions, QueryResult, run_query
 from .runtime import (
     Caliper,
     Channel,
@@ -100,8 +101,10 @@ __all__ = [
     "ProfilingSession",
     "profiling",
     # query
+    "api",
     "QueryEngine",
     "QueryResult",
+    "QueryOptions",
     "run_query",
     "MPIQueryRunner",
     # io
@@ -115,4 +118,6 @@ __all__ = [
     "AggregationServer",
     "FlushClient",
     "live_query",
+    "LocalTree",
+    "plan_tree",
 ]

@@ -18,7 +18,7 @@ dispatch loop used for equivalence testing.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Iterator
+from typing import Hashable, Iterable, Iterator, Optional
 
 from .. import observe
 from ..common.errors import AggregationError
@@ -57,6 +57,9 @@ class AggregationDB:
         #: holding state-list references (the aggregate service's key cache)
         #: know their entries went stale
         self.table_epoch = 0
+        #: highest state-batch sequence merged per ``(source id, source epoch)``
+        #: — see the ``source`` argument of :meth:`load_states`
+        self._source_seqs: dict[tuple[str, str], int] = {}
         # Per-stream invariants, bound once — never re-resolved per record.
         self._predicate = scheme.predicate
         self._extract = self._extractor.extract
@@ -247,14 +250,32 @@ class AggregationDB:
         groups: Iterable[tuple[dict[str, Variant], list[list]]],
         offered: int = 0,
         processed: int = 0,
-    ) -> None:
+        source: Optional[tuple[str, str, int]] = None,
+    ) -> bool:
         """Merge externally computed per-key partial states into this DB.
 
         The inverse of :meth:`export_states` with :meth:`combine` semantics:
         states for keys already present are merged through each operator's
         ``combine``; new keys get deep-copied state lists.  ``offered`` /
         ``processed`` carry the producing side's stream counters.
+
+        ``source`` makes the merge idempotent per producer incarnation: a
+        ``(source id, source epoch, sequence number)`` triple is remembered,
+        and a batch whose sequence does not advance past the last one merged
+        from that ``(id, epoch)`` is skipped entirely — so replaying a
+        networked state stream (lost ACK, spool replay) can never
+        double-count, no matter how many layers the batch travelled through.
+        A new epoch from the same id starts a fresh sequence space.
+
+        Returns True when the batch was merged, False when it was skipped
+        as a duplicate.
         """
+        if source is not None:
+            source_id, source_epoch, seq = source
+            ident = (source_id, source_epoch)
+            if seq <= self._source_seqs.get(ident, -1):
+                return False
+            self._source_seqs[ident] = seq
         extract = self._extractor.extract
         for entries, in_states in groups:
             key = extract(Record.from_variants(dict(entries)))
@@ -266,6 +287,7 @@ class AggregationDB:
                     op.combine(state, other)
         self.num_offered += offered
         self.num_processed += processed
+        return True
 
     def combine_records(self, records: Iterable[Record]) -> None:
         """Re-aggregate already-flushed output records into this database.

@@ -16,7 +16,11 @@ queryable aggregation daemon:
   :mod:`repro.io.calformat`) replayed on reconnect;
 * :mod:`.service` — :class:`NetworkFlushService`, a runtime service so any
   :class:`~repro.runtime.channel.Channel` flushes to a server instead of a
-  file.
+  file;
+* :mod:`.tree` — :func:`plan_tree` / :class:`LocalTree`, the federated
+  reduction-tree topology: servers in relay mode forward partial states
+  level-by-level to a single root (the paper's Fig. 6 MPI tree over TCP),
+  with spool-backed failover when a mid-tree relay dies.
 
 The mergeable transport unit is exactly what
 :meth:`AggregationDB.export_states`/:meth:`load_states` already provide —
@@ -35,11 +39,14 @@ from .protocol import (
     write_frame,
 )
 from .server import AggregationServer
+from .tree import LocalTree, plan_tree
 
 __all__ = [
     "AggregationServer",
     "FlushClient",
     "live_query",
+    "LocalTree",
+    "plan_tree",
     "MessageType",
     "ProtocolError",
     "FrameTooLarge",

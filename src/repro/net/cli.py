@@ -17,6 +17,17 @@ Examples::
     repro-query live --target telemetry \
         "SELECT observe.metric, observe.count WHERE observe.kind=counter" \
         --port 7744 --interval 2 --count 10
+
+``serve --upstream HOST:PORT`` turns the server into a reduction-tree
+relay that periodically forwards its partial aggregates to a parent, and
+``tree`` launches a whole local fan-in-k tree in one process (handy for
+smoke tests and the tree benchmark)::
+
+    repro-query serve --scheme "..." --upstream 10.0.0.1:7744 \
+        --forward-interval 0.5 --failover-after 5
+
+    repro-query tree --scheme "AGGREGATE count GROUP BY k" \
+        --leaves 8 --fanin 2
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ from ..common.errors import ReproError
 from .client import live_query
 from .server import AggregationServer
 
-__all__ = ["main", "build_serve_parser", "build_live_parser"]
+__all__ = ["main", "build_serve_parser", "build_live_parser", "build_tree_parser"]
 
 
 def build_serve_parser() -> argparse.ArgumentParser:
@@ -55,6 +66,71 @@ def build_serve_parser() -> argparse.ArgumentParser:
         type=int,
         default=128,
         help="per-shard queue depth before backpressure stalls producers",
+    )
+    relay = parser.add_argument_group("relay mode (reduction tree)")
+    relay.add_argument(
+        "--upstream",
+        metavar="HOST:PORT",
+        help="run as a relay: forward partial aggregates to this parent",
+    )
+    relay.add_argument(
+        "--forward-interval",
+        type=float,
+        default=0.5,
+        metavar="SEC",
+        help="seconds between forward cycles in relay mode (default 0.5)",
+    )
+    relay.add_argument(
+        "--failover-after",
+        type=float,
+        metavar="SEC",
+        help="re-parent to the grandparent after SEC seconds of parent loss",
+    )
+    relay.add_argument(
+        "--relay-id", help="stable relay identity (default: random node id)"
+    )
+    relay.add_argument(
+        "--level",
+        type=int,
+        metavar="N",
+        help="depth in the tree, root = 0 (default: learned from the parent)",
+    )
+    return parser
+
+
+def build_tree_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-query tree",
+        description="Launch a local reduction tree (root + relay servers).",
+    )
+    parser.add_argument(
+        "--scheme",
+        required=True,
+        help='aggregation scheme, e.g. "AGGREGATE count GROUP BY function"',
+    )
+    parser.add_argument(
+        "--leaves", type=int, default=4, help="number of leaf clients to plan for"
+    )
+    parser.add_argument(
+        "--fanin", type=int, default=2, help="maximum children per tree node"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--shards", type=int, default=1, help="aggregation shards per node"
+    )
+    parser.add_argument(
+        "--forward-interval",
+        type=float,
+        default=0.25,
+        metavar="SEC",
+        help="seconds between relay forward cycles (default 0.25)",
+    )
+    parser.add_argument(
+        "--failover-after",
+        type=float,
+        default=5.0,
+        metavar="SEC",
+        help="relay failure window before children re-parent (default 5)",
     )
     return parser
 
@@ -100,15 +176,21 @@ def serve_main(argv: Sequence[str]) -> int:
             port=args.port,
             shards=args.shards,
             queue_depth=args.queue_depth,
+            upstream=args.upstream,
+            forward_interval=args.forward_interval,
+            failover_after=args.failover_after,
+            relay_id=args.relay_id,
+            level=args.level,
         )
         server.start()
-    except (ReproError, OSError) as exc:
+    except (ReproError, OSError, ValueError) as exc:
         print(f"repro-query serve: error: {exc}", file=sys.stderr)
         return 1
     host, port = server.address
+    role = f"relay -> {args.upstream}" if args.upstream else "root"
     print(
         f"serving {args.scheme!r} on {host}:{port} "
-        f"({args.shards} shards, epoch {server.epoch})",
+        f"({role}, {args.shards} shards, epoch {server.epoch})",
         file=sys.stderr,
     )
     try:
@@ -140,14 +222,50 @@ def live_main(argv: Sequence[str]) -> int:
         time.sleep(args.interval)
 
 
+def tree_main(argv: Sequence[str]) -> int:
+    args = build_tree_parser().parse_args(argv)
+    from .tree import LocalTree  # deferred: keeps `live` start-up lean
+
+    try:
+        tree = LocalTree(
+            args.scheme,
+            n_leaves=args.leaves,
+            fanin=args.fanin,
+            shards=args.shards,
+            forward_interval=args.forward_interval,
+            failover_after=args.failover_after,
+            host=args.host,
+        )
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"repro-query tree: error: {exc}", file=sys.stderr)
+        return 1
+    shape = " -> ".join(str(len(level)) for level in reversed(tree.levels))
+    print(f"tree up ({shape} nodes, leaves attach to:)", file=sys.stderr)
+    for i in range(args.leaves):
+        host, port = tree.leaf_address(i)
+        print(f"  leaf {i}: {host}:{port}", file=sys.stderr)
+    root_host, root_port = tree.root.address
+    print(f"  root (query here): {root_host}:{root_port}", file=sys.stderr)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("draining tree...", file=sys.stderr)
+    finally:
+        tree.stop()
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] not in ("serve", "live"):
-        print("usage: repro-query {serve,live} ...", file=sys.stderr)
+    if not argv or argv[0] not in ("serve", "live", "tree"):
+        print("usage: repro-query {serve,live,tree} ...", file=sys.stderr)
         return 2
     command, rest = argv[0], argv[1:]
     if command == "serve":
         return serve_main(rest)
+    if command == "tree":
+        return tree_main(rest)
     return live_main(rest)
 
 

@@ -37,6 +37,16 @@ Clients sharing one configured ``spool_dir`` (several channels, several
 processes) each spool into a per-``client_id`` subdirectory, so their
 write-ahead batches never collide.
 
+**Failover (reduction trees).**  A relay server advertises its own parent
+in ``HELLO_ACK`` (``upstream``/``relay_id``).  When ``failover_after`` is
+set and the current server has been unreachable for at least that many
+seconds, the client *re-parents*: it switches to the advertised upstream
+address (the grandparent in the tree), announces the dead relay's
+identity in its ``HELLO`` (``failover_from``) so the grandparent can
+retract that relay's already-forwarded partial aggregates, and — because
+the grandparent's epoch differs — replays its entire write-ahead spool.
+Nothing is lost and, thanks to the retraction, nothing double-counts.
+
 All public methods are thread-safe: in stream mode the runtime calls
 :meth:`push` from every instrumented application thread, and a single
 internal lock serialises buffering, delivery, and the socket protocol.
@@ -101,6 +111,7 @@ class FlushClient:
         backoff_max: float = 2.0,
         spool_dir: Optional[str] = None,
         max_payload: int = MAX_PAYLOAD,
+        failover_after: Optional[float] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -140,6 +151,16 @@ class FlushClient:
         self._epoch: Optional[str] = None
         self._closed = False
 
+        #: seconds of continuous unreachability before re-parenting to the
+        #: server's advertised upstream (None = never fail over)
+        self.failover_after = failover_after
+        #: the most recent HELLO_ACK body (epoch, shards, level, upstream…)
+        self.server_info: dict = {}
+        self._failover_target: Optional[tuple[str, int]] = None
+        self._failover_source: Optional[tuple[str, str]] = None
+        self._announce_failover: Optional[tuple[str, str]] = None
+        self._down_since: Optional[float] = None
+
         #: delivery counters (batches spooled / acked / replayed, reconnects…)
         self.counters = {
             "records": 0,
@@ -149,6 +170,8 @@ class FlushClient:
             "replayed": 0,
             "reconnects": 0,
             "epoch_changes": 0,
+            "failovers": 0,
+            "wire_bytes": 0,
         }
 
     # -- streaming interface ------------------------------------------------------
@@ -224,20 +247,79 @@ class FlushClient:
         folded into it.  The database is exported as-is; the caller decides
         when to :meth:`AggregationDB.clear` it.
         """
+        wire = {
+            "scheme": db.scheme.describe(),
+            "groups": states_to_wire(db.export_states()),
+            "offered": db.num_offered,
+            "processed": db.num_processed,
+        }
+        return self._spool_and_deliver("states", wire)
+
+    def send_forward(
+        self,
+        groups: list,
+        *,
+        origin: tuple[str, str],
+        from_epoch: str,
+        level: int = -1,
+        offered: int = 0,
+        processed: int = 0,
+        telemetry: Optional[list[dict]] = None,
+        scheme: Optional[str] = None,
+    ) -> bool:
+        """Ship a reduction-tree FORWARD delta (already wire-encoded groups).
+
+        The relay-to-parent transport unit: ``groups`` is
+        :func:`~repro.net.protocol.states_to_wire` output, ``origin``
+        identifies whose partial aggregates these are (``(id, epoch)`` of
+        the server incarnation that first aggregated them — preserved
+        unchanged when a mid-tree relay passes a descendant's delta
+        through), and ``from_epoch`` is the *sending* server's epoch so a
+        parent can fence deltas from an incarnation it has declared dead.
+        Spooled, retried, and replayed exactly like any other batch.
+        """
+        body = {
+            "scheme": scheme or self.scheme_text,
+            "groups": groups,
+            "origin": list(origin),
+            "from_epoch": from_epoch,
+            "level": level,
+            "offered": offered,
+            "processed": processed,
+        }
+        if telemetry:
+            body["telemetry"] = telemetry
+        return self._spool_and_deliver("forward", body)
+
+    def send_retract(
+        self, origins: Iterable[tuple[str, str]], *, from_epoch: str
+    ) -> bool:
+        """Tell the parent to drop previously forwarded origins.
+
+        Sent when a downstream relay has been declared dead and its
+        children re-parented here: everything that relay's incarnation ever
+        forwarded is being re-delivered first-hand, so the parent must
+        retract its copies (and propagate the retraction further up) before
+        the re-forwarded data arrives.  Ordering is guaranteed by the
+        sequence stream: the retract takes a sequence number now, ahead of
+        any subsequently forwarded batch.
+        """
+        body = {
+            "origins": [list(o) for o in origins],
+            "from_epoch": from_epoch,
+        }
+        return self._spool_and_deliver("retract", body)
+
+    def _spool_and_deliver(self, kind: str, body: dict) -> bool:
+        """Write-ahead spool a JSON-bodied batch and try to deliver it."""
         with self._lock:
             self._check_open()
             seq = self._next_seq
             self._next_seq += 1
-            path = os.path.join(self.spool_dir, f"batch-{seq:08d}.states.json")
-            wire = {
-                "scheme": db.scheme.describe(),
-                "groups": states_to_wire(db.export_states()),
-                "offered": db.num_offered,
-                "processed": db.num_processed,
-            }
+            path = os.path.join(self.spool_dir, f"batch-{seq:08d}.{kind}.json")
             with open(path, "w", encoding="utf-8") as stream:
-                json.dump(wire, stream, separators=(",", ":"))
-            self._pending[seq] = ("states", path)
+                json.dump(body, stream, separators=(",", ":"))
+            self._pending[seq] = (kind, path)
             self.counters["batches"] += 1
             self._deliver_pending()
             return not self._pending
@@ -281,8 +363,13 @@ class FlushClient:
                 # Connection refused / reset / closed mid-frame: back off,
                 # retry, and finally leave the batches spooled.
                 self._disconnect()
+                if self._down_since is None:
+                    self._down_since = time.monotonic()
                 attempt += 1
                 if attempt > self.retries:
+                    if self._maybe_failover():
+                        attempt = 0
+                        continue
                     self.counters["spilled"] += len(self._pending)
                     return False
                 time.sleep(min(self.backoff * (2 ** (attempt - 1)), self.backoff_max))
@@ -290,6 +377,41 @@ class FlushClient:
                 # The server answered but refused — don't hammer it.
                 self._disconnect()
                 raise
+
+    # -- failover (tree re-parenting) ---------------------------------------------
+
+    def _maybe_failover(self) -> bool:
+        """Re-parent to the advertised upstream if the failure window expired.
+
+        Returns True when the client switched targets (the caller should
+        retry delivery against the new parent).
+        """
+        if (
+            self.failover_after is None
+            or self._failover_target is None
+            or self._down_since is None
+            or time.monotonic() - self._down_since < self.failover_after
+        ):
+            return False
+        host, port = self._failover_target
+        if (host, port) == (self.host, self.port):
+            return False
+        # Announce the dead relay in the next HELLO so the new parent can
+        # retract what that incarnation already forwarded; our own spool
+        # replay (triggered by the epoch change) re-delivers everything.
+        self._announce_failover = self._failover_source
+        self.host, self.port = host, port
+        self._failover_target = None
+        self._failover_source = None
+        self._down_since = None
+        self.counters["failovers"] += 1
+        return True
+
+    _BATCH_TYPES = {
+        "states": MessageType.STATES,
+        "forward": MessageType.FORWARD,
+        "retract": MessageType.RETRACT,
+    }
 
     def _send_one(self, seq: int, kind: str, path: str) -> None:
         if kind == "records":
@@ -303,8 +425,8 @@ class FlushClient:
             with open(path, "r", encoding="utf-8") as stream:
                 body = json.load(stream)
             body["seq"] = seq
-            mtype = MessageType.STATES
-        write_message(self._wfile, mtype, body)
+            mtype = self._BATCH_TYPES[kind]
+        self.counters["wire_bytes"] += write_message(self._wfile, mtype, body)
         reply, ack = read_message(self._rfile, self.max_payload)
         if reply is MessageType.ERROR:
             raise _Fatal(f"server refused batch {seq}: {ack.get('reason')}")
@@ -326,6 +448,8 @@ class FlushClient:
             hello = {"client": self.client_id}
             if self.scheme_text is not None:
                 hello["scheme"] = self.scheme_text
+            if self._announce_failover is not None:
+                hello["failover_from"] = list(self._announce_failover)
             write_message(wfile, MessageType.HELLO, hello)
             mtype, body = read_message(rfile, self.max_payload)
         except Exception:
@@ -345,6 +469,23 @@ class FlushClient:
             self._acked.clear()
             self.counters["epoch_changes"] += 1
         self._epoch = epoch
+        self._announce_failover = None
+        self._down_since = None
+        self.server_info = dict(body)
+        # Remember this server's identity and its advertised upstream so a
+        # later failure window can re-parent us to the grandparent.
+        upstream = body.get("upstream")
+        relay_id = body.get("relay_id")
+        if (
+            isinstance(upstream, (list, tuple))
+            and len(upstream) == 2
+            and isinstance(relay_id, str)
+        ):
+            self._failover_target = (str(upstream[0]), int(upstream[1]))
+            self._failover_source = (relay_id, epoch)
+        else:
+            self._failover_target = None
+            self._failover_source = None
         self._sock, self._rfile, self._wfile = sock, rfile, wfile
         self.counters["reconnects"] += 1
 
@@ -444,6 +585,17 @@ class FlushClient:
                     os.rmdir(self.spool_dir)  # succeeds only when empty
                 except OSError:
                     pass
+
+    def abort(self) -> None:
+        """Abrupt teardown for fault injection: no flush, no BYE, keep spool.
+
+        Marks the client closed *before* dropping the socket so a delivery
+        loop racing on another thread cannot reconnect and resurrect the
+        session — the observable behaviour of a killed relay process.
+        """
+        with self._lock:
+            self._closed = True
+            self._disconnect()
 
     def __enter__(self) -> "FlushClient":
         return self

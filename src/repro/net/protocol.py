@@ -109,6 +109,8 @@ class MessageType(enum.IntEnum):
     ERROR = 9  # refusal; payload carries a reason
     DRAIN = 10  # flush request: merged results of everything ingested
     BYE = 11  # orderly goodbye
+    FORWARD = 12  # relay -> parent: partial-DB delta tagged with origin + level
+    RETRACT = 13  # relay -> parent: drop previously forwarded origins (failover)
 
 
 # -- frame I/O ----------------------------------------------------------------
@@ -298,6 +300,30 @@ def states_from_wire(obj: object) -> list[tuple[dict[str, Variant], list[list]]]
             cells.append([_cell_from_wire(c) for c in op_state])
         out.append((entries, cells))
     return out
+
+
+def origin_from_wire(pair: object) -> tuple[str, str]:
+    """Decode an ``[id, epoch]`` origin pair from FORWARD/RETRACT payloads.
+
+    An *origin* names one aggregation-server incarnation in a reduction
+    tree: the stable relay id plus the random epoch drawn at start.  The
+    pair identifies whose partial aggregates a forwarded delta carries, so
+    a parent can retract exactly one dead subtree's contribution.
+    """
+    if (
+        not isinstance(pair, (list, tuple))
+        or len(pair) != 2
+        or not all(isinstance(part, str) and part for part in pair)
+    ):
+        raise ProtocolError(f"malformed origin {pair!r} (expected [id, epoch])")
+    return (pair[0], pair[1])
+
+
+def origins_from_wire(obj: object) -> list[tuple[str, str]]:
+    """Decode a RETRACT payload's origin list."""
+    if not isinstance(obj, list):
+        raise ProtocolError(f"origin list must be a list, got {type(obj).__name__}")
+    return [origin_from_wire(item) for item in obj]
 
 
 def error_body(reason: str, code: str = "protocol") -> dict:

@@ -33,6 +33,19 @@ Data flow::
   after a lost ACK cannot double-count.  Each server start draws a fresh
   random epoch id; a reconnecting client that sees a new epoch knows all
   previously acknowledged state is gone and replays its spool.
+* **Relay mode** (``upstream=``) — the server becomes one interior node of
+  a reduction tree (the paper's Fig. 6 MPI tree, over TCP): it folds
+  incoming records and states into its shards exactly as above, but
+  periodically exports the accumulated *delta*, clears the shards, and
+  forwards the per-key partial states to its parent through a
+  :class:`~repro.net.client.FlushClient` (write-ahead spooled, replayed,
+  exactly-once).  FORWARD deltas from downstream relays are kept
+  segregated per ``(sender, origin)`` and passed through with their
+  origin intact, which is what makes *retraction* possible: when a relay
+  dies, its children re-parent to this server (their grandparent),
+  announce the dead incarnation, and this server drops everything that
+  incarnation forwarded — the children's spool replay re-delivers all of
+  it first-hand, so root totals stay exact through mid-tree failures.
 
 Telemetry: the server keeps its own always-on
 :class:`~repro.observe.MetricsRegistry` (connections, batches, bytes,
@@ -47,6 +60,7 @@ import queue
 import socket
 import threading
 import time
+import uuid
 from typing import Optional, Union
 
 from ..aggregate.db import AggregationDB
@@ -63,12 +77,15 @@ from .protocol import (
     ProtocolError,
     Truncated,
     error_body,
+    origin_from_wire,
+    origins_from_wire,
     parse_body,
     read_frame,
     records_from_wire,
     records_to_wire,
     require,
     states_from_wire,
+    states_to_wire,
     write_message,
 )
 
@@ -121,6 +138,24 @@ class _Shard:
                     slot["offered"] = self.db.num_offered
                     slot["processed"] = self.db.num_processed
                     event.set()
+                elif kind == "export_clear":
+                    # Relay-mode delta capture: hand over everything folded
+                    # since the last cycle and reset to empty, so the same
+                    # partial state is never forwarded twice.  Runs on the
+                    # worker thread in queue order — batches acknowledged
+                    # before the barrier are in this delta, later ones in
+                    # the next.
+                    _, event, slot = item
+                    slot["states"] = [
+                        (entries, [list(s) for s in states])
+                        for entries, states in self.db.export_states()
+                    ]
+                    slot["offered"] = self.db.num_offered
+                    slot["processed"] = self.db.num_processed
+                    self.db.clear()
+                    self.db.num_offered = 0
+                    self.db.num_processed = 0
+                    event.set()
                 elif kind == "stop":
                     item[1].set()
                     return
@@ -129,7 +164,7 @@ class _Shard:
                 # the handler-side decoders validate shapes, but defence in
                 # depth keeps one bad item from stalling every connection.
                 self.metrics.count("net.errors", stage="shard")
-                if kind == "export":
+                if kind in ("export", "export_clear"):
                     item[1].set()
 
 
@@ -150,6 +185,12 @@ class AggregationServer:
         shards: int = 4,
         queue_depth: int = 128,
         max_payload: int = MAX_PAYLOAD,
+        upstream: Union[tuple[str, int], str, None] = None,
+        forward_interval: float = 0.5,
+        failover_after: Optional[float] = None,
+        relay_id: Optional[str] = None,
+        level: Optional[int] = None,
+        forward_spool_dir: Optional[str] = None,
     ) -> None:
         if isinstance(scheme, str):
             from ..calql import parse_scheme  # deferred: calql builds on aggregate
@@ -178,6 +219,36 @@ class AggregationServer:
         self._stopping = threading.Event()
         self._started = False
 
+        # -- reduction-tree state (relay mode when upstream is set) -------------
+        self.upstream = _parse_upstream(upstream)
+        self.is_relay = self.upstream is not None
+        #: stable node identity across the tree (also the forward client id)
+        self.forward_id = relay_id or f"node-{uuid.uuid4().hex[:10]}"
+        #: depth in the tree, root = 0; -1 = unknown until the parent says
+        self.level = level if level is not None else (0 if not self.is_relay else -1)
+        self._level_explicit = level is not None
+        self.forward_interval = forward_interval
+        self.failover_after = failover_after
+        self._forward_spool_dir = forward_spool_dir
+        self._forward_client = None  # type: Optional[object]
+        self._forward_thread: Optional[threading.Thread] = None
+        #: guards every structure below — handlers and the forwarder race
+        self._forward_lock = threading.Lock()
+        #: (sender, origin) -> segregated pass-through DB; sender/origin are
+        #: (id, epoch) pairs.  Segregation per origin is what lets a relay
+        #: retract exactly one dead subtree's contribution later.
+        self._forwarded: dict[tuple, AggregationDB] = {}
+        #: sender -> every origin it ever forwarded (for retraction)
+        self._origins_by_sender: dict[tuple[str, str], set] = {}
+        #: sender incarnations declared dead — late deltas are ACKed but dropped
+        self._fenced: set = set()
+        #: origins whose retraction must ride ahead of the next forward cycle
+        self._pending_retracts: set = set()
+        #: node id -> latest telemetry summary heard from the subtree
+        self._tree_stats: dict[str, dict] = {}
+        self._combine_seconds = 0.0
+        self._forwards_received = 0
+
     # -- lifecycle -------------------------------------------------------------
 
     def start(self) -> "AggregationServer":
@@ -201,6 +272,25 @@ class AggregationServer:
         self._accept_thread.start()
         self._started = True
         self.metrics.gauge("net.shards", len(self._shards))
+        if self.is_relay:
+            from .client import FlushClient  # deferred: client imports protocol only
+
+            self._forward_client = FlushClient(
+                self.upstream[0],
+                self.upstream[1],
+                scheme=self.scheme.describe(),
+                client_id=self.forward_id,
+                spool_dir=self._forward_spool_dir,
+                failover_after=self.failover_after,
+                retries=1,
+                backoff=0.05,
+                backoff_max=0.5,
+            )
+            if self.forward_interval and self.forward_interval > 0:
+                self._forward_thread = threading.Thread(
+                    target=self._forward_loop, name="repro-net-forward", daemon=True
+                )
+                self._forward_thread.start()
         return self
 
     @property
@@ -237,6 +327,17 @@ class AggregationServer:
             done.append(event)
         for event in done:
             event.wait(timeout=timeout)
+        if self._forward_thread is not None:
+            self._forward_thread.join(timeout=timeout)
+            self._forward_thread = None
+        if self.is_relay and self._forward_client is not None:
+            # Final forward: the shards are quiescent now, so this ships the
+            # residue (and any pending retraction) upstream before goodbye.
+            try:
+                self.forward_now(final=True)
+            except ReproError:
+                pass  # parent unreachable: the forward spool keeps the delta
+            self._forward_client.close()
 
     def kill(self) -> None:
         """Abrupt shutdown for fault-injection tests: drop every socket now.
@@ -255,6 +356,10 @@ class AggregationServer:
                 shard.queue.put_nowait(("stop", threading.Event()))
             except queue.Full:
                 pass  # daemon thread; abandoned with the rest of the state
+        if self._forward_client is not None:
+            # A killed relay never flushes upstream: drop the connection and
+            # poison the client so a racing forwarder thread cannot revive it.
+            self._forward_client.abort()
 
     def _close_listener(self) -> None:
         listener, self._listener = self._listener, None
@@ -323,6 +428,158 @@ class AggregationServer:
                 if self._stopping.is_set():
                     raise ReproError("server is shutting down") from None
 
+    # -- reduction tree: sending side ---------------------------------------------
+
+    def _forward_loop(self) -> None:
+        while not self._stopping.wait(timeout=self.forward_interval):
+            try:
+                self.forward_now()
+            except ReproError:
+                # Closed client during shutdown, or a parent that answered
+                # with a hard refusal: either way the spool has the delta
+                # and hammering the parent helps nobody this cycle.
+                self.metrics.count("net.errors", stage="forward")
+                if self._stopping.is_set():
+                    return
+
+    def forward_now(self, final: bool = False) -> bool:
+        """Run one forward cycle: retracts first, then every pending delta.
+
+        Exports-and-clears each shard (our own contribution since the last
+        cycle), detaches the segregated pass-through DBs, and ships
+        everything upstream tagged with its origin.  Returns True when the
+        parent acknowledged everything; False leaves the deltas in the
+        forward client's write-ahead spool for the next cycle's replay.
+        Public so tests and drains can force a deterministic cycle.
+        """
+        if not self.is_relay:
+            raise ReproError("forward_now() requires relay mode (upstream=)")
+        client = self._forward_client
+        with self._forward_lock:
+            retracts = sorted(self._pending_retracts)
+            self._pending_retracts.clear()
+            detached, self._forwarded = self._forwarded, {}
+        ok = True
+        if retracts:
+            # Must precede any re-forwarded data; both ride the client's
+            # sequence stream, so spooled ordering survives parent outages.
+            ok = client.send_retract(retracts, from_epoch=self.epoch) and ok
+        own_groups: list = []
+        own_offered = 0
+        own_processed = 0
+        for slot in self._collect_shard_deltas(final=final):
+            own_groups.extend(states_to_wire(slot["states"]))
+            own_offered += slot["offered"]
+            own_processed += slot["processed"]
+        for (sender, origin), db in sorted(detached.items()):
+            if not (db.num_entries or db.num_offered or db.num_processed):
+                continue
+            ok = (
+                client.send_forward(
+                    states_to_wire(db.export_states()),
+                    origin=origin,
+                    from_epoch=self.epoch,
+                    level=self.level,
+                    offered=db.num_offered,
+                    processed=db.num_processed,
+                )
+                and ok
+            )
+        if own_groups or own_offered or own_processed or final:
+            # Sent last so the piggybacked telemetry already counts this
+            # cycle's pass-through traffic (it can never include itself).
+            ok = (
+                client.send_forward(
+                    own_groups,
+                    origin=(self.forward_id, self.epoch),
+                    from_epoch=self.epoch,
+                    level=self.level,
+                    offered=own_offered,
+                    processed=own_processed,
+                    telemetry=self._tree_telemetry(),
+                )
+                and ok
+            )
+        if client.num_spooled:
+            # Nothing new may be pending this cycle, but earlier deltas can
+            # still sit in the spool behind a dead parent: every cycle must
+            # retry them, because redelivery is also what drives the
+            # failure window towards re-parenting.
+            ok = client.flush() and ok
+        self._refresh_level()
+        self.metrics.gauge("net.forward.spooled", client.num_spooled)
+        return ok
+
+    def _collect_shard_deltas(self, final: bool = False) -> list[dict]:
+        """Export-and-clear barrier on every shard (direct when quiescent)."""
+        pending: list[tuple[Optional[threading.Event], dict, "_Shard"]] = []
+        for shard in self._shards:
+            if shard.thread is None or not shard.thread.is_alive():
+                slot = {
+                    "states": shard.db.export_states(),
+                    "offered": shard.db.num_offered,
+                    "processed": shard.db.num_processed,
+                }
+                shard.db.clear()
+                shard.db.num_offered = 0
+                shard.db.num_processed = 0
+                pending.append((None, slot, shard))
+                continue
+            event = threading.Event()
+            slot = {}
+            self._enqueue(shard, ("export_clear", event, slot))
+            pending.append((event, slot, shard))
+        slots = []
+        for event, slot, shard in pending:
+            if event is not None:
+                while not event.wait(timeout=0.2):
+                    if shard.thread is None or not shard.thread.is_alive():
+                        # Worker exited with the barrier still queued (server
+                        # stopping): the DB is quiescent, take it directly.
+                        slot = {
+                            "states": shard.db.export_states(),
+                            "offered": shard.db.num_offered,
+                            "processed": shard.db.num_processed,
+                        }
+                        shard.db.clear()
+                        shard.db.num_offered = 0
+                        shard.db.num_processed = 0
+                        break
+            slots.append(slot if slot else {"states": [], "offered": 0, "processed": 0})
+        return slots
+
+    def _refresh_level(self) -> None:
+        """Derive our depth from the parent's advertised level (root = 0)."""
+        if self._level_explicit or self._forward_client is None:
+            return
+        parent_level = self._forward_client.server_info.get("level")
+        if isinstance(parent_level, int) and parent_level >= 0:
+            self.level = parent_level + 1
+
+    def _tree_summary(self) -> dict:
+        """This node's own line of per-level tree telemetry."""
+        counters = self._forward_client.counters if self._forward_client else {}
+        return {
+            "node": self.forward_id,
+            "level": self.level,
+            "forwarded_batches": counters.get("batches", 0),
+            "forwarded_bytes": counters.get("wire_bytes", 0),
+            "combine_seconds": self._combine_seconds,
+            "forwards_received": self._forwards_received,
+            "failovers": counters.get("failovers", 0),
+        }
+
+    def _tree_telemetry(self) -> list[dict]:
+        """Everything we know about the subtree, ourselves included.
+
+        Piggybacks on the own-origin FORWARD each cycle so the root can
+        answer per-level CalQL queries (levels, forwarded wire bytes,
+        combine time) without a separate telemetry channel.
+        """
+        with self._forward_lock:
+            downstream = [dict(summary) for summary in self._tree_stats.values()]
+        return [self._tree_summary()] + downstream
+
     # -- merged views ------------------------------------------------------------
 
     def _snapshot_states(self, timeout: float = 30.0) -> list[dict]:
@@ -364,6 +621,22 @@ class AggregationServer:
                     if time.monotonic() > deadline:
                         raise ReproError("timed out waiting for a shard snapshot")
             slots.append(slot)
+        # Forwarded (reduction-tree) partial DBs live outside the shards so
+        # they stay retractable per origin; a consistent merged view must
+        # include them.  Deep-copy under the lock — FORWARD handlers fold
+        # into these DBs concurrently.
+        with self._forward_lock:
+            for db in self._forwarded.values():
+                slots.append(
+                    {
+                        "states": [
+                            (entries, [list(s) for s in states])
+                            for entries, states in db.export_states()
+                        ],
+                        "offered": db.num_offered,
+                        "processed": db.num_processed,
+                    }
+                )
         return slots
 
     def merged_db(self) -> AggregationDB:
@@ -428,6 +701,39 @@ class AggregationServer:
             ),
         }
         records.append(Record.from_variants(summary))
+        with self._forward_lock:
+            tree_nodes = [self._tree_summary()] + [
+                dict(s) for s in self._tree_stats.values()
+            ]
+        if self.is_relay or len(tree_nodes) > 1:
+            # One record per known tree node — per-level combine time and
+            # forwarded wire bytes become ordinary CalQL-queryable facts
+            # (``... WHERE observe.kind = tree GROUP BY observe.level``).
+            for node in tree_nodes:
+                records.append(
+                    Record.from_variants(
+                        {
+                            "observe.kind": Variant.of("tree"),
+                            "observe.node": Variant.of(str(node.get("node", ""))),
+                            "observe.level": Variant.of(int(node.get("level", -1))),
+                            "observe.forward.batches": Variant.of(
+                                int(node.get("forwarded_batches", 0))
+                            ),
+                            "observe.forward.bytes": Variant.of(
+                                int(node.get("forwarded_bytes", 0))
+                            ),
+                            "observe.combine.seconds": Variant.of(
+                                float(node.get("combine_seconds", 0.0))
+                            ),
+                            "observe.forwards": Variant.of(
+                                int(node.get("forwards_received", 0))
+                            ),
+                            "observe.failovers": Variant.of(
+                                int(node.get("failovers", 0))
+                            ),
+                        }
+                    )
+                )
         return records
 
     # -- connection handling -------------------------------------------------------
@@ -485,7 +791,12 @@ class AggregationServer:
 
     def _read(self, rfile) -> tuple[MessageType, dict]:
         mtype, payload = read_frame(rfile, self.max_payload)
-        self.metrics.count("net.bytes.rx", HEADER.size + len(payload))
+        nbytes = HEADER.size + len(payload)
+        self.metrics.count("net.bytes.rx", nbytes)
+        if mtype is MessageType.FORWARD:
+            # Tree telemetry: wire bytes arriving as relayed partial states
+            # (the Fig. 8 quantity — payload shrinks as levels combine).
+            self.metrics.count("net.forward.bytes.rx", nbytes)
         return mtype, parse_body(mtype, payload)
 
     def _write(self, wfile, mtype: MessageType, body: dict) -> None:
@@ -499,15 +810,25 @@ class AggregationServer:
         client_scheme = body.get("scheme")
         if client_scheme is not None:
             self._check_scheme(str(client_scheme))
-        self._write(
-            wfile,
-            MessageType.HELLO_ACK,
-            {
-                "epoch": self.epoch,
-                "shards": len(self._shards),
-                "scheme": self.scheme.describe(),
-            },
-        )
+        failover_from = body.get("failover_from")
+        if failover_from is not None:
+            # The client re-parented here after its relay died: fence that
+            # incarnation and drop everything it forwarded — the client's
+            # spool replay is about to re-deliver all of it first-hand.
+            self._retract_sender(origin_from_wire(failover_from))
+        ack = {
+            "epoch": self.epoch,
+            "shards": len(self._shards),
+            "scheme": self.scheme.describe(),
+            "level": self.level,
+        }
+        if self.is_relay:
+            # Advertise our own parent so children can re-parent to their
+            # grandparent if we die (the root advertises nothing: there is
+            # no level above it to fail over to).
+            ack["relay_id"] = self.forward_id
+            ack["upstream"] = [self.upstream[0], self.upstream[1]]
+        self._write(wfile, MessageType.HELLO_ACK, ack)
         while True:
             mtype, body = self._read(rfile)
             if mtype is MessageType.BYE:
@@ -522,6 +843,10 @@ class AggregationServer:
                 self._on_records(wfile, client_id, body)
             elif mtype is MessageType.STATES:
                 self._on_states(wfile, client_id, body)
+            elif mtype is MessageType.FORWARD:
+                self._on_forward(wfile, client_id, body)
+            elif mtype is MessageType.RETRACT:
+                self._on_retract(wfile, client_id, body)
             elif mtype is MessageType.QUERY:
                 self._on_query(wfile, body)
             elif mtype is MessageType.STATS:
@@ -612,6 +937,137 @@ class AggregationServer:
             {"seq": seq, "count": len(groups), "duplicate": duplicate},
         )
 
+    # -- reduction tree: receiving side -------------------------------------------
+
+    def _on_forward(self, wfile, client_id: str, body: dict) -> None:
+        """Fold a downstream relay's delta, segregated per (sender, origin)."""
+        seq = int(require(body, "seq", (int,)))
+        from_epoch = str(require(body, "from_epoch", (str,)))
+        origin = origin_from_wire(require(body, "origin", (list,)))
+        groups = states_from_wire(require(body, "groups", (list,)))
+        self._check_scheme(str(require(body, "scheme", (str,))))
+        self._validate_states(groups)
+        offered = int(body.get("offered", 0))
+        processed = int(body.get("processed", 0))
+        sender = (client_id, from_epoch)
+        duplicate = self._dedup(client_id, seq)
+        fenced = False
+        if not duplicate:
+            start = time.perf_counter()
+            with self._forward_lock:
+                if sender in self._fenced:
+                    # A zombie: this incarnation was declared dead and its
+                    # data retracted.  ACK (so a stuck spool drains) but
+                    # drop — the children's replay owns this data now.
+                    fenced = True
+                else:
+                    db = self._forwarded.get((sender, origin))
+                    if db is None:
+                        db = AggregationDB(self.scheme)
+                        self._forwarded[(sender, origin)] = db
+                    db.load_states(
+                        groups,
+                        offered=offered,
+                        processed=processed,
+                        source=(client_id, from_epoch, seq),
+                    )
+                    self._origins_by_sender.setdefault(sender, set()).add(origin)
+                    self._cache_telemetry(body.get("telemetry"))
+            elapsed = time.perf_counter() - start
+            self._combine_seconds += elapsed
+            self._forwards_received += 1
+            self.metrics.timing("net.forward.combine", elapsed)
+            if fenced:
+                self.metrics.count("net.fenced")
+            else:
+                self.metrics.count("net.batches", kind="forward")
+                self.metrics.count("net.groups", len(groups))
+        else:
+            self.metrics.count("net.duplicates")
+        self._write(
+            wfile,
+            MessageType.ACK,
+            {"seq": seq, "count": len(groups), "duplicate": duplicate},
+        )
+
+    def _on_retract(self, wfile, client_id: str, body: dict) -> None:
+        """Drop forwarded origins a downstream relay declared dead."""
+        seq = int(require(body, "seq", (int,)))
+        from_epoch = str(require(body, "from_epoch", (str,)))
+        origins = origins_from_wire(require(body, "origins", (list,)))
+        sender = (client_id, from_epoch)
+        duplicate = self._dedup(client_id, seq)
+        if not duplicate:
+            with self._forward_lock:
+                if sender not in self._fenced:
+                    self._drop_origins(origins)
+            self.metrics.count("net.retracts", len(origins))
+        else:
+            self.metrics.count("net.duplicates")
+        self._write(
+            wfile,
+            MessageType.ACK,
+            {"seq": seq, "count": len(origins), "duplicate": duplicate},
+        )
+
+    def _drop_origins(self, origins) -> None:
+        """Remove every segregated DB holding these origins (lock held).
+
+        If we are a relay ourselves, queue the retraction for the next
+        forward cycle — it must reach our parent before any of the
+        re-delivered data does, which the cycle's retract-first ordering and
+        the forward client's sequence stream guarantee.
+        """
+        doomed = set(origins)
+        for key in [k for k in self._forwarded if k[1] in doomed]:
+            del self._forwarded[key]
+        for sender_origins in self._origins_by_sender.values():
+            sender_origins -= doomed
+        if self.is_relay:
+            self._pending_retracts |= doomed
+
+    def _retract_sender(self, dead: tuple[str, str]) -> None:
+        """Fence a dead relay incarnation and retract its contribution.
+
+        Called when one of its children shows up here with
+        ``failover_from``.  Everything the dead incarnation forwarded —
+        its own partial aggregates *and* deltas it passed through for its
+        descendants — is dropped; the re-parented children replay their
+        spools and re-deliver all of it directly.
+        """
+        with self._forward_lock:
+            if dead in self._fenced:
+                return  # a sibling already announced this death
+            self._fenced.add(dead)
+            origins = set(self._origins_by_sender.pop(dead, set()))
+            origins.add(dead)  # its own origin, even if it never got a cycle out
+            self._drop_origins(origins)
+        self.metrics.count("net.failover.retractions")
+
+    def _cache_telemetry(self, summaries) -> None:
+        """Keep the latest per-node tree telemetry heard from downstream."""
+        if not isinstance(summaries, list):
+            return
+        for summary in summaries:
+            if not isinstance(summary, dict):
+                continue
+            node = summary.get("node")
+            if not isinstance(node, str) or not node:
+                continue
+            clean = {"node": node}
+            for field in (
+                "level",
+                "forwarded_batches",
+                "forwarded_bytes",
+                "combine_seconds",
+                "forwards_received",
+                "failovers",
+            ):
+                value = summary.get(field)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    clean[field] = value
+            self._tree_stats[node] = clean
+
     def _on_query(self, wfile, body: dict) -> None:
         text = str(require(body, "q", (str,)))
         target = str(body.get("target", "aggregate"))
@@ -637,6 +1093,21 @@ class AggregationServer:
             f"AggregationServer({self.scheme.describe()!r}, "
             f"addr={self.address}, shards={len(self._shards)})"
         )
+
+
+def _parse_upstream(
+    upstream: Union[tuple[str, int], str, None],
+) -> Optional[tuple[str, int]]:
+    """Accept ``(host, port)`` or ``"host:port"`` parent addresses."""
+    if upstream is None:
+        return None
+    if isinstance(upstream, str):
+        host, sep, port = upstream.rpartition(":")
+        if not sep or not host:
+            raise ValueError(f"upstream must be host:port, got {upstream!r}")
+        return (host, int(port))
+    host, port = upstream
+    return (str(host), int(port))
 
 
 def _close_quietly(sock: socket.socket) -> None:

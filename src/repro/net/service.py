@@ -38,6 +38,9 @@ Config keys (prefix ``netflush.``):
 ``batch_size``, ``timeout``, ``retries``, ``spool_dir``
     Passed through to :class:`FlushClient`.  A shared ``spool_dir`` is
     safe: each client spools into its own subdirectory.
+``failover_after``
+    Seconds of continuous server loss before the client re-parents to the
+    upstream the server advertised (reduction trees; default: never).
 ``delete_spool``
     Delete acknowledged write-ahead spool files at finish (default true).
     Batches the server never acknowledged are always kept on disk,
@@ -84,6 +87,7 @@ class NetworkFlushService(Service):
             timeout=self.config.get_float("timeout", 5.0),
             retries=self.config.get_int("retries", 3),
             spool_dir=spool_dir or None,
+            failover_after=self.config.get_float("failover_after", 0.0) or None,
         )
         self._sent_at_finish: Optional[int] = None
 

@@ -4,12 +4,14 @@ from .columnar import columnar_aggregate, columnar_db, columnar_feed, supports_s
 from .compare import compare_profiles
 from .engine import QueryEngine, QueryResult, run_query, sort_records
 from .mpi_query import MPIQueryOutcome, MPIQueryRunner, PhaseTimes
+from .options import QueryOptions
 from .parallel import parallel_query_files
 from .rollup import rollup_inclusive
 
 __all__ = [
     "QueryEngine",
     "QueryResult",
+    "QueryOptions",
     "run_query",
     "sort_records",
     "MPIQueryRunner",

@@ -106,7 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if argv and argv[0] in ("serve", "live"):
+    if argv and argv[0] in ("serve", "live", "tree"):
         # On-line service commands live in repro.net; everything else is the
         # classic file-based query application.
         from ..net.cli import main as net_main
@@ -147,6 +147,9 @@ def _emit_stats(args, reg) -> None:
 
 
 def _run(args) -> int:
+    from .options import QueryOptions
+
+    opts = QueryOptions.from_args(args)
     try:
         if args.list_attributes or args.show_globals:
             from ..io.dataset import read_records
@@ -176,16 +179,14 @@ def _run(args) -> int:
 
             engine = QueryEngine(args.query)
             if engine.scheme is not None:
-                result = parallel_query_files(
-                    args.query, args.files, workers=args.jobs, backend=args.backend
-                )
+                result = parallel_query_files(args.query, args.files, opts)
             else:
                 # pure filter/projection: parallelize the reads only
                 dataset = Dataset.from_files(args.files, parallel=args.jobs)
-                result = dataset.query(args.query, backend=args.backend)
+                result = dataset.query(args.query, backend=opts.backend)
         else:
             dataset = Dataset.from_files(args.files)
-            result = dataset.query(args.query, backend=args.backend)
+            result = dataset.query(args.query, backend=opts.backend)
     except ReproError as exc:
         print(f"repro-query: error: {exc}", file=sys.stderr)
         return 1

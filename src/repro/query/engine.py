@@ -18,7 +18,7 @@ columnar path automatically whenever every operator has a vector kernel;
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence, Union
 
 from .. import observe
 from ..aggregate.db import AggregationDB
@@ -37,6 +37,10 @@ from .columnar import (
     supports_scheme,
     unsupported_ops,
 )
+from .options import _UNSET as _OPT_UNSET
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .options import QueryOptions
 
 __all__ = ["QueryEngine", "QueryResult", "run_query"]
 
@@ -382,6 +386,21 @@ def sort_records(records: list[Record], order: Sequence[OrderSpec]) -> list[Reco
     return out
 
 
-def run_query(text: str, records: Iterable[Record]) -> QueryResult:
-    """Convenience one-liner: parse, validate, execute."""
-    return QueryEngine(text).run(records)
+def run_query(
+    text: str,
+    records: Iterable[Record],
+    options: Union["QueryOptions", dict, None] = None,
+    backend: object = _OPT_UNSET,
+) -> QueryResult:
+    """Convenience one-liner: parse, validate, execute.
+
+    ``options`` is a shared :class:`~repro.query.options.QueryOptions`
+    (only ``backend`` applies to an in-memory record stream).  The old
+    ``backend=`` keyword still works but emits one ``DeprecationWarning``.
+    """
+    from .options import QueryOptions
+
+    opts = QueryOptions.coerce(options).with_legacy(
+        caller="run_query", backend=backend
+    )
+    return QueryEngine(text).run(records, backend=opts.backend)

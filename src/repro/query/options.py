@@ -1,0 +1,114 @@
+"""One option object for every query entry point.
+
+The repo grew several ways to run a query — :func:`repro.query.engine.run_query`,
+:meth:`QueryEngine.run`, :func:`~repro.query.parallel.parallel_query_files`,
+the ``repro-query`` CLI, and the :func:`repro.api.query` facade — and each
+had sprouted its own keyword list (``backend=``, ``workers=``, ``jobs=``,
+``stats=``…).  :class:`QueryOptions` is the single shared spelling: every
+entry point accepts one, the CLI builds one from its parsed arguments, and
+the old per-function keywords live on as deprecation shims that warn once
+and map onto it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+__all__ = ["QueryOptions", "BACKENDS"]
+
+BACKENDS = ("auto", "rows", "columnar")
+
+#: sentinel distinguishing "not passed" from an explicit None
+_UNSET = object()
+
+#: deprecation shims that already warned (exactly one warning per spelling
+#: per process — a shim in a hot loop must not flood stderr)
+_warned: set = set()
+
+
+def warn_deprecated(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` exactly once per process."""
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """How to execute a query — shared by every entry point.
+
+    ``backend``
+        Aggregation engine: ``auto`` (planner picks), ``rows`` (streaming),
+        or ``columnar`` (vectorized; errors when unsupported).
+    ``jobs``
+        Worker processes for multi-file inputs: ``None`` lets the entry
+        point choose its own default, ``True`` sizes the pool to the CPUs,
+        an integer pins it, ``1``/``False`` forces serial.
+    ``stats``
+        Collect ``repro.observe`` telemetry while the query runs (the CLI
+        prints the metrics table; embedders read the registry themselves).
+    """
+
+    backend: str = "auto"
+    jobs: Union[bool, int, None] = None
+    stats: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {'/'.join(BACKENDS)}, got {self.backend!r}"
+            )
+        if self.jobs is not None and not isinstance(self.jobs, (bool, int)):
+            raise ValueError(f"jobs must be None, bool, or int, got {self.jobs!r}")
+
+    @classmethod
+    def coerce(cls, value: Union["QueryOptions", dict, None]) -> "QueryOptions":
+        """Accept ``QueryOptions``, a plain dict, or None (defaults)."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls(**value)
+        raise TypeError(
+            f"options must be QueryOptions, dict, or None, got {type(value).__name__}"
+        )
+
+    @classmethod
+    def from_args(cls, args) -> "QueryOptions":
+        """Build from ``repro-query``'s parsed argparse namespace."""
+        return cls(
+            backend=getattr(args, "backend", "auto"),
+            jobs=getattr(args, "jobs", None),
+            stats=bool(getattr(args, "stats", False)),
+        )
+
+    def with_legacy(
+        self,
+        *,
+        caller: str,
+        workers: object = _UNSET,
+        backend: object = _UNSET,
+    ) -> "QueryOptions":
+        """Fold deprecated per-function keywords in, warning once each."""
+        out = self
+        if workers is not _UNSET:
+            warn_deprecated(
+                f"{caller}:workers",
+                f"{caller}(workers=...) is deprecated; "
+                "pass QueryOptions(jobs=...) instead",
+                stacklevel=4,
+            )
+            out = replace(out, jobs=workers)  # type: ignore[arg-type]
+        if backend is not _UNSET:
+            warn_deprecated(
+                f"{caller}:backend",
+                f"{caller}(backend=...) is deprecated; "
+                "pass QueryOptions(backend=...) instead",
+                stacklevel=4,
+            )
+            out = replace(out, backend=str(backend))
+        return out

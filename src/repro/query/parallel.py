@@ -29,6 +29,7 @@ from ..common.util import chunk_evenly
 from ..common.variant import Variant
 from ..io.dataset import _load_source_timed, _resolve_workers
 from .engine import QueryEngine, QueryResult
+from .options import _UNSET, QueryOptions
 
 __all__ = ["parallel_query_files"]
 
@@ -70,19 +71,35 @@ def _record_worker_timings(timings: Sequence[_FileTiming]) -> None:
 def parallel_query_files(
     query: str,
     paths: Sequence[Union[str, os.PathLike]],
-    workers: Union[bool, int, None] = True,
-    backend: str = "auto",
+    options: Union[QueryOptions, dict, None] = None,
+    backend: object = _UNSET,
+    *,
+    workers: object = _UNSET,
 ) -> QueryResult:
     """Run an aggregation query over many files with real process parallelism.
 
     Equivalent to ``QueryEngine(query).run(Dataset.from_files(paths).records)``
     for aggregation queries, but each worker process reads and aggregates its
     file chunk locally and only partial aggregation states are merged in the
-    parent.  ``workers=True`` picks the pool size automatically — one worker
+    parent.  ``options`` is a :class:`~repro.query.options.QueryOptions`:
+    ``jobs=None``/``True`` picks the pool size automatically — one worker
     per CPU, degrading to serial on single-core machines or undersized
     inputs (recorded as ``parallel.fallback``); an explicit integer sets the
     pool size; 1 (or a single file) degrades to the serial path.
+
+    The pre-:class:`QueryOptions` spellings (``workers=``, ``backend=``,
+    including the old third-positional ``workers``) still work but emit one
+    :class:`DeprecationWarning` each.
     """
+    if options is not None and not isinstance(options, (QueryOptions, dict)):
+        # Legacy third positional: parallel_query_files(q, paths, 4) meant
+        # workers=4 before QueryOptions took that slot.
+        workers = options
+        options = None
+    opts = QueryOptions.coerce(options).with_legacy(
+        caller="parallel_query_files", workers=workers, backend=backend
+    )
+    pool_size = True if opts.jobs is None else opts.jobs
     path_list = [os.fspath(p) for p in paths]
     engine = QueryEngine(query)
     if engine.scheme is None:
@@ -94,13 +111,13 @@ def parallel_query_files(
     if not path_list:
         # No inputs: an empty result of the right shape, no pool spin-up.
         return engine.finalize(db)
-    n_workers = _resolve_workers(workers, len(path_list), path_list)
+    n_workers = _resolve_workers(pool_size, len(path_list), path_list)
     with observe.span(
         "parallel.query_files", files=len(path_list), workers=n_workers
     ):
         if n_workers <= 1:
             _states, _offered, _processed, timings = _partial_worker(
-                query, path_list, backend
+                query, path_list, opts.backend
             )
             db.load_states(_states, offered=_offered, processed=_processed)
             _record_worker_timings(timings)
@@ -110,7 +127,7 @@ def parallel_query_files(
             chunks = [c for c in chunk_evenly(path_list, n_workers) if c]
             with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
                 futures = [
-                    pool.submit(_partial_worker, query, chunk, backend)
+                    pool.submit(_partial_worker, query, chunk, opts.backend)
                     for chunk in chunks
                 ]
                 # Merge in submission order for a deterministic result.

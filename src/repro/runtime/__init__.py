@@ -5,6 +5,7 @@ from .channel import Channel
 from .clock import Clock, VirtualClock, WallClock
 from .config import ConfigSet, config_from_env, config_from_file
 from .instrumentation import Caliper, default_runtime, set_default_runtime
+from .schema import validate_config
 from .services import (
     AggregateService,
     EventService,
@@ -26,6 +27,7 @@ __all__ = [
     "ConfigSet",
     "config_from_env",
     "config_from_file",
+    "validate_config",
     "Caliper",
     "default_runtime",
     "set_default_runtime",

@@ -40,6 +40,14 @@ class Channel:
         self.name = name
         self.caliper = caliper
         self.config = config if isinstance(config, ConfigSet) else ConfigSet(config)
+        registry = registry or default_service_registry()
+        if self.config.get_bool("config_check", True):
+            # Validate against the documented schema (repro.runtime.schema):
+            # unknown keys raise instead of being silently ignored, and
+            # deprecated spellings are folded into their current names.
+            from .schema import validate_config
+
+            self.config = ConfigSet(validate_config(self.config.as_dict(), registry))
         self.active = True
         #: snapshot records pushed through this channel (Table I's "Snapshots");
         #: counts only snapshots actually processed — attempts while the
@@ -52,7 +60,6 @@ class Channel:
         #: global (per-run) metadata records attached at flush
         self.globals: dict[str, Variant] = {}
 
-        registry = registry or default_service_registry()
         self.services: list[Service] = [
             registry.create(service_name, self)
             for service_name in self.config.get_list("services", [])

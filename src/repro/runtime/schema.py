@@ -1,0 +1,165 @@
+"""The documented runtime configuration schema.
+
+Every knob a built-in channel/service reads is declared here, in one place.
+:func:`validate_config` checks a configuration mapping against the schema at
+channel-creation time: unknown keys raise :class:`~repro.common.errors.ConfigError`
+(with a close-match suggestion) instead of being silently ignored, and
+superseded spellings are folded into their current names with a one-time
+:class:`DeprecationWarning`.
+
+Channel-level keys
+==================
+
+=====================  ========================================================
+``services``           list of service names to instantiate on the channel
+``snapshot_fastpath``  bool — zero-copy snapshot fast path (default true)
+``config_check``       bool — set false to skip this schema validation
+=====================  ========================================================
+
+Service keys (``<service>.<key>``)
+==================================
+
+``aggregate``
+    ``config`` (CalQL text), ``scheme`` (pre-parsed scheme object),
+    ``key_strategy`` (``tuple``/``string``), ``rename_count`` (bool),
+    ``fold_plan`` (``compiled``/``interpreted``), ``key_cache`` (bool)
+``event``
+    ``trigger`` (attribute list), ``mark`` (bool), ``trigger_set`` (bool)
+``netflush``
+    ``host``, ``port``, ``stream`` (bool), ``payload``
+    (``records``/``states``), ``batch_size``, ``timeout``, ``retries``,
+    ``spool_dir``, ``delete_spool`` (bool), ``scheme``, ``failover_after``
+``recorder``
+    ``filename``, ``directory``
+``sampler``
+    ``period`` (seconds), ``max_catchup``
+``timer``
+    ``offset`` (bool), ``inclusive`` (bool), ``trim_hooks`` (bool)
+``trace``
+    ``buffer_limit``
+
+Keys scoped to a *custom* service registered on the channel's
+:class:`~repro.runtime.services.base.ServiceRegistry` are accepted as-is:
+the schema only constrains the services it knows about.
+"""
+
+from __future__ import annotations
+
+import difflib
+import warnings
+from typing import Any, Mapping, Optional
+
+from ..common.errors import ConfigError
+from .services.base import ServiceRegistry
+
+__all__ = ["ALIASES", "CHANNEL_KEYS", "SERVICE_KEYS", "validate_config"]
+
+#: keys read by the channel itself (not scoped to a service)
+CHANNEL_KEYS = frozenset({"services", "snapshot_fastpath", "config_check"})
+
+#: keys read by each built-in service, scoped as ``<service>.<key>``
+SERVICE_KEYS: dict[str, frozenset] = {
+    "aggregate": frozenset(
+        {"config", "scheme", "key_strategy", "rename_count", "fold_plan", "key_cache"}
+    ),
+    "event": frozenset({"trigger", "mark", "trigger_set"}),
+    "netflush": frozenset(
+        {
+            "host",
+            "port",
+            "stream",
+            "payload",
+            "batch_size",
+            "timeout",
+            "retries",
+            "spool_dir",
+            "delete_spool",
+            "scheme",
+            "failover_after",
+        }
+    ),
+    "recorder": frozenset({"filename", "directory"}),
+    "sampler": frozenset({"period", "max_catchup"}),
+    "timer": frozenset({"offset", "inclusive", "trim_hooks"}),
+    "trace": frozenset({"buffer_limit"}),
+}
+
+#: superseded spellings — accepted, folded into the current name, and
+#: reported once per process with a DeprecationWarning
+ALIASES: dict[str, str] = {
+    "fastpath": "snapshot_fastpath",
+    "aggregate.plan": "aggregate.fold_plan",
+    "aggregate.query": "aggregate.config",
+    "timer.trim": "timer.trim_hooks",
+    "netflush.batch": "netflush.batch_size",
+    "netflush.spool": "netflush.spool_dir",
+}
+
+_warned_aliases: set = set()
+
+
+def _warn_alias(old: str, new: str) -> None:
+    if old in _warned_aliases:
+        return
+    _warned_aliases.add(old)
+    warnings.warn(
+        f"config key {old!r} is deprecated; use {new!r}",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def _suggest(key: str, candidates) -> str:
+    matches = difflib.get_close_matches(key, sorted(candidates), n=1)
+    return f" (did you mean {matches[0]!r}?)" if matches else ""
+
+
+def validate_config(
+    settings: Mapping[str, Any], registry: Optional[ServiceRegistry] = None
+) -> dict[str, Any]:
+    """Check ``settings`` against the schema; return the normalized mapping.
+
+    Aliased keys are renamed to their current spelling (emitting a
+    once-per-process :class:`DeprecationWarning`); unknown keys raise
+    :class:`ConfigError` naming the key and the closest valid spelling.
+    Keys scoped to a custom (non-built-in) service known to ``registry``
+    pass through unchecked.
+    """
+    custom = set(registry.known()) - set(SERVICE_KEYS) if registry else set()
+    normalized: dict[str, Any] = {}
+    for key, value in settings.items():
+        target = ALIASES.get(key)
+        if target is not None:
+            _warn_alias(key, target)
+            key = target
+        if key in normalized:
+            raise ConfigError(
+                f"config key {key!r} given twice (directly and via a "
+                "deprecated alias)"
+            )
+        _check_key(key, custom)
+        normalized[key] = value
+    return normalized
+
+
+def _check_key(key: str, custom_services: set) -> None:
+    if key in CHANNEL_KEYS:
+        return
+    service, sep, sub = key.partition(".")
+    if sep and service in SERVICE_KEYS:
+        if sub in SERVICE_KEYS[service]:
+            return
+        scoped = {f"{service}.{k}" for k in SERVICE_KEYS[service]}
+        raise ConfigError(
+            f"unknown config key {key!r}: service {service!r} has no "
+            f"option {sub!r}{_suggest(key, scoped)}"
+        )
+    if sep and service in custom_services:
+        return  # custom service: its options are its own business
+    valid = set(CHANNEL_KEYS)
+    for svc, keys in SERVICE_KEYS.items():
+        valid.update(f"{svc}.{k}" for k in keys)
+    raise ConfigError(
+        f"unknown config key {key!r}{_suggest(key, valid)}; "
+        "set config_check=false to bypass schema validation"
+    )

@@ -1,0 +1,194 @@
+"""The unified public entry point (repro.api.query) and deprecation shims.
+
+Every source flavor the facade dispatches on must return results identical
+to calling the wrapped engine directly; the legacy keyword spellings on
+``run_query``/``parallel_query_files`` must keep working while emitting a
+``DeprecationWarning`` exactly once per process.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.common import QueryError, Record
+from repro.io.dataset import Dataset, write_records
+from repro.query import QueryEngine, QueryOptions, parallel_query_files, run_query
+
+QUERY = "AGGREGATE count, sum(x) GROUP BY k ORDER BY k"
+
+
+def make_records(seed: int = 0, n: int = 40) -> list[Record]:
+    return [
+        Record({"k": f"key-{(seed + i) % 4}", "x": 0.25 * ((seed + i) % 9)})
+        for i in range(n)
+    ]
+
+
+def rows(result) -> list:
+    return [
+        sorted((label, v.value) for label, v in record.items())
+        for record in result.records
+    ]
+
+
+@pytest.fixture()
+def files(tmp_path):
+    paths = []
+    for i in range(3):
+        path = tmp_path / f"part-{i}.json"
+        write_records(path, make_records(seed=i * 17))
+        paths.append(str(path))
+    return paths
+
+
+class TestQueryDispatch:
+    def test_records_iterable(self):
+        records = make_records()
+        got = api.query(QUERY, records)
+        want = QueryEngine(QUERY).run(records)
+        assert rows(got) == rows(want)
+
+    def test_generator_source(self):
+        records = make_records()
+        got = api.query(QUERY, (r for r in records))
+        want = QueryEngine(QUERY).run(records)
+        assert rows(got) == rows(want)
+
+    def test_single_path(self, files):
+        got = api.query(QUERY, files[0])
+        want = Dataset.from_file(files[0]).query(QUERY)
+        assert rows(got) == rows(want)
+
+    def test_glob(self, files, tmp_path):
+        pattern = str(tmp_path / "part-*.json")
+        got = api.query(QUERY, pattern)
+        want = Dataset.from_glob(pattern).query(QUERY)
+        assert rows(got) == rows(want)
+
+    def test_dataset(self, files):
+        dataset = Dataset.from_files(files)
+        got = api.query(QUERY, dataset)
+        assert rows(got) == rows(dataset.query(QUERY))
+
+    def test_file_list_equals_serial(self, files):
+        got = api.query(QUERY, files)
+        want = Dataset.from_files(files).query(QUERY)
+        assert rows(got) == rows(want)
+
+    def test_file_list_respects_jobs_option(self, files):
+        got = api.query(QUERY, files, QueryOptions(jobs=2))
+        want = parallel_query_files(QUERY, files, QueryOptions(jobs=2))
+        assert rows(got) == rows(want)
+
+    def test_keyword_options_shorthand(self, files):
+        got = api.query(QUERY, files[0], backend="rows")
+        want = Dataset.from_file(files[0]).query(QUERY, backend="rows")
+        assert rows(got) == rows(want)
+
+    def test_live_server_string_and_tuple(self):
+        from repro.net import AggregationServer, FlushClient, live_query
+
+        scheme = "AGGREGATE count, sum(x) GROUP BY k"
+        records = make_records()
+        with AggregationServer(scheme) as server:
+            client = FlushClient("127.0.0.1", server.port, scheme=scheme)
+            assert client.send_records(records)
+            client.close()
+            text = "SELECT k, count, sum#x ORDER BY k"
+            want = live_query("127.0.0.1", server.port, text)
+            got_str = api.query(text, f"127.0.0.1:{server.port}")
+            got_tup = api.query(text, ("127.0.0.1", server.port))
+        assert rows(got_str) == rows(want)
+        assert rows(got_tup) == rows(want)
+
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(TypeError, match="workers"):
+            api.query(QUERY, make_records(), workers=4)
+
+    def test_missing_path_raises(self):
+        with pytest.raises(QueryError, match="neither an existing file"):
+            api.query(QUERY, "no/such/file.json")
+
+    def test_mixed_collection_rejected(self, files):
+        with pytest.raises(QueryError, match="unsupported query source"):
+            api.query(QUERY, [files[0], 42])
+
+    def test_reexports(self):
+        assert repro.api.query is api.query
+        for name in ("Dataset", "QueryEngine", "QueryOptions",
+                     "AggregationServer", "FlushClient", "LocalTree"):
+            assert hasattr(repro, name), name
+
+
+class TestQueryOptions:
+    def test_defaults(self):
+        opts = QueryOptions()
+        assert opts.backend == "auto" and opts.jobs is None and opts.stats is False
+
+    def test_coerce_dict(self):
+        opts = QueryOptions.coerce({"backend": "rows", "jobs": 2})
+        assert opts == QueryOptions(backend="rows", jobs=2)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(Exception):
+            QueryOptions(backend="gpu")
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            QueryOptions.coerce(42)
+
+
+class TestDeprecationShims:
+    def _reset(self, *keys):
+        from repro.query.options import _warned
+
+        for key in keys:
+            _warned.discard(key)
+
+    def test_parallel_workers_keyword_warns_once(self, files):
+        self._reset("parallel_query_files:workers")
+        with pytest.warns(DeprecationWarning, match="workers"):
+            got = parallel_query_files(QUERY, files, workers=2)
+        want = parallel_query_files(QUERY, files, QueryOptions(jobs=2))
+        assert rows(got) == rows(want)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            parallel_query_files(QUERY, files, workers=2)
+
+    def test_parallel_legacy_positional_workers(self, files):
+        self._reset("parallel_query_files:workers")
+        with pytest.warns(DeprecationWarning, match="workers"):
+            got = parallel_query_files(QUERY, files, 2)
+        want = parallel_query_files(QUERY, files, QueryOptions(jobs=2))
+        assert rows(got) == rows(want)
+
+    def test_parallel_backend_keyword_warns(self, files):
+        self._reset("parallel_query_files:backend")
+        with pytest.warns(DeprecationWarning, match="backend"):
+            got = parallel_query_files(QUERY, files, backend="rows")
+        want = parallel_query_files(
+            QUERY, files, QueryOptions(backend="rows")
+        )
+        assert rows(got) == rows(want)
+
+    def test_run_query_backend_keyword_warns_once(self):
+        self._reset("run_query:backend")
+        records = make_records()
+        with pytest.warns(DeprecationWarning, match="backend"):
+            got = run_query(QUERY, records, backend="rows")
+        want = run_query(QUERY, records, QueryOptions(backend="rows"))
+        assert rows(got) == rows(want)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_query(QUERY, records, backend="rows")
+
+    def test_new_signatures_do_not_warn(self, files):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_query(QUERY, make_records())
+            parallel_query_files(QUERY, files, QueryOptions(jobs=2))
+            api.query(QUERY, files, jobs=2)

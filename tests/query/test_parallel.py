@@ -4,7 +4,7 @@ import pytest
 
 from repro.common import QueryError, Record
 from repro.io import Dataset, write_records
-from repro.query import QueryEngine, parallel_query_files
+from repro.query import QueryEngine, QueryOptions, parallel_query_files
 from repro.query.parallel import _partial_worker
 
 QUERY = (
@@ -33,33 +33,33 @@ def serial_result(paths, query=QUERY):
 
 class TestParallelQueryFiles:
     def test_matches_serial(self, many_files):
-        got = parallel_query_files(QUERY, many_files, workers=2)
+        got = parallel_query_files(QUERY, many_files, QueryOptions(jobs=2))
         want = serial_result(many_files)
         labels = ["kernel", "count", "sum#time.duration", "variance#time.duration"]
         assert got.rows(labels) == pytest.approx(want.rows(labels))
 
     def test_single_worker_falls_back_to_serial(self, many_files):
-        got = parallel_query_files(QUERY, many_files, workers=1)
+        got = parallel_query_files(QUERY, many_files, QueryOptions(jobs=1))
         want = serial_result(many_files)
         assert got.rows(["kernel", "count"]) == want.rows(["kernel", "count"])
 
     def test_counts_are_preserved(self, many_files):
-        got = parallel_query_files(QUERY, many_files, workers=2)
+        got = parallel_query_files(QUERY, many_files, QueryOptions(jobs=2))
         assert sum(row[0] for row in got.rows(["count"])) == 100
 
     def test_globals_folded_into_records(self, many_files):
         # per-file globals must reach the worker-side records
         res = parallel_query_files(
-            "AGGREGATE count GROUP BY part ORDER BY part", many_files, workers=2
+            "AGGREGATE count GROUP BY part ORDER BY part", many_files, QueryOptions(jobs=2)
         )
         assert res.rows(["part", "count"]) == [(i, 20) for i in range(5)]
 
     def test_rejects_pure_filter_query(self, many_files):
         with pytest.raises(QueryError):
-            parallel_query_files("SELECT kernel", many_files, workers=2)
+            parallel_query_files("SELECT kernel", many_files, QueryOptions(jobs=2))
 
     def test_backend_rows_override(self, many_files):
-        got = parallel_query_files(QUERY, many_files, workers=2, backend="rows")
+        got = parallel_query_files(QUERY, many_files, QueryOptions(jobs=2, backend="rows"))
         want = serial_result(many_files)
         labels = ["kernel", "sum#time.duration"]
         assert got.rows(labels) == pytest.approx(want.rows(labels))
@@ -123,7 +123,7 @@ class TestIngestionTelemetry:
         from repro import observe
 
         with observe.collecting() as reg:
-            parallel_query_files(QUERY, many_files, workers=2)
+            parallel_query_files(QUERY, many_files, QueryOptions(jobs=2))
         assert reg.timer_stats("parallel.query_files", files=5, workers=2)[0] == 1
         assert reg.timer_total("parallel.query_files/parallel.merge") > 0.0
         # 3 kernels per file chunk, merged from 2 workers
@@ -136,7 +136,7 @@ class TestIngestionTelemetry:
         from repro import observe
 
         with observe.collecting() as reg:
-            parallel_query_files(QUERY, many_files, workers=1)
+            parallel_query_files(QUERY, many_files, QueryOptions(jobs=1))
         assert reg.timer_stats("parallel.file.parse", file="part-0.cali")[0] == 1
 
 
@@ -194,7 +194,7 @@ class TestAutoParallelHeuristics:
         # "single-core" box, and no fallback is recorded.
         monkeypatch.setattr(os, "cpu_count", lambda: 1)
         with observe.collecting() as reg:
-            got = parallel_query_files(QUERY, many_files, workers=2)
+            got = parallel_query_files(QUERY, many_files, QueryOptions(jobs=2))
         assert reg.timer_stats("parallel.query_files", files=5, workers=2)[0] == 1
         assert reg.counter_value("parallel.states.shipped") > 0
         assert reg.counter_value("parallel.fallback", reason="single-core") == 0
@@ -207,7 +207,7 @@ class TestAutoParallelHeuristics:
 
         monkeypatch.setattr(os, "cpu_count", lambda: 8)
         with observe.collecting() as reg:
-            got = parallel_query_files(QUERY, many_files, workers=True)
+            got = parallel_query_files(QUERY, many_files, QueryOptions(jobs=True))
         # Tiny input: the auto heuristics pick the serial path, results match.
         assert reg.timer_stats("parallel.query_files", files=5, workers=1)[0] == 1
         assert str(got) == str(serial_result(many_files))
@@ -219,20 +219,20 @@ class TestEdgeCases:
         assert result.records == []
 
     def test_empty_file_list_with_explicit_workers(self):
-        result = parallel_query_files(QUERY, [], workers=8)
+        result = parallel_query_files(QUERY, [], QueryOptions(jobs=8))
         assert result.records == []
 
     def test_more_workers_than_files(self, many_files):
-        result = parallel_query_files(QUERY, many_files, workers=64)
+        result = parallel_query_files(QUERY, many_files, QueryOptions(jobs=64))
         assert str(result) == str(serial_result(many_files))
 
     def test_zero_and_negative_workers_degrade_to_serial(self, many_files):
         for workers in (0, -3):
-            result = parallel_query_files(QUERY, many_files, workers=workers)
+            result = parallel_query_files(QUERY, many_files, QueryOptions(jobs=workers))
             assert str(result) == str(serial_result(many_files))
 
     def test_single_file_with_many_workers(self, many_files):
-        result = parallel_query_files(QUERY, many_files[:1], workers=8)
+        result = parallel_query_files(QUERY, many_files[:1], QueryOptions(jobs=8))
         assert str(result) == str(serial_result(many_files[:1]))
 
     def test_dataset_from_files_empty_list(self):

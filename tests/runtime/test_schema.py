@@ -1,0 +1,120 @@
+"""Tests for the runtime configuration schema (repro.runtime.schema)."""
+
+import pytest
+
+from repro.common import ConfigError
+from repro.runtime import Caliper, VirtualClock, validate_config
+from repro.runtime.schema import ALIASES, CHANNEL_KEYS, SERVICE_KEYS
+from repro.runtime.services.base import Service, ServiceRegistry
+
+
+class TestValidateConfig:
+    def test_known_keys_pass_through(self):
+        cfg = {
+            "services": ["event", "timer", "aggregate"],
+            "snapshot_fastpath": False,
+            "aggregate.config": "AGGREGATE count GROUP BY function",
+            "timer.trim_hooks": True,
+            "netflush.batch_size": 64,
+        }
+        assert validate_config(cfg) == cfg
+
+    def test_unknown_top_level_key_raises(self):
+        with pytest.raises(ConfigError, match="unknown config key 'serivces'"):
+            validate_config({"serivces": ["event"]})
+
+    def test_unknown_key_suggests_close_match(self):
+        with pytest.raises(ConfigError, match="did you mean 'services'"):
+            validate_config({"serivces": ["event"]})
+
+    def test_unknown_service_option_raises(self):
+        with pytest.raises(ConfigError, match="service 'timer' has no option 'trims'"):
+            validate_config({"timer.trims": True})
+
+    def test_unknown_service_option_suggests(self):
+        with pytest.raises(ConfigError, match="timer.trim_hooks"):
+            validate_config({"timer.trim_hook": True})
+
+    def test_alias_renamed_with_deprecation_warning(self):
+        from repro.runtime import schema
+
+        schema._warned_aliases.discard("timer.trim")
+        with pytest.warns(DeprecationWarning, match="timer.trim"):
+            out = validate_config({"timer.trim": False})
+        assert out == {"timer.trim_hooks": False}
+
+    def test_alias_warns_once_per_process(self):
+        import warnings
+
+        from repro.runtime import schema
+
+        schema._warned_aliases.discard("fastpath")
+        with pytest.warns(DeprecationWarning):
+            validate_config({"fastpath": True})
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = validate_config({"fastpath": True})
+        assert out == {"snapshot_fastpath": True}
+
+    def test_alias_and_new_spelling_together_raise(self):
+        with pytest.raises(ConfigError, match="given twice"):
+            with pytest.warns(DeprecationWarning):
+                validate_config(
+                    {"netflush.batch": 8, "netflush.batch_size": 16}
+                )
+
+    def test_every_alias_targets_a_schema_key(self):
+        valid = set(CHANNEL_KEYS)
+        for svc, keys in SERVICE_KEYS.items():
+            valid.update(f"{svc}.{k}" for k in keys)
+        for old, new in ALIASES.items():
+            assert new in valid, f"alias {old!r} -> unknown key {new!r}"
+            assert old not in valid
+
+    def test_custom_service_keys_allowed(self):
+        class NullService(Service):
+            name = "nullsvc"
+
+        registry = ServiceRegistry()
+        registry.register(NullService)
+        out = validate_config(
+            {"services": ["nullsvc"], "nullsvc.anything": "goes"}, registry
+        )
+        assert out["nullsvc.anything"] == "goes"
+
+    def test_custom_service_prefix_rejected_without_registry(self):
+        with pytest.raises(ConfigError):
+            validate_config({"nullsvc.anything": "goes"})
+
+
+class TestChannelIntegration:
+    def test_channel_rejects_unknown_key(self):
+        cali = Caliper(clock=VirtualClock())
+        with pytest.raises(ConfigError, match="aggregate"):
+            cali.create_channel("bad", {"services": ["aggregate"], "aggregate.cfg": "x"})
+
+    def test_channel_accepts_alias(self):
+        from repro.runtime import schema
+
+        schema._warned_aliases.discard("aggregate.query")
+        cali = Caliper(clock=VirtualClock())
+        with pytest.warns(DeprecationWarning, match="aggregate.query"):
+            chan = cali.create_channel(
+                "aliased",
+                {
+                    "services": ["event", "aggregate"],
+                    "aggregate.query": "AGGREGATE count GROUP BY function",
+                },
+            )
+        assert chan.config.get_string("aggregate.config").startswith("AGGREGATE")
+        with cali.region("function", "f"):
+            pass
+        records = chan.finish()
+        assert any(r.get("function") is not None for r in records)
+
+    def test_config_check_false_bypasses_validation(self):
+        cali = Caliper(clock=VirtualClock())
+        chan = cali.create_channel(
+            "loose", {"config_check": False, "totally.unknown": 1, "services": []}
+        )
+        assert chan.config.get_int("totally.unknown") == 1
