@@ -1,0 +1,224 @@
+"""Binary columnar format benchmark — writes ``BENCH_colfile.json``.
+
+Measures the two headline quantities of the ``.rcf`` zero-copy columnar
+format (``repro.io.colfile``):
+
+``ingest``
+    Time from a cold file to a finished columnar aggregation over it, for
+    the same dataset stored as ``.cali`` text (parse + intern) and as
+    ``.rcf`` (mmap straight into the cached ColumnStore).  The full run
+    uses 1M records; the target is an ingest speedup of >= 5x.
+
+``wire``
+    Encoded payload size of one representative reduction-tree FORWARD
+    delta (exported operator states for a few hundred groups), as the
+    JSON body the protocol used before and as the binary envelope
+    (``records``/``groups`` sections + zlib) it negotiates now.  The
+    target is >= 3x fewer bytes per forwarded delta.
+
+Methodology: ingest reps are interleaved (cali, rcf, cali, rcf, ...) and
+the best rep per format wins, so shared-machine noise hits both formats
+roughly equally.  Both ingest paths run the identical CalQL query and the
+results are asserted equal before any timing is reported.
+
+Usage::
+
+    python benchmarks/bench_colfile.py            # full run (1M records)
+    python benchmarks/bench_colfile.py --smoke    # CI-sized quick pass
+    python benchmarks/bench_colfile.py --check    # assert speedup/size targets
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.calql import parse_scheme  # noqa: E402
+from repro.aggregate.db import AggregationDB  # noqa: E402
+from repro.common.record import Record  # noqa: E402
+from repro.common.variant import Variant  # noqa: E402
+from repro.io.calformat import write_cali  # noqa: E402
+from repro.io.dataset import Dataset  # noqa: E402
+from repro.net.protocol import (  # noqa: E402
+    encode_binary_body,
+    states_from_wire,
+    states_to_binary,
+    states_to_wire,
+)
+
+QUERY = (
+    "AGGREGATE count(), sum(time.duration), min(time.duration), "
+    "max(time.duration) GROUP BY function ORDER BY function"
+)
+SCHEME = (
+    "AGGREGATE count(), sum(time.duration), min(time.duration), "
+    "max(time.duration) GROUP BY function"
+)
+
+FUNCTIONS = [f"kernel_{i:03d}" for i in range(200)]
+
+
+def synthesize(n: int, seed: int = 1234) -> list[Record]:
+    """A profiling-shaped dataset: string keys, int ranks, float durations."""
+    rng = random.Random(seed)
+    choice, rand, randrange = rng.choice, rng.random, rng.randrange
+    records = []
+    for _ in range(n):
+        records.append(
+            Record.from_variants(
+                {
+                    "function": Variant.of(choice(FUNCTIONS)),
+                    "mpi.rank": Variant.of(randrange(64)),
+                    "loop.iteration": Variant.of(randrange(1000)),
+                    "time.duration": Variant.of(rand() * 1e-3),
+                }
+            )
+        )
+    return records
+
+
+def ingest_cali(path: str) -> str:
+    """Cold .cali ingest: parse text, intern columns, aggregate."""
+    return str(Dataset.from_file(path).query(QUERY, backend="columnar"))
+
+
+def ingest_rcf(path: str) -> str:
+    """Cold .rcf ingest: mmap the columnar file, aggregate the views."""
+    return str(Dataset.from_file(path).query(QUERY, backend="columnar"))
+
+
+def time_ingest(cali_path: str, rcf_path: str, repetitions: int) -> dict[str, float]:
+    best = {"cali": float("inf"), "rcf": float("inf")}
+    runners = {"cali": (ingest_cali, cali_path), "rcf": (ingest_rcf, rcf_path)}
+    results = {}
+    for _ in range(repetitions):
+        for name, (fn, path) in runners.items():
+            t0 = time.perf_counter()
+            results[name] = fn(path)
+            best[name] = min(best[name], time.perf_counter() - t0)
+    assert results["cali"] == results["rcf"], "formats must agree before timing"
+    return best
+
+
+def wire_delta(groups: int, seed: int = 99) -> tuple[int, int]:
+    """(json_bytes, binary_bytes) for one representative FORWARD delta."""
+    db = AggregationDB(parse_scheme(SCHEME))
+    rng = random.Random(seed)
+    for record in synthesize(groups * 40, seed=rng.randrange(1 << 30)):
+        db.process(record)
+    states = db.export_states()
+    body = {
+        "scheme": SCHEME,
+        "origin": ["relay-L1-0", "deadbeefdeadbeef"],
+        "from_epoch": "deadbeefdeadbeef",
+        "level": 1,
+        "offered": db.num_offered,
+        "processed": db.num_processed,
+    }
+    json_bytes = len(
+        json.dumps(
+            {**body, "groups": states_to_wire(states)}, separators=(",", ":")
+        ).encode("utf-8")
+    )
+    # states_to_wire -> states_from_wire mirrors the client's spool replay
+    # path, so the binary size includes exactly what would hit the socket.
+    blob = states_to_binary(states_from_wire(states_to_wire(states)))
+    binary_bytes = len(encode_binary_body(body, {"groups": blob}))
+    return json_bytes, binary_bytes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=1_000_000,
+                        help="dataset size for the ingest comparison")
+    parser.add_argument("--groups", type=int, default=200,
+                        help="distinct keys in the wire-delta comparison")
+    parser.add_argument("--repetitions", type=int, default=3)
+    parser.add_argument("--output", default="BENCH_colfile.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small CI-sized run")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero unless .rcf ingest beats .cali "
+                             "and the binary delta beats JSON (full-size "
+                             "runs enforce the 5x / 3x paper targets)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.records = 20_000
+        args.repetitions = 2
+
+    workdir = tempfile.mkdtemp(prefix="repro-bench-colfile-")
+    try:
+        print(f"synthesizing {args.records} records ...", flush=True)
+        records = synthesize(args.records)
+        cali_path = os.path.join(workdir, "bench.cali")
+        rcf_path = os.path.join(workdir, "bench.rcf")
+        write_cali(cali_path, records)
+        Dataset(records).save(rcf_path)
+        del records
+
+        print(f"timing cold ingest, best of {args.repetitions} ...", flush=True)
+        best = time_ingest(cali_path, rcf_path, args.repetitions)
+        json_bytes, binary_bytes = wire_delta(args.groups)
+
+        ingest_speedup = best["cali"] / best["rcf"]
+        wire_ratio = json_bytes / binary_bytes
+        payload = {
+            "benchmark": "colfile-zero-copy-columnar",
+            "query": QUERY,
+            "records": args.records,
+            "repetitions": args.repetitions,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "file_bytes": {
+                "cali": os.path.getsize(cali_path),
+                "rcf": os.path.getsize(rcf_path),
+            },
+            "ingest_seconds": {k: round(v, 4) for k, v in best.items()},
+            "ingest_speedup": round(ingest_speedup, 2),
+            "wire_bytes": {"json": json_bytes, "binary": binary_bytes},
+            "wire_reduction": round(wire_ratio, 2),
+        }
+        out = os.path.abspath(args.output)
+        with open(out, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2)
+            stream.write("\n")
+
+        print(f"  cali ingest  {best['cali']:8.3f} s")
+        print(f"  rcf  ingest  {best['rcf']:8.3f} s   ({ingest_speedup:.2f}x faster)")
+        print(f"  FORWARD delta  json {json_bytes} B, binary {binary_bytes} B "
+              f"({wire_ratio:.2f}x smaller)")
+        print(f"wrote {out}")
+
+        if args.check:
+            # Smoke runs only assert direction (faster / smaller) — tiny
+            # datasets leave the fixed per-query cost dominant.  Full-size
+            # runs must hit the paper-target ratios.
+            min_speedup, min_ratio = (1.0, 1.0) if args.smoke else (5.0, 3.0)
+            failed = []
+            if ingest_speedup < min_speedup:
+                failed.append(
+                    f".rcf ingest speedup {ingest_speedup:.2f}x < {min_speedup}x"
+                )
+            if wire_ratio < min_ratio:
+                failed.append(
+                    f"binary wire reduction {wire_ratio:.2f}x < {min_ratio}x"
+                )
+            if failed:
+                print("CHECK FAILED: " + "; ".join(failed), file=sys.stderr)
+                return 1
+            print("check passed: .rcf ingest faster, binary delta smaller")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

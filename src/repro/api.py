@@ -9,6 +9,7 @@ what the *source* is —
 ``source``                            executed as
 ====================================  =========================================
 path (``"run.cali"``)                 :meth:`Dataset.from_file(...).query`
+path (``"run.rcf"``)                  chunked out-of-core columnar scan
 glob (``"data/*.cali"``)              :meth:`Dataset.from_glob(...).query`
 ``Dataset``                           :meth:`Dataset.query`
 iterable of :class:`Record`           :func:`repro.query.run_query`
@@ -113,6 +114,8 @@ def _query_string_source(
         dataset = Dataset.from_glob(path, parallel=opts.jobs)
         return dataset.query(text, backend=opts.backend)
     if os.path.exists(path):
+        if path.endswith(".rcf"):
+            return _query_colfile(text, path, opts)
         return Dataset.from_file(path).query(text, backend=opts.backend)
     if isinstance(source, str) and _HOST_PORT.match(path):
         host, _, port = path.rpartition(":")
@@ -121,6 +124,45 @@ def _query_string_source(
         f"query source {path!r} is neither an existing file, a glob with "
         "matches, nor a host:port address"
     )
+
+
+class _ChunkRecords:
+    """Lazy record view over one decoded chunk store.
+
+    Handed to :meth:`QueryEngine.feed` as the ``records`` iterable; the
+    columnar backend reads the store directly and never touches this, so
+    Record objects only materialize for LET queries or ``backend="rows"``.
+    """
+
+    def __init__(self, store) -> None:
+        self._store = store
+
+    def __iter__(self):
+        return iter(self._store.records)
+
+
+def _query_colfile(text: str, path: str, opts: QueryOptions) -> QueryResult:
+    """Out-of-core scan of a ``.rcf`` file, one mmap'd chunk at a time.
+
+    Aggregation queries stream every chunk through a partial
+    :class:`AggregationDB` — combine semantics make the result identical
+    to the in-memory path while peak memory stays one chunk.  Queries
+    without AGGREGATE need the full record stream anyway, so they take the
+    ordinary :meth:`Dataset.from_file` route.
+    """
+    engine = QueryEngine(text)
+    if engine.scheme is None:
+        return Dataset.from_file(path).query(text, backend=opts.backend)
+    from .io.colfile import ColfileReader  # deferred: numpy-heavy module
+
+    reader = ColfileReader(path)
+    try:
+        db = engine.make_db()
+        for store in reader.iter_stores():
+            engine.feed(db, _ChunkRecords(store), backend=opts.backend, store=store)
+        return engine.finalize(db)
+    finally:
+        reader.close()
 
 
 def _query_live(

@@ -1,6 +1,13 @@
-"""Record serialization: compact .cali-like, JSON lines, CSV; datasets."""
+"""Record serialization: compact .cali-like, JSON lines, CSV, binary columnar .rcf; datasets."""
 
 from .calformat import CaliReader, CaliWriter, iter_records, read_cali, write_cali
+from .colfile import (
+    ColfileReader,
+    ColfileStore,
+    ColfileWriter,
+    read_colfile,
+    write_colfile,
+)
 from .csvio import read_csv, write_csv
 from .dataset import Dataset, read_records, write_records
 from .jsonio import read_json, write_json
@@ -15,6 +22,11 @@ __all__ = [
     "write_csv",
     "read_json",
     "write_json",
+    "ColfileReader",
+    "ColfileWriter",
+    "ColfileStore",
+    "read_colfile",
+    "write_colfile",
     "Dataset",
     "read_records",
     "write_records",

@@ -1,0 +1,1296 @@
+"""``.rcf`` — the repro columnar file: zero-copy binary columnar encoding.
+
+Everything the system moves today is text: ``.cali`` files are parsed
+line-by-line into rows before a :class:`~repro.io.dataset.ColumnStore` is
+built, and wire/spool payloads carry JSON.  This module provides the shared
+binary columnar representation that removes that tax in all three places:
+
+* **column batches** — the unit codec (:func:`encode_batch` /
+  :func:`decode_batch`): a magic + JSON schema header followed by typed
+  little-endian column buffers with packed null bitmaps, strings and mixed
+  columns dictionary-encoded.  Buffers are 8-byte aligned so decoding is
+  ``np.frombuffer`` views into the source bytes — no parsing, no copies.
+* **files** — :class:`ColfileWriter` / :class:`ColfileReader`: a sequence of
+  column-batch chunks plus a JSON footer directory at the end (so chunks
+  stream out without buffering the whole dataset), ``mmap``-ed on read.  A
+  single-chunk file loads straight into a :class:`ColfileStore` whose
+  numeric columns are views into the mapping.
+* **operator states** — :func:`states_to_binary` / :func:`states_from_binary`
+  encode the ``(key entries, operator states)`` pairs that FORWARD frames
+  and flush batches ship: group keys as a column batch, state cells
+  column-by-column (varint ints, raw float64, generic fallback).
+
+Decoding is defensive everywhere: all offsets/lengths are validated against
+the payload before any allocation, dictionary and row counts are capped by
+:class:`DecodeLimits`, and malformed input raises :class:`ColfileError`
+rather than crashing or allocating attacker-controlled amounts of memory.
+The file layout and compatibility rules are documented in ``docs/format.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from ..common.errors import DatasetError
+from ..common.record import Record
+from ..common.variant import ValueType, Variant
+from .dataset import ColumnStore
+
+__all__ = [
+    "ColfileError",
+    "DecodeLimits",
+    "ColfileStore",
+    "ColfileWriter",
+    "ColfileReader",
+    "write_colfile",
+    "read_colfile",
+    "encode_batch",
+    "decode_batch",
+    "decode_batch_store",
+    "records_from_store",
+    "states_to_binary",
+    "states_from_binary",
+    "pack_value",
+    "unpack_value",
+]
+
+
+class ColfileError(DatasetError):
+    """Malformed or unsupported ``.rcf`` / column-batch data."""
+
+
+#: file header magic + footer magic; bump FILE_VERSION for incompatible changes
+FILE_MAGIC = b"RCF1"
+FOOT_MAGIC = b"RCFZ"
+FILE_VERSION = 1
+
+#: column-batch magic (shared by file chunks, wire sections, worker shipping)
+BATCH_MAGIC = b"RCB1"
+#: binary operator-states magic
+STATES_MAGIC = b"RSB1"
+
+_FILE_HEADER = struct.Struct("<4sHH")  # magic, version, flags
+_FILE_FOOTER = struct.Struct("<I4s")  # footer length, footer magic
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+_I64 = struct.Struct("<q")
+_U64 = struct.Struct("<Q")
+
+#: default chunk size for file writes — large enough to amortize headers,
+#: small enough that one chunk is a reasonable out-of-core working set
+DEFAULT_CHUNK_ROWS = 65_536
+
+#: fixed on-disk/on-wire tag per value type (never renumber)
+_TYPE_TAG = {
+    ValueType.INV: 0,
+    ValueType.INT: 1,
+    ValueType.UINT: 2,
+    ValueType.DOUBLE: 3,
+    ValueType.STRING: 4,
+    ValueType.BOOL: 5,
+    ValueType.USR: 6,
+}
+_TAG_TYPE = {tag: vtype for vtype, tag in _TYPE_TAG.items()}
+#: dictionary-entry tag flag: payload is decimal text (int outside 64 bits)
+_TEXT_FLAG = 0x80
+
+#: numpy dtype string per typed (non-dictionary) column encoding
+_NUM_DTYPE = {
+    ValueType.DOUBLE: "<f8",
+    ValueType.INT: "<i8",
+    ValueType.UINT: "<u8",
+    ValueType.BOOL: "|u1",
+}
+_CODE_DTYPES = ("<i1", "|i1", "<i2", "<i4", "<i8")
+
+_INT_MIN, _INT_MAX = -(2**63), 2**63 - 1
+_UINT_MAX = 2**64 - 1
+
+
+class DecodeLimits:
+    """Caps applied while decoding untrusted column batches.
+
+    Structural validation (every buffer must lie inside the payload, sizes
+    must match the declared row count) already bounds allocations by the
+    payload size; these caps add explicit ceilings on the *decoded* expansion
+    so a hostile header cannot request huge materializations even within a
+    large frame.
+    """
+
+    __slots__ = ("max_rows", "max_dict", "max_bytes")
+
+    def __init__(
+        self,
+        max_rows: int = 100_000_000,
+        max_dict: int = 16_000_000,
+        max_bytes: int = 1 << 31,
+    ) -> None:
+        self.max_rows = max_rows
+        self.max_dict = max_dict
+        self.max_bytes = max_bytes
+
+    @classmethod
+    def for_decoded_size(cls, max_bytes: int) -> "DecodeLimits":
+        """Limits scaled so decoded arrays stay within ``max_bytes``.
+
+        Decoding widens at most 8x (``int8`` codes → ``int64``), so rows are
+        capped at ``max_bytes / 8`` and everything else follows.
+        """
+        max_bytes = int(max_bytes)
+        return cls(
+            max_rows=max(1, max_bytes // 8),
+            max_dict=max(1, max_bytes // 16),
+            max_bytes=max_bytes,
+        )
+
+
+_DEFAULT_LIMITS = DecodeLimits()
+
+
+# ---------------------------------------------------------------------------
+# column batch encoding
+
+
+class _BufferBuilder:
+    """Accumulates 8-byte-aligned buffers, handing out (offset, length)."""
+
+    def __init__(self) -> None:
+        self.parts: list[bytes] = []
+        self.pos = 0
+
+    def add(self, data: bytes) -> list[int]:
+        pad = (-self.pos) % 8
+        if pad:
+            self.parts.append(b"\x00" * pad)
+            self.pos += pad
+        off = self.pos
+        self.parts.append(data)
+        self.pos += len(data)
+        return [off, len(data)]
+
+
+def _min_code_dtype(n_values: int) -> str:
+    """Smallest signed dtype that holds codes ``-1 .. n_values-1``."""
+    if n_values < 2**7:
+        return "<i1"
+    if n_values < 2**15:
+        return "<i2"
+    if n_values < 2**31:
+        return "<i4"
+    return "<i8"
+
+
+def _encode_dictionary(values: Sequence[Variant]) -> tuple[bytes, bytes, bytes]:
+    """``(tags, offsets, blob)`` buffers for a dictionary value table."""
+    tags = bytearray(len(values))
+    offsets = np.empty(len(values) + 1, dtype="<u4")
+    blob = bytearray()
+    offsets[0] = 0
+    for i, v in enumerate(values):
+        tag = _TYPE_TAG[v.type]
+        t = v.type
+        if t is ValueType.DOUBLE:
+            blob += _F64.pack(v.value)
+        elif t is ValueType.INT:
+            if _INT_MIN <= v.value <= _INT_MAX:
+                blob += _I64.pack(v.value)
+            else:
+                tag |= _TEXT_FLAG
+                blob += str(v.value).encode("ascii")
+        elif t is ValueType.UINT:
+            if v.value <= _UINT_MAX:
+                blob += _U64.pack(v.value)
+            else:
+                tag |= _TEXT_FLAG
+                blob += str(v.value).encode("ascii")
+        elif t is ValueType.BOOL:
+            blob += b"\x01" if v.value else b"\x00"
+        else:  # STRING / USR
+            blob += v.to_string().encode("utf-8")
+        tags[i] = tag
+        if len(blob) >= 2**32:
+            raise ColfileError("dictionary blob exceeds 4 GiB; write smaller chunks")
+        offsets[i + 1] = len(blob)
+    return bytes(tags), offsets.tobytes(), bytes(blob)
+
+
+def _decode_dictionary(
+    tags: np.ndarray, offsets: np.ndarray, blob: memoryview
+) -> list[Variant]:
+    values: list[Variant] = []
+    blob_bytes = bytes(blob)
+    for i in range(len(tags)):
+        tag = int(tags[i])
+        start, end = int(offsets[i]), int(offsets[i + 1])
+        payload = blob_bytes[start:end]
+        vtype = _TAG_TYPE.get(tag & ~_TEXT_FLAG)
+        if vtype is None:
+            raise ColfileError(f"unknown dictionary value tag {tag}")
+        try:
+            if tag & _TEXT_FLAG:
+                if vtype not in (ValueType.INT, ValueType.UINT):
+                    raise ColfileError("text-encoded payload on non-integer tag")
+                values.append(Variant(vtype, int(payload.decode("ascii"))))
+            elif vtype is ValueType.DOUBLE:
+                values.append(Variant(vtype, _F64.unpack(payload)[0]))
+            elif vtype is ValueType.INT:
+                values.append(Variant(vtype, _I64.unpack(payload)[0]))
+            elif vtype is ValueType.UINT:
+                values.append(Variant(vtype, _U64.unpack(payload)[0]))
+            elif vtype is ValueType.BOOL:
+                values.append(Variant(vtype, payload != b"\x00"))
+            elif vtype in (ValueType.STRING, ValueType.USR):
+                values.append(Variant(vtype, payload.decode("utf-8")))
+            else:
+                raise ColfileError("INV value in dictionary")
+        except (struct.error, ValueError, UnicodeDecodeError) as exc:
+            raise ColfileError(f"bad dictionary entry {i}: {exc}") from None
+    return values
+
+
+def _column_arrays(
+    records: Sequence[Record],
+) -> dict[str, tuple[list[int], list[Variant]]]:
+    """``label -> (present row indices, values)`` over a record batch.
+
+    ``INV``-typed entries are normalized to absent — the same reading every
+    query path already applies (``Record.get`` defaults empty, the
+    ColumnStore interns them as missing).
+    """
+    cols: dict[str, tuple[list[int], list[Variant]]] = {}
+    for i, record in enumerate(records):
+        for label, v in record._entries.items():
+            if v.type is ValueType.INV:
+                continue
+            col = cols.get(label)
+            if col is None:
+                col = cols[label] = ([], [])
+            col[0].append(i)
+            col[1].append(v)
+    return cols
+
+
+def _pack_mask(idx: list[int], nrows: int) -> Optional[bytes]:
+    """Packed presence bitmap, or None when every row is present."""
+    if len(idx) == nrows:
+        return None
+    mask = np.zeros(nrows, dtype=bool)
+    mask[idx] = True
+    return np.packbits(mask).tobytes()
+
+
+def encode_batch(records: Sequence[Record]) -> bytes:
+    """Encode a record batch into the ``RCB1`` binary columnar form.
+
+    Columns whose present values share one numeric/bool type become typed
+    little-endian buffers (plus a packed null bitmap unless fully dense);
+    everything else — strings, USR blobs, mixed-type columns, integers that
+    overflow 64 bits — is dictionary-encoded with exact type fidelity.
+    Decoding reproduces the records exactly (INV entries excepted: they are
+    normalized to absent, matching query semantics).
+    """
+    if not isinstance(records, (list, tuple)):
+        records = list(records)
+    nrows = len(records)
+    buffers = _BufferBuilder()
+    col_meta: list[dict] = []
+    for label, (idx, vals) in _column_arrays(records).items():
+        vtypes = {v.type for v in vals}
+        dtype = _NUM_DTYPE.get(next(iter(vtypes))) if len(vtypes) == 1 else None
+        arr = None
+        if dtype is not None:
+            try:
+                arr = np.zeros(nrows, dtype=dtype)
+                arr[idx] = [v.value for v in vals]
+            except (OverflowError, ValueError):
+                arr = None  # int outside 64 bits: fall back to dictionary
+        if arr is not None:
+            meta = {
+                "name": label,
+                "enc": "num",
+                "t": _TYPE_TAG[next(iter(vtypes))],
+                "data": buffers.add(arr.tobytes()),
+            }
+            nulls = _pack_mask(idx, nrows)
+            if nulls is not None:
+                meta["nulls"] = buffers.add(nulls)
+            col_meta.append(meta)
+            continue
+        # dictionary encoding: exact (type, value) interning keeps e.g.
+        # int 1 and double 1.0 distinct so round-trips preserve types
+        table: dict[object, int] = {}
+        values: list[Variant] = []
+        codes_present = []
+        for v in vals:
+            key = (v.type, v.value)
+            j = table.get(key)
+            if j is None:
+                j = table[key] = len(values)
+                values.append(v)
+            codes_present.append(j)
+        cdt = _min_code_dtype(len(values))
+        codes = np.full(nrows, -1, dtype=cdt)
+        codes[idx] = codes_present
+        tags, offsets, blob = _encode_dictionary(values)
+        col_meta.append(
+            {
+                "name": label,
+                "enc": "dict",
+                "cdt": cdt,
+                "codes": buffers.add(codes.tobytes()),
+                "tags": buffers.add(tags),
+                "offsets": buffers.add(offsets),
+                "blob": buffers.add(blob),
+            }
+        )
+    header = json.dumps(
+        {"rows": nrows, "cols": col_meta}, separators=(",", ":")
+    ).encode("utf-8")
+    pad = (-(len(BATCH_MAGIC) + 4 + len(header))) % 8
+    out = bytearray()
+    out += BATCH_MAGIC
+    out += _U32.pack(len(header) + pad)
+    out += header
+    out += b"\x00" * pad
+    for part in buffers.parts:
+        out += part
+    return bytes(out)
+
+
+class _NumColumn:
+    """A typed numeric/bool column: values array + presence mask (None=dense)."""
+
+    __slots__ = ("vtype", "values", "mask")
+
+    def __init__(self, vtype: ValueType, values: np.ndarray, mask: Optional[np.ndarray]):
+        self.vtype = vtype
+        self.values = values
+        self.mask = mask
+
+
+class _DictColumn:
+    """A dictionary-encoded column: int64 codes (-1 missing) + value table."""
+
+    __slots__ = ("codes", "values")
+
+    def __init__(self, codes: np.ndarray, values: list[Variant]):
+        self.codes = codes
+        self.values = values
+
+
+_Column = Union[_NumColumn, _DictColumn]
+
+
+def _slice(payload: memoryview, span: object, what: str) -> memoryview:
+    """Bounds-checked buffer slice from a header ``[offset, length]`` entry."""
+    if (
+        not isinstance(span, (list, tuple))
+        or len(span) != 2
+        or not all(isinstance(x, int) and x >= 0 for x in span)
+    ):
+        raise ColfileError(f"bad buffer reference for {what}")
+    off, length = span
+    if off + length > len(payload):
+        raise ColfileError(
+            f"{what} buffer [{off}, {off + length}) exceeds payload of {len(payload)} bytes"
+        )
+    return payload[off : off + length]
+
+
+def _decode_mask(payload: memoryview, span: object, nrows: int) -> np.ndarray:
+    raw = _slice(payload, span, "nulls")
+    if len(raw) != (nrows + 7) // 8:
+        raise ColfileError("null bitmap size does not match row count")
+    return np.unpackbits(np.frombuffer(raw, dtype=np.uint8), count=nrows).astype(bool)
+
+
+def decode_batch(
+    buf: Union[bytes, memoryview], limits: Optional[DecodeLimits] = None
+) -> tuple[int, dict[str, _Column]]:
+    """Decode an ``RCB1`` batch into ``(nrows, columns)``.
+
+    Numeric buffers come back as numpy views into ``buf`` (zero-copy);
+    dictionary codes are widened to ``int64``.  All declared offsets, sizes,
+    counts, and code ranges are validated against ``limits`` and the actual
+    payload before anything is allocated.
+    """
+    limits = limits or _DEFAULT_LIMITS
+    mv = memoryview(buf)
+    if len(mv) < len(BATCH_MAGIC) + 4:
+        raise ColfileError("truncated column batch")
+    if bytes(mv[:4]) != BATCH_MAGIC:
+        raise ColfileError("bad column batch magic")
+    header_len = _U32.unpack(bytes(mv[4:8]))[0]
+    if 8 + header_len > len(mv):
+        raise ColfileError("column batch header exceeds payload")
+    try:
+        # the stored length includes alignment padding NULs after the JSON
+        header = json.loads(bytes(mv[8 : 8 + header_len]).rstrip(b"\x00").decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ColfileError(f"bad column batch header: {exc}") from None
+    if not isinstance(header, dict):
+        raise ColfileError("column batch header is not an object")
+    nrows = header.get("rows")
+    cols_meta = header.get("cols")
+    if not isinstance(nrows, int) or nrows < 0 or not isinstance(cols_meta, list):
+        raise ColfileError("column batch header missing rows/cols")
+    if nrows > limits.max_rows:
+        raise ColfileError(f"row count {nrows} exceeds limit {limits.max_rows}")
+    if len(cols_meta) * max(nrows, 1) * 8 > limits.max_bytes:
+        raise ColfileError("decoded batch would exceed the size limit")
+    payload = mv[8 + header_len :]
+    columns: dict[str, _Column] = {}
+    for meta in cols_meta:
+        if not isinstance(meta, dict) or not isinstance(meta.get("name"), str):
+            raise ColfileError("bad column metadata")
+        label = meta["name"]
+        if label in columns:
+            raise ColfileError(f"duplicate column {label!r}")
+        enc = meta.get("enc")
+        if enc == "num":
+            tag = meta.get("t")
+            vtype = _TAG_TYPE.get(tag) if isinstance(tag, int) else None
+            dtype = _NUM_DTYPE.get(vtype) if vtype is not None else None
+            if dtype is None:
+                raise ColfileError(f"bad numeric column type for {label!r}")
+            raw = _slice(payload, meta.get("data"), label)
+            if len(raw) != nrows * np.dtype(dtype).itemsize:
+                raise ColfileError(f"column {label!r} data does not match row count")
+            arr = np.frombuffer(raw, dtype=dtype)
+            mask = (
+                _decode_mask(payload, meta["nulls"], nrows)
+                if "nulls" in meta
+                else None
+            )
+            columns[label] = _NumColumn(vtype, arr, mask)
+        elif enc == "dict":
+            cdt = meta.get("cdt")
+            if cdt not in _CODE_DTYPES:
+                raise ColfileError(f"bad code dtype for {label!r}")
+            raw = _slice(payload, meta.get("codes"), label)
+            if len(raw) != nrows * np.dtype(cdt).itemsize:
+                raise ColfileError(f"column {label!r} codes do not match row count")
+            codes = np.frombuffer(raw, dtype=cdt)
+            tags_raw = _slice(payload, meta.get("tags"), f"{label} tags")
+            ndict = len(tags_raw)
+            if ndict > limits.max_dict:
+                raise ColfileError(
+                    f"dictionary of {ndict} entries exceeds limit {limits.max_dict}"
+                )
+            offs_raw = _slice(payload, meta.get("offsets"), f"{label} offsets")
+            if len(offs_raw) != 4 * (ndict + 1):
+                raise ColfileError(f"column {label!r} offsets do not match dictionary")
+            offsets = np.frombuffer(offs_raw, dtype="<u4")
+            blob = _slice(payload, meta.get("blob"), f"{label} blob")
+            if ndict and (
+                np.any(np.diff(offsets.astype(np.int64)) < 0)
+                or int(offsets[-1]) > len(blob)
+                or int(offsets[0]) != 0
+            ):
+                raise ColfileError(f"column {label!r} dictionary offsets are invalid")
+            codes = codes.astype(np.int64)
+            if nrows and (int(codes.max()) >= ndict or int(codes.min()) < -1):
+                raise ColfileError(f"column {label!r} codes out of dictionary range")
+            tags = np.frombuffer(tags_raw, dtype=np.uint8)
+            columns[label] = _DictColumn(codes, _decode_dictionary(tags, offsets, blob))
+        else:
+            raise ColfileError(f"unknown column encoding {enc!r}")
+    return nrows, columns
+
+
+# ---------------------------------------------------------------------------
+# ColumnStore over decoded columns
+
+
+class ColfileStore(ColumnStore):
+    """A :class:`ColumnStore` served directly from decoded column buffers.
+
+    Dictionary columns drop straight into the interned-column cache
+    (zero-copy codes); typed numeric columns satisfy :meth:`numeric` as
+    views and intern lazily (via ``np.unique``) only if a query groups or
+    filters on them.  Records are materialized on demand — the vectorized
+    aggregation path never touches them.
+    """
+
+    def __init__(self, nrows: int, columns: dict[str, _Column]) -> None:
+        self._records: Optional[list[Record]] = None  # type: ignore[assignment]
+        self._n = nrows
+        self._columns = columns
+        self._interned: dict[str, tuple[np.ndarray, list[Variant]]] = {}
+        self._numeric: dict[tuple[str, bool], tuple[np.ndarray, np.ndarray]] = {}
+        for label, col in columns.items():
+            if isinstance(col, _DictColumn):
+                self._interned[label] = (col.codes, col.values)
+
+    @property
+    def records(self) -> list[Record]:
+        if self._records is None:
+            self._records = records_from_store(self)
+        return self._records
+
+    @property
+    def columns(self) -> dict[str, _Column]:
+        return self._columns
+
+    def labels(self) -> list[str]:
+        return sorted(self._columns)
+
+    def interned(self, label: str) -> tuple[np.ndarray, list[Variant]]:
+        cached = self._interned.get(label)
+        if cached is not None:
+            return cached
+        col = self._columns.get(label)
+        if col is None:
+            out: tuple[np.ndarray, list[Variant]] = (
+                np.full(self._n, -1, dtype=np.int64),
+                [],
+            )
+        else:
+            out = _intern_num_column(col, self._n)
+        self._interned[label] = out
+        return out
+
+    def numeric(
+        self, label: str, include_bool: bool = True
+    ) -> tuple[np.ndarray, np.ndarray]:
+        key = (label, include_bool)
+        cached = self._numeric.get(key)
+        if cached is not None:
+            return cached
+        col = self._columns.get(label)
+        if not isinstance(col, _NumColumn):
+            return super().numeric(label, include_bool)  # dict / missing column
+        if col.vtype is ValueType.BOOL and not include_bool:
+            out = (
+                np.zeros(self._n, dtype=np.float64),
+                np.zeros(self._n, dtype=bool),
+            )
+        else:
+            values = (
+                col.values
+                if col.values.dtype == np.float64
+                else col.values.astype(np.float64)
+            )
+            # the contract says values are 0.0 where the mask is False; the
+            # writer zero-fills missing slots, so the view stays zero-copy
+            mask = np.ones(self._n, dtype=bool) if col.mask is None else col.mask
+            out = (values, mask)
+        self._numeric[key] = out
+        return out
+
+
+def _intern_num_column(
+    col: _NumColumn, nrows: int
+) -> tuple[np.ndarray, list[Variant]]:
+    """First-class interned view of a typed column (vectorized).
+
+    Distinct values come out in sorted rather than first-seen order — every
+    consumer of ``interned()`` (grouping, predicates, ``first``) is
+    insensitive to dictionary order, so this is observationally equivalent
+    and avoids a per-row Python loop.
+    """
+    if col.mask is None:
+        uniq, inv = np.unique(col.values, return_inverse=True)
+        codes = inv.astype(np.int64)
+    else:
+        present = col.values[col.mask]
+        uniq, inv = np.unique(present, return_inverse=True)
+        codes = np.full(nrows, -1, dtype=np.int64)
+        codes[col.mask] = inv
+    vtype = col.vtype
+    if vtype is ValueType.BOOL:
+        values = [Variant(vtype, bool(x)) for x in uniq.tolist()]
+    elif vtype is ValueType.DOUBLE:
+        values = [Variant(vtype, float(x)) for x in uniq.tolist()]
+    else:
+        values = [Variant(vtype, int(x)) for x in uniq.tolist()]
+    return codes, values
+
+
+def records_from_store(store: ColfileStore) -> list[Record]:
+    """Materialize plain :class:`Record` rows from a columnar store."""
+    nrows = len(store)
+    rows: list[dict[str, Variant]] = [{} for _ in range(nrows)]
+    for label, col in store.columns.items():
+        if isinstance(col, _DictColumn):
+            values = col.values
+            present = np.nonzero(col.codes >= 0)[0]
+            codes = col.codes
+            for i in present.tolist():
+                rows[i][label] = values[codes[i]]
+        else:
+            vtype = col.vtype
+            vals = col.values.tolist()
+            if col.mask is None:
+                idx: Iterable[int] = range(nrows)
+            else:
+                idx = np.nonzero(col.mask)[0].tolist()
+            if vtype is ValueType.BOOL:
+                for i in idx:
+                    rows[i][label] = Variant(vtype, bool(vals[i]))
+            else:
+                for i in idx:
+                    rows[i][label] = Variant(vtype, vals[i])
+    return [Record.from_variants(r) for r in rows]
+
+
+def decode_batch_store(
+    buf: Union[bytes, memoryview], limits: Optional[DecodeLimits] = None
+) -> ColfileStore:
+    """Decode a batch straight into a query-ready :class:`ColfileStore`."""
+    nrows, columns = decode_batch(buf, limits)
+    return ColfileStore(nrows, columns)
+
+
+def _to_dict_form(
+    col: Optional[_Column], nrows: int
+) -> tuple[np.ndarray, list[Variant]]:
+    """Any column (or a missing one) as exact ``(codes, values)``."""
+    if col is None:
+        return np.full(nrows, -1, dtype=np.int64), []
+    if isinstance(col, _DictColumn):
+        return col.codes, col.values
+    return _intern_num_column(col, nrows)
+
+
+def merge_stores(stores: Sequence[ColfileStore]) -> ColfileStore:
+    """One store over the concatenation of several chunk stores.
+
+    Columns that keep one typed encoding across chunks concatenate
+    directly; mixed or dictionary columns merge through a shared value
+    table with per-chunk code remapping.  A single chunk passes through
+    untouched (fully zero-copy).
+    """
+    if len(stores) == 1:
+        return stores[0]
+    total = sum(len(s) for s in stores)
+    labels: list[str] = []
+    for s in stores:
+        for label in s.columns:
+            if label not in labels:
+                labels.append(label)
+    merged: dict[str, _Column] = {}
+    for label in labels:
+        cols = [s.columns.get(label) for s in stores]
+        vtypes = {c.vtype for c in cols if isinstance(c, _NumColumn)}
+        if (
+            len(vtypes) == 1
+            and all(c is None or isinstance(c, _NumColumn) for c in cols)
+        ):
+            vtype = next(iter(vtypes))
+            dtype = _NUM_DTYPE[vtype]
+            parts, masks = [], []
+            dense = all(c is not None and c.mask is None for c in cols)
+            for c, s in zip(cols, stores):
+                n = len(s)
+                if c is None:
+                    parts.append(np.zeros(n, dtype=dtype))
+                    masks.append(np.zeros(n, dtype=bool))
+                else:
+                    parts.append(c.values)
+                    masks.append(
+                        np.ones(n, dtype=bool) if c.mask is None else c.mask
+                    )
+            merged[label] = _NumColumn(
+                vtype,
+                np.concatenate(parts),
+                None if dense else np.concatenate(masks),
+            )
+            continue
+        table: dict[object, int] = {}
+        values: list[Variant] = []
+        parts = []
+        for c, s in zip(cols, stores):
+            codes, vals = _to_dict_form(c, len(s))
+            lookup = np.empty(len(vals) + 1, dtype=np.int64)
+            lookup[0] = -1
+            for j, v in enumerate(vals):
+                key = (v.type, v.value)
+                idx = table.get(key)
+                if idx is None:
+                    idx = table[key] = len(values)
+                    values.append(v)
+                lookup[j + 1] = idx
+            parts.append(lookup[codes + 1])
+        merged[label] = _DictColumn(np.concatenate(parts), values)
+    return ColfileStore(total, merged)
+
+
+# ---------------------------------------------------------------------------
+# file layout
+
+
+def _globals_to_jsonable(globals_: Optional[dict[str, Variant]]) -> dict:
+    out = {}
+    for label, v in (globals_ or {}).items():
+        if not isinstance(v, Variant):
+            v = Variant.of(v)
+        out[label] = [v.type.value, v.value]
+    return out
+
+
+def _globals_from_jsonable(obj: object) -> dict[str, Variant]:
+    if not isinstance(obj, dict):
+        raise ColfileError("bad globals block in footer")
+    out: dict[str, Variant] = {}
+    for label, pair in obj.items():
+        if not (isinstance(pair, list) and len(pair) == 2):
+            raise ColfileError(f"bad global entry {label!r}")
+        try:
+            out[label] = Variant(ValueType(pair[0]), pair[1])
+        except (ValueError, TypeError) as exc:
+            raise ColfileError(f"bad global entry {label!r}: {exc}") from None
+    return out
+
+
+class ColfileWriter:
+    """Streaming ``.rcf`` writer: header, then chunks, then footer directory.
+
+    The footer lives at the *end* of the file so chunks can stream out as
+    they are produced (the flush spool and ``convert`` never buffer the
+    whole dataset).  Usable as a context manager.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        globals_: Optional[dict[str, Variant]] = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self._stream = open(self.path, "wb")
+        self._stream.write(_FILE_HEADER.pack(FILE_MAGIC, FILE_VERSION, 0))
+        self._pos = _FILE_HEADER.size
+        self._chunks: list[dict] = []
+        self._globals = dict(globals_ or {})
+        self._closed = False
+
+    def write_chunk(self, records: Sequence[Record]) -> int:
+        """Append one column-batch chunk; returns its encoded size."""
+        if not isinstance(records, (list, tuple)):
+            records = list(records)
+        batch = encode_batch(records)
+        self._chunks.append(
+            {"offset": self._pos, "length": len(batch), "rows": len(records)}
+        )
+        self._stream.write(batch)
+        self._pos += len(batch)
+        return len(batch)
+
+    def write_records(self, records: Iterable[Record], chunk_rows: int = 0) -> int:
+        """Write records in fixed-size chunks; returns the record count."""
+        chunk_rows = chunk_rows or DEFAULT_CHUNK_ROWS
+        buf: list[Record] = []
+        total = 0
+        for record in records:
+            buf.append(record)
+            if len(buf) >= chunk_rows:
+                total += len(buf)
+                self.write_chunk(buf)
+                buf = []
+        if buf:
+            total += len(buf)
+            self.write_chunk(buf)
+        return total
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        footer = json.dumps(
+            {
+                "version": FILE_VERSION,
+                "rows": sum(c["rows"] for c in self._chunks),
+                "globals": _globals_to_jsonable(self._globals),
+                "chunks": self._chunks,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        self._stream.write(footer)
+        self._stream.write(_FILE_FOOTER.pack(len(footer), FOOT_MAGIC))
+        self._stream.close()
+
+    def __enter__(self) -> "ColfileWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ColfileReader:
+    """``mmap``-backed ``.rcf`` reader.
+
+    The file is mapped read-only; chunk decoding produces numpy views into
+    the mapping, so opening a dataset is O(footer) regardless of size, and
+    the OS pages column data in on demand.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        limits: Optional[DecodeLimits] = None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self._limits = limits or _DEFAULT_LIMITS
+        with open(self.path, "rb") as stream:
+            size = os.fstat(stream.fileno()).st_size
+            if size < _FILE_HEADER.size + _FILE_FOOTER.size:
+                raise ColfileError(f"{self.path}: too short to be a .rcf file")
+            self._map: Union[mmap.mmap, bytes]
+            try:
+                self._map = mmap.mmap(stream.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):
+                self._map = stream.read()  # e.g. empty or unmappable file
+        data = memoryview(self._map)
+        magic, version, _flags = _FILE_HEADER.unpack(bytes(data[: _FILE_HEADER.size]))
+        if magic != FILE_MAGIC:
+            raise ColfileError(f"{self.path}: not a .rcf file (bad magic)")
+        if version > FILE_VERSION:
+            raise ColfileError(
+                f"{self.path}: format version {version} is newer than supported "
+                f"({FILE_VERSION})"
+            )
+        foot_len, foot_magic = _FILE_FOOTER.unpack(
+            bytes(data[size - _FILE_FOOTER.size :])
+        )
+        if foot_magic != FOOT_MAGIC:
+            raise ColfileError(f"{self.path}: missing footer (truncated file?)")
+        foot_start = size - _FILE_FOOTER.size - foot_len
+        if foot_start < _FILE_HEADER.size:
+            raise ColfileError(f"{self.path}: footer length is invalid")
+        try:
+            footer = json.loads(bytes(data[foot_start : foot_start + foot_len]))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ColfileError(f"{self.path}: bad footer: {exc}") from None
+        chunks = footer.get("chunks")
+        if not isinstance(chunks, list):
+            raise ColfileError(f"{self.path}: footer missing chunk directory")
+        for c in chunks:
+            if (
+                not isinstance(c, dict)
+                or not all(
+                    isinstance(c.get(k), int) and c.get(k) >= 0
+                    for k in ("offset", "length", "rows")
+                )
+                or c["offset"] + c["length"] > foot_start
+            ):
+                raise ColfileError(f"{self.path}: bad chunk directory entry")
+        self._data = data
+        self.chunks: list[dict] = chunks
+        self.num_records: int = int(footer.get("rows", 0))
+        self.globals: dict[str, Variant] = _globals_from_jsonable(
+            footer.get("globals", {})
+        )
+        self._store: Optional[ColfileStore] = None
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    def chunk_store(self, index: int) -> ColfileStore:
+        """Decode one chunk into a query-ready store (numpy views)."""
+        c = self.chunks[index]
+        view = self._data[c["offset"] : c["offset"] + c["length"]]
+        store = decode_batch_store(view, self._limits)
+        if len(store) != c["rows"]:
+            raise ColfileError(
+                f"{self.path}: chunk {index} row count does not match directory"
+            )
+        return store
+
+    def iter_stores(self) -> Iterator[ColfileStore]:
+        for i in range(len(self.chunks)):
+            yield self.chunk_store(i)
+
+    def store(self) -> ColfileStore:
+        """One store over the whole file (chunks merged; cached)."""
+        if self._store is None:
+            if not self.chunks:
+                self._store = ColfileStore(0, {})
+            else:
+                self._store = merge_stores([self.chunk_store(i) for i in range(len(self.chunks))])
+        return self._store
+
+    def records(self) -> list[Record]:
+        return self.store().records
+
+    def close(self) -> None:
+        # Views handed out keep the mapping alive through the buffer
+        # protocol; closing here is best-effort for prompt cleanup.
+        try:
+            self._data.release()
+            if isinstance(self._map, mmap.mmap):
+                self._map.close()
+        except (BufferError, ValueError):
+            pass
+
+
+def write_colfile(
+    path: Union[str, os.PathLike],
+    records: Iterable[Record],
+    globals_: Optional[dict[str, Variant]] = None,
+    chunk_rows: int = 0,
+) -> int:
+    """Write records (and globals) to a ``.rcf`` file; returns the count."""
+    with ColfileWriter(path, globals_=globals_) as writer:
+        return writer.write_records(records, chunk_rows=chunk_rows)
+
+
+def read_colfile(
+    path: Union[str, os.PathLike]
+) -> tuple[list[Record], dict[str, Variant]]:
+    """Read a ``.rcf`` file fully into records + globals."""
+    reader = ColfileReader(path)
+    try:
+        return reader.records(), dict(reader.globals)
+    finally:
+        reader.close()
+
+
+# ---------------------------------------------------------------------------
+# generic value packing (operator state cells)
+
+_VT_NONE, _VT_FALSE, _VT_TRUE, _VT_INT, _VT_FLOAT, _VT_STR, _VT_LIST, _VT_VARIANT = (
+    range(8)
+)
+_MAX_DEPTH = 32
+
+
+def _write_varint(out: bytearray, n: int) -> None:
+    while True:
+        b = n & 0x7F
+        n >>= 7
+        if n:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return
+
+
+def _read_varint(mv: memoryview, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    end = len(mv)
+    while True:
+        if pos >= end:
+            raise ColfileError("truncated varint")
+        b = mv[pos]
+        pos += 1
+        result |= (b & 0x7F) << shift
+        if not b & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 10_000:  # arbitrary-precision ints are fine, gigabit ints not
+            raise ColfileError("varint too long")
+
+
+def _zigzag(n: int) -> int:
+    return (n << 1) ^ (n >> 63) if -(2**62) <= n < 2**62 else (
+        n << 1 if n >= 0 else ((-n) << 1) - 1
+    )
+
+
+def _unzigzag(n: int) -> int:
+    return (n >> 1) if not n & 1 else -((n + 1) >> 1)
+
+
+def pack_value(obj: object, out: Optional[bytearray] = None) -> bytearray:
+    """Append one state cell (None/bool/int/float/str/list/Variant) to ``out``."""
+    if out is None:
+        out = bytearray()
+    if obj is None:
+        out.append(_VT_NONE)
+    elif obj is False:
+        out.append(_VT_FALSE)
+    elif obj is True:
+        out.append(_VT_TRUE)
+    elif isinstance(obj, int):
+        out.append(_VT_INT)
+        _write_varint(out, _zigzag(obj))
+    elif isinstance(obj, float):
+        out.append(_VT_FLOAT)
+        out += _F64.pack(obj)
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        out.append(_VT_STR)
+        _write_varint(out, len(raw))
+        out += raw
+    elif isinstance(obj, (list, tuple)):
+        out.append(_VT_LIST)
+        _write_varint(out, len(obj))
+        for item in obj:
+            pack_value(item, out)
+    elif isinstance(obj, Variant):
+        out.append(_VT_VARIANT)
+        out.append(_TYPE_TAG[obj.type])
+        t = obj.type
+        if t in (ValueType.INT, ValueType.UINT):
+            _write_varint(out, _zigzag(obj.value))
+        elif t is ValueType.DOUBLE:
+            out += _F64.pack(obj.value)
+        elif t is ValueType.BOOL:
+            out.append(1 if obj.value else 0)
+        elif t in (ValueType.STRING, ValueType.USR):
+            raw = obj.to_string().encode("utf-8")
+            _write_varint(out, len(raw))
+            out += raw
+        # INV: tag alone
+    else:
+        raise ColfileError(f"cannot pack value of type {type(obj).__name__}")
+    return out
+
+
+def unpack_value(
+    mv: memoryview, pos: int = 0, depth: int = 0
+) -> tuple[object, int]:
+    """Decode one packed cell at ``pos``; returns ``(value, new position)``."""
+    if depth > _MAX_DEPTH:
+        raise ColfileError("packed value nests too deeply")
+    if pos >= len(mv):
+        raise ColfileError("truncated packed value")
+    tag = mv[pos]
+    pos += 1
+    if tag == _VT_NONE:
+        return None, pos
+    if tag == _VT_FALSE:
+        return False, pos
+    if tag == _VT_TRUE:
+        return True, pos
+    if tag == _VT_INT:
+        n, pos = _read_varint(mv, pos)
+        return _unzigzag(n), pos
+    if tag == _VT_FLOAT:
+        if pos + 8 > len(mv):
+            raise ColfileError("truncated packed float")
+        return _F64.unpack(bytes(mv[pos : pos + 8]))[0], pos + 8
+    if tag == _VT_STR:
+        n, pos = _read_varint(mv, pos)
+        if pos + n > len(mv):
+            raise ColfileError("truncated packed string")
+        try:
+            return bytes(mv[pos : pos + n]).decode("utf-8"), pos + n
+        except UnicodeDecodeError as exc:
+            raise ColfileError(f"bad packed string: {exc}") from None
+    if tag == _VT_LIST:
+        n, pos = _read_varint(mv, pos)
+        if n > len(mv) - pos:  # every element takes >= 1 byte
+            raise ColfileError("packed list length exceeds payload")
+        items = []
+        for _ in range(n):
+            item, pos = unpack_value(mv, pos, depth + 1)
+            items.append(item)
+        return items, pos
+    if tag == _VT_VARIANT:
+        if pos >= len(mv):
+            raise ColfileError("truncated packed variant")
+        vtag = mv[pos]
+        pos += 1
+        vtype = _TAG_TYPE.get(vtag)
+        if vtype is None:
+            raise ColfileError(f"unknown packed variant tag {vtag}")
+        if vtype is ValueType.INV:
+            from ..common.variant import EMPTY_VARIANT
+
+            return EMPTY_VARIANT, pos
+        if vtype in (ValueType.INT, ValueType.UINT):
+            n, pos = _read_varint(mv, pos)
+            return Variant(vtype, _unzigzag(n)), pos
+        if vtype is ValueType.DOUBLE:
+            if pos + 8 > len(mv):
+                raise ColfileError("truncated packed variant")
+            return Variant(vtype, _F64.unpack(bytes(mv[pos : pos + 8]))[0]), pos + 8
+        if vtype is ValueType.BOOL:
+            if pos >= len(mv):
+                raise ColfileError("truncated packed variant")
+            return Variant(vtype, mv[pos] != 0), pos + 1
+        n, pos = _read_varint(mv, pos)
+        if pos + n > len(mv):
+            raise ColfileError("truncated packed variant string")
+        text = bytes(mv[pos : pos + n]).decode("utf-8", errors="strict")
+        return Variant(vtype, text), pos + n
+    raise ColfileError(f"unknown packed value tag {tag}")
+
+
+# ---------------------------------------------------------------------------
+# operator-state batches (FORWARD deltas, flushed snapshots)
+
+_SLOT_INT, _SLOT_FLOAT, _SLOT_GENERIC = 0, 1, 2
+_MODE_COLUMNAR, _MODE_GENERIC = 0, 1
+
+
+def _classify_slot(cells: list[object]) -> int:
+    has_int = has_float = False
+    for x in cells:
+        if x is None:
+            continue
+        if type(x) is int:
+            has_int = True
+        elif type(x) is float:
+            has_float = True
+        else:
+            return _SLOT_GENERIC
+    if has_int and has_float:
+        return _SLOT_GENERIC
+    return _SLOT_FLOAT if has_float else _SLOT_INT
+
+
+def _encode_slot(cells: list[object], kind: int) -> bytes:
+    n = len(cells)
+    if kind == _SLOT_GENERIC:
+        return bytes(pack_value(list(cells)))
+    mask = np.array([c is not None for c in cells], dtype=bool)
+    out = bytearray(np.packbits(mask).tobytes() if n else b"")
+    present = [c for c in cells if c is not None]
+    if kind == _SLOT_FLOAT:
+        out += np.array(present, dtype="<f8").tobytes()
+    else:
+        for x in present:
+            _write_varint(out, _zigzag(x))
+    return bytes(out)
+
+
+def _decode_slot(seg: memoryview, kind: int, n: int) -> list[object]:
+    if kind == _SLOT_GENERIC:
+        value, pos = unpack_value(seg, 0)
+        if pos != len(seg) or not isinstance(value, list) or len(value) != n:
+            raise ColfileError("bad generic state slot")
+        return value
+    nbytes = (n + 7) // 8
+    if len(seg) < nbytes:
+        raise ColfileError("truncated state slot bitmap")
+    mask = np.unpackbits(
+        np.frombuffer(seg[:nbytes], dtype=np.uint8), count=n
+    ).astype(bool)
+    npresent = int(mask.sum())
+    cells: list[object] = [None] * n
+    idx = np.nonzero(mask)[0].tolist()
+    if kind == _SLOT_FLOAT:
+        if len(seg) != nbytes + 8 * npresent:
+            raise ColfileError("bad float state slot size")
+        vals = np.frombuffer(seg[nbytes:], dtype="<f8").tolist()
+        for i, x in zip(idx, vals):
+            cells[i] = x
+    else:
+        pos = nbytes
+        for i in idx:
+            raw, pos = _read_varint(seg, pos)
+            cells[i] = _unzigzag(raw)
+        if pos != len(seg):
+            raise ColfileError("bad int state slot size")
+    return cells
+
+
+def states_to_binary(
+    groups: Sequence[tuple[dict[str, Variant], list[list]]]
+) -> bytes:
+    """Encode exported operator states (``AggregationDB.export_states``).
+
+    Group-key entries ride as a column batch; state cells are laid out
+    column-by-column per ``(operator, slot)`` — presence bitmap + zigzag
+    varints for integer slots, bitmap + raw float64 for float slots, the
+    generic packed codec for everything else.  Falls back to a fully
+    generic layout when operator widths differ between groups (a malformed
+    but representable input).
+    """
+    groups = list(groups)
+    key_records = [Record.from_variants(dict(entries)) for entries, _ in groups]
+    entries_batch = encode_batch(key_records)
+    n = len(groups)
+    out = bytearray()
+    out += STATES_MAGIC
+    widths: Optional[list[int]] = None
+    if n:
+        first = [len(s) for s in groups[0][1]]
+        if all(
+            len(states) == len(first)
+            and all(len(s) == w for s, w in zip(states, first))
+            for _, states in groups
+        ):
+            widths = first
+    if widths is None and n:
+        out.append(_MODE_GENERIC)
+        out += _U32.pack(len(entries_batch))
+        out += entries_batch
+        out += bytes(pack_value([states for _, states in groups]))
+        return bytes(out)
+    out.append(_MODE_COLUMNAR)
+    out += _U32.pack(len(entries_batch))
+    out += entries_batch
+    out += _U32.pack(len(widths or []))
+    for op_i, width in enumerate(widths or []):
+        out += _U32.pack(width)
+        for slot_j in range(width):
+            cells = [states[op_i][slot_j] for _, states in groups]
+            kind = _classify_slot(cells)
+            seg = _encode_slot(cells, kind)
+            out.append(kind)
+            out += _U32.pack(len(seg))
+            out += seg
+    return bytes(out)
+
+
+def states_from_binary(
+    buf: Union[bytes, memoryview], limits: Optional[DecodeLimits] = None
+) -> list[tuple[dict[str, Variant], list[list]]]:
+    """Decode :func:`states_to_binary` output (defensively validated)."""
+    limits = limits or _DEFAULT_LIMITS
+    mv = memoryview(buf)
+    if len(mv) < len(STATES_MAGIC) + 1 + 4:
+        raise ColfileError("truncated state batch")
+    if bytes(mv[:4]) != STATES_MAGIC:
+        raise ColfileError("bad state batch magic")
+    mode = mv[4]
+    entries_len = _U32.unpack(bytes(mv[5:9]))[0]
+    if 9 + entries_len > len(mv):
+        raise ColfileError("state batch key section exceeds payload")
+    nrows, columns = decode_batch(mv[9 : 9 + entries_len], limits)
+    key_store = ColfileStore(nrows, columns)
+    entries = [dict(r._entries) for r in key_store.records]
+    pos = 9 + entries_len
+    if mode == _MODE_GENERIC:
+        value, end = unpack_value(mv, pos)
+        if end != len(mv) or not isinstance(value, list) or len(value) != nrows:
+            raise ColfileError("bad generic state batch")
+        return [
+            (e, [list(s) if isinstance(s, list) else [s] for s in states])
+            for e, states in zip(entries, value)
+        ]
+    if mode != _MODE_COLUMNAR:
+        raise ColfileError(f"unknown state batch mode {mode}")
+    if pos + 4 > len(mv):
+        raise ColfileError("truncated state batch")
+    n_ops = _U32.unpack(bytes(mv[pos : pos + 4]))[0]
+    pos += 4
+    if n_ops > 4096:
+        raise ColfileError("implausible operator count in state batch")
+    states: list[list[list]] = [[] for _ in range(nrows)]
+    for _op in range(n_ops):
+        if pos + 4 > len(mv):
+            raise ColfileError("truncated state batch")
+        width = _U32.unpack(bytes(mv[pos : pos + 4]))[0]
+        pos += 4
+        if width > 4096:
+            raise ColfileError("implausible state width in state batch")
+        slots: list[list[object]] = []
+        for _slot in range(width):
+            if pos + 5 > len(mv):
+                raise ColfileError("truncated state batch")
+            kind = mv[pos]
+            seg_len = _U32.unpack(bytes(mv[pos + 1 : pos + 5]))[0]
+            pos += 5
+            if kind not in (_SLOT_INT, _SLOT_FLOAT, _SLOT_GENERIC):
+                raise ColfileError(f"unknown state slot kind {kind}")
+            if pos + seg_len > len(mv):
+                raise ColfileError("state slot exceeds payload")
+            slots.append(_decode_slot(mv[pos : pos + seg_len], kind, nrows))
+            pos += seg_len
+        for g in range(nrows):
+            states[g].append([slots[j][g] for j in range(width)])
+    if pos != len(mv):
+        raise ColfileError("trailing bytes after state batch")
+    return list(zip(entries, states))

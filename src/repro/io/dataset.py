@@ -48,6 +48,8 @@ def _format_of(path: Union[str, os.PathLike]) -> str:
         return "json"
     if ext == ".csv":
         return "csv"
+    if ext == ".rcf":
+        return "rcf"
     raise DatasetError(f"cannot infer record format from extension {ext!r} ({path})")
 
 
@@ -62,6 +64,10 @@ def write_records(
         return write_cali(path, records, globals_=globals_)
     if fmt == "json":
         return write_json(path, records, globals_=globals_)
+    if fmt == "rcf":
+        from .colfile import write_colfile  # deferred: colfile imports this module
+
+        return write_colfile(path, records, globals_=globals_)
     return write_csv(path, records)
 
 
@@ -74,6 +80,10 @@ def read_records(path: Union[str, os.PathLike]) -> tuple[list[Record], dict[str,
     if fmt == "json":
         records, globals_ = read_json(path, with_globals=True)
         return records, globals_
+    if fmt == "rcf":
+        from .colfile import read_colfile  # deferred: colfile imports this module
+
+        return read_colfile(path)
     from .csvio import read_csv
 
     return read_csv(path), {}
@@ -114,14 +124,15 @@ class ColumnStore:
             return cached
         observe.count("columnstore.intern", result="miss", label=label)
         codes = np.empty(self._n, dtype=np.int64)
-        # Keyed by plain Python values rather than Variants: hashing a float
-        # or a small tuple is several times cheaper than Variant.__hash__,
-        # and this loop runs once per record.  The key mirrors Variant
-        # equality exactly — numeric variants compare as floats across
-        # int/uint/double, everything else within its own type.
+        # Keyed by plain (type, value) tuples rather than Variants: hashing a
+        # small tuple is several times cheaper than Variant.__hash__, and this
+        # loop runs once per record.  Interning is *exact* — ``int 1`` and
+        # ``double 1.0`` under one label stay distinct codes — so group
+        # representatives and ``first()`` preserve each record's actual
+        # Variant.  Variant-equality collapsing for GROUP BY identity happens
+        # per *distinct* value in the grouping layer, never per record.
         table: dict[object, int] = {}
         values: list[Variant] = []
-        numeric = (ValueType.INT, ValueType.UINT, ValueType.DOUBLE)
         missing = (ValueType.INV, None)
         table_get = table.get
         for i, record in enumerate(self._records):
@@ -130,7 +141,7 @@ class ColumnStore:
             if t in missing:
                 codes[i] = -1
                 continue
-            key = float(v.value) if t in numeric else (t, v.value)
+            key = (t, v.value)
             idx = table_get(key)
             if idx is None:
                 idx = len(values)
@@ -196,6 +207,24 @@ def _load_source(path: Union[str, os.PathLike]) -> tuple[list[Record], dict[str,
     return records, globals_
 
 
+def _load_source_packed(
+    path: Union[str, os.PathLike],
+) -> tuple[bytes, dict[str, Variant], float, int]:
+    """Parallel-ingest worker: parse one file and ship *column buffers*.
+
+    Pickling a million Record objects back to the parent re-encodes every
+    value through ``pickle``; encoding the parsed records into one binary
+    column batch moves a single compact buffer per file instead, and the
+    parent's decode shares interned Variants across rows.  Results are
+    identical to :func:`_load_source_timed` (globals are folded in before
+    encoding, and the batch codec round-trips records exactly).
+    """
+    from .colfile import encode_batch  # deferred: colfile imports this module
+
+    records, globals_, elapsed = _load_source_timed(path)
+    return encode_batch(records), globals_, elapsed, len(records)
+
+
 #: Auto-parallel heuristics (``parallel=True``): a process pool only pays off
 #: when each worker amortizes its fork/pickle cost over a meaningful share of
 #: the input.  Record counts are estimated from file sizes before parsing;
@@ -250,8 +279,32 @@ def _resolve_workers(
     return workers
 
 
+class _DeferredRecords:
+    """Record iterable that hydrates a lazy dataset only when iterated.
+
+    Passed to :meth:`QueryEngine.run` in place of the record list so the
+    columnar fast path over an ``.rcf``-backed store never materializes
+    Record objects; row-engine fallbacks iterate it and hydrate on demand.
+    """
+
+    def __init__(self, dataset: "Dataset") -> None:
+        self._dataset = dataset
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._dataset.records)
+
+    def __len__(self) -> int:
+        return len(self._dataset)
+
+
 class Dataset:
-    """Records + globals, with query and export conveniences."""
+    """Records + globals, with query and export conveniences.
+
+    Datasets opened from ``.rcf`` columnar files are *lazy*: the mmap-backed
+    :class:`~repro.io.colfile.ColfileStore` is attached immediately and
+    Record objects are only materialized if something row-oriented touches
+    ``.records`` — vectorized queries run straight off the store.
+    """
 
     def __init__(
         self,
@@ -259,18 +312,44 @@ class Dataset:
         globals_: Optional[dict[str, Variant]] = None,
         sources: Sequence[str] = (),
     ) -> None:
-        self.records: list[Record] = list(records)
+        self._records: Optional[list[Record]] = list(records)
         self.globals: dict[str, Variant] = dict(globals_ or {})
         #: file paths this dataset was assembled from (informational)
         self.sources: list[str] = list(sources)
         self._store: Optional[ColumnStore] = None
 
+    @property
+    def records(self) -> list[Record]:
+        if self._records is None:
+            # hydrate from the columnar store (shared with column_store())
+            self._records = self._store.records  # type: ignore[union-attr]
+        return self._records
+
+    @records.setter
+    def records(self, value: Iterable[Record]) -> None:
+        self._records = list(value)
+        self._store = None
+
     # -- construction ----------------------------------------------------------
 
     @classmethod
     def from_file(cls, path: Union[str, os.PathLike]) -> "Dataset":
+        path = os.fspath(path)
+        if _format_of(path) == "rcf":
+            return cls._from_colfile(path)
         records, globals_ = read_records(path)
-        return cls(records, globals_, [os.fspath(path)])
+        return cls(records, globals_, [path])
+
+    @classmethod
+    def _from_colfile(cls, path: str) -> "Dataset":
+        """Open an ``.rcf`` file as a lazy, mmap-backed dataset."""
+        from .colfile import ColfileReader  # deferred: colfile imports this module
+
+        reader = ColfileReader(path)
+        dataset = cls((), reader.globals, [path])
+        dataset._store = reader.store()
+        dataset._records = None
+        return dataset
 
     @classmethod
     def from_files(
@@ -302,8 +381,14 @@ class Dataset:
             if workers > 1:
                 from concurrent.futures import ProcessPoolExecutor
 
+                from .colfile import decode_batch_store
+
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    loaded = list(pool.map(_load_source_timed, path_list))
+                    packed = list(pool.map(_load_source_packed, path_list))
+                loaded = [
+                    (decode_batch_store(batch).records, globals_, seconds)
+                    for batch, globals_, seconds, _count in packed
+                ]
             else:
                 loaded = [_load_source_timed(p) for p in path_list]
             all_records: list[Record] = []
@@ -335,6 +420,8 @@ class Dataset:
     # -- basic container behaviour ------------------------------------------------
 
     def __len__(self) -> int:
+        if self._records is None and self._store is not None:
+            return len(self._store)  # lazy: the store knows without hydrating
         return len(self.records)
 
     def __iter__(self) -> Iterator[Record]:
@@ -345,6 +432,8 @@ class Dataset:
 
     def labels(self) -> list[str]:
         """Union of attribute labels across all records, sorted."""
+        if self._records is None and hasattr(self._store, "labels"):
+            return self._store.labels()  # lazy: straight from the column schema
         seen: set[str] = set()
         for record in self.records:
             seen.update(record.labels())
@@ -360,7 +449,7 @@ class Dataset:
         return out
 
     def extend(self, records: Iterable[Record]) -> None:
-        self.records.extend(records)
+        self.records.extend(records)  # hydrates first when lazy
         self._store = None  # interned columns no longer cover every record
 
     # -- analysis ---------------------------------------------------------------
@@ -372,6 +461,8 @@ class Dataset:
         reused across queries; rebuilt when the record list has changed.
         """
         store = self._store
+        if store is not None and self._records is None:
+            return store  # lazy .rcf store; don't force record hydration
         if (
             store is None
             or store.records is not self.records
@@ -399,7 +490,11 @@ class Dataset:
             if (backend != "rows" and engine.scheme is not None)
             else None
         )
-        return engine.run(self.records, backend=backend, store=store)
+        # With a store attached, hand the engine a deferred iterable: the
+        # vectorized path reads the store only, so a lazy .rcf dataset never
+        # materializes Record objects; fallback paths hydrate on iteration.
+        source = self.records if store is None else _DeferredRecords(self)
+        return engine.run(source, backend=backend, store=store)
 
     def summary(self) -> str:
         """Per-attribute overview: occurrence count, types, value span.
@@ -441,6 +536,21 @@ class Dataset:
     def to_file(self, path: Union[str, os.PathLike]) -> int:
         return write_records(
             path, self.records, {k: v.value for k, v in self.globals.items()}
+        )
+
+    def save(self, path: Union[str, os.PathLike], chunk_rows: int = 0) -> int:
+        """Write this dataset as an ``.rcf`` columnar file.
+
+        The binary columnar counterpart of :meth:`to_file`: typed column
+        buffers that :meth:`from_file` maps straight back into the cached
+        column store without parsing.  ``chunk_rows`` bounds the rows per
+        chunk (0 = default), which is also the granularity at which
+        ``repro.api.query`` later streams the file for out-of-core scans.
+        """
+        from .colfile import write_colfile  # deferred: colfile imports this module
+
+        return write_colfile(
+            path, self.records, globals_=self.globals, chunk_rows=chunk_rows
         )
 
     def __repr__(self) -> str:

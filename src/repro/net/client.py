@@ -5,16 +5,17 @@ records, ships them to an :class:`~repro.net.server.AggregationServer`
 over the framing protocol, and — crucially — keeps working when the
 server does not:
 
-* **Write-ahead spool** — every batch is written to a ``.cali`` spool
-  file (:mod:`repro.io.calformat`) *before* the first send attempt, so a
-  batch in flight when the connection dies is never lost.
+* **Write-ahead spool** — every batch is written to a binary columnar
+  ``.rcf`` spool segment (:mod:`repro.io.colfile`) *before* the first
+  send attempt, so a batch in flight when the connection dies is never
+  lost (legacy ``.cali`` spool segments still replay).
 * **Retry with exponential backoff** — each delivery makes up to
   ``retries + 1`` attempts with exponentially growing, capped sleeps;
   when they are exhausted the batch simply stays spooled and the client
   returns to the caller (profiling must never block the application).
 * **Replay on reconnect** — pending spool files are replayed in sequence
-  order (streamed through :func:`repro.io.calformat.iter_records`, so
-  replay is constant-memory) before new data is sent.
+  order (one batch in memory at a time) before new data is sent, and the
+  ``.rcf`` round-trip is byte-exact.
 * **Exactly-once** — batches carry monotonically increasing sequence
   numbers.  Within one server epoch the server skips sequences it has
   already folded, so a replay after a lost ACK cannot double-count.  When
@@ -67,15 +68,23 @@ from ..aggregate.db import AggregationDB
 from ..aggregate.scheme import AggregationScheme
 from ..common.errors import ReproError
 from ..common.record import Record
-from ..io.calformat import iter_records, write_cali
+from ..io.calformat import iter_records
+from ..io.colfile import read_colfile, write_colfile
 from .protocol import (
+    CAP_BINARY,
+    FLAG_BINARY,
     MAX_PAYLOAD,
     MessageType,
     ProtocolError,
     Truncated,
+    encode_binary_body,
     read_message,
+    records_to_binary,
     records_to_wire,
+    states_from_wire,
+    states_to_binary,
     states_to_wire,
+    write_frame,
     write_message,
 )
 
@@ -112,6 +121,7 @@ class FlushClient:
         spool_dir: Optional[str] = None,
         max_payload: int = MAX_PAYLOAD,
         failover_after: Optional[float] = None,
+        binary: bool = True,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -150,6 +160,11 @@ class FlushClient:
         self._wfile = None
         self._epoch: Optional[str] = None
         self._closed = False
+
+        #: offer the binary columnar payload encoding in the handshake
+        self.binary_enabled = binary
+        #: True once the current server acknowledged CAP_BINARY
+        self._binary = False
 
         #: seconds of continuous unreachability before re-parenting to the
         #: server's advertised upstream (None = never fail over)
@@ -335,9 +350,11 @@ class FlushClient:
         records, self._buffer = self._buffer, []
         seq = self._next_seq
         self._next_seq += 1
-        path = os.path.join(self.spool_dir, f"batch-{seq:08d}.cali")
+        path = os.path.join(self.spool_dir, f"batch-{seq:08d}.rcf")
         # Write-ahead: the batch is on disk before the first send attempt.
-        write_cali(path, records)
+        # The spool segment is binary columnar (.rcf): cheaper to write on
+        # the hot path than .cali text, and replay is byte-exact.
+        write_colfile(path, records)
         self._pending[seq] = ("records", path)
         self.counters["records"] += len(records)
         self.counters["batches"] += 1
@@ -414,19 +431,35 @@ class FlushClient:
     }
 
     def _send_one(self, seq: int, kind: str, path: str) -> None:
+        sections: Optional[dict[str, bytes]] = None
         if kind == "records":
-            # Stream the spool file; memory stays bounded by one batch.
-            body = {
-                "seq": seq,
-                "records": records_to_wire(iter_records(path)),
-            }
+            if path.endswith(".cali"):
+                # Legacy text spool segment (pre-.rcf spool directories):
+                # stream it; memory stays bounded by one batch.
+                records = list(iter_records(path))
+            else:
+                records, _globals = read_colfile(path)
+            if self._binary:
+                body = {"seq": seq, "count": len(records)}
+                sections = {"records": records_to_binary(records)}
+            else:
+                body = {"seq": seq, "records": records_to_wire(records)}
             mtype = MessageType.RECORDS
         else:
             with open(path, "r", encoding="utf-8") as stream:
                 body = json.load(stream)
             body["seq"] = seq
             mtype = self._BATCH_TYPES[kind]
-        self.counters["wire_bytes"] += write_message(self._wfile, mtype, body)
+            if self._binary and kind in ("states", "forward") and "groups" in body:
+                groups = states_from_wire(body.pop("groups"))
+                sections = {"groups": states_to_binary(groups)}
+        if sections is not None:
+            payload = encode_binary_body(body, sections)
+            self.counters["wire_bytes"] += write_frame(
+                self._wfile, mtype, payload, flags=FLAG_BINARY
+            )
+        else:
+            self.counters["wire_bytes"] += write_message(self._wfile, mtype, body)
         reply, ack = read_message(self._rfile, self.max_payload)
         if reply is MessageType.ERROR:
             raise _Fatal(f"server refused batch {seq}: {ack.get('reason')}")
@@ -450,6 +483,8 @@ class FlushClient:
                 hello["scheme"] = self.scheme_text
             if self._announce_failover is not None:
                 hello["failover_from"] = list(self._announce_failover)
+            if self.binary_enabled:
+                hello["caps"] = [CAP_BINARY]
             write_message(wfile, MessageType.HELLO, hello)
             mtype, body = read_message(rfile, self.max_payload)
         except Exception:
@@ -472,6 +507,11 @@ class FlushClient:
         self._announce_failover = None
         self._down_since = None
         self.server_info = dict(body)
+        # Binary payloads only flow when both ends opted in (JSON otherwise)
+        acked_caps = body.get("caps")
+        self._binary = self.binary_enabled and (
+            isinstance(acked_caps, list) and CAP_BINARY in acked_caps
+        )
         # Remember this server's identity and its advertised upstream so a
         # later failure window can re-parent us to the grandparent.
         upstream = body.get("upstream")

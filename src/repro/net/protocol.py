@@ -37,7 +37,8 @@ from __future__ import annotations
 import enum
 import json
 import struct
-from typing import BinaryIO, Iterable, Optional, Sequence
+import zlib
+from typing import BinaryIO, Iterable, Optional, Sequence, Union
 
 from ..common.errors import ReproError
 from ..common.record import Record
@@ -47,7 +48,10 @@ __all__ = [
     "MAGIC",
     "PROTOCOL_VERSION",
     "MAX_PAYLOAD",
+    "MAX_DECODED",
     "HEADER",
+    "FLAG_BINARY",
+    "CAP_BINARY",
     "MessageType",
     "ProtocolError",
     "Truncated",
@@ -55,6 +59,7 @@ __all__ = [
     "VersionMismatch",
     "write_frame",
     "read_frame",
+    "read_frame_ex",
     "write_message",
     "read_message",
     "parse_body",
@@ -62,6 +67,12 @@ __all__ = [
     "records_from_wire",
     "states_to_wire",
     "states_from_wire",
+    "encode_binary_body",
+    "decode_binary_body",
+    "records_to_binary",
+    "records_from_binary",
+    "states_to_binary",
+    "states_from_binary",
 ]
 
 MAGIC = b"RAGG"
@@ -70,7 +81,19 @@ PROTOCOL_VERSION = 1
 #: default upper bound on a frame payload (refuse anything larger)
 MAX_PAYLOAD = 16 * 1024 * 1024
 
+#: default upper bound on the *decoded* size of a binary payload — the
+#: envelope may be zlib-compressed, so the frame length alone does not bound
+#: what decoding would allocate; this does
+MAX_DECODED = 4 * MAX_PAYLOAD
+
 HEADER = struct.Struct(">4sBBHI")
+
+#: frame flag: the payload is a binary envelope (:func:`encode_binary_body`)
+#: rather than UTF-8 JSON.  Only sent to peers that advertised CAP_BINARY.
+FLAG_BINARY = 0x0001
+
+#: HELLO/HELLO_ACK capability token for the binary columnar payload encoding
+CAP_BINARY = "colbin1"
 
 
 class ProtocolError(ReproError):
@@ -121,9 +144,10 @@ def write_frame(
     msg_type: int,
     payload: bytes,
     version: int = PROTOCOL_VERSION,
+    flags: int = 0,
 ) -> int:
     """Write one frame; returns the number of bytes written."""
-    data = HEADER.pack(MAGIC, version, int(msg_type), 0, len(payload)) + payload
+    data = HEADER.pack(MAGIC, version, int(msg_type), flags, len(payload)) + payload
     stream.write(data)
     stream.flush()
     return len(data)
@@ -141,10 +165,10 @@ def _read_exact(stream: BinaryIO, n: int, context: str) -> bytes:
     return buf
 
 
-def read_frame(
+def read_frame_ex(
     stream: BinaryIO, max_payload: int = MAX_PAYLOAD
-) -> tuple[MessageType, bytes]:
-    """Read one frame; returns ``(message type, payload bytes)``.
+) -> tuple[MessageType, int, bytes]:
+    """Read one frame; returns ``(message type, flags, payload bytes)``.
 
     Raises :class:`Truncated` on a short read, :class:`ProtocolError` on a
     bad magic or unknown message type, :class:`VersionMismatch` /
@@ -152,7 +176,7 @@ def read_frame(
     potentially attacker-sized payload.
     """
     header = _read_exact(stream, HEADER.size, "header")
-    magic, version, msg_type, _flags, length = HEADER.unpack(header)
+    magic, version, msg_type, flags, length = HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
     if version != PROTOCOL_VERSION:
@@ -166,6 +190,18 @@ def read_frame(
     except ValueError:
         raise ProtocolError(f"unknown message type {msg_type}") from None
     payload = _read_exact(stream, length, "payload") if length else b""
+    return mtype, flags, payload
+
+
+def read_frame(
+    stream: BinaryIO, max_payload: int = MAX_PAYLOAD
+) -> tuple[MessageType, bytes]:
+    """Read one frame; returns ``(message type, payload bytes)``.
+
+    Flag-blind variant of :func:`read_frame_ex` for peers that only ever
+    speak JSON payloads (all responses, and pre-binary clients).
+    """
+    mtype, _flags, payload = read_frame_ex(stream, max_payload)
     return mtype, payload
 
 
@@ -346,3 +382,175 @@ def require(body: dict, key: str, types: tuple = (object,)) -> object:
 
 def optional(body: dict, key: str, default: Optional[object] = None) -> object:
     return body.get(key, default)
+
+
+# -- binary payload envelope ---------------------------------------------------
+#
+# Frames whose header carries FLAG_BINARY wrap their payload in a small
+# envelope instead of JSON::
+#
+#     offset  size  field
+#     0       4     magic  b"RBE1"
+#     4       1     codec  (0 = raw, 1 = zlib)
+#     5       4     decoded (raw) length, little-endian
+#     9       ...   body (possibly compressed)
+#
+# The decoded body is ``u32 meta_len | meta JSON | section bytes``: ``meta``
+# holds the ordinary JSON message fields plus a ``sections`` table mapping
+# section names to ``[offset, length]`` within the trailing bytes.  Sections
+# carry the columnar blobs (record batches, operator states) produced by
+# :mod:`repro.io.colfile`.  Negotiated via the CAP_BINARY capability in
+# HELLO/HELLO_ACK; JSON remains the fallback for old peers, and responses
+# always stay JSON.  The declared decoded length is checked against the
+# receiver's ``max_decoded`` *before* decompression, so a compressed bomb
+# is rejected without inflating it.
+
+_ENVELOPE_MAGIC = b"RBE1"
+_ENV_HEAD = struct.Struct("<4sBI")
+_U32LE = struct.Struct("<I")
+_CODEC_RAW, _CODEC_ZLIB = 0, 1
+
+#: compress envelopes above this size when it actually shrinks them
+_COMPRESS_THRESHOLD = 512
+
+
+def encode_binary_body(
+    body: dict, sections: dict[str, bytes], compress: bool = True
+) -> bytes:
+    """Encode message fields + binary sections into one envelope payload."""
+    table = {}
+    parts = []
+    pos = 0
+    for name, blob in sections.items():
+        pad = (-pos) % 8
+        if pad:
+            parts.append(b"\x00" * pad)
+            pos += pad
+        table[name] = [pos, len(blob)]
+        parts.append(blob)
+        pos += len(blob)
+    meta = json.dumps(
+        {"body": body, "sections": table}, separators=(",", ":")
+    ).encode("utf-8")
+    inner = _U32LE.pack(len(meta)) + meta + b"".join(parts)
+    codec = _CODEC_RAW
+    out = inner
+    if compress and len(inner) >= _COMPRESS_THRESHOLD:
+        packed = zlib.compress(inner, 1)
+        if len(packed) < len(inner):
+            codec, out = _CODEC_ZLIB, packed
+    return _ENV_HEAD.pack(_ENVELOPE_MAGIC, codec, len(inner)) + out
+
+
+def decode_binary_body(
+    payload: Union[bytes, memoryview], max_decoded: int = MAX_DECODED
+) -> tuple[dict, dict[str, memoryview]]:
+    """Decode :func:`encode_binary_body` output.
+
+    Returns ``(body fields, sections)`` where sections are bounds-checked
+    memoryviews into the decoded bytes.  The declared decoded size is
+    capped by ``max_decoded`` *before* any decompression happens — the
+    binary-payload counterpart of ``max_payload`` on the frame itself.
+    """
+    mv = memoryview(payload)
+    if len(mv) < _ENV_HEAD.size:
+        raise ProtocolError("truncated binary envelope")
+    magic, codec, raw_len = _ENV_HEAD.unpack(bytes(mv[: _ENV_HEAD.size]))
+    if magic != _ENVELOPE_MAGIC:
+        raise ProtocolError(f"bad binary envelope magic {magic!r}")
+    if raw_len > max_decoded:
+        raise FrameTooLarge(
+            f"binary payload decodes to {raw_len} bytes, exceeding limit {max_decoded}"
+        )
+    data = mv[_ENV_HEAD.size :]
+    if codec == _CODEC_ZLIB:
+        try:
+            # max_length stops a lying header from inflating past its claim
+            inflater = zlib.decompressobj()
+            raw = inflater.decompress(bytes(data), raw_len + 1)
+        except zlib.error as exc:
+            raise ProtocolError(f"bad compressed payload: {exc}") from None
+        if len(raw) != raw_len or inflater.unconsumed_tail:
+            raise ProtocolError("compressed payload does not match declared size")
+        inner = memoryview(raw)
+    elif codec == _CODEC_RAW:
+        if len(data) != raw_len:
+            raise ProtocolError("binary payload does not match declared size")
+        inner = data
+    else:
+        raise ProtocolError(f"unknown binary payload codec {codec}")
+    if len(inner) < 4:
+        raise ProtocolError("truncated binary envelope body")
+    meta_len = _U32LE.unpack(bytes(inner[:4]))[0]
+    if 4 + meta_len > len(inner):
+        raise ProtocolError("binary envelope metadata exceeds payload")
+    try:
+        meta = json.loads(bytes(inner[4 : 4 + meta_len]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad binary envelope metadata: {exc}") from None
+    if not isinstance(meta, dict) or not isinstance(meta.get("body"), dict):
+        raise ProtocolError("binary envelope metadata must carry a body object")
+    table = meta.get("sections", {})
+    if not isinstance(table, dict):
+        raise ProtocolError("binary envelope section table must be an object")
+    blob = inner[4 + meta_len :]
+    sections: dict[str, memoryview] = {}
+    for name, span in table.items():
+        if (
+            not isinstance(span, (list, tuple))
+            or len(span) != 2
+            or not all(isinstance(x, int) and x >= 0 for x in span)
+            or span[0] + span[1] > len(blob)
+        ):
+            raise ProtocolError(f"bad binary envelope section {name!r}")
+        sections[str(name)] = blob[span[0] : span[0] + span[1]]
+    return meta["body"], sections
+
+
+def _decode_limits(max_decoded: int):
+    from ..io.colfile import DecodeLimits  # deferred: io does not import net
+
+    return DecodeLimits.for_decoded_size(max_decoded)
+
+
+def records_to_binary(records: Iterable[Record]) -> bytes:
+    """Encode a record batch as a columnar blob (a ``records`` section)."""
+    from ..io.colfile import encode_batch
+
+    records = records if isinstance(records, (list, tuple)) else list(records)
+    return encode_batch(records)
+
+
+def records_from_binary(
+    blob: Union[bytes, memoryview], max_decoded: int = MAX_DECODED
+) -> list[Record]:
+    """Decode a binary record batch, mapping codec errors to protocol errors."""
+    from ..common.errors import DatasetError
+    from ..io.colfile import decode_batch_store
+
+    try:
+        return decode_batch_store(blob, _decode_limits(max_decoded)).records
+    except DatasetError as exc:
+        raise ProtocolError(f"malformed binary record batch: {exc}") from None
+
+
+def states_to_binary(
+    states: Sequence[tuple[dict[str, Variant], list[list]]],
+) -> bytes:
+    """Encode exported partial-DB states as a columnar blob."""
+    from ..io import colfile
+
+    return colfile.states_to_binary(states)
+
+
+def states_from_binary(
+    blob: Union[bytes, memoryview], max_decoded: int = MAX_DECODED
+) -> list[tuple[dict[str, Variant], list[list]]]:
+    """Decode a binary state batch, mapping codec errors to protocol errors."""
+    from ..common.errors import DatasetError
+    from ..io import colfile
+
+    try:
+        return colfile.states_from_binary(blob, _decode_limits(max_decoded))
+    except DatasetError as exc:
+        raise ProtocolError(f"malformed binary state batch: {exc}") from None

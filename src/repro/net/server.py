@@ -71,19 +71,24 @@ from ..common.util import stable_hash64
 from ..common.variant import Variant
 from ..observe import MetricsRegistry, to_records as _metrics_to_records
 from .protocol import (
+    CAP_BINARY,
+    FLAG_BINARY,
     HEADER,
     MAX_PAYLOAD,
     MessageType,
     ProtocolError,
     Truncated,
+    decode_binary_body,
     error_body,
     origin_from_wire,
     origins_from_wire,
     parse_body,
-    read_frame,
+    read_frame_ex,
+    records_from_binary,
     records_from_wire,
     records_to_wire,
     require,
+    states_from_binary,
     states_from_wire,
     states_to_wire,
     write_message,
@@ -191,6 +196,7 @@ class AggregationServer:
         relay_id: Optional[str] = None,
         level: Optional[int] = None,
         forward_spool_dir: Optional[str] = None,
+        binary: bool = True,
     ) -> None:
         if isinstance(scheme, str):
             from ..calql import parse_scheme  # deferred: calql builds on aggregate
@@ -202,6 +208,11 @@ class AggregationServer:
         self.host = host
         self.port = port
         self.max_payload = max_payload
+        #: accept (and advertise) the zero-copy binary columnar payload encoding
+        self.binary = binary
+        #: cap on *decoded* binary payload size — the envelope may compress,
+        #: so the frame-length check alone cannot bound allocation
+        self.max_decoded = 4 * max_payload
         #: fresh random identity per start(); clients use it to detect restarts
         self.epoch = os.urandom(8).hex()
         self.metrics = MetricsRegistry()
@@ -285,6 +296,7 @@ class AggregationServer:
                 retries=1,
                 backoff=0.05,
                 backoff_max=0.5,
+                binary=self.binary,
             )
             if self.forward_interval and self.forward_interval > 0:
                 self._forward_thread = threading.Thread(
@@ -789,21 +801,28 @@ class AggregationServer:
             with self._conn_lock:
                 self._conns.discard(conn)
 
-    def _read(self, rfile) -> tuple[MessageType, dict]:
-        mtype, payload = read_frame(rfile, self.max_payload)
+    def _read(self, rfile) -> tuple[MessageType, dict, dict]:
+        mtype, flags, payload = read_frame_ex(rfile, self.max_payload)
         nbytes = HEADER.size + len(payload)
         self.metrics.count("net.bytes.rx", nbytes)
         if mtype is MessageType.FORWARD:
             # Tree telemetry: wire bytes arriving as relayed partial states
             # (the Fig. 8 quantity — payload shrinks as levels combine).
             self.metrics.count("net.forward.bytes.rx", nbytes)
-        return mtype, parse_body(mtype, payload)
+        if flags & FLAG_BINARY:
+            if not self.binary:
+                raise ProtocolError(
+                    "binary payload received but this server only speaks JSON"
+                )
+            body, sections = decode_binary_body(payload, max_decoded=self.max_decoded)
+            return mtype, body, sections
+        return mtype, parse_body(mtype, payload), {}
 
     def _write(self, wfile, mtype: MessageType, body: dict) -> None:
         self.metrics.count("net.bytes.tx", write_message(wfile, mtype, body))
 
     def _serve_connection(self, rfile, wfile) -> None:
-        mtype, body = self._read(rfile)
+        mtype, body, _ = self._read(rfile)
         if mtype is not MessageType.HELLO:
             raise ProtocolError(f"expected HELLO, got {mtype.name}")
         client_id = str(require(body, "client", (str,)))
@@ -822,6 +841,12 @@ class AggregationServer:
             "scheme": self.scheme.describe(),
             "level": self.level,
         }
+        client_caps = body.get("caps")
+        if self.binary and isinstance(client_caps, list) and CAP_BINARY in client_caps:
+            # Capability negotiation: echo only what both sides speak, so a
+            # new client against an old (caps-blind) server falls back to
+            # JSON and an old client never sees an unfamiliar flag.
+            ack["caps"] = [CAP_BINARY]
         if self.is_relay:
             # Advertise our own parent so children can re-parent to their
             # grandparent if we die (the root advertises nothing: there is
@@ -830,7 +855,7 @@ class AggregationServer:
             ack["upstream"] = [self.upstream[0], self.upstream[1]]
         self._write(wfile, MessageType.HELLO_ACK, ack)
         while True:
-            mtype, body = self._read(rfile)
+            mtype, body, sections = self._read(rfile)
             if mtype is MessageType.BYE:
                 # The client session is over and its replay window with it:
                 # drop its dedup entry so unbounded client churn (one-shot
@@ -840,11 +865,11 @@ class AggregationServer:
                 self.metrics.count("net.disconnects", reason="bye")
                 return
             if mtype is MessageType.RECORDS:
-                self._on_records(wfile, client_id, body)
+                self._on_records(wfile, client_id, body, sections)
             elif mtype is MessageType.STATES:
-                self._on_states(wfile, client_id, body)
+                self._on_states(wfile, client_id, body, sections)
             elif mtype is MessageType.FORWARD:
-                self._on_forward(wfile, client_id, body)
+                self._on_forward(wfile, client_id, body, sections)
             elif mtype is MessageType.RETRACT:
                 self._on_retract(wfile, client_id, body)
             elif mtype is MessageType.QUERY:
@@ -881,9 +906,14 @@ class AggregationServer:
             self._max_seq[client_id] = seq
             return False
 
-    def _on_records(self, wfile, client_id: str, body: dict) -> None:
+    def _on_records(
+        self, wfile, client_id: str, body: dict, sections: Optional[dict] = None
+    ) -> None:
         seq = int(require(body, "seq", (int,)))
-        records = records_from_wire(require(body, "records", (list,)))
+        if sections and "records" in sections:
+            records = records_from_binary(sections["records"], self.max_decoded)
+        else:
+            records = records_from_wire(require(body, "records", (list,)))
         duplicate = self._dedup(client_id, seq)
         if not duplicate:
             self._route_records(records)
@@ -916,9 +946,11 @@ class AggregationServer:
                         f"operator state has {len(op_state)} cells, expected {width}"
                     )
 
-    def _on_states(self, wfile, client_id: str, body: dict) -> None:
+    def _on_states(
+        self, wfile, client_id: str, body: dict, sections: Optional[dict] = None
+    ) -> None:
         seq = int(require(body, "seq", (int,)))
-        groups = states_from_wire(require(body, "groups", (list,)))
+        groups = self._groups_from(body, sections)
         scheme_text = require(body, "scheme", (str,))
         self._check_scheme(str(scheme_text))
         self._validate_states(groups)
@@ -939,12 +971,20 @@ class AggregationServer:
 
     # -- reduction tree: receiving side -------------------------------------------
 
-    def _on_forward(self, wfile, client_id: str, body: dict) -> None:
+    def _groups_from(self, body: dict, sections: Optional[dict]) -> list:
+        """Decode exported states from a binary section or the JSON body."""
+        if sections and "groups" in sections:
+            return states_from_binary(sections["groups"], self.max_decoded)
+        return states_from_wire(require(body, "groups", (list,)))
+
+    def _on_forward(
+        self, wfile, client_id: str, body: dict, sections: Optional[dict] = None
+    ) -> None:
         """Fold a downstream relay's delta, segregated per (sender, origin)."""
         seq = int(require(body, "seq", (int,)))
         from_epoch = str(require(body, "from_epoch", (str,)))
         origin = origin_from_wire(require(body, "origin", (list,)))
-        groups = states_from_wire(require(body, "groups", (list,)))
+        groups = self._groups_from(body, sections)
         self._check_scheme(str(require(body, "scheme", (str,))))
         self._validate_states(groups)
         offered = int(body.get("offered", 0))

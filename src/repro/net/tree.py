@@ -99,6 +99,7 @@ class LocalTree:
         forward_interval: float = 0.0,
         failover_after: Optional[float] = None,
         host: str = "127.0.0.1",
+        binary: bool = True,
     ) -> None:
         sizes = list(level_sizes) if level_sizes is not None else plan_tree(n_leaves, fanin)
         if not sizes or sizes[0] != 1:
@@ -112,7 +113,8 @@ class LocalTree:
         self.levels: list[list[AggregationServer]] = []
         try:
             root = AggregationServer(
-                scheme, host=host, shards=shards, relay_id="root", level=0
+                scheme, host=host, shards=shards, relay_id="root", level=0,
+                binary=binary,
             ).start()
             self.levels.append([root])
             self.scheme = root.scheme
@@ -131,6 +133,7 @@ class LocalTree:
                             failover_after=failover_after,
                             relay_id=f"relay-L{depth}-{i}",
                             level=depth,
+                            binary=binary,
                         ).start()
                     )
                 self.levels.append(nodes)

@@ -34,7 +34,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-query",
         description="Query and aggregate recorded performance data with CalQL.",
     )
-    parser.add_argument("files", nargs="+", help="input record files (.cali/.json/.csv)")
+    parser.add_argument(
+        "files", nargs="+", help="input record files (.cali/.json/.csv/.rcf)"
+    )
     parser.add_argument(
         "-q", "--query", help="CalQL query expression"
     )
@@ -112,6 +114,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..net.cli import main as net_main
 
         return net_main(argv)
+    if argv and argv[0] == "convert":
+        return _convert(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if not (args.query or args.list_attributes or args.show_globals):
@@ -127,6 +131,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 _emit_stats(args, reg)
         return code
     return _run(args)
+
+
+def _convert(argv: Sequence[str]) -> int:
+    """``repro-query convert``: re-encode record files as binary columnar .rcf."""
+    parser = argparse.ArgumentParser(
+        prog="repro-query convert",
+        description="Convert record files (.cali/.json/.csv) to the binary "
+        "columnar .rcf format for zero-copy loading.",
+    )
+    parser.add_argument("files", nargs="+", help="input record files")
+    parser.add_argument(
+        "-o",
+        "--output",
+        help="output path (single input only; default: input with .rcf suffix)",
+    )
+    parser.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=0,
+        metavar="N",
+        help="rows per chunk (0 = library default; smaller chunks bound the "
+        "memory of later out-of-core scans)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-file summary"
+    )
+    args = parser.parse_args(list(argv))
+    if args.output and len(args.files) > 1:
+        parser.error("--output only makes sense with a single input file")
+    from ..io.colfile import ColfileWriter
+    from ..io.dataset import read_records
+
+    try:
+        for path in args.files:
+            records, globals_ = read_records(path)
+            out_path = args.output or _rcf_path(path)
+            with ColfileWriter(out_path, globals_=globals_) as writer:
+                count = writer.write_records(records, chunk_rows=args.chunk_rows)
+            if not args.quiet:
+                print(f"{path}: {count} records -> {out_path}", file=sys.stderr)
+    except (ReproError, OSError) as exc:
+        print(f"repro-query convert: error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _rcf_path(path: str) -> str:
+    base, dot, _ext = path.rpartition(".")
+    return (base if dot else path) + ".rcf"
 
 
 def _emit_stats(args, reg) -> None:

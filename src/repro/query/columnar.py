@@ -177,6 +177,29 @@ def _select_rows(
 # -- grouping ---------------------------------------------------------------------
 
 
+def _equality_classes(values: Sequence[Variant]) -> tuple[np.ndarray, int]:
+    """Collapse distinct interned values into Variant-equality classes.
+
+    Interned codes are exact — ``int 1`` and ``double 1.0`` are distinct —
+    but GROUP BY identity follows :class:`Variant` equality, where numeric
+    values compare as floats across int/uint/double.  Returns a lookup
+    table mapping ``code + 1`` (slot 0 = missing) to a dense class id, plus
+    the radix (class count + 1).  Runs once per *distinct* value, so the
+    per-record work stays vectorized.
+    """
+    classes = np.empty(len(values) + 1, dtype=np.int64)
+    classes[0] = 0  # the missing slot is its own class
+    table: dict[object, int] = {}
+    for i, v in enumerate(values):
+        key = float(v.value) if v.type.is_numeric else (v.type, v.value)
+        cid = table.get(key)
+        if cid is None:
+            cid = len(table) + 1
+            table[key] = cid
+        classes[i + 1] = cid
+    return classes, len(table) + 1
+
+
 class _Groups:
     """Selected rows collapsed to dense group ids, with reduceat views."""
 
@@ -191,10 +214,13 @@ class _Groups:
             codes, values = store.interned(label)
             codes = codes[sel]
             key_codes.append((label, codes, values))
-            radix = len(values) + 1  # +1 for the missing slot
+            # Group by Variant-equality classes, not raw codes: the exact
+            # interning keeps int 1 / double 1.0 as distinct codes, but the
+            # streaming engine merges them into one group.
+            classes, radix = _equality_classes(values)
             # Re-encode after every column so composite ids stay < n and the
             # packing can never overflow, regardless of key width/cardinality.
-            group = np.unique(group * radix + (codes + 1), return_inverse=True)[1]
+            group = np.unique(group * radix + classes[codes + 1], return_inverse=True)[1]
         unique_ids, inverse = np.unique(group, return_inverse=True)
         count = len(unique_ids)
         self.inverse = inverse

@@ -110,6 +110,12 @@ def assert_same_output(got, want):
                 assert isinstance(gv, float) and math.isnan(gv)
             elif isinstance(wv, float) or isinstance(gv, float):
                 assert gv == pytest.approx(wv, rel=1e-9, abs=1e-12, nan_ok=True)
+            elif isinstance(wv, int) and abs(wv) >= 2**53:
+                # Integral totals beyond the float-exact range pass through
+                # double-precision fold states, so reassociated passes
+                # (combine vs single pass) may differ by ULPs even though
+                # both render as int.
+                assert gv == pytest.approx(wv, rel=1e-9)
             else:
                 assert gv == wv
 

@@ -1,0 +1,324 @@
+"""Binary columnar wire encoding: envelope, negotiation, interop, spool.
+
+The binary payload path must be invisible at the semantic level — every
+combination of binary/JSON client and server produces identical aggregation
+results — and hostile payloads must die at the protocol boundary with the
+*decoded* size capped, not just the frame length (a compressed envelope can
+claim any expansion it likes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregate import AggregationDB, StreamAggregator
+from repro.calql import parse_scheme
+from repro.common import Record, ValueType, Variant
+from repro.net import AggregationServer, FlushClient
+from repro.net.protocol import (
+    CAP_BINARY,
+    MAX_DECODED,
+    FrameTooLarge,
+    ProtocolError,
+    decode_binary_body,
+    encode_binary_body,
+    records_from_binary,
+    records_to_binary,
+    states_from_binary,
+    states_from_wire,
+    states_to_binary,
+    states_to_wire,
+)
+
+SCHEME = (
+    "AGGREGATE count, sum(time.duration), min(time.duration), "
+    "max(time.duration) GROUP BY kernel"
+)
+
+
+def synth_records(seed: int, n: int) -> list[Record]:
+    rng = random.Random(seed)
+    return [
+        Record(
+            {
+                "kernel": rng.choice(["advec", "solve", "halo", "io"]),
+                "mpi.rank": rng.randrange(8),
+                "time.duration": round(rng.random() * 10, 6),
+            }
+        )
+        for _ in range(n)
+    ]
+
+
+def result_key(record: Record):
+    return tuple(sorted((k, v.value) for k, v in record.items()))
+
+
+def reference(records) -> list:
+    agg = StreamAggregator(parse_scheme(SCHEME))
+    agg.push_all(records)
+    return sorted(map(result_key, agg.flush()))
+
+
+# -- envelope ----------------------------------------------------------------------
+
+
+def test_envelope_roundtrip_with_sections():
+    body = {"seq": 7, "count": 3}
+    sections = {"records": b"abc" * 100, "groups": b"\x00\x01\x02"}
+    payload = encode_binary_body(body, sections)
+    got_body, got_sections = decode_binary_body(payload)
+    assert got_body == body
+    assert bytes(got_sections["records"]) == b"abc" * 100
+    assert bytes(got_sections["groups"]) == b"\x00\x01\x02"
+
+
+def test_envelope_compresses_large_payloads():
+    body = {"seq": 1}
+    compressible = {"records": b"A" * 10_000}
+    small = len(encode_binary_body(body, compressible))
+    raw = len(encode_binary_body(body, compressible, compress=False))
+    assert small < raw
+    got_body, got_sections = decode_binary_body(encode_binary_body(body, compressible))
+    assert got_body == body and bytes(got_sections["records"]) == b"A" * 10_000
+
+
+def test_envelope_decoded_size_capped_before_inflate():
+    """A zlib bomb must be refused by its *declared* size, pre-inflation."""
+    bomb_raw = b"\x00" * (64 * 1024 * 1024)
+    inner = b"\x04\x00\x00\x00" + b"{}" + bomb_raw  # malformed but irrelevant
+    packed = zlib.compress(inner, 9)
+    payload = b"RBE1" + bytes([1]) + len(inner).to_bytes(4, "little") + packed
+    with pytest.raises(FrameTooLarge):
+        decode_binary_body(payload, max_decoded=1024 * 1024)
+
+
+def test_envelope_lying_declared_size_rejected():
+    inner = b"junk" * 10
+    packed = zlib.compress(inner)
+    # declare fewer bytes than actually inflate
+    payload = b"RBE1" + bytes([1]) + (len(inner) - 4).to_bytes(4, "little") + packed
+    with pytest.raises(ProtocolError):
+        decode_binary_body(payload)
+
+
+def test_envelope_bad_section_span_rejected():
+    meta = json.dumps(
+        {"body": {}, "sections": {"records": [0, 10**9]}}, separators=(",", ":")
+    ).encode()
+    inner = len(meta).to_bytes(4, "little") + meta
+    payload = b"RBE1" + bytes([0]) + len(inner).to_bytes(4, "little") + inner
+    with pytest.raises(ProtocolError, match="section"):
+        decode_binary_body(payload)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.binary(max_size=120))
+def test_envelope_garbage_never_escapes_protocol_error(data):
+    try:
+        decode_binary_body(data)
+    except ProtocolError:
+        pass  # FrameTooLarge is a subclass
+
+
+# -- record / state sections -------------------------------------------------------
+
+
+def test_records_binary_roundtrip():
+    records = synth_records(3, 257)
+    out = records_from_binary(records_to_binary(records))
+    assert [result_key(r) for r in out] == [result_key(r) for r in records]
+
+
+def test_records_binary_garbage_maps_to_protocol_error():
+    with pytest.raises(ProtocolError):
+        records_from_binary(b"RCB1\xff\xff\xff\xff")
+
+
+def test_states_binary_roundtrip_preserves_cells():
+    db = AggregationDB(parse_scheme(SCHEME))
+    for record in synth_records(5, 500):
+        db.process(record)
+    states = db.export_states()
+    out = states_from_binary(states_to_binary(states))
+    assert states_to_wire(out) == states_to_wire(states)
+
+
+def test_states_binary_adversarial_limit():
+    """The decoded-size budget applies to state batches too (satellite:
+    limits must cap decoded payloads, not just frame length)."""
+    db = AggregationDB(parse_scheme(SCHEME))
+    for record in synth_records(6, 2000):
+        db.process(record)
+    blob = states_to_binary(db.export_states())
+    with pytest.raises(ProtocolError):
+        states_from_binary(blob, max_decoded=16)
+
+
+def test_binary_delta_smaller_than_json():
+    """The Fig. 8 quantity: a FORWARD delta's binary envelope must beat
+    the JSON encoding it replaces."""
+    db = AggregationDB(parse_scheme(SCHEME))
+    for record in synth_records(7, 4000):
+        db.process(record)
+    states = db.export_states()
+    body = {"scheme": SCHEME, "from_epoch": "e", "origin": ["n", "e"], "seq": 0}
+    json_bytes = len(
+        json.dumps({**body, "groups": states_to_wire(states)}).encode("utf-8")
+    )
+    binary_bytes = len(
+        encode_binary_body(body, {"groups": states_to_binary(states)})
+    )
+    assert binary_bytes < json_bytes
+
+
+# -- negotiation & interop ---------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "server_binary,client_binary",
+    [(True, True), (True, False), (False, True), (False, False)],
+)
+def test_mixed_version_interop(tmp_path, server_binary, client_binary):
+    """Every binary/JSON pairing yields the serial reference result."""
+    records = synth_records(11, 1500)
+    with AggregationServer(SCHEME, shards=2, binary=server_binary) as server:
+        client = FlushClient(
+            *server.address,
+            scheme=SCHEME,
+            batch_size=128,
+            spool_dir=str(tmp_path),
+            binary=client_binary,
+        )
+        client.push_all(records)
+        assert client.flush()
+        negotiated = server_binary and client_binary
+        assert client._binary is negotiated
+        got = sorted(map(result_key, server.drain_results()))
+        client.close()
+    assert got == reference(records)
+
+
+def test_binary_negotiated_through_hello_caps(tmp_path):
+    with AggregationServer(SCHEME, shards=1) as server:
+        client = FlushClient(
+            *server.address, scheme=SCHEME, spool_dir=str(tmp_path)
+        )
+        client.push_all(synth_records(13, 10))
+        assert client.flush()
+        assert client.server_info.get("caps") == [CAP_BINARY]
+        client.close()
+
+
+def test_states_and_forward_ride_binary(tmp_path):
+    """send_states and relay FORWARD both use the binary sections."""
+    records = synth_records(17, 800)
+    db = AggregationDB(parse_scheme(SCHEME))
+    for record in records:
+        db.process(record)
+    with AggregationServer(SCHEME, shards=2) as root:
+        with AggregationServer(
+            SCHEME, shards=1, upstream=root.address, forward_interval=0.0
+        ) as relay:
+            client = FlushClient(
+                *relay.address, scheme=SCHEME, spool_dir=str(tmp_path)
+            )
+            assert client.send_states(db)
+            assert client._binary
+            assert relay.forward_now()
+            got = sorted(map(result_key, root.drain_results()))
+            client.close()
+    assert got == reference(records)
+
+
+# -- spool -------------------------------------------------------------------------
+
+
+def test_spool_segments_are_rcf_and_replay_exactly(tmp_path):
+    """Write-ahead spool: .rcf segments, replayed byte-exact after an outage."""
+    records = synth_records(19, 300)
+    client = FlushClient(
+        "127.0.0.1",
+        1,  # nothing listens here
+        scheme=SCHEME,
+        batch_size=100,
+        spool_dir=str(tmp_path),
+        retries=0,
+        client_id="spooler",
+    )
+    client.push_all(records)
+    assert not client.flush()
+    segments = sorted(
+        f for f in os.listdir(client.spool_dir) if f.endswith(".rcf")
+    )
+    assert segments == [f"batch-{i:08d}.rcf" for i in range(3)]
+    with AggregationServer(SCHEME, shards=2) as server:
+        client.host, client.port = server.address
+        assert client.flush()
+        got = sorted(map(result_key, server.drain_results()))
+        client.close()
+    assert got == reference(records)
+
+
+def test_legacy_cali_spool_segment_still_replays(tmp_path):
+    """Pre-.rcf spool directories (old clients) must keep replaying."""
+    from repro.io.calformat import write_cali
+
+    records = synth_records(23, 120)
+    client = FlushClient(
+        "127.0.0.1",
+        1,
+        scheme=SCHEME,
+        spool_dir=str(tmp_path),
+        retries=0,
+        client_id="legacy",
+    )
+    # plant a legacy segment exactly where an old client would have left it
+    legacy = os.path.join(client.spool_dir, "batch-00000000.cali")
+    write_cali(legacy, records)
+    client._pending[0] = ("records", legacy)
+    client._next_seq = 1
+    with AggregationServer(SCHEME, shards=1) as server:
+        client.host, client.port = server.address
+        assert client.flush()
+        got = sorted(map(result_key, server.drain_results()))
+        client.close()
+    assert got == reference(records)
+
+
+def test_binary_frame_rejected_by_json_only_server(tmp_path):
+    """A server with binary disabled refuses FLAG_BINARY frames outright."""
+    from repro.net.protocol import FLAG_BINARY, MessageType, read_message, write_frame, write_message
+    import socket as socketlib
+
+    with AggregationServer(SCHEME, shards=1, binary=False) as server:
+        sock = socketlib.create_connection(server.address, timeout=5.0)
+        rfile, wfile = sock.makefile("rb"), sock.makefile("wb")
+        try:
+            write_message(
+                wfile, MessageType.HELLO,
+                {"client": "rogue", "scheme": SCHEME, "caps": [CAP_BINARY]},
+            )
+            mtype, ack = read_message(rfile, MAX_DECODED)
+            assert mtype is MessageType.HELLO_ACK
+            assert "caps" not in ack  # server did not offer binary...
+            payload = encode_binary_body(
+                {"seq": 0, "count": 1},
+                {"records": records_to_binary(synth_records(29, 1))},
+            )
+            # ...but send a binary frame anyway
+            write_frame(wfile, MessageType.RECORDS, payload, flags=FLAG_BINARY)
+            mtype, body = read_message(rfile, MAX_DECODED)
+            assert mtype is MessageType.ERROR
+            assert "JSON" in body.get("reason", "")
+        finally:
+            rfile.close()
+            wfile.close()
+            sock.close()

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from repro.aggregate import AggregationScheme, SumOp, aggregate_records, make_op
 from repro.aggregate.ops import AliasedOp
 from repro.calql import parse_scheme
-from repro.common import Record
+from repro.common import Record, Variant
 from repro.query.columnar import columnar_aggregate, columnar_db, supports_scheme
 
 from ..conftest import record_lists
@@ -148,6 +148,31 @@ def assert_backends_equivalent(recs, query_text):
                 )
             else:
                 assert a == b
+
+
+def test_cross_type_key_representatives_match_streaming():
+    # int 0 and double 0.0 are one group under Variant equality, but each
+    # group's representative must be its own first record's exact Variant —
+    # not the column-wide first-seen value.  Found by hypothesis: a double
+    # function in one group leaked into the int-keyed group's output.
+    recs = [
+        Record.from_variants({"function": Variant.of(0)}),
+        Record.from_variants({"function": Variant.of(0.0), "kernel": Variant.of(0)}),
+    ]
+    assert_backends_equivalent(
+        recs, "AGGREGATE count, scale(time.duration,2.5) GROUP BY function, kernel"
+    )
+
+
+def test_cross_type_keys_merge_into_one_group():
+    # ...while numerically equal keys in the *same* group position must
+    # still collapse, exactly as the streaming engine's key tuple does.
+    recs = [
+        Record.from_variants({"function": Variant.of(1), "t": Variant.of(2.0)}),
+        Record.from_variants({"function": Variant.of(1.0), "t": Variant.of(3.0)}),
+        Record.from_variants({"function": Variant.of("x"), "t": Variant.of(5.0)}),
+    ]
+    assert_backends_equivalent(recs, "AGGREGATE count, sum(t) GROUP BY function")
 
 
 NEW_OPERATORS = [
