@@ -41,6 +41,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from _profiles import add_store_argument, save_bench_profile  # noqa: E402
 from repro.calql import parse_scheme  # noqa: E402
 from repro.aggregate.db import AggregationDB  # noqa: E402
 from repro.common.record import Record  # noqa: E402
@@ -149,6 +150,7 @@ def main(argv=None) -> int:
                         help="exit non-zero unless .rcf ingest beats .cali "
                              "and the binary delta beats JSON (full-size "
                              "runs enforce the 5x / 3x paper targets)")
+    add_store_argument(parser)
     args = parser.parse_args(argv)
     if args.smoke:
         args.records = 20_000
@@ -190,6 +192,7 @@ def main(argv=None) -> int:
         with open(out, "w", encoding="utf-8") as stream:
             json.dump(payload, stream, indent=2)
             stream.write("\n")
+        save_bench_profile(payload, "bench.colfile", args.profile_store)
 
         print(f"  cali ingest  {best['cali']:8.3f} s")
         print(f"  rcf  ingest  {best['rcf']:8.3f} s   ({ingest_speedup:.2f}x faster)")

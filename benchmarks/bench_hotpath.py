@@ -40,6 +40,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from _profiles import add_store_argument, save_bench_profile  # noqa: E402
 from repro.runtime import Caliper  # noqa: E402
 
 SCHEME = (
@@ -112,6 +113,7 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="exit non-zero unless the compiled plan keeps up "
                              "with the generic plan")
+    add_store_argument(parser)
     args = parser.parse_args(argv)
     if args.smoke:
         args.iters, args.repetitions, args.warmup = 2_000, 3, 100
@@ -142,6 +144,7 @@ def main(argv=None) -> int:
     with open(out, "w", encoding="utf-8") as stream:
         json.dump(payload, stream, indent=2)
         stream.write("\n")
+    save_bench_profile(payload, "bench.hotpath", args.profile_store)
 
     for name, v in best.items():
         print(f"  {name:14s} {v:10.0f} ns/event")

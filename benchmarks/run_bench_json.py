@@ -24,6 +24,7 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from _profiles import add_store_argument, save_bench_profile  # noqa: E402
 from repro import observe  # noqa: E402
 from repro.common import Record  # noqa: E402
 from repro.io import Dataset, write_records  # noqa: E402
@@ -188,6 +189,7 @@ def main(argv=None) -> int:
         ),
         help="where the observability-overhead payload is written",
     )
+    add_store_argument(parser)
     args = parser.parse_args(argv)
     if args.smoke:
         args.records = min(args.records, 50_000)
@@ -237,6 +239,11 @@ def main(argv=None) -> int:
     with open(obs_out, "w", encoding="utf-8") as stream:
         json.dump(obs_payload, stream, indent=2)
         stream.write("\n")
+
+    # BENCH history becomes a queryable baseline: the same numbers land in
+    # the profile store under per-benchmark workload names.
+    save_bench_profile(payload, "bench.columnar", args.profile_store)
+    save_bench_profile(obs_payload, "bench.observability", args.profile_store)
 
     print(json.dumps(payload, indent=2))
     print(f"\nwrote {out}")

@@ -21,6 +21,7 @@ See ``docs/observability.md`` for the metric catalog.
 """
 
 from .export import flush_to_channel, stats_table, to_dict, to_records
+from .runinfo import config_fingerprint, git_state, run_info
 from .registry import (
     NULL_SPAN,
     MetricsRegistry,
@@ -57,4 +58,8 @@ __all__ = [
     "to_dict",
     "to_records",
     "flush_to_channel",
+    # run metadata
+    "run_info",
+    "git_state",
+    "config_fingerprint",
 ]

@@ -18,6 +18,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -106,6 +107,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: subcommand names dispatched before classic file-query parsing
+SUBCOMMANDS = ("serve", "live", "tree", "convert", "check", "store")
+
+
+def _suggest_subcommand(word: str) -> Optional[str]:
+    """Close-match suggestion for a mistyped subcommand, or None.
+
+    Mirrors the runtime config schema's unknown-key suggestions: only words
+    that *look like* subcommand attempts qualify — existing files, flags,
+    and extension-bearing names are inputs for the classic query app, not
+    typos.
+    """
+    import difflib
+
+    if word.startswith("-") or os.path.exists(word) or "." in word:
+        return None
+    matches = difflib.get_close_matches(word, SUBCOMMANDS, n=1)
+    return matches[0] if matches else None
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] in ("serve", "live", "tree"):
@@ -116,6 +137,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return net_main(argv)
     if argv and argv[0] == "convert":
         return _convert(argv[1:])
+    if argv and argv[0] == "check":
+        from ..store.cli import check_main
+
+        return check_main(argv[1:])
+    if argv and argv[0] == "store":
+        from ..store.cli import store_main
+
+        return store_main(argv[1:])
+    if argv:
+        suggestion = _suggest_subcommand(argv[0])
+        if suggestion is not None:
+            print(
+                f"repro-query: unknown subcommand {argv[0]!r} "
+                f"(did you mean {suggestion!r}?)",
+                file=sys.stderr,
+            )
+            return 2
     parser = build_parser()
     args = parser.parse_args(argv)
     if not (args.query or args.list_attributes or args.show_globals):

@@ -1,0 +1,47 @@
+"""repro.store — the versioned profile store and regression toolkit.
+
+Three layers turn one-off aggregation results into a monitored performance
+trajectory:
+
+* :mod:`.profiles` — :class:`ProfileStore`: content-addressed ``.rcf``
+  persistence of aggregated profiles keyed by ``(git commit, config hash,
+  workload)``, with run-metadata capture and nearest-ancestor-commit
+  baseline resolution;
+* :mod:`.postprocess` — statistical models over profiles (moving average,
+  regressogram, linear/log regression, clusterizer), emitted as
+  CalQL-queryable ``observe.model.*`` records;
+* :mod:`.check` — per-aggregation-key degradation detection between a head
+  and a baseline profile (Mann–Whitney rank test + relative-change +
+  best-fit-model comparison), surfaced as ``repro-query check`` with a CI
+  exit code.
+
+See ``docs/regression.md`` for the workflow.
+"""
+
+from .check import CheckReport, Finding, check_profiles, infer_columns, rank_sum_test
+from .postprocess import (
+    ModelFit,
+    best_model,
+    clusterize,
+    fit_models,
+    moving_average,
+    regressogram,
+)
+from .profiles import ProfileEntry, ProfileStore, StoreError
+
+__all__ = [
+    "ProfileStore",
+    "ProfileEntry",
+    "StoreError",
+    "check_profiles",
+    "CheckReport",
+    "Finding",
+    "infer_columns",
+    "rank_sum_test",
+    "moving_average",
+    "regressogram",
+    "fit_models",
+    "best_model",
+    "clusterize",
+    "ModelFit",
+]

@@ -1,0 +1,538 @@
+"""Statistical degradation detection: head profile vs baseline profile.
+
+The regression gate every performance-tracked project needs: given two
+aggregated profiles of the same workload — a baseline (resolved by the
+:class:`~repro.store.profiles.ProfileStore`, or any saved ``.rcf``) and the
+head run — compare them **per aggregation key** and report a verdict per
+``(group, metric)``:
+
+* ``Degradation`` / ``Optimization`` — the metric moved past the relative
+  ``threshold`` in the costly / beneficial direction;
+* ``NoChange`` — inside the threshold (or statistically insignificant);
+* ``New`` / ``Missing`` — the group exists on only one side.
+
+Two statistical engines back the verdicts, chosen per group by sample
+count: with enough per-group samples on both sides a **Mann–Whitney
+rank-sum test** (tie-corrected normal approximation, two-sided) must
+reject "same distribution" at ``alpha`` *and* the median shift must exceed
+the threshold; small groups fall back to a plain relative-change test on
+means.  When a numeric context attribute ``x`` is given, a **best-fit
+model comparison** (:func:`repro.store.postprocess.fit_models`) also runs
+per group: a change of best model kind, or a predicted-value shift at the
+far end of the shared x-range, is reported as a ``model`` finding — the
+"calc-dt turned superlinear" class of regression a scalar diff misses.
+
+Findings render as a human report, machine-readable JSON, and CalQL
+records (``observe.check.*``), and :meth:`CheckReport.exit_code` gives CI
+its gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence, Union
+
+from ..common.errors import ReproError
+from ..common.record import Record
+from ..common.variant import Variant
+from ..query.engine import QueryResult
+from .postprocess import MODEL_KINDS, ModelFit, _fit_one, _points
+
+__all__ = [
+    "CheckError",
+    "CheckReport",
+    "Finding",
+    "check_profiles",
+    "infer_columns",
+    "rank_sum_test",
+]
+
+Profile = Union[QueryResult, Iterable[Record]]
+
+VERDICT_DEGRADATION = "Degradation"
+VERDICT_OPTIMIZATION = "Optimization"
+VERDICT_NO_CHANGE = "NoChange"
+VERDICT_NEW = "New"
+VERDICT_MISSING = "Missing"
+
+#: tolerance on the threshold comparison: a change of *exactly* the
+#: threshold (e.g. +5% at threshold 0.05) must not flip on float rounding
+_THRESHOLD_EPS = 1e-9
+
+
+def _beyond(change: Optional[float], threshold: float) -> bool:
+    return change is not None and abs(change) - threshold > _THRESHOLD_EPS
+
+#: labels that are never aggregation keys (provenance stamps, orderers)
+_NON_KEY_PREFIXES = ("run.", "observe.model.", "observe.check.")
+
+
+class CheckError(ReproError):
+    """The two profiles cannot be compared (no shared key/metrics...)."""
+
+
+# -- statistics -----------------------------------------------------------------
+
+
+def rank_sum_test(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Mann–Whitney U test (two-sided): ``(U1, p_value)``.
+
+    Pure-python implementation with midrank tie handling and the
+    tie-corrected normal approximation — adequate for the n ≥ 5 per-group
+    sample counts the check uses it for, and dependency-free (no scipy).
+    """
+    n1, n2 = len(xs), len(ys)
+    if n1 == 0 or n2 == 0:
+        raise CheckError("rank_sum_test needs non-empty samples on both sides")
+    pooled = sorted([(v, 0) for v in xs] + [(v, 1) for v in ys])
+    n = n1 + n2
+    ranks = [0.0] * n
+    tie_term = 0.0
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and pooled[j + 1][0] == pooled[i][0]:
+            j += 1
+        midrank = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[k] = midrank
+        t = j - i + 1
+        if t > 1:
+            tie_term += t**3 - t
+        i = j + 1
+    r1 = sum(rank for rank, (_, side) in zip(ranks, pooled) if side == 0)
+    u1 = r1 - n1 * (n1 + 1) / 2
+    mu = n1 * n2 / 2
+    sigma2 = n1 * n2 / 12 * ((n + 1) - tie_term / (n * (n - 1)))
+    if sigma2 <= 0:
+        return u1, 1.0  # all values tied: no evidence of difference
+    # Continuity correction toward the mean.
+    z = (u1 - mu - math.copysign(0.5, u1 - mu)) / math.sqrt(sigma2)
+    p = math.erfc(abs(z) / math.sqrt(2))
+    return u1, min(1.0, p)
+
+
+# -- findings -------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    """One per-(group, metric) comparison outcome."""
+
+    verdict: str
+    metric: str
+    key: dict[str, Any] = field(default_factory=dict)
+    base: Optional[float] = None
+    head: Optional[float] = None
+    change: Optional[float] = None  # relative: (head - base) / |base|
+    severity: Optional[str] = None  # "minor" | "severe"
+    p_value: Optional[float] = None
+    n_base: int = 0
+    n_head: int = 0
+    method: str = "ratio"  # "ratio" | "ranksum" | "model:<base>-><head>"
+
+    @property
+    def location(self) -> str:
+        """``sum(time.duration) at kernel=calc-dt, amr.level=2: +23.0%``"""
+        op, sep, attr = self.metric.partition("#")
+        metric = f"{op}({attr})" if sep else self.metric
+        at = ", ".join(f"{k}={v}" for k, v in self.key.items())
+        text = f"{metric} at {at}" if at else metric
+        if self.change is not None and math.isfinite(self.change):
+            text += f": {self.change:+.1%}"
+        elif self.change is not None:
+            text += ": base was 0"
+        return text
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "verdict": self.verdict,
+            "metric": self.metric,
+            "key": dict(self.key),
+            "location": self.location,
+            "base": self.base,
+            "head": self.head,
+            "change": self.change,
+            "severity": self.severity,
+            "p_value": self.p_value,
+            "samples": {"base": self.n_base, "head": self.n_head},
+            "method": self.method,
+        }
+
+    def to_record(self) -> Record:
+        entries: dict[str, Variant] = {
+            k: Variant.of(v) for k, v in self.key.items()
+        }
+        entries.update(
+            {
+                "observe.kind": Variant.of("check"),
+                "observe.check.verdict": Variant.of(self.verdict),
+                "observe.check.metric": Variant.of(self.metric),
+                "observe.check.method": Variant.of(self.method),
+            }
+        )
+        if self.base is not None:
+            entries["observe.check.base"] = Variant.of(self.base)
+        if self.head is not None:
+            entries["observe.check.head"] = Variant.of(self.head)
+        if self.change is not None and math.isfinite(self.change):
+            entries["observe.check.change"] = Variant.of(self.change)
+        if self.severity is not None:
+            entries["observe.check.severity"] = Variant.of(self.severity)
+        if self.p_value is not None:
+            entries["observe.check.p"] = Variant.of(self.p_value)
+        return Record.from_variants(entries)
+
+
+@dataclass
+class CheckReport:
+    """All findings of one head-vs-baseline comparison."""
+
+    findings: list[Finding]
+    threshold: float
+    alpha: float
+    key: list[str] = field(default_factory=list)
+    metrics: list[str] = field(default_factory=list)
+    workload: Optional[str] = None
+    base_info: dict[str, Any] = field(default_factory=dict)
+    head_info: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def degradations(self) -> list[Finding]:
+        return [f for f in self.findings if f.verdict == VERDICT_DEGRADATION]
+
+    @property
+    def optimizations(self) -> list[Finding]:
+        return [f for f in self.findings if f.verdict == VERDICT_OPTIMIZATION]
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.verdict] = out.get(f.verdict, 0) + 1
+        return out
+
+    def exit_code(self) -> int:
+        """1 when any confirmed degradation exceeded the threshold, else 0."""
+        return 1 if self.degradations else 0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "threshold": self.threshold,
+            "alpha": self.alpha,
+            "key": list(self.key),
+            "metrics": list(self.metrics),
+            "base": dict(self.base_info),
+            "head": dict(self.head_info),
+            "counts": self.counts(),
+            "exit_code": self.exit_code(),
+            "findings": [f.to_json() for f in self.findings],
+        }
+
+    def to_records(self) -> list[Record]:
+        return [f.to_record() for f in self.findings]
+
+    def to_result(self) -> QueryResult:
+        """Findings as a CalQL-queryable result table."""
+        columns = list(self.key) + [
+            "observe.check.verdict",
+            "observe.check.metric",
+            "observe.check.base",
+            "observe.check.head",
+            "observe.check.change",
+            "observe.check.severity",
+            "observe.check.p",
+            "observe.check.method",
+        ]
+        return QueryResult(self.to_records(), columns, "table")
+
+    def summary(self, verbose: bool = False) -> str:
+        """The human-readable report (what ``repro-query check`` prints)."""
+        lines: list[str] = []
+        shown = (
+            self.findings
+            if verbose
+            else [f for f in self.findings if f.verdict != VERDICT_NO_CHANGE]
+        )
+        for f in shown:
+            extra = []
+            if f.p_value is not None:
+                extra.append(f"p={f.p_value:.4f}")
+            if f.n_base > 1 or f.n_head > 1:
+                extra.append(f"n={f.n_base}/{f.n_head}")
+            if f.severity:
+                extra.append(f.severity)
+            suffix = f"  ({', '.join(extra)})" if extra else ""
+            lines.append(f"{f.verdict:<13s} {f.location}{suffix}")
+        counts = self.counts()
+        totals = ", ".join(f"{counts[v]} {v}" for v in sorted(counts))
+        head = self.workload or "profiles"
+        lines.append(
+            f"check {head}: {totals or 'no comparable groups'} "
+            f"(threshold {self.threshold:.0%})"
+        )
+        return "\n".join(lines)
+
+
+# -- column inference -----------------------------------------------------------
+
+
+def _is_metric_label(label: str, records: list[Record]) -> bool:
+    if not ("#" in label or label in ("count", "aggregate.count")):
+        return False
+    values = [r.get(label) for r in records]
+    return any(
+        not v.is_empty and v.is_numeric for v in values
+    ) and all(v.is_empty or v.is_numeric for v in values)
+
+
+def infer_columns(records: list[Record]) -> tuple[list[str], list[str]]:
+    """``(key, metrics)`` guessed from an aggregated profile's labels.
+
+    Metric columns are operator outputs (``op#attribute`` and ``count``)
+    whose values are numeric; every other label — minus provenance stamps
+    (``run.*``) and derived-model labels — is part of the aggregation key.
+    """
+    labels = sorted({lbl for r in records for lbl in r.labels()})
+    metrics = [lbl for lbl in labels if _is_metric_label(lbl, records)]
+    key = [
+        lbl
+        for lbl in labels
+        if lbl not in metrics
+        and not lbl.startswith(_NON_KEY_PREFIXES)
+        and lbl != "run.seq"
+    ]
+    return key, metrics
+
+
+# -- the check ------------------------------------------------------------------
+
+
+def _group_samples(
+    records: list[Record], key: Sequence[str], metrics: Sequence[str]
+) -> dict[tuple, dict[str, list[float]]]:
+    table: dict[tuple, dict[str, list[float]]] = {}
+    for record in records:
+        k = tuple(record.get(label).to_string() for label in key)
+        cell = table.setdefault(k, {m: [] for m in metrics})
+        for metric in metrics:
+            v = record.get(metric)
+            if not v.is_empty and v.is_numeric:
+                cell[metric].append(v.to_double())
+    return table
+
+
+def _median(values: Sequence[float]) -> float:
+    s = sorted(values)
+    n = len(s)
+    mid = n // 2
+    return s[mid] if n % 2 else (s[mid - 1] + s[mid]) / 2
+
+
+def _relative(base: float, head: float) -> Optional[float]:
+    if base == 0:
+        return None if head == 0 else math.inf * (1 if head > 0 else -1)
+    return (head - base) / abs(base)
+
+
+def check_profiles(
+    base: Profile,
+    head: Profile,
+    key: Optional[Sequence[str]] = None,
+    metrics: Optional[Sequence[str]] = None,
+    threshold: float = 0.05,
+    alpha: float = 0.05,
+    severe: float = 0.25,
+    min_samples: int = 5,
+    x: Optional[str] = None,
+    smaller_is_better: bool = True,
+    workload: Optional[str] = None,
+) -> CheckReport:
+    """Compare two aggregated profiles per aggregation key.
+
+    ``key``/``metrics`` default to :func:`infer_columns` over both inputs.
+    ``threshold`` is the relative change that counts as a regression;
+    ``alpha`` the significance level for the rank test (used when both
+    sides have ≥ ``min_samples`` samples per group); changes beyond
+    ``severe`` are flagged severe.  ``x`` enables best-fit-model
+    comparison along a numeric context attribute.  ``smaller_is_better``
+    declares the metrics' cost direction (time-like by default).
+    """
+    base_records = base.records if isinstance(base, QueryResult) else list(base)
+    head_records = head.records if isinstance(head, QueryResult) else list(head)
+    if key is None or metrics is None:
+        key_b, metrics_b = infer_columns(base_records)
+        key_h, metrics_h = infer_columns(head_records)
+        if key is None:
+            key = sorted(set(key_b) | set(key_h))
+        if metrics is None:
+            metrics = sorted(set(metrics_b) & set(metrics_h)) or sorted(
+                set(metrics_b) | set(metrics_h)
+            )
+    key = [k for k in key if k != x]
+    if not metrics:
+        raise CheckError(
+            "no numeric metric columns found to compare; pass metrics="
+        )
+
+    base_groups = _group_samples(base_records, key, metrics)
+    head_groups = _group_samples(head_records, key, metrics)
+    findings: list[Finding] = []
+
+    def key_dict(k: tuple) -> dict[str, Any]:
+        return {label: value for label, value in zip(key, k) if value != ""}
+
+    for k in sorted(set(base_groups) | set(head_groups)):
+        in_base = k in base_groups
+        for metric in metrics:
+            xs = base_groups.get(k, {}).get(metric, [])
+            ys = head_groups.get(k, {}).get(metric, [])
+            if not xs or not ys:
+                if not xs and not ys:
+                    continue
+                findings.append(
+                    Finding(
+                        verdict=VERDICT_NEW if not in_base or not xs else VERDICT_MISSING,
+                        metric=metric,
+                        key=key_dict(k),
+                        base=_median(xs) if xs else None,
+                        head=_median(ys) if ys else None,
+                        n_base=len(xs),
+                        n_head=len(ys),
+                        method="presence",
+                    )
+                )
+                continue
+            if len(xs) >= min_samples and len(ys) >= min_samples:
+                _, p = rank_sum_test(xs, ys)
+                b, h = _median(xs), _median(ys)
+                change = _relative(b, h)
+                significant = p < alpha
+                method = "ranksum"
+            else:
+                b = sum(xs) / len(xs)
+                h = sum(ys) / len(ys)
+                change = _relative(b, h)
+                p = None
+                significant = True
+                method = "ratio"
+            verdict = VERDICT_NO_CHANGE
+            severity = None
+            if significant and _beyond(change, threshold):
+                worse = change > 0 if smaller_is_better else change < 0
+                verdict = VERDICT_DEGRADATION if worse else VERDICT_OPTIMIZATION
+                severity = "severe" if abs(change) >= severe else "minor"
+            findings.append(
+                Finding(
+                    verdict=verdict,
+                    metric=metric,
+                    key=key_dict(k),
+                    base=b,
+                    head=h,
+                    change=change,
+                    severity=severity,
+                    p_value=p,
+                    n_base=len(xs),
+                    n_head=len(ys),
+                    method=method,
+                )
+            )
+
+    if x is not None:
+        findings.extend(
+            _model_findings(
+                base_records,
+                head_records,
+                key,
+                metrics,
+                x,
+                threshold,
+                severe,
+                smaller_is_better,
+            )
+        )
+
+    findings.sort(
+        key=lambda f: (
+            0 if f.verdict == VERDICT_DEGRADATION else 1,
+            -(abs(f.change) if f.change is not None and math.isfinite(f.change) else math.inf),
+        )
+    )
+    return CheckReport(
+        findings=findings,
+        threshold=threshold,
+        alpha=alpha,
+        key=list(key),
+        metrics=list(metrics),
+        workload=workload,
+    )
+
+
+def _model_findings(
+    base_records: list[Record],
+    head_records: list[Record],
+    key: Sequence[str],
+    metrics: Sequence[str],
+    x: str,
+    threshold: float,
+    severe: float,
+    smaller_is_better: bool,
+) -> list[Finding]:
+    """Best-fit-model comparison per group along context attribute ``x``."""
+
+    def by_key(records: list[Record]) -> dict[tuple, list[Record]]:
+        out: dict[tuple, list[Record]] = {}
+        for record in records:
+            out.setdefault(
+                tuple(record.get(label).to_string() for label in key), []
+            ).append(record)
+        return out
+
+    def best_fit(rows: list[Record], metric: str) -> Optional[ModelFit]:
+        xs, ys = _points(rows, metric, x)
+        fits = [f for f in (_fit_one(kind, xs, ys) for kind in MODEL_KINDS) if f]
+        fits = [f for f in fits if f.n >= 3]
+        return max(fits, key=lambda f: f.r2) if fits else None
+
+    base_by, head_by = by_key(base_records), by_key(head_records)
+    findings: list[Finding] = []
+    for k in sorted(set(base_by) & set(head_by)):
+        for metric in metrics:
+            fb = best_fit(base_by[k], metric)
+            fh = best_fit(head_by[k], metric)
+            if fb is None or fh is None:
+                continue
+            xs_b, _ = _points(base_by[k], metric, x)
+            xs_h, _ = _points(head_by[k], metric, x)
+            x_far = min(float(xs_b.max()), float(xs_h.max()))
+            if fb.kind == "log" or fh.kind == "log":
+                x_far = max(x_far, 1e-9)
+            pb, ph = fb.predict(x_far), fh.predict(x_far)
+            change = _relative(pb, ph)
+            verdict = VERDICT_NO_CHANGE
+            severity = None
+            if fb.kind != fh.kind or _beyond(change, threshold):
+                worse = (change or 0) > 0 if smaller_is_better else (change or 0) < 0
+                verdict = VERDICT_DEGRADATION if worse else VERDICT_OPTIMIZATION
+                if change is not None and math.isfinite(change):
+                    severity = "severe" if abs(change) >= severe else "minor"
+            findings.append(
+                Finding(
+                    verdict=verdict,
+                    metric=metric,
+                    key={
+                        label: value
+                        for label, value in zip(key, k)
+                        if value != ""
+                    },
+                    base=pb,
+                    head=ph,
+                    change=change,
+                    severity=severity,
+                    n_base=fb.n,
+                    n_head=fh.n,
+                    method=f"model:{fb.kind}->{fh.kind}",
+                )
+            )
+    return findings

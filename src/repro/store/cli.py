@@ -1,0 +1,355 @@
+"""``repro-query check`` and ``repro-query store``: the regression-gate CLI.
+
+``store save`` aggregates a dataset with a CalQL query and persists the
+result into a profile store with captured run metadata; ``store list``
+shows what the store holds; ``store tag`` names a profile (e.g. as an
+explicit baseline); ``store show`` prints one stored profile.
+
+``check`` compares a head profile against a baseline and exits non-zero on
+confirmed degradation — the CI gate.  Inputs are either two profile files
+(``.rcf``/``.cali``/``.json``/``.csv``), or a store + workload (the
+baseline then resolves by nearest ancestor commit or ``--baseline`` tag,
+and the head defaults to the newest profile for the current commit).
+
+Examples::
+
+    repro-query store save --store .profiles --workload app.kernels \\
+        -q "AGGREGATE sum(time.duration) GROUP BY kernel" run-*.cali
+
+    repro-query store list --store .profiles --workload app.kernels
+
+    repro-query check baseline.rcf head.rcf --threshold 0.1 --json -
+
+    repro-query check --store .profiles --workload app.kernels \\
+        --json verdict.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from ..common.errors import ReproError
+from .check import check_profiles
+from .profiles import ProfileStore, StoreError
+
+__all__ = ["check_main", "store_main"]
+
+
+def _load_profile_file(path: str):
+    """A record-file profile as ``(QueryResult, info-dict)``."""
+    from ..io.dataset import read_records
+    from ..query.engine import QueryResult
+
+    records, globals_ = read_records(path)
+    columns_v = globals_.get("profile.columns")
+    columns = json.loads(columns_v.to_string()) if columns_v else []
+    info = {
+        "path": path,
+        "commit": globals_["run.commit"].to_string() if "run.commit" in globals_ else None,
+    }
+    return QueryResult(records, columns, "table"), info
+
+
+def _entry_info(entry) -> dict:
+    return {
+        "profile_id": entry.profile_id,
+        "commit": entry.commit,
+        "config_hash": entry.config_hash,
+        "timestamp": entry.timestamp,
+        "tags": list(entry.tags),
+    }
+
+
+# -- repro-query check ----------------------------------------------------------
+
+
+def build_check_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-query check",
+        description="Compare a head profile against a baseline and report "
+        "per-group Degradation/Optimization/NoChange verdicts.",
+    )
+    parser.add_argument(
+        "profiles",
+        nargs="*",
+        metavar="PROFILE",
+        help="explicit BASELINE and HEAD profile files (omit to resolve "
+        "both through --store/--workload)",
+    )
+    parser.add_argument("--store", help="profile store directory")
+    parser.add_argument("--workload", help="workload name to check")
+    parser.add_argument(
+        "--baseline",
+        help="baseline override: a tag or profile-id prefix in the store "
+        "(default: nearest ancestor commit)",
+    )
+    parser.add_argument(
+        "--head",
+        help="head override: a tag or profile-id prefix in the store "
+        "(default: newest profile for the workload)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="relative change that counts as a regression (default 0.05)",
+    )
+    parser.add_argument(
+        "--alpha",
+        type=float,
+        default=0.05,
+        help="rank-test significance level (default 0.05)",
+    )
+    parser.add_argument(
+        "--min-samples",
+        type=int,
+        default=5,
+        help="per-group samples (both sides) required for the rank test "
+        "(default 5; smaller groups use the relative-change test)",
+    )
+    parser.add_argument(
+        "--key", help="comma-separated aggregation key labels (default: inferred)"
+    )
+    parser.add_argument(
+        "--metrics",
+        help="comma-separated metric labels to compare (default: inferred)",
+    )
+    parser.add_argument(
+        "-x",
+        "--context",
+        dest="context",
+        help="numeric context attribute for best-fit-model comparison",
+    )
+    parser.add_argument(
+        "--larger-is-better",
+        action="store_true",
+        help="treat metric increases as improvements (throughput metrics)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write the machine-readable verdict JSON to PATH ('-' = stdout)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print NoChange findings",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="always exit 0 (report-only mode for non-gating CI steps)",
+    )
+    return parser
+
+
+def check_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_check_parser()
+    args = parser.parse_args(list(argv or []))
+    try:
+        base, head, base_info, head_info, workload = _resolve_check_inputs(
+            args, parser
+        )
+        report = check_profiles(
+            base,
+            head,
+            key=args.key.split(",") if args.key else None,
+            metrics=args.metrics.split(",") if args.metrics else None,
+            threshold=args.threshold,
+            alpha=args.alpha,
+            min_samples=args.min_samples,
+            x=args.context,
+            smaller_is_better=not args.larger_is_better,
+            workload=workload,
+        )
+        report.base_info = base_info
+        report.head_info = head_info
+    except ReproError as exc:
+        print(f"repro-query check: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-query check: error: {exc}", file=sys.stderr)
+        return 2
+
+    print(report.summary(verbose=args.verbose))
+    if args.json:
+        text = json.dumps(report.to_json(), indent=2)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as stream:
+                stream.write(text + "\n")
+    if args.warn_only:
+        return 0
+    return report.exit_code()
+
+
+def _resolve_check_inputs(args, parser):
+    if args.profiles and len(args.profiles) == 2:
+        base, base_info = _load_profile_file(args.profiles[0])
+        head, head_info = _load_profile_file(args.profiles[1])
+        return base, head, base_info, head_info, args.workload
+    if args.profiles:
+        parser.error(
+            "expected exactly two profile files (BASELINE HEAD), or none "
+            "with --store/--workload"
+        )
+    if not (args.store and args.workload):
+        parser.error(
+            "give two profile files, or --store DIR --workload NAME"
+        )
+    store = ProfileStore(args.store)
+    if args.head:
+        head_entry = store.get(args.head)
+    else:
+        candidates = store.lookup(workload=args.workload)
+        if not candidates:
+            raise StoreError(
+                f"store has no profiles for workload {args.workload!r}"
+            )
+        head_entry = candidates[0]
+    if args.baseline:
+        base_entry = store.baseline(args.workload, tag=args.baseline)
+        if base_entry is None or base_entry.profile_id == head_entry.profile_id:
+            base_entry = store.get(args.baseline)
+    else:
+        base_entry = store.baseline(
+            args.workload,
+            commit=head_entry.commit,
+            exclude=(head_entry.profile_id,),
+        )
+    if base_entry is None:
+        raise StoreError(
+            f"no baseline found for workload {args.workload!r} "
+            f"(head commit {head_entry.commit or 'unknown'}); save one "
+            "first or tag one with 'repro-query store tag'"
+        )
+    return (
+        store.load(base_entry.profile_id),
+        store.load(head_entry.profile_id),
+        _entry_info(base_entry),
+        _entry_info(head_entry),
+        args.workload,
+    )
+
+
+# -- repro-query store ----------------------------------------------------------
+
+
+def build_store_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-query store",
+        description="Manage the versioned profile store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    save = sub.add_parser(
+        "save", help="aggregate input files and save the profile"
+    )
+    save.add_argument("files", nargs="+", help="input record files")
+    save.add_argument("--store", required=True, help="profile store directory")
+    save.add_argument("--workload", required=True, help="workload name")
+    save.add_argument(
+        "-q", "--query", required=True, help="CalQL aggregation query"
+    )
+    save.add_argument("--tag", help="also tag the saved profile")
+    save.add_argument(
+        "--commit", help="override the recorded commit (default: git HEAD)"
+    )
+    save.add_argument(
+        "--timestamp", type=float, help="run timestamp (epoch seconds)"
+    )
+    save.add_argument(
+        "--meta",
+        action="append",
+        default=[],
+        metavar="K=V",
+        help="extra metadata entries (repeatable)",
+    )
+
+    lst = sub.add_parser("list", help="list stored profiles")
+    lst.add_argument("--store", required=True, help="profile store directory")
+    lst.add_argument("--workload", help="only this workload")
+    lst.add_argument("--commit", help="only this commit")
+    lst.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    tag = sub.add_parser("tag", help="tag a stored profile")
+    tag.add_argument("ref", help="profile id prefix or existing tag")
+    tag.add_argument("name", help="tag name to attach")
+    tag.add_argument("--store", required=True, help="profile store directory")
+
+    show = sub.add_parser("show", help="print one stored profile")
+    show.add_argument("ref", help="profile id prefix or tag")
+    show.add_argument("--store", required=True, help="profile store directory")
+    return parser
+
+
+def store_main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_store_parser()
+    args = parser.parse_args(list(argv or []))
+    try:
+        return _run_store(args)
+    except ReproError as exc:
+        print(f"repro-query store: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-query store: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_store(args) -> int:
+    store = ProfileStore(args.store)
+    if args.command == "save":
+        from ..io.dataset import Dataset
+
+        meta = {}
+        for item in args.meta:
+            k, sep, v = item.partition("=")
+            if not sep:
+                raise StoreError(f"--meta wants K=V, got {item!r}")
+            meta[k] = v
+        dataset = Dataset.from_files(args.files)
+        result = dataset.query(args.query)
+        entry = store.save(
+            result,
+            workload=args.workload,
+            commit=args.commit,
+            timestamp=args.timestamp,
+            meta=meta,
+            tag=args.tag,
+        )
+        print(
+            f"saved {entry.profile_id[:12]} workload={entry.workload} "
+            f"commit={(entry.commit or '-')[:12]} rows={entry.rows}"
+        )
+        return 0
+    if args.command == "list":
+        entries = store.lookup(workload=args.workload, commit=args.commit)
+        if args.json:
+            print(
+                json.dumps(
+                    [dict(_entry_info(e), workload=e.workload, rows=e.rows,
+                          meta=e.meta) for e in entries],
+                    indent=2,
+                )
+            )
+        else:
+            for entry in entries:
+                print(entry.describe())
+            if not entries:
+                print("(store is empty for this filter)", file=sys.stderr)
+        return 0
+    if args.command == "tag":
+        store.tag(args.ref, args.name)
+        print(f"tagged {store.resolve(args.ref)[:12]} as {args.name!r}")
+        return 0
+    if args.command == "show":
+        result = store.load(args.ref)
+        print(str(result))
+        return 0
+    raise StoreError(f"unknown store command {args.command!r}")

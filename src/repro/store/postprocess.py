@@ -1,0 +1,404 @@
+"""Statistical postprocessors over aggregated profiles.
+
+Ported in spirit from Perun's postprocess suite: each function consumes an
+aggregated profile (a :class:`~repro.query.engine.QueryResult` or plain
+record iterable) and derives a compact statistical *model* of one numeric
+metric — a moving average, a regressogram (fixed-width bucketed means over
+a numeric context attribute), least-squares linear/log regression models,
+or a 1-D clusterization.  Every postprocessor emits ordinary records
+labelled ``observe.model.*``, so derived models are themselves
+CalQL-queryable and storable in the profile store next to the profiles
+they summarize::
+
+    AGGREGATE avg(observe.model.value) GROUP BY observe.model.kind
+
+All postprocessors are **permutation-invariant**: rows are ordered
+internally by ``(group key, context attribute)``, so the same profile in
+any row order produces identical models.  They are also pure — no clock,
+no randomness — which the property tests in ``tests/store`` rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..common.errors import ReproError
+from ..common.record import Record
+from ..common.variant import Variant
+from ..query.engine import QueryResult
+
+__all__ = [
+    "ModelFit",
+    "PostprocessError",
+    "clusterize",
+    "fit_models",
+    "best_model",
+    "moving_average",
+    "regressogram",
+]
+
+Profile = Union[QueryResult, Iterable[Record]]
+
+#: regression model kinds with a closed-form least-squares fit
+MODEL_KINDS = ("linear", "log")
+
+
+class PostprocessError(ReproError):
+    """A postprocessor could not run over the given profile."""
+
+
+def _records_of(profile: Profile) -> list[Record]:
+    if isinstance(profile, QueryResult):
+        return profile.records
+    return list(profile)
+
+
+def _groups(
+    records: list[Record], group_by: Sequence[str]
+) -> list[tuple[tuple, list[Record]]]:
+    """Rows partitioned by the ``group_by`` labels, in sorted group order."""
+    if not group_by:
+        return [((), records)]
+    table: dict[tuple, list[Record]] = {}
+    for record in records:
+        key = tuple(record.get(label) for label in group_by)
+        table.setdefault(key, []).append(record)
+    return sorted(table.items(), key=lambda kv: tuple(v._order_key() for v in kv[0]))
+
+
+def _points(
+    rows: list[Record], metric: str, x: Optional[str]
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(xs, ys)`` numeric arrays, sorted by x (then y) — rows lacking the
+    metric (or the context attribute, when given) are skipped."""
+    xs: list[float] = []
+    ys: list[float] = []
+    for i, record in enumerate(rows):
+        yv = record.get(metric)
+        if yv.is_empty or not yv.is_numeric:
+            continue
+        if x is None:
+            xs.append(float(i))
+            ys.append(yv.to_double())
+            continue
+        xv = record.get(x)
+        if xv.is_empty or not xv.is_numeric:
+            continue
+        xs.append(xv.to_double())
+        ys.append(yv.to_double())
+    ax = np.asarray(xs, dtype=np.float64)
+    ay = np.asarray(ys, dtype=np.float64)
+    if x is not None:
+        order = np.lexsort((ay, ax))
+        ax, ay = ax[order], ay[order]
+    return ax, ay
+
+
+def _key_entries(group_by: Sequence[str], key: tuple) -> dict[str, Variant]:
+    return {
+        label: value
+        for label, value in zip(group_by, key)
+        if not value.is_empty
+    }
+
+
+def _result(
+    records: list[Record], group_by: Sequence[str], columns: Sequence[str]
+) -> QueryResult:
+    return QueryResult(records, list(group_by) + list(columns), "table")
+
+
+# -- moving average -------------------------------------------------------------
+
+
+def moving_average(
+    profile: Profile,
+    metric: str,
+    x: str,
+    window: int = 3,
+    group_by: Sequence[str] = (),
+) -> QueryResult:
+    """Centered moving average of ``metric`` along context attribute ``x``.
+
+    Points are ordered by ``x`` per group; each output record carries the
+    window mean at that point (window truncated symmetrically at the
+    edges, matching ``np.convolve``-free reference semantics: the mean of
+    the up-to-``window`` points centered on the position).
+    """
+    if window < 1:
+        raise PostprocessError(f"moving_average window must be >= 1, got {window}")
+    out: list[Record] = []
+    half = window // 2
+    for key, rows in _groups(_records_of(profile), group_by):
+        xs, ys = _points(rows, metric, x)
+        for i in range(len(ys)):
+            lo = max(0, i - half)
+            hi = min(len(ys), i + half + 1)
+            entries = _key_entries(group_by, key)
+            entries.update(
+                {
+                    "observe.model.kind": Variant.of("moving_average"),
+                    "observe.model.metric": Variant.of(metric),
+                    "observe.model.window": Variant.of(window),
+                    "observe.model.x": Variant.of(float(xs[i])),
+                    "observe.model.value": Variant.of(float(np.mean(ys[lo:hi]))),
+                }
+            )
+            out.append(Record.from_variants(entries))
+    return _result(
+        out,
+        group_by,
+        (
+            "observe.model.kind",
+            "observe.model.metric",
+            "observe.model.x",
+            "observe.model.value",
+            "observe.model.window",
+        ),
+    )
+
+
+# -- regressogram ---------------------------------------------------------------
+
+
+def regressogram(
+    profile: Profile,
+    metric: str,
+    x: str,
+    buckets: int = 10,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+    group_by: Sequence[str] = (),
+) -> QueryResult:
+    """Fixed-width bucketed means of ``metric`` over context attribute ``x``.
+
+    The x-range ``[lo, hi]`` (default: the group's data range) is split into
+    ``buckets`` equal-width intervals; each non-empty bucket yields one
+    record with the bucket bounds, the mean of the metric inside it, and
+    the sample count.  The upper edge of the last bucket is inclusive,
+    matching :func:`numpy.histogram` semantics.
+    """
+    if buckets < 1:
+        raise PostprocessError(f"regressogram needs buckets >= 1, got {buckets}")
+    out: list[Record] = []
+    for key, rows in _groups(_records_of(profile), group_by):
+        xs, ys = _points(rows, metric, x)
+        if len(xs) == 0:
+            continue
+        b_lo = float(np.min(xs)) if lo is None else float(lo)
+        b_hi = float(np.max(xs)) if hi is None else float(hi)
+        if b_hi <= b_lo:
+            b_hi = b_lo + 1.0
+        edges = np.linspace(b_lo, b_hi, buckets + 1)
+        # np.histogram bucket semantics: [edge_i, edge_i+1), last inclusive.
+        idx = np.clip(np.searchsorted(edges, xs, side="right") - 1, 0, buckets - 1)
+        for b in range(buckets):
+            mask = idx == b
+            n = int(np.count_nonzero(mask))
+            if n == 0:
+                continue
+            entries = _key_entries(group_by, key)
+            entries.update(
+                {
+                    "observe.model.kind": Variant.of("regressogram"),
+                    "observe.model.metric": Variant.of(metric),
+                    "observe.model.bucket": Variant.of(b),
+                    "observe.model.x.lo": Variant.of(float(edges[b])),
+                    "observe.model.x.hi": Variant.of(float(edges[b + 1])),
+                    "observe.model.value": Variant.of(float(np.mean(ys[mask]))),
+                    "observe.model.count": Variant.of(n),
+                }
+            )
+            out.append(Record.from_variants(entries))
+    return _result(
+        out,
+        group_by,
+        (
+            "observe.model.kind",
+            "observe.model.metric",
+            "observe.model.bucket",
+            "observe.model.x.lo",
+            "observe.model.x.hi",
+            "observe.model.value",
+            "observe.model.count",
+        ),
+    )
+
+
+# -- regression models ----------------------------------------------------------
+
+
+@dataclass
+class ModelFit:
+    """One fitted regression model: ``y ≈ a + b * f(x)``."""
+
+    kind: str  # "linear" (f = identity) or "log" (f = ln)
+    a: float
+    b: float
+    r2: float
+    sse: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        fx = math.log(x) if self.kind == "log" else x
+        return self.a + self.b * fx
+
+    def describe(self) -> str:
+        fx = "ln(x)" if self.kind == "log" else "x"
+        return f"{self.kind}: y = {self.a:.6g} + {self.b:.6g}*{fx} (r2={self.r2:.3f})"
+
+
+def _fit_one(kind: str, xs: np.ndarray, ys: np.ndarray) -> Optional[ModelFit]:
+    if kind == "log":
+        mask = xs > 0
+        xs, ys = xs[mask], ys[mask]
+        fx = np.log(xs)
+    elif kind == "linear":
+        fx = xs
+    else:
+        raise PostprocessError(f"unknown regression model kind {kind!r}")
+    if len(fx) < 2 or float(np.ptp(fx)) == 0.0:
+        return None
+    # Closed-form least squares for y = a + b*fx.
+    mx, my = float(np.mean(fx)), float(np.mean(ys))
+    sxx = float(np.sum((fx - mx) ** 2))
+    sxy = float(np.sum((fx - mx) * (ys - my)))
+    b = sxy / sxx
+    a = my - b * mx
+    resid = ys - (a + b * fx)
+    sse = float(np.sum(resid**2))
+    sst = float(np.sum((ys - my) ** 2))
+    r2 = 1.0 if sst == 0.0 else 1.0 - sse / sst
+    return ModelFit(kind=kind, a=a, b=b, r2=r2, sse=sse, n=int(len(fx)))
+
+
+def fit_models(
+    profile: Profile,
+    metric: str,
+    x: str,
+    models: Sequence[str] = MODEL_KINDS,
+    group_by: Sequence[str] = (),
+) -> QueryResult:
+    """Least-squares regression models of ``metric`` against ``x``.
+
+    Fits each requested model kind per group and emits one record per fit
+    with coefficients, r², SSE, and a ``observe.model.best`` flag on the
+    highest-r² fit of each group.  Groups with fewer than two usable points
+    (or a degenerate x-range) produce no records.
+    """
+    out: list[Record] = []
+    for key, rows in _groups(_records_of(profile), group_by):
+        xs, ys = _points(rows, metric, x)
+        fits = [f for f in (_fit_one(kind, xs, ys) for kind in models) if f]
+        if not fits:
+            continue
+        best = max(fits, key=lambda f: f.r2)
+        for fit in fits:
+            entries = _key_entries(group_by, key)
+            entries.update(
+                {
+                    "observe.model.kind": Variant.of("regression"),
+                    "observe.model.metric": Variant.of(metric),
+                    "observe.model.model": Variant.of(fit.kind),
+                    "observe.model.a": Variant.of(fit.a),
+                    "observe.model.b": Variant.of(fit.b),
+                    "observe.model.r2": Variant.of(fit.r2),
+                    "observe.model.sse": Variant.of(fit.sse),
+                    "observe.model.points": Variant.of(fit.n),
+                    "observe.model.best": Variant.of(fit is best),
+                }
+            )
+            out.append(Record.from_variants(entries))
+    return _result(
+        out,
+        group_by,
+        (
+            "observe.model.kind",
+            "observe.model.metric",
+            "observe.model.model",
+            "observe.model.a",
+            "observe.model.b",
+            "observe.model.r2",
+            "observe.model.points",
+            "observe.model.best",
+        ),
+    )
+
+
+def best_model(
+    profile: Profile,
+    metric: str,
+    x: str,
+    models: Sequence[str] = MODEL_KINDS,
+) -> Optional[ModelFit]:
+    """The highest-r² :class:`ModelFit` over the whole profile (one group)."""
+    xs, ys = _points(_records_of(profile), metric, x)
+    fits = [f for f in (_fit_one(kind, xs, ys) for kind in models) if f]
+    return max(fits, key=lambda f: f.r2) if fits else None
+
+
+# -- clusterizer ----------------------------------------------------------------
+
+
+def clusterize(
+    profile: Profile,
+    metric: str,
+    rel_gap: float = 0.25,
+    abs_gap: float = 0.0,
+    group_by: Sequence[str] = (),
+) -> QueryResult:
+    """1-D gap clusterization of a metric's value distribution.
+
+    Values are sorted; a new cluster starts wherever the jump to the next
+    value exceeds ``prev * rel_gap + abs_gap`` (Perun's sort-order
+    clusterizer, deterministic and permutation-invariant — no seeds, no
+    iteration).  Each cluster yields one record with its bounds, mean, and
+    size; the cluster index orders clusters by value.
+    """
+    if rel_gap < 0 or abs_gap < 0:
+        raise PostprocessError("clusterize gaps must be non-negative")
+    out: list[Record] = []
+    for key, rows in _groups(_records_of(profile), group_by):
+        _, ys = _points(rows, metric, None)
+        if len(ys) == 0:
+            continue
+        values = np.sort(ys)
+        clusters: list[list[float]] = [[float(values[0])]]
+        for v in values[1:]:
+            prev = clusters[-1][-1]
+            if float(v) - prev > abs(prev) * rel_gap + abs_gap:
+                clusters.append([float(v)])
+            else:
+                clusters[-1].append(float(v))
+        for i, members in enumerate(clusters):
+            arr = np.asarray(members)
+            entries = _key_entries(group_by, key)
+            entries.update(
+                {
+                    "observe.model.kind": Variant.of("cluster"),
+                    "observe.model.metric": Variant.of(metric),
+                    "observe.model.cluster": Variant.of(i),
+                    "observe.model.value.min": Variant.of(float(arr.min())),
+                    "observe.model.value.max": Variant.of(float(arr.max())),
+                    "observe.model.value": Variant.of(float(arr.mean())),
+                    "observe.model.count": Variant.of(int(len(arr))),
+                }
+            )
+            out.append(Record.from_variants(entries))
+    return _result(
+        out,
+        group_by,
+        (
+            "observe.model.kind",
+            "observe.model.metric",
+            "observe.model.cluster",
+            "observe.model.value.min",
+            "observe.model.value.max",
+            "observe.model.value",
+            "observe.model.count",
+        ),
+    )

@@ -1,0 +1,447 @@
+"""The versioned profile store: aggregated profiles keyed by provenance.
+
+Every run of an aggregation query produces a compact, comparable profile —
+a :class:`~repro.query.engine.QueryResult` table.  Until now those were
+ephemeral: benchmark JSON files to eyeball, datasets to re-query.  The
+:class:`ProfileStore` makes them durable and *addressable by provenance*:
+
+* each saved profile is written as a ``.rcf`` columnar file
+  (:mod:`repro.io.colfile`) into a content-addressed directory — the file
+  name is the sha256 of its bytes, so identical saves deduplicate and
+  entries are tamper-evident;
+* a JSON index maps profile ids to their provenance key ``(git commit,
+  config hash, workload name)`` plus run metadata (dirty flag,
+  python/numpy versions, cpu count, caller-supplied timestamp — see
+  :func:`repro.observe.run_info`);
+* :meth:`ProfileStore.baseline` answers the question every regression
+  gate asks — "what should this run be compared against?" — by nearest
+  ancestor commit (walking ``git rev-list`` order), or by explicit tag.
+
+Store layout (all under one root directory)::
+
+    <root>/index.json            id -> entry, tag -> id
+    <root>/profiles/<aa>/<id>.rcf
+
+The index is rewritten atomically (temp file + ``os.replace``), so
+concurrent readers never observe a torn index.  See ``docs/regression.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
+
+from ..common.errors import ReproError
+from ..common.record import Record
+from ..common.variant import Variant
+from ..observe.runinfo import config_fingerprint, git_state
+from ..query.engine import QueryResult
+
+__all__ = ["ProfileEntry", "ProfileStore", "StoreError"]
+
+INDEX_VERSION = 1
+
+#: ``.rcf`` global keys the store itself writes (stripped from run metadata)
+_PROFILE_KEYS = ("profile.workload", "profile.columns", "profile.format")
+
+
+class StoreError(ReproError):
+    """Profile-store failures: unknown ids, ambiguous prefixes, bad index."""
+
+
+@dataclass
+class ProfileEntry:
+    """One saved profile's index entry (provenance + run metadata)."""
+
+    profile_id: str
+    workload: str
+    commit: Optional[str] = None
+    config_hash: Optional[str] = None
+    timestamp: Optional[float] = None
+    tags: list[str] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+    rows: int = 0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "commit": self.commit,
+            "config_hash": self.config_hash,
+            "timestamp": self.timestamp,
+            "tags": list(self.tags),
+            "meta": dict(self.meta),
+            "rows": self.rows,
+        }
+
+    @classmethod
+    def from_json(cls, profile_id: str, payload: Mapping[str, Any]) -> "ProfileEntry":
+        return cls(
+            profile_id=profile_id,
+            workload=payload.get("workload", ""),
+            commit=payload.get("commit"),
+            config_hash=payload.get("config_hash"),
+            timestamp=payload.get("timestamp"),
+            tags=list(payload.get("tags", [])),
+            meta=dict(payload.get("meta", {})),
+            rows=int(payload.get("rows", 0)),
+        )
+
+    def describe(self) -> str:
+        commit = (self.commit or "-")[:12]
+        stamp = "-" if self.timestamp is None else f"{self.timestamp:.0f}"
+        tags = f" [{','.join(self.tags)}]" if self.tags else ""
+        return (
+            f"{self.profile_id[:12]}  {self.workload:<20s}  {commit:<12s}  "
+            f"{self.config_hash or '-':<12s}  {self.rows:>6d} rows  "
+            f"t={stamp}{tags}"
+        )
+
+
+class ProfileStore:
+    """Content-addressed, provenance-indexed storage for profiles."""
+
+    def __init__(self, root: Union[str, os.PathLike]) -> None:
+        self.root = os.fspath(root)
+        self._index_path = os.path.join(self.root, "index.json")
+        os.makedirs(os.path.join(self.root, "profiles"), exist_ok=True)
+
+    # -- index ------------------------------------------------------------------
+
+    def _read_index(self) -> dict[str, Any]:
+        try:
+            with open(self._index_path, "r", encoding="utf-8") as stream:
+                index = json.load(stream)
+        except FileNotFoundError:
+            return {"version": INDEX_VERSION, "profiles": {}, "tags": {}}
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreError(f"unreadable profile index {self._index_path}: {exc}")
+        if index.get("version") != INDEX_VERSION:
+            raise StoreError(
+                f"profile index version {index.get('version')!r} unsupported "
+                f"(expected {INDEX_VERSION})"
+            )
+        index.setdefault("profiles", {})
+        index.setdefault("tags", {})
+        return index
+
+    def _write_index(self, index: dict[str, Any]) -> None:
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".index-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                json.dump(index, stream, indent=1, sort_keys=True)
+                stream.write("\n")
+            os.replace(tmp, self._index_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _path_of(self, profile_id: str) -> str:
+        return os.path.join(
+            self.root, "profiles", profile_id[:2], f"{profile_id}.rcf"
+        )
+
+    # -- save / load ------------------------------------------------------------
+
+    def save(
+        self,
+        profile: Union[QueryResult, Iterable[Record]],
+        workload: str,
+        commit: Optional[str] = None,
+        config: Optional[Mapping[str, Any]] = None,
+        config_hash: Optional[str] = None,
+        timestamp: Optional[float] = None,
+        meta: Optional[Mapping[str, Any]] = None,
+        tag: Optional[str] = None,
+        capture: bool = True,
+        repo: Optional[str] = None,
+    ) -> ProfileEntry:
+        """Persist one aggregated profile; returns its index entry.
+
+        ``profile`` is a :class:`QueryResult` (preferred — its column order
+        and format round-trip) or a plain record iterable.  Provenance:
+        ``commit`` defaults to the git HEAD of ``repo``/cwd when ``capture``
+        is true; ``config_hash`` defaults to a fingerprint of ``config``;
+        ``timestamp`` is caller-supplied (the store never reads the clock).
+        ``meta`` entries are stored verbatim in the index next to the
+        captured interpreter/numpy/cpu metadata.  ``tag`` optionally tags
+        the saved profile (e.g. ``"baseline"``) in the same write.
+        """
+        if not workload:
+            raise StoreError("a profile needs a non-empty workload name")
+        if isinstance(profile, QueryResult):
+            records = profile.records
+            columns: Sequence[str] = profile.preferred_columns
+            fmt = profile.format
+        else:
+            records = list(profile)
+            columns = ()
+            fmt = "table"
+
+        dirty: Optional[bool] = None
+        captured_meta: dict[str, Any] = {}
+        if capture:
+            from ..observe.runinfo import run_info
+
+            info = run_info(repo=repo, config=config)
+            if commit is None:
+                commit = info.get("run.commit")
+            dirty = info.get("run.dirty")
+            captured_meta = {
+                "python": info.get("run.python"),
+                "numpy": info.get("run.numpy"),
+                "cpu_count": info.get("run.cpu_count"),
+            }
+        if config_hash is None:
+            config_hash = config_fingerprint(config)
+        full_meta = dict(captured_meta)
+        if dirty is not None:
+            full_meta["dirty"] = dirty
+        if meta:
+            full_meta.update(meta)
+
+        globals_: dict[str, Variant] = {
+            "profile.workload": Variant.of(workload),
+            "profile.columns": Variant.of(json.dumps(list(columns))),
+            "profile.format": Variant.of(fmt),
+        }
+        if commit is not None:
+            globals_["run.commit"] = Variant.of(commit)
+        if config_hash is not None:
+            globals_["run.config_hash"] = Variant.of(config_hash)
+        if timestamp is not None:
+            globals_["run.timestamp"] = Variant.of(float(timestamp))
+        for key, value in full_meta.items():
+            if value is not None:
+                globals_[f"run.{key}"] = Variant.of(value)
+
+        from ..io.colfile import ColfileWriter
+
+        fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".profile-", suffix=".rcf")
+        os.close(fd)
+        try:
+            with ColfileWriter(tmp, globals_=globals_) as writer:
+                rows = writer.write_records(records)
+            with open(tmp, "rb") as stream:
+                profile_id = hashlib.sha256(stream.read()).hexdigest()
+            final = self._path_of(profile_id)
+            os.makedirs(os.path.dirname(final), exist_ok=True)
+            if os.path.exists(final):
+                os.unlink(tmp)
+            else:
+                os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+        entry = ProfileEntry(
+            profile_id=profile_id,
+            workload=workload,
+            commit=commit,
+            config_hash=config_hash,
+            timestamp=timestamp,
+            meta=full_meta,
+            rows=rows,
+        )
+        index = self._read_index()
+        existing = index["profiles"].get(profile_id)
+        if existing:
+            entry.tags = list(existing.get("tags", []))
+        index["profiles"][profile_id] = entry.to_json()
+        self._write_index(index)
+        if tag:
+            self.tag(profile_id, tag)
+            entry.tags = sorted(set(entry.tags) | {tag})
+        return entry
+
+    def resolve(self, ref: str) -> str:
+        """Full profile id for ``ref`` — an id prefix (≥ 6 chars) or a tag."""
+        index = self._read_index()
+        if ref in index["tags"]:
+            return index["tags"][ref]
+        if ref in index["profiles"]:
+            return ref
+        if len(ref) >= 6:
+            matches = [pid for pid in index["profiles"] if pid.startswith(ref)]
+            if len(matches) == 1:
+                return matches[0]
+            if len(matches) > 1:
+                raise StoreError(f"profile ref {ref!r} is ambiguous ({len(matches)} matches)")
+        raise StoreError(f"no profile matches {ref!r} (id prefix or tag)")
+
+    def get(self, ref: str) -> ProfileEntry:
+        """Index entry for a profile ref (id, id prefix, or tag)."""
+        profile_id = self.resolve(ref)
+        index = self._read_index()
+        return ProfileEntry.from_json(profile_id, index["profiles"][profile_id])
+
+    def load(self, ref: str) -> QueryResult:
+        """Load a stored profile back as a :class:`QueryResult`.
+
+        The result's preferred columns and FORMAT are restored from the
+        ``.rcf`` globals, so ``str(load(...))`` renders exactly like the
+        original result — the round-trip is lossless.
+        """
+        profile_id = self.resolve(ref)
+        from ..io.colfile import read_colfile
+
+        path = self._path_of(profile_id)
+        try:
+            records, globals_ = read_colfile(path)
+        except FileNotFoundError:
+            raise StoreError(
+                f"profile {profile_id[:12]} is indexed but its file is missing ({path})"
+            )
+        columns_json = globals_.get("profile.columns")
+        columns = json.loads(columns_json.to_string()) if columns_json else []
+        fmt_v = globals_.get("profile.format")
+        fmt = fmt_v.to_string() if fmt_v else "table"
+        return QueryResult(records, columns, fmt)
+
+    def globals_of(self, ref: str) -> dict[str, Variant]:
+        """The stored ``.rcf`` globals (run metadata) of a profile."""
+        from ..io.colfile import ColfileReader
+
+        reader = ColfileReader(self._path_of(self.resolve(ref)))
+        try:
+            return dict(reader.globals)
+        finally:
+            reader.close()
+
+    # -- lookup / tags ----------------------------------------------------------
+
+    def entries(self) -> list[ProfileEntry]:
+        """All entries, newest first (untimestamped entries last)."""
+        index = self._read_index()
+        out = [
+            ProfileEntry.from_json(pid, payload)
+            for pid, payload in index["profiles"].items()
+        ]
+        out.sort(
+            key=lambda e: (e.timestamp is not None, e.timestamp or 0.0),
+            reverse=True,
+        )
+        return out
+
+    def lookup(
+        self,
+        workload: Optional[str] = None,
+        commit: Optional[str] = None,
+        config_hash: Optional[str] = None,
+    ) -> list[ProfileEntry]:
+        """Entries matching every given provenance component, newest first."""
+        return [
+            e
+            for e in self.entries()
+            if (workload is None or e.workload == workload)
+            and (commit is None or e.commit == commit)
+            and (config_hash is None or e.config_hash == config_hash)
+        ]
+
+    def tag(self, ref: str, name: str) -> None:
+        """Attach tag ``name`` to a profile (tags are unique store-wide)."""
+        profile_id = self.resolve(ref)
+        index = self._read_index()
+        old = index["tags"].get(name)
+        if old and old != profile_id and old in index["profiles"]:
+            tags = index["profiles"][old].setdefault("tags", [])
+            if name in tags:
+                tags.remove(name)
+        index["tags"][name] = profile_id
+        tags = index["profiles"][profile_id].setdefault("tags", [])
+        if name not in tags:
+            tags.append(name)
+        self._write_index(index)
+
+    # -- baseline resolution ----------------------------------------------------
+
+    def baseline(
+        self,
+        workload: str,
+        commit: Optional[str] = None,
+        config_hash: Optional[str] = None,
+        tag: Optional[str] = None,
+        ancestors: Optional[Sequence[str]] = None,
+        repo: Optional[str] = None,
+        max_history: int = 1000,
+        exclude: Sequence[str] = (),
+    ) -> Optional[ProfileEntry]:
+        """The profile the head run should be compared against.
+
+        ``tag`` wins: the tagged profile is returned (a mismatched workload
+        raises).  Otherwise the baseline is the entry for ``workload`` (and
+        ``config_hash``, when given) at the **nearest strict ancestor** of
+        ``commit`` — resolved against ``ancestors``, a head-first commit
+        list, or ``git rev-list`` of ``repo``/cwd when not supplied.  The
+        head commit's own profiles are skipped (a baseline must predate the
+        run under test), as are profile ids in ``exclude`` — pass the head
+        profile's id so a commit-less store never compares a run to itself.
+        Entries with no commit are considered last, newest first, so a
+        store without git provenance still yields the most recent prior
+        profile.  ``None`` when nothing qualifies.
+        """
+        if tag is not None:
+            entry = self.get(tag)
+            if entry.workload != workload:
+                raise StoreError(
+                    f"tag {tag!r} points at workload {entry.workload!r}, "
+                    f"not {workload!r}"
+                )
+            return entry
+        candidates = [
+            e
+            for e in self.lookup(workload=workload, config_hash=config_hash)
+            if e.profile_id not in exclude
+        ]
+        if not candidates:
+            return None
+        if commit is None:
+            commit, _ = git_state(repo)
+        if ancestors is None and commit is not None:
+            ancestors = _rev_list(commit, repo, max_history)
+        if ancestors:
+            order = {sha: i for i, sha in enumerate(ancestors)}
+            head = ancestors[0] if commit is None else commit
+            ranked = [
+                (order[e.commit], -(e.timestamp or 0.0), e)
+                for e in candidates
+                if e.commit in order and e.commit != head
+            ]
+            if ranked:
+                ranked.sort(key=lambda t: t[:2])
+                return ranked[0][2]
+        # No usable commit graph: newest strictly-prior profile wins.
+        fallback = [e for e in candidates if commit is None or e.commit != commit]
+        return fallback[0] if fallback else None
+
+
+def _rev_list(
+    commit: str, repo: Optional[str], max_history: int
+) -> Optional[list[str]]:
+    """Head-first ancestor commits of ``commit`` via git (None off-tree)."""
+    path = os.path.abspath(repo or os.getcwd())
+    try:
+        proc = subprocess.run(
+            ["git", "-C", path, "rev-list", f"--max-count={max_history}", commit],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    shas = proc.stdout.split()
+    return shas or None

@@ -1,0 +1,245 @@
+"""Tests for statistical degradation detection (head vs baseline)."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.common import Record
+from repro.io import Dataset
+from repro.query import QueryEngine
+from repro.store import check_profiles, infer_columns, rank_sum_test
+from repro.store.check import CheckError
+
+QUERY = (
+    "AGGREGATE count, sum(time.duration) GROUP BY kernel, rep "
+    "ORDER BY kernel, rep"
+)
+
+
+def profile(slowdown=None, reps=10, jitter=0.0, seed=5):
+    """An aggregated per-(kernel, rep) profile; ``slowdown`` scales kernels."""
+    slowdown = slowdown or {}
+    rng = random.Random(seed)
+    records = []
+    for kernel, base in (("calc-dt", 2.0), ("advec", 4.0), ("pdv", 1.0)):
+        scale = 1.0 + slowdown.get(kernel, 0.0)
+        for rep in range(reps):
+            noise = 1.0 + jitter * (rng.random() - 0.5)
+            records.append(
+                Record(
+                    {
+                        "kernel": kernel,
+                        "rep": rep,
+                        "time.duration": base * scale * noise * (1 + 0.01 * rep),
+                    }
+                )
+            )
+    return QueryEngine(QUERY).run(records)
+
+
+class TestRankSumTest:
+    def test_disjoint_samples(self):
+        u1, p = rank_sum_test([1.0, 2.0, 3.0], [4.0, 5.0, 6.0])
+        assert u1 == 0.0
+        assert 0.05 < p < 0.12  # normal approximation with small n
+
+    def test_identical_constant_samples(self):
+        _, p = rank_sum_test([1.0] * 8, [1.0] * 8)
+        assert p == 1.0
+
+    def test_u_statistics_are_complementary(self):
+        xs = [1.0, 3.0, 5.0, 7.0, 9.0]
+        ys = [2.0, 4.0, 6.0, 8.0]
+        u1, _ = rank_sum_test(xs, ys)
+        u2, _ = rank_sum_test(ys, xs)
+        assert u1 + u2 == len(xs) * len(ys)
+
+    def test_clear_shift_is_significant(self):
+        rng = np.random.default_rng(1)
+        xs = list(rng.normal(1.0, 0.02, size=15))
+        ys = [x * 1.5 for x in xs]
+        _, p = rank_sum_test(xs, ys)
+        assert p < 0.001
+
+    def test_empty_side_raises(self):
+        with pytest.raises(CheckError, match="non-empty"):
+            rank_sum_test([], [1.0])
+
+
+class TestInferColumns:
+    def test_metrics_keys_and_provenance_split(self):
+        records = [
+            Record(
+                {
+                    "kernel": "k0",
+                    "sum#time.duration": 1.5,
+                    "count": 3,
+                    "run.commit": "abc",
+                    "run.seq": 1,
+                    "observe.model.kind": "cluster",
+                }
+            )
+        ]
+        key, metrics = infer_columns(records)
+        assert key == ["kernel"]
+        assert metrics == ["count", "sum#time.duration"]
+
+    def test_non_numeric_hash_label_is_not_a_metric(self):
+        records = [Record({"op#name": "text", "kernel": "k0"})]
+        key, metrics = infer_columns(records)
+        assert metrics == []
+        assert "op#name" in key
+
+
+class TestVerdicts:
+    def test_five_percent_is_no_change_at_default_threshold(self):
+        report = check_profiles(
+            profile(), profile({"calc-dt": 0.05}), key=["kernel"]
+        )
+        assert report.degradations == []
+        assert report.exit_code() == 0
+        assert all(f.verdict == "NoChange" for f in report.findings)
+
+    def test_thirty_percent_is_degradation_naming_the_kernel(self):
+        report = check_profiles(
+            profile(), profile({"calc-dt": 0.30}), key=["kernel"]
+        )
+        degraded = report.degradations
+        assert degraded, report.summary(verbose=True)
+        assert all(f.key == {"kernel": "calc-dt"} for f in degraded)
+        assert {f.metric for f in degraded} == {"sum#time.duration"}
+        assert report.exit_code() == 1
+        top = degraded[0]
+        assert top.location == "sum(time.duration) at kernel=calc-dt: +30.0%"
+        assert top.severity == "severe"
+        assert top.method == "ranksum" and top.p_value < 0.001
+
+    def test_minor_severity_below_severe_cutoff(self):
+        report = check_profiles(
+            profile(), profile({"calc-dt": 0.10}), key=["kernel"]
+        )
+        assert [f.severity for f in report.degradations] == ["minor"]
+
+    def test_speedup_is_optimization(self):
+        report = check_profiles(
+            profile(), profile({"calc-dt": -0.30}), key=["kernel"]
+        )
+        assert report.degradations == []
+        assert [f.key for f in report.optimizations] == [{"kernel": "calc-dt"}]
+        assert report.exit_code() == 0
+
+    def test_larger_is_better_flips_direction(self):
+        report = check_profiles(
+            profile(),
+            profile({"calc-dt": 0.30}),
+            key=["kernel"],
+            smaller_is_better=False,
+        )
+        assert report.degradations == []
+        assert report.optimizations
+
+    def test_insignificant_noise_is_no_change(self):
+        # Same distribution, different noise draw: the rank test must not
+        # fire even though the means differ slightly.
+        base = profile(jitter=0.10, seed=5)
+        head = profile(jitter=0.10, seed=99)
+        report = check_profiles(base, head, key=["kernel"])
+        assert report.degradations == []
+
+    def test_small_groups_fall_back_to_ratio(self):
+        report = check_profiles(
+            profile(reps=2), profile({"calc-dt": 0.30}, reps=2), key=["kernel"]
+        )
+        degraded = report.degradations
+        assert degraded and degraded[0].method == "ratio"
+        assert degraded[0].p_value is None
+
+    def test_new_and_missing_groups(self):
+        base = profile().records
+        head = [r for r in profile().records if r.get("kernel").value != "pdv"]
+        head.append(
+            Record({"kernel": "flux", "rep": 0, "sum#time.duration": 1.0, "count": 1})
+        )
+        report = check_profiles(base, head, key=["kernel"])
+        verdicts = {
+            (f.verdict, f.key.get("kernel"))
+            for f in report.findings
+            if f.verdict in ("New", "Missing")
+        }
+        assert ("New", "flux") in verdicts
+        assert ("Missing", "pdv") in verdicts
+
+    def test_no_metrics_raises(self):
+        with pytest.raises(CheckError, match="no numeric metric"):
+            check_profiles(
+                [Record({"kernel": "a"})], [Record({"kernel": "a"})]
+            )
+
+    def test_degradations_sort_first_by_magnitude(self):
+        report = check_profiles(
+            profile(),
+            profile({"calc-dt": 0.5, "advec": 0.2}),
+            key=["kernel"],
+        )
+        first = report.findings[0]
+        assert first.verdict == "Degradation"
+        assert first.key == {"kernel": "calc-dt"}
+
+
+class TestModelComparison:
+    def test_model_kind_change_is_reported(self):
+        def rows(fn):
+            return [
+                Record({"kernel": "k", "n": float(x), "sum#time.duration": fn(x)})
+                for x in np.linspace(1.0, 100.0, 25)
+            ]
+
+        base = rows(lambda x: 2.0 + 3.0 * math.log(x))  # logarithmic scaling
+        head = rows(lambda x: 0.5 * x)  # turned linear
+        report = check_profiles(
+            base, head, key=["kernel"], metrics=["sum#time.duration"], x="n"
+        )
+        model = [f for f in report.findings if f.method.startswith("model:")]
+        assert len(model) == 1
+        assert model[0].method == "model:log->linear"
+        assert model[0].verdict == "Degradation"
+
+
+class TestReportOutputs:
+    def test_json_payload_shape(self):
+        report = check_profiles(
+            profile(), profile({"calc-dt": 0.30}), key=["kernel"], workload="w"
+        )
+        payload = report.to_json()
+        assert payload["workload"] == "w"
+        assert payload["exit_code"] == 1
+        assert payload["counts"]["Degradation"] >= 1
+        finding = payload["findings"][0]
+        assert finding["verdict"] == "Degradation"
+        assert finding["key"] == {"kernel": "calc-dt"}
+        assert finding["location"].startswith("sum(time.duration) at")
+
+    def test_findings_are_calql_queryable(self):
+        report = check_profiles(
+            profile(), profile({"calc-dt": 0.30}), key=["kernel"]
+        )
+        res = Dataset(report.to_records()).query(
+            "AGGREGATE count GROUP BY observe.check.verdict "
+            "ORDER BY observe.check.verdict"
+        )
+        rows = dict(res.rows(["observe.check.verdict", "count"]))
+        assert rows["Degradation"] >= 1
+        assert rows["NoChange"] >= 1
+
+    def test_summary_hides_no_change_unless_verbose(self):
+        report = check_profiles(
+            profile(), profile({"calc-dt": 0.30}), key=["kernel"]
+        )
+        brief = report.summary()
+        assert "NoChange" not in brief.splitlines()[0]
+        assert "Degradation" in brief
+        assert len(report.summary(verbose=True).splitlines()) > len(
+            brief.splitlines()
+        )

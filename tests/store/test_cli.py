@@ -1,0 +1,223 @@
+"""End-to-end CLI tests: ``repro-query check`` and ``repro-query store``."""
+
+import json
+
+import pytest
+
+from repro.common import Record
+from repro.common.variant import Variant
+from repro.io import write_records
+from repro.io.colfile import write_colfile
+from repro.query import QueryEngine
+from repro.query.cli import _suggest_subcommand
+from repro.query.cli import main as query_main
+from repro.store.cli import check_main, store_main
+
+QUERY = "AGGREGATE count, sum(time.duration) GROUP BY kernel, rep"
+
+
+def raw_records(slowdown=None, reps=8):
+    slowdown = slowdown or {}
+    records = []
+    for kernel, base in (("calc-dt", 2.0), ("advec", 4.0)):
+        scale = 1.0 + slowdown.get(kernel, 0.0)
+        for rep in range(reps):
+            records.append(
+                Record(
+                    {
+                        "kernel": kernel,
+                        "rep": rep,
+                        "time.duration": base * scale * (1 + 0.01 * rep),
+                    }
+                )
+            )
+    return records
+
+
+def write_profile(path, slowdown=None):
+    result = QueryEngine(QUERY).run(raw_records(slowdown))
+    write_colfile(
+        str(path),
+        result.records,
+        globals_={
+            "profile.workload": Variant.of("w"),
+            "profile.columns": Variant.of(json.dumps(result.preferred_columns)),
+            "profile.format": Variant.of(result.format),
+        },
+    )
+    return str(path)
+
+
+class TestCheckFileMode:
+    def test_injected_slowdown_exits_nonzero_naming_the_kernel(
+        self, tmp_path, capsys
+    ):
+        base = write_profile(tmp_path / "base.rcf")
+        head = write_profile(tmp_path / "head.rcf", {"calc-dt": 0.30})
+        code = query_main(
+            ["check", base, head, "--key", "kernel", "--min-samples", "5"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Degradation" in out
+        assert "sum(time.duration) at kernel=calc-dt: +30.0%" in out
+        assert "advec" not in out  # untouched kernel stays out of the report
+
+    def test_identical_profiles_exit_zero(self, tmp_path, capsys):
+        base = write_profile(tmp_path / "base.rcf")
+        head = write_profile(tmp_path / "head.rcf")
+        code = query_main(
+            ["check", base, head, "--key", "kernel", "--min-samples", "5"]
+        )
+        assert code == 0
+        assert "NoChange" in capsys.readouterr().out
+
+    def test_json_verdict_payload(self, tmp_path, capsys):
+        base = write_profile(tmp_path / "base.rcf")
+        head = write_profile(tmp_path / "head.rcf", {"calc-dt": 0.30})
+        verdict_path = tmp_path / "verdict.json"
+        code = check_main(
+            [base, head, "--key", "kernel", "--json", str(verdict_path)]
+        )
+        assert code == 1
+        payload = json.loads(verdict_path.read_text())
+        assert payload["exit_code"] == 1
+        assert payload["counts"]["Degradation"] >= 1
+        assert payload["findings"][0]["key"] == {"kernel": "calc-dt"}
+        assert payload["base"]["path"] == base
+
+    def test_warn_only_masks_the_exit_code(self, tmp_path, capsys):
+        base = write_profile(tmp_path / "base.rcf")
+        head = write_profile(tmp_path / "head.rcf", {"calc-dt": 0.30})
+        assert check_main([base, head, "--key", "kernel", "--warn-only"]) == 0
+        assert "Degradation" in capsys.readouterr().out
+
+    def test_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        base = write_profile(tmp_path / "base.rcf")
+        code = check_main([base, str(tmp_path / "nope.rcf")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestStoreCommands:
+    def fill_store(self, tmp_path):
+        store_dir = tmp_path / "profiles"
+        base_cali = tmp_path / "base.cali"
+        head_cali = tmp_path / "head.cali"
+        write_records(str(base_cali), raw_records())
+        write_records(str(head_cali), raw_records({"calc-dt": 0.30}))
+        for path, commit, stamp, tag in (
+            (base_cali, "c1", "1", "golden"),
+            (head_cali, "c2", "2", None),
+        ):
+            argv = [
+                "save", str(path), "--store", str(store_dir), "--workload",
+                "w", "-q", QUERY, "--commit", commit, "--timestamp", stamp,
+                "--meta", "host=ci",
+            ]
+            if tag:
+                argv += ["--tag", tag]
+            assert store_main(argv) == 0
+        return store_dir
+
+    def test_save_and_list(self, tmp_path, capsys):
+        store_dir = self.fill_store(tmp_path)
+        saves = capsys.readouterr().out
+        assert saves.count("saved ") == 2
+        assert "workload=w commit=c1" in saves
+        assert store_main(["list", "--store", str(store_dir)]) == 0
+        listing = capsys.readouterr().out
+        assert len(listing.strip().splitlines()) == 2
+        assert "[golden]" in listing
+
+    def test_list_json_and_commit_filter(self, tmp_path, capsys):
+        store_dir = self.fill_store(tmp_path)
+        capsys.readouterr()
+        assert (
+            store_main(
+                ["list", "--store", str(store_dir), "--commit", "c2", "--json"]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 1
+        assert payload[0]["commit"] == "c2"
+        assert payload[0]["meta"]["host"] == "ci"
+
+    def test_show_renders_the_stored_table(self, tmp_path, capsys):
+        store_dir = self.fill_store(tmp_path)
+        capsys.readouterr()
+        assert store_main(["show", "golden", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "calc-dt" in out and "sum#time.duration" in out
+
+    def test_check_store_mode_with_tag_baseline(self, tmp_path, capsys):
+        store_dir = self.fill_store(tmp_path)
+        capsys.readouterr()
+        code = check_main(
+            [
+                "--store", str(store_dir), "--workload", "w",
+                "--baseline", "golden", "--key", "kernel",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "kernel=calc-dt" in out
+
+    def test_check_store_mode_resolves_baseline_automatically(
+        self, tmp_path, capsys
+    ):
+        # No --baseline: head is the newest profile, the baseline falls back
+        # to the newest *other* profile (the commits are not in any git tree).
+        store_dir = self.fill_store(tmp_path)
+        capsys.readouterr()
+        code = check_main(
+            ["--store", str(store_dir), "--workload", "w", "--key", "kernel"]
+        )
+        assert code == 1
+        assert "Degradation" in capsys.readouterr().out
+
+    def test_check_empty_store_is_an_error(self, tmp_path, capsys):
+        code = check_main(
+            ["--store", str(tmp_path / "empty"), "--workload", "w"]
+        )
+        assert code == 2
+        assert "no profiles" in capsys.readouterr().err
+
+    def test_tag_command_retargets(self, tmp_path, capsys):
+        store_dir = self.fill_store(tmp_path)
+        capsys.readouterr()
+        assert store_main(["list", "--store", str(store_dir), "--commit",
+                           "c2", "--json"]) == 0
+        head_id = json.loads(capsys.readouterr().out)[0]["profile_id"]
+        assert store_main(
+            ["tag", head_id[:12], "golden", "--store", str(store_dir)]
+        ) == 0
+        assert f"tagged {head_id[:12]}" in capsys.readouterr().out
+
+
+class TestSubcommandSuggestions:
+    def test_typo_suggests_check(self, capsys):
+        assert query_main(["chek"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown subcommand 'chek'" in err
+        assert "did you mean 'check'?" in err
+
+    def test_typo_suggests_store(self, capsys):
+        assert query_main(["stor"]) == 2
+        assert "did you mean 'store'?" in capsys.readouterr().err
+
+    def test_flags_files_and_gibberish_are_not_typos(self, tmp_path):
+        assert _suggest_subcommand("-q") is None
+        assert _suggest_subcommand("data.cali") is None
+        assert _suggest_subcommand("zzzzqqq") is None
+        existing = tmp_path / "servee"
+        existing.write_text("")
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        try:
+            assert _suggest_subcommand("servee") is None
+        finally:
+            os.chdir(cwd)

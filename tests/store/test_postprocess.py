@@ -1,0 +1,210 @@
+"""Property tests for the statistical postprocessors.
+
+Two invariants back every postprocessor: results match a straightforward
+numpy reference computation, and results are invariant under row
+permutation (the functions order rows internally).
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import Record
+from repro.io import Dataset
+from repro.store import (
+    best_model,
+    clusterize,
+    fit_models,
+    moving_average,
+    regressogram,
+)
+from repro.store.postprocess import PostprocessError
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+).map(lambda v: v + 0.0)  # fold -0.0 into 0.0: they sort as ties but render apart
+points = st.lists(st.tuples(finite, finite), min_size=1, max_size=30)
+
+
+def records_of(pts, group=None):
+    out = []
+    for x, y in pts:
+        entries = {"x": float(x), "y": float(y)}
+        if group is not None:
+            entries["g"] = group
+        out.append(Record(entries))
+    return out
+
+
+def shuffled(records, seed):
+    out = list(records)
+    random.Random(seed).shuffle(out)
+    return out
+
+
+class TestMovingAverage:
+    def test_matches_numpy_reference(self):
+        ys = np.array([1.0, 4.0, 2.0, 8.0, 5.0, 3.0])
+        records = records_of([(float(i), v) for i, v in enumerate(ys)])
+        result = moving_average(records, "y", "x", window=3)
+        got = [r.get("observe.model.value").to_double() for r in result.records]
+        # Centered window of 3, truncated at the edges.
+        want = [
+            float(np.mean(ys[max(0, i - 1) : min(len(ys), i + 2)]))
+            for i in range(len(ys))
+        ]
+        assert got == pytest.approx(want)
+
+    @given(pts=points, seed=st.integers(0, 2**32 - 1), window=st.integers(1, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_invariant(self, pts, seed, window):
+        records = records_of(pts)
+        a = moving_average(records, "y", "x", window=window)
+        b = moving_average(shuffled(records, seed), "y", "x", window=window)
+        assert str(a) == str(b)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(PostprocessError, match="window"):
+            moving_average([], "y", "x", window=0)
+
+
+class TestRegressogram:
+    def test_matches_numpy_histogram_reference(self):
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(0.0, 10.0, size=200)
+        ys = xs * 2.0 + rng.normal(size=200)
+        records = records_of(list(zip(xs, ys)))
+        buckets = 8
+        result = regressogram(records, "y", "x", buckets=buckets)
+        counts, edges = np.histogram(xs, bins=buckets)
+        idx = np.clip(np.searchsorted(edges, xs, side="right") - 1, 0, buckets - 1)
+        by_bucket = {
+            int(r.get("observe.model.bucket").value): r for r in result.records
+        }
+        for b in range(buckets):
+            if counts[b] == 0:
+                assert b not in by_bucket
+                continue
+            row = by_bucket[b]
+            assert row.get("observe.model.count").value == counts[b]
+            assert row.get("observe.model.value").to_double() == pytest.approx(
+                float(np.mean(ys[idx == b]))
+            )
+            assert row.get("observe.model.x.lo").to_double() == pytest.approx(
+                float(edges[b])
+            )
+
+    @given(pts=points, seed=st.integers(0, 2**32 - 1), buckets=st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_invariant(self, pts, seed, buckets):
+        records = records_of(pts)
+        a = regressogram(records, "y", "x", buckets=buckets)
+        b = regressogram(shuffled(records, seed), "y", "x", buckets=buckets)
+        assert str(a) == str(b)
+
+    def test_group_by_partitions(self):
+        records = records_of([(1.0, 1.0), (2.0, 2.0)], group="a") + records_of(
+            [(1.0, 10.0), (2.0, 20.0)], group="b"
+        )
+        result = regressogram(records, "y", "x", buckets=1, group_by=["g"])
+        rows = {
+            r.get("g").to_string(): r.get("observe.model.value").to_double()
+            for r in result.records
+        }
+        assert rows == {"a": pytest.approx(1.5), "b": pytest.approx(15.0)}
+
+
+class TestRegressionModels:
+    def test_linear_fit_matches_polyfit(self):
+        rng = np.random.default_rng(11)
+        xs = np.linspace(1.0, 50.0, 40)
+        ys = 3.0 + 0.7 * xs + rng.normal(scale=0.1, size=40)
+        fit = best_model(records_of(list(zip(xs, ys))), "y", "x", models=["linear"])
+        b_ref, a_ref = np.polyfit(xs, ys, 1)
+        assert fit is not None and fit.kind == "linear"
+        assert fit.a == pytest.approx(float(a_ref))
+        assert fit.b == pytest.approx(float(b_ref))
+        assert fit.r2 > 0.99
+
+    def test_log_model_recovers_log_data(self):
+        xs = np.linspace(1.0, 100.0, 50)
+        ys = 2.0 + 3.0 * np.log(xs)
+        fit = best_model(records_of(list(zip(xs, ys))), "y", "x")
+        assert fit is not None and fit.kind == "log"
+        assert fit.a == pytest.approx(2.0)
+        assert fit.b == pytest.approx(3.0)
+        assert fit.r2 == pytest.approx(1.0)
+        assert fit.predict(float(np.e)) == pytest.approx(5.0)
+
+    def test_best_flag_marks_highest_r2(self):
+        xs = np.linspace(1.0, 100.0, 50)
+        records = records_of(list(zip(xs, 2.0 + 3.0 * np.log(xs))))
+        result = fit_models(records, "y", "x")
+        flags = {
+            r.get("observe.model.model").to_string(): r.get(
+                "observe.model.best"
+            ).value
+            for r in result.records
+        }
+        assert flags == {"linear": False, "log": True}
+
+    def test_degenerate_inputs_yield_nothing(self):
+        # One point, and a zero-variance x — neither admits a fit.
+        assert best_model(records_of([(1.0, 1.0)]), "y", "x") is None
+        assert best_model(records_of([(2.0, 1.0), (2.0, 5.0)]), "y", "x") is None
+
+    @given(pts=points, seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_invariant(self, pts, seed):
+        records = records_of(pts)
+        a = fit_models(records, "y", "x")
+        b = fit_models(shuffled(records, seed), "y", "x")
+        assert str(a) == str(b)
+
+
+class TestClusterize:
+    def test_finds_separated_clusters(self):
+        values = [1.0, 1.05, 1.1, 10.0, 10.2, 100.0]
+        records = [Record({"y": v}) for v in values]
+        result = clusterize(records, "y")
+        rows = [
+            (
+                r.get("observe.model.cluster").value,
+                r.get("observe.model.count").value,
+            )
+            for r in result.records
+        ]
+        assert rows == [(0, 3), (1, 2), (2, 1)]
+
+    @given(
+        values=st.lists(finite, min_size=1, max_size=40),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_invariant(self, values, seed):
+        records = [Record({"y": float(v)}) for v in values]
+        a = clusterize(records, "y")
+        b = clusterize(shuffled(records, seed), "y")
+        assert str(a) == str(b)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(PostprocessError, match="non-negative"):
+            clusterize([], "y", rel_gap=-0.1)
+
+
+class TestModelsAreQueryable:
+    def test_derived_records_answer_calql(self):
+        xs = np.linspace(1.0, 20.0, 20)
+        records = records_of(list(zip(xs, 2.0 * xs)))
+        derived = moving_average(records, "y", "x", window=3)
+        res = Dataset(derived.records).query(
+            "AGGREGATE count, avg(observe.model.value) "
+            "GROUP BY observe.model.kind"
+        )
+        assert len(res.records) == 1
+        row = res.records[0]
+        assert row.get("observe.model.kind").to_string() == "moving_average"
+        assert row.get("count").value == 20

@@ -1,0 +1,251 @@
+"""Tests for the versioned profile store (save/load/lookup/baseline)."""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.common import Record
+from repro.io import Dataset
+from repro.query import QueryEngine
+from repro.store import ProfileStore, StoreError
+
+QUERY = (
+    "AGGREGATE count, sum(time.duration) GROUP BY kernel ORDER BY kernel "
+    "FORMAT table"
+)
+
+
+def sample_result(scale: float = 1.0):
+    records = [
+        Record(
+            {
+                "kernel": f"k{i % 3}",
+                "mpi.rank": i % 4,
+                "time.duration": scale * (0.25 + (i % 7) * 0.5),
+            }
+        )
+        for i in range(60)
+    ]
+    return QueryEngine(QUERY).run(records)
+
+
+def git(repo, *args) -> str:
+    proc = subprocess.run(
+        ["git", "-C", str(repo), *args],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return proc.stdout.strip()
+
+
+@pytest.fixture
+def git_history(tmp_path):
+    """A scripted four-commit git repo: ``(repo_path, [sha0..sha3])``."""
+    repo = tmp_path / "scripted-repo"
+    repo.mkdir()
+    git(repo, "init", "-q")
+    git(repo, "config", "user.email", "tester@example.com")
+    git(repo, "config", "user.name", "Tester")
+    git(repo, "config", "commit.gpgsign", "false")
+    shas = []
+    for i in range(4):
+        (repo / "file.txt").write_text(f"revision {i}\n")
+        git(repo, "add", "file.txt")
+        git(repo, "commit", "-q", "-m", f"commit {i}")
+        shas.append(git(repo, "rev-parse", "HEAD"))
+    return repo, shas
+
+
+class TestSaveLoadRoundTrip:
+    def test_load_restores_identical_result(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        result = sample_result()
+        entry = store.save(
+            result, workload="app.kernels", capture=False, timestamp=100.0
+        )
+        loaded = store.load(entry.profile_id)
+        assert str(loaded) == str(result)
+        assert loaded.preferred_columns == result.preferred_columns
+        assert loaded.format == result.format
+        assert [r.as_dict() for r in loaded.records] == [
+            r.as_dict() for r in result.records
+        ]
+
+    def test_loaded_profile_requeries_identically(self, tmp_path):
+        """The acceptance loop: save -> load -> re-query == direct query."""
+        store = ProfileStore(tmp_path / "store")
+        result = sample_result()
+        entry = store.save(result, workload="w", capture=False)
+        loaded = store.load(entry.profile_id)
+        requery = "AGGREGATE sum(count) GROUP BY kernel ORDER BY kernel"
+        assert str(Dataset(loaded.records).query(requery)) == str(
+            Dataset(result.records).query(requery)
+        )
+
+    def test_identical_saves_deduplicate(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        result = sample_result()
+        a = store.save(result, workload="w", capture=False, timestamp=1.0)
+        b = store.save(result, workload="w", capture=False, timestamp=1.0)
+        assert a.profile_id == b.profile_id
+        assert len(store.entries()) == 1
+
+    def test_provenance_lands_in_globals(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        entry = store.save(
+            sample_result(),
+            workload="w",
+            commit="a" * 40,
+            config={"reps": 10},
+            timestamp=42.0,
+            meta={"host": "ci"},
+            capture=False,
+        )
+        globals_ = store.globals_of(entry.profile_id)
+        assert globals_["profile.workload"].to_string() == "w"
+        assert globals_["run.commit"].to_string() == "a" * 40
+        assert globals_["run.timestamp"].to_double() == 42.0
+        assert globals_["run.host"].to_string() == "ci"
+        assert entry.config_hash is not None
+        assert json.loads(globals_["profile.columns"].to_string())
+
+    def test_empty_workload_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="workload"):
+            ProfileStore(tmp_path / "store").save(
+                sample_result(), workload="", capture=False
+            )
+
+
+class TestResolveAndTags:
+    def test_prefix_and_tag_resolution(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        entry = store.save(
+            sample_result(), workload="w", capture=False, tag="golden"
+        )
+        assert store.resolve(entry.profile_id[:12]) == entry.profile_id
+        assert store.resolve("golden") == entry.profile_id
+        assert "golden" in store.get(entry.profile_id).tags
+
+    def test_unknown_ref_raises(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        with pytest.raises(StoreError, match="no profile matches"):
+            store.resolve("deadbeefdead")
+
+    def test_tag_moves_between_profiles(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        old = store.save(sample_result(1.0), workload="w", capture=False)
+        new = store.save(sample_result(2.0), workload="w", capture=False)
+        store.tag(old.profile_id, "baseline")
+        store.tag(new.profile_id, "baseline")
+        assert store.resolve("baseline") == new.profile_id
+        assert "baseline" not in store.get(old.profile_id).tags
+
+    def test_lookup_filters(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        store.save(
+            sample_result(1.0), workload="a", commit="c1", capture=False,
+            timestamp=1.0,
+        )
+        store.save(
+            sample_result(2.0), workload="b", commit="c2", capture=False,
+            timestamp=2.0,
+        )
+        assert [e.workload for e in store.lookup(workload="a")] == ["a"]
+        assert [e.commit for e in store.lookup(commit="c2")] == ["c2"]
+        assert store.lookup(workload="a", commit="c2") == []
+
+    def test_entries_newest_first(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        for scale, stamp in ((1.0, 10.0), (2.0, 30.0), (3.0, 20.0)):
+            store.save(
+                sample_result(scale), workload="w", capture=False,
+                timestamp=stamp,
+            )
+        assert [e.timestamp for e in store.entries()] == [30.0, 20.0, 10.0]
+
+    def test_corrupt_index_raises_store_error(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        store.save(sample_result(), workload="w", capture=False)
+        (tmp_path / "store" / "index.json").write_text("{not json")
+        with pytest.raises(StoreError, match="unreadable profile index"):
+            store.entries()
+
+
+class TestBaselineResolution:
+    def test_nearest_ancestor_in_scripted_history(self, tmp_path, git_history):
+        repo, shas = git_history
+        store = ProfileStore(tmp_path / "store")
+        for i in (0, 1, 3):
+            store.save(
+                sample_result(float(i + 1)),
+                workload="w",
+                commit=shas[i],
+                capture=False,
+                timestamp=float(i),
+            )
+        # Head at sha3: sha2 has no profile, so the nearest profiled strict
+        # ancestor is sha1 — never sha3's own profile.
+        base = store.baseline("w", commit=shas[3], repo=str(repo))
+        assert base is not None and base.commit == shas[1]
+        # Head at sha1: only sha0 predates it.
+        base = store.baseline("w", commit=shas[1], repo=str(repo))
+        assert base is not None and base.commit == shas[0]
+        # Head at the root commit: nothing strictly precedes it on the
+        # ancestor path, so the fallback picks the newest other profile.
+        base = store.baseline("w", commit=shas[0], repo=str(repo))
+        assert base is not None and base.commit != shas[0]
+
+    def test_explicit_ancestor_list_needs_no_git(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        for i, commit in enumerate(("s0", "s1", "s3")):
+            store.save(
+                sample_result(float(i + 1)), workload="w", commit=commit,
+                capture=False, timestamp=float(i),
+            )
+        base = store.baseline(
+            "w", commit="s3", ancestors=["s3", "s2", "s1", "s0"]
+        )
+        assert base is not None and base.commit == "s1"
+
+    def test_tag_override_wins(self, tmp_path, git_history):
+        repo, shas = git_history
+        store = ProfileStore(tmp_path / "store")
+        oldest = store.save(
+            sample_result(1.0), workload="w", commit=shas[0], capture=False,
+            timestamp=0.0, tag="golden",
+        )
+        store.save(
+            sample_result(2.0), workload="w", commit=shas[1], capture=False,
+            timestamp=1.0,
+        )
+        base = store.baseline("w", commit=shas[3], repo=str(repo), tag="golden")
+        assert base is not None and base.profile_id == oldest.profile_id
+
+    def test_tag_workload_mismatch_raises(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        store.save(
+            sample_result(), workload="other", capture=False, tag="golden"
+        )
+        with pytest.raises(StoreError, match="workload"):
+            store.baseline("w", tag="golden")
+
+    def test_commitless_store_falls_back_to_newest(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        old = store.save(
+            sample_result(1.0), workload="w", capture=False, timestamp=1.0
+        )
+        head = store.save(
+            sample_result(2.0), workload="w", capture=False, timestamp=2.0
+        )
+        # repo points at a non-git directory, so no commit graph exists; the
+        # head profile id is excluded so a run never compares to itself.
+        base = store.baseline(
+            "w", repo=str(tmp_path), exclude=(head.profile_id,)
+        )
+        assert base is not None and base.profile_id == old.profile_id
+
+    def test_no_candidates_yields_none(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        assert store.baseline("w", commit="s1", ancestors=["s1"]) is None
