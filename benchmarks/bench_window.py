@@ -1,0 +1,195 @@
+"""Measure windowed streaming aggregation and write ``BENCH_window.json``.
+
+Two questions about the windowed path (``docs/streaming.md``):
+
+1. **Ingest cost of windowing.** Streams the same timed record set into a
+   plain server and into windowed servers whose window size yields ~10,
+   ~100, and ~1000 live windows, and reports events/second for each — the
+   price of stamping, watermark tracking, and the larger key space.
+2. **Estimate quality.** For a single open window, truncates the stream at
+   several observed fractions and reports the online estimate's relative
+   error against the final (complete) value, plus whether the nominal-90%
+   confidence interval brackets the truth — the estimate-vs-final error
+   curve.
+
+Usage::
+
+    python benchmarks/bench_window.py                  # full pass
+    python benchmarks/bench_window.py --smoke          # CI-sized quick pass
+    python benchmarks/bench_window.py --smoke --check  # + assert sanity floors
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.common import Record, Variant  # noqa: E402
+from repro.net import AggregationServer, FlushClient  # noqa: E402
+
+BASE_SCHEME = "AGGREGATE count, sum(v) GROUP BY k"
+SPAN = 1000.0  # event-time extent of every synthetic stream, seconds
+
+
+def synth_records(n: int, keys: int = 10) -> list[Record]:
+    """In-order timed records covering event time [0, SPAN)."""
+    step = SPAN / n
+    return [
+        Record.from_variants(
+            {
+                "k": Variant.of(f"k{i % keys}"),
+                "time.start": Variant.of(i * step),
+                "v": Variant.of(0.25 * (i % 8)),
+            }
+        )
+        for i in range(n)
+    ]
+
+
+def bench_ingest(records: list[Record], window_size: float | None,
+                 batch_size: int) -> dict:
+    scheme = BASE_SCHEME
+    kwargs = {}
+    if window_size is not None:
+        scheme += f" WINDOW tumbling({window_size:g}s)"
+        kwargs["lateness"] = 0.0
+    with AggregationServer(scheme, shards=2, **kwargs) as server:
+        host, port = server.address
+        client = FlushClient(
+            host, port, scheme=BASE_SCHEME, client_id="bench",
+            batch_size=batch_size,
+        )
+        t0 = time.perf_counter()
+        if not client.send_records(records):
+            raise RuntimeError("delivery failed")
+        seconds = time.perf_counter() - t0
+        client.close()
+        results = server.drain_results()
+    return {
+        "window_size": window_size,
+        "windows": None if window_size is None else int(SPAN / window_size),
+        "records": len(records),
+        "seconds": seconds,
+        "records_per_second": len(records) / seconds,
+        "output_groups": len(results),
+    }
+
+
+def bench_estimates(n: int, fractions: list[float]) -> list[dict]:
+    """Estimate-vs-final error for one open window at several fractions."""
+    scheme = f"AGGREGATE count, sum(v) GROUP BY k WINDOW tumbling({SPAN:g}s)"
+    records = synth_records(n, keys=1)
+    truth_count = float(n)
+    truth_sum = sum(float(r.get("v").value) for r in records)
+    rows = []
+    for fraction in fractions:
+        cut = max(1, int(n * fraction))
+        with AggregationServer(scheme, shards=1, lateness=0.0) as server:
+            host, port = server.address
+            client = FlushClient(host, port, scheme=BASE_SCHEME, client_id="b")
+            client.send_records(records[:cut])
+            client.close()
+            estimates = server.estimate_results()
+        if len(estimates) != 1:
+            raise RuntimeError(f"expected one open window, got {len(estimates)}")
+        cols = {k: v.value for k, v in estimates[0].items()}
+        rows.append(
+            {
+                "fraction": cols["est.fraction"],
+                "samples": cols["est.samples"],
+                "count_error": abs(cols["est#count"] - truth_count) / truth_count,
+                "sum_error": abs(cols["est#sum#v"] - truth_sum) / truth_sum,
+                "count_covered": cols["est.lo#count"] <= truth_count <= cols["est.hi#count"],
+                "sum_covered": cols["est.lo#sum#v"] <= truth_sum <= cols["est.hi#sum#v"],
+                "count_interval_rel_width": (cols["est.hi#count"] - cols["est.lo#count"]) / truth_count,
+            }
+        )
+        print(
+            f"fraction={rows[-1]['fraction']:.2f}: "
+            f"count err {rows[-1]['count_error'] * 100:.2f}% "
+            f"(CI covers: {rows[-1]['count_covered']}), "
+            f"sum err {rows[-1]['sum_error'] * 100:.2f}%"
+        )
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=50_000,
+                        help="records per ingest run")
+    parser.add_argument("--batch-size", type=int, default=500)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized quick pass")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert windowed ingest stays within 10x of plain and the "
+        "uniform-stream estimates land within 10%% of the final value",
+    )
+    parser.add_argument("--output", default="BENCH_window.json")
+    args = parser.parse_args()
+    if args.smoke:
+        args.records = min(args.records, 6_000)
+
+    records = synth_records(args.records)
+    ingest_runs = []
+    # None = plain (unwindowed) baseline; sizes chosen for 10/100/1000 windows
+    for window_size in (None, SPAN / 10, SPAN / 100, SPAN / 1000):
+        run = bench_ingest(records, window_size, args.batch_size)
+        ingest_runs.append(run)
+        label = "plain" if window_size is None else f"{run['windows']} windows"
+        print(
+            f"{label:>14}: {run['records_per_second']:,.0f} records/s "
+            f"({run['output_groups']} output groups)"
+        )
+
+    print()
+    estimate_runs = bench_estimates(
+        n=2_000 if args.smoke else 20_000,
+        fractions=[0.1, 0.25, 0.5, 0.75, 0.9],
+    )
+
+    payload = {
+        "benchmark": "windowed-streaming",
+        "scheme": BASE_SCHEME,
+        "records": args.records,
+        "batch_size": args.batch_size,
+        "ingest_runs": ingest_runs,
+        "estimate_runs": estimate_runs,
+    }
+    with open(args.output, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.check:
+        failures = []
+        plain = ingest_runs[0]["records_per_second"]
+        for run in ingest_runs[1:]:
+            if run["records_per_second"] < plain / 10:
+                failures.append(
+                    f"{run['windows']} windows: {run['records_per_second']:.0f} "
+                    f"records/s is worse than 10x below plain ({plain:.0f})"
+                )
+        for row in estimate_runs:
+            # the stream is time-uniform, so the extrapolation should be tight
+            if row["count_error"] > 0.10 or row["sum_error"] > 0.10:
+                failures.append(
+                    f"fraction {row['fraction']:.2f}: estimate error "
+                    f"count {row['count_error']:.3f} / sum {row['sum_error']:.3f} "
+                    "exceeds 10%"
+                )
+        if failures:
+            print("CHECK FAILED:\n  " + "\n  ".join(failures), file=sys.stderr)
+            return 1
+        print("check passed: windowed ingest within 10x of plain, "
+              "estimates within 10% on a uniform stream")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,10 @@ deployment:
    consistent merged snapshot of the in-flight shards — ingestion never
    pauses;
 4. drain the final merged profile and show the server's own
-   ``observe.*`` telemetry, itself CalQL-queryable.
+   ``observe.*`` telemetry, itself CalQL-queryable;
+5. rerun the topology with a ``WINDOW`` scheme — event-time windows,
+   online confidence-interval estimates for the open windows, and
+   watermark-driven retirement of the closed ones (``docs/streaming.md``).
 
 The same topology works across machines: ``repro-query serve`` runs the
 daemon, ``repro-query live "<CalQL>"`` queries it from anywhere.
@@ -21,7 +24,8 @@ Run: ``python examples/live_aggregation_service.py``
 """
 
 from repro import Caliper, VirtualClock, run_query
-from repro.net import AggregationServer, live_query
+from repro.common import Record, Variant
+from repro.net import AggregationServer, FlushClient, live_query
 from repro.report import format_table
 
 SCHEME = "AGGREGATE count, sum(time.duration) GROUP BY function, process"
@@ -88,6 +92,72 @@ def main() -> None:
         )
         print("server telemetry (CalQL over observe.* records):")
         print(stats)
+        print()
+
+    windowed()
+
+
+def windowed() -> None:
+    """The same service in windowed-streaming mode.
+
+    Records carry an event time (``time.start``); the scheme's WINDOW
+    clause makes the server stamp each record into a 10-second tumbling
+    window. The watermark (max event time per source, minus the allowed
+    lateness) retires windows as they close; open windows answer with
+    extrapolated estimates and confidence intervals.
+    """
+    scheme = (
+        "AGGREGATE count, sum(time.duration) GROUP BY function "
+        "WINDOW tumbling(10s)"
+    )
+    base = "AGGREGATE count, sum(time.duration) GROUP BY function"
+
+    def rec(function: str, start: float, duration: float) -> Record:
+        return Record.from_variants(
+            {
+                "function": Variant.of(function),
+                "time.start": Variant.of(start),
+                "time.duration": Variant.of(duration),
+            }
+        )
+
+    with AggregationServer(scheme, shards=2, lateness=1.0) as server:
+        host, port = server.address
+        print(f"windowed server on {host}:{port} "
+              f"({server.window_assigner.describe()}, lateness 1s)\n")
+
+        # one producer streams 35 seconds of in-order events
+        with FlushClient(host, port, scheme=base, client_id="producer") as c:
+            t = 0.0
+            while t < 35.0:
+                for kernel, cost in KERNELS:
+                    c.push(rec(kernel, t, cost))
+                    t += cost
+            c.flush()
+
+            # open windows: extrapolated totals with confidence bounds
+            est = live_query(
+                host,
+                port,
+                "SELECT function, window.start, est#count, est.lo#count, "
+                "est.hi#count, est.fraction ORDER BY window.start, function",
+                target="estimate",
+            )
+            print(f"open-window estimates (watermark {server.watermark()}):")
+            print(est)
+            print()
+
+        # the watermark has passed windows [0,10) .. [20,30): retire them
+        server.retire_now()
+        ret = live_query(
+            host,
+            port,
+            "AGGREGATE sum(count) GROUP BY window.start, window.end "
+            "ORDER BY window.start",
+            target="retired",
+        )
+        print("retired (final, immutable) windows:")
+        print(ret)
 
 
 if __name__ == "__main__":

@@ -335,6 +335,30 @@ class AggregationDB:
         # epoch bump tells their owners to drop them.
         self.table_epoch += 1
 
+    def pop_entries(self, predicate) -> list[tuple[dict[str, Variant], list[list]]]:
+        """Remove entries matching ``predicate`` and export them.
+
+        ``predicate`` receives each entry's reconstructed key attributes
+        (``{label: Variant}``) and returns True to pop it.  Popped entries
+        are returned in :meth:`export_states` form (the states are the live
+        lists — the entry no longer belongs to this DB, so the caller owns
+        them).  Windowed aggregation uses this to retire closed windows and
+        free their state.
+        """
+        entries_of = self._extractor.entries
+        doomed = []
+        for key in self._table:
+            entries = dict(entries_of(key))
+            if predicate(entries):
+                doomed.append((key, entries))
+        if not doomed:
+            return []
+        out = [(entries, self._table.pop(key)) for key, entries in doomed]
+        # Popped state lists may be cached by compiled fold closures; the
+        # epoch bump invalidates those caches exactly like clear().
+        self.table_epoch += 1
+        return out
+
     # -- introspection ---------------------------------------------------------
 
     def __len__(self) -> int:

@@ -38,6 +38,7 @@ __all__ = [
     "AvgOp",
     "VarianceOp",
     "StddevOp",
+    "MomentsOp",
     "HistogramOp",
     "FirstOp",
     "RatioOp",
@@ -328,6 +329,25 @@ class StddevOp(VarianceOp):
         if var is None:
             return []
         return [(self.output_labels()[0], Variant(ValueType.DOUBLE, math.sqrt(var)))]
+
+
+class MomentsOp(VarianceOp):
+    """``est_moments(x)`` — hidden moment accumulator for online estimates.
+
+    Shares the exact [n, sum, sum-of-squares] state (and wire encoding) of
+    ``variance`` but emits *no* output entries: the windowed estimator layer
+    reads the raw state to build CLT confidence intervals for open windows.
+    It is registered so augmented scheme text round-trips through
+    ``parse_scheme`` across relay handshakes and spool replay.
+    """
+
+    name = "est_moments"
+
+    def output_labels(self) -> list[str]:
+        return []
+
+    def results(self, state: list) -> list[tuple[str, Variant]]:
+        return []
 
 
 class HistogramOp(_NumericOp):
@@ -705,6 +725,7 @@ def default_registry() -> OperatorRegistry:
     reg.register("mean", lambda args: AvgOp(args))  # alias
     reg.register("variance", lambda args: VarianceOp(args))
     reg.register("stddev", lambda args: StddevOp(args))
+    reg.register("est_moments", lambda args: MomentsOp(args))
     reg.register("histogram", _make_histogram)
     reg.register("first", lambda args: FirstOp(args))
     reg.register("any", lambda args: FirstOp(args))  # alias

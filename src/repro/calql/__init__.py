@@ -26,6 +26,7 @@ from .ast import (
     OrderSpec,
     Query,
     Ref,
+    WindowSpec,
 )
 from .lexer import Token, TokenType, tokenize
 from .parser import parse_query
@@ -46,6 +47,7 @@ __all__ = [
     "Query",
     "OpCall",
     "OrderSpec",
+    "WindowSpec",
     "Condition",
     "Exists",
     "NotCond",

@@ -26,6 +26,7 @@ __all__ = [
     "BinExpr",
     "LetBinding",
     "OrderSpec",
+    "WindowSpec",
     "Query",
 ]
 
@@ -157,6 +158,30 @@ class OrderSpec:
 
 
 @dataclass(frozen=True)
+class WindowSpec:
+    """``WINDOW tumbling(30s)`` / ``WINDOW sliding(1m, 10s)``.
+
+    ``size`` and ``slide`` are seconds; ``slide`` is ``None`` for tumbling
+    windows.  Duration rendering round-trips through
+    :func:`repro.window.assign.format_duration`.
+    """
+
+    kind: str  # "tumbling" | "sliding"
+    size: float
+    slide: Optional[float] = None
+
+    def unparse(self) -> str:
+        from ..window.assign import format_duration
+
+        if self.kind == "sliding":
+            return (
+                f"WINDOW sliding({format_duration(self.size)}, "
+                f"{format_duration(self.slide)})"
+            )
+        return f"WINDOW tumbling({format_duration(self.size)})"
+
+
+@dataclass(frozen=True)
 class Query:
     """A parsed CalQL query.
 
@@ -172,6 +197,7 @@ class Query:
     where: tuple[Condition, ...] = ()
     order_by: tuple[OrderSpec, ...] = ()
     let: tuple[LetBinding, ...] = ()
+    window: Optional[WindowSpec] = None
     format: Optional[str] = None
     limit: Optional[int] = None
 
@@ -198,6 +224,8 @@ class Query:
             parts.append("WHERE " + ", ".join(c.unparse() for c in self.where))
         if self.group_by:
             parts.append("GROUP BY " + ", ".join(self.group_by))
+        if self.window:
+            parts.append(self.window.unparse())
         if self.order_by:
             parts.append("ORDER BY " + ", ".join(o.unparse() for o in self.order_by))
         if self.limit is not None:

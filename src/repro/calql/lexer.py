@@ -53,6 +53,7 @@ KEYWORDS = frozenset(
         "by",
         "where",
         "order",
+        "window",
         "format",
         "limit",
         "let",

@@ -9,8 +9,11 @@ Grammar (clauses may appear in any order, each at most once)::
                 |  'WHERE'     cond (',' cond)*
                 |  'ORDER' 'BY' label ['ASC'|'DESC'] (',' ...)*
                 |  'LET'       ident '=' expr (',' ...)*
+                |  'WINDOW'    ('tumbling' '(' duration ')'
+                               | 'sliding' '(' duration ',' duration ')')
                 |  'FORMAT'    ident
                 |  'LIMIT'     number
+    duration   :=  number [unit]          # unit: ms | s | m | h (default s)
     select_item := label | op_call
     agg_item    := label_or_op     # bare 'count' means the count operator
     op_call     := ident '(' arg (',' arg)* ')'
@@ -45,6 +48,7 @@ from .ast import (
     OrderSpec,
     Query,
     Ref,
+    WindowSpec,
 )
 from .lexer import Token, TokenType, tokenize
 
@@ -110,6 +114,7 @@ class _Parser:
         where: list[Condition] = []
         order_by: list[OrderSpec] = []
         let: list[LetBinding] = []
+        window: Optional[WindowSpec] = None
         fmt: Optional[str] = None
         limit: Optional[int] = None
         seen: set[str] = set()
@@ -140,6 +145,8 @@ class _Parser:
                 order_by.extend(self.parse_order_list())
             elif clause == "let":
                 let.extend(self.parse_let_list())
+            elif clause == "window":
+                window = self.parse_window_spec()
             elif clause == "format":
                 fmt = self.expect(TokenType.IDENT).text
             elif clause == "limit":
@@ -157,6 +164,7 @@ class _Parser:
             where=tuple(where),
             order_by=tuple(order_by),
             let=tuple(let),
+            window=window,
             format=fmt,
             limit=limit,
         )
@@ -241,6 +249,51 @@ class _Parser:
             if not self.accept(TokenType.COMMA):
                 break
         return specs
+
+    # WINDOW ------------------------------------------------------------------
+
+    _DURATION_UNITS = {"ms": 1e-3, "s": 1.0, "m": 60.0, "h": 3600.0}
+
+    def parse_window_spec(self) -> WindowSpec:
+        kind_tok = self.expect(TokenType.IDENT)
+        kind = kind_tok.text.lower()
+        if kind not in ("tumbling", "sliding"):
+            raise self.error(
+                f"WINDOW wants tumbling(..) or sliding(..), got {kind_tok.text!r}"
+            )
+        self.expect(TokenType.LPAREN)
+        size = self.parse_duration()
+        slide: Optional[float] = None
+        if kind == "sliding":
+            self.expect(TokenType.COMMA)
+            slide = self.parse_duration()
+            if slide > size:
+                raise self.error(
+                    "sliding window slide larger than its size would drop events"
+                )
+        self.expect(TokenType.RPAREN)
+        return WindowSpec(kind, size, slide)
+
+    def parse_duration(self) -> float:
+        """A duration literal: NUMBER with an optional glued unit ident.
+
+        ``30s`` lexes as NUMBER(30) IDENT(s); a bare number means seconds.
+        """
+        num = self.expect(TokenType.NUMBER)
+        value = float(num.text)
+        if self.check(TokenType.IDENT):
+            unit = self.current.text.lower()
+            scale = self._DURATION_UNITS.get(unit)
+            if scale is None:
+                raise self.error(
+                    f"unknown duration unit {self.current.text!r} "
+                    "(use ms, s, m or h)"
+                )
+            self.advance()
+            value *= scale
+        if value <= 0:
+            raise self.error("window durations must be positive")
+        return value
 
     # WHERE -------------------------------------------------------------------
 

@@ -71,6 +71,17 @@ def validate(query: Query, registry: Optional[OperatorRegistry] = None) -> None:
     if len(set(let_names)) != len(let_names):
         dupes = sorted({n for n in let_names if let_names.count(n) > 1})
         raise CalQLSemanticError(f"duplicate LET binding(s): {', '.join(dupes)}")
+    if query.window is not None:
+        if not query.ops:
+            raise CalQLSemanticError(
+                "WINDOW without aggregation operators; add an AGGREGATE clause"
+            )
+        for label in ("window.start", "window.end"):
+            if label in query.effective_key():
+                raise CalQLSemanticError(
+                    f"WINDOW adds the {label!r} key attribute; "
+                    "remove it from GROUP BY"
+                )
     # Instantiating catches arity and parameter errors early.
     instantiate_ops(query, registry)
 
@@ -263,9 +274,16 @@ def build_scheme(
         )
     ops = instantiate_ops(query, registry)
     predicate = compile_conditions(query.where)
+    key = query.effective_key()
+    if query.window is not None:
+        # Windows are ordinary key attributes: every downstream layer
+        # (shards, relays, wire formats, columnar backend) groups by them
+        # like any other label.  Records are stamped before folding — see
+        # repro.window.assign.
+        key = tuple(key) + ("window.start", "window.end")
     return AggregationScheme(
         ops=ops,
-        key=query.effective_key(),
+        key=key,
         predicate=predicate,
         key_strategy=key_strategy,
     )

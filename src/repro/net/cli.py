@@ -95,6 +95,42 @@ def build_serve_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="depth in the tree, root = 0 (default: learned from the parent)",
     )
+    windowed = parser.add_argument_group("windowed streaming")
+    windowed.add_argument(
+        "--window",
+        metavar="SPEC",
+        help='window assigner, e.g. "tumbling(30s)" or "sliding(1m, 10s)" '
+        "(a WINDOW clause in --scheme works too)",
+    )
+    windowed.add_argument(
+        "--lateness",
+        type=float,
+        default=0.0,
+        metavar="SEC",
+        help="bounded lateness: how far behind its source's stream front an "
+        "event may arrive before it is dropped as late (default 0)",
+    )
+    windowed.add_argument(
+        "--time-attribute",
+        metavar="LABEL",
+        help="record attribute holding the event time (default time.start, "
+        "falling back to accumulated time.duration)",
+    )
+    windowed.add_argument(
+        "--retire-interval",
+        type=float,
+        default=0.0,
+        metavar="SEC",
+        help="retire closed windows every SEC seconds (root only; 0 = only "
+        "on demand)",
+    )
+    windowed.add_argument(
+        "--confidence",
+        type=float,
+        default=0.90,
+        metavar="P",
+        help="confidence level for online estimates (default 0.90)",
+    )
     return parser
 
 
@@ -145,9 +181,11 @@ def build_live_parser() -> argparse.ArgumentParser:
     parser.add_argument("--port", type=int, required=True, help="server port")
     parser.add_argument(
         "--target",
-        choices=("aggregate", "telemetry"),
+        choices=("aggregate", "telemetry", "estimate", "retired"),
         default="aggregate",
-        help="query the aggregated data (default) or the server's own metrics",
+        help="query the aggregated data (default), the server's own metrics, "
+        "or — on a windowed server — open-window estimates with confidence "
+        "intervals ('estimate') / finalized windows only ('retired')",
     )
     parser.add_argument(
         "--timeout", type=float, default=10.0, help="connection timeout in seconds"
@@ -163,6 +201,13 @@ def build_live_parser() -> argparse.ArgumentParser:
         type=int,
         metavar="N",
         help="with --interval, stop after N iterations",
+    )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="watch mode tuned for windowed streams: repeat the query "
+        "(default every 1s) printing a timestamped per-window snapshot "
+        "each round; pairs naturally with --target estimate",
     )
     return parser
 
@@ -181,6 +226,11 @@ def serve_main(argv: Sequence[str]) -> int:
             failover_after=args.failover_after,
             relay_id=args.relay_id,
             level=args.level,
+            window=args.window,
+            lateness=args.lateness,
+            time_attribute=args.time_attribute,
+            retire_interval=args.retire_interval,
+            confidence=args.confidence,
         )
         server.start()
     except (ReproError, OSError, ValueError) as exc:
@@ -188,9 +238,12 @@ def serve_main(argv: Sequence[str]) -> int:
         return 1
     host, port = server.address
     role = f"relay -> {args.upstream}" if args.upstream else "root"
+    windowed = ""
+    if server.windowed:
+        windowed = f", windowed {server.window_assigner.describe()}"
     print(
         f"serving {args.scheme!r} on {host}:{port} "
-        f"({role}, {args.shards} shards, epoch {server.epoch})",
+        f"({role}, {args.shards} shards{windowed}, epoch {server.epoch})",
         file=sys.stderr,
     )
     try:
@@ -205,6 +258,9 @@ def serve_main(argv: Sequence[str]) -> int:
 
 def live_main(argv: Sequence[str]) -> int:
     args = build_live_parser().parse_args(argv)
+    interval = args.interval
+    if args.follow and not interval:
+        interval = 1.0
     iteration = 0
     while True:
         iteration += 1
@@ -215,11 +271,19 @@ def live_main(argv: Sequence[str]) -> int:
         except (ReproError, OSError) as exc:
             print(f"repro-query live: error: {exc}", file=sys.stderr)
             return 1
+        except KeyboardInterrupt:
+            return 0
+        if args.follow:
+            stamp = time.strftime("%H:%M:%S")
+            print(f"-- {stamp} {args.target} snapshot ({len(result.records)} rows) --")
         print(str(result))
-        if not args.interval or (args.count and iteration >= args.count):
+        if not interval or (args.count and iteration >= args.count):
             return 0
         sys.stdout.flush()
-        time.sleep(args.interval)
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def tree_main(argv: Sequence[str]) -> int:

@@ -281,6 +281,7 @@ class FlushClient:
         processed: int = 0,
         telemetry: Optional[list[dict]] = None,
         scheme: Optional[str] = None,
+        watermark: Optional[float] = None,
     ) -> bool:
         """Ship a reduction-tree FORWARD delta (already wire-encoded groups).
 
@@ -304,6 +305,10 @@ class FlushClient:
         }
         if telemetry:
             body["telemetry"] = telemetry
+        if watermark is not None:
+            # Windowed streaming: the sender's event-time watermark rides the
+            # delta that contains every record below it (see forward_now).
+            body["watermark"] = float(watermark)
         return self._spool_and_deliver("forward", body)
 
     def send_retract(

@@ -99,6 +99,17 @@ __all__ = ["AggregationServer"]
 _KEY_SEP = "\x1f"
 
 
+def _window_closed(floor: float):
+    """Predicate over exported key entries: window closed below ``floor``."""
+    from ..window.db import window_end_of
+
+    def closed(entries) -> bool:
+        end = window_end_of(entries)
+        return end is not None and end <= floor
+
+    return closed
+
+
 class _Shard:
     """One aggregation shard: a bounded queue feeding a worker thread.
 
@@ -161,6 +172,14 @@ class _Shard:
                     self.db.num_offered = 0
                     self.db.num_processed = 0
                     event.set()
+                elif kind == "retire":
+                    # Windowed retirement barrier: pop every entry whose
+                    # window closed below the floor.  Runs on the worker
+                    # thread in queue order, so every batch acknowledged
+                    # before the barrier is inside the popped state.
+                    _, event, slot, floor = item
+                    slot["groups"] = self.db.pop_entries(_window_closed(floor))
+                    event.set()
                 elif kind == "stop":
                     item[1].set()
                     return
@@ -169,7 +188,7 @@ class _Shard:
                 # the handler-side decoders validate shapes, but defence in
                 # depth keeps one bad item from stalling every connection.
                 self.metrics.count("net.errors", stage="shard")
-                if kind in ("export", "export_clear"):
+                if kind in ("export", "export_clear", "retire"):
                     item[1].set()
 
 
@@ -197,13 +216,66 @@ class AggregationServer:
         level: Optional[int] = None,
         forward_spool_dir: Optional[str] = None,
         binary: bool = True,
+        window=None,
+        lateness: float = 0.0,
+        time_attribute: Optional[str] = None,
+        retire_interval: float = 0.0,
+        confidence: float = 0.90,
     ) -> None:
+        window_spec = window
         if isinstance(scheme, str):
-            from ..calql import parse_scheme  # deferred: calql builds on aggregate
+            from ..calql import parse_query  # deferred: calql builds on aggregate
+            from ..calql.semantics import build_scheme
 
-            scheme = parse_scheme(scheme)
+            query = parse_query(scheme)
+            if window_spec is None and query.window is not None:
+                # "GROUP BY k WINDOW tumbling(30s)" turns the server into a
+                # windowed streaming aggregator directly from the scheme text.
+                window_spec = query.window
+            scheme = build_scheme(query)
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
+
+        # -- windowed streaming mode ------------------------------------------
+        self.window_assigner = None
+        self.windowed = False
+        if window_spec is not None:
+            from ..window import (
+                DEFAULT_TIME_ATTRIBUTE,
+                WatermarkTracker,
+                WindowEstimator,
+                make_assigner,
+            )
+            from ..window.db import dewindowize_scheme, windowize_scheme
+
+            self.window_assigner = make_assigner(window_spec)
+            self.windowed = True
+            # The shards aggregate the *windowized* scheme: window.start/end
+            # join the key, and hidden est_moments ops accumulate the
+            # second moments the online estimator needs.  Producers may
+            # still HELLO with the plain base scheme — they stream raw
+            # records and this server stamps them.
+            scheme = windowize_scheme(scheme)
+            self._base_scheme_text = dewindowize_scheme(scheme).describe()
+            self.window_lateness = float(lateness)
+            self.window_time_attribute = time_attribute or DEFAULT_TIME_ATTRIBUTE
+            self.window_confidence = float(confidence)
+            self.retire_interval = retire_interval
+            #: guards the tracker, per-source clocks, retired DB, and floor.
+            #: Lock order: _forward_lock before _window_lock, never reversed.
+            self._window_lock = threading.Lock()
+            self._window_tracker = WatermarkTracker(self.window_lateness)
+            self._window_clocks: dict[str, object] = {}
+            self._window_estimator = WindowEstimator(
+                scheme, confidence=self.window_confidence
+            )
+            #: retired windows' merged final states — combine semantics, so a
+            #: straggler that raced a retirement barrier merges exactly into
+            #: its window instead of duplicating it
+            self._retired_db = AggregationDB(scheme, fold_plan="generic")
+            self._retire_floor: Optional[float] = None
+            self._window_late = 0
+            self._retire_thread: Optional[threading.Thread] = None
         self.scheme = scheme
         self.host = host
         self.port = port
@@ -303,6 +375,18 @@ class AggregationServer:
                     target=self._forward_loop, name="repro-net-forward", daemon=True
                 )
                 self._forward_thread.start()
+        if (
+            self.windowed
+            and not self.is_relay
+            and self.retire_interval
+            and self.retire_interval > 0
+        ):
+            # Only the root retires: relays clear their shards every forward
+            # cycle, so closed-window state never accumulates there.
+            self._retire_thread = threading.Thread(
+                target=self._retire_loop, name="repro-net-retire", daemon=True
+            )
+            self._retire_thread.start()
         return self
 
     @property
@@ -342,6 +426,9 @@ class AggregationServer:
         if self._forward_thread is not None:
             self._forward_thread.join(timeout=timeout)
             self._forward_thread = None
+        if self.windowed and self._retire_thread is not None:
+            self._retire_thread.join(timeout=timeout)
+            self._retire_thread = None
         if self.is_relay and self._forward_client is not None:
             # Final forward: the shards are quiescent now, so this ships the
             # residue (and any pending retraction) upstream before goodbye.
@@ -454,6 +541,15 @@ class AggregationServer:
                 if self._stopping.is_set():
                     return
 
+    def _retire_loop(self) -> None:
+        while not self._stopping.wait(timeout=self.retire_interval):
+            try:
+                self.retire_now()
+            except ReproError:
+                self.metrics.count("net.errors", stage="retire")
+                if self._stopping.is_set():
+                    return
+
     def forward_now(self, final: bool = False) -> bool:
         """Run one forward cycle: retracts first, then every pending delta.
 
@@ -467,6 +563,14 @@ class AggregationServer:
         if not self.is_relay:
             raise ReproError("forward_now() requires relay mode (upstream=)")
         client = self._forward_client
+        watermark = None
+        if self.windowed:
+            # Captured *before* the export barrier: every record that
+            # advanced the tracker to this mark was folded before the
+            # barrier, so the delta carrying the mark also carries all data
+            # below it — the invariant root-side retirement relies on.
+            with self._window_lock:
+                watermark = self._window_tracker.watermark()
         with self._forward_lock:
             retracts = sorted(self._pending_retracts)
             self._pending_retracts.clear()
@@ -497,9 +601,11 @@ class AggregationServer:
                 )
                 and ok
             )
-        if own_groups or own_offered or own_processed or final:
+        if own_groups or own_offered or own_processed or final or watermark is not None:
             # Sent last so the piggybacked telemetry already counts this
             # cycle's pass-through traffic (it can never include itself).
+            # A windowed relay forwards even an empty cycle: the piggybacked
+            # watermark is what lets the root retire windows.
             ok = (
                 client.send_forward(
                     own_groups,
@@ -509,6 +615,7 @@ class AggregationServer:
                     offered=own_offered,
                     processed=own_processed,
                     telemetry=self._tree_telemetry(),
+                    watermark=watermark,
                 )
                 and ok
             )
@@ -659,6 +766,15 @@ class AggregationServer:
             db.load_states(
                 slot["states"], offered=slot["offered"], processed=slot["processed"]
             )
+        if self.windowed:
+            # Retired windows were popped out of the shards; totals must
+            # still include them.
+            with self._window_lock:
+                retired = [
+                    (entries, [list(s) for s in states])
+                    for entries, states in self._retired_db.export_states()
+                ]
+            db.load_states(retired)
         self.metrics.timing("net.merge", time.perf_counter() - start)
         return db
 
@@ -666,13 +782,117 @@ class AggregationServer:
         """Flushed output records over everything ingested so far."""
         return self.merged_db().flush()
 
+    # -- windowed streaming: watermarks, retirement, estimates --------------------
+
+    def watermark(self) -> Optional[float]:
+        """The current global event-time watermark (None before any event)."""
+        if not self.windowed:
+            return None
+        with self._window_lock:
+            return self._window_tracker.watermark()
+
+    def retire_now(self) -> list[Record]:
+        """Finalize every window closed below the current watermark.
+
+        Pops closed windows' state out of the shards and the forwarded
+        per-origin DBs, merges it into the retired-results DB, and returns
+        the newly retired windows' final records.  Only meaningful at the
+        tree root: relays clear their shards every forward cycle, so their
+        windows retire upstream.
+
+        Exactness across retirement: a window retires only once the
+        min-over-active-senders watermark passes its end, which (with the
+        forward cycle's capture-then-export ordering and the per-sender FIFO
+        spool) means every record below that end has been folded here.  Any
+        record for a retired window that shows up later — a genuinely late
+        event, or a spool replay after a mid-tree failover whose data is
+        already inside the retired result — has an event time below the
+        watermark and is dropped as late by :meth:`_window_stamp` /
+        :meth:`_on_forward`.
+        """
+        if not self.windowed:
+            raise ReproError("retire_now() requires a windowed server")
+        if self.is_relay:
+            raise ReproError("relays do not retire windows; query the root")
+        with self._window_lock:
+            mark = self._window_tracker.watermark()
+        if mark is None:
+            return []
+        popped: list = []
+        pending: list[tuple[Optional[threading.Event], dict, "_Shard"]] = []
+        closed = _window_closed(mark)
+        for shard in self._shards:
+            if shard.thread is None or not shard.thread.is_alive():
+                pending.append((None, {"groups": shard.db.pop_entries(closed)}, shard))
+                continue
+            event = threading.Event()
+            slot: dict = {}
+            self._enqueue(shard, ("retire", event, slot, mark))
+            pending.append((event, slot, shard))
+        for event, slot, shard in pending:
+            if event is not None:
+                while not event.wait(timeout=0.2):
+                    if shard.thread is None or not shard.thread.is_alive():
+                        slot["groups"] = shard.db.pop_entries(closed)
+                        break
+            popped.extend(slot.get("groups", ()))
+        with self._forward_lock:
+            for db in self._forwarded.values():
+                popped.extend(db.pop_entries(closed))
+        with self._window_lock:
+            if self._retire_floor is None or mark > self._retire_floor:
+                self._retire_floor = mark
+        if not popped:
+            return []
+        fresh = AggregationDB(self.scheme, fold_plan="generic")
+        fresh.load_states(popped)
+        with self._window_lock:
+            self._retired_db.load_states(
+                [
+                    (entries, [list(s) for s in states])
+                    for entries, states in fresh.export_states()
+                ]
+            )
+        records = fresh.flush()
+        windows = {
+            (r.get("window.start").value, r.get("window.end").value) for r in records
+        }
+        self.metrics.count("window.retired", len(windows))
+        return records
+
+    def retired_results(self) -> list[Record]:
+        """Final records for every window retired so far."""
+        if not self.windowed:
+            raise ReproError("retired_results() requires a windowed server")
+        with self._window_lock:
+            return self._retired_db.flush()
+
+    def estimate_results(self) -> list[Record]:
+        """Open windows' partial aggregates plus confidence intervals.
+
+        A consistent snapshot of the open-window state (shards + forwarded
+        DBs, *excluding* retired windows) rendered through the PF-OLA
+        estimator: every record carries ``est#...``/``est.lo#...``/
+        ``est.hi#...`` columns plus ``est.fraction`` and ``est.samples``.
+        """
+        if not self.windowed:
+            raise ReproError("estimate_results() requires a windowed server")
+        db = AggregationDB(self.scheme, fold_plan="generic")
+        for slot in self._snapshot_states():
+            db.load_states(slot["states"])
+        with self._window_lock:
+            mark = self._window_tracker.watermark()
+        return self._window_estimator.estimate_records(db.export_states(), mark)
+
     def run_query(self, text: str, target: str = "aggregate"):
         """Run CalQL against the live merged state (or the telemetry).
 
         ``target="aggregate"`` queries the flushed output of a consistent
         merged snapshot — the two-stage workflow of Section VI-B with the
         first stage still running.  ``target="telemetry"`` queries the
-        server's own ``observe.*`` metric records instead.
+        server's own ``observe.*`` metric records instead.  Windowed servers
+        add ``target="estimate"`` (open windows with confidence intervals)
+        and ``target="retired"`` (finalized windows only).
         """
         from ..query.engine import QueryEngine  # deferred: query sits above net
 
@@ -681,6 +901,10 @@ class AggregationServer:
             records = self.stats_records()
         elif target == "aggregate":
             records = self.drain_results()
+        elif target == "estimate":
+            records = self.estimate_results()
+        elif target == "retired":
+            records = self.retired_results()
         else:
             raise ProtocolError(f"unknown query target {target!r}")
         result = QueryEngine(text).run(records)
@@ -712,6 +936,15 @@ class AggregationServer:
                 sum(shard.num_batches for shard in self._shards)
             ),
         }
+        if self.windowed:
+            with self._window_lock:
+                mark = self._window_tracker.watermark()
+                late = self._window_late
+                retired = self._retired_db.num_entries
+            summary["observe.window.late"] = Variant.of(late)
+            summary["observe.window.retired"] = Variant.of(retired)
+            if mark is not None:
+                summary["observe.window.watermark"] = Variant.of(mark)
         records.append(Record.from_variants(summary))
         with self._forward_lock:
             tree_nodes = [self._tree_summary()] + [
@@ -891,7 +1124,12 @@ class AggregationServer:
             theirs = parse_scheme(text)
         except ReproError as exc:
             raise ProtocolError(f"unparseable client scheme {text!r}: {exc}") from exc
-        if theirs.describe() != self.scheme.describe():
+        ours = {self.scheme.describe()}
+        if self.windowed:
+            # Record producers speak the base (un-windowized) scheme; the
+            # window keys and moments op are a server-side augmentation.
+            ours.add(self._base_scheme_text)
+        if theirs.describe() not in ours:
             raise ProtocolError(
                 f"scheme mismatch: server aggregates {self.scheme.describe()!r}, "
                 f"client sent {theirs.describe()!r}"
@@ -906,6 +1144,53 @@ class AggregationServer:
             self._max_seq[client_id] = seq
             return False
 
+    def _window_stamp(self, source: str, records: list[Record]) -> list[Record]:
+        """Assign incoming records to windows, advancing *source*'s watermark.
+
+        Lateness is judged per source (more than ``lateness`` behind that
+        source's own stream front) so a re-parented client replaying its
+        spool after a failover folds its history exactly; stamped copies
+        for windows already retired are dropped regardless — their final
+        results are immutable, and the replayed data is already inside
+        them.  Late and un-timed records are counted, never folded.
+        """
+        from ..window.assign import WINDOW_END, EventClock, stamp_record
+
+        stamped: list[Record] = []
+        late = untimed = 0
+        with self._window_lock:
+            clock = self._window_clocks.get(source)
+            if clock is None:
+                clock = EventClock(self.window_time_attribute)
+                self._window_clocks[source] = clock
+            tracker = self._window_tracker
+            floor = self._retire_floor
+            for record in records:
+                t = clock.event_time(record)
+                if t is None:
+                    untimed += 1
+                    continue
+                if tracker.is_late(t, source):
+                    late += 1
+                    continue
+                tracker.observe(source, t)
+                folded = False
+                for copy in stamp_record(record, t, self.window_assigner):
+                    if floor is not None:
+                        end = copy.get(WINDOW_END)
+                        if end.is_numeric and float(end.value) <= floor:
+                            continue
+                    stamped.append(copy)
+                    folded = True
+                if not folded:
+                    late += 1
+            self._window_late += late
+        if late:
+            self.metrics.count("window.late", late, what="records")
+        if untimed:
+            self.metrics.count("window.untimed", untimed)
+        return stamped
+
     def _on_records(
         self, wfile, client_id: str, body: dict, sections: Optional[dict] = None
     ) -> None:
@@ -916,7 +1201,11 @@ class AggregationServer:
             records = records_from_wire(require(body, "records", (list,)))
         duplicate = self._dedup(client_id, seq)
         if not duplicate:
-            self._route_records(records)
+            routed = (
+                self._window_stamp(client_id, records) if self.windowed else records
+            )
+            if routed:
+                self._route_records(routed)
             self.metrics.count("net.batches", kind="records")
             self.metrics.count("net.records", len(records))
         else:
@@ -989,10 +1278,28 @@ class AggregationServer:
         self._validate_states(groups)
         offered = int(body.get("offered", 0))
         processed = int(body.get("processed", 0))
+        watermark = body.get("watermark")
+        if not isinstance(watermark, (int, float)) or isinstance(watermark, bool):
+            watermark = None
         sender = (client_id, from_epoch)
         duplicate = self._dedup(client_id, seq)
         fenced = False
         if not duplicate:
+            if self.windowed:
+                # States for already-retired windows (a spool replay after a
+                # mid-tree failover re-delivers data that is inside the
+                # retired result) must not fold twice: drop them as late.
+                # Lock order: _window_lock is taken and released *before*
+                # _forward_lock, never nested inside it.
+                with self._window_lock:
+                    floor = self._retire_floor
+                if floor is not None:
+                    closed = _window_closed(floor)
+                    kept = [g for g in groups if not closed(g[0])]
+                    dropped = len(groups) - len(kept)
+                    if dropped:
+                        groups = kept
+                        self.metrics.count("window.late", dropped, what="states")
             start = time.perf_counter()
             with self._forward_lock:
                 if sender in self._fenced:
@@ -1022,6 +1329,12 @@ class AggregationServer:
             else:
                 self.metrics.count("net.batches", kind="forward")
                 self.metrics.count("net.groups", len(groups))
+                if self.windowed and watermark is not None:
+                    # The delta carrying mark w was exported after w was
+                    # captured downstream, so it contains everything below w
+                    # from that subtree — safe to advance our view of it.
+                    with self._window_lock:
+                        self._window_tracker.update(client_id, float(watermark))
         else:
             self.metrics.count("net.duplicates")
         self._write(
@@ -1082,6 +1395,12 @@ class AggregationServer:
             origins = set(self._origins_by_sender.pop(dead, set()))
             origins.add(dead)  # its own origin, even if it never got a cycle out
             self._drop_origins(origins)
+        if self.windowed:
+            # A dead sender must stop holding the global watermark back; its
+            # re-parented children report their own marks directly.
+            with self._window_lock:
+                self._window_tracker.remove(dead[0])
+                self._window_clocks.pop(dead[0], None)
         self.metrics.count("net.failover.retractions")
 
     def _cache_telemetry(self, summaries) -> None:

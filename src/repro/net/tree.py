@@ -100,6 +100,11 @@ class LocalTree:
         failover_after: Optional[float] = None,
         host: str = "127.0.0.1",
         binary: bool = True,
+        window=None,
+        lateness: float = 0.0,
+        time_attribute: Optional[str] = None,
+        retire_interval: float = 0.0,
+        confidence: float = 0.90,
     ) -> None:
         sizes = list(level_sizes) if level_sizes is not None else plan_tree(n_leaves, fanin)
         if not sizes or sizes[0] != 1:
@@ -109,15 +114,30 @@ class LocalTree:
         self.n_leaves = n_leaves
         self.fanin = fanin
         self.failover_after = failover_after
+        # Every node shares the window configuration: relays stamp and
+        # watermark the raw records their leaves stream, the root alone
+        # retires (windowize_scheme is idempotent, so passing the root's
+        # already-augmented scheme down is safe).
+        windowed_kwargs = dict(
+            window=window,
+            lateness=lateness,
+            time_attribute=time_attribute,
+            confidence=confidence,
+        )
         #: levels[0] = [root]; levels[-1] is what the leaves stream to
         self.levels: list[list[AggregationServer]] = []
         try:
             root = AggregationServer(
                 scheme, host=host, shards=shards, relay_id="root", level=0,
-                binary=binary,
+                binary=binary, retire_interval=retire_interval,
+                **windowed_kwargs,
             ).start()
             self.levels.append([root])
             self.scheme = root.scheme
+            if root.windowed and window is None:
+                # The window came from the scheme text; relays get the
+                # built scheme object, so pass the assigner explicitly.
+                windowed_kwargs["window"] = root.window_assigner
             for depth, size in enumerate(sizes[1:], start=1):
                 parents = self.levels[depth - 1]
                 nodes = []
@@ -134,6 +154,7 @@ class LocalTree:
                             relay_id=f"relay-L{depth}-{i}",
                             level=depth,
                             binary=binary,
+                            **windowed_kwargs,
                         ).start()
                     )
                 self.levels.append(nodes)
@@ -170,7 +191,12 @@ class LocalTree:
         can be overridden.
         """
         host, port = self.leaf_address(index)
-        kwargs.setdefault("scheme", self.scheme.describe())
+        if self.root.windowed:
+            # Leaves speak the base scheme: they stream raw records and the
+            # relay stamps windows / tracks watermarks on arrival.
+            kwargs.setdefault("scheme", self.root._base_scheme_text)
+        else:
+            kwargs.setdefault("scheme", self.scheme.describe())
         kwargs.setdefault("failover_after", self.failover_after)
         kwargs.setdefault("client_id", f"leaf-{index}")
         return FlushClient(host, port, **kwargs)

@@ -190,6 +190,16 @@ class QueryEngine:
                 self._where = None
             else:
                 self._where = compile_conditions(self.query.where)
+            self._assigner = None
+            self._time_attribute = None
+            if self.query.is_aggregation and self.query.window is not None:
+                # WINDOW queries stamp window.start/window.end onto each
+                # record (after LET) before folding; the scheme's key
+                # already includes both labels (see calql.semantics).
+                from ..window.assign import DEFAULT_TIME_ATTRIBUTE, make_assigner
+
+                self._assigner = make_assigner(self.query.window)
+                self._time_attribute = DEFAULT_TIME_ATTRIBUTE
         #: backend the planner chose on the most recent run/feed
         self.last_backend: Optional[str] = None
         #: one-line justification for the most recent backend decision
@@ -242,12 +252,11 @@ class QueryEngine:
         """What the columnar backend should read.
 
         A cached store is only valid for the raw records it interned — LET
-        queries derive per-record attributes, so they materialize the
-        transformed rows and intern those transiently instead.
+        and WINDOW queries derive per-record attributes, so they materialize
+        the transformed rows and intern those transiently instead.
         """
-        if self._let is not None:
-            let = self._let
-            return [let(r) for r in records]
+        if self._let is not None or self._assigner is not None:
+            return list(self._preprocess(records))
         if store is not None:
             return store
         return records if isinstance(records, list) else list(records)
@@ -341,10 +350,30 @@ class QueryEngine:
     # -- helpers -------------------------------------------------------------------
 
     def _preprocess(self, records: Iterable[Record]) -> Iterable[Record]:
-        if self._let is None:
-            return records
-        let = self._let
-        return (let(r) for r in records)
+        if self._let is not None:
+            let = self._let
+            records = (let(r) for r in records)
+        if self._assigner is not None:
+            records = self._windowize(records)
+        return records
+
+    def _windowize(self, records: Iterable[Record]) -> Iterable[Record]:
+        """Expand records into window-stamped copies (batch semantics).
+
+        The whole input is one logical source: event time is the configured
+        time attribute, falling back to the accumulated ``time.duration``
+        offset.  Un-timed records cannot be placed in a window and are
+        dropped.
+        """
+        from ..window.assign import EventClock, stamp_record
+
+        clock = EventClock(self._time_attribute)
+        assigner = self._assigner
+        for record in records:
+            t = clock.event_time(record)
+            if t is None:
+                continue
+            yield from stamp_record(record, t, assigner)
 
     def _preferred_columns(self) -> list[str]:
         assert self.scheme is not None

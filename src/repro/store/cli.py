@@ -286,6 +286,24 @@ def build_store_parser() -> argparse.ArgumentParser:
     show = sub.add_parser("show", help="print one stored profile")
     show.add_argument("ref", help="profile id prefix or tag")
     show.add_argument("--store", required=True, help="profile store directory")
+
+    hist = sub.add_parser(
+        "history",
+        help="emit every stored profile's rows as one per-commit record "
+        "series (CalQL-queryable via -q)",
+    )
+    hist.add_argument("--store", required=True, help="profile store directory")
+    hist.add_argument("--workload", help="only this workload")
+    hist.add_argument("--commit", help="only this commit")
+    hist.add_argument(
+        "-q",
+        "--query",
+        help="CalQL query over the history records (they carry "
+        "history.workload/commit/timestamp/seq/profile attributes)",
+    )
+    hist.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
     return parser
 
 
@@ -352,4 +370,72 @@ def _run_store(args) -> int:
         result = store.load(args.ref)
         print(str(result))
         return 0
+    if args.command == "history":
+        return _run_history(store, args)
     raise StoreError(f"unknown store command {args.command!r}")
+
+
+def _run_history(store: ProfileStore, args) -> int:
+    """``store history``: the whole store as one record series.
+
+    Every stored profile's aggregate rows are re-emitted with
+    ``history.*`` provenance attributes (workload, commit, timestamp, and
+    a chronological per-workload sequence number), so cross-commit trends
+    become ordinary CalQL — e.g.::
+
+        repro-query store history --store .profiles --workload app \\
+            -q "AGGREGATE sum(time.duration) GROUP BY history.commit \\
+                ORDER BY history.seq"
+    """
+    from ..common.variant import Variant
+
+    entries = store.lookup(workload=args.workload, commit=args.commit)
+    # Chronological within each workload — the opposite of lookup()'s
+    # newest-first — so history.seq counts forward in time.
+    entries.sort(
+        key=lambda e: (
+            e.workload or "",
+            e.timestamp is None,
+            e.timestamp or 0.0,
+            e.commit or "",
+            e.profile_id,
+        )
+    )
+    records = []
+    seqs: dict[str, int] = {}
+    for entry in entries:
+        seq = seqs.get(entry.workload, 0)
+        seqs[entry.workload] = seq + 1
+        extra = {
+            "history.workload": Variant.of(entry.workload),
+            "history.seq": Variant.of(seq),
+            "history.profile": Variant.of(entry.profile_id[:12]),
+        }
+        if entry.commit:
+            extra["history.commit"] = Variant.of(entry.commit)
+        if entry.timestamp is not None:
+            extra["history.timestamp"] = Variant.of(entry.timestamp)
+        for record in store.load(entry.profile_id).records:
+            records.append(record.with_entries(extra))
+    if args.query:
+        from ..query.engine import QueryEngine
+
+        result = QueryEngine(args.query).run(records)
+        if args.json:
+            print(result.to_json())
+        else:
+            print(str(result))
+        return 0
+    if args.json:
+        print(
+            json.dumps(
+                [{k: v.value for k, v in r.items()} for r in records], indent=2
+            )
+        )
+    else:
+        from ..query.engine import QueryResult
+
+        print(str(QueryResult(records, [], "records")))
+        if not records:
+            print("(store is empty for this filter)", file=sys.stderr)
+    return 0

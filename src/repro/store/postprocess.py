@@ -266,6 +266,8 @@ def _fit_one(kind: str, xs: np.ndarray, ys: np.ndarray) -> Optional[ModelFit]:
     # Closed-form least squares for y = a + b*fx.
     mx, my = float(np.mean(fx)), float(np.mean(ys))
     sxx = float(np.sum((fx - mx) ** 2))
+    if sxx == 0.0:  # ptp > 0 but the squared spread underflowed to zero
+        return None
     sxy = float(np.sum((fx - mx) * (ys - my)))
     b = sxy / sxx
     a = my - b * mx

@@ -323,15 +323,26 @@ class ProfileStore:
     # -- lookup / tags ----------------------------------------------------------
 
     def entries(self) -> list[ProfileEntry]:
-        """All entries, newest first (untimestamped entries last)."""
+        """All entries, grouped by workload, newest first within each.
+
+        The order is fully deterministic — ``(workload, timestamp desc,
+        commit, profile_id)`` — so ``list`` output and baseline candidate
+        ranking cannot depend on index-file insertion order.  Untimestamped
+        entries sort after timestamped ones within their workload.
+        """
         index = self._read_index()
         out = [
             ProfileEntry.from_json(pid, payload)
             for pid, payload in index["profiles"].items()
         ]
         out.sort(
-            key=lambda e: (e.timestamp is not None, e.timestamp or 0.0),
-            reverse=True,
+            key=lambda e: (
+                e.workload or "",
+                0 if e.timestamp is not None else 1,
+                -(e.timestamp or 0.0),
+                e.commit or "",
+                e.profile_id,
+            )
         )
         return out
 

@@ -1,0 +1,92 @@
+"""The CalQL WINDOW clause: parsing, unparsing, semantics, scheme keys."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calql import WindowSpec, parse_query, parse_scheme
+from repro.common.errors import CalQLSemanticError, CalQLSyntaxError
+
+
+class TestParse:
+    def test_tumbling(self):
+        q = parse_query("AGGREGATE count GROUP BY k WINDOW tumbling(30s)")
+        assert q.window == WindowSpec(kind="tumbling", size=30.0)
+
+    def test_sliding(self):
+        q = parse_query(
+            "AGGREGATE count GROUP BY k WINDOW sliding(1m, 10s)"
+        )
+        assert q.window == WindowSpec(kind="sliding", size=60.0, slide=10.0)
+
+    @pytest.mark.parametrize(
+        "dur,seconds",
+        [("500ms", 0.5), ("45s", 45.0), ("2m", 120.0), ("1h", 3600.0), ("15", 15.0)],
+    )
+    def test_duration_units(self, dur, seconds):
+        q = parse_query(f"AGGREGATE count GROUP BY k WINDOW tumbling({dur})")
+        assert q.window.size == seconds
+
+    def test_window_composes_with_other_clauses(self):
+        q = parse_query(
+            "AGGREGATE count WHERE kernel=hydro GROUP BY kernel "
+            "WINDOW tumbling(10s) ORDER BY count DESC FORMAT table"
+        )
+        assert q.window is not None and q.order_by and q.format == "table"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "AGGREGATE count GROUP BY k WINDOW hopping(3s)",
+            "AGGREGATE count GROUP BY k WINDOW tumbling()",
+            "AGGREGATE count GROUP BY k WINDOW tumbling(3s, 1s)",
+            "AGGREGATE count GROUP BY k WINDOW sliding(3s)",
+            "AGGREGATE count GROUP BY k WINDOW tumbling(3parsecs)",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(CalQLSyntaxError):
+            parse_query(bad)
+
+    def test_slide_larger_than_size_rejected(self):
+        with pytest.raises(CalQLSyntaxError):
+            parse_query("AGGREGATE count GROUP BY k WINDOW sliding(5s, 20s)")
+
+
+class TestUnparse:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "AGGREGATE count GROUP BY k WINDOW tumbling(30s)",
+            "AGGREGATE count, sum(v) GROUP BY k WINDOW sliding(60s, 10s)",
+            "AGGREGATE count GROUP BY k WINDOW tumbling(500ms)",
+        ],
+    )
+    def test_round_trip(self, text):
+        q = parse_query(text)
+        again = parse_query(q.unparse())
+        assert again.window == q.window
+        assert again.unparse() == q.unparse()
+
+
+class TestSemantics:
+    def test_window_requires_aggregation(self):
+        from repro.calql import validate
+
+        with pytest.raises(CalQLSemanticError):
+            validate(parse_query("SELECT k WINDOW tumbling(3s)"))
+
+    def test_window_key_collision_rejected(self):
+        with pytest.raises(CalQLSemanticError):
+            parse_scheme(
+                "AGGREGATE count GROUP BY k, window.start WINDOW tumbling(3s)"
+            )
+
+    def test_scheme_gains_window_keys(self):
+        scheme = parse_scheme("AGGREGATE count GROUP BY k WINDOW tumbling(3s)")
+        assert scheme.key == ("k", "window.start", "window.end")
+
+    def test_window_labels_usable_without_window_clause(self):
+        # plain identifiers: "window.start" is only special inside WINDOW
+        scheme = parse_scheme("AGGREGATE count GROUP BY window.start")
+        assert scheme.key == ("window.start",)

@@ -1,0 +1,118 @@
+"""``store history`` and the deterministic ``entries()`` ordering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common import Record
+from repro.query import QueryEngine
+from repro.store import ProfileStore
+from repro.store.cli import store_main
+
+QUERY = "AGGREGATE count, sum(time.duration) GROUP BY kernel"
+
+
+def result_for(scale: float):
+    records = [
+        Record({"kernel": f"k{i % 2}", "time.duration": scale * 0.25})
+        for i in range(8)
+    ]
+    return QueryEngine(QUERY).run(records)
+
+
+@pytest.fixture
+def seeded_store(tmp_path):
+    store = ProfileStore(tmp_path / "store")
+    for i, (commit, stamp) in enumerate(
+        [("c-old", 100.0), ("c-mid", 200.0), ("c-new", 300.0)]
+    ):
+        store.save(
+            result_for(float(i + 1)), workload="app", commit=commit,
+            timestamp=stamp, capture=False,
+        )
+    store.save(
+        result_for(9.0), workload="zeta", commit="c-old", timestamp=150.0,
+        capture=False,
+    )
+    return store
+
+
+class TestEntriesOrdering:
+    def test_grouped_by_workload_then_newest_first(self, seeded_store):
+        got = [(e.workload, e.commit) for e in seeded_store.entries()]
+        assert got == [
+            ("app", "c-new"),
+            ("app", "c-mid"),
+            ("app", "c-old"),
+            ("zeta", "c-old"),
+        ]
+
+    def test_order_ignores_index_insertion_order(self, tmp_path):
+        """Identical content saved in different order lists identically."""
+        specs = [("app", "c1", 100.0), ("app", "c2", 200.0), ("b", "c1", 50.0)]
+
+        def build(order):
+            store = ProfileStore(tmp_path / f"store-{order[0][1]}-{len(order)}")
+            for workload, commit, stamp in order:
+                store.save(
+                    result_for(1.0), workload=workload, commit=commit,
+                    timestamp=stamp, capture=False,
+                )
+            return [(e.workload, e.commit, e.timestamp) for e in store.entries()]
+
+        assert build(specs) == build(list(reversed(specs)))
+
+    def test_untimestamped_entries_sort_last_in_workload(self, tmp_path):
+        store = ProfileStore(tmp_path / "store")
+        store.save(result_for(1.0), workload="w", commit="a", capture=False)
+        store.save(
+            result_for(2.0), workload="w", commit="b", timestamp=10.0,
+            capture=False,
+        )
+        assert [e.commit for e in store.entries()] == ["b", "a"]
+
+    def test_lookup_newest_first_within_workload(self, seeded_store):
+        assert [e.commit for e in seeded_store.lookup(workload="app")] == [
+            "c-new", "c-mid", "c-old",
+        ]
+
+
+class TestHistoryCommand:
+    def test_emits_chronological_series(self, seeded_store, capsys):
+        rc = store_main(
+            ["history", "--store", str(seeded_store.root), "--workload", "app",
+             "--json"]
+        )
+        assert rc == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [r["history.commit"] for r in rows[::2]] == [
+            "c-old", "c-mid", "c-new",
+        ]
+        assert [r["history.seq"] for r in rows] == [0, 0, 1, 1, 2, 2]
+        assert all(r["history.workload"] == "app" for r in rows)
+        # the stored aggregate columns ride along untouched
+        assert {r["kernel"] for r in rows} == {"k0", "k1"}
+
+    def test_history_is_calql_queryable(self, seeded_store, capsys):
+        rc = store_main(
+            ["history", "--store", str(seeded_store.root), "--workload", "app",
+             "-q",
+             "AGGREGATE sum(sum#time.duration) GROUP BY history.commit "
+             "ORDER BY history.commit", "--json"]
+        )
+        assert rc == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        ]
+        rows = [row for row in lines if "format" not in row]
+        commits = [row["history.commit"] for row in rows]
+        assert commits == ["c-mid", "c-new", "c-old"]
+
+    def test_empty_store_is_not_an_error(self, tmp_path, capsys):
+        rc = store_main(["history", "--store", str(tmp_path / "empty"), "--json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out) == []

@@ -1,0 +1,69 @@
+"""Watermark tracking: bounded lateness, multi-source minimum, monotonicity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.window import WatermarkTracker
+
+
+class TestWatermarkTracker:
+    def test_empty_has_no_watermark(self):
+        tracker = WatermarkTracker(5.0)
+        assert tracker.watermark() is None
+        assert not tracker.is_late(0.0)
+
+    def test_single_source_lags_by_lateness(self):
+        tracker = WatermarkTracker(5.0)
+        tracker.observe("a", 30.0)
+        assert tracker.watermark() == 25.0
+        tracker.observe("a", 50.0)
+        assert tracker.watermark() == 45.0
+
+    def test_minimum_over_sources(self):
+        tracker = WatermarkTracker(0.0)
+        tracker.observe("a", 100.0)
+        tracker.observe("b", 40.0)
+        assert tracker.watermark() == 40.0
+        tracker.observe("b", 70.0)
+        assert tracker.watermark() == 70.0
+
+    def test_monotone_after_source_removal(self):
+        tracker = WatermarkTracker(0.0)
+        tracker.observe("a", 100.0)
+        tracker.observe("b", 80.0)
+        assert tracker.watermark() == 80.0
+        tracker.remove("a")
+        # b alone would say 80; a fresh replaying source must not regress it
+        tracker.observe("replay", 10.0)
+        assert tracker.watermark() == 80.0
+
+    def test_update_folds_reported_marks(self):
+        tracker = WatermarkTracker(3.0)
+        tracker.update("relay-1", 55.0)  # reported marks carry their own lateness
+        assert tracker.watermark() == 55.0
+        tracker.update("relay-1", 50.0)  # stale report cannot move it back
+        assert tracker.source_watermark("relay-1") == 55.0
+
+    def test_global_lateness_classification(self):
+        tracker = WatermarkTracker(5.0)
+        tracker.observe("a", 39.0)
+        assert tracker.watermark() == 34.0
+        assert tracker.is_late(31.0)
+        assert not tracker.is_late(34.0)
+        assert not tracker.is_late(38.0)
+
+    def test_per_source_lateness_ignores_other_sources(self):
+        """A fresh source replaying history is never late within its stream."""
+        tracker = WatermarkTracker(5.0)
+        tracker.observe("a", 100.0)
+        # globally late, but source "b" has no stream front yet
+        assert tracker.is_late(10.0)
+        assert not tracker.is_late(10.0, "b")
+        tracker.observe("b", 50.0)
+        assert tracker.is_late(10.0, "b")
+        assert not tracker.is_late(46.0, "b")
+
+    def test_negative_lateness_rejected(self):
+        with pytest.raises(ValueError):
+            WatermarkTracker(-1.0)
