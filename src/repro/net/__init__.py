@@ -7,13 +7,17 @@ queryable aggregation daemon:
 
 * :mod:`.protocol` — a length-prefixed, versioned binary framing protocol
   carrying snapshot-record batches and exported partial-DB states;
-* :mod:`.server` — :class:`AggregationServer`, a threaded daemon that
+* :mod:`.server` — :class:`AggregationServer`, a daemon whose network
+  plane is a single asyncio event loop (10k+ concurrent clients, no
+  thread per socket; a legacy threaded core stays selectable) that
   hash-routes incoming keys to N shard workers (one
-  :class:`~repro.aggregate.db.AggregationDB` per shard, lock-free within a
-  shard) and merges shards on demand for live CalQL queries;
+  :class:`~repro.aggregate.db.AggregationDB` per shard per tenant,
+  lock-free within a shard) and merges shards on demand for live CalQL
+  queries — with token-keyed tenant namespaces, per-tenant quotas, and
+  BUSY-frame admission control when shard queues back up;
 * :mod:`.client` — :class:`FlushClient`, a batching transport with
-  retry/backoff, timeouts, and disk spool (``.cali`` via
-  :mod:`repro.io.calformat`) replayed on reconnect;
+  full-jitter retry/backoff, BUSY retry-after handling, timeouts, and a
+  disk spool replayed on reconnect;
 * :mod:`.service` — :class:`NetworkFlushService`, a runtime service so any
   :class:`~repro.runtime.channel.Channel` flushes to a server instead of a
   file;
@@ -38,11 +42,13 @@ from .protocol import (
     read_frame,
     write_frame,
 )
-from .server import AggregationServer
+from .server import DEFAULT_TENANT, AggregationServer, TenantQuota
 from .tree import LocalTree, plan_tree
 
 __all__ = [
     "AggregationServer",
+    "TenantQuota",
+    "DEFAULT_TENANT",
     "FlushClient",
     "live_query",
     "LocalTree",

@@ -33,7 +33,10 @@ smoke tests and the tree benchmark)::
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
+import threading
 import time
 from typing import Optional, Sequence
 
@@ -66,6 +69,61 @@ def build_serve_parser() -> argparse.ArgumentParser:
         type=int,
         default=128,
         help="per-shard queue depth before backpressure stalls producers",
+    )
+    parser.add_argument(
+        "--core",
+        choices=("async", "threaded"),
+        default="async",
+        help="network plane: one asyncio event loop for every connection "
+        "(default) or the legacy thread-per-connection core",
+    )
+    parser.add_argument(
+        "--final-output",
+        metavar="PATH",
+        help="on graceful shutdown, export the final drained snapshot here "
+        "(.json/.csv/.cali/.rcf chosen by extension)",
+    )
+    tenancy = parser.add_argument_group("multi-tenancy / admission control")
+    tenancy.add_argument(
+        "--tenant",
+        action="append",
+        dest="tenants",
+        metavar="TOKEN:NAME",
+        help="register an auth token for a tenant namespace (repeatable)",
+    )
+    tenancy.add_argument(
+        "--tenants-file",
+        metavar="PATH",
+        help="JSON file mapping token -> tenant name or "
+        '{"name": ..., "max_connections": ..., "max_queued": ..., '
+        '"max_entries": ...} quota spec',
+    )
+    tenancy.add_argument(
+        "--require-token",
+        action="store_true",
+        help="reject HELLOs that present no auth token",
+    )
+    tenancy.add_argument(
+        "--admission-timeout",
+        type=float,
+        default=1.0,
+        metavar="SEC",
+        help="async core: how long a batch may wait for shard-queue space "
+        "before it is shed with BUSY (default 1.0)",
+    )
+    tenancy.add_argument(
+        "--busy-retry-after",
+        type=float,
+        default=0.25,
+        metavar="SEC",
+        help="retry-after hint carried by BUSY frames (default 0.25)",
+    )
+    tenancy.add_argument(
+        "--dedup-ttl",
+        type=float,
+        default=900.0,
+        metavar="SEC",
+        help="prune per-client dedup/replay state idle this long (default 900)",
     )
     relay = parser.add_argument_group("relay mode (reduction tree)")
     relay.add_argument(
@@ -191,6 +249,11 @@ def build_live_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=10.0, help="connection timeout in seconds"
     )
     parser.add_argument(
+        "--token",
+        help="tenant auth token: scopes the query to that tenant's namespace "
+        "on a multi-tenant server",
+    )
+    parser.add_argument(
         "--interval",
         type=float,
         metavar="SEC",
@@ -212,6 +275,25 @@ def build_live_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_tenants(args) -> Optional[dict]:
+    """Merge ``--tenants-file`` and repeated ``--tenant TOKEN:NAME`` flags."""
+    tenants: dict = {}
+    if args.tenants_file:
+        with open(args.tenants_file, "r", encoding="utf-8") as stream:
+            loaded = json.load(stream)
+        if not isinstance(loaded, dict):
+            raise ValueError(
+                f"{args.tenants_file}: expected a token -> tenant JSON object"
+            )
+        tenants.update(loaded)
+    for spec in args.tenants or ():
+        token, sep, name = spec.partition(":")
+        if not sep or not token or not name:
+            raise ValueError(f"--tenant must be TOKEN:NAME, got {spec!r}")
+        tenants[token] = name
+    return tenants or None
+
+
 def serve_main(argv: Sequence[str]) -> int:
     args = build_serve_parser().parse_args(argv)
     try:
@@ -221,6 +303,7 @@ def serve_main(argv: Sequence[str]) -> int:
             port=args.port,
             shards=args.shards,
             queue_depth=args.queue_depth,
+            core=args.core,
             upstream=args.upstream,
             forward_interval=args.forward_interval,
             failover_after=args.failover_after,
@@ -231,11 +314,28 @@ def serve_main(argv: Sequence[str]) -> int:
             time_attribute=args.time_attribute,
             retire_interval=args.retire_interval,
             confidence=args.confidence,
+            tenants=_parse_tenants(args),
+            require_token=args.require_token,
+            admission_timeout=args.admission_timeout,
+            busy_retry_after=args.busy_retry_after,
+            dedup_ttl=args.dedup_ttl,
         )
         server.start()
     except (ReproError, OSError, ValueError) as exc:
         print(f"repro-query serve: error: {exc}", file=sys.stderr)
         return 1
+    # SIGTERM (systemd, docker stop, subprocess tests) and SIGINT both land
+    # on the same graceful path: stop accepting, fold everything queued,
+    # export the final snapshot, exit 0.  Handlers go in *before* the banner:
+    # the banner is the readiness signal, and a supervisor may deliver
+    # SIGTERM the moment it sees it.
+    stop = threading.Event()
+
+    def _on_signal(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
     host, port = server.address
     role = f"relay -> {args.upstream}" if args.upstream else "root"
     windowed = ""
@@ -243,16 +343,33 @@ def serve_main(argv: Sequence[str]) -> int:
         windowed = f", windowed {server.window_assigner.describe()}"
     print(
         f"serving {args.scheme!r} on {host}:{port} "
-        f"({role}, {args.shards} shards{windowed}, epoch {server.epoch})",
+        f"({role}, {args.core} core, {args.shards} shards{windowed}, "
+        f"epoch {server.epoch})",
         file=sys.stderr,
     )
+    sys.stderr.flush()
     try:
-        while True:
-            time.sleep(1.0)
+        while not stop.wait(timeout=0.5):
+            pass
     except KeyboardInterrupt:
-        print("draining...", file=sys.stderr)
-    finally:
-        server.stop()
+        pass
+    print("draining...", file=sys.stderr)
+    server.stop()
+    try:
+        records = server.drain_results()
+        if args.final_output:
+            from ..io.dataset import write_records  # deferred: io sits below net
+
+            write_records(args.final_output, records)
+            print(
+                f"drained {len(records)} groups -> {args.final_output}",
+                file=sys.stderr,
+            )
+        else:
+            print(f"drained {len(records)} groups", file=sys.stderr)
+    except (ReproError, OSError) as exc:
+        print(f"repro-query serve: drain error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -266,7 +383,12 @@ def live_main(argv: Sequence[str]) -> int:
         iteration += 1
         try:
             result = live_query(
-                args.host, args.port, args.query, target=args.target, timeout=args.timeout
+                args.host,
+                args.port,
+                args.query,
+                target=args.target,
+                timeout=args.timeout,
+                token=args.token,
             )
         except (ReproError, OSError) as exc:
             print(f"repro-query live: error: {exc}", file=sys.stderr)

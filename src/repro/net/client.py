@@ -57,6 +57,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
 import tempfile
 import threading
@@ -98,6 +99,21 @@ class _Fatal(ReproError):
     """A server refusal that retrying cannot fix (e.g. scheme mismatch)."""
 
 
+class _Busy(ReproError):
+    """The server shed a batch under admission control (BUSY frame).
+
+    The batch was *not* folded and *not* dedup-marked, so redelivering the
+    spooled copy after ``retry_after`` seconds is exactly-once safe.
+    """
+
+    def __init__(self, seq: int, retry_after: float) -> None:
+        super().__init__(
+            f"server busy: batch {seq} shed, retry after {retry_after:.3g}s"
+        )
+        self.seq = seq
+        self.retry_after = retry_after
+
+
 class FlushClient:
     """Batching, spooling, replaying transport to an aggregation server.
 
@@ -122,6 +138,8 @@ class FlushClient:
         max_payload: int = MAX_PAYLOAD,
         failover_after: Optional[float] = None,
         binary: bool = True,
+        token: Optional[str] = None,
+        busy_retries: int = 10,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -136,7 +154,16 @@ class FlushClient:
         self.retries = max(0, retries)
         self.backoff = backoff
         self.backoff_max = backoff_max
+        #: consecutive BUSY (shed) replies tolerated before giving up a
+        #: delivery pass and leaving the batches spooled; resets on any ACK
+        self.busy_retries = max(0, busy_retries)
+        #: tenant auth token presented in HELLO (multi-tenant servers)
+        self.token = token
         self.max_payload = max_payload
+        #: full-jitter backoff draws from here; per-client so thousands of
+        #: clients reconnecting after one server restart fan out instead of
+        #: thundering back in lock-step
+        self._rng = random.Random()
         if spool_dir is None:
             self.spool_dir = tempfile.mkdtemp(prefix="repro-spool-")
         else:
@@ -187,7 +214,24 @@ class FlushClient:
             "epoch_changes": 0,
             "failovers": 0,
             "wire_bytes": 0,
+            "busy": 0,
         }
+
+    def _retry_delay(self, attempt: int, retry_after: Optional[float] = None) -> float:
+        """Full-jitter backoff (AWS-style): uniform over [0, capped exp).
+
+        Plain exponential backoff synchronises every client that observed
+        the same failure — after a server restart thousands reconnect in
+        the same few milliseconds, knocking it over again.  Drawing the
+        whole delay uniformly spreads the herd across the window.  When the
+        server named a ``retry_after`` (BUSY shed), that is the floor and
+        the jitter rides on top.
+        """
+        cap = min(self.backoff * (2 ** max(attempt - 1, 0)), self.backoff_max)
+        jitter = self._rng.uniform(0.0, cap)
+        if retry_after is not None:
+            return float(retry_after) + jitter
+        return jitter
 
     # -- streaming interface ------------------------------------------------------
 
@@ -370,6 +414,7 @@ class FlushClient:
         if not self._pending:
             return True
         attempt = 0
+        busy_left = self.busy_retries
         while True:
             try:
                 self._ensure_connected()
@@ -378,7 +423,21 @@ class FlushClient:
                     self._send_one(seq, kind, path)
                     self._acked[seq] = self._pending.pop(seq)
                     self.counters["acked"] += 1
+                    busy_left = self.busy_retries
                 return True
+            except _Busy as busy:
+                # Admission control: the server shed this batch (not folded,
+                # not dedup-marked).  The connection is healthy — stay on
+                # it, honor the server's retry-after (plus jitter so a
+                # shedding server is not re-stormed), redeliver from the
+                # spool.  A persistently busy server eventually exhausts
+                # the budget and the batches stay safely spooled.
+                self.counters["busy"] += 1
+                busy_left -= 1
+                if busy_left < 0:
+                    self.counters["spilled"] += len(self._pending)
+                    return False
+                time.sleep(self._retry_delay(1, retry_after=busy.retry_after))
             except _Fatal:
                 raise
             except (OSError, EOFError, Truncated):
@@ -394,7 +453,7 @@ class FlushClient:
                         continue
                     self.counters["spilled"] += len(self._pending)
                     return False
-                time.sleep(min(self.backoff * (2 ** (attempt - 1)), self.backoff_max))
+                time.sleep(self._retry_delay(attempt))
             except (ProtocolError, ReproError):
                 # The server answered but refused — don't hammer it.
                 self._disconnect()
@@ -468,6 +527,8 @@ class FlushClient:
         reply, ack = read_message(self._rfile, self.max_payload)
         if reply is MessageType.ERROR:
             raise _Fatal(f"server refused batch {seq}: {ack.get('reason')}")
+        if reply is MessageType.BUSY:
+            raise _Busy(seq, float(ack.get("retry_after", 0.0) or 0.0))
         if reply is not MessageType.ACK or ack.get("seq") != seq:
             raise ProtocolError(f"expected ACK for seq {seq}, got {reply.name} {ack}")
         if ack.get("duplicate"):
@@ -486,6 +547,8 @@ class FlushClient:
             hello = {"client": self.client_id}
             if self.scheme_text is not None:
                 hello["scheme"] = self.scheme_text
+            if self.token is not None:
+                hello["token"] = self.token
             if self._announce_failover is not None:
                 hello["failover_from"] = list(self._announce_failover)
             if self.binary_enabled:
@@ -571,7 +634,7 @@ class FlushClient:
                     raise ReproError(
                         f"aggregation server at {self.host}:{self.port} unreachable"
                     ) from None
-                time.sleep(min(self.backoff * (2 ** (attempt - 1)), self.backoff_max))
+                time.sleep(self._retry_delay(attempt))
 
     def drain(self) -> list[Record]:
         """Flush everything, then fetch the merged aggregation results."""
@@ -684,14 +747,16 @@ def live_query(
     text: str,
     target: str = "aggregate",
     timeout: float = 10.0,
+    token: Optional[str] = None,
 ) -> "QueryResult":
     """One-shot live query: connect, ask, disconnect.
 
     Runs ``text`` against a consistent merged snapshot of the server's
     in-flight shards without interrupting ingestion (the ``repro-query
-    live`` command is a thin wrapper over this).
+    live`` command is a thin wrapper over this).  ``token`` scopes the
+    query to that tenant's namespace on a multi-tenant server.
     """
-    client = FlushClient(host, port, timeout=timeout, retries=0)
+    client = FlushClient(host, port, timeout=timeout, retries=0, token=token)
     try:
         return client.query(text, target=target)
     finally:

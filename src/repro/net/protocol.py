@@ -57,12 +57,15 @@ __all__ = [
     "Truncated",
     "FrameTooLarge",
     "VersionMismatch",
+    "parse_frame_header",
     "write_frame",
     "read_frame",
     "read_frame_ex",
     "write_message",
+    "message_bytes",
     "read_message",
     "parse_body",
+    "busy_body",
     "records_to_wire",
     "records_from_wire",
     "states_to_wire",
@@ -134,9 +137,35 @@ class MessageType(enum.IntEnum):
     BYE = 11  # orderly goodbye
     FORWARD = 12  # relay -> parent: partial-DB delta tagged with origin + level
     RETRACT = 13  # relay -> parent: drop previously forwarded origins (failover)
+    BUSY = 14  # admission control: batch NOT folded, retry after `retry_after` s
 
 
 # -- frame I/O ----------------------------------------------------------------
+
+
+def parse_frame_header(
+    header: bytes, max_payload: int = MAX_PAYLOAD
+) -> tuple[MessageType, int, int]:
+    """Validate a frame header; returns ``(message type, flags, payload length)``.
+
+    All rejection happens here, before any payload byte is read, so both the
+    blocking and the asyncio read paths refuse garbage from the exact same
+    checks: bad magic, unknown version or message type, oversized length.
+    """
+    magic, version, msg_type, flags, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise VersionMismatch(version)
+    if length > max_payload:
+        raise FrameTooLarge(
+            f"declared payload of {length} bytes exceeds limit {max_payload}"
+        )
+    try:
+        mtype = MessageType(msg_type)
+    except ValueError:
+        raise ProtocolError(f"unknown message type {msg_type}") from None
+    return mtype, flags, length
 
 
 def write_frame(
@@ -176,19 +205,7 @@ def read_frame_ex(
     potentially attacker-sized payload.
     """
     header = _read_exact(stream, HEADER.size, "header")
-    magic, version, msg_type, flags, length = HEADER.unpack(header)
-    if magic != MAGIC:
-        raise ProtocolError(f"bad frame magic {magic!r}")
-    if version != PROTOCOL_VERSION:
-        raise VersionMismatch(version)
-    if length > max_payload:
-        raise FrameTooLarge(
-            f"declared payload of {length} bytes exceeds limit {max_payload}"
-        )
-    try:
-        mtype = MessageType(msg_type)
-    except ValueError:
-        raise ProtocolError(f"unknown message type {msg_type}") from None
+    mtype, flags, length = parse_frame_header(header, max_payload)
     payload = _read_exact(stream, length, "payload") if length else b""
     return mtype, flags, payload
 
@@ -214,6 +231,14 @@ def write_message(
     """Serialize ``body`` as JSON and send it as one frame."""
     payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
     return write_frame(stream, msg_type, payload, version)
+
+
+def message_bytes(
+    msg_type: int, body: dict, version: int = PROTOCOL_VERSION
+) -> bytes:
+    """One JSON-bodied frame as bytes (for writers without a flush; asyncio)."""
+    payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    return HEADER.pack(MAGIC, version, int(msg_type), 0, len(payload)) + payload
 
 
 def parse_body(mtype: MessageType, payload: bytes) -> dict:
@@ -365,6 +390,17 @@ def origins_from_wire(obj: object) -> list[tuple[str, str]]:
 def error_body(reason: str, code: str = "protocol") -> dict:
     """Standard ERROR frame body."""
     return {"code": code, "reason": reason}
+
+
+def busy_body(seq: int, retry_after: float, reason: str = "backpressure") -> dict:
+    """Standard BUSY frame body: batch ``seq`` was shed, come back later.
+
+    A BUSY reply means the server did *not* fold (or dedup-mark) the batch:
+    the client keeps it in its write-ahead spool and redelivers after at
+    least ``retry_after`` seconds — admission control instead of blocking
+    the event loop on a full shard queue.
+    """
+    return {"seq": seq, "retry_after": float(retry_after), "reason": reason}
 
 
 def require(body: dict, key: str, types: tuple = (object,)) -> object:

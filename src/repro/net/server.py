@@ -47,6 +47,25 @@ Data flow::
   incarnation forwarded — the children's spool replay re-delivers all of
   it first-hand, so root totals stay exact through mid-tree failures.
 
+* **Async core** (``core="async"``, the default) — a single event loop
+  owns accept/read/write for *every* connection: frames are parsed
+  incrementally off the stream buffer, no thread per socket, so the
+  network plane scales to 10k+ concurrent clients while the shard fold
+  workers stay a (lock-free) thread pool fed through the same bounded
+  queues.  Blocking request paths (QUERY/DRAIN/STATS, relay folds) hop to
+  a small executor so the loop never stalls.  ``core="threaded"`` keeps
+  the original thread-per-connection plane for comparison benchmarks.
+* **Multi-tenancy** (``tenants=``) — per-tenant namespaces keyed by an
+  auth token presented in HELLO.  Each tenant folds into its own
+  per-shard :class:`~repro.aggregate.db.AggregationDB`, so cross-tenant
+  queries can never observe each other's records; per-tenant quotas
+  bound connections, queued batches, and DB entries.
+* **Admission control** — when shard queues back up (or a tenant is over
+  its queued-batch quota) the async core answers ``BUSY`` with a
+  ``retry_after`` instead of blocking the event loop; the batch is *not*
+  folded and not dedup-marked, so the client's write-ahead spool replays
+  it later — exactly-once semantics survive shedding.
+
 Telemetry: the server keeps its own always-on
 :class:`~repro.observe.MetricsRegistry` (connections, batches, bytes,
 shard depths, merge times) and renders it as CalQL-queryable ``observe.*``
@@ -55,12 +74,14 @@ records — the same dogfooding contract as the runtime's ``--stats``.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import queue
 import socket
 import threading
 import time
 import uuid
+from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Union
 
 from ..aggregate.db import AggregationDB
@@ -78,11 +99,14 @@ from .protocol import (
     MessageType,
     ProtocolError,
     Truncated,
+    busy_body,
     decode_binary_body,
     error_body,
+    message_bytes,
     origin_from_wire,
     origins_from_wire,
     parse_body,
+    parse_frame_header,
     read_frame_ex,
     records_from_binary,
     records_from_wire,
@@ -94,9 +118,90 @@ from .protocol import (
     write_message,
 )
 
-__all__ = ["AggregationServer"]
+__all__ = ["AggregationServer", "TenantQuota", "DEFAULT_TENANT"]
 
 _KEY_SEP = "\x1f"
+
+#: the implicit namespace for token-less clients (quota-free by default)
+DEFAULT_TENANT = "default"
+
+
+class _Refused(ProtocolError):
+    """A request refused by policy (auth / quota), not by malformed bytes.
+
+    Carries a machine-readable ``code`` so the ERROR frame tells the client
+    *why* — ``auth`` means fix your token, ``quota`` means this tenant hit a
+    hard limit and retrying without intervention is pointless.
+    """
+
+    def __init__(self, message: str, code: str = "refused") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class TenantQuota:
+    """Per-tenant admission limits; ``0``/``None`` means unlimited."""
+
+    __slots__ = ("max_connections", "max_queued", "max_entries")
+
+    def __init__(
+        self,
+        max_connections: int = 0,
+        max_queued: int = 0,
+        max_entries: int = 0,
+    ) -> None:
+        self.max_connections = int(max_connections or 0)
+        self.max_queued = int(max_queued or 0)
+        self.max_entries = int(max_entries or 0)
+
+    @classmethod
+    def from_spec(cls, spec) -> tuple[str, "TenantQuota"]:
+        """Accept ``"name"`` or ``{"name": ..., "max_queued": ...}`` specs.
+
+        Dict specs take ``max_connections``, ``max_queued`` (alias
+        ``max_queued_batches``), and ``max_entries`` (alias
+        ``max_db_entries``).
+        """
+        if isinstance(spec, str):
+            return spec, cls()
+        if isinstance(spec, dict):
+            name = spec.get("name")
+            if not isinstance(name, str) or not name:
+                raise ValueError(f"tenant spec needs a non-empty name: {spec!r}")
+            return name, cls(
+                max_connections=spec.get("max_connections", 0),
+                max_queued=spec.get("max_queued", spec.get("max_queued_batches", 0)),
+                max_entries=spec.get("max_entries", spec.get("max_db_entries", 0)),
+            )
+        raise ValueError(f"tenant spec must be a name or a dict, got {spec!r}")
+
+
+class _TenantState:
+    """Live counters for one tenant, guarded by the server's tenant lock."""
+
+    __slots__ = ("name", "quota", "connections", "queued", "shed", "_lock")
+
+    def __init__(self, name: str, quota: TenantQuota, lock: threading.Lock) -> None:
+        self.name = name
+        self.quota = quota
+        self.connections = 0
+        self.queued = 0
+        self.shed = 0
+        self._lock = lock
+
+    def over_queue_quota(self) -> bool:
+        limit = self.quota.max_queued
+        return bool(limit) and self.queued >= limit
+
+    def add_queued(self) -> None:
+        with self._lock:
+            self.queued += 1
+
+    def release_batch(self) -> None:
+        """Called by a shard worker once a queued batch has been folded."""
+        with self._lock:
+            if self.queued > 0:
+                self.queued -= 1
 
 
 def _window_closed(floor: float):
@@ -122,11 +227,27 @@ class _Shard:
         self, index: int, scheme: AggregationScheme, depth: int, metrics: MetricsRegistry
     ) -> None:
         self.index = index
-        self.db = AggregationDB(scheme)
+        self.scheme = scheme
+        #: tenant name -> that tenant's partition of this shard's key space.
+        #: Only the worker thread creates or folds into these while the
+        #: server runs (dict get/setdefault are GIL-atomic, so racy reads
+        #: from quota checks and quiescent drains stay safe).
+        self.dbs: dict[str, AggregationDB] = {DEFAULT_TENANT: AggregationDB(scheme)}
         self.queue: queue.Queue = queue.Queue(maxsize=depth)
         self.thread: Optional[threading.Thread] = None
         self.metrics = metrics
         self.num_batches = 0
+
+    @property
+    def db(self) -> AggregationDB:
+        """The default tenant's DB — the whole shard for token-less servers."""
+        return self.dbs[DEFAULT_TENANT]
+
+    def db_for(self, tenant: str) -> AggregationDB:
+        db = self.dbs.get(tenant)
+        if db is None:
+            db = self.dbs.setdefault(tenant, AggregationDB(self.scheme))
+        return db
 
     def run(self) -> None:
         while True:
@@ -134,26 +255,39 @@ class _Shard:
             kind = item[0]
             try:
                 if kind == "records":
-                    for record in item[1]:
-                        self.db.process(record)
+                    _, tname, records, _tstate = item
+                    db = self.db_for(tname)
+                    for record in records:
+                        db.process(record)
                     self.num_batches += 1
                 elif kind == "states":
-                    _, groups, offered, processed = item
-                    self.db.load_states(groups, offered=offered, processed=processed)
+                    _, tname, groups, offered, processed, _tstate = item
+                    self.db_for(tname).load_states(
+                        groups, offered=offered, processed=processed
+                    )
                     self.num_batches += 1
                 elif kind == "export":
-                    _, event, slot = item
+                    _, event, slot, tname = item
                     # export_states returns the live state lists; this
                     # worker resumes folding the moment the event is set,
                     # so hand the barrier deep copies or query-side reads
                     # tear against concurrent updates.
-                    slot["states"] = [
-                        (entries, [list(s) for s in states])
-                        for entries, states in self.db.export_states()
-                    ]
-                    slot["offered"] = self.db.num_offered
-                    slot["processed"] = self.db.num_processed
+                    db = self.dbs.get(tname)
+                    if db is None:
+                        slot["states"], slot["offered"], slot["processed"] = [], 0, 0
+                    else:
+                        slot["states"] = [
+                            (entries, [list(s) for s in states])
+                            for entries, states in db.export_states()
+                        ]
+                        slot["offered"] = db.num_offered
+                        slot["processed"] = db.num_processed
                     event.set()
+                elif kind == "stall":
+                    # Fault-injection hook: park this worker until the test
+                    # sets the event, so backpressure (full queue -> BUSY
+                    # shedding) can be provoked deterministically.
+                    item[1].wait()
                 elif kind == "export_clear":
                     # Relay-mode delta capture: hand over everything folded
                     # since the last cycle and reset to empty, so the same
@@ -190,6 +324,11 @@ class _Shard:
                 self.metrics.count("net.errors", stage="shard")
                 if kind in ("export", "export_clear", "retire"):
                     item[1].set()
+            finally:
+                if kind in ("records", "states"):
+                    tstate = item[-1]
+                    if tstate is not None:
+                        tstate.release_batch()
 
 
 class AggregationServer:
@@ -221,8 +360,17 @@ class AggregationServer:
         time_attribute: Optional[str] = None,
         retire_interval: float = 0.0,
         confidence: float = 0.90,
+        core: str = "async",
+        tenants: Optional[dict] = None,
+        require_token: bool = False,
+        admission_timeout: float = 1.0,
+        busy_retry_after: float = 0.25,
+        dedup_ttl: float = 900.0,
+        backlog: int = 512,
     ) -> None:
         window_spec = window
+        if core not in ("async", "threaded"):
+            raise ValueError(f"core must be 'async' or 'threaded', got {core!r}")
         if isinstance(scheme, str):
             from ..calql import parse_query  # deferred: calql builds on aggregate
             from ..calql.semantics import build_scheme
@@ -299,8 +447,51 @@ class AggregationServer:
         self._handlers: list[threading.Thread] = []
         self._seq_lock = threading.Lock()
         self._max_seq: dict[str, int] = {}
+        #: dedup key -> monotonic time of last frame; idle entries past
+        #: ``dedup_ttl`` are pruned so unclean disconnects (no BYE) cannot
+        #: grow the map forever under client churn
+        self._seq_touched: dict[str, float] = {}
+        self._seq_swept = time.monotonic()
+        self.dedup_ttl = float(dedup_ttl)
         self._stopping = threading.Event()
         self._started = False
+
+        # -- network core / multi-tenancy / admission control -------------------
+        self.core = core
+        self.backlog = int(backlog)
+        self.admission_timeout = float(admission_timeout)
+        self.busy_retry_after = float(busy_retry_after)
+        self.require_token = bool(require_token)
+        self._tenant_lock = threading.Lock()
+        #: auth token -> tenant state (token-keyed: what HELLO presents)
+        self._tenants_by_token: dict[str, _TenantState] = {}
+        #: tenant name -> tenant state (name-keyed: what queries scope by)
+        self._tenants: dict[str, _TenantState] = {}
+        default_state = _TenantState(DEFAULT_TENANT, TenantQuota(), self._tenant_lock)
+        self._tenants[DEFAULT_TENANT] = default_state
+        if tenants:
+            if upstream is not None:
+                raise ValueError("tenants are not supported in relay mode")
+            if window_spec is not None:
+                raise ValueError("tenants are not supported on windowed servers")
+            for token, spec in tenants.items():
+                if not isinstance(token, str) or not token:
+                    raise ValueError(f"tenant token must be a non-empty string: {token!r}")
+                name, quota = TenantQuota.from_spec(spec)
+                state = self._tenants.get(name)
+                if state is None:
+                    state = _TenantState(name, quota, self._tenant_lock)
+                    self._tenants[name] = state
+                else:
+                    state.quota = quota
+                self._tenants_by_token[token] = state
+        # asyncio core plumbing (populated by start() when core == "async")
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._async_server: Optional[asyncio.base_events.Server] = None
+        self._async_tasks: set = set()
+        self._async_writers: set = set()
+        self._executor: Optional[ThreadPoolExecutor] = None
 
         # -- reduction-tree state (relay mode when upstream is set) -------------
         self.upstream = _parse_upstream(upstream)
@@ -341,7 +532,6 @@ class AggregationServer:
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         listener.bind((self.host, self.port))
-        listener.listen(64)
         self._listener = listener
         self.port = listener.getsockname()[1]
         for shard in self._shards:
@@ -349,10 +539,32 @@ class AggregationServer:
                 target=shard.run, name=f"repro-net-shard-{shard.index}", daemon=True
             )
             shard.thread.start()
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="repro-net-accept", daemon=True
-        )
-        self._accept_thread.start()
+        if self.core == "async":
+            # The event loop owns the listener: asyncio.start_server calls
+            # listen() itself with our backlog.
+            self._executor = ThreadPoolExecutor(
+                max_workers=4, thread_name_prefix="repro-net-blocking"
+            )
+            ready = threading.Event()
+            boot: dict = {}
+            self._loop_thread = threading.Thread(
+                target=self._loop_main,
+                args=(ready, boot),
+                name="repro-net-loop",
+                daemon=True,
+            )
+            self._loop_thread.start()
+            ready.wait(timeout=10.0)
+            if "error" in boot:
+                self._started = True  # let stop() tear down what came up
+                self.stop()
+                raise boot["error"]
+        else:
+            listener.listen(self.backlog)
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="repro-net-accept", daemon=True
+            )
+            self._accept_thread.start()
         self._started = True
         self.metrics.gauge("net.shards", len(self._shards))
         if self.is_relay:
@@ -409,13 +621,16 @@ class AggregationServer:
         :meth:`drain_results` observes all acknowledged data.
         """
         self._stopping.set()
-        self._close_listener()
-        with self._conn_lock:
-            conns = list(self._conns)
-        for conn in conns:
-            _close_quietly(conn)
-        for thread in list(self._handlers):
-            thread.join(timeout=timeout)
+        if self.core == "async":
+            self._shutdown_loop(graceful=True, timeout=timeout)
+        else:
+            self._close_listener()
+            with self._conn_lock:
+                conns = list(self._conns)
+            for conn in conns:
+                _close_quietly(conn)
+            for thread in list(self._handlers):
+                thread.join(timeout=timeout)
         done = []
         for shard in self._shards:
             event = threading.Event()
@@ -445,11 +660,14 @@ class AggregationServer:
         exactly like a crashed server process.  Shard state is abandoned.
         """
         self._stopping.set()
-        self._close_listener()
-        with self._conn_lock:
-            conns = list(self._conns)
-        for conn in conns:
-            _close_quietly(conn)
+        if self.core == "async":
+            self._shutdown_loop(graceful=False, timeout=5.0)
+        else:
+            self._close_listener()
+            with self._conn_lock:
+                conns = list(self._conns)
+            for conn in conns:
+                _close_quietly(conn)
         for shard in self._shards:
             try:
                 shard.queue.put_nowait(("stop", threading.Event()))
@@ -468,6 +686,230 @@ class AggregationServer:
             self._accept_thread.join(timeout=5.0)
             self._accept_thread = None
 
+    # -- asyncio network core ----------------------------------------------------
+
+    def _loop_main(self, ready: threading.Event, boot: dict) -> None:
+        """Body of the event-loop thread: one loop owns every connection."""
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def _boot() -> None:
+            self._listener.setblocking(False)
+            # start_server calls listen() on the pre-bound socket itself,
+            # honoring our backlog — the port was fixed at bind time so
+            # ``address`` is already concrete for callers.
+            self._async_server = await asyncio.start_server(
+                self._client_connected, sock=self._listener, backlog=self.backlog
+            )
+
+        try:
+            loop.run_until_complete(_boot())
+        except Exception as exc:
+            boot["error"] = exc
+        finally:
+            ready.set()
+        if "error" not in boot:
+            interval = max(0.05, min(self.dedup_ttl / 4.0, 30.0)) if self.dedup_ttl else 30.0
+            self._housekeeping_task = loop.create_task(self._housekeeping(interval))
+            loop.run_forever()
+        try:
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        except Exception:
+            pass
+        loop.close()
+
+    async def _housekeeping(self, interval: float) -> None:
+        """Periodic event-loop chores: prune idle dedup state."""
+        try:
+            while not self._stopping.is_set():
+                await asyncio.sleep(interval)
+                self._prune_dedup()
+        except asyncio.CancelledError:
+            pass
+
+    async def _client_connected(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._async_tasks.add(task)
+        self._async_writers.add(writer)
+        self.metrics.count("net.connections")
+        try:
+            await self._serve_connection_async(reader, writer)
+        except asyncio.CancelledError:
+            pass  # kill() or shutdown cancelled us mid-frame
+        except (Truncated, OSError, ValueError, ConnectionError):
+            # Peer vanished (or our own shutdown closed the socket):
+            # nothing to report to — drop the connection.
+            self.metrics.count("net.disconnects", reason="io")
+        except ProtocolError as exc:
+            self.metrics.count("net.errors", stage="protocol")
+            await self._send_error_async(writer, exc)
+        except ReproError as exc:
+            self.metrics.count("net.errors", stage="request")
+            await self._send_error_async(writer, exc, code="request")
+        finally:
+            self._async_writers.discard(writer)
+            self._async_tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _send_error_async(self, writer, exc, code: Optional[str] = None) -> None:
+        code = code or getattr(exc, "code", None) or "protocol"
+        try:
+            writer.write(
+                message_bytes(MessageType.ERROR, error_body(str(exc), code=code))
+            )
+            await writer.drain()
+        except (OSError, ConnectionError):
+            pass
+
+    async def _read_async(self, reader) -> tuple[MessageType, dict, dict]:
+        """Incremental frame parse off the stream buffer (no thread, no poll)."""
+        try:
+            header = await reader.readexactly(HEADER.size)
+        except asyncio.IncompleteReadError as exc:
+            if exc.partial:
+                raise Truncated("connection closed mid-frame") from None
+            raise Truncated("connection closed") from None
+        mtype, flags, length = parse_frame_header(header, self.max_payload)
+        payload = b""
+        if length:
+            try:
+                payload = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise Truncated("connection closed mid-frame") from None
+        nbytes = HEADER.size + len(payload)
+        self.metrics.count("net.bytes.rx", nbytes)
+        if mtype is MessageType.FORWARD:
+            self.metrics.count("net.forward.bytes.rx", nbytes)
+        if flags & FLAG_BINARY:
+            if not self.binary:
+                raise ProtocolError(
+                    "binary payload received but this server only speaks JSON"
+                )
+            body, sections = decode_binary_body(payload, max_decoded=self.max_decoded)
+            return mtype, body, sections
+        return mtype, parse_body(mtype, payload), {}
+
+    async def _write_async(self, writer, mtype: MessageType, body: dict) -> None:
+        data = message_bytes(mtype, body)
+        writer.write(data)
+        await writer.drain()
+        self.metrics.count("net.bytes.tx", len(data))
+
+    async def _serve_connection_async(self, reader, writer) -> None:
+        mtype, body, _ = await self._read_async(reader)
+        if mtype is not MessageType.HELLO:
+            raise ProtocolError(f"expected HELLO, got {mtype.name}")
+        client_id, tenant, ack = self._handshake(body)
+        try:
+            await self._write_async(writer, MessageType.HELLO_ACK, ack)
+            loop = asyncio.get_running_loop()
+            while True:
+                mtype, body, sections = await self._read_async(reader)
+                if mtype is MessageType.BYE:
+                    self._forget_client(tenant, client_id)
+                    self.metrics.count("net.disconnects", reason="bye")
+                    return
+                if mtype is MessageType.RECORDS:
+                    resp = await self._fold_records_async(
+                        tenant, client_id, body, sections
+                    )
+                elif mtype is MessageType.STATES:
+                    resp = await self._fold_states_async(
+                        tenant, client_id, body, sections
+                    )
+                elif mtype is MessageType.FORWARD:
+                    # Folding a relay delta contends on _forward_lock; queries
+                    # and drains run export barriers.  All of them hop to the
+                    # executor so the loop keeps absorbing reads meanwhile.
+                    resp = await loop.run_in_executor(
+                        self._executor, self._fold_forward, client_id, body, sections
+                    )
+                elif mtype is MessageType.RETRACT:
+                    resp = await loop.run_in_executor(
+                        self._executor, self._fold_retract, client_id, body
+                    )
+                elif mtype is MessageType.QUERY:
+                    resp = await loop.run_in_executor(
+                        self._executor, self._query_response, body, tenant
+                    )
+                elif mtype is MessageType.STATS:
+                    resp = await loop.run_in_executor(
+                        self._executor, self._stats_response
+                    )
+                elif mtype is MessageType.DRAIN:
+                    resp = await loop.run_in_executor(
+                        self._executor, self._drain_response, tenant
+                    )
+                else:
+                    raise ProtocolError(f"unexpected {mtype.name} frame")
+                await self._write_async(writer, *resp)
+        finally:
+            self._release_conn(tenant)
+
+    def _shutdown_loop(self, graceful: bool, timeout: float) -> None:
+        """Tear down the asyncio plane from the caller's (non-loop) thread."""
+        loop, thread = self._loop, self._loop_thread
+        if loop is None or thread is None:
+            # start() never brought the loop up: just close the bare socket.
+            listener, self._listener = self._listener, None
+            if listener is not None:
+                _close_quietly(listener)
+            return
+        if loop.is_running():
+            try:
+                fut = asyncio.run_coroutine_threadsafe(
+                    self._shutdown_async(graceful, timeout), loop
+                )
+                fut.result(timeout=timeout + 5.0)
+            except Exception:
+                pass
+            loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=timeout + 5.0)
+        self._loop_thread = None
+        self._loop = None
+        self._listener = None
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=graceful)
+
+    async def _shutdown_async(self, graceful: bool, timeout: float) -> None:
+        current = asyncio.current_task()
+        task = getattr(self, "_housekeeping_task", None)
+        if task is not None:
+            task.cancel()
+        server, self._async_server = self._async_server, None
+        if server is not None:
+            server.close()
+        for writer in list(self._async_writers):
+            try:
+                if graceful:
+                    # Orderly EOF: clients observe the close and spool
+                    # anything unacknowledged for replay.
+                    writer.close()
+                else:
+                    transport = writer.transport
+                    if transport is not None:
+                        transport.abort()
+            except Exception:
+                pass
+        tasks = [t for t in self._async_tasks if t is not current and not t.done()]
+        if graceful and tasks:
+            _, pending = await asyncio.wait(tasks, timeout=min(timeout, 5.0))
+            tasks = list(pending)
+        for t in tasks:
+            t.cancel()
+        if tasks:
+            await asyncio.wait(tasks, timeout=2.0)
+        if server is not None:
+            try:
+                await asyncio.wait_for(server.wait_closed(), timeout=2.0)
+            except Exception:
+                pass
+
     # -- routing ----------------------------------------------------------------
 
     def _shard_of_key(self, key_text: str) -> int:
@@ -477,25 +919,21 @@ class AggregationServer:
         get = record.get
         return _KEY_SEP.join(get(label).to_string() for label in self._key_labels)
 
-    def _route_records(self, records: list[Record]) -> None:
+    def _bucket_records(self, records: list[Record]) -> list[tuple[_Shard, list[Record]]]:
         n = len(self._shards)
         if n == 1:
-            self._enqueue(self._shards[0], ("records", records))
-            return
+            return [(self._shards[0], records)]
         buckets: list[list[Record]] = [[] for _ in range(n)]
         for record in records:
             buckets[self._shard_of_key(self._record_key(record))].append(record)
-        for shard, bucket in zip(self._shards, buckets):
-            if bucket:
-                self._enqueue(shard, ("records", bucket))
+        return [(s, b) for s, b in zip(self._shards, buckets) if b]
 
-    def _route_states(
+    def _bucket_states(
         self, groups: list[tuple[dict[str, Variant], list[list]]], offered: int, processed: int
-    ) -> None:
+    ) -> list[tuple[_Shard, list, int, int]]:
         n = len(self._shards)
         if n == 1:
-            self._enqueue(self._shards[0], ("states", groups, offered, processed))
-            return
+            return [(self._shards[0], groups, offered, processed)]
         buckets: list[list] = [[] for _ in range(n)]
         for entries, cells in groups:
             key_text = _KEY_SEP.join(
@@ -505,16 +943,33 @@ class AggregationServer:
             buckets[self._shard_of_key(key_text)].append((entries, cells))
         # Stream counters are global, not per-key; attribute them to the
         # first non-empty bucket so totals stay exact after merging.
+        out: list[tuple[_Shard, list, int, int]] = []
         counted = False
         for shard, bucket in zip(self._shards, buckets):
             if bucket:
-                self._enqueue(
-                    shard,
-                    ("states", bucket, 0 if counted else offered, 0 if counted else processed),
+                out.append(
+                    (shard, bucket, 0 if counted else offered, 0 if counted else processed)
                 )
                 counted = True
         if not counted and (offered or processed):
-            self._enqueue(self._shards[0], ("states", [], offered, processed))
+            out.append((self._shards[0], [], offered, processed))
+        return out
+
+    def _route_records(self, tenant: _TenantState, records: list[Record]) -> None:
+        for shard, bucket in self._bucket_records(records):
+            self._enqueue_counted(tenant, shard, ("records", tenant.name, bucket, tenant))
+
+    def _route_states(
+        self,
+        tenant: _TenantState,
+        groups: list[tuple[dict[str, Variant], list[list]]],
+        offered: int,
+        processed: int,
+    ) -> None:
+        for shard, bucket, off, proc in self._bucket_states(groups, offered, processed):
+            self._enqueue_counted(
+                tenant, shard, ("states", tenant.name, bucket, off, proc, tenant)
+            )
 
     def _enqueue(self, shard: _Shard, item: tuple) -> None:
         # Bounded put = backpressure.  Wake up periodically so a connection
@@ -526,6 +981,57 @@ class AggregationServer:
             except queue.Full:
                 if self._stopping.is_set():
                     raise ReproError("server is shutting down") from None
+
+    def _enqueue_counted(self, tenant: _TenantState, shard: _Shard, item: tuple) -> None:
+        """Blocking enqueue (threaded core) with tenant queue accounting."""
+        self._enqueue(shard, item)
+        tenant.add_queued()
+
+    async def _route_records_async(
+        self, tenant: _TenantState, records: list[Record], shed: bool = True
+    ) -> bool:
+        puts = [
+            (shard, ("records", tenant.name, bucket, tenant))
+            for shard, bucket in self._bucket_records(records)
+        ]
+        return await self._put_async(tenant, puts, shed)
+
+    async def _route_states_async(
+        self, tenant: _TenantState, groups: list, offered: int, processed: int
+    ) -> bool:
+        puts = [
+            (shard, ("states", tenant.name, bucket, off, proc, tenant))
+            for shard, bucket, off, proc in self._bucket_states(groups, offered, processed)
+        ]
+        return await self._put_async(tenant, puts, shed=True)
+
+    async def _put_async(self, tenant: _TenantState, puts: list, shed: bool) -> bool:
+        """Admission-controlled enqueue on the event loop: never blocks it.
+
+        Returns False (-> BUSY) when a full shard queue outlasts
+        ``admission_timeout`` — but only while *nothing* from this batch has
+        committed.  Once any bucket is queued the batch must complete: a
+        half-folded batch answered BUSY would double-count on redelivery
+        (the seq is only marked after the last bucket lands).
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.admission_timeout
+        committed = False
+        for shard, item in puts:
+            while True:
+                try:
+                    shard.queue.put_nowait(item)
+                except queue.Full:
+                    if self._stopping.is_set():
+                        raise ReproError("server is shutting down")
+                    if shed and not committed and loop.time() >= deadline:
+                        return False
+                    await asyncio.sleep(0.002)
+                    continue
+                tenant.add_queued()
+                committed = True
+                break
+        return True
 
     # -- reduction tree: sending side ---------------------------------------------
 
@@ -701,27 +1207,36 @@ class AggregationServer:
 
     # -- merged views ------------------------------------------------------------
 
-    def _snapshot_states(self, timeout: float = 30.0) -> list[dict]:
-        """Export barrier on every shard: a consistent cross-shard snapshot."""
+    def _snapshot_states(
+        self, timeout: float = 30.0, tenant: str = DEFAULT_TENANT
+    ) -> list[dict]:
+        """Export barrier on every shard: a consistent cross-shard snapshot.
+
+        Scoped to one tenant's namespace — the barrier only ever exports
+        that tenant's per-shard DB, which is what makes cross-tenant reads
+        structurally impossible rather than merely filtered.
+        """
+
+        def _quiescent(shard: _Shard) -> dict:
+            db = shard.dbs.get(tenant)
+            if db is None:
+                return {"states": [], "offered": 0, "processed": 0}
+            return {
+                "states": db.export_states(),
+                "offered": db.num_offered,
+                "processed": db.num_processed,
+            }
+
         pending: list[tuple[Optional[threading.Event], dict]] = []
         for shard in self._shards:
             if shard.thread is None or not shard.thread.is_alive():
                 # Quiescent shard (drained by stop()): its worker is gone and
                 # nothing mutates the DB anymore, so read it directly.
-                pending.append(
-                    (
-                        None,
-                        {
-                            "states": shard.db.export_states(),
-                            "offered": shard.db.num_offered,
-                            "processed": shard.db.num_processed,
-                        },
-                    )
-                )
+                pending.append((None, _quiescent(shard)))
                 continue
             event = threading.Event()
             slot: dict = {}
-            self._enqueue(shard, ("export", event, slot))
+            self._enqueue(shard, ("export", event, slot, tenant))
             pending.append((event, slot))
         slots = []
         for shard, (event, slot) in zip(self._shards, pending):
@@ -731,11 +1246,7 @@ class AggregationServer:
                     if shard.thread is None or not shard.thread.is_alive():
                         # Worker exited between enqueue and barrier (server
                         # stopping): the DB is quiescent, read it directly.
-                        slot = {
-                            "states": shard.db.export_states(),
-                            "offered": shard.db.num_offered,
-                            "processed": shard.db.num_processed,
-                        }
+                        slot = _quiescent(shard)
                         break
                     if time.monotonic() > deadline:
                         raise ReproError("timed out waiting for a shard snapshot")
@@ -743,26 +1254,28 @@ class AggregationServer:
         # Forwarded (reduction-tree) partial DBs live outside the shards so
         # they stay retractable per origin; a consistent merged view must
         # include them.  Deep-copy under the lock — FORWARD handlers fold
-        # into these DBs concurrently.
-        with self._forward_lock:
-            for db in self._forwarded.values():
-                slots.append(
-                    {
-                        "states": [
-                            (entries, [list(s) for s in states])
-                            for entries, states in db.export_states()
-                        ],
-                        "offered": db.num_offered,
-                        "processed": db.num_processed,
-                    }
-                )
+        # into these DBs concurrently.  Relay mode forbids tenants, so the
+        # forwarded DBs belong to the default namespace only.
+        if tenant == DEFAULT_TENANT:
+            with self._forward_lock:
+                for db in self._forwarded.values():
+                    slots.append(
+                        {
+                            "states": [
+                                (entries, [list(s) for s in states])
+                                for entries, states in db.export_states()
+                            ],
+                            "offered": db.num_offered,
+                            "processed": db.num_processed,
+                        }
+                    )
         return slots
 
-    def merged_db(self) -> AggregationDB:
+    def merged_db(self, tenant: str = DEFAULT_TENANT) -> AggregationDB:
         """A consistent merge of all shards (ingestion keeps running)."""
         start = time.perf_counter()
         db = AggregationDB(self.scheme)
-        for slot in self._snapshot_states():
+        for slot in self._snapshot_states(tenant=tenant):
             db.load_states(
                 slot["states"], offered=slot["offered"], processed=slot["processed"]
             )
@@ -778,9 +1291,9 @@ class AggregationServer:
         self.metrics.timing("net.merge", time.perf_counter() - start)
         return db
 
-    def drain_results(self) -> list[Record]:
+    def drain_results(self, tenant: str = DEFAULT_TENANT) -> list[Record]:
         """Flushed output records over everything ingested so far."""
-        return self.merged_db().flush()
+        return self.merged_db(tenant=tenant).flush()
 
     # -- windowed streaming: watermarks, retirement, estimates --------------------
 
@@ -884,7 +1397,9 @@ class AggregationServer:
             mark = self._window_tracker.watermark()
         return self._window_estimator.estimate_records(db.export_states(), mark)
 
-    def run_query(self, text: str, target: str = "aggregate"):
+    def run_query(
+        self, text: str, target: str = "aggregate", tenant: str = DEFAULT_TENANT
+    ):
         """Run CalQL against the live merged state (or the telemetry).
 
         ``target="aggregate"`` queries the flushed output of a consistent
@@ -900,7 +1415,7 @@ class AggregationServer:
         if target == "telemetry":
             records = self.stats_records()
         elif target == "aggregate":
-            records = self.drain_results()
+            records = self.drain_results(tenant=tenant)
         elif target == "estimate":
             records = self.estimate_results()
         elif target == "retired":
@@ -923,10 +1438,30 @@ class AggregationServer:
             self.metrics.gauge(
                 "net.shard.entries", shard.db.num_entries, shard=shard.index
             )
+        with self._tenant_lock:
+            tenant_rows = [
+                (t.name, t.connections, t.queued, t.shed)
+                for t in self._tenants.values()
+            ]
+        if len(tenant_rows) > 1:
+            for name, conns, queued, shed in tenant_rows:
+                self.metrics.gauge("net.tenant.connections", conns, tenant=name)
+                self.metrics.gauge("net.tenant.queued", queued, tenant=name)
+                self.metrics.gauge("net.tenant.shed", shed, tenant=name)
+                self.metrics.gauge(
+                    "net.tenant.entries",
+                    sum(
+                        shard.dbs[name].num_entries
+                        for shard in self._shards
+                        if name in shard.dbs
+                    ),
+                    tenant=name,
+                )
         records = _metrics_to_records(self.metrics)
         summary = {
             "observe.kind": Variant.of("server"),
             "observe.epoch": Variant.of(self.epoch),
+            "observe.core": Variant.of(self.core),
             "observe.shards": Variant.of(len(self._shards)),
             "observe.scheme": Variant.of(self.scheme.describe()),
             "observe.entries": Variant.of(
@@ -1018,7 +1553,11 @@ class AggregationServer:
         except ProtocolError as exc:
             self.metrics.count("net.errors", stage="protocol")
             try:
-                self._write(wfile, MessageType.ERROR, error_body(str(exc)))
+                self._write(
+                    wfile,
+                    MessageType.ERROR,
+                    error_body(str(exc), code=getattr(exc, "code", "protocol")),
+                )
             except (OSError, ValueError):
                 pass
         except ReproError as exc:
@@ -1058,64 +1597,143 @@ class AggregationServer:
         mtype, body, _ = self._read(rfile)
         if mtype is not MessageType.HELLO:
             raise ProtocolError(f"expected HELLO, got {mtype.name}")
+        client_id, tenant, ack = self._handshake(body)
+        try:
+            self._write(wfile, MessageType.HELLO_ACK, ack)
+            while True:
+                mtype, body, sections = self._read(rfile)
+                if mtype is MessageType.BYE:
+                    # The client session is over and its replay window with
+                    # it: drop its dedup entry so unbounded client churn
+                    # (one-shot producers, live_query probes) cannot grow
+                    # the map forever.
+                    self._forget_client(tenant, client_id)
+                    self.metrics.count("net.disconnects", reason="bye")
+                    return
+                if mtype is MessageType.RECORDS:
+                    resp = self._fold_records(tenant, client_id, body, sections)
+                elif mtype is MessageType.STATES:
+                    resp = self._fold_states(tenant, client_id, body, sections)
+                elif mtype is MessageType.FORWARD:
+                    resp = self._fold_forward(client_id, body, sections)
+                elif mtype is MessageType.RETRACT:
+                    resp = self._fold_retract(client_id, body)
+                elif mtype is MessageType.QUERY:
+                    resp = self._query_response(body, tenant)
+                elif mtype is MessageType.STATS:
+                    resp = self._stats_response()
+                elif mtype is MessageType.DRAIN:
+                    resp = self._drain_response(tenant)
+                else:
+                    raise ProtocolError(f"unexpected {mtype.name} frame")
+                self._write(wfile, *resp)
+        finally:
+            self._release_conn(tenant)
+
+    # -- handshake, tenancy, and dedup state --------------------------------------
+
+    def _resolve_tenant(self, body: dict) -> _TenantState:
+        token = body.get("token")
+        if token is not None and not isinstance(token, str):
+            raise ProtocolError("HELLO token must be a string")
+        if token:
+            state = self._tenants_by_token.get(token)
+            if state is None:
+                raise _Refused("unknown auth token", code="auth")
+            return state
+        if self.require_token:
+            raise _Refused("this server requires an auth token", code="auth")
+        return self._tenants[DEFAULT_TENANT]
+
+    def _handshake(self, body: dict) -> tuple[str, _TenantState, dict]:
+        """Shared HELLO processing: auth, quota admission, capability ack.
+
+        On success the tenant's connection count is already incremented —
+        the caller owns the matching :meth:`_release_conn`.
+        """
         client_id = str(require(body, "client", (str,)))
-        client_scheme = body.get("scheme")
-        if client_scheme is not None:
-            self._check_scheme(str(client_scheme))
-        failover_from = body.get("failover_from")
-        if failover_from is not None:
-            # The client re-parented here after its relay died: fence that
-            # incarnation and drop everything it forwarded — the client's
-            # spool replay is about to re-deliver all of it first-hand.
-            self._retract_sender(origin_from_wire(failover_from))
-        ack = {
-            "epoch": self.epoch,
-            "shards": len(self._shards),
-            "scheme": self.scheme.describe(),
-            "level": self.level,
-        }
-        client_caps = body.get("caps")
-        if self.binary and isinstance(client_caps, list) and CAP_BINARY in client_caps:
-            # Capability negotiation: echo only what both sides speak, so a
-            # new client against an old (caps-blind) server falls back to
-            # JSON and an old client never sees an unfamiliar flag.
-            ack["caps"] = [CAP_BINARY]
-        if self.is_relay:
-            # Advertise our own parent so children can re-parent to their
-            # grandparent if we die (the root advertises nothing: there is
-            # no level above it to fail over to).
-            ack["relay_id"] = self.forward_id
-            ack["upstream"] = [self.upstream[0], self.upstream[1]]
-        self._write(wfile, MessageType.HELLO_ACK, ack)
-        while True:
-            mtype, body, sections = self._read(rfile)
-            if mtype is MessageType.BYE:
-                # The client session is over and its replay window with it:
-                # drop its dedup entry so unbounded client churn (one-shot
-                # producers, live_query probes) cannot grow the map forever.
-                with self._seq_lock:
-                    self._max_seq.pop(client_id, None)
-                self.metrics.count("net.disconnects", reason="bye")
-                return
-            if mtype is MessageType.RECORDS:
-                self._on_records(wfile, client_id, body, sections)
-            elif mtype is MessageType.STATES:
-                self._on_states(wfile, client_id, body, sections)
-            elif mtype is MessageType.FORWARD:
-                self._on_forward(wfile, client_id, body, sections)
-            elif mtype is MessageType.RETRACT:
-                self._on_retract(wfile, client_id, body)
-            elif mtype is MessageType.QUERY:
-                self._on_query(wfile, body)
-            elif mtype is MessageType.STATS:
-                self._send_result(wfile, self.stats_records(), [], None)
-            elif mtype is MessageType.DRAIN:
-                records = self.drain_results()
-                self._send_result(
-                    wfile, records, list(self.scheme.output_labels), None
+        tenant = self._resolve_tenant(body)
+        with self._tenant_lock:
+            limit = tenant.quota.max_connections
+            if limit and tenant.connections >= limit:
+                raise _Refused(
+                    f"tenant {tenant.name!r} is at its connection quota ({limit})",
+                    code="quota",
                 )
-            else:
-                raise ProtocolError(f"unexpected {mtype.name} frame")
+            tenant.connections += 1
+        try:
+            client_scheme = body.get("scheme")
+            if client_scheme is not None:
+                self._check_scheme(str(client_scheme))
+            failover_from = body.get("failover_from")
+            if failover_from is not None:
+                # The client re-parented here after its relay died: fence
+                # that incarnation and drop everything it forwarded — the
+                # client's spool replay is about to re-deliver all of it
+                # first-hand.
+                self._retract_sender(origin_from_wire(failover_from))
+            ack = {
+                "epoch": self.epoch,
+                "shards": len(self._shards),
+                "scheme": self.scheme.describe(),
+                "level": self.level,
+            }
+            if tenant.name != DEFAULT_TENANT:
+                ack["tenant"] = tenant.name
+            client_caps = body.get("caps")
+            if (
+                self.binary
+                and isinstance(client_caps, list)
+                and CAP_BINARY in client_caps
+            ):
+                # Capability negotiation: echo only what both sides speak,
+                # so a new client against an old (caps-blind) server falls
+                # back to JSON and an old client never sees an unknown flag.
+                ack["caps"] = [CAP_BINARY]
+            if self.is_relay:
+                # Advertise our own parent so children can re-parent to
+                # their grandparent if we die (the root advertises nothing:
+                # there is no level above it to fail over to).
+                ack["relay_id"] = self.forward_id
+                ack["upstream"] = [self.upstream[0], self.upstream[1]]
+        except BaseException:
+            self._release_conn(tenant)
+            raise
+        return client_id, tenant, ack
+
+    def _release_conn(self, tenant: _TenantState) -> None:
+        with self._tenant_lock:
+            if tenant.connections > 0:
+                tenant.connections -= 1
+
+    def _check_entries_quota(self, tenant: _TenantState) -> None:
+        limit = tenant.quota.max_entries
+        if not limit:
+            return
+        total = 0
+        for shard in self._shards:
+            db = shard.dbs.get(tenant.name)
+            if db is not None:
+                total += db.num_entries
+        if total >= limit:
+            # Entries never drain on their own (unlike queue depth), so a
+            # BUSY retry loop would spin forever: refuse hard instead.
+            raise _Refused(
+                f"tenant {tenant.name!r} is at its entry quota ({limit})",
+                code="quota",
+            )
+
+    def _busy(self, tenant: _TenantState, seq: int) -> tuple[MessageType, dict]:
+        with self._tenant_lock:
+            tenant.shed += 1
+        self.metrics.count("net.shed", tenant=tenant.name)
+        return (MessageType.BUSY, busy_body(seq, self.busy_retry_after))
+
+    def _forget_client(self, tenant: _TenantState, client_id: str) -> None:
+        key = self._dedup_key(tenant, client_id)
+        with self._seq_lock:
+            self._max_seq.pop(key, None)
+            self._seq_touched.pop(key, None)
 
     def _check_scheme(self, text: str) -> None:
         from ..calql import parse_scheme
@@ -1135,14 +1753,63 @@ class AggregationServer:
                 f"client sent {theirs.describe()!r}"
             )
 
-    def _dedup(self, client_id: str, seq: int) -> bool:
-        """True if this batch was already folded (ACK but skip)."""
+    def _dedup_key(self, tenant: _TenantState, client_id: str) -> str:
+        # The default namespace keeps bare client ids (wire/debug/test
+        # compatibility); named tenants prefix theirs so two tenants' "node-1"
+        # clients can never collide in the replay-dedup map.
+        if tenant.name == DEFAULT_TENANT:
+            return client_id
+        return f"{tenant.name}{_KEY_SEP}{client_id}"
+
+    def _dedup_peek(self, key: str, seq: int) -> bool:
+        """True if this batch was already folded (ACK but skip).
+
+        Peek only — the seq is *marked* separately after the batch commits,
+        so a shed (BUSY) or a failed route leaves no trace and the client's
+        redelivery folds normally.
+        """
+        now = time.monotonic()
         with self._seq_lock:
-            last = self._max_seq.get(client_id, -1)
-            if seq <= last:
-                return True
-            self._max_seq[client_id] = seq
-            return False
+            self._seq_touched[key] = now
+            sweep_due = bool(self.dedup_ttl) and (
+                now - self._seq_swept > max(self.dedup_ttl / 2.0, 0.05)
+            )
+            last = self._max_seq.get(key, -1)
+        if sweep_due:
+            # Opportunistic sweep keeps the threaded core bounded too; the
+            # async core additionally prunes from its housekeeping task so
+            # an idle server still forgets dead clients.
+            self._prune_dedup()
+        return seq <= last
+
+    def _dedup_mark(self, key: str, seq: int) -> None:
+        with self._seq_lock:
+            if seq > self._max_seq.get(key, -1):
+                self._max_seq[key] = seq
+
+    def _prune_dedup(self) -> None:
+        """Drop dedup/seq state for clients idle past ``dedup_ttl``.
+
+        Unclean disconnects (no BYE) would otherwise pin their replay
+        window forever; under client churn that is an unbounded leak.  A
+        pruned client that replays after sitting idle longer than the TTL
+        re-folds — the TTL is the documented replay-window bound.
+        """
+        if not self.dedup_ttl:
+            return
+        now = time.monotonic()
+        with self._seq_lock:
+            self._seq_swept = now
+            stale = [
+                key
+                for key, touched in self._seq_touched.items()
+                if now - touched > self.dedup_ttl
+            ]
+            for key in stale:
+                self._seq_touched.pop(key, None)
+                self._max_seq.pop(key, None)
+        if stale:
+            self.metrics.count("net.dedup.pruned", len(stale))
 
     def _window_stamp(self, source: str, records: list[Record]) -> list[Record]:
         """Assign incoming records to windows, advancing *source*'s watermark.
@@ -1191,29 +1858,68 @@ class AggregationServer:
             self.metrics.count("window.untimed", untimed)
         return stamped
 
-    def _on_records(
-        self, wfile, client_id: str, body: dict, sections: Optional[dict] = None
-    ) -> None:
+    def _parse_records(self, body: dict, sections: Optional[dict]) -> tuple[int, list]:
         seq = int(require(body, "seq", (int,)))
         if sections and "records" in sections:
             records = records_from_binary(sections["records"], self.max_decoded)
         else:
             records = records_from_wire(require(body, "records", (list,)))
-        duplicate = self._dedup(client_id, seq)
+        return seq, records
+
+    def _fold_records(
+        self, tenant: _TenantState, client_id: str, body: dict, sections: Optional[dict]
+    ) -> tuple[MessageType, dict]:
+        """Threaded-core RECORDS handler: blocking backpressure, no shedding."""
+        seq, records = self._parse_records(body, sections)
+        key = self._dedup_key(tenant, client_id)
+        duplicate = self._dedup_peek(key, seq)
         if not duplicate:
+            self._check_entries_quota(tenant)
             routed = (
                 self._window_stamp(client_id, records) if self.windowed else records
             )
             if routed:
-                self._route_records(routed)
+                self._route_records(tenant, routed)
+            self._dedup_mark(key, seq)
             self.metrics.count("net.batches", kind="records")
             self.metrics.count("net.records", len(records))
         else:
             self.metrics.count("net.duplicates")
-        self._write(
-            wfile,
+        return (
             MessageType.ACK,
             {"seq": seq, "count": len(records), "duplicate": duplicate},
+        )
+
+    async def _fold_records_async(
+        self, tenant: _TenantState, client_id: str, body: dict, sections: Optional[dict]
+    ) -> tuple[MessageType, dict]:
+        """Async-core RECORDS handler: admission control instead of blocking."""
+        seq, records = self._parse_records(body, sections)
+        key = self._dedup_key(tenant, client_id)
+        if self._dedup_peek(key, seq):
+            self.metrics.count("net.duplicates")
+            return (
+                MessageType.ACK,
+                {"seq": seq, "count": len(records), "duplicate": True},
+            )
+        self._check_entries_quota(tenant)
+        if tenant.over_queue_quota():
+            return self._busy(tenant, seq)
+        routed = self._window_stamp(client_id, records) if self.windowed else records
+        if routed:
+            # Windowed stamping already advanced the watermark, so a windowed
+            # batch can no longer be shed — it waits for queue space instead.
+            ok = await self._route_records_async(
+                tenant, routed, shed=not self.windowed
+            )
+            if not ok:
+                return self._busy(tenant, seq)
+        self._dedup_mark(key, seq)
+        self.metrics.count("net.batches", kind="records")
+        self.metrics.count("net.records", len(records))
+        return (
+            MessageType.ACK,
+            {"seq": seq, "count": len(records), "duplicate": False},
         )
 
     def _validate_states(self, groups) -> None:
@@ -1235,9 +1941,9 @@ class AggregationServer:
                         f"operator state has {len(op_state)} cells, expected {width}"
                     )
 
-    def _on_states(
-        self, wfile, client_id: str, body: dict, sections: Optional[dict] = None
-    ) -> None:
+    def _parse_states(
+        self, body: dict, sections: Optional[dict]
+    ) -> tuple[int, list, int, int]:
         seq = int(require(body, "seq", (int,)))
         groups = self._groups_from(body, sections)
         scheme_text = require(body, "scheme", (str,))
@@ -1245,17 +1951,52 @@ class AggregationServer:
         self._validate_states(groups)
         offered = int(body.get("offered", 0))
         processed = int(body.get("processed", 0))
-        duplicate = self._dedup(client_id, seq)
+        return seq, groups, offered, processed
+
+    def _fold_states(
+        self, tenant: _TenantState, client_id: str, body: dict, sections: Optional[dict]
+    ) -> tuple[MessageType, dict]:
+        """Threaded-core STATES handler: blocking backpressure, no shedding."""
+        seq, groups, offered, processed = self._parse_states(body, sections)
+        key = self._dedup_key(tenant, client_id)
+        duplicate = self._dedup_peek(key, seq)
         if not duplicate:
-            self._route_states(groups, offered, processed)
+            self._check_entries_quota(tenant)
+            self._route_states(tenant, groups, offered, processed)
+            self._dedup_mark(key, seq)
             self.metrics.count("net.batches", kind="states")
             self.metrics.count("net.groups", len(groups))
         else:
             self.metrics.count("net.duplicates")
-        self._write(
-            wfile,
+        return (
             MessageType.ACK,
             {"seq": seq, "count": len(groups), "duplicate": duplicate},
+        )
+
+    async def _fold_states_async(
+        self, tenant: _TenantState, client_id: str, body: dict, sections: Optional[dict]
+    ) -> tuple[MessageType, dict]:
+        """Async-core STATES handler: admission control instead of blocking."""
+        seq, groups, offered, processed = self._parse_states(body, sections)
+        key = self._dedup_key(tenant, client_id)
+        if self._dedup_peek(key, seq):
+            self.metrics.count("net.duplicates")
+            return (
+                MessageType.ACK,
+                {"seq": seq, "count": len(groups), "duplicate": True},
+            )
+        self._check_entries_quota(tenant)
+        if tenant.over_queue_quota():
+            return self._busy(tenant, seq)
+        ok = await self._route_states_async(tenant, groups, offered, processed)
+        if not ok:
+            return self._busy(tenant, seq)
+        self._dedup_mark(key, seq)
+        self.metrics.count("net.batches", kind="states")
+        self.metrics.count("net.groups", len(groups))
+        return (
+            MessageType.ACK,
+            {"seq": seq, "count": len(groups), "duplicate": False},
         )
 
     # -- reduction tree: receiving side -------------------------------------------
@@ -1266,10 +2007,15 @@ class AggregationServer:
             return states_from_binary(sections["groups"], self.max_decoded)
         return states_from_wire(require(body, "groups", (list,)))
 
-    def _on_forward(
-        self, wfile, client_id: str, body: dict, sections: Optional[dict] = None
-    ) -> None:
-        """Fold a downstream relay's delta, segregated per (sender, origin)."""
+    def _fold_forward(
+        self, client_id: str, body: dict, sections: Optional[dict] = None
+    ) -> tuple[MessageType, dict]:
+        """Fold a downstream relay's delta, segregated per (sender, origin).
+
+        Tree traffic always lives in the default namespace (relay mode
+        forbids tenants) and is never shed — dropping a relay delta would
+        stall the whole subtree behind the spool's redelivery cadence.
+        """
         seq = int(require(body, "seq", (int,)))
         from_epoch = str(require(body, "from_epoch", (str,)))
         origin = origin_from_wire(require(body, "origin", (list,)))
@@ -1282,7 +2028,7 @@ class AggregationServer:
         if not isinstance(watermark, (int, float)) or isinstance(watermark, bool):
             watermark = None
         sender = (client_id, from_epoch)
-        duplicate = self._dedup(client_id, seq)
+        duplicate = self._dedup_peek(client_id, seq)
         fenced = False
         if not duplicate:
             if self.windowed:
@@ -1335,30 +2081,30 @@ class AggregationServer:
                     # from that subtree — safe to advance our view of it.
                     with self._window_lock:
                         self._window_tracker.update(client_id, float(watermark))
+            self._dedup_mark(client_id, seq)
         else:
             self.metrics.count("net.duplicates")
-        self._write(
-            wfile,
+        return (
             MessageType.ACK,
             {"seq": seq, "count": len(groups), "duplicate": duplicate},
         )
 
-    def _on_retract(self, wfile, client_id: str, body: dict) -> None:
+    def _fold_retract(self, client_id: str, body: dict) -> tuple[MessageType, dict]:
         """Drop forwarded origins a downstream relay declared dead."""
         seq = int(require(body, "seq", (int,)))
         from_epoch = str(require(body, "from_epoch", (str,)))
         origins = origins_from_wire(require(body, "origins", (list,)))
         sender = (client_id, from_epoch)
-        duplicate = self._dedup(client_id, seq)
+        duplicate = self._dedup_peek(client_id, seq)
         if not duplicate:
             with self._forward_lock:
                 if sender not in self._fenced:
                     self._drop_origins(origins)
+            self._dedup_mark(client_id, seq)
             self.metrics.count("net.retracts", len(origins))
         else:
             self.metrics.count("net.duplicates")
-        self._write(
-            wfile,
+        return (
             MessageType.ACK,
             {"seq": seq, "count": len(origins), "duplicate": duplicate},
         )
@@ -1427,17 +2173,28 @@ class AggregationServer:
                     clean[field] = value
             self._tree_stats[node] = clean
 
-    def _on_query(self, wfile, body: dict) -> None:
+    def _query_response(
+        self, body: dict, tenant: _TenantState
+    ) -> tuple[MessageType, dict]:
         text = str(require(body, "q", (str,)))
         target = str(body.get("target", "aggregate"))
-        result = self.run_query(text, target)
-        self._send_result(
-            wfile, result.records, result.preferred_columns, result.format
+        result = self.run_query(text, target, tenant=tenant.name)
+        return self._result_frame(
+            result.records, result.preferred_columns, result.format
         )
 
-    def _send_result(self, wfile, records, columns, fmt) -> None:
-        sent = write_message(
-            wfile,
+    def _stats_response(self) -> tuple[MessageType, dict]:
+        return self._result_frame(self.stats_records(), [], None)
+
+    def _drain_response(self, tenant: _TenantState) -> tuple[MessageType, dict]:
+        return self._result_frame(
+            self.drain_results(tenant=tenant.name),
+            list(self.scheme.output_labels),
+            None,
+        )
+
+    def _result_frame(self, records, columns, fmt) -> tuple[MessageType, dict]:
+        return (
             MessageType.RESULT,
             {
                 "records": records_to_wire(records),
@@ -1445,7 +2202,6 @@ class AggregationServer:
                 "format": fmt,
             },
         )
-        self.metrics.count("net.bytes.tx", sent)
 
     def __repr__(self) -> str:
         return (

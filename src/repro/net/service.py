@@ -48,6 +48,10 @@ Config keys (prefix ``netflush.``):
 ``scheme``
     Optional CalQL scheme text announced in the handshake so the server
     can refuse mismatched producers early.
+``token``
+    Tenant auth token presented in the handshake: folds this channel's
+    records into that tenant's namespace on a multi-tenant server
+    (default: the shared default namespace).
 """
 
 from __future__ import annotations
@@ -88,6 +92,7 @@ class NetworkFlushService(Service):
             retries=self.config.get_int("retries", 3),
             spool_dir=spool_dir or None,
             failover_after=self.config.get_float("failover_after", 0.0) or None,
+            token=self.config.get_string("token", "") or None,
         )
         self._sent_at_finish: Optional[int] = None
 

@@ -105,6 +105,7 @@ class LocalTree:
         time_attribute: Optional[str] = None,
         retire_interval: float = 0.0,
         confidence: float = 0.90,
+        core: str = "async",
     ) -> None:
         sizes = list(level_sizes) if level_sizes is not None else plan_tree(n_leaves, fanin)
         if not sizes or sizes[0] != 1:
@@ -123,6 +124,7 @@ class LocalTree:
             lateness=lateness,
             time_attribute=time_attribute,
             confidence=confidence,
+            core=core,
         )
         #: levels[0] = [root]; levels[-1] is what the leaves stream to
         self.levels: list[list[AggregationServer]] = []

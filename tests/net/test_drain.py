@@ -1,0 +1,111 @@
+"""Graceful shutdown of ``repro-query serve``: SIGTERM drains and exports.
+
+Runs the real CLI in a subprocess, streams records into it, sends the
+signal systemd/docker would, and asserts the orderly exit: accept stops,
+queued batches fold, the final snapshot lands in ``--final-output``, and
+the process exits 0 printing what it drained.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.common import Record
+from repro.net import FlushClient
+
+SCHEME = "AGGREGATE count, sum(v) GROUP BY k"
+
+BANNER = re.compile(r"serving .* on ([\w.\-]+):(\d+) ")
+
+
+def _spawn_server(tmp_path, *extra: str) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.net.cli",
+            "serve",
+            "--scheme",
+            SCHEME,
+            "--port",
+            "0",
+            "--shards",
+            "2",
+            *extra,
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    # The banner is the readiness signal: it prints only once the server
+    # is listening, and carries the ephemeral port.
+    deadline = time.time() + 30
+    line = ""
+    while time.time() < deadline:
+        line = proc.stderr.readline()
+        if line:
+            break
+        if proc.poll() is not None:
+            pytest.fail(f"server died at startup: {proc.stderr.read()}")
+    match = BANNER.search(line)
+    if not match:
+        proc.kill()
+        pytest.fail(f"unparseable serve banner: {line!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+@pytest.mark.parametrize("sig", [signal.SIGTERM, signal.SIGINT])
+def test_signal_drains_and_exports_final_snapshot(tmp_path, sig):
+    out_path = str(tmp_path / "final.json")
+    proc, host, port = _spawn_server(tmp_path, "--final-output", out_path)
+    try:
+        with FlushClient(host, port, scheme=SCHEME, batch_size=25) as client:
+            client.push_all(
+                Record({"k": f"k{i % 5}", "v": float(i)}) for i in range(200)
+            )
+            assert client.flush()
+
+        proc.send_signal(sig)
+        _stdout, stderr = proc.communicate(timeout=30)
+        assert proc.returncode == 0, stderr
+        assert "draining..." in stderr
+        assert re.search(r"drained 5 groups -> ", stderr), stderr
+
+        # repro-json datasets are JSON-lines: a header object, then one
+        # object per drained group.
+        with open(out_path, "r", encoding="utf-8") as stream:
+            lines = [json.loads(line) for line in stream if line.strip()]
+        header, groups = lines[0], lines[1:]
+        assert header["format"] == "repro-json"
+        assert len(groups) == 5
+        total = sum(int(g["count"]) for g in groups)
+        assert total == 200, groups
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=10)
+
+
+def test_sigterm_with_no_data_still_exits_cleanly(tmp_path):
+    proc, _host, _port = _spawn_server(tmp_path)
+    try:
+        proc.send_signal(signal.SIGTERM)
+        _stdout, stderr = proc.communicate(timeout=30)
+        assert proc.returncode == 0, stderr
+        assert "drained 0 groups" in stderr
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=10)

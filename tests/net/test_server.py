@@ -75,9 +75,12 @@ def assert_equivalent(got: list, want: list) -> None:
                 assert gv == wv
 
 
-@pytest.fixture
-def server():
-    with AggregationServer(SCHEME, shards=3, queue_depth=16) as srv:
+@pytest.fixture(params=["async", "threaded"])
+def server(request):
+    """Every server behaviour test runs against both network cores."""
+    with AggregationServer(
+        SCHEME, shards=3, queue_depth=16, core=request.param
+    ) as srv:
         yield srv
 
 
