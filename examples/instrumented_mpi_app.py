@@ -13,6 +13,7 @@ Run: ``python examples/instrumented_mpi_app.py``
 
 import numpy as np
 
+from repro.api import instrument
 from repro.mpi import LatencyBandwidthNetwork, SimWorld
 from repro.mpi.instrument import RankProfiler
 from repro.query import run_query
@@ -45,8 +46,11 @@ def main() -> None:
         right = comm.rank + 1
 
         for _step in range(STEPS):
-            # halo exchange with neighbours (ordered to avoid deadlock)
-            with cali.region("function", "halo-exchange"):
+            # halo exchange with neighbours (ordered to avoid deadlock);
+            # each rank has its own runtime, so pass it explicitly instead
+            # of relying on the process-wide default
+            with instrument.region("halo-exchange", attribute="function",
+                                   runtime=cali):
                 if left >= 0:
                     yield from icomm.send(left, "halo", tag=1, nbytes=8 * 2)
                 if right < comm.size:
@@ -55,10 +59,12 @@ def main() -> None:
                 if left >= 0:
                     yield from icomm.recv(src=left, tag=2)
 
-            with cali.region("function", "stencil-update"):
+            with instrument.region("stencil-update", attribute="function",
+                                   runtime=cali):
                 yield from icomm.compute(float(cost[comm.rank]))
 
-            with cali.region("function", "reduce-residual"):
+            with instrument.region("reduce-residual", attribute="function",
+                                   runtime=cali):
                 yield from icomm.allreduce(1.0, lambda a, b: a + b, nbytes=8)
 
         collected[comm.rank] = prof.finish()

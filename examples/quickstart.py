@@ -3,7 +3,8 @@
 Reproduces the paper's running example (Listing 1 + the Section III-B
 aggregation schemes) end to end:
 
-1. annotate a toy program with ``function`` and ``loop.iteration``;
+1. annotate a toy program with ``function`` and ``loop.iteration``
+   through the public ``repro.api.instrument`` facade;
 2. aggregate snapshots on-line with a CalQL scheme;
 3. print the resulting time-series function profile;
 4. write it to a ``.cali`` file and re-aggregate it off-line with a
@@ -16,13 +17,16 @@ import os
 import tempfile
 
 from repro import Caliper, Dataset, VirtualClock, run_query
+from repro.api import instrument
 from repro.report import format_table
+from repro.runtime import set_default_runtime
 
 
 def main() -> None:
     # --- 1. set up the runtime with an on-line aggregation channel ---------
     clock = VirtualClock()  # deterministic demo; omit for real wall time
     cali = Caliper(clock=clock)
+    set_default_runtime(cali)  # instrument.* helpers route here
     channel = cali.create_channel(
         "profile",
         {
@@ -36,20 +40,19 @@ def main() -> None:
     )
 
     # --- 2. the annotated program (the paper's Listing 1) ----------------------
+    @instrument.function("foo")
     def foo(i: int) -> None:
-        with cali.region("function", "foo"):
-            clock.advance(10.0)  # pretend work
+        clock.advance(10.0)  # pretend work
 
+    @instrument.function("bar")
     def bar(i: int) -> None:
-        with cali.region("function", "bar"):
-            clock.advance(10.0)
+        clock.advance(10.0)
 
     for i in range(4):
-        cali.begin("loop.iteration", i)
-        foo(1)
-        foo(2)
-        bar(1)
-        cali.end("loop.iteration")
+        with instrument.region(i, attribute="loop.iteration"):
+            foo(1)
+            foo(2)
+            bar(1)
 
     # --- 3. flush and print the profile --------------------------------------
     records = channel.finish()

@@ -89,9 +89,10 @@ class AggregationDB:
         if states is None:
             states = [op.init() for op in self._ops]
             table[key] = states
-        get = record.get
-        for op, state in zip(self._ops, states):
-            op.update(state, get)
+        # The plan's fused update (rather than a local zip loop) so that
+        # per-record concerns it owns — sample.weight detection — apply on
+        # this path too.
+        self._plan.update(states, record)
 
     def _make_compiled_process(self):
         """The fused per-record fold closure (the paper's sub-µs hot path)."""

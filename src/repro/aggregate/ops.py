@@ -30,6 +30,7 @@ from ..common.variant import ValueType, Variant
 __all__ = [
     "AggregateOp",
     "OpSpec",
+    "WEIGHT_LABEL",
     "numeric_or_none",
     "CountOp",
     "SumOp",
@@ -48,6 +49,16 @@ __all__ = [
     "default_registry",
     "make_op",
 ]
+
+
+#: Entry label carrying a record's sampling weight (``1/p`` for a record
+#: kept with probability ``p``).  Fold plans detect it per record and route
+#: extensive operators (count/sum/avg/variance family) through
+#: :meth:`AggregateOp.update_weighted`, which is what keeps sampled
+#: aggregates unbiased: a record kept with probability ``p`` stands for
+#: ``1/p`` dropped ones (Horvitz–Thompson estimation, the same count-scaling
+#: PF-OLA applies to partial aggregates).
+WEIGHT_LABEL = "sample.weight"
 
 
 class AggregateOp:
@@ -91,6 +102,19 @@ class AggregateOp:
     def update(self, state: list, record_get: Callable[[str], Variant]) -> None:
         """Fold one input record (accessed through ``record_get``) into ``state``."""
         raise NotImplementedError
+
+    def update_weighted(
+        self, state: list, record_get: Callable[[str], Variant], weight: float
+    ) -> None:
+        """Fold one record carrying a sampling weight (``sample.weight``).
+
+        Extensive operators (count, sum, avg, variance, ...) override this to
+        scale their contribution by ``weight``; operators whose result is a
+        property of the *observed* values rather than the population total
+        (min, max, first, histogram) inherit this default and fold the record
+        as if unweighted.
+        """
+        self.update(state, record_get)
 
     def combine(self, state: list, other: list) -> None:
         """Merge partial state ``other`` into ``state`` (other is not modified)."""
@@ -163,11 +187,16 @@ class CountOp(AggregateOp):
     def update(self, state: list, record_get: Callable[[str], Variant]) -> None:
         state[0] += 1
 
+    def update_weighted(
+        self, state: list, record_get: Callable[[str], Variant], weight: float
+    ) -> None:
+        state[0] += weight
+
     def combine(self, state: list, other: list) -> None:
         state[0] += other[0]
 
     def results(self, state: list) -> list[tuple[str, Variant]]:
-        return [("count", Variant(ValueType.UINT, state[0]))]
+        return [("count", _count_variant(state[0]))]
 
 
 class _NumericOp(AggregateOp):
@@ -182,7 +211,22 @@ class _NumericOp(AggregateOp):
         return numeric_or_none(record_get(self.args[0]))
 
 
-class SumOp(_NumericOp):
+class _WeightedSumMixin:
+    """``update_weighted`` for the [count, total] state family.
+
+    Sum, avg, scale and percent_total share the same state shape, so one
+    weighted fold serves all of them: the count cell accumulates Σw (the
+    estimated population count) and the total cell Σw·x.
+    """
+
+    def update_weighted(self, state, record_get, weight):
+        x = self._get_number(record_get)
+        if x is not None:
+            state[0] += weight
+            state[1] += weight * x
+
+
+class SumOp(_WeightedSumMixin, _NumericOp):
     """``sum(x)`` — arithmetic sum. State: [count, total]."""
 
     name = "sum"
@@ -252,7 +296,7 @@ class MaxOp(_NumericOp):
         return [(self.output_labels()[0], _as_variant(state[0]))]
 
 
-class AvgOp(_NumericOp):
+class AvgOp(_WeightedSumMixin, _NumericOp):
     """``avg(x)`` — arithmetic mean. State: [count, total].
 
     The count is carried in the state (not derived from ``count``'s output)
@@ -298,6 +342,15 @@ class VarianceOp(_NumericOp):
             state[0] += 1
             state[1] += x
             state[2] += x * x
+
+    def update_weighted(
+        self, state: list, record_get: Callable[[str], Variant], weight: float
+    ) -> None:
+        x = self._get_number(record_get)
+        if x is not None:
+            state[0] += weight
+            state[1] += weight * x
+            state[2] += weight * x * x
 
     def combine(self, state: list, other: list) -> None:
         state[0] += other[0]
@@ -497,6 +550,16 @@ class RatioOp(AggregateOp):
         if y is not None:
             state[1] += y
 
+    def update_weighted(
+        self, state: list, record_get: Callable[[str], Variant], weight: float
+    ) -> None:
+        x = numeric_or_none(record_get(self.args[0]), include_bool=False)
+        y = numeric_or_none(record_get(self.args[1]), include_bool=False)
+        if x is not None:
+            state[0] += weight * x
+        if y is not None:
+            state[1] += weight * y
+
     def combine(self, state: list, other: list) -> None:
         state[0] += other[0]
         state[1] += other[1]
@@ -507,7 +570,7 @@ class RatioOp(AggregateOp):
         return [(self.output_labels()[0], Variant(ValueType.DOUBLE, state[0] / state[1]))]
 
 
-class ScaleOp(_NumericOp):
+class ScaleOp(_WeightedSumMixin, _NumericOp):
     """``scale(x, factor)`` — sum(x) * factor.
 
     Used e.g. to convert sample counts to seconds given a sampling period
@@ -544,7 +607,7 @@ class ScaleOp(_NumericOp):
         return [(self.output_labels()[0], Variant(ValueType.DOUBLE, state[1] * self.factor))]
 
 
-class PercentTotalOp(_NumericOp):
+class PercentTotalOp(_WeightedSumMixin, _NumericOp):
     """``percent_total(x)`` — this key's share of the global sum of ``x``.
 
     The per-key state is an ordinary sum; the global total is resolved in a
@@ -622,6 +685,11 @@ class AliasedOp(AggregateOp):
     def update(self, state: list, record_get: Callable[[str], Variant]) -> None:
         self.inner.update(state, record_get)
 
+    def update_weighted(
+        self, state: list, record_get: Callable[[str], Variant], weight: float
+    ) -> None:
+        self.inner.update_weighted(state, record_get, weight)
+
     def combine(self, state: list, other: list) -> None:
         self.inner.combine(state, other)
 
@@ -650,6 +718,19 @@ def _as_variant(x: float) -> Variant:
     if math.isfinite(x) and x == int(x):
         return Variant(ValueType.INT, int(x))
     return Variant(ValueType.DOUBLE, x)
+
+
+def _count_variant(n) -> Variant:
+    # Unweighted counts are exact ints; weighted counts (Σ 1/p) are floats.
+    # Integral floats still render as UINT so a sampled profile keeps the
+    # column type of an unsampled one whenever the estimate lands on a whole
+    # number; fractional estimates surface as DOUBLE.
+    if n.__class__ is int:
+        return Variant(ValueType.UINT, n)
+    f = float(n)
+    if math.isfinite(f) and f == int(f):
+        return Variant(ValueType.UINT, int(f))
+    return Variant(ValueType.DOUBLE, f)
 
 
 def _num_str(x: float) -> str:

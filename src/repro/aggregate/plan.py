@@ -41,6 +41,7 @@ from ..common.errors import AggregationError
 from ..common.record import Record
 from ..common.variant import ValueType
 from .ops import (
+    WEIGHT_LABEL,
     AggregateOp,
     AliasedOp,
     AvgOp,
@@ -66,6 +67,23 @@ _BOOL = ValueType.BOOL
 
 #: a kernel folds one record into the state list cell it owns
 Kernel = Callable[[list, dict, Record], None]
+
+#: a weighted kernel additionally receives the record's sampling weight
+WeightedKernel = Callable[[list, dict, Record, float], None]
+
+
+def _weight_value(wv) -> float:
+    """The float sampling weight of a ``sample.weight`` entry.
+
+    Non-numeric weights (a stray string entry) fold as 1.0 rather than
+    poisoning the aggregate; booleans are excluded on purpose — a bool
+    weight is always a bug, never a scale factor.
+    """
+    t = wv.type
+    if t is _DOUBLE or t is _INT or t is _UINT:
+        w = wv.value
+        return w if w.__class__ is float else float(w)
+    return 1.0
 
 
 # -- monomorphic kernels -------------------------------------------------------
@@ -212,6 +230,123 @@ def _grouped_kernel(
     return kernel
 
 
+# -- weighted kernels ----------------------------------------------------------
+#
+# Mirrors of the fast kernels for records carrying ``sample.weight``: count
+# and the [count, total] family scale their contribution by the weight,
+# min/max fold the observed value unchanged.  Arithmetic matches the ops'
+# ``update_weighted`` exactly (same operand order, same float conversions) so
+# compiled and generic plans stay fold-equivalent on weighted streams.
+
+def _count_kernel_w(op: AggregateOp, index: int) -> WeightedKernel:
+    def kernel(states: list, entries: dict, record: Record, w: float,
+               _i=index) -> None:
+        states[_i][0] += w
+
+    return kernel
+
+
+def _sumlike_kernel_w(op: AggregateOp, index: int) -> WeightedKernel:
+    def kernel(states: list, entries: dict, record: Record, w: float,
+               _i=index, _lbl=op.args[0]) -> None:
+        v = entries.get(_lbl)
+        if v is not None:
+            t = v.type
+            if t is _DOUBLE or t is _INT or t is _UINT or t is _BOOL:
+                x = v.value
+                if x.__class__ is not float:
+                    x = float(x)
+                s = states[_i]
+                s[0] += w
+                s[1] += w * x
+
+    return kernel
+
+
+def _min_kernel_w(op: AggregateOp, index: int) -> WeightedKernel:
+    base = _min_kernel(op, index)
+
+    def kernel(states: list, entries: dict, record: Record, w: float,
+               _base=base) -> None:
+        _base(states, entries, record)
+
+    return kernel
+
+
+def _max_kernel_w(op: AggregateOp, index: int) -> WeightedKernel:
+    base = _max_kernel(op, index)
+
+    def kernel(states: list, entries: dict, record: Record, w: float,
+               _base=base) -> None:
+        _base(states, entries, record)
+
+    return kernel
+
+
+def _variance_kernel_w(op: AggregateOp, index: int) -> WeightedKernel:
+    def kernel(states: list, entries: dict, record: Record, w: float,
+               _i=index, _lbl=op.args[0]) -> None:
+        v = entries.get(_lbl)
+        if v is not None:
+            t = v.type
+            if t is _DOUBLE or t is _INT or t is _UINT or t is _BOOL:
+                x = v.value
+                if x.__class__ is not float:
+                    x = float(x)
+                s = states[_i]
+                s[0] += w
+                s[1] += w * x
+                s[2] += w * x * x
+
+    return kernel
+
+
+def _grouped_kernel_w(
+    label: str,
+    count_idx: Sequence[int],
+    sum_idx: Sequence[int],
+    min_idx: Sequence[int],
+    max_idx: Sequence[int],
+    var_idx: Sequence[int],
+) -> WeightedKernel:
+    def kernel(states: list, entries: dict, record: Record, w: float,
+               _lbl=label, _counts=tuple(count_idx), _sums=tuple(sum_idx),
+               _mins=tuple(min_idx), _maxs=tuple(max_idx),
+               _vars=tuple(var_idx)) -> None:
+        for i in _counts:
+            states[i][0] += w
+        v = entries.get(_lbl)
+        if v is None:
+            return
+        t = v.type
+        if not (t is _DOUBLE or t is _INT or t is _UINT or t is _BOOL):
+            return
+        x = v.value
+        if x.__class__ is not float:
+            x = float(x)
+        for i in _sums:
+            s = states[i]
+            s[0] += w
+            s[1] += w * x
+        for i in _mins:
+            s = states[i]
+            cur = s[0]
+            if cur is None or x < cur:
+                s[0] = x
+        for i in _maxs:
+            s = states[i]
+            cur = s[0]
+            if cur is None or x > cur:
+                s[0] = x
+        for i in _vars:
+            s = states[i]
+            s[0] += w
+            s[1] += w * x
+            s[2] += w * x * x
+
+    return kernel
+
+
 #: exact-type dispatch — a user subclass overriding ``update`` must *not*
 #: match its parent's fast kernel, so no isinstance here.
 _FAST_KERNELS: dict[type, Callable[[AggregateOp, int], Kernel]] = {
@@ -224,6 +359,18 @@ _FAST_KERNELS: dict[type, Callable[[AggregateOp, int], Kernel]] = {
     MaxOp: _max_kernel,
     VarianceOp: _variance_kernel,
     StddevOp: _variance_kernel,
+}
+
+_FAST_WEIGHTED: dict[type, Callable[[AggregateOp, int], WeightedKernel]] = {
+    CountOp: _count_kernel_w,
+    SumOp: _sumlike_kernel_w,
+    AvgOp: _sumlike_kernel_w,
+    ScaleOp: _sumlike_kernel_w,
+    PercentTotalOp: _sumlike_kernel_w,
+    MinOp: _min_kernel_w,
+    MaxOp: _max_kernel_w,
+    VarianceOp: _variance_kernel_w,
+    StddevOp: _variance_kernel_w,
 }
 
 #: group classification for label-sharing fusion (count has no argument)
@@ -257,24 +404,53 @@ def _fallback_kernel(op: AggregateOp, index: int) -> Kernel:
     return kernel
 
 
-def _fuse(kernels: Sequence[Kernel]) -> Callable[[list, Record], None]:
+def _fallback_kernel_w(op: AggregateOp, index: int) -> WeightedKernel:
+    def kernel(states: list, entries: dict, record: Record, w: float,
+               _op=op, _i=index) -> None:
+        _op.update_weighted(states[_i], record.get, w)
+
+    return kernel
+
+
+def _fuse(
+    kernels: Sequence[Kernel], wkernels: Sequence[WeightedKernel]
+) -> Callable[[list, Record], None]:
     """One ``update(states, record)`` closure running every kernel.
 
     Unrolled for up to four operators — the profiling schemes the paper
     benchmarks (count/sum/min/max) land here — so the fused body is straight
-    calls without loop overhead.
+    calls without loop overhead.  A record carrying ``sample.weight`` (one
+    kept by the sampling gate with probability < 1) takes the weighted-kernel
+    side branch instead; unweighted streams pay one extra dict lookup.
     """
+    wfrozen = tuple(wkernels)
+
+    def weighted(states: list, e: dict, record: Record, wv) -> None:
+        w = _weight_value(wv)
+        for k in wfrozen:
+            k(states, e, record, w)
+
+    _W = WEIGHT_LABEL
     if len(kernels) == 1:
         (k0,) = kernels
 
         def update(states: list, record: Record) -> None:
-            k0(states, record._entries, record)
+            e = record._entries
+            wv = e.get(_W)
+            if wv is not None:
+                weighted(states, e, record, wv)
+                return
+            k0(states, e, record)
 
     elif len(kernels) == 2:
         k0, k1 = kernels
 
         def update(states: list, record: Record) -> None:
             e = record._entries
+            wv = e.get(_W)
+            if wv is not None:
+                weighted(states, e, record, wv)
+                return
             k0(states, e, record)
             k1(states, e, record)
 
@@ -283,6 +459,10 @@ def _fuse(kernels: Sequence[Kernel]) -> Callable[[list, Record], None]:
 
         def update(states: list, record: Record) -> None:
             e = record._entries
+            wv = e.get(_W)
+            if wv is not None:
+                weighted(states, e, record, wv)
+                return
             k0(states, e, record)
             k1(states, e, record)
             k2(states, e, record)
@@ -292,6 +472,10 @@ def _fuse(kernels: Sequence[Kernel]) -> Callable[[list, Record], None]:
 
         def update(states: list, record: Record) -> None:
             e = record._entries
+            wv = e.get(_W)
+            if wv is not None:
+                weighted(states, e, record, wv)
+                return
             k0(states, e, record)
             k1(states, e, record)
             k2(states, e, record)
@@ -302,6 +486,10 @@ def _fuse(kernels: Sequence[Kernel]) -> Callable[[list, Record], None]:
 
         def update(states: list, record: Record) -> None:
             e = record._entries
+            wv = e.get(_W)
+            if wv is not None:
+                weighted(states, e, record, wv)
+                return
             for k in frozen:
                 k(states, e, record)
 
@@ -346,10 +534,16 @@ class GenericFoldPlan(FoldPlan):
         self.num_fast_ops = 0
         frozen = self.ops
 
-        def update(states: list, record: Record) -> None:
+        def update(states: list, record: Record, _W=WEIGHT_LABEL) -> None:
             get = record.get
-            for op, state in zip(frozen, states):
-                op.update(state, get)
+            wv = record._entries.get(_W)
+            if wv is None:
+                for op, state in zip(frozen, states):
+                    op.update(state, get)
+            else:
+                w = _weight_value(wv)
+                for op, state in zip(frozen, states):
+                    op.update_weighted(state, get, w)
 
         self.update = update
 
@@ -380,14 +574,18 @@ class CompiledFoldPlan(FoldPlan):
                 singles.append((i, op))
 
         kernels: list[Kernel] = []
+        wkernels: list[WeightedKernel] = []
         n_fast = len(counts)
         for i, op in singles:
             kernel = _fast_kernel_for(op, i)
             if kernel is None:
-                kernel = _fallback_kernel(op, i)
+                kernels.append(_fallback_kernel(op, i))
+                wkernels.append(_fallback_kernel_w(op, i))
             else:
                 n_fast += 1
-            kernels.append(kernel)
+                kernels.append(kernel)
+                target = op.inner if isinstance(op, AliasedOp) else op
+                wkernels.append(_FAST_WEIGHTED[type(target)](target, i))
         grouped_counts = counts if by_label else []
         for label, groups in by_label.items():
             indices = [i for idx in groups.values() for i in idx]
@@ -399,17 +597,18 @@ class CompiledFoldPlan(FoldPlan):
                 op = self.ops[i]
                 target = op.inner if isinstance(op, AliasedOp) else op
                 kernels.append(_FAST_KERNELS[type(target)](target, i))
+                wkernels.append(_FAST_WEIGHTED[type(target)](target, i))
             else:
-                kernels.append(
-                    _grouped_kernel(
-                        label,
-                        grouped_counts,
-                        groups.get("sum", ()),
-                        groups.get("min", ()),
-                        groups.get("max", ()),
-                        groups.get("var", ()),
-                    )
+                group_args = (
+                    label,
+                    grouped_counts,
+                    groups.get("sum", ()),
+                    groups.get("min", ()),
+                    groups.get("max", ()),
+                    groups.get("var", ()),
                 )
+                kernels.append(_grouped_kernel(*group_args))
+                wkernels.append(_grouped_kernel_w(*group_args))
                 # counts ride along with the first grouped kernel only
                 grouped_counts = []
         if not by_label:
@@ -417,8 +616,9 @@ class CompiledFoldPlan(FoldPlan):
                 target = self.ops[i]
                 target = target.inner if isinstance(target, AliasedOp) else target
                 kernels.append(_count_kernel(target, i))
+                wkernels.append(_count_kernel_w(target, i))
         self.num_fast_ops = n_fast
-        self.update = _fuse(kernels)
+        self.update = _fuse(kernels, wkernels)
 
 
 def make_plan(ops: Sequence[AggregateOp], kind: str = "compiled") -> FoldPlan:

@@ -30,6 +30,15 @@ Execution knobs travel in one :class:`~repro.query.options.QueryOptions`
     repro.api.query(q, ["a.cali", "b.cali"], jobs=4)       # parallel combine
     repro.api.query(q, "127.0.0.1:7744")                   # live server
     repro.api.query(q, "127.0.0.1:7744", target="telemetry")
+    repro.api.query(q, dataset, sampling=0.1)              # sampled + CIs
+
+``QueryOptions(sampling=p)`` (or ``sampling=`` as a keyword) runs the
+aggregation over a Bernoulli sample of the input and adds ``est#`` /
+``est.lo#`` / ``est.hi#`` confidence columns — see
+:func:`repro.sampling.sampled_query`.
+
+The package also hosts :mod:`repro.api.instrument`, the public
+instrumentation facade (``with instrument.region("solve"): ...``).
 """
 
 from __future__ import annotations
@@ -39,13 +48,15 @@ import os
 import re
 from typing import Iterable, Optional, Sequence, Union
 
-from .common.errors import QueryError, ReproError
-from .common.record import Record
-from .io.dataset import Dataset
-from .query.engine import QueryEngine, QueryResult
-from .query.options import QueryOptions
+from ..common.errors import QueryError, ReproError
+from ..common.record import Record
+from ..io.dataset import Dataset
+from ..query.engine import QueryEngine, QueryResult
+from ..query.options import QueryOptions
 
-__all__ = ["query", "QueryOptions", "QueryResult"]
+from . import instrument
+
+__all__ = ["instrument", "query", "QueryOptions", "QueryResult"]
 
 #: something that looks like a live-server address, e.g. "10.0.0.1:7744"
 _HOST_PORT = re.compile(r"^[A-Za-z0-9_.\-]+:\d{1,5}$")
@@ -70,6 +81,8 @@ def query(
     aggregated data.
     """
     opts = _merge_options(options, kwargs)
+    if opts.sampling is not None and float(opts.sampling) < 1.0:
+        return _query_sampled(text, source, opts)
     if isinstance(source, Dataset):
         return source.query(text, backend=opts.backend)
     if isinstance(source, (str, os.PathLike)):
@@ -80,22 +93,64 @@ def query(
     return _query_collection(text, source, opts)
 
 
+_OPTION_KEYWORDS = ("backend", "jobs", "stats", "sampling", "sampling_seed")
+
+
 def _merge_options(options, kwargs) -> QueryOptions:
     opts = QueryOptions.coerce(options)
-    unknown = set(kwargs) - {"backend", "jobs", "stats"}
+    unknown = set(kwargs) - set(_OPTION_KEYWORDS)
     if unknown:
         raise TypeError(
             f"query() got unexpected keyword(s) {sorted(unknown)}; "
-            "execution options are backend/jobs/stats (see QueryOptions)"
+            f"execution options are {'/'.join(_OPTION_KEYWORDS)} "
+            "(see QueryOptions)"
         )
     if kwargs:
         merged = {
-            "backend": kwargs.get("backend", opts.backend),
-            "jobs": kwargs.get("jobs", opts.jobs),
-            "stats": kwargs.get("stats", opts.stats),
+            key: kwargs.get(key, getattr(opts, key)) for key in _OPTION_KEYWORDS
         }
         opts = QueryOptions(**merged)
     return opts
+
+
+def _query_sampled(text: str, source, opts: QueryOptions) -> QueryResult:
+    """Sampled execution: materialize the records, Bernoulli-sample, fold
+    with count-scaling, and report confidence columns."""
+    from ..sampling import sampled_query
+
+    return sampled_query(
+        text,
+        _materialize_records(source, opts),
+        float(opts.sampling),  # type: ignore[arg-type]
+        seed=opts.sampling_seed,
+    )
+
+
+def _materialize_records(source, opts: QueryOptions) -> list[Record]:
+    if isinstance(source, Dataset):
+        return source.records
+    if isinstance(source, (str, os.PathLike)):
+        path = os.fspath(source)
+        if _glob.has_magic(path):
+            return Dataset.from_glob(path, parallel=opts.jobs).records
+        if os.path.exists(path):
+            return Dataset.from_file(path).records
+        raise QueryError(
+            "sampling is a local execution option; it cannot run against a "
+            f"live server source ({path!r})"
+            if isinstance(source, str) and _HOST_PORT.match(path)
+            else f"query source {path!r} does not exist"
+        )
+    if isinstance(source, tuple) and _is_address(source):
+        raise QueryError(
+            "sampling is a local execution option; it cannot run against a "
+            "live server source"
+        )
+    items = source if isinstance(source, (list, tuple)) else list(source)
+    if items and all(isinstance(i, (str, os.PathLike)) for i in items):
+        paths = [os.fspath(i) for i in items]
+        return Dataset.from_files(paths, parallel=opts.jobs).records
+    return list(items)
 
 
 def _is_address(source: tuple) -> bool:
@@ -153,7 +208,7 @@ def _query_colfile(text: str, path: str, opts: QueryOptions) -> QueryResult:
     engine = QueryEngine(text)
     if engine.scheme is None:
         return Dataset.from_file(path).query(text, backend=opts.backend)
-    from .io.colfile import ColfileReader  # deferred: numpy-heavy module
+    from ..io.colfile import ColfileReader  # deferred: numpy-heavy module
 
     reader = ColfileReader(path)
     try:
@@ -168,7 +223,7 @@ def _query_colfile(text: str, path: str, opts: QueryOptions) -> QueryResult:
 def _query_live(
     text: str, host: str, port: int, target: str, timeout: float
 ) -> QueryResult:
-    from .net.client import live_query  # deferred: keep file-only use light
+    from ..net.client import live_query  # deferred: keep file-only use light
 
     return live_query(host, port, text, target=target, timeout=timeout)
 
@@ -181,7 +236,7 @@ def _query_collection(text: str, source, opts: QueryOptions) -> QueryResult:
         if len(paths) > 1 and QueryEngine(text).scheme is not None:
             # Aggregation over many files: partial states combine exactly,
             # so fan the reads out over real cores by default.
-            from .query.parallel import parallel_query_files
+            from ..query.parallel import parallel_query_files
 
             return parallel_query_files(text, paths, opts)
         return Dataset.from_files(paths, parallel=opts.jobs).query(

@@ -1,0 +1,271 @@
+"""Fuzz-style randomized workload generator for the regression gate.
+
+Where :mod:`~repro.apps.service_sim` models one realistic program shape,
+this module generates *arbitrary* ones: from a seed it derives a random
+region call tree (names, nesting, per-region virtual cost, call counts),
+runs it through an instrumented runtime, and emits the aggregated profile.
+Two runs of the same seed are byte-identical; a ``slowdowns`` mapping
+multiplies chosen regions' costs, injecting a known regression.
+
+That pairing is the point — it turns ``repro-query check`` into a
+property-testable subject::
+
+    python -m repro.apps.fuzzgen --seed 7 -o base.json
+    python -m repro.apps.fuzzgen --seed 7 --slowdown solve.lu=2.0 -o head.json
+    repro-query check base.json head.json --threshold 0.1
+
+must flag ``solve.lu`` (and only regions downstream of an injected
+slowdown) as degradations, for *every* seed.  The sampling suite uses the
+same generator to cross-check count-scaled aggregates against unsampled
+ground truth over many random program shapes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Sequence
+
+from ..common.errors import ReproError
+from ..common.record import Record
+from ..runtime.clock import VirtualClock
+from ..runtime.instrumentation import Caliper
+
+__all__ = [
+    "FuzzConfig",
+    "FUZZ_SCHEME",
+    "generate_tree",
+    "run_fuzz",
+    "write_pair",
+]
+
+#: profile the generated runs aggregate into (one row per region)
+FUZZ_SCHEME: str = (
+    "AGGREGATE count, sum(time.duration), min(time.duration), "
+    "max(time.duration) GROUP BY region"
+)
+
+_STEMS = (
+    "init", "solve", "remesh", "exchange", "pack", "reduce", "advect",
+    "diffuse", "project", "update", "scatter", "gather", "flux", "filter",
+)
+_LEAVES = ("setup", "kernel", "lu", "qr", "halo", "io", "sum", "apply")
+
+
+@dataclass
+class _Region:
+    """One node of the generated call tree."""
+
+    name: str
+    cost: float  # virtual time units per visit, before slowdowns
+    calls: int  # visits per parent invocation
+    children: tuple
+
+
+@dataclass
+class FuzzConfig:
+    """Shape parameters of the generated program."""
+
+    seed: int = 0
+    #: approximate number of distinct regions in the tree
+    regions: int = 12
+    #: maximum nesting depth
+    depth: int = 3
+    #: top-level iterations driving the tree
+    iterations: int = 20
+
+    def __post_init__(self) -> None:
+        if self.regions < 1:
+            raise ReproError(f"regions must be >= 1, got {self.regions}")
+        if self.depth < 1:
+            raise ReproError(f"depth must be >= 1, got {self.depth}")
+        if self.iterations < 1:
+            raise ReproError(f"iterations must be >= 1, got {self.iterations}")
+
+
+def generate_tree(config: FuzzConfig) -> list[_Region]:
+    """Derive the random call tree for ``config.seed`` (deterministic)."""
+    rng = random.Random(config.seed)
+    budget = [config.regions]
+    names_taken: set[str] = set()
+
+    def fresh_name(depth: int) -> str:
+        pool = _STEMS if depth < config.depth - 1 else _LEAVES
+        for _ in range(64):
+            parts = [rng.choice(_STEMS)] + [
+                rng.choice(pool) for _ in range(min(depth, 1))
+            ]
+            name = ".".join(parts)
+            if name not in names_taken:
+                names_taken.add(name)
+                return name
+        # pathological seed: disambiguate deterministically
+        name = f"{rng.choice(_STEMS)}.{len(names_taken)}"
+        names_taken.add(name)
+        return name
+
+    def build(depth: int) -> list[_Region]:
+        nodes: list[_Region] = []
+        width = rng.randint(1, 3)
+        for _ in range(width):
+            if budget[0] <= 0:
+                break
+            budget[0] -= 1
+            children: tuple = ()
+            if depth + 1 < config.depth and rng.random() < 0.6:
+                children = tuple(build(depth + 1))
+            nodes.append(
+                _Region(
+                    name=fresh_name(depth),
+                    cost=rng.uniform(0.5, 20.0),
+                    calls=rng.randint(1, 4),
+                    children=children,
+                )
+            )
+        return nodes
+
+    roots = build(0)
+    while budget[0] > 0:  # spend any leftover budget on more roots
+        extra = build(0)
+        if not extra:
+            break
+        roots.extend(extra)
+    return roots
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    slowdowns: Optional[Mapping[str, float]] = None,
+    channel_config: Optional[Mapping[str, Any]] = None,
+) -> list[Record]:
+    """Run the generated program; returns the aggregated profile records.
+
+    ``slowdowns`` maps region names to cost multipliers — the injected
+    regressions a subsequent ``repro-query check`` against the un-slowed
+    run must detect.  Unknown region names are rejected, so a test cannot
+    silently inject nothing.
+    """
+    from ..api import instrument
+
+    slowdowns = dict(slowdowns or {})
+    tree = generate_tree(config)
+    known = set()
+
+    def collect(nodes: Sequence[_Region]) -> None:
+        for node in nodes:
+            known.add(node.name)
+            collect(node.children)
+
+    collect(tree)
+    unknown = set(slowdowns) - known
+    if unknown:
+        raise ReproError(
+            f"slowdown region(s) {sorted(unknown)} not in the generated "
+            f"tree for seed {config.seed}; regions are {sorted(known)}"
+        )
+
+    clock = VirtualClock()
+    cali = Caliper(clock=clock)
+    profile: dict[str, Any] = {
+        "services": ["event", "timer", "aggregate"],
+        "aggregate.config": FUZZ_SCHEME,
+        "aggregate.rename_count": False,
+    }
+    if channel_config:
+        profile.update(channel_config)
+    channel = cali.create_channel("fuzz", profile)
+    # jitter RNG is separate from the tree RNG so base/head runs see the
+    # same draw sequence: only the injected multipliers differ
+    jitter = random.Random(config.seed ^ 0x5EED)
+
+    def visit(node: _Region) -> None:
+        factor = slowdowns.get(node.name, 1.0)
+        for _ in range(node.calls):
+            with instrument.region(node.name, runtime=cali):
+                clock.advance(node.cost * factor * jitter.uniform(0.9, 1.1))
+                for child in node.children:
+                    visit(child)
+
+    for i in range(config.iterations):
+        instrument.set("iteration", i, runtime=cali)
+        for node in tree:
+            visit(node)
+
+    return channel.finish()
+
+
+def write_pair(
+    base_path: str,
+    head_path: str,
+    config: FuzzConfig,
+    slowdowns: Mapping[str, float],
+) -> None:
+    """Write a (baseline, regressed-head) profile pair for the check gate."""
+    from ..io.dataset import write_records
+
+    write_records(base_path, run_fuzz(config))
+    write_records(head_path, run_fuzz(config, slowdowns=slowdowns))
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apps.fuzzgen",
+        description="Generate a randomized instrumented workload profile "
+        "(optionally with injected slowdowns) for repro-query check.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--regions", type=int, default=12)
+    parser.add_argument("--depth", type=int, default=3)
+    parser.add_argument("--iterations", type=int, default=20)
+    parser.add_argument(
+        "--slowdown",
+        action="append",
+        default=[],
+        metavar="REGION=FACTOR",
+        help="multiply REGION's cost by FACTOR (repeatable)",
+    )
+    parser.add_argument(
+        "--list-regions",
+        action="store_true",
+        help="print the generated region names and exit",
+    )
+    parser.add_argument("-o", "--output", help="write the profile here")
+    args = parser.parse_args(argv)
+    config = FuzzConfig(
+        seed=args.seed,
+        regions=args.regions,
+        depth=args.depth,
+        iterations=args.iterations,
+    )
+    if args.list_regions:
+        names: set[str] = set()
+
+        def collect(nodes):
+            for node in nodes:
+                names.add(node.name)
+                collect(node.children)
+
+        collect(generate_tree(config))
+        print("\n".join(sorted(names)))
+        return 0
+    slowdowns: dict[str, float] = {}
+    for spec in args.slowdown:
+        region, sep, factor = spec.partition("=")
+        if not sep:
+            parser.error(f"--slowdown must be REGION=FACTOR, got {spec!r}")
+        slowdowns[region] = float(factor)
+    records = run_fuzz(config, slowdowns=slowdowns or None)
+    if args.output:
+        from ..io.dataset import write_records
+
+        write_records(args.output, records)
+    else:
+        for record in records:
+            print(record)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_main())

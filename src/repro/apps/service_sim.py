@@ -1,0 +1,198 @@
+"""Request/response service workload: latency percentiles per endpoint.
+
+The profiling-target class the original CleverLeaf/ParaDiS workloads do not
+cover: a server handling a stream of requests where the interesting numbers
+are *latency quantiles per endpoint*, not per-iteration kernel times.  Each
+simulated request routes to one of a handful of endpoints (Zipf-ish
+popularity), runs a handler whose virtual service time follows a lognormal
+per-endpoint distribution, and occasionally hits a slow path (cache miss,
+lock contention) that produces the heavy tail real services have.
+
+The workload is instrumented exclusively through the public
+:mod:`repro.api.instrument` facade — it doubles as the facade's reference
+user — and its default aggregation scheme carries a fixed-range
+``histogram(time.duration, ...)`` so :func:`latency_quantiles` can report
+p50/p90/p99 per endpoint straight from the aggregated records, including
+after Bernoulli sampling (histogram shapes are weight-invariant under
+uniform per-key sampling; the count-scaled ``count`` column still reflects
+offered load).
+
+Everything is driven by a seeded RNG and a virtual clock, so a
+``(seed, requests)`` pair always produces byte-identical records —
+the property suite and the sampling benchmark rely on that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence
+
+import random
+
+from ..aggregate.ops import HistogramOp
+from ..common.errors import ReproError
+from ..common.record import Record
+from ..runtime.clock import VirtualClock
+from ..runtime.instrumentation import Caliper
+
+__all__ = [
+    "ServiceSimConfig",
+    "ENDPOINTS",
+    "LATENCY_SCHEME",
+    "run_service",
+    "latency_quantiles",
+]
+
+#: simulated endpoints with (popularity weight, median ms, sigma, slow odds)
+ENDPOINTS: tuple[tuple[str, float, float, float, float], ...] = (
+    ("GET /api/items", 8.0, 4.0, 0.45, 0.02),
+    ("GET /api/items/{id}", 5.0, 2.5, 0.35, 0.01),
+    ("POST /api/items", 2.0, 9.0, 0.55, 0.05),
+    ("GET /api/search", 1.5, 18.0, 0.70, 0.08),
+    ("POST /api/checkout", 0.5, 30.0, 0.60, 0.10),
+)
+
+#: per-endpoint latency profile: counts for load, sum/min/max for totals,
+#: and a fixed-range histogram (0..500ms, 50 bins) for the quantiles
+LATENCY_SCHEME: str = (
+    "AGGREGATE count, sum(time.duration), min(time.duration), "
+    "max(time.duration), histogram(time.duration,50,0,500) "
+    "GROUP BY endpoint, status"
+)
+
+
+@dataclass
+class ServiceSimConfig:
+    """Shape parameters of the simulated request stream."""
+
+    requests: int = 2000
+    seed: int = 20260808
+    #: multiplier applied to a slow-path request's service time
+    slow_factor: float = 12.0
+    #: fraction of requests that fail (HTTP 500 after partial work)
+    error_rate: float = 0.01
+    endpoints: Sequence[tuple[str, float, float, float, float]] = ENDPOINTS
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ReproError(f"requests must be >= 1, got {self.requests}")
+        if not self.endpoints:
+            raise ReproError("need at least one endpoint")
+
+
+def run_service(
+    config: Optional[ServiceSimConfig] = None,
+    channel_config: Optional[Mapping[str, Any]] = None,
+) -> tuple[list[Record], Caliper]:
+    """Simulate the request stream; returns (flushed records, runtime).
+
+    ``channel_config`` overrides the default channel profile — pass
+    ``{"sampling.budget": "200ns", ...}`` on top of the defaults to run the
+    workload under the adaptive sampler.
+    """
+    from ..api import instrument
+
+    config = config or ServiceSimConfig()
+    rng = random.Random(config.seed)
+    clock = VirtualClock()
+    cali = Caliper(clock=clock)
+    profile: dict[str, Any] = {
+        "services": ["event", "timer", "aggregate"],
+        "aggregate.config": LATENCY_SCHEME,
+        "aggregate.rename_count": False,
+    }
+    if channel_config:
+        profile.update(channel_config)
+    channel = cali.create_channel("service", profile)
+
+    weights = [e[1] for e in config.endpoints]
+
+    def handle(endpoint: tuple[str, float, float, float, float]) -> None:
+        name, _w, median_ms, sigma, slow_odds = endpoint
+        service_ms = median_ms * rng.lognormvariate(0.0, sigma)
+        failed = rng.random() < config.error_rate
+        instrument.set("status", 500 if failed else 200, runtime=cali)
+        if failed:
+            # errors bail out early: they are cheap, which is exactly why
+            # averaging latency over all requests hides an outage
+            clock.advance(service_ms * 0.25)
+            return
+        clock.advance(service_ms)
+        if rng.random() < slow_odds:
+            with instrument.region("slow-path", runtime=cali):
+                clock.advance(service_ms * (config.slow_factor - 1.0))
+
+    for _ in range(config.requests):
+        endpoint = rng.choices(config.endpoints, weights=weights)[0]
+        with instrument.region(endpoint[0], attribute="endpoint", runtime=cali):
+            handle(endpoint)
+
+    records = channel.finish()
+    return records, cali
+
+
+def latency_quantiles(
+    records: Sequence[Record],
+    quantiles: Sequence[float] = (0.5, 0.9, 0.99),
+    status: int = 200,
+) -> dict[str, dict[float, float]]:
+    """Per-endpoint latency quantiles from the aggregated histogram column.
+
+    Returns ``{endpoint: {q: latency_ms}}`` for the rows matching
+    ``status``.  Works identically on sampled output: the encoded histogram
+    keeps its *shape* under uniform Bernoulli thinning, so the quantile
+    estimates stay unbiased even when counts are scaled.
+    """
+    out: dict[str, dict[float, float]] = {}
+    for record in records:
+        entries = {label: v for label, v in record.items()}
+        hist = entries.get("histogram#time.duration")
+        endpoint = entries.get("endpoint")
+        if hist is None or endpoint is None:
+            continue
+        if status is not None:
+            row_status = entries.get("status")
+            if row_status is not None and int(row_status.value) != status:
+                continue
+        text = hist.to_string()
+        out[endpoint.to_string()] = {
+            q: HistogramOp.quantile(text, q) for q in quantiles
+        }
+    return out
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.apps.service_sim",
+        description="Run the request/response service workload and print "
+        "per-endpoint latency percentiles.",
+    )
+    parser.add_argument("--requests", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=20260808)
+    parser.add_argument(
+        "--sampling-budget",
+        help="run under the adaptive sampler with this per-event budget",
+    )
+    parser.add_argument("-o", "--output", help="also write the records here")
+    args = parser.parse_args(argv)
+    overrides: dict[str, Any] = {}
+    if args.sampling_budget:
+        overrides["sampling.budget"] = args.sampling_budget
+    records, _ = run_service(
+        ServiceSimConfig(requests=args.requests, seed=args.seed),
+        channel_config=overrides or None,
+    )
+    if args.output:
+        from ..io.dataset import write_records
+
+        write_records(args.output, records)
+    for endpoint, qs in sorted(latency_quantiles(records).items()):
+        cols = "  ".join(f"p{int(q * 100):<2} {ms:8.2f}ms" for q, ms in qs.items())
+        print(f"{endpoint:<24} {cols}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_main())

@@ -83,6 +83,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="on graceful shutdown, export the final drained snapshot here "
         "(.json/.csv/.cali/.rcf chosen by extension)",
     )
+    parser.add_argument(
+        "--sampling-budget",
+        metavar="BUDGET",
+        help="advertise a per-event overhead budget (e.g. '200ns') in the "
+        "handshake: producer channels running sampling.budget=auto adopt it",
+    )
     tenancy = parser.add_argument_group("multi-tenancy / admission control")
     tenancy.add_argument(
         "--tenant",
@@ -319,6 +325,7 @@ def serve_main(argv: Sequence[str]) -> int:
             admission_timeout=args.admission_timeout,
             busy_retry_after=args.busy_retry_after,
             dedup_ttl=args.dedup_ttl,
+            sampling_budget=args.sampling_budget,
         )
         server.start()
     except (ReproError, OSError, ValueError) as exc:

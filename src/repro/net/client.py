@@ -63,7 +63,7 @@ import tempfile
 import threading
 import time
 import uuid
-from typing import TYPE_CHECKING, Iterable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Union
 
 from ..aggregate.db import AggregationDB
 from ..aggregate.scheme import AggregationScheme
@@ -140,6 +140,7 @@ class FlushClient:
         binary: bool = True,
         token: Optional[str] = None,
         busy_retries: int = 10,
+        on_server_info: Optional[Callable[[dict], None]] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
@@ -198,6 +199,10 @@ class FlushClient:
         self.failover_after = failover_after
         #: the most recent HELLO_ACK body (epoch, shards, level, upstream…)
         self.server_info: dict = {}
+        #: invoked with the HELLO_ACK body after every (re)connect — the
+        #: network flush service uses it to adopt a server-advertised
+        #: sampling budget (``sampling_budget_ns``) into the local channel
+        self.on_server_info = on_server_info
         self._failover_target: Optional[tuple[str, int]] = None
         self._failover_source: Optional[tuple[str, str]] = None
         self._announce_failover: Optional[tuple[str, str]] = None
@@ -575,6 +580,13 @@ class FlushClient:
         self._announce_failover = None
         self._down_since = None
         self.server_info = dict(body)
+        if self.on_server_info is not None:
+            try:
+                self.on_server_info(self.server_info)
+            except Exception:
+                # An observer bug must never poison connection setup: the
+                # socket is healthy, delivery proceeds regardless.
+                pass
         # Binary payloads only flow when both ends opted in (JSON otherwise)
         acked_caps = body.get("caps")
         self._binary = self.binary_enabled and (

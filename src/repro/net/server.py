@@ -367,10 +367,19 @@ class AggregationServer:
         busy_retry_after: float = 0.25,
         dedup_ttl: float = 900.0,
         backlog: int = 512,
+        sampling_budget: Union[str, float, None] = None,
     ) -> None:
         window_spec = window
         if core not in ("async", "threaded"):
             raise ValueError(f"core must be 'async' or 'threaded', got {core!r}")
+        #: advertised per-event overhead budget (ns): producers whose channel
+        #: runs with ``sampling.budget=auto`` adopt it from the HELLO_ACK, so
+        #: one serve-side flag tunes a whole fleet of clients.
+        self.sampling_budget_ns: Optional[float] = None
+        if sampling_budget is not None:
+            from ..sampling.budget import parse_budget
+
+            self.sampling_budget_ns = parse_budget(sampling_budget)
         if isinstance(scheme, str):
             from ..calql import parse_query  # deferred: calql builds on aggregate
             from ..calql.semantics import build_scheme
@@ -1680,6 +1689,8 @@ class AggregationServer:
             }
             if tenant.name != DEFAULT_TENANT:
                 ack["tenant"] = tenant.name
+            if self.sampling_budget_ns is not None:
+                ack["sampling_budget_ns"] = self.sampling_budget_ns
             client_caps = body.get("caps")
             if (
                 self.binary

@@ -93,8 +93,26 @@ class NetworkFlushService(Service):
             spool_dir=spool_dir or None,
             failover_after=self.config.get_float("failover_after", 0.0) or None,
             token=self.config.get_string("token", "") or None,
+            on_server_info=self._on_server_info,
         )
         self._sent_at_finish: Optional[int] = None
+
+    def _on_server_info(self, info: dict) -> None:
+        """HELLO_ACK observer: adopt a server-advertised sampling budget.
+
+        A channel configured with ``sampling.budget = auto`` defers its
+        overhead target to whatever server it flushes to — the serve-side
+        ``--sampling-budget`` flag then tunes the whole producer fleet.
+        Locally-configured budgets always win (adopt is a no-op there).
+        """
+        budget = info.get("sampling_budget_ns")
+        sampler = getattr(self.channel, "sampler", None)
+        if budget is None or sampler is None:
+            return
+        try:
+            sampler.adopt_budget_ns(float(budget))
+        except (TypeError, ValueError):
+            pass
 
     def process(self, record: Record) -> None:
         # Only wired up in stream mode: Channel dispatches process() to us

@@ -180,8 +180,18 @@ class MetricsRegistry:
             return sum(v for (n, _), v in self._counters.items() if n == name)
 
     def gauge_value(self, name: str, **tags: TagValue) -> Optional[TagValue]:
+        """One gauge's value; without tags, the sum of numeric values
+        across all tag sets (``None`` when no numeric gauge matches),
+        mirroring :meth:`counter_value` so the no-tags read is a single
+        consistent pass under the lock rather than one untagged lookup."""
         with self._lock:
-            return self._gauges.get((name, _tags_key(tags)))
+            if tags:
+                return self._gauges.get((name, _tags_key(tags)))
+            total: Optional[float] = None
+            for (n, _), v in self._gauges.items():
+                if n == name and v.__class__ in (int, float):
+                    total = v if total is None else total + v
+            return total
 
     def timer_stats(
         self, name: str, **tags: TagValue

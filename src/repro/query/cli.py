@@ -88,6 +88,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(--parallel) to stderr",
     )
     parser.add_argument(
+        "--sample",
+        type=float,
+        metavar="P",
+        help="aggregate over a Bernoulli sample of the input at keep "
+        "probability P in (0, 1]: results carry count-scaled aggregates "
+        "plus est#/est.lo#/est.hi# confidence columns",
+    )
+    parser.add_argument(
+        "--sample-seed",
+        type=int,
+        metavar="N",
+        help="RNG seed for --sample (reproducible sampling decisions)",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="collect internal telemetry (repro.observe) during the query "
@@ -240,7 +254,11 @@ def _emit_stats(args, reg) -> None:
 def _run(args) -> int:
     from .options import QueryOptions
 
-    opts = QueryOptions.from_args(args)
+    try:
+        opts = QueryOptions.from_args(args)
+    except ValueError as exc:
+        print(f"repro-query: error: {exc}", file=sys.stderr)
+        return 2
     try:
         if args.list_attributes or args.show_globals:
             from ..io.dataset import read_records
@@ -259,7 +277,17 @@ def _run(args) -> int:
                     )
                     print(f"{path}: {pairs or '(none)'}")
             return 0
-        if args.parallel:
+        if opts.sampling is not None and opts.sampling < 1.0:
+            if args.parallel:
+                raise ReproError("--sample cannot combine with --parallel")
+            from ..sampling import sampled_query
+
+            dataset = Dataset.from_files(args.files, parallel=args.jobs)
+            result = sampled_query(
+                args.query, dataset.records, opts.sampling,
+                seed=opts.sampling_seed,
+            )
+        elif args.parallel:
             runner = MPIQueryRunner(args.query, size=args.parallel, fanout=args.fanout)
             outcome = runner.run_files(args.files)
             result = outcome.result

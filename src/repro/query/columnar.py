@@ -42,6 +42,7 @@ import numpy as np
 from .. import observe
 from ..aggregate.db import AggregationDB
 from ..aggregate.ops import (
+    WEIGHT_LABEL,
     AggregateOp,
     AliasedOp,
     AvgOp,
@@ -50,6 +51,7 @@ from ..aggregate.ops import (
     HistogramOp,
     MaxOp,
     MinOp,
+    MomentsOp,
     PercentTotalOp,
     RatioOp,
     ScaleOp,
@@ -85,6 +87,7 @@ _SUPPORTED = frozenset(
         AvgOp,
         VarianceOp,
         StddevOp,
+        MomentsOp,
         HistogramOp,
         FirstOp,
         RatioOp,
@@ -253,34 +256,60 @@ def _metric(store: ColumnStore, sel: np.ndarray, label: str, include_bool: bool 
 
 
 def _op_states(
-    kernel: AggregateOp, store: ColumnStore, groups: _Groups
+    kernel: AggregateOp,
+    store: ColumnStore,
+    groups: _Groups,
+    weights: Optional[np.ndarray] = None,
 ) -> list[list]:
     """Per-group streaming-kernel states, computed vectorized.
 
     Each returned state matches what the row engine's ``update`` loop would
     have produced for that group, bit for bit where the arithmetic allows
     (bincount adds weights in input order, mirroring streaming addition).
+
+    ``weights`` (aligned with the selected rows, 1.0 where absent) carries
+    ``sample.weight``: the extensive operators accumulate Σw / Σw·x instead
+    of counts and plain sums, exactly like the weighted streaming kernels.
     """
     sel, inverse, n_groups = groups.sel, groups.inverse, groups.count
     t = type(kernel)
     if t is CountOp:
-        counts = np.bincount(inverse, minlength=n_groups)
-        return [[int(c)] for c in counts]
+        if weights is None:
+            counts = np.bincount(inverse, minlength=n_groups)
+            return [[int(c)] for c in counts]
+        counts = np.bincount(inverse, weights=weights, minlength=n_groups)
+        return [[float(c)] for c in counts]
     if t in (SumOp, AvgOp, ScaleOp, PercentTotalOp):
         values, mask = _metric(store, sel, kernel.args[0])
         inv_m, val_m = inverse[mask], values[mask]
-        counts = np.bincount(inv_m, minlength=n_groups)
-        sums = np.bincount(inv_m, weights=val_m, minlength=n_groups)
-        return [[int(counts[g]), float(sums[g])] for g in range(n_groups)]
-    if t in (VarianceOp, StddevOp):
+        if weights is None:
+            counts = np.bincount(inv_m, minlength=n_groups)
+            sums = np.bincount(inv_m, weights=val_m, minlength=n_groups)
+            return [[int(counts[g]), float(sums[g])] for g in range(n_groups)]
+        w_m = weights[mask]
+        counts = np.bincount(inv_m, weights=w_m, minlength=n_groups)
+        sums = np.bincount(inv_m, weights=w_m * val_m, minlength=n_groups)
+        return [[float(counts[g]), float(sums[g])] for g in range(n_groups)]
+    if t in (VarianceOp, StddevOp, MomentsOp):
         values, mask = _metric(store, sel, kernel.args[0])
         inv_m, val_m = inverse[mask], values[mask]
-        counts = np.bincount(inv_m, minlength=n_groups)
-        sums = np.bincount(inv_m, weights=val_m, minlength=n_groups)
-        with np.errstate(over="ignore"):  # like Python floats: overflow -> inf
-            sumsqs = np.bincount(inv_m, weights=val_m * val_m, minlength=n_groups)
+        if weights is None:
+            counts = np.bincount(inv_m, minlength=n_groups)
+            sums = np.bincount(inv_m, weights=val_m, minlength=n_groups)
+            with np.errstate(over="ignore"):  # like Python floats: overflow -> inf
+                sumsqs = np.bincount(inv_m, weights=val_m * val_m, minlength=n_groups)
+            return [
+                [int(counts[g]), float(sums[g]), float(sumsqs[g])]
+                for g in range(n_groups)
+            ]
+        w_m = weights[mask]
+        wval = w_m * val_m
+        counts = np.bincount(inv_m, weights=w_m, minlength=n_groups)
+        sums = np.bincount(inv_m, weights=wval, minlength=n_groups)
+        with np.errstate(over="ignore"):
+            sumsqs = np.bincount(inv_m, weights=wval * val_m, minlength=n_groups)
         return [
-            [int(counts[g]), float(sums[g]), float(sumsqs[g])]
+            [float(counts[g]), float(sums[g]), float(sumsqs[g])]
             for g in range(n_groups)
         ]
     if t in (MinOp, MaxOp):
@@ -296,6 +325,9 @@ def _op_states(
     if t is RatioOp:
         xs, xmask = _metric(store, sel, kernel.args[0], include_bool=False)
         ys, ymask = _metric(store, sel, kernel.args[1], include_bool=False)
+        if weights is not None:
+            xs = weights * xs
+            ys = weights * ys
         sum_x = np.bincount(inverse[xmask], weights=xs[xmask], minlength=n_groups)
         sum_y = np.bincount(inverse[ymask], weights=ys[ymask], minlength=n_groups)
         return [[float(sum_x[g]), float(sum_y[g])] for g in range(n_groups)]
@@ -365,8 +397,19 @@ def _compute(
         return [], [], offered, processed
     with observe.span("columnar.group"):
         groups = _Groups(store, scheme, sel)
+    # Sampling weights, if any record carries one.  Bool weights are
+    # excluded (matching the streaming plans' _weight_value) and missing or
+    # non-numeric weights fold as 1.0.
+    weights: Optional[np.ndarray] = None
+    wvals, wmask = store.numeric(WEIGHT_LABEL, False)
+    if wmask.any():
+        sel_mask = wmask[sel]
+        if sel_mask.any():
+            weights = np.where(sel_mask, wvals[sel], 1.0)
     with observe.span("columnar.ops"):
-        columns = [_op_states(_unwrap(op), store, groups) for op in scheme.ops]
+        columns = [
+            _op_states(_unwrap(op), store, groups, weights) for op in scheme.ops
+        ]
         states = [
             [column[g] for column in columns] for g in range(groups.count)
         ]

@@ -50,11 +50,21 @@ class QueryOptions:
     ``stats``
         Collect ``repro.observe`` telemetry while the query runs (the CLI
         prints the metrics table; embedders read the registry themselves).
+    ``sampling``
+        Run the aggregation over a Bernoulli sample of the input at this
+        keep probability (in ``(0, 1]``): results carry count-scaled point
+        aggregates plus ``est#``/``est.lo#``/``est.hi#`` confidence columns
+        (see :func:`repro.sampling.sampled_query`).  ``None``/``1`` reads
+        everything.
+    ``sampling_seed``
+        RNG seed fixing the sampling decisions for reproducible runs.
     """
 
     backend: str = "auto"
     jobs: Union[bool, int, None] = None
     stats: bool = False
+    sampling: Optional[float] = None
+    sampling_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -63,6 +73,10 @@ class QueryOptions:
             )
         if self.jobs is not None and not isinstance(self.jobs, (bool, int)):
             raise ValueError(f"jobs must be None, bool, or int, got {self.jobs!r}")
+        if self.sampling is not None and not 0.0 < float(self.sampling) <= 1.0:
+            raise ValueError(
+                f"sampling must be in (0, 1] or None, got {self.sampling!r}"
+            )
 
     @classmethod
     def coerce(cls, value: Union["QueryOptions", dict, None]) -> "QueryOptions":
@@ -84,6 +98,8 @@ class QueryOptions:
             backend=getattr(args, "backend", "auto"),
             jobs=getattr(args, "jobs", None),
             stats=bool(getattr(args, "stats", False)),
+            sampling=getattr(args, "sample", None),
+            sampling_seed=getattr(args, "sample_seed", None),
         )
 
     def with_legacy(

@@ -14,6 +14,7 @@ import time
 from typing import TYPE_CHECKING, Any, Mapping, Optional, Union
 
 from .. import observe
+from ..aggregate.ops import WEIGHT_LABEL as _WEIGHT_LABEL
 from ..common.attribute import Attribute
 from ..common.errors import ChannelError
 from ..common.record import Record
@@ -78,6 +79,13 @@ class Channel:
         self._contributors = [s for s in self.services if s.wants("contribute")]
         self._processors = [s for s in self.services if s.wants("process")]
         self._pollers = [s for s in self.services if s.wants("poll")]
+        self._skip_services = [
+            s for s in by_priority if s.wants("on_sample_skip")
+        ]
+        #: snapshots dropped by the sampling gate (weights on kept snapshots
+        #: account for them in expectation — see repro.sampling)
+        self.num_sampled_out = 0
+        self._sampler = self._make_sampler()
         # Zero-copy snapshot fast path: legal when nothing contributes extra
         # entries and every processor folds the record immediately without
         # retaining it.  ``snapshot_fastpath=false`` restores the pre-fast-
@@ -97,6 +105,51 @@ class Channel:
             # service mix: dispatch lists, blackboard accessor, and scratch
             # storage are bound once instead of re-read per snapshot.
             self.push_snapshot = self._make_fast_push()
+
+    def _make_sampler(self):
+        """Build the channel's sampling service from ``sampling.*`` config.
+
+        Returns ``None`` (no gate, zero added cost) unless a budget, a
+        budget ratio, or a static probability is configured.
+        """
+        cfg = self.config
+        budget = cfg.get("sampling.budget")
+        ratio = cfg.get("sampling.budget_ratio")
+        probability = cfg.get("sampling.probability")
+        if budget is None and ratio is None and probability is None:
+            return None
+        from ..sampling import ChannelSampler, OverheadController, SamplingGate
+        from ..sampling.budget import parse_budget
+
+        auto = isinstance(budget, str) and budget.strip().lower() == "auto"
+        budget_ns = None if budget is None or auto else parse_budget(budget)
+        min_p = cfg.get_float("sampling.min_probability", 1.0 / 4096.0)
+        controller = OverheadController(
+            budget_ns=budget_ns,
+            budget_ratio=float(ratio) if ratio is not None else None,
+            min_probability=min_p,
+            max_step=cfg.get_float("sampling.max_step", 4.0),
+            smoothing=cfg.get_float("sampling.smoothing", 0.5),
+        )
+        seed = cfg.get("sampling.seed")
+        gate = SamplingGate(
+            attribute=cfg.get("sampling.attribute"),
+            initial=float(probability) if probability is not None else 1.0,
+            min_probability=min_p,
+            seed=int(seed) if seed is not None else None,
+        )
+        return ChannelSampler(
+            gate,
+            controller,
+            probe_every=cfg.get_int("sampling.probe_every", 64),
+            control_interval=cfg.get_int("sampling.control_interval", 1024),
+            auto_budget=auto,
+        )
+
+    @property
+    def sampler(self):
+        """The channel's sampling service, or ``None`` when not configured."""
+        return self._sampler
 
     # -- event dispatch (called by the Caliper runtime) ---------------------------
 
@@ -137,6 +190,20 @@ class Channel:
             self.num_suppressed += 1
             return
         blackboard = self.caliper.blackboard()
+        sampler = self._sampler
+        weight = None
+        probe = False
+        if sampler is not None:
+            probe = sampler.tick()
+            t0 = time.perf_counter() if probe else 0.0
+            weight = sampler.decide(blackboard._entries)
+            if weight is False:
+                self.num_sampled_out += 1
+                for service in self._skip_services:
+                    service.on_sample_skip(at)
+                if probe:
+                    sampler.record_drop_probe(time.perf_counter() - t0)
+                return
         if self._fastpath_enabled:
             entries = dict(blackboard.snapshot_entries())
         else:
@@ -147,10 +214,14 @@ class Channel:
             service.contribute(entries, at)
         if extra:
             entries.update(extra)
+        if weight is not None:
+            entries[_WEIGHT_LABEL] = weight
         record = Record.from_variants(entries)
         self.num_snapshots += 1
         for service in self._processors:
             service.process(record)
+        if probe:
+            sampler.record_kept_probe(time.perf_counter() - t0)
 
     def _make_fast_push(self):
         """Specialized ``push_snapshot`` for fold-only channels.
@@ -169,6 +240,9 @@ class Channel:
         contributors = tuple(self._contributors)
         processors = tuple(self._processors)
         scratch_tls = self._scratch_tls
+
+        if self._sampler is not None:
+            return self._make_sampling_fast_push()
 
         def push_snapshot(extra=None, at=None, _ch=self):
             if not _ch.active:
@@ -202,6 +276,76 @@ class Channel:
             _ch.num_fast_snapshots += 1
             for service in processors:
                 service.process(record)
+
+        return push_snapshot
+
+    def _make_sampling_fast_push(self):
+        """The fold-only fast path with the sampling gate spliced in front.
+
+        Differences from the unsampled closure: the gate decides against
+        the blackboard's *live* entries before any snapshot work, dropped
+        events only pay the decision plus the timer-skip hooks, and kept
+        snapshots with a weight always assemble into the scratch record so
+        ``sample.weight`` never leaks into the shared blackboard dict.
+        Every ``probe_every``-th event is timed end-to-end with
+        ``perf_counter`` — those measurements are the controller's feedback
+        signal.
+        """
+        blackboard_of = self.caliper.blackboard
+        contributors = tuple(self._contributors)
+        processors = tuple(self._processors)
+        skip_services = tuple(self._skip_services)
+        scratch_tls = self._scratch_tls
+        sampler = self._sampler
+        tick = sampler.tick
+        decide = sampler.decide
+        record_kept = sampler.record_kept_probe
+        record_drop = sampler.record_drop_probe
+        perf_counter = time.perf_counter
+
+        def push_snapshot(extra=None, at=None, _ch=self):
+            if not _ch.active:
+                _ch.num_suppressed += 1
+                return
+            st = getattr(scratch_tls, "st", None)
+            if st is None:
+                blackboard = blackboard_of()
+                scratch_record = Record.from_variants({})
+                st = (
+                    scratch_record,
+                    scratch_record._entries,
+                    blackboard._entries,
+                    blackboard._record,
+                )
+                scratch_tls.st = st
+            probe = tick()
+            t0 = perf_counter() if probe else 0.0
+            weight = decide(st[2])
+            if weight is False:
+                _ch.num_sampled_out += 1
+                for service in skip_services:
+                    service.on_sample_skip(at)
+                if probe:
+                    record_drop(perf_counter() - t0)
+                return
+            if weight is not None or contributors or extra:
+                record, scratch, live_entries, _ = st
+                scratch.clear()
+                scratch.update(live_entries)
+                for service in contributors:
+                    service.contribute(scratch, at)
+                if extra:
+                    scratch.update(extra)
+                if weight is not None:
+                    scratch[_WEIGHT_LABEL] = weight
+            else:
+                record = st[3]
+            _ch.num_snapshots += 1
+            _ch.num_fast_snapshots += 1
+            for service in processors:
+                service.process(record)
+            if probe:
+                record_kept(perf_counter() - t0)
 
         return push_snapshot
 
@@ -271,6 +415,12 @@ class Channel:
             "observe.snapshots.suppressed": Variant.of(self.num_suppressed),
             "observe.flush.time": Variant.of(self.flush_seconds),
         }
+        if self._sampler is not None:
+            entries["observe.snapshots.sampled_out"] = Variant.of(
+                self.num_sampled_out
+            )
+            for key, value in self._sampler.stats().items():
+                entries[f"observe.sampling.{key}"] = Variant.of(value)
         for service in self.services:
             for key, value in service.stats().items():
                 entries[f"observe.{service.name}.{key}"] = Variant.of(value)

@@ -16,6 +16,27 @@ Channel-level keys
 ``config_check``       bool — set false to skip this schema validation
 =====================  ========================================================
 
+The ``sampling.*`` keys are also channel-level (the sampling gate sits in
+the channel's snapshot path, ahead of every service — see
+``docs/sampling.md``):
+
+==============================  ===============================================
+``sampling.budget``             per-event snapshot budget (``"200ns"``,
+                                ``"1.5us"``, bare ns number) or ``"auto"``
+                                to adopt a server-advertised budget
+``sampling.budget_ratio``       overhead as a fraction of application wall
+                                time per event, in (0, 1)
+``sampling.probability``        static keep probability (no feedback loop)
+``sampling.attribute``          blackboard label keying per-value
+                                probabilities (waterfilled); default global
+``sampling.min_probability``    probability floor (default 1/4096)
+``sampling.probe_every``        events between cost probes (default 64)
+``sampling.control_interval``   events between controller steps (default 1024)
+``sampling.max_step``           max probability change factor per step
+``sampling.smoothing``          EWMA factor on cost estimates (default 0.5)
+``sampling.seed``               RNG seed for reproducible sampling decisions
+==============================  ===============================================
+
 Service keys (``<service>.<key>``)
 ==================================
 
@@ -57,7 +78,9 @@ __all__ = ["ALIASES", "CHANNEL_KEYS", "SERVICE_KEYS", "validate_config"]
 #: keys read by the channel itself (not scoped to a service)
 CHANNEL_KEYS = frozenset({"services", "snapshot_fastpath", "config_check"})
 
-#: keys read by each built-in service, scoped as ``<service>.<key>``
+#: keys read by each built-in service, scoped as ``<service>.<key>``.
+#: ``sampling`` is not a service — the gate lives in the channel's push
+#: path — but its keys scope and validate the same way.
 SERVICE_KEYS: dict[str, frozenset] = {
     "aggregate": frozenset(
         {"config", "scheme", "key_strategy", "rename_count", "fold_plan", "key_cache"}
@@ -80,6 +103,20 @@ SERVICE_KEYS: dict[str, frozenset] = {
     ),
     "recorder": frozenset({"filename", "directory"}),
     "sampler": frozenset({"period", "max_catchup"}),
+    "sampling": frozenset(
+        {
+            "budget",
+            "budget_ratio",
+            "probability",
+            "attribute",
+            "min_probability",
+            "probe_every",
+            "control_interval",
+            "max_step",
+            "smoothing",
+            "seed",
+        }
+    ),
     "timer": frozenset({"offset", "inclusive", "trim_hooks"}),
     "trace": frozenset({"buffer_limit"}),
 }
@@ -93,6 +130,9 @@ ALIASES: dict[str, str] = {
     "timer.trim": "timer.trim_hooks",
     "netflush.batch": "netflush.batch_size",
     "netflush.spool": "netflush.spool_dir",
+    "sampling.rate": "sampling.probability",
+    "sampling.interval": "sampling.control_interval",
+    "sampling.overhead_budget": "sampling.budget",
 }
 
 _warned_aliases: set = set()

@@ -77,6 +77,16 @@ class Service:
     def poll(self, now: float) -> None:
         """Sampling opportunity; called after every instrumentation call."""
 
+    def on_sample_skip(self, at: Optional[float]) -> None:
+        """Called when the channel's sampling gate drops a snapshot.
+
+        Measurement providers that accumulate *between* snapshots (the
+        timer) must reset their interval state here: a kept snapshot after
+        dropped ones should cover only its own interval, so the weighted
+        sums stay unbiased — dropped intervals go uncollected rather than
+        silently attributed to the next kept snapshot.
+        """
+
     def flush(self) -> list[Record]:
         """Return this service's output records (may be called repeatedly)."""
         return []

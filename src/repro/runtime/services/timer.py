@@ -85,6 +85,20 @@ class TimerService(Service):
             # Stashed for the snapshot this end event is about to trigger.
             self._tls.pending_inclusive = self._now() - begin_time
 
+    # -- sampling interaction -------------------------------------------------------
+
+    def on_sample_skip(self, at: Optional[float]) -> None:
+        # A dropped snapshot's interval is *uncollected*, not deferred: the
+        # next kept snapshot must time only its own interval or weighted
+        # time sums would double-count the dropped span (1/p scaling
+        # already accounts for it in expectation).
+        now = at if at is not None else self._now()
+        last = getattr(self._tls, "last", None)
+        if last is None or now >= last:
+            self._tls.last = now
+        if self._with_inclusive:
+            self._tls.pending_inclusive = None
+
     # -- snapshot contribution -----------------------------------------------------
 
     def contribute(self, entries: dict[str, Variant], at: Optional[float],

@@ -1,0 +1,65 @@
+"""Parsing and rendering of per-event overhead budgets.
+
+A budget is a time-per-event quantity.  Config and CLI accept either a bare
+number (nanoseconds) or a number with a unit suffix: ``200ns``, ``1.5us``
+(``µs`` works too), ``0.25ms``, ``1e-7s``.  Internally budgets are float
+nanoseconds per event.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..common.errors import ConfigError
+
+__all__ = ["parse_budget", "format_ns"]
+
+_UNITS = {
+    "ns": 1.0,
+    "us": 1e3,
+    "µs": 1e3,
+    "ms": 1e6,
+    "s": 1e9,
+}
+
+
+def parse_budget(value: Union[str, int, float]) -> float:
+    """Parse a per-event budget into nanoseconds.
+
+    Numbers (and number-only strings) are nanoseconds; a unit suffix from
+    ``ns``/``us``/``µs``/``ms``/``s`` scales accordingly.  The result must
+    be positive.
+    """
+    if isinstance(value, bool):
+        raise ConfigError(f"invalid sampling budget: {value!r}")
+    if isinstance(value, (int, float)):
+        ns = float(value)
+    else:
+        text = str(value).strip().lower().replace(" ", "")
+        scale = 1.0
+        for unit in ("ns", "µs", "us", "ms", "s"):
+            if text.endswith(unit):
+                scale = _UNITS[unit]
+                text = text[: -len(unit)]
+                break
+        try:
+            ns = float(text) * scale
+        except ValueError:
+            raise ConfigError(
+                f"invalid sampling budget {value!r}: expected a number with an "
+                "optional ns/us/ms/s suffix (e.g. '200ns', '1.5us')"
+            ) from None
+    if not ns > 0.0:
+        raise ConfigError(f"sampling budget must be positive, got {value!r}")
+    return ns
+
+
+def format_ns(ns: float) -> str:
+    """Human rendering of a nanosecond quantity (for stats and logs)."""
+    if ns < 1e3:
+        return f"{ns:.0f}ns"
+    if ns < 1e6:
+        return f"{ns / 1e3:.2f}us"
+    if ns < 1e9:
+        return f"{ns / 1e6:.2f}ms"
+    return f"{ns / 1e9:.2f}s"

@@ -1,0 +1,61 @@
+"""The request/response service workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.service_sim import (
+    ServiceSimConfig,
+    latency_quantiles,
+    run_service,
+)
+
+
+def test_deterministic_per_seed():
+    cfg = ServiceSimConfig(requests=500, seed=3)
+    a, _ = run_service(cfg)
+    b, _ = run_service(cfg)
+    assert sorted(map(str, a)) == sorted(map(str, b))
+
+
+def test_quantiles_ordered_and_per_endpoint():
+    records, _ = run_service(ServiceSimConfig(requests=2000, seed=1))
+    quantiles = latency_quantiles(records, (0.5, 0.9, 0.99))
+    assert len(quantiles) >= 3  # popular endpoints all appear
+    for qs in quantiles.values():
+        assert qs[0.5] <= qs[0.9] <= qs[0.99]
+
+
+def test_status_rows_separate():
+    records, _ = run_service(
+        ServiceSimConfig(requests=3000, seed=2, error_rate=0.2)
+    )
+    statuses = set()
+    for record in records:
+        entries = {label: v for label, v in record.items()}
+        if "status" in entries:
+            statuses.add(int(entries["status"].value))
+    assert statuses == {200, 500}
+
+
+def test_sampling_preserves_offered_load():
+    cfg = ServiceSimConfig(requests=12000, seed=4)
+    full, _ = run_service(cfg)
+    sampled, _ = run_service(
+        cfg, channel_config={"sampling.probability": "0.25", "sampling.seed": "9"}
+    )
+
+    def total_count(records):
+        total = 0.0
+        for record in records:
+            entries = {label: v for label, v in record.items()}
+            if "endpoint" in entries and "count" in entries:
+                total += float(entries["count"].value)
+        return total
+
+    assert total_count(sampled) == pytest.approx(total_count(full), rel=0.1)
+
+
+def test_config_validation():
+    with pytest.raises(Exception):
+        ServiceSimConfig(requests=0)

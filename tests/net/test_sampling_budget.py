@@ -1,0 +1,140 @@
+"""Server-advertised sampling budgets: HELLO_ACK passthrough and adoption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common import Record
+from repro.net import AggregationServer, FlushClient
+from repro.net.cli import build_serve_parser
+from repro.runtime.instrumentation import Caliper
+
+SCHEME = "AGGREGATE sum(count) GROUP BY function"
+
+
+class TestServerAdvertisement:
+    def test_budget_parsed_and_advertised(self):
+        server = AggregationServer(SCHEME, shards=1, sampling_budget="250ns")
+        assert server.sampling_budget_ns == 250.0
+        server.start()
+        try:
+            client = FlushClient(*server.address)
+            client.push(Record({"function": "f", "count": 1}))
+            client.flush()  # forces the handshake
+            assert client.server_info.get("sampling_budget_ns") == 250.0
+            client.close()
+        finally:
+            server.stop()
+
+    def test_no_budget_no_ack_field(self):
+        server = AggregationServer(SCHEME, shards=1)
+        server.start()
+        try:
+            client = FlushClient(*server.address)
+            client.push(Record({"function": "f", "count": 1}))
+            client.flush()
+            assert "sampling_budget_ns" not in client.server_info
+            client.close()
+        finally:
+            server.stop()
+
+    def test_bad_budget_rejected_at_construction(self):
+        with pytest.raises(ConfigError):
+            AggregationServer(SCHEME, shards=1, sampling_budget="soon")
+
+    def test_serve_cli_flag(self):
+        args = build_serve_parser().parse_args(
+            ["--scheme", SCHEME, "--sampling-budget", "300ns"]
+        )
+        assert args.sampling_budget == "300ns"
+
+
+class TestClientCallback:
+    def test_on_server_info_invoked_with_ack(self):
+        seen = []
+        server = AggregationServer(SCHEME, shards=1, sampling_budget="1us")
+        server.start()
+        try:
+            client = FlushClient(
+                *server.address, on_server_info=seen.append
+            )
+            client.push(Record({"function": "f", "count": 1}))
+            client.flush()
+            client.close()
+        finally:
+            server.stop()
+        assert seen and seen[0]["sampling_budget_ns"] == 1000.0
+
+    def test_callback_error_does_not_break_delivery(self):
+        def explode(info):
+            raise RuntimeError("observer bug")
+
+        server = AggregationServer(SCHEME, shards=1, sampling_budget="1us")
+        server.start()
+        try:
+            client = FlushClient(*server.address, on_server_info=explode)
+            client.push(Record({"function": "f", "count": 1}))
+            client.flush()  # must not raise
+            client.close()
+        finally:
+            server.stop()
+
+
+class TestAutoBudgetAdoption:
+    def test_channel_adopts_budget_over_the_wire(self):
+        server = AggregationServer(
+            "AGGREGATE sum(aggregate.count) GROUP BY function",
+            shards=1,
+            sampling_budget="250ns",
+        )
+        server.start()
+        try:
+            host, port = server.address
+            cali = Caliper()
+            channel = cali.create_channel(
+                "prof",
+                {
+                    "services": ["event", "aggregate", "netflush"],
+                    "aggregate.config": "AGGREGATE count GROUP BY function",
+                    "netflush.host": host,
+                    "netflush.port": str(port),
+                    "sampling.budget": "auto",
+                },
+            )
+            assert channel.sampler is not None
+            assert channel.sampler.controller.budget_ns is None
+            for i in range(50):
+                cali.begin("function", f"f{i % 2}")
+                cali.end("function")
+            channel.finish()
+            assert channel.sampler.controller.budget_ns == 250.0
+        finally:
+            server.stop()
+
+    def test_local_budget_not_overridden_by_server(self):
+        server = AggregationServer(
+            "AGGREGATE sum(aggregate.count) GROUP BY function",
+            shards=1,
+            sampling_budget="9us",
+        )
+        server.start()
+        try:
+            host, port = server.address
+            cali = Caliper()
+            channel = cali.create_channel(
+                "prof",
+                {
+                    "services": ["event", "aggregate", "netflush"],
+                    "aggregate.config": "AGGREGATE count GROUP BY function",
+                    "netflush.host": host,
+                    "netflush.port": str(port),
+                    "sampling.budget": "150ns",
+                },
+            )
+            cali.begin("function", "f")
+            cali.end("function")
+            channel.finish()
+            assert channel.sampler.controller.budget_ns == 150.0
+        finally:
+            server.stop()

@@ -36,6 +36,45 @@ class TestGauges:
     def test_missing_gauge_is_none(self):
         assert MetricsRegistry().gauge_value("nope") is None
 
+    def test_untagged_read_sums_numeric_tag_sets(self):
+        reg = MetricsRegistry()
+        reg.gauge("queue.depth", 3, shard="a")
+        reg.gauge("queue.depth", 5, shard="b")
+        assert reg.gauge_value("queue.depth", shard="a") == 3
+        assert reg.gauge_value("queue.depth") == 8
+
+    def test_untagged_read_skips_non_numeric_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("mode", "columnar", shard="a")
+        reg.gauge("mode", True, shard="b")  # bool is not a magnitude
+        assert reg.gauge_value("mode") is None
+
+    def test_untagged_read_race_with_writers(self):
+        # Regression: gauge_value used to iterate the dict outside the
+        # registry lock, so a concurrent gauge() on a new tag set could
+        # blow up the iteration with RuntimeError.
+        import threading
+
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                reg.gauge("hot", i, worker=str(i % 50))
+                i += 1
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(2000):
+                reg.gauge_value("hot")  # must never raise
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
 
 class TestTimers:
     def test_timing_stats(self):

@@ -1,0 +1,44 @@
+"""Budget string parsing: the ``sampling.budget`` config value."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sampling import format_ns, parse_budget
+
+
+class TestParseBudget:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("200ns", 200.0),
+            ("1.5us", 1500.0),
+            ("1.5µs", 1500.0),
+            ("2ms", 2_000_000.0),
+            ("0.5s", 500_000_000.0),
+            ("250", 250.0),  # bare number = nanoseconds
+            (250, 250.0),
+            (99.5, 99.5),
+        ],
+    )
+    def test_units(self, text, expected):
+        assert parse_budget(text) == expected
+
+    def test_whitespace_and_case(self):
+        assert parse_budget(" 200 NS ") == 200.0
+        assert parse_budget("3Us") == 3000.0
+
+    @pytest.mark.parametrize("bad", ["", "fast", "200lightyears", "ns", "-5ns", "0"])
+    def test_invalid(self, bad):
+        with pytest.raises(ConfigError):
+            parse_budget(bad)
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_budget(True)
+
+    def test_roundtrip_format(self):
+        for text in ("200ns", "1.5us", "2ms", "1s"):
+            ns = parse_budget(text)
+            assert parse_budget(format_ns(ns)) == ns

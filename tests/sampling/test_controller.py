@@ -1,0 +1,137 @@
+"""The overhead controller and the waterfill quota allocator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.sampling import OverheadController, waterfill_quota
+
+
+class TestWaterfillQuota:
+    def test_all_fit(self):
+        assert waterfill_quota([10, 20, 5], 35) == float("inf")
+        assert waterfill_quota([10, 20, 5], 100) == float("inf")
+
+    def test_empty_or_zero_counts(self):
+        assert waterfill_quota([], 10) == float("inf")
+        assert waterfill_quota([0, 0], 10) == float("inf")
+
+    def test_zero_target(self):
+        assert waterfill_quota([5, 5], 0) == 0.0
+        assert waterfill_quota([5, 5], -3) == 0.0
+
+    def test_exact_split(self):
+        # counts 100,100,5,1, keep 56: the small keys keep all 6, the two
+        # hot keys split the remaining 50 -> quota 25
+        assert waterfill_quota([100, 100, 5, 1], 56) == pytest.approx(25.0)
+
+    def test_rare_keys_fully_kept(self):
+        quota = waterfill_quota([1000, 3, 2], 105)
+        assert quota >= 3  # rare keys keep everything
+        assert min(1000, quota) + 3 + 2 == pytest.approx(105)
+
+    @given(
+        counts=st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=12),
+        target=st.floats(min_value=0.0, max_value=2000.0),
+    )
+    def test_quota_solves_the_waterfill_equation(self, counts, target):
+        quota = waterfill_quota(counts, target)
+        total = sum(counts)
+        if target >= total or total == 0:
+            assert quota == float("inf")
+        elif target <= 0:
+            assert quota == 0.0
+        else:
+            kept = sum(min(c, quota) for c in counts)
+            assert kept == pytest.approx(target, rel=1e-9, abs=1e-6)
+
+
+class TestOverheadController:
+    def test_inactive_without_budget(self):
+        ctl = OverheadController()
+        assert not ctl.active
+        assert ctl.target_probability(0.5) == 0.5
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ConfigError):
+            OverheadController(budget_ratio=1.5)
+        with pytest.raises(ConfigError):
+            OverheadController(budget_ratio=0.0)
+
+    def test_target_solves_budget_over_elidable(self):
+        ctl = OverheadController(budget_ns=200.0, smoothing=1.0, max_step=1e9)
+        ctl.observe_costs(kept_ns=2200.0, drop_ns=200.0)  # elidable = 2000
+        p = ctl.target_probability(1.0)
+        assert p == pytest.approx(0.1)
+        assert ctl.expected_cost_ns(p) == pytest.approx(200.0)
+
+    def test_gate_floor_not_charged_to_budget(self):
+        # A drop floor far above the budget must NOT collapse p to the
+        # minimum: the budget buys only the elidable part.
+        ctl = OverheadController(budget_ns=200.0, smoothing=1.0, max_step=1e9)
+        ctl.observe_costs(kept_ns=5000.0, drop_ns=1000.0)  # floor 5x budget
+        p = ctl.target_probability(1.0)
+        assert p == pytest.approx(200.0 / 4000.0)
+
+    def test_nonpositive_elidable_keeps_everything(self):
+        ctl = OverheadController(budget_ns=100.0, smoothing=1.0)
+        ctl.observe_costs(kept_ns=500.0, drop_ns=600.0)
+        assert ctl.target_probability(0.25) == 1.0
+
+    def test_rate_limited_per_interval(self):
+        ctl = OverheadController(budget_ns=1.0, smoothing=1.0, max_step=4.0)
+        ctl.observe_costs(kept_ns=10_000.0, drop_ns=0.0)  # wants p = 1e-4
+        p = ctl.target_probability(1.0)
+        assert p == pytest.approx(0.25)  # one max_step down from 1.0
+        p = ctl.target_probability(p)
+        assert p == pytest.approx(0.0625)
+
+    def test_min_probability_clamp(self):
+        ctl = OverheadController(
+            budget_ns=1.0, smoothing=1.0, max_step=1e9, min_probability=0.01
+        )
+        ctl.observe_costs(kept_ns=1_000_000.0, drop_ns=0.0)
+        assert ctl.target_probability(1.0) == 0.01
+
+    def test_ratio_mode_scales_with_wall_time(self):
+        ctl = OverheadController(budget_ratio=0.05, smoothing=1.0, max_step=1e9)
+        ctl.observe_costs(kept_ns=4000.0, drop_ns=0.0)
+        # 5% of 10us per event = 500ns budget -> p = 0.125
+        assert ctl.target_probability(1.0, wall_ns_per_event=10_000.0) == (
+            pytest.approx(0.125)
+        )
+        # no wall estimate yet -> hold position
+        assert ctl.target_probability(0.3, wall_ns_per_event=None) == 0.3
+
+    def test_ewma_smoothing(self):
+        ctl = OverheadController(budget_ns=100.0, smoothing=0.5)
+        ctl.observe_costs(kept_ns=1000.0, drop_ns=None)
+        ctl.observe_costs(kept_ns=2000.0, drop_ns=None)
+        assert ctl.kept_cost_ns == pytest.approx(1500.0)
+
+    def test_convergence_loop(self):
+        # Simulated plant: true elidable cost 2000ns, noisy probes.  The
+        # loop must settle at p = 0.1 and stay there.
+        import random
+
+        rng = random.Random(42)
+        ctl = OverheadController(budget_ns=200.0)
+        p = 1.0
+        for _ in range(40):
+            kept = 2100.0 * rng.uniform(0.9, 1.1)
+            drop = 100.0 * rng.uniform(0.9, 1.1)
+            ctl.observe_costs(kept, drop)
+            p = ctl.target_probability(p)
+        assert 0.08 < p < 0.13
+        assert ctl.expected_cost_ns(p) == pytest.approx(200.0, rel=0.25)
+
+    def test_expected_cost_before_any_probe(self):
+        ctl = OverheadController(budget_ns=200.0)
+        assert ctl.expected_cost_ns(0.5) is None or math.isnan(
+            ctl.expected_cost_ns(0.5)
+        ) is False  # must not raise

@@ -1,0 +1,112 @@
+"""The per-attribute Bernoulli sampling gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.variant import Variant
+from repro.sampling import SamplingGate
+from repro.sampling.gate import DROP
+
+
+def entries(**kv):
+    return {k: Variant.of(v) for k, v in kv.items()}
+
+
+class TestGlobalGate:
+    def test_probability_one_keeps_everything_unweighted(self):
+        gate = SamplingGate()
+        for _ in range(100):
+            assert gate.decide({}) is None
+        assert gate.interval_totals() == (100, 100)
+
+    def test_weighted_keep_carries_cached_inverse(self):
+        gate = SamplingGate(initial=0.25, seed=7)
+        outcomes = [gate.decide({}) for _ in range(4000)]
+        kept = [o for o in outcomes if o is not DROP]
+        assert all(o is not None for o in kept)
+        # every weight is the same cached Variant: 1/p
+        assert {id(o) for o in kept} == {id(kept[0])}
+        assert kept[0].value == pytest.approx(4.0)
+        assert 0.2 < len(kept) / 4000 < 0.3
+
+    def test_seed_reproducible(self):
+        a = [SamplingGate(initial=0.5, seed=3).decide({}) is DROP for _ in range(1)]
+        g1 = SamplingGate(initial=0.5, seed=3)
+        g2 = SamplingGate(initial=0.5, seed=3)
+        assert [g1.decide({}) is DROP for _ in range(200)] == [
+            g2.decide({}) is DROP for _ in range(200)
+        ]
+
+    def test_apply_global_clamps(self):
+        gate = SamplingGate(min_probability=0.01)
+        gate.apply_global(0.0001)
+        assert gate.probability == 0.01
+        gate.apply_global(5.0)
+        assert gate.probability == 1.0
+
+
+class TestPerAttributeGate:
+    def test_new_value_starts_at_one(self):
+        gate = SamplingGate(attribute="function", initial=0.1, seed=1)
+        for _ in range(50):
+            assert gate.decide(entries(function="fresh")) is not DROP
+        assert gate.probabilities()["fresh"] == 1.0
+
+    def test_missing_attribute_keys_none(self):
+        gate = SamplingGate(attribute="function", seed=1)
+        assert gate.decide({}) is None
+        assert None in gate.probabilities()
+
+    def test_quota_thins_hot_keys_keeps_rare(self):
+        gate = SamplingGate(attribute="function", seed=5)
+        for i in range(1000):
+            gate.decide(entries(function="hot"))
+        for i in range(3):
+            gate.decide(entries(function="rare"))
+        gate.apply_quota(50.0, 0.0)
+        probs = gate.probabilities()
+        assert probs["hot"] == pytest.approx(0.05)
+        assert probs["rare"] == 1.0
+
+    def test_quota_resets_interval_counters(self):
+        gate = SamplingGate(attribute="function", seed=5)
+        gate.decide(entries(function="a"))
+        gate.apply_quota(10.0, 0.0)
+        assert gate.interval_totals() == (0, 0)
+
+    def test_unseen_key_decays_to_one(self):
+        gate = SamplingGate(attribute="function", seed=5)
+        for _ in range(100):
+            gate.decide(entries(function="a"))
+        gate.apply_quota(10.0, 0.0)
+        assert gate.probabilities()["a"] == pytest.approx(0.1)
+        # next interval: 'a' never shows up -> decays back to 1
+        gate.apply_quota(10.0, 0.0)
+        assert gate.probabilities()["a"] == 1.0
+
+    def test_floor_applies(self):
+        gate = SamplingGate(attribute="function", min_probability=0.001, seed=2)
+        for _ in range(1000):
+            gate.decide(entries(function="hot"))
+        gate.apply_quota(0.1, 0.02)
+        assert gate.probabilities()["hot"] == pytest.approx(0.02)
+
+    def test_weights_match_probability_used(self):
+        gate = SamplingGate(attribute="function", seed=9)
+        for _ in range(200):
+            gate.decide(entries(function="k"))
+        gate.apply_quota(20.0, 0.0)
+        p = gate.probabilities()["k"]
+        kept = [
+            out
+            for _ in range(2000)
+            if (out := gate.decide(entries(function="k"))) is not DROP
+        ]
+        assert kept and all(o.value == pytest.approx(1.0 / p) for o in kept)
+
+    def test_len_counts_keys(self):
+        gate = SamplingGate(attribute="function", seed=0)
+        for name in ("a", "b", "c"):
+            gate.decide(entries(function=name))
+        assert len(gate) == 3
